@@ -1,0 +1,63 @@
+//! Leakage models for CPA key hypotheses.
+
+use serde::{Deserialize, Serialize};
+
+/// The intermediate value and power model used to build key hypotheses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LeakageModel {
+    /// Hamming weight of the first-round SubBytes output
+    /// `SBOX[pt[i] ^ k[i]]` (the model used in the paper's CPA).
+    #[default]
+    HwSboxOutput,
+    /// Hamming weight of the AddRoundKey output `pt[i] ^ k[i]`.
+    HwAddRoundKey,
+}
+
+impl LeakageModel {
+    /// Hypothetical leakage of key byte `key_guess` for plaintext byte `pt`.
+    pub fn hypothesis(&self, pt: u8, key_guess: u8) -> f32 {
+        match self {
+            LeakageModel::HwSboxOutput => hw_sbox_output(pt, key_guess),
+            LeakageModel::HwAddRoundKey => (pt ^ key_guess).count_ones() as f32,
+        }
+    }
+}
+
+/// Hamming weight of `SBOX[pt ^ key_guess]` as an `f32`.
+pub fn hw_sbox_output(pt: u8, key_guess: u8) -> f32 {
+    sca_ciphers::aes::sbox(pt ^ key_guess).count_ones() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_output_model_matches_reference_sbox() {
+        // SBOX[0x00] = 0x63 has Hamming weight 4.
+        assert_eq!(hw_sbox_output(0x00, 0x00), 4.0);
+        // SBOX[0x53] = 0xED has Hamming weight 6.
+        assert_eq!(hw_sbox_output(0x50, 0x03), 6.0);
+    }
+
+    #[test]
+    fn models_differ() {
+        let m1 = LeakageModel::HwSboxOutput;
+        let m2 = LeakageModel::HwAddRoundKey;
+        // For at least one input the two models disagree.
+        let disagreement = (0..=255u8).any(|pt| m1.hypothesis(pt, 0x2B) != m2.hypothesis(pt, 0x2B));
+        assert!(disagreement);
+    }
+
+    #[test]
+    fn hypotheses_are_bounded_by_8_bits() {
+        for pt in [0u8, 1, 77, 255] {
+            for k in [0u8, 13, 200] {
+                for model in [LeakageModel::HwSboxOutput, LeakageModel::HwAddRoundKey] {
+                    let h = model.hypothesis(pt, k);
+                    assert!((0.0..=8.0).contains(&h));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Key-rank computation: where does the correct key byte sit among the 256
+//! hypotheses when sorted by the CPA distinguisher score?
+
+use serde::{Deserialize, Serialize};
+
+/// Rank of the correct key guess among the candidate scores.
+///
+/// Rank 1 means the correct key byte has the (strictly) highest score; ties
+/// are counted pessimistically (a tie pushes the rank down).
+///
+/// # Panics
+///
+/// Panics if `scores` does not have exactly 256 entries.
+pub fn key_byte_rank(scores: &[f32; 256], correct_key: u8) -> usize {
+    let correct_score = scores[correct_key as usize];
+    let better = scores
+        .iter()
+        .enumerate()
+        .filter(|&(k, &s)| {
+            k != correct_key as usize && (s > correct_score || (s == correct_score && k < correct_key as usize))
+        })
+        .count();
+    better + 1
+}
+
+/// Per-byte key ranks for a full 16-byte key recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyRankReport {
+    /// Rank of every key byte (1 = recovered).
+    pub ranks: [usize; 16],
+}
+
+impl KeyRankReport {
+    /// `true` when every key byte is at rank 1.
+    pub fn all_rank1(&self) -> bool {
+        self.ranks.iter().all(|&r| r == 1)
+    }
+
+    /// Worst (largest) rank over the 16 bytes.
+    pub fn worst_rank(&self) -> usize {
+        self.ranks.iter().copied().max().unwrap_or(256)
+    }
+
+    /// Mean rank over the 16 bytes.
+    pub fn mean_rank(&self) -> f64 {
+        self.ranks.iter().sum::<usize>() as f64 / 16.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_key_with_highest_score_is_rank1() {
+        let mut scores = [0.1f32; 256];
+        scores[0x2B] = 0.9;
+        assert_eq!(key_byte_rank(&scores, 0x2B), 1);
+    }
+
+    #[test]
+    fn rank_counts_better_candidates() {
+        let mut scores = [0.0f32; 256];
+        scores[10] = 0.5;
+        scores[20] = 0.8;
+        scores[30] = 0.9;
+        assert_eq!(key_byte_rank(&scores, 10), 3);
+        assert_eq!(key_byte_rank(&scores, 30), 1);
+    }
+
+    #[test]
+    fn ties_are_pessimistic() {
+        let scores = [0.5f32; 256];
+        // All tied: key 0 is "first", key 255 is last.
+        assert_eq!(key_byte_rank(&scores, 0), 1);
+        assert_eq!(key_byte_rank(&scores, 255), 256);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let mut ranks = [1usize; 16];
+        assert!(KeyRankReport { ranks }.all_rank1());
+        ranks[7] = 12;
+        let report = KeyRankReport { ranks };
+        assert!(!report.all_rank1());
+        assert_eq!(report.worst_rank(), 12);
+        assert!(report.mean_rank() > 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the CPA attack substrate: per-trace accumulator
+//! update cost and correlation extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sca_attack::{aggregate_trace, CpaAttack, CpaConfig};
+use sca_trace::stats::CorrelationAccumulator;
+
+fn bench_accumulator_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpa_accumulator");
+    group.sample_size(30);
+    for &len in &[256usize, 1024, 4096] {
+        let trace = vec![0.5f32; len];
+        group.bench_function(format!("update_{len}"), |b| {
+            let mut acc = CorrelationAccumulator::new(len);
+            b.iter(|| acc.update(std::hint::black_box(4.0), std::hint::black_box(&trace)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpa_add_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpa_add_trace");
+    group.sample_size(10);
+    // One aligned CO trace, 4 attacked key bytes, 256 guesses each.
+    let trace = vec![0.5f32; 2048];
+    let pt = [0x3Cu8; 16];
+    group.bench_function("bytes4_len2048_agg8", |b| {
+        let mut attack = CpaAttack::new(CpaConfig {
+            num_key_bytes: 4,
+            aggregation_window: 8,
+            ..CpaConfig::default()
+        });
+        b.iter(|| attack.add_trace(std::hint::black_box(&trace), std::hint::black_box(&pt)))
+    });
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_aggregation");
+    group.sample_size(50);
+    let trace = vec![0.25f32; 100_000];
+    group.bench_function("agg_100k_w8", |b| {
+        b.iter(|| aggregate_trace(std::hint::black_box(&trace), 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulator_update, bench_cpa_add_trace, bench_aggregation);
+criterion_main!(benches);

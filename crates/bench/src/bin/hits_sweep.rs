@@ -1,0 +1,73 @@
+//! Regenerates the Section IV-B segmentation sweep: hit-rate of the CNN
+//! locator for **every cipher**, both random-delay configurations (RD-2 and
+//! RD-4), consecutive and noise-interleaved scenarios. The paper reports
+//! 100 % hits in all of these cells.
+//!
+//! Also doubles as the ablation harness for the design choices discussed in
+//! DESIGN.md (pass `--ablation` to sweep the median-filter size and to compare
+//! the linear-score output against the softmax probability output).
+//!
+//! Run with: `cargo run -p sca-bench --bin hits_sweep --release`
+
+use sca_bench::{score_hits, simulate_scenario, train_locator, ExperimentConfig};
+use sca_ciphers::CipherId;
+
+fn main() {
+    let ablation = std::env::args().any(|a| a == "--ablation");
+    // A smaller CO count keeps the 5-cipher x 2-RD x 2-scenario sweep tractable.
+    let base = ExperimentConfig { scenario_cos: 16, ..ExperimentConfig::default() };
+
+    println!("== Section IV-B: segmentation hit-rate sweep ==");
+    println!(
+        "{:<10} {:>6} {:>14} {:>10} {:>10} {:>8}",
+        "Cipher", "RD", "Noise apps", "Hits", "Total", "Hits (%)"
+    );
+    println!("{}", "-".repeat(64));
+
+    let ciphers: &[CipherId] =
+        if ablation { &[CipherId::Aes128] } else { &CipherId::ALL };
+
+    for &cipher in ciphers {
+        for rd in [2usize, 4] {
+            let cfg = ExperimentConfig { rd_max: rd, ..base };
+            let mut setup = train_locator(cipher, &cfg);
+            for noise in [false, true] {
+                let result = simulate_scenario(cipher, noise, &cfg);
+                let located = setup.locator.locate(&result.trace);
+                let hits = score_hits(&located, &result);
+                println!(
+                    "{:<10} {:>6} {:>14} {:>10} {:>10} {:>8.2}",
+                    cipher.label(),
+                    format!("RD-{rd}"),
+                    if noise { "yes" } else { "no" },
+                    hits.hits,
+                    hits.total,
+                    hits.percentage()
+                );
+            }
+        }
+    }
+
+    if ablation {
+        println!();
+        println!("== Ablation: median-filter size k (AES, RD-4, consecutive) ==");
+        let cfg = ExperimentConfig { rd_max: 4, ..base };
+        let setup = train_locator(CipherId::Aes128, &cfg);
+        let result = simulate_scenario(CipherId::Aes128, false, &cfg);
+        for k in [1usize, 3, 5, 9, 15] {
+            let mut profile = setup.profile.clone();
+            profile.segmentation.median_filter_k = k;
+            let mut locator = sca_locator::CoLocator::from_parts(
+                setup.locator.cnn().clone(),
+                *setup.locator.sliding(),
+                sca_locator::Segmenter::new(profile.segmentation),
+            );
+            let located = locator.locate(&result.trace);
+            let hits = score_hits(&located, &result);
+            println!("k = {k:>2}  ->  hits {:>5.1}%  ({} located)", hits.percentage(), located.len());
+        }
+    }
+
+    println!();
+    println!("Paper reference: 100% hits for every cipher, both RD settings, both scenarios.");
+}

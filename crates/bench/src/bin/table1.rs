@@ -1,0 +1,57 @@
+//! Regenerates **Table I** of the paper: per-cipher pipeline parameters
+//! (mean CO length, N_train, N_inf, stride) and dataset sizes.
+//!
+//! Two tables are printed: the paper's original values (for reference) and the
+//! values measured/derived on the simulated platform used by this
+//! reproduction (RD-4, the harder configuration).
+//!
+//! Run with: `cargo run -p sca-bench --bin table1 --release`
+
+use sca_bench::ExperimentConfig;
+use sca_ciphers::CipherId;
+use sca_locator::CipherProfile;
+use soc_sim::{SocSimulator, SocSimulatorConfig};
+
+fn print_profile_row(p: &CipherProfile) {
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>7} {:>12} {:>12} {:>10}",
+        p.cipher.label(),
+        p.mean_co_len,
+        p.n_train,
+        p.n_inf,
+        p.stride,
+        p.cipher_start_windows,
+        p.cipher_rest_windows,
+        p.noise_windows
+    );
+}
+
+fn header() {
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>7} {:>12} {:>12} {:>10}",
+        "Cipher", "Mean len", "Ntrain", "Ninf", "s", "CipherStart", "CipherRest", "Noise"
+    );
+    println!("{}", "-".repeat(84));
+}
+
+fn main() {
+    println!("== Table I (paper values, FPGA platform @ 125 Ms/s) ==");
+    header();
+    for p in CipherProfile::paper_all() {
+        print_profile_row(&p);
+    }
+
+    let cfg = ExperimentConfig::default();
+    println!();
+    println!("== Table I (this reproduction, simulated platform, RD-{}) ==", cfg.rd_max);
+    header();
+    let mut sim = SocSimulator::new(SocSimulatorConfig::rd(cfg.rd_max), cfg.seed);
+    for cipher in CipherId::ALL {
+        let mean = sim.mean_co_samples(cipher, 16);
+        let profile = CipherProfile::scaled(cipher, mean.round() as usize);
+        print_profile_row(&profile);
+    }
+    println!();
+    println!("Window sizes/strides are derived from the measured mean CO length with the");
+    println!("same ratios as the paper (N_train ~ 10% of the CO, stride ~ N_train/16).");
+}

@@ -1,0 +1,414 @@
+//! FIPS-197 AES-128, with micro-operation recording.
+//!
+//! The S-box is generated algorithmically (multiplicative inverse in
+//! GF(2^8) modulo x^8 + x^4 + x^3 + x + 1, followed by the affine
+//! transformation) rather than being embedded as a table of magic numbers;
+//! the result is verified against the FIPS-197 test vectors in
+//! [`crate::testvectors`].
+//!
+//! The implementation is a straightforward byte-oriented software AES —
+//! the same style as the constant-time OpenSSL software fallback used by the
+//! paper — which is exactly the kind of code whose S-box output leaks the
+//! Hamming weight exploited by the CPA attack of Table II.
+
+use crate::exec::{CipherId, ExecutionTrace, OpKind, RecordingCipher};
+
+/// Multiplies two elements of GF(2^8) modulo the AES polynomial 0x11B.
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2^8) (0 maps to 0), computed by exponentiation
+/// to the 254th power (Fermat), avoiding table lookups.
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 is the multiplicative inverse (square-and-multiply, exponent 0b11111110).
+    let mut result = 1u8;
+    for bit in (0..8).rev() {
+        result = gf_mul(result, result);
+        if (254 >> bit) & 1 == 1 {
+            result = gf_mul(result, a);
+        }
+    }
+    result
+}
+
+/// Computes the AES S-box entry for `x`: affine transform of the GF(2^8) inverse.
+fn sbox_entry(x: u8) -> u8 {
+    let inv = gf_inv(x);
+    let mut out = 0u8;
+    for i in 0..8 {
+        let bit = ((inv >> i)
+            ^ (inv >> ((i + 4) % 8))
+            ^ (inv >> ((i + 5) % 8))
+            ^ (inv >> ((i + 6) % 8))
+            ^ (inv >> ((i + 7) % 8))
+            ^ (0x63 >> i))
+            & 1;
+        out |= bit << i;
+    }
+    out
+}
+
+/// The AES forward and inverse S-boxes, generated once at construction time.
+#[derive(Debug, Clone)]
+pub struct AesTables {
+    /// Forward S-box (SubBytes).
+    pub sbox: [u8; 256],
+    /// Inverse S-box (InvSubBytes).
+    pub inv_sbox: [u8; 256],
+}
+
+impl AesTables {
+    /// Generates the S-box and inverse S-box.
+    pub fn generate() -> Self {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for x in 0..=255u8 {
+            let s = sbox_entry(x);
+            sbox[x as usize] = s;
+            inv_sbox[s as usize] = x;
+        }
+        Self { sbox, inv_sbox }
+    }
+}
+
+impl Default for AesTables {
+    fn default() -> Self {
+        Self::generate()
+    }
+}
+
+/// Returns the AES S-box output for a byte (convenience for the CPA attack's
+/// leakage model, which targets `SBOX[pt ^ key]`).
+pub fn sbox(x: u8) -> u8 {
+    // A thread-local cache would be overkill; generating one entry is cheap
+    // enough for the attack hot path because gf_inv is ~16 gf_muls.
+    sbox_entry(x)
+}
+
+/// Expands a 16-byte key into the 11 AES-128 round keys (176 bytes).
+pub fn key_expansion(key: &[u8; 16], tables: &AesTables) -> [[u8; 16]; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for i in 0..4 {
+        w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+    }
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for b in temp.iter_mut() {
+                *b = tables.sbox[*b as usize];
+            }
+            temp[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ temp[j];
+        }
+    }
+    let mut round_keys = [[0u8; 16]; 11];
+    for r in 0..11 {
+        for c in 0..4 {
+            for b in 0..4 {
+                round_keys[r][4 * c + b] = w[4 * r + c][b];
+            }
+        }
+    }
+    round_keys
+}
+
+/// FIPS-197 AES-128 implementation with operation recording.
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    tables: AesTables,
+}
+
+impl Aes128 {
+    /// Creates a new AES-128 instance (generates the S-box tables).
+    pub fn new() -> Self {
+        Self { tables: AesTables::generate() }
+    }
+
+    /// Access to the generated S-box tables.
+    pub fn tables(&self) -> &AesTables {
+        &self.tables
+    }
+
+    fn sub_bytes(&self, state: &mut [u8; 16], rec: Option<&mut ExecutionTrace>) {
+        if let Some(rec) = rec {
+            for b in state.iter_mut() {
+                *b = self.tables.sbox[*b as usize];
+                rec.byte(OpKind::TableLookup, *b);
+            }
+        } else {
+            for b in state.iter_mut() {
+                *b = self.tables.sbox[*b as usize];
+            }
+        }
+    }
+
+    fn inv_sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.tables.inv_sbox[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16], mut rec: Option<&mut ExecutionTrace>) {
+        // State is column-major: state[4*c + r].
+        let copy = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = copy[4 * ((c + r) % 4) + r];
+                if let Some(rec) = rec.as_deref_mut() {
+                    rec.byte(OpKind::Shift, state[4 * c + r]);
+                }
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let copy = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = copy[4 * ((c + 4 - r) % 4) + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16], mut rec: Option<&mut ExecutionTrace>) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let out = [
+                gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3],
+                col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3],
+                col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3),
+                gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2),
+            ];
+            for r in 0..4 {
+                state[4 * c + r] = out[r];
+                if let Some(rec) = rec.as_deref_mut() {
+                    rec.byte(OpKind::GfMul, out[r]);
+                }
+            }
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let out = [
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9),
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13),
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11),
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14),
+            ];
+            for r in 0..4 {
+                state[4 * c + r] = out[r];
+            }
+        }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16], mut rec: Option<&mut ExecutionTrace>) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+            if let Some(rec) = rec.as_deref_mut() {
+                rec.byte(OpKind::Xor, state[i]);
+            }
+        }
+    }
+
+    fn encrypt_block(&self, key: &[u8; 16], pt: &[u8; 16], mut rec: Option<&mut ExecutionTrace>) -> [u8; 16] {
+        let round_keys = key_expansion(key, &self.tables);
+        let mut state = *pt;
+        if let Some(rec) = rec.as_deref_mut() {
+            for &b in pt.iter() {
+                rec.byte(OpKind::Load, b);
+            }
+        }
+        Self::add_round_key(&mut state, &round_keys[0], rec.as_deref_mut());
+        for round in 1..10 {
+            self.sub_bytes(&mut state, rec.as_deref_mut());
+            Self::shift_rows(&mut state, rec.as_deref_mut());
+            Self::mix_columns(&mut state, rec.as_deref_mut());
+            Self::add_round_key(&mut state, &round_keys[round], rec.as_deref_mut());
+        }
+        self.sub_bytes(&mut state, rec.as_deref_mut());
+        Self::shift_rows(&mut state, rec.as_deref_mut());
+        Self::add_round_key(&mut state, &round_keys[10], rec.as_deref_mut());
+        if let Some(rec) = rec.as_deref_mut() {
+            for &b in state.iter() {
+                rec.byte(OpKind::Store, b);
+            }
+        }
+        state
+    }
+
+    fn decrypt_block(&self, key: &[u8; 16], ct: &[u8; 16]) -> [u8; 16] {
+        let round_keys = key_expansion(key, &self.tables);
+        let mut state = *ct;
+        Self::add_round_key(&mut state, &round_keys[10], None);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(&mut state);
+            self.inv_sub_bytes(&mut state);
+            Self::add_round_key(&mut state, &round_keys[round], None);
+            Self::inv_mix_columns(&mut state);
+        }
+        Self::inv_shift_rows(&mut state);
+        self.inv_sub_bytes(&mut state);
+        Self::add_round_key(&mut state, &round_keys[0], None);
+        state
+    }
+}
+
+impl Default for Aes128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn to_block(data: &[u8]) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    block.copy_from_slice(&data[..16]);
+    block
+}
+
+impl RecordingCipher for Aes128 {
+    fn id(&self) -> CipherId {
+        CipherId::Aes128
+    }
+
+    fn encrypt(&self, key: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        self.encrypt_block(&to_block(key), &to_block(plaintext), None).to_vec()
+    }
+
+    fn decrypt(&self, key: &[u8], ciphertext: &[u8]) -> Vec<u8> {
+        self.decrypt_block(&to_block(key), &to_block(ciphertext)).to_vec()
+    }
+
+    fn encrypt_recorded(&self, key: &[u8], plaintext: &[u8], trace: &mut ExecutionTrace) -> Vec<u8> {
+        self.encrypt_block(&to_block(key), &to_block(plaintext), Some(trace)).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testvectors;
+
+    #[test]
+    fn sbox_known_entries() {
+        // Spot-check a few well-known S-box entries from FIPS-197.
+        assert_eq!(sbox(0x00), 0x63);
+        assert_eq!(sbox(0x01), 0x7C);
+        assert_eq!(sbox(0x53), 0xED);
+        assert_eq!(sbox(0xFF), 0x16);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let t = AesTables::generate();
+        let mut seen = [false; 256];
+        for &s in t.sbox.iter() {
+            assert!(!seen[s as usize]);
+            seen[s as usize] = true;
+        }
+        for (x, &s) in t.sbox.iter().enumerate() {
+            assert_eq!(t.inv_sbox[s as usize], x as u8);
+        }
+    }
+
+    #[test]
+    fn gf_mul_properties() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xC1); // FIPS-197 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xFE); // FIPS-197 example
+        for a in [0u8, 1, 2, 0x53, 0xCA, 0xFF] {
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn gf_inverse_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "inverse failed for {a:#x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let aes = Aes128::new();
+        let v = testvectors::AES128_VECTORS[0];
+        let ct = aes.encrypt(&v.key, &v.plaintext);
+        assert_eq!(ct, v.ciphertext.to_vec());
+        let pt = aes.decrypt(&v.key, &ct);
+        assert_eq!(pt, v.plaintext.to_vec());
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let aes = Aes128::new();
+        let v = testvectors::AES128_VECTORS[1];
+        let ct = aes.encrypt(&v.key, &v.plaintext);
+        assert_eq!(ct, v.ciphertext.to_vec());
+    }
+
+    #[test]
+    fn key_expansion_first_round_key_is_key() {
+        let tables = AesTables::generate();
+        let key = [0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09,
+            0xCF, 0x4F, 0x3C];
+        let rks = key_expansion(&key, &tables);
+        assert_eq!(rks[0], key);
+        // FIPS-197 A.1: w[4] = a0fafe17 -> first 4 bytes of round key 1.
+        assert_eq!(&rks[1][..4], &[0xA0, 0xFA, 0xFE, 0x17]);
+        // Last round key from FIPS-197 A.1: d014f9a8 c9ee2589 e13f0cc8 b6630ca6
+        assert_eq!(
+            rks[10],
+            [0xD0, 0x14, 0xF9, 0xA8, 0xC9, 0xEE, 0x25, 0x89, 0xE1, 0x3F, 0x0C, 0xC8, 0xB6, 0x63,
+                0x0C, 0xA6]
+        );
+    }
+
+    #[test]
+    fn recorded_trace_has_expected_op_mix() {
+        let aes = Aes128::new();
+        let mut rec = ExecutionTrace::new();
+        aes.encrypt_recorded(&[0u8; 16], &[0u8; 16], &mut rec);
+        // 16 sbox lookups per round, 10 rounds.
+        assert_eq!(rec.count_kind(OpKind::TableLookup), 160);
+        // 16 xors per AddRoundKey, 11 round keys.
+        assert_eq!(rec.count_kind(OpKind::Xor), 176);
+        // MixColumns in 9 rounds, 16 outputs each.
+        assert_eq!(rec.count_kind(OpKind::GfMul), 144);
+        assert_eq!(rec.count_kind(OpKind::Load), 16);
+        assert_eq!(rec.count_kind(OpKind::Store), 16);
+    }
+
+    #[test]
+    fn different_plaintexts_give_different_ciphertexts() {
+        let aes = Aes128::new();
+        let key = [7u8; 16];
+        let c1 = aes.encrypt(&key, &[0u8; 16]);
+        let mut pt2 = [0u8; 16];
+        pt2[15] = 1;
+        let c2 = aes.encrypt(&key, &pt2);
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,297 @@
+//! Operation recording: the bridge between software cipher execution and the
+//! power simulator.
+//!
+//! Every cipher in this crate can run in *recording* mode, in which each
+//! elementary operation (S-box lookup, XOR, load/store, rotation, …) appends
+//! an [`Op`] to an [`ExecutionTrace`]. The power simulator in `soc-sim` then
+//! maps each operation to one (or more) clock cycles whose power consumption
+//! is `baseline(kind) + gain * HammingWeight(value) + noise`.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of every cipher evaluated in the paper (Table I order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CipherId {
+    /// Unprotected constant-time AES-128.
+    Aes128,
+    /// Boolean-masked Tiny-AES-128.
+    MaskedAes128,
+    /// Clefia-128 (structure-faithful model).
+    Clefia128,
+    /// Camellia-128 (structure-faithful model).
+    Camellia128,
+    /// Simon-128/128 (structure-faithful model).
+    Simon128,
+}
+
+impl CipherId {
+    /// All cipher identifiers in Table I order.
+    pub const ALL: [CipherId; 5] = [
+        CipherId::Aes128,
+        CipherId::MaskedAes128,
+        CipherId::Clefia128,
+        CipherId::Camellia128,
+        CipherId::Simon128,
+    ];
+
+    /// Short human-readable name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CipherId::Aes128 => "AES",
+            CipherId::MaskedAes128 => "AES mask",
+            CipherId::Clefia128 => "Clefia",
+            CipherId::Camellia128 => "Camellia",
+            CipherId::Simon128 => "Simon",
+        }
+    }
+}
+
+impl std::fmt::Display for CipherId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The class of a recorded micro-operation.
+///
+/// Each class has a distinct baseline power level in the simulator, which is
+/// what gives every cipher its recognisable power "shape"; the data-dependent
+/// component (the Hamming weight of [`Op::value`]) rides on top of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Memory load of an input/state byte or word.
+    Load,
+    /// Memory store of a state/output byte or word.
+    Store,
+    /// Table lookup (S-box or T-table access).
+    TableLookup,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise AND/OR.
+    Logic,
+    /// Addition / subtraction.
+    Arith,
+    /// Rotation or shift.
+    Shift,
+    /// Finite-field multiplication (xtime / GF(2^8) product).
+    GfMul,
+    /// Random-number generation (masking refresh).
+    Rng,
+    /// No-operation (used for the NOP preamble in training-trace collection).
+    Nop,
+    /// Other bookkeeping (loop counters, address computation).
+    Other,
+}
+
+impl OpKind {
+    /// All operation kinds (useful for exhaustive iteration in tests and in
+    /// the power-model configuration).
+    pub const ALL: [OpKind; 11] = [
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::TableLookup,
+        OpKind::Xor,
+        OpKind::Logic,
+        OpKind::Arith,
+        OpKind::Shift,
+        OpKind::GfMul,
+        OpKind::Rng,
+        OpKind::Nop,
+        OpKind::Other,
+    ];
+}
+
+/// A single recorded micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    /// Operation class.
+    pub kind: OpKind,
+    /// The data value produced/processed by the operation (zero-extended).
+    pub value: u32,
+    /// Number of significant bits of `value` (8 for byte ops, 32/64-capped for words).
+    pub bits: u8,
+}
+
+impl Op {
+    /// Creates a byte-wide operation.
+    pub fn byte(kind: OpKind, value: u8) -> Self {
+        Self { kind, value: value as u32, bits: 8 }
+    }
+
+    /// Creates a 32-bit operation.
+    pub fn word(kind: OpKind, value: u32) -> Self {
+        Self { kind, value, bits: 32 }
+    }
+
+    /// Hamming weight of the operation's data value.
+    pub fn hamming_weight(&self) -> u32 {
+        self.value.count_ones()
+    }
+}
+
+/// An ordered trace of recorded micro-operations for one cipher execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    ops: Vec<Op>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty execution trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty execution trace with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { ops: Vec::with_capacity(capacity) }
+    }
+
+    /// Records one operation.
+    #[inline]
+    pub fn record(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Records a byte-wide operation.
+    #[inline]
+    pub fn byte(&mut self, kind: OpKind, value: u8) {
+        self.record(Op::byte(kind, value));
+    }
+
+    /// Records a 32-bit operation.
+    #[inline]
+    pub fn word(&mut self, kind: OpKind, value: u32) {
+        self.record(Op::word(kind, value));
+    }
+
+    /// Records `count` NOP operations (used for the training-time NOP preamble).
+    pub fn nops(&mut self, count: usize) {
+        for _ in 0..count {
+            self.record(Op::byte(OpKind::Nop, 0));
+        }
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Consumes the trace and returns the operations.
+    pub fn into_ops(self) -> Vec<Op> {
+        self.ops
+    }
+
+    /// Appends all operations of `other`.
+    pub fn extend_from(&mut self, other: &ExecutionTrace) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+
+    /// Number of operations of the given kind.
+    pub fn count_kind(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|op| op.kind == kind).count()
+    }
+}
+
+impl FromIterator<Op> for ExecutionTrace {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Self { ops: iter.into_iter().collect() }
+    }
+}
+
+/// A block cipher that can record the micro-operations of its software
+/// execution for leakage simulation.
+///
+/// All ciphers in this crate operate on 16-byte blocks and 16-byte keys
+/// (the 128-bit variants evaluated by the paper).
+pub trait RecordingCipher: Send + Sync {
+    /// Identifier of the cipher.
+    fn id(&self) -> CipherId;
+
+    /// Human-readable cipher name.
+    fn name(&self) -> &'static str {
+        self.id().label()
+    }
+
+    /// Block length in bytes (16 for every cipher in the paper).
+    fn block_len(&self) -> usize {
+        16
+    }
+
+    /// Key length in bytes (16 for every cipher in the paper).
+    fn key_len(&self) -> usize {
+        16
+    }
+
+    /// Encrypts one block. `key` and `plaintext` must be [`Self::key_len`]
+    /// and [`Self::block_len`] bytes respectively.
+    fn encrypt(&self, key: &[u8], plaintext: &[u8]) -> Vec<u8>;
+
+    /// Decrypts one block.
+    fn decrypt(&self, key: &[u8], ciphertext: &[u8]) -> Vec<u8>;
+
+    /// Encrypts one block while recording every micro-operation into `trace`.
+    ///
+    /// The returned ciphertext must be identical to [`Self::encrypt`].
+    fn encrypt_recorded(
+        &self,
+        key: &[u8],
+        plaintext: &[u8],
+        trace: &mut ExecutionTrace,
+    ) -> Vec<u8>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_constructors() {
+        let b = Op::byte(OpKind::Xor, 0xF0);
+        assert_eq!(b.bits, 8);
+        assert_eq!(b.hamming_weight(), 4);
+        let w = Op::word(OpKind::Arith, 0xFFFF_0001);
+        assert_eq!(w.bits, 32);
+        assert_eq!(w.hamming_weight(), 17);
+    }
+
+    #[test]
+    fn trace_recording_and_counts() {
+        let mut t = ExecutionTrace::new();
+        t.byte(OpKind::Load, 1);
+        t.byte(OpKind::TableLookup, 2);
+        t.byte(OpKind::TableLookup, 3);
+        t.nops(5);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.count_kind(OpKind::TableLookup), 2);
+        assert_eq!(t.count_kind(OpKind::Nop), 5);
+        assert_eq!(t.count_kind(OpKind::Store), 0);
+    }
+
+    #[test]
+    fn trace_extend_and_collect() {
+        let a: ExecutionTrace = (0..4).map(|i| Op::byte(OpKind::Xor, i)).collect();
+        let mut b = ExecutionTrace::with_capacity(8);
+        b.extend_from(&a);
+        b.extend_from(&a);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.into_ops().len(), 8);
+    }
+
+    #[test]
+    fn cipher_id_labels_match_paper() {
+        assert_eq!(CipherId::Aes128.label(), "AES");
+        assert_eq!(CipherId::MaskedAes128.label(), "AES mask");
+        assert_eq!(CipherId::ALL.len(), 5);
+        assert_eq!(format!("{}", CipherId::Camellia128), "Camellia");
+    }
+}

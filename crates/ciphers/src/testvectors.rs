@@ -1,0 +1,64 @@
+//! Known-answer test vectors.
+//!
+//! Only AES-128 carries official vectors (FIPS-197 appendix B and appendix C.1):
+//! AES is the cipher whose intermediates must be bit-exact because the CPA
+//! attack of Table II targets its SubBytes output. The other ciphers in this
+//! crate are structure-faithful workload models (see the crate-level
+//! documentation) and are validated through round-trip, determinism, avalanche
+//! and operation-profile tests instead.
+
+/// A single-block known-answer vector.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockVector {
+    /// 16-byte key.
+    pub key: [u8; 16],
+    /// 16-byte plaintext.
+    pub plaintext: [u8; 16],
+    /// Expected 16-byte ciphertext.
+    pub ciphertext: [u8; 16],
+}
+
+/// FIPS-197 AES-128 vectors: appendix B, then appendix C.1.
+pub const AES128_VECTORS: [BlockVector; 2] = [
+    BlockVector {
+        key: [
+            0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+            0x4F, 0x3C,
+        ],
+        plaintext: [
+            0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37,
+            0x07, 0x34,
+        ],
+        ciphertext: [
+            0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97, 0x19, 0x6A,
+            0x0B, 0x32,
+        ],
+    },
+    BlockVector {
+        key: [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D,
+            0x0E, 0x0F,
+        ],
+        plaintext: [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD,
+            0xEE, 0xFF,
+        ],
+        ciphertext: [
+            0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+            0xC5, 0x5A,
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_well_formed() {
+        assert_eq!(AES128_VECTORS.len(), 2);
+        // The two vectors must be distinct.
+        assert_ne!(AES128_VECTORS[0].key, AES128_VECTORS[1].key);
+        assert_ne!(AES128_VECTORS[0].ciphertext, AES128_VECTORS[1].ciphertext);
+    }
+}

@@ -1,0 +1,99 @@
+//! Alignment: cut the input trace at the located CO starts and stack the
+//! resulting sub-traces so a standard side-channel attack (CPA) can consume
+//! them (final stage of the inference pipeline in Figure 1).
+
+use sca_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Cuts and aligns located COs out of a long trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Aligner {
+    /// Number of samples to keep from each located start.
+    pub co_len: usize,
+    /// Samples to back off before each located start (absorbs the coarse,
+    /// stride-quantised localisation; the paper compensates the same effect
+    /// with a small aggregation over time in the CPA).
+    pub pre_margin: usize,
+}
+
+impl Aligner {
+    /// Creates an aligner keeping `co_len` samples per CO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `co_len` is zero.
+    pub fn new(co_len: usize) -> Self {
+        assert!(co_len > 0, "aligned CO length must be non-zero");
+        Self { co_len, pre_margin: 0 }
+    }
+
+    /// Sets the pre-start margin.
+    pub fn with_pre_margin(mut self, pre_margin: usize) -> Self {
+        self.pre_margin = pre_margin;
+        self
+    }
+
+    /// Cuts one aligned sub-trace per start sample. Starts too close to the
+    /// end of the trace to yield `co_len` samples are dropped (their index is
+    /// reported in the second return value).
+    pub fn align(&self, trace: &Trace, co_starts: &[usize]) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut aligned = Vec::with_capacity(co_starts.len());
+        let mut dropped = Vec::new();
+        for (i, &start) in co_starts.iter().enumerate() {
+            let begin = start.saturating_sub(self.pre_margin);
+            if begin + self.co_len <= trace.len() {
+                aligned.push(trace.samples()[begin..begin + self.co_len].to_vec());
+            } else {
+                dropped.push(i);
+            }
+        }
+        (aligned, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuts_fixed_length_segments() {
+        let trace = Trace::from_samples((0..100).map(|x| x as f32).collect());
+        let aligner = Aligner::new(10);
+        let (aligned, dropped) = aligner.align(&trace, &[0, 25, 50]);
+        assert_eq!(aligned.len(), 3);
+        assert!(dropped.is_empty());
+        assert_eq!(aligned[1][0], 25.0);
+        assert_eq!(aligned[1].len(), 10);
+    }
+
+    #[test]
+    fn drops_truncated_segments() {
+        let trace = Trace::from_samples(vec![0.0; 30]);
+        let aligner = Aligner::new(20);
+        let (aligned, dropped) = aligner.align(&trace, &[5, 15, 25]);
+        assert_eq!(aligned.len(), 1);
+        assert_eq!(dropped, vec![1, 2]);
+    }
+
+    #[test]
+    fn pre_margin_shifts_window_back() {
+        let trace = Trace::from_samples((0..50).map(|x| x as f32).collect());
+        let aligner = Aligner::new(8).with_pre_margin(3);
+        let (aligned, _) = aligner.align(&trace, &[10]);
+        assert_eq!(aligned[0][0], 7.0);
+    }
+
+    #[test]
+    fn pre_margin_saturates_at_zero() {
+        let trace = Trace::from_samples((0..20).map(|x| x as f32).collect());
+        let aligner = Aligner::new(4).with_pre_margin(10);
+        let (aligned, _) = aligner.align(&trace, &[2]);
+        assert_eq!(aligned[0][0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned CO length must be non-zero")]
+    fn zero_length_panics() {
+        Aligner::new(0);
+    }
+}

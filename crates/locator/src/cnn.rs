@@ -1,0 +1,269 @@
+//! The 1-D ResNet-style CNN binary classifier (Section III-B, Figure 2).
+//!
+//! Architecture (exactly the block sequence of Figure 2):
+//!
+//! ```text
+//! input [B, 1, N]
+//!   └─ Conv1d(1 → f, k) ─ BatchNorm ─ ReLU          (convolutional block)
+//!   └─ ResidualBlock(f → f, k)                       (residual block 1)
+//!   └─ ResidualBlock(f → 2f, k)                      (residual block 2)
+//!   └─ GlobalAvgPool  [B, 2f]
+//!   └─ Linear(2f → 2f) ─ ReLU                        (fully connected block)
+//!   └─ Linear(2f → 2)                                (class scores / logits)
+//! ```
+//!
+//! The paper uses `f = 16` filters and kernel size 64; the scaled
+//! configuration uses `f = 8`, kernel 9 (see [`CnnConfig::scaled`]).
+//! The softmax is folded into the cross-entropy loss during training; at
+//! inference the *linear* class-1 score (pre-softmax) is used as the sliding
+//! window classification signal, as prescribed in Section III-C.
+
+use serde::{Deserialize, Serialize};
+use tinynn::{
+    BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, Param, Relu, ResidualBlock1d, Tensor,
+};
+
+/// Hyper-parameters of the CNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Number of filters of the first convolutional block and the first
+    /// residual block (the second residual block doubles it).
+    pub base_filters: usize,
+    /// Kernel size of every convolution.
+    pub kernel_size: usize,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl CnnConfig {
+    /// The paper's configuration: 16 filters, kernel size 64.
+    pub fn paper() -> Self {
+        Self { base_filters: 16, kernel_size: 64, seed: 1 }
+    }
+
+    /// CPU-scaled configuration: 8 filters, kernel size 9.
+    pub fn scaled() -> Self {
+        Self { base_filters: 8, kernel_size: 9, seed: 1 }
+    }
+
+    /// Returns a copy with a different initialisation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        Self::scaled()
+    }
+}
+
+/// The CO-locator CNN of Figure 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoLocatorCnn {
+    config: CnnConfig,
+    conv: Conv1d,
+    bn: BatchNorm1d,
+    relu: Relu,
+    res1: ResidualBlock1d,
+    res2: ResidualBlock1d,
+    pool: GlobalAvgPool1d,
+    fc1: Linear,
+    fc_relu: Relu,
+    fc2: Linear,
+}
+
+impl CoLocatorCnn {
+    /// Builds the network from a configuration.
+    pub fn new(config: CnnConfig) -> Self {
+        let f = config.base_filters;
+        let k = config.kernel_size;
+        let s = config.seed;
+        Self {
+            config,
+            conv: Conv1d::new(1, f, k, s),
+            bn: BatchNorm1d::new(f),
+            relu: Relu::new(),
+            res1: ResidualBlock1d::new(f, f, k, s.wrapping_add(10)),
+            res2: ResidualBlock1d::new(f, 2 * f, k, s.wrapping_add(20)),
+            pool: GlobalAvgPool1d::new(),
+            fc1: Linear::new(2 * f, 2 * f, s.wrapping_add(30)),
+            fc_relu: Relu::new(),
+            fc2: Linear::new(2 * f, 2, s.wrapping_add(40)),
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Forward pass: windows `[B, 1, N]` → class logits `[B, 2]`.
+    pub fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let x = self.conv.forward(input, training);
+        let x = self.bn.forward(&x, training);
+        let x = self.relu.forward(&x, training);
+        let x = self.res1.forward(&x, training);
+        let x = self.res2.forward(&x, training);
+        let x = self.pool.forward(&x, training);
+        let x = self.fc1.forward(&x, training);
+        let x = self.fc_relu.forward(&x, training);
+        self.fc2.forward(&x, training)
+    }
+
+    /// Backward pass for a batch previously run through [`Self::forward`].
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let g = self.fc2.backward(grad_logits);
+        let g = self.fc_relu.backward(&g);
+        let g = self.fc1.backward(&g);
+        let g = self.pool.backward(&g);
+        let g = self.res2.backward(&g);
+        let g = self.res1.backward(&g);
+        let g = self.relu.backward(&g);
+        let g = self.bn.backward(&g);
+        self.conv.backward(&g)
+    }
+
+    /// Mutable access to every trainable parameter.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = Vec::new();
+        params.extend(self.conv.params_mut());
+        params.extend(self.bn.params_mut());
+        params.extend(self.res1.params_mut());
+        params.extend(self.res2.params_mut());
+        params.extend(self.fc1.params_mut());
+        params.extend(self.fc2.params_mut());
+        params
+    }
+
+    /// Zeroes every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Classifies a batch of windows, returning the predicted class index per
+    /// window (0 = not start, 1 = cipher start).
+    pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
+        self.forward(input, false).argmax_rows()
+    }
+
+    /// Scores a batch of windows with the *linear* (pre-softmax) class-1
+    /// output, the signal used by the sliding-window classification stage
+    /// (Section III-C).
+    pub fn class1_scores(&mut self, input: &Tensor) -> Vec<f32> {
+        let logits = self.forward(input, false);
+        (0..logits.shape()[0]).map(|b| logits.at2(b, 1) - logits.at2(b, 0)).collect()
+    }
+
+    /// Builds the `[B, 1, N]` input tensor from raw windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is empty or the windows have different lengths.
+    pub fn stack_windows(windows: &[Vec<f32>]) -> Tensor {
+        assert!(!windows.is_empty(), "cannot stack zero windows");
+        let n = windows[0].len();
+        assert!(windows.iter().all(|w| w.len() == n), "windows must share one length");
+        let flat: Vec<f32> = windows.iter().flatten().copied().collect();
+        Tensor::from_vec(flat, &[windows.len(), 1, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CnnConfig {
+        CnnConfig { base_filters: 2, kernel_size: 3, seed: 7 }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let x = CoLocatorCnn::stack_windows(&[vec![0.1; 32], vec![-0.2; 32], vec![0.0; 32]]);
+        let logits = cnn.forward(&x, true);
+        assert_eq!(logits.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn global_average_pooling_supports_different_window_lengths() {
+        // The same network must accept N_train- and N_inf-sized windows
+        // (Section III-B / IV-B).
+        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let train = CoLocatorCnn::stack_windows(&[vec![0.5; 40]]);
+        let infer = CoLocatorCnn::stack_windows(&[vec![0.5; 24]]);
+        assert_eq!(cnn.forward(&train, false).shape(), &[1, 2]);
+        assert_eq!(cnn.forward(&infer, false).shape(), &[1, 2]);
+    }
+
+    #[test]
+    fn param_count_grows_with_filters() {
+        let mut small = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 1 });
+        let mut big = CoLocatorCnn::new(CnnConfig { base_filters: 4, kernel_size: 3, seed: 1 });
+        assert!(big.param_count() > small.param_count());
+    }
+
+    #[test]
+    fn paper_config_matches_figure2() {
+        let c = CnnConfig::paper();
+        assert_eq!(c.base_filters, 16);
+        assert_eq!(c.kernel_size, 64);
+    }
+
+    #[test]
+    fn backward_produces_input_gradient() {
+        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let x = CoLocatorCnn::stack_windows(&[vec![0.3; 16], vec![-0.3; 16]]);
+        let logits = cnn.forward(&x, true);
+        cnn.zero_grad();
+        let grad = cnn.backward(&Tensor::from_vec(vec![1.0, -1.0, 0.5, -0.5], logits.shape()));
+        assert_eq!(grad.shape(), x.shape());
+        // Some parameter gradient must be non-zero.
+        let any_nonzero = cnn.params_mut().iter().any(|p| p.grad.max_abs() > 0.0);
+        assert!(any_nonzero);
+    }
+
+    #[test]
+    fn class1_scores_orders_like_softmax_probability() {
+        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let x = CoLocatorCnn::stack_windows(&[vec![0.9; 20], vec![-0.9; 20]]);
+        let scores = cnn.class1_scores(&x);
+        let logits = cnn.forward(&x, false);
+        // The window with the larger class-1 margin also has the larger softmax probability.
+        let p = |b: usize| {
+            let row = logits.row(b);
+            let m = row[1].max(row[0]);
+            let e0 = (row[0] - m).exp();
+            let e1 = (row[1] - m).exp();
+            e1 / (e0 + e1)
+        };
+        if scores[0] > scores[1] {
+            assert!(p(0) >= p(1));
+        } else {
+            assert!(p(1) >= p(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot stack zero windows")]
+    fn stacking_no_windows_panics() {
+        CoLocatorCnn::stack_windows(&[]);
+    }
+
+    #[test]
+    fn predictions_are_binary() {
+        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let x = CoLocatorCnn::stack_windows(&vec![vec![0.0; 16]; 5]);
+        let preds = cnn.predict(&x);
+        assert_eq!(preds.len(), 5);
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+}

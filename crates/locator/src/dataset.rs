@@ -1,0 +1,218 @@
+//! Dataset Creation (Section III-A of the paper).
+//!
+//! The attacker collects, on a clone device with the countermeasure active:
+//!
+//! * a set of *cipher traces*, each containing a single CO preceded by a NOP
+//!   preamble (the stand-in for the missing trigger pin), and
+//! * a *noise trace* produced by running other applications.
+//!
+//! From those, the builder produces a labelled window dataset: for every
+//! cipher trace the `N`-sample window starting at the CO beginning is labelled
+//! `c1` (`CipherStart`); the remaining part of the cipher trace is cut into
+//! consecutive `N`-sample windows labelled `c0` (`NotStart`); and random
+//! `N`-sample windows extracted from the noise trace are labelled `c0` too.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sca_trace::{Dataset, Trace, Window, WindowLabel};
+
+/// Builds the CNN training dataset from cipher traces and a noise trace.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    window_len: usize,
+    max_cipher_start: usize,
+    max_cipher_rest: usize,
+    max_noise: usize,
+    standardize: bool,
+    seed: u64,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder producing `window_len`-sample windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn new(window_len: usize) -> Self {
+        assert!(window_len > 0, "window length must be non-zero");
+        Self {
+            window_len,
+            max_cipher_start: usize::MAX,
+            max_cipher_rest: usize::MAX,
+            max_noise: usize::MAX,
+            standardize: true,
+            seed: 0xDA7A,
+        }
+    }
+
+    /// Caps the number of windows per category (cipher start / cipher rest /
+    /// noise), mirroring the "Dataset Size" columns of Table I.
+    pub fn with_limits(mut self, cipher_start: usize, cipher_rest: usize, noise: usize) -> Self {
+        self.max_cipher_start = cipher_start;
+        self.max_cipher_rest = cipher_rest;
+        self.max_noise = noise;
+        self
+    }
+
+    /// Enables/disables per-window standardisation (zero mean, unit variance).
+    pub fn with_standardize(mut self, standardize: bool) -> Self {
+        self.standardize = standardize;
+        self
+    }
+
+    /// Sets the RNG seed used to draw noise windows.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Window length `N` of the produced windows.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    fn make_window(&self, samples: &[f32], label: WindowLabel, origin: usize) -> Window {
+        let mut v = samples.to_vec();
+        if self.standardize {
+            sca_trace::dsp::standardize_in_place(&mut v);
+        }
+        Window::new(v, label, origin)
+    }
+
+    /// Builds the dataset.
+    ///
+    /// Every cipher trace must carry its CO start marker in
+    /// `trace.meta().co_starts[0]` (the simulator and the NOP-preamble
+    /// acquisition procedure both guarantee this). Traces too short to yield a
+    /// full window are skipped.
+    pub fn build(&self, cipher_traces: &[Trace], noise_trace: &Trace) -> Dataset {
+        let mut dataset = Dataset::new();
+        let n = self.window_len;
+        let mut n_start = 0usize;
+        let mut n_rest = 0usize;
+
+        for trace in cipher_traces {
+            let co_start = trace.meta().co_starts.first().copied().unwrap_or(0);
+            // c1: the window that begins exactly at the CO start.
+            if n_start < self.max_cipher_start {
+                if let Ok(samples) = trace.slice(co_start, n) {
+                    dataset.push(self.make_window(samples, WindowLabel::CipherStart, co_start));
+                    n_start += 1;
+                }
+            }
+            // c0: the rest of the cipher trace, in consecutive windows.
+            let mut pos = co_start + n;
+            while n_rest < self.max_cipher_rest {
+                match trace.slice(pos, n) {
+                    Ok(samples) => {
+                        dataset.push(self.make_window(samples, WindowLabel::NotStart, pos));
+                        n_rest += 1;
+                        pos += n;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // c0: random windows from the noise trace.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        if noise_trace.len() >= n {
+            let max_origin = noise_trace.len() - n;
+            let count = self.max_noise.min(if self.max_noise == usize::MAX {
+                // Default: as many noise windows as cipher-start windows.
+                n_start.max(1)
+            } else {
+                self.max_noise
+            });
+            for _ in 0..count {
+                let origin = if max_origin == 0 { 0 } else { rng.gen_range(0..=max_origin) };
+                let samples = noise_trace
+                    .slice(origin, n)
+                    .expect("origin chosen within bounds");
+                dataset.push(self.make_window(samples, WindowLabel::NotStart, origin));
+            }
+        }
+        dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_trace::TraceMeta;
+
+    fn cipher_trace(len: usize, co_start: usize) -> Trace {
+        let mut meta = TraceMeta::default();
+        meta.co_starts = vec![co_start];
+        meta.co_ends = vec![len];
+        Trace::with_meta((0..len).map(|x| x as f32).collect(), meta)
+    }
+
+    #[test]
+    fn labels_follow_paper_convention() {
+        let traces = vec![cipher_trace(100, 20), cipher_trace(100, 10)];
+        let noise = Trace::from_samples(vec![0.5; 200]);
+        let ds = DatasetBuilder::new(16).with_limits(10, 10, 4).with_standardize(false).build(&traces, &noise);
+        assert_eq!(ds.count_label(WindowLabel::CipherStart), 2);
+        // Each 100-sample trace with co_start 20/10 yields 4/4 and 4/5 rest windows
+        // capped at 10 total, plus 4 noise windows.
+        assert!(ds.count_label(WindowLabel::NotStart) >= 8);
+        // Cipher-start windows begin exactly at the CO start.
+        let starts: Vec<usize> = ds
+            .iter()
+            .filter(|w| w.label() == WindowLabel::CipherStart)
+            .map(|w| w.origin())
+            .collect();
+        assert_eq!(starts, vec![20, 10]);
+    }
+
+    #[test]
+    fn window_contents_match_trace() {
+        let traces = vec![cipher_trace(64, 8)];
+        let noise = Trace::from_samples(vec![0.0; 64]);
+        let ds = DatasetBuilder::new(8).with_standardize(false).build(&traces, &noise);
+        let start_window = ds
+            .iter()
+            .find(|w| w.label() == WindowLabel::CipherStart)
+            .expect("cipher start window present");
+        assert_eq!(start_window.samples(), &[8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn limits_are_respected() {
+        let traces: Vec<Trace> = (0..20).map(|_| cipher_trace(200, 10)).collect();
+        let noise = Trace::from_samples(vec![0.1; 500]);
+        let ds = DatasetBuilder::new(10).with_limits(5, 7, 3).build(&traces, &noise);
+        assert_eq!(ds.count_label(WindowLabel::CipherStart), 5);
+        assert_eq!(ds.count_label(WindowLabel::NotStart), 7 + 3);
+    }
+
+    #[test]
+    fn short_traces_are_skipped() {
+        let traces = vec![cipher_trace(4, 0)];
+        let noise = Trace::from_samples(vec![0.0; 4]);
+        let ds = DatasetBuilder::new(16).build(&traces, &noise);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn standardized_windows_have_zero_mean() {
+        let traces = vec![cipher_trace(64, 0)];
+        let noise = Trace::from_samples((0..64).map(|x| x as f32).collect());
+        let ds = DatasetBuilder::new(16).build(&traces, &noise);
+        for w in ds.iter() {
+            let mean: f32 = w.samples().iter().sum::<f32>() / w.len() as f32;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn noise_windows_default_to_cipher_start_count() {
+        let traces: Vec<Trace> = (0..6).map(|_| cipher_trace(40, 4)).collect();
+        let noise = Trace::from_samples(vec![0.3; 300]);
+        let ds = DatasetBuilder::new(8).with_limits(usize::MAX, 0, usize::MAX).build(&traces, &noise);
+        // 6 cipher-start windows and (by default) 6 noise windows.
+        assert_eq!(ds.count_label(WindowLabel::CipherStart), 6);
+        assert_eq!(ds.count_label(WindowLabel::NotStart), 6);
+    }
+}

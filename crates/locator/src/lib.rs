@@ -1,0 +1,49 @@
+//! # sca-locator
+//!
+//! The core contribution of the reproduced paper: a deep-learning pipeline
+//! that locates the beginning of cryptographic operations (COs) in a
+//! side-channel trace, even when the target platform deploys a random-delay
+//! desynchronisation countermeasure.
+//!
+//! The crate mirrors the structure of the paper's Section III:
+//!
+//! * [`dataset`] — *Dataset Creation* (III-A): cut cipher traces and a noise
+//!   trace into `N`-sample windows labelled `c1` (beginning of CO) / `c0`
+//!   (not beginning).
+//! * [`cnn`] — the 1-D ResNet-style CNN binary classifier (III-B, Figure 2).
+//! * [`training`] — the training pipeline: Adam, cross-entropy, 80/15/5
+//!   train/validation/test split, best-epoch selection (IV-B).
+//! * [`sliding`] — *Sliding Window Classification* (III-C): slide an
+//!   `N_inf`-sample window with stride `s` over an unknown trace and score
+//!   every window with the trained CNN (linear class-1 output).
+//! * [`segmentation`] — *Segmentation* (III-D): threshold → ±1 square wave →
+//!   median filter → rising edges → CO start samples.
+//! * [`alignment`] — cut and align the located COs for the downstream attack.
+//! * [`evaluation`] — hit-rate scoring against ground truth (IV-B).
+//! * [`pipeline`] — [`pipeline::CoLocator`], the end-to-end inference object,
+//!   and [`pipeline::LocatorBuilder`] to assemble it.
+//! * [`profiles`] — per-cipher pipeline parameters: the paper's Table I
+//!   values and the CPU-scaled equivalents used by this reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod cnn;
+pub mod dataset;
+pub mod evaluation;
+pub mod pipeline;
+pub mod profiles;
+pub mod segmentation;
+pub mod sliding;
+pub mod training;
+
+pub use alignment::Aligner;
+pub use cnn::{CnnConfig, CoLocatorCnn};
+pub use dataset::DatasetBuilder;
+pub use evaluation::{hit_rate, HitReport};
+pub use pipeline::{CoLocator, LocatorBuilder};
+pub use profiles::{CipherProfile, ProfileKind};
+pub use segmentation::{SegmentationConfig, Segmenter, ThresholdStrategy};
+pub use sliding::SlidingWindowClassifier;
+pub use training::{Trainer, TrainingConfig, TrainingReport};

@@ -1,0 +1,220 @@
+//! Segmentation (Section III-D of the paper).
+//!
+//! The sliding-window classification signal `swc` is refined into CO start
+//! samples in four steps:
+//!
+//! 1. compare every score with a threshold, producing a ±1 square wave (`Th`);
+//! 2. apply a median filter of size `k` to remove isolated misclassifications
+//!    (`MF`);
+//! 3. detect the rising edges of the filtered square wave;
+//! 4. multiply each edge index by the stride `s` to obtain trace samples.
+
+use sca_trace::dsp;
+use serde::{Deserialize, Serialize};
+
+/// How the threshold of the `Th` stage is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdStrategy {
+    /// A fixed absolute threshold on the CNN score.
+    Fixed(f32),
+    /// Midpoint between the minimum and maximum observed scores (robust
+    /// default: the class-1 scores at CO beginnings are well separated from
+    /// the rest).
+    MidRange,
+    /// Mean of the scores plus `factor` standard deviations.
+    MeanPlusStd(f32),
+}
+
+/// Segmentation-stage parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentationConfig {
+    /// Threshold selection strategy.
+    pub threshold: ThresholdStrategy,
+    /// Median-filter window size `k` (odd).
+    pub median_filter_k: usize,
+    /// Minimum distance, in windows, between two reported CO starts
+    /// (suppresses duplicate edges caused by residual score ripple).
+    pub min_distance_windows: usize,
+}
+
+impl Default for SegmentationConfig {
+    fn default() -> Self {
+        Self { threshold: ThresholdStrategy::MidRange, median_filter_k: 5, min_distance_windows: 4 }
+    }
+}
+
+/// The segmentation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segmenter {
+    config: SegmentationConfig,
+}
+
+impl Segmenter {
+    /// Creates a segmenter.
+    pub fn new(config: SegmentationConfig) -> Self {
+        Self { config }
+    }
+
+    /// The segmentation configuration.
+    pub fn config(&self) -> &SegmentationConfig {
+        &self.config
+    }
+
+    /// Resolves the threshold value for a given score signal.
+    pub fn resolve_threshold(&self, swc: &[f32]) -> f32 {
+        match self.config.threshold {
+            ThresholdStrategy::Fixed(t) => t,
+            ThresholdStrategy::MidRange => {
+                if swc.is_empty() {
+                    return 0.0;
+                }
+                let min = swc.iter().copied().fold(f32::INFINITY, f32::min);
+                let max = swc.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                (min + max) / 2.0
+            }
+            ThresholdStrategy::MeanPlusStd(factor) => {
+                sca_trace::stats::mean(swc) + factor * sca_trace::stats::std(swc)
+            }
+        }
+    }
+
+    /// Intermediate signals of a segmentation run (useful for inspection and
+    /// for the qualitative Figure 1 example).
+    pub fn segment_detailed(&self, swc: &[f32], stride: usize) -> SegmentationOutput {
+        let threshold = self.resolve_threshold(swc);
+        let square = dsp::threshold_square_wave(swc, threshold);
+        let filtered = dsp::median_filter(&square, self.config.median_filter_k)
+            .expect("median filter size validated by configuration");
+        let mut edges = dsp::rising_edges(&filtered);
+        // A CO starting at the very first window has no preceding -1 sample;
+        // treat a positive start of the wave as an edge at index 0.
+        if filtered.first().copied().unwrap_or(-1.0) > 0.0 {
+            edges.insert(0, 0);
+        }
+        // Enforce the minimum distance between starts.
+        let mut deduped: Vec<usize> = Vec::with_capacity(edges.len());
+        for e in edges {
+            if deduped
+                .last()
+                .map_or(true, |&last| e - last >= self.config.min_distance_windows.max(1))
+            {
+                deduped.push(e);
+            }
+        }
+        let co_starts = deduped.iter().map(|&e| e * stride).collect();
+        SegmentationOutput { threshold, square_wave: square, filtered_wave: filtered, co_starts }
+    }
+
+    /// Runs the segmentation and returns the CO start samples.
+    pub fn segment(&self, swc: &[f32], stride: usize) -> Vec<usize> {
+        self.segment_detailed(swc, stride).co_starts
+    }
+}
+
+impl Default for Segmenter {
+    fn default() -> Self {
+        Self::new(SegmentationConfig::default())
+    }
+}
+
+/// All intermediate signals of one segmentation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentationOutput {
+    /// The resolved threshold value.
+    pub threshold: f32,
+    /// The ±1 square wave after thresholding.
+    pub square_wave: Vec<f32>,
+    /// The square wave after median filtering.
+    pub filtered_wave: Vec<f32>,
+    /// The located CO start samples (edge index × stride).
+    pub co_starts: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a synthetic swc signal with positive bumps at the given window
+    /// indices (width `bump_width`), negative elsewhere.
+    fn synthetic_swc(len: usize, bumps: &[usize], bump_width: usize) -> Vec<f32> {
+        let mut swc = vec![-2.0f32; len];
+        for &b in bumps {
+            for i in b..(b + bump_width).min(len) {
+                swc[i] = 3.0;
+            }
+        }
+        swc
+    }
+
+    #[test]
+    fn locates_synthetic_bumps() {
+        let swc = synthetic_swc(100, &[10, 40, 75], 6);
+        let seg = Segmenter::default();
+        let starts = seg.segment(&swc, 50);
+        assert_eq!(starts, vec![10 * 50, 40 * 50, 75 * 50]);
+    }
+
+    #[test]
+    fn median_filter_removes_single_window_glitches() {
+        let mut swc = synthetic_swc(80, &[20, 60], 6);
+        // Isolated false positive and a false negative inside the bump.
+        swc[5] = 3.0;
+        swc[23] = -2.0;
+        let seg = Segmenter::new(SegmentationConfig {
+            median_filter_k: 5,
+            ..SegmentationConfig::default()
+        });
+        let starts = seg.segment(&swc, 10);
+        assert_eq!(starts, vec![200, 600]);
+    }
+
+    #[test]
+    fn bump_at_origin_is_detected() {
+        let swc = synthetic_swc(50, &[0, 30], 6);
+        let starts = Segmenter::default().segment(&swc, 4);
+        assert_eq!(starts, vec![0, 120]);
+    }
+
+    #[test]
+    fn fixed_and_meanstd_thresholds() {
+        let swc = synthetic_swc(60, &[30], 8);
+        let fixed = Segmenter::new(SegmentationConfig {
+            threshold: ThresholdStrategy::Fixed(0.0),
+            ..SegmentationConfig::default()
+        });
+        assert_eq!(fixed.segment(&swc, 1), vec![30]);
+        let meanstd = Segmenter::new(SegmentationConfig {
+            threshold: ThresholdStrategy::MeanPlusStd(1.0),
+            ..SegmentationConfig::default()
+        });
+        assert_eq!(meanstd.segment(&swc, 1), vec![30]);
+    }
+
+    #[test]
+    fn min_distance_suppresses_duplicates() {
+        // Two bumps only 3 windows apart collapse into one start.
+        let swc = synthetic_swc(40, &[10, 13], 2);
+        let seg = Segmenter::new(SegmentationConfig {
+            median_filter_k: 1,
+            min_distance_windows: 6,
+            ..SegmentationConfig::default()
+        });
+        let starts = seg.segment(&swc, 1);
+        assert_eq!(starts, vec![10]);
+    }
+
+    #[test]
+    fn empty_signal_yields_no_starts() {
+        assert!(Segmenter::default().segment(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn detailed_output_is_consistent() {
+        let swc = synthetic_swc(50, &[25], 5);
+        let out = Segmenter::default().segment_detailed(&swc, 7);
+        assert_eq!(out.square_wave.len(), 50);
+        assert_eq!(out.filtered_wave.len(), 50);
+        assert_eq!(out.co_starts, vec![25 * 7]);
+        assert!(out.threshold > -2.0 && out.threshold < 3.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Sliding Window Classification (Section III-C of the paper).
+//!
+//! The inference trace is sliced into `N_inf`-sample windows with stride `s`;
+//! every window is scored by the trained CNN with its linear class-1 output.
+//! The resulting score signal (`swc`) exhibits a recurrent pattern at the CO
+//! beginnings that the segmentation stage turns into start samples.
+
+use sca_trace::{Trace, WindowSlicer};
+use serde::{Deserialize, Serialize};
+
+use crate::cnn::CoLocatorCnn;
+
+/// The sliding-window classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlidingWindowClassifier {
+    window_len: usize,
+    stride: usize,
+    batch_size: usize,
+    standardize: bool,
+}
+
+impl SlidingWindowClassifier {
+    /// Creates a classifier slicing `window_len`-sample windows with `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` or `stride` is zero.
+    pub fn new(window_len: usize, stride: usize) -> Self {
+        assert!(window_len > 0, "window length must be non-zero");
+        assert!(stride > 0, "stride must be non-zero");
+        Self { window_len, stride, batch_size: 64, standardize: true }
+    }
+
+    /// Sets the inference batch size (larger batches amortise per-call cost).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Enables/disables per-window standardisation (must match the dataset
+    /// builder setting used during training).
+    pub fn with_standardize(mut self, standardize: bool) -> Self {
+        self.standardize = standardize;
+        self
+    }
+
+    /// Inference window length `N_inf`.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Stride `s` between consecutive windows.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of score samples produced for a trace of `trace_len` samples.
+    pub fn output_len(&self, trace_len: usize) -> usize {
+        WindowSlicer::new(self.window_len, self.stride)
+            .expect("parameters validated at construction")
+            .window_count(trace_len)
+    }
+
+    /// Runs the sliding-window classification, returning the `swc` score
+    /// signal (one score per window, in window order).
+    pub fn classify(&self, cnn: &mut CoLocatorCnn, trace: &Trace) -> Vec<f32> {
+        let slicer = WindowSlicer::new(self.window_len, self.stride)
+            .expect("parameters validated at construction");
+        let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
+        let mut scores = Vec::with_capacity(starts.len());
+        for chunk in starts.chunks(self.batch_size) {
+            let windows: Vec<Vec<f32>> = chunk
+                .iter()
+                .map(|&s| {
+                    let mut w = trace.samples()[s..s + self.window_len].to_vec();
+                    if self.standardize {
+                        sca_trace::dsp::standardize_in_place(&mut w);
+                    }
+                    w
+                })
+                .collect();
+            let input = CoLocatorCnn::stack_windows(&windows);
+            scores.extend(cnn.class1_scores(&input));
+        }
+        scores
+    }
+
+    /// Maps an index in the `swc` signal back to a trace sample index
+    /// (multiplication by the stride, as in Section III-D).
+    pub fn score_index_to_sample(&self, index: usize) -> usize {
+        index * self.stride
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn::CnnConfig;
+
+    fn tiny_cnn() -> CoLocatorCnn {
+        CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 3 })
+    }
+
+    #[test]
+    fn output_length_matches_window_count() {
+        let swc = SlidingWindowClassifier::new(16, 4);
+        assert_eq!(swc.output_len(64), (64 - 16) / 4 + 1);
+        assert_eq!(swc.output_len(10), 0);
+        let mut cnn = tiny_cnn();
+        let trace = Trace::from_samples(vec![0.1; 64]);
+        let scores = swc.classify(&mut cnn, &trace);
+        assert_eq!(scores.len(), swc.output_len(64));
+    }
+
+    #[test]
+    fn score_index_mapping() {
+        let swc = SlidingWindowClassifier::new(32, 8);
+        assert_eq!(swc.score_index_to_sample(0), 0);
+        assert_eq!(swc.score_index_to_sample(5), 40);
+    }
+
+    #[test]
+    fn batching_does_not_change_scores() {
+        let mut cnn_a = tiny_cnn();
+        let mut cnn_b = tiny_cnn();
+        let trace = Trace::from_samples((0..200).map(|x| (x as f32 * 0.1).sin()).collect());
+        let small = SlidingWindowClassifier::new(16, 8).with_batch_size(2);
+        let big = SlidingWindowClassifier::new(16, 8).with_batch_size(64);
+        let a = small.classify(&mut cnn_a, &trace);
+        let b = big.classify(&mut cnn_b, &trace);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be non-zero")]
+    fn zero_stride_panics() {
+        SlidingWindowClassifier::new(8, 0);
+    }
+
+    #[test]
+    fn short_trace_yields_no_scores() {
+        let swc = SlidingWindowClassifier::new(128, 16);
+        let mut cnn = tiny_cnn();
+        let scores = swc.classify(&mut cnn, &Trace::from_samples(vec![0.0; 50]));
+        assert!(scores.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! # soc-sim
+//!
+//! Instruction-level power-trace simulator standing in for the paper's
+//! measurement platform (a NewAE CW305 FPGA hosting a 32-bit RISC-V SoC at
+//! 50 MHz, probed by a Picoscope 5244d at 125 Ms/s, 12-bit).
+//!
+//! The simulation chain is:
+//!
+//! 1. a cipher from [`sca_ciphers`] (or a [`noise_apps`] workload) runs in
+//!    *recording* mode, producing a stream of micro-operations;
+//! 2. the [`random_delay::RandomDelay`] countermeasure inserts 0..=R dummy
+//!    instructions between every pair of recorded operations, driven by a
+//!    simulated [`trng::Trng`] (R = 2 for RD-2, R = 4 for RD-4, 0 = disabled);
+//! 3. the [`power::PowerModel`] converts each operation into one or more clock
+//!    cycles of instantaneous power: an operation-class baseline plus a
+//!    Hamming-weight-proportional data-dependent component;
+//! 4. the [`oscilloscope::Oscilloscope`] resamples cycles to ADC samples
+//!    (2.5 samples per cycle by default, the 125 MHz / 50 MHz ratio of the
+//!    paper), applies an analog low-pass, adds Gaussian noise and quantises to
+//!    12 bits;
+//! 5. the [`simulator::SocSimulator`] composes cipher executions and noise
+//!    applications into long traces with ground-truth CO markers
+//!    ([`scenario::Scenario`]), exactly the traces the locator is evaluated on.
+//!
+//! The ground truth (CO start/end samples, plaintexts, ciphertexts) is carried
+//! in [`scenario::CoRecord`]s and in the trace metadata; it is used only for
+//! evaluation and CPA verification, never by the locator itself.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use soc_sim::{SocSimulator, SocSimulatorConfig, Scenario};
+//! use sca_ciphers::CipherId;
+//!
+//! let mut sim = SocSimulator::new(SocSimulatorConfig::rd(2), 42);
+//! let scenario = Scenario::consecutive(CipherId::Aes128, 4);
+//! let result = sim.run_scenario(&scenario);
+//! assert_eq!(result.cos.len(), 4);
+//! assert!(result.trace.len() > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod noise_apps;
+pub mod oscilloscope;
+pub mod power;
+pub mod random_delay;
+pub mod scenario;
+pub mod simulator;
+pub mod trng;
+
+pub use oscilloscope::{Oscilloscope, OscilloscopeConfig};
+pub use power::{PowerModel, PowerModelConfig};
+pub use random_delay::{RandomDelay, RandomDelayConfig};
+pub use scenario::{CoRecord, Scenario, ScenarioResult};
+pub use simulator::{SocSimulator, SocSimulatorConfig};
+pub use trng::Trng;

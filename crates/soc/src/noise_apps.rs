@@ -1,0 +1,200 @@
+//! Noise applications: non-cryptographic workloads executed on the simulated
+//! SoC to build the *noise trace* of the training pipeline and to interleave
+//! with cipher executions in the "Noise Applications" scenarios of Table II.
+//!
+//! Each generator produces an [`ExecutionTrace`] whose operation mix and data
+//! values mimic a realistic small embedded workload (memory copies, sorting,
+//! FIR filtering, checksumming, busy-wait loops).
+
+use sca_ciphers::{ExecutionTrace, OpKind};
+use serde::{Deserialize, Serialize};
+
+use crate::trng::Trng;
+
+/// The catalogue of simulated noise applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NoiseApp {
+    /// Word-by-word memory copy of a random buffer.
+    Memcpy,
+    /// Bubble sort of a small random array (compare + swap heavy).
+    BubbleSort,
+    /// Finite-impulse-response filter over a random signal (MAC heavy).
+    FirFilter,
+    /// Fletcher-style checksum over a random buffer.
+    Checksum,
+    /// Idle busy-wait loop (low, constant activity).
+    IdleLoop,
+}
+
+impl NoiseApp {
+    /// All noise applications.
+    pub const ALL: [NoiseApp; 5] = [
+        NoiseApp::Memcpy,
+        NoiseApp::BubbleSort,
+        NoiseApp::FirFilter,
+        NoiseApp::Checksum,
+        NoiseApp::IdleLoop,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NoiseApp::Memcpy => "memcpy",
+            NoiseApp::BubbleSort => "bubble_sort",
+            NoiseApp::FirFilter => "fir_filter",
+            NoiseApp::Checksum => "checksum",
+            NoiseApp::IdleLoop => "idle_loop",
+        }
+    }
+
+    /// Executes the application on `size` elements, recording its operations.
+    pub fn execute(&self, size: usize, trng: &mut Trng) -> ExecutionTrace {
+        match self {
+            NoiseApp::Memcpy => memcpy(size, trng),
+            NoiseApp::BubbleSort => bubble_sort(size, trng),
+            NoiseApp::FirFilter => fir_filter(size, trng),
+            NoiseApp::Checksum => checksum(size, trng),
+            NoiseApp::IdleLoop => idle_loop(size),
+        }
+    }
+}
+
+impl std::fmt::Display for NoiseApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn memcpy(size: usize, trng: &mut Trng) -> ExecutionTrace {
+    let mut rec = ExecutionTrace::with_capacity(size * 3);
+    for _ in 0..size {
+        let v = trng.next_u64() as u32;
+        rec.word(OpKind::Load, v);
+        rec.word(OpKind::Store, v);
+        rec.word(OpKind::Arith, v.wrapping_add(4)); // pointer increment
+    }
+    rec
+}
+
+fn bubble_sort(size: usize, trng: &mut Trng) -> ExecutionTrace {
+    let mut data: Vec<u32> = (0..size).map(|_| trng.next_u64() as u32 & 0xFFFF).collect();
+    let mut rec = ExecutionTrace::with_capacity(size * size * 2);
+    for i in 0..data.len() {
+        for j in 0..data.len().saturating_sub(1 + i) {
+            rec.word(OpKind::Load, data[j]);
+            rec.word(OpKind::Load, data[j + 1]);
+            rec.word(OpKind::Logic, data[j] ^ data[j + 1]); // comparison
+            if data[j] > data[j + 1] {
+                data.swap(j, j + 1);
+                rec.word(OpKind::Store, data[j]);
+                rec.word(OpKind::Store, data[j + 1]);
+            }
+        }
+    }
+    rec
+}
+
+fn fir_filter(size: usize, trng: &mut Trng) -> ExecutionTrace {
+    const TAPS: usize = 8;
+    let coeffs: Vec<u32> = (0..TAPS).map(|i| (i as u32 + 1) * 3).collect();
+    let signal: Vec<u32> = (0..size + TAPS).map(|_| trng.next_u64() as u32 & 0xFFF).collect();
+    let mut rec = ExecutionTrace::with_capacity(size * TAPS * 2);
+    for n in 0..size {
+        let mut acc = 0u32;
+        for (k, &c) in coeffs.iter().enumerate() {
+            let x = signal[n + k];
+            rec.word(OpKind::Load, x);
+            acc = acc.wrapping_add(x.wrapping_mul(c));
+            rec.word(OpKind::Arith, acc);
+        }
+        rec.word(OpKind::Store, acc);
+    }
+    rec
+}
+
+fn checksum(size: usize, trng: &mut Trng) -> ExecutionTrace {
+    let mut rec = ExecutionTrace::with_capacity(size * 3);
+    let mut s1 = 0xFFFFu32;
+    let mut s2 = 0xFFFFu32;
+    for _ in 0..size {
+        let b = trng.next_byte() as u32;
+        rec.byte(OpKind::Load, b as u8);
+        s1 = (s1 + b) % 65521;
+        s2 = (s2 + s1) % 65521;
+        rec.word(OpKind::Arith, s1);
+        rec.word(OpKind::Arith, s2);
+    }
+    rec.word(OpKind::Store, (s2 << 16) | s1);
+    rec
+}
+
+fn idle_loop(size: usize) -> ExecutionTrace {
+    let mut rec = ExecutionTrace::with_capacity(size * 2);
+    for i in 0..size {
+        rec.word(OpKind::Arith, i as u32); // counter increment
+        rec.byte(OpKind::Nop, 0);
+    }
+    rec
+}
+
+/// Builds a long noise operation stream by concatenating randomly chosen
+/// noise applications until at least `min_ops` operations are recorded.
+pub fn noise_stream(min_ops: usize, trng: &mut Trng) -> ExecutionTrace {
+    let mut rec = ExecutionTrace::with_capacity(min_ops + 1024);
+    while rec.len() < min_ops {
+        let app = NoiseApp::ALL[trng.next_below(NoiseApp::ALL.len() as u64) as usize];
+        let size = 24 + trng.next_below(48) as usize;
+        let part = app.execute(size, trng);
+        rec.extend_from(&part);
+    }
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_produces_ops() {
+        let mut trng = Trng::new(3);
+        for app in NoiseApp::ALL {
+            let rec = app.execute(32, &mut trng);
+            assert!(!rec.is_empty(), "{app} produced no operations");
+        }
+    }
+
+    #[test]
+    fn apps_have_distinct_profiles() {
+        let mut trng = Trng::new(11);
+        let mem = NoiseApp::Memcpy.execute(64, &mut trng);
+        let idle = NoiseApp::IdleLoop.execute(64, &mut trng);
+        // Memcpy stores a lot; the idle loop stores nothing.
+        assert!(mem.count_kind(OpKind::Store) > 0);
+        assert_eq!(idle.count_kind(OpKind::Store), 0);
+        assert!(idle.count_kind(OpKind::Nop) > 0);
+    }
+
+    #[test]
+    fn bubble_sort_scales_quadratically() {
+        let mut trng = Trng::new(17);
+        let small = NoiseApp::BubbleSort.execute(8, &mut trng);
+        let big = NoiseApp::BubbleSort.execute(32, &mut trng);
+        assert!(big.len() > small.len() * 4);
+    }
+
+    #[test]
+    fn noise_stream_reaches_requested_length() {
+        let mut trng = Trng::new(23);
+        let rec = noise_stream(5_000, &mut trng);
+        assert!(rec.len() >= 5_000);
+    }
+
+    #[test]
+    fn noise_contains_no_table_lookups() {
+        // Noise applications never execute S-box-style table lookups, which is
+        // one of the features that distinguishes them from cipher code.
+        let mut trng = Trng::new(29);
+        let rec = noise_stream(2_000, &mut trng);
+        assert_eq!(rec.count_kind(OpKind::TableLookup), 0);
+    }
+}

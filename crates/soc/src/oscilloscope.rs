@@ -1,0 +1,159 @@
+//! Oscilloscope / ADC model: per-cycle power → sampled side-channel trace.
+//!
+//! Models the measurement chain of the paper's setup (Picoscope 5244d probing
+//! a 50 MHz SoC at 125 Ms/s with 12-bit resolution):
+//!
+//! 1. the per-cycle power waveform is resampled to `samples_per_cycle`
+//!    ADC samples per clock cycle (2.5 by default);
+//! 2. a first-order low-pass filter models the limited analog bandwidth of the
+//!    shunt + probe chain;
+//! 3. additive Gaussian noise models amplifier/quantisation/environment noise;
+//! 4. the result is clipped and quantised to the ADC resolution.
+
+use sca_trace::dsp;
+use serde::{Deserialize, Serialize};
+
+use crate::trng::Trng;
+
+/// Configuration of the oscilloscope model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OscilloscopeConfig {
+    /// ADC samples per device clock cycle (125 MHz / 50 MHz = 2.5 in the paper).
+    pub samples_per_cycle: f64,
+    /// ADC resolution in bits (12 in the paper).
+    pub adc_bits: u32,
+    /// Standard deviation of the additive Gaussian measurement noise
+    /// (in the same normalised units as the power model output).
+    pub noise_std: f32,
+    /// Coefficient of the first-order analog low-pass (1.0 = no filtering).
+    pub lowpass_alpha: f32,
+    /// ADC full-scale range minimum.
+    pub full_scale_min: f32,
+    /// ADC full-scale range maximum.
+    pub full_scale_max: f32,
+}
+
+impl Default for OscilloscopeConfig {
+    fn default() -> Self {
+        Self {
+            samples_per_cycle: 2.5,
+            adc_bits: 12,
+            noise_std: 0.03,
+            lowpass_alpha: 0.7,
+            full_scale_min: 0.0,
+            full_scale_max: 2.0,
+        }
+    }
+}
+
+/// The oscilloscope/ADC model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Oscilloscope {
+    config: OscilloscopeConfig,
+}
+
+impl Oscilloscope {
+    /// Creates an oscilloscope with the given configuration.
+    pub fn new(config: OscilloscopeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The oscilloscope configuration.
+    pub fn config(&self) -> &OscilloscopeConfig {
+        &self.config
+    }
+
+    /// Number of ADC samples produced for `cycles` clock cycles.
+    pub fn samples_for_cycles(&self, cycles: usize) -> usize {
+        (cycles as f64 * self.config.samples_per_cycle).round() as usize
+    }
+
+    /// Converts a clock-cycle index to the corresponding ADC sample index.
+    pub fn cycle_to_sample(&self, cycle: usize) -> usize {
+        (cycle as f64 * self.config.samples_per_cycle).floor() as usize
+    }
+
+    /// Digitises a per-cycle power waveform into an ADC sample vector.
+    pub fn capture(&self, cycle_power: &[f32], trng: &mut Trng) -> Vec<f32> {
+        if cycle_power.is_empty() {
+            return Vec::new();
+        }
+        let n_samples = self.samples_for_cycles(cycle_power.len()).max(1);
+        let resampled = dsp::resample_linear(cycle_power, n_samples);
+        let filtered = dsp::low_pass(&resampled, self.config.lowpass_alpha)
+            .expect("lowpass_alpha validated by construction");
+        let noisy: Vec<f32> = filtered
+            .iter()
+            .map(|&s| s + self.config.noise_std * trng.next_gaussian() as f32)
+            .collect();
+        dsp::quantize(
+            &noisy,
+            self.config.adc_bits,
+            self.config.full_scale_min,
+            self.config.full_scale_max,
+        )
+        .expect("quantisation parameters validated by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_count_follows_ratio() {
+        let osc = Oscilloscope::default();
+        assert_eq!(osc.samples_for_cycles(1000), 2500);
+        assert_eq!(osc.cycle_to_sample(100), 250);
+        assert_eq!(osc.cycle_to_sample(0), 0);
+    }
+
+    #[test]
+    fn capture_produces_expected_length() {
+        let osc = Oscilloscope::default();
+        let mut trng = Trng::new(1);
+        let power = vec![0.5f32; 400];
+        let trace = osc.capture(&power, &mut trng);
+        assert_eq!(trace.len(), 1000);
+    }
+
+    #[test]
+    fn capture_empty_is_empty() {
+        let osc = Oscilloscope::default();
+        let mut trng = Trng::new(1);
+        assert!(osc.capture(&[], &mut trng).is_empty());
+    }
+
+    #[test]
+    fn noise_free_constant_signal_is_quantised_constant() {
+        let config = OscilloscopeConfig { noise_std: 0.0, lowpass_alpha: 1.0, ..Default::default() };
+        let osc = Oscilloscope::new(config);
+        let mut trng = Trng::new(9);
+        let trace = osc.capture(&vec![1.0f32; 100], &mut trng);
+        assert!(trace.iter().all(|&s| (s - trace[0]).abs() < 1e-6));
+        // 12-bit quantisation over [0, 2] keeps 1.0 within half an LSB.
+        assert!((trace[0] - 1.0).abs() < 2.0 / 4095.0);
+    }
+
+    #[test]
+    fn values_stay_within_full_scale() {
+        let osc = Oscilloscope::default();
+        let mut trng = Trng::new(33);
+        let power: Vec<f32> = (0..500).map(|i| (i % 7) as f32).collect(); // exceeds full scale
+        let trace = osc.capture(&power, &mut trng);
+        let cfg = osc.config();
+        assert!(trace
+            .iter()
+            .all(|&s| s >= cfg.full_scale_min - 1e-6 && s <= cfg.full_scale_max + 1e-6));
+    }
+
+    #[test]
+    fn noise_changes_with_trng_state() {
+        let osc = Oscilloscope::default();
+        let mut trng = Trng::new(5);
+        let power = vec![0.8f32; 200];
+        let a = osc.capture(&power, &mut trng);
+        let b = osc.capture(&power, &mut trng);
+        assert_ne!(a, b);
+    }
+}

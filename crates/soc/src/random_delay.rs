@@ -1,0 +1,188 @@
+//! Random-delay countermeasure (RD-0 / RD-2 / RD-4).
+//!
+//! The paper's target CPU inserts, at run time, a TRNG-chosen number of random
+//! instructions between every pair of consecutive program instructions. RD-2
+//! caps that number at 2, RD-4 at 4. The effect on the side-channel trace is a
+//! non-uniform temporal stretching that defeats pattern-matching locators.
+//!
+//! Here the countermeasure operates on the recorded micro-operation stream:
+//! between every two operations it inserts 0..=R dummy operations of random
+//! kind and random data, drawn from the simulated [`Trng`].
+
+use sca_ciphers::{ExecutionTrace, Op, OpKind};
+use serde::{Deserialize, Serialize};
+
+use crate::trng::Trng;
+
+/// Configuration of the random-delay countermeasure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomDelayConfig {
+    /// Maximum number of dummy instructions inserted between two consecutive
+    /// program instructions (0 disables the countermeasure).
+    pub max_insertions: usize,
+}
+
+impl RandomDelayConfig {
+    /// Countermeasure disabled.
+    pub fn disabled() -> Self {
+        Self { max_insertions: 0 }
+    }
+
+    /// RD-2 configuration of the paper.
+    pub fn rd2() -> Self {
+        Self { max_insertions: 2 }
+    }
+
+    /// RD-4 configuration of the paper.
+    pub fn rd4() -> Self {
+        Self { max_insertions: 4 }
+    }
+
+    /// A short label matching the paper's tables ("RD-2", "RD-4", "none").
+    pub fn label(&self) -> String {
+        if self.max_insertions == 0 {
+            "none".to_string()
+        } else {
+            format!("RD-{}", self.max_insertions)
+        }
+    }
+
+    /// `true` when the countermeasure is active.
+    pub fn is_active(&self) -> bool {
+        self.max_insertions > 0
+    }
+}
+
+impl Default for RandomDelayConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The random-delay insertion engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomDelay {
+    config: RandomDelayConfig,
+}
+
+/// Kinds a dummy instruction may take. The real hardware inserts arbitrary
+/// ALU instructions with random operands; the mix below mimics that.
+const DUMMY_KINDS: [OpKind; 5] =
+    [OpKind::Arith, OpKind::Xor, OpKind::Logic, OpKind::Shift, OpKind::Other];
+
+impl RandomDelay {
+    /// Creates a new random-delay engine.
+    pub fn new(config: RandomDelayConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> RandomDelayConfig {
+        self.config
+    }
+
+    /// Draws one dummy operation.
+    fn dummy_op(trng: &mut Trng) -> Op {
+        let kind = DUMMY_KINDS[trng.next_below(DUMMY_KINDS.len() as u64) as usize];
+        Op::word(kind, trng.next_u64() as u32)
+    }
+
+    /// Applies the countermeasure to an operation stream: between every pair
+    /// of consecutive operations (and before the first one), inserts
+    /// `0..=max_insertions` dummy operations chosen by the TRNG.
+    ///
+    /// With `max_insertions == 0` the input is returned unchanged.
+    pub fn apply(&self, trace: &ExecutionTrace, trng: &mut Trng) -> ExecutionTrace {
+        if !self.config.is_active() {
+            return trace.clone();
+        }
+        let bound = self.config.max_insertions as u64 + 1;
+        let mut out = ExecutionTrace::with_capacity(trace.len() * (1 + self.config.max_insertions));
+        for op in trace.ops() {
+            let n = trng.next_below(bound) as usize;
+            for _ in 0..n {
+                out.record(Self::dummy_op(trng));
+            }
+            out.record(*op);
+        }
+        out
+    }
+
+    /// Expected expansion factor of the operation stream
+    /// (`1 + max_insertions / 2` on average).
+    pub fn expected_expansion(&self) -> f64 {
+        1.0 + self.config.max_insertions as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace(n: usize) -> ExecutionTrace {
+        (0..n).map(|i| Op::byte(OpKind::TableLookup, i as u8)).collect()
+    }
+
+    #[test]
+    fn disabled_is_identity() {
+        let rd = RandomDelay::new(RandomDelayConfig::disabled());
+        let mut trng = Trng::new(1);
+        let t = sample_trace(100);
+        let out = rd.apply(&t, &mut trng);
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(RandomDelayConfig::rd2().label(), "RD-2");
+        assert_eq!(RandomDelayConfig::rd4().label(), "RD-4");
+        assert_eq!(RandomDelayConfig::disabled().label(), "none");
+    }
+
+    #[test]
+    fn original_ops_preserved_in_order() {
+        let rd = RandomDelay::new(RandomDelayConfig::rd4());
+        let mut trng = Trng::new(7);
+        let t = sample_trace(200);
+        let out = rd.apply(&t, &mut trng);
+        // Filter out the dummies: original ops were byte-wide TableLookups.
+        let originals: Vec<_> = out
+            .ops()
+            .iter()
+            .filter(|op| op.kind == OpKind::TableLookup && op.bits == 8)
+            .copied()
+            .collect();
+        assert_eq!(originals.len(), 200);
+        for (i, op) in originals.iter().enumerate() {
+            assert_eq!(op.value, i as u32);
+        }
+    }
+
+    #[test]
+    fn expansion_respects_bound_and_average() {
+        for (cfg, max) in [(RandomDelayConfig::rd2(), 2usize), (RandomDelayConfig::rd4(), 4)] {
+            let rd = RandomDelay::new(cfg);
+            let mut trng = Trng::new(99);
+            let t = sample_trace(2000);
+            let out = rd.apply(&t, &mut trng);
+            assert!(out.len() >= t.len());
+            assert!(out.len() <= t.len() * (1 + max));
+            let expansion = out.len() as f64 / t.len() as f64;
+            assert!(
+                (expansion - rd.expected_expansion()).abs() < 0.15,
+                "expansion {expansion} vs expected {}",
+                rd.expected_expansion()
+            );
+        }
+    }
+
+    #[test]
+    fn different_executions_get_different_delays() {
+        let rd = RandomDelay::new(RandomDelayConfig::rd2());
+        let mut trng = Trng::new(5);
+        let t = sample_trace(100);
+        let a = rd.apply(&t, &mut trng);
+        let b = rd.apply(&t, &mut trng);
+        assert_ne!(a.ops(), b.ops());
+    }
+}

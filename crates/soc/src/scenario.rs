@@ -1,0 +1,160 @@
+//! Evaluation scenarios: sequences of cryptographic operations, optionally
+//! interleaved with noise applications, composed into one long side-channel
+//! trace with ground truth.
+
+use sca_ciphers::CipherId;
+use sca_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth record of one cryptographic operation inside a scenario trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoRecord {
+    /// First ADC sample of the CO.
+    pub start_sample: usize,
+    /// One past the last ADC sample of the CO.
+    pub end_sample: usize,
+    /// Plaintext processed by the CO (known to the attacker in a CPA attack).
+    pub plaintext: [u8; 16],
+    /// Ciphertext produced by the CO.
+    pub ciphertext: [u8; 16],
+}
+
+impl CoRecord {
+    /// Length of the CO in samples.
+    pub fn len(&self) -> usize {
+        self.end_sample.saturating_sub(self.start_sample)
+    }
+
+    /// Returns `true` for a degenerate empty record.
+    pub fn is_empty(&self) -> bool {
+        self.end_sample <= self.start_sample
+    }
+}
+
+/// Description of an evaluation scenario (Section IV-B/IV-C of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Cipher executed by every CO.
+    pub cipher: CipherId,
+    /// Number of CO executions in the trace (512 in the paper).
+    pub num_cos: usize,
+    /// Whether noise applications are interleaved between the COs
+    /// ("Noise Applications ✓" rows of Table II); otherwise the COs run
+    /// back-to-back with only a small loop-overhead gap.
+    pub interleave_noise: bool,
+    /// Secret key used by every CO (fixed, as in a CPA acquisition campaign).
+    pub key: [u8; 16],
+    /// Minimum and maximum number of noise-application operations inserted
+    /// between two COs when `interleave_noise` is set.
+    pub noise_ops_range: (usize, usize),
+    /// Number of idle operations between two COs when running consecutively.
+    pub idle_gap_ops: usize,
+    /// Number of noise operations executed before the first CO and after the
+    /// last one, so COs never sit at the very edge of the trace.
+    pub lead_ops: usize,
+}
+
+impl Scenario {
+    /// Default key used by the evaluation scenarios (the FIPS-197 example key).
+    pub const DEFAULT_KEY: [u8; 16] = [
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
+    ];
+
+    /// Consecutive CO executions without interleaved noise applications.
+    pub fn consecutive(cipher: CipherId, num_cos: usize) -> Self {
+        Self {
+            cipher,
+            num_cos,
+            interleave_noise: false,
+            key: Self::DEFAULT_KEY,
+            noise_ops_range: (400, 1600),
+            idle_gap_ops: 48,
+            lead_ops: 256,
+        }
+    }
+
+    /// CO executions interleaved with random noise applications.
+    pub fn interleaved(cipher: CipherId, num_cos: usize) -> Self {
+        Self { interleave_noise: true, ..Self::consecutive(cipher, num_cos) }
+    }
+
+    /// Replaces the secret key.
+    pub fn with_key(mut self, key: [u8; 16]) -> Self {
+        self.key = key;
+        self
+    }
+
+    /// Human-readable label ("AES, RD interleaved with noise", …).
+    pub fn label(&self) -> String {
+        format!(
+            "{} x{} ({})",
+            self.cipher.label(),
+            self.num_cos,
+            if self.interleave_noise { "interleaved with noise apps" } else { "consecutive" }
+        )
+    }
+}
+
+/// The outcome of simulating a [`Scenario`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The captured side-channel trace (ground-truth markers are also copied
+    /// into the trace metadata).
+    pub trace: Trace,
+    /// Ground truth for every CO, in execution order.
+    pub cos: Vec<CoRecord>,
+    /// The secret key used by the COs.
+    pub key: [u8; 16],
+}
+
+impl ScenarioResult {
+    /// Ground-truth CO start samples.
+    pub fn co_starts(&self) -> Vec<usize> {
+        self.cos.iter().map(|c| c.start_sample).collect()
+    }
+
+    /// Mean CO length in samples (0 if there are no COs).
+    pub fn mean_co_len(&self) -> f64 {
+        if self.cos.is_empty() {
+            return 0.0;
+        }
+        self.cos.iter().map(|c| c.len() as f64).sum::<f64>() / self.cos.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let c = Scenario::consecutive(CipherId::Aes128, 8);
+        assert!(!c.interleave_noise);
+        let i = Scenario::interleaved(CipherId::Simon128, 4);
+        assert!(i.interleave_noise);
+        assert_eq!(i.num_cos, 4);
+        assert!(c.label().contains("AES"));
+        assert!(i.label().contains("noise"));
+    }
+
+    #[test]
+    fn with_key_overrides() {
+        let s = Scenario::consecutive(CipherId::Aes128, 1).with_key([9u8; 16]);
+        assert_eq!(s.key, [9u8; 16]);
+    }
+
+    #[test]
+    fn co_record_length() {
+        let r = CoRecord {
+            start_sample: 100,
+            end_sample: 350,
+            plaintext: [0; 16],
+            ciphertext: [0; 16],
+        };
+        assert_eq!(r.len(), 250);
+        assert!(!r.is_empty());
+        let empty = CoRecord { start_sample: 10, end_sample: 10, plaintext: [0; 16], ciphertext: [0; 16] };
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! The end-to-end SoC simulator: composes ciphers, noise applications, the
+//! random-delay countermeasure, the power model and the oscilloscope into
+//! side-channel traces with ground truth.
+
+use sca_ciphers::{cipher_by_id, CipherId, ExecutionTrace, OpKind, RecordingCipher};
+use sca_trace::{Trace, TraceMeta};
+use serde::{Deserialize, Serialize};
+
+use crate::noise_apps;
+use crate::oscilloscope::{Oscilloscope, OscilloscopeConfig};
+use crate::power::{PowerModel, PowerModelConfig};
+use crate::random_delay::{RandomDelay, RandomDelayConfig};
+use crate::scenario::{CoRecord, Scenario, ScenarioResult};
+use crate::trng::Trng;
+
+/// Configuration of the [`SocSimulator`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SocSimulatorConfig {
+    /// Power model parameters.
+    pub power: PowerModelConfig,
+    /// Oscilloscope / ADC parameters.
+    pub oscilloscope: OscilloscopeConfig,
+    /// Random-delay countermeasure configuration.
+    pub random_delay: RandomDelayConfig,
+    /// Number of NOP instructions prepended to every *training* cipher trace
+    /// (the paper's stand-in for the missing trigger infrastructure; inference
+    /// traces never contain this preamble).
+    pub nop_preamble: usize,
+}
+
+impl SocSimulatorConfig {
+    /// Configuration with the random-delay countermeasure capped at
+    /// `max_insertions` dummy instructions (`0` disables it, `2` = RD-2,
+    /// `4` = RD-4) and default settings everywhere else.
+    pub fn rd(max_insertions: usize) -> Self {
+        Self {
+            random_delay: RandomDelayConfig { max_insertions },
+            nop_preamble: 64,
+            ..Self::default()
+        }
+    }
+}
+
+/// Instruction-level power-trace simulator of the target SoC.
+#[derive(Debug, Clone)]
+pub struct SocSimulator {
+    config: SocSimulatorConfig,
+    power_model: PowerModel,
+    oscilloscope: Oscilloscope,
+    random_delay: RandomDelay,
+    trng: Trng,
+}
+
+impl SocSimulator {
+    /// Creates a simulator from a configuration and a reproducibility seed.
+    pub fn new(config: SocSimulatorConfig, seed: u64) -> Self {
+        let power_model = PowerModel::new(config.power.clone());
+        let oscilloscope = Oscilloscope::new(config.oscilloscope.clone());
+        let random_delay = RandomDelay::new(config.random_delay);
+        Self { config, power_model, oscilloscope, random_delay, trng: Trng::new(seed) }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SocSimulatorConfig {
+        &self.config
+    }
+
+    /// Access to the underlying TRNG (e.g. to draw random plaintexts that are
+    /// reproducible together with the simulation).
+    pub fn trng_mut(&mut self) -> &mut Trng {
+        &mut self.trng
+    }
+
+    /// Digitises an operation stream (already including any random delay)
+    /// into ADC samples.
+    fn digitize(&mut self, ops: &ExecutionTrace) -> Vec<f32> {
+        let cycle_power = self.power_model.trace_power(ops);
+        self.oscilloscope.capture(&cycle_power, &mut self.trng)
+    }
+
+    /// Applies the random-delay countermeasure to an operation stream.
+    fn protect(&mut self, ops: &ExecutionTrace) -> ExecutionTrace {
+        self.random_delay.apply(ops, &mut self.trng)
+    }
+
+    /// Captures a *training* cipher trace: a NOP preamble (the trigger
+    /// substitute) followed by a single CO, both under the active random
+    /// delay. The returned trace's metadata records where the CO begins.
+    ///
+    /// Returns the trace together with the plaintext and ciphertext of the CO.
+    pub fn capture_cipher_trace(
+        &mut self,
+        cipher: &dyn RecordingCipher,
+        key: &[u8; 16],
+        plaintext: &[u8; 16],
+    ) -> (Trace, [u8; 16]) {
+        // NOP preamble (protected by the countermeasure like everything else).
+        let mut preamble = ExecutionTrace::new();
+        preamble.nops(self.config.nop_preamble);
+        let preamble = self.protect(&preamble);
+
+        let mut co_ops = ExecutionTrace::new();
+        let ct = cipher.encrypt_recorded(key, plaintext, &mut co_ops);
+        let co_ops = self.protect(&co_ops);
+
+        let preamble_cycles = self.power_model.cycle_count(&preamble);
+        let co_cycles = self.power_model.cycle_count(&co_ops);
+        let mut all_ops = preamble;
+        all_ops.extend_from(&co_ops);
+
+        let samples = self.digitize(&all_ops);
+        let co_start = self.oscilloscope.cycle_to_sample(preamble_cycles);
+        let co_end = self
+            .oscilloscope
+            .cycle_to_sample(preamble_cycles + co_cycles)
+            .min(samples.len());
+
+        let mut meta = TraceMeta::with_description(format!("{} training trace", cipher.name()));
+        meta.sample_rate_hz = Some(125e6);
+        meta.device_clock_hz = Some(50e6);
+        meta.co_starts = vec![co_start];
+        meta.co_ends = vec![co_end];
+        let mut ct_arr = [0u8; 16];
+        ct_arr.copy_from_slice(&ct[..16]);
+        (Trace::with_meta(samples, meta), ct_arr)
+    }
+
+    /// Captures a noise trace of (at least) `min_ops` operations of
+    /// non-cryptographic applications, under the active random delay.
+    pub fn capture_noise_trace(&mut self, min_ops: usize) -> Trace {
+        let ops = noise_apps::noise_stream(min_ops, &mut self.trng);
+        let ops = self.protect(&ops);
+        let samples = self.digitize(&ops);
+        let mut meta = TraceMeta::with_description("noise trace");
+        meta.sample_rate_hz = Some(125e6);
+        meta.device_clock_hz = Some(50e6);
+        Trace::with_meta(samples, meta)
+    }
+
+    /// Runs a full evaluation [`Scenario`], producing one long trace that
+    /// contains `scenario.num_cos` cipher executions with random plaintexts,
+    /// separated by idle gaps or noise applications, all protected by the
+    /// active random-delay configuration.
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> ScenarioResult {
+        let cipher = cipher_by_id(scenario.cipher);
+        let mut all_ops = ExecutionTrace::new();
+        // (cycle_start, cycle_end, plaintext, ciphertext) per CO.
+        let mut co_cycle_spans: Vec<(usize, usize, [u8; 16], [u8; 16])> = Vec::new();
+
+        let push_gap = |sim: &mut Self, ops: &mut ExecutionTrace, first: bool| {
+            let gap = if scenario.interleave_noise {
+                let (lo, hi) = scenario.noise_ops_range;
+                let span = (hi.saturating_sub(lo)).max(1) as u64;
+                let len = lo + sim.trng.next_below(span) as usize;
+                noise_apps::noise_stream(len, &mut sim.trng)
+            } else {
+                let len = if first { scenario.lead_ops } else { scenario.idle_gap_ops };
+                let mut idle = ExecutionTrace::with_capacity(len);
+                for i in 0..len {
+                    idle.word(OpKind::Other, i as u32);
+                }
+                idle
+            };
+            let gap = sim.protect(&gap);
+            ops.extend_from(&gap);
+        };
+
+        for co_index in 0..scenario.num_cos {
+            push_gap(self, &mut all_ops, co_index == 0);
+
+            let plaintext = self.trng.next_block();
+            let mut co_ops = ExecutionTrace::new();
+            let ct = cipher.encrypt_recorded(&scenario.key, &plaintext, &mut co_ops);
+            let co_ops = self.protect(&co_ops);
+
+            let cycle_start = self.power_model.cycle_count(&all_ops);
+            all_ops.extend_from(&co_ops);
+            let cycle_end = self.power_model.cycle_count(&all_ops);
+
+            let mut ct_arr = [0u8; 16];
+            ct_arr.copy_from_slice(&ct[..16]);
+            co_cycle_spans.push((cycle_start, cycle_end, plaintext, ct_arr));
+        }
+        // Trailing gap so the last CO is fully contained in the trace.
+        push_gap(self, &mut all_ops, true);
+
+        let samples = self.digitize(&all_ops);
+        let cos: Vec<CoRecord> = co_cycle_spans
+            .into_iter()
+            .map(|(start, end, plaintext, ciphertext)| CoRecord {
+                start_sample: self.oscilloscope.cycle_to_sample(start),
+                end_sample: self.oscilloscope.cycle_to_sample(end).min(samples.len()),
+                plaintext,
+                ciphertext,
+            })
+            .collect();
+
+        let mut meta = TraceMeta::with_description(scenario.label());
+        meta.sample_rate_hz = Some(125e6);
+        meta.device_clock_hz = Some(50e6);
+        meta.co_starts = cos.iter().map(|c| c.start_sample).collect();
+        meta.co_ends = cos.iter().map(|c| c.end_sample).collect();
+
+        ScenarioResult { trace: Trace::with_meta(samples, meta), cos, key: scenario.key }
+    }
+
+    /// Mean CO length (in ADC samples) of `n` executions of `cipher` with
+    /// random plaintexts under the current configuration. Used to derive the
+    /// per-cipher pipeline parameters of Table I.
+    pub fn mean_co_samples(&mut self, cipher_id: CipherId, n: usize) -> f64 {
+        let cipher = cipher_by_id(cipher_id);
+        let key = Scenario::DEFAULT_KEY;
+        let mut total = 0usize;
+        for _ in 0..n.max(1) {
+            let pt = self.trng.next_block();
+            let mut ops = ExecutionTrace::new();
+            cipher.encrypt_recorded(&key, &pt, &mut ops);
+            let ops = self.protect(&ops);
+            total += self.oscilloscope.samples_for_cycles(self.power_model.cycle_count(&ops));
+        }
+        total as f64 / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_ciphers::Aes128;
+
+    #[test]
+    fn cipher_trace_marks_co_start_after_preamble() {
+        let mut sim = SocSimulator::new(SocSimulatorConfig::rd(0), 1);
+        let aes = Aes128::new();
+        let (trace, _ct) = sim.capture_cipher_trace(&aes, &[0u8; 16], &[1u8; 16]);
+        assert_eq!(trace.meta().co_starts.len(), 1);
+        let start = trace.meta().co_starts[0];
+        // 64 NOPs at 1 cycle each, 2.5 samples per cycle = 160 samples.
+        assert_eq!(start, 160);
+        assert!(trace.meta().co_ends[0] > start);
+        assert!(trace.len() > start);
+    }
+
+    #[test]
+    fn random_delay_lengthens_cipher_traces() {
+        let aes = Aes128::new();
+        let mut plain = SocSimulator::new(SocSimulatorConfig::rd(0), 3);
+        let mut rd4 = SocSimulator::new(SocSimulatorConfig::rd(4), 3);
+        let (t0, _) = plain.capture_cipher_trace(&aes, &[0u8; 16], &[0u8; 16]);
+        let (t4, _) = rd4.capture_cipher_trace(&aes, &[0u8; 16], &[0u8; 16]);
+        assert!(t4.len() as f64 > t0.len() as f64 * 2.0);
+    }
+
+    #[test]
+    fn rd_traces_have_varying_length() {
+        let aes = Aes128::new();
+        let mut sim = SocSimulator::new(SocSimulatorConfig::rd(4), 5);
+        let (a, _) = sim.capture_cipher_trace(&aes, &[0u8; 16], &[0u8; 16]);
+        let (b, _) = sim.capture_cipher_trace(&aes, &[0u8; 16], &[0u8; 16]);
+        assert_ne!(a.len(), b.len());
+    }
+
+    #[test]
+    fn noise_trace_has_no_markers() {
+        let mut sim = SocSimulator::new(SocSimulatorConfig::rd(2), 11);
+        let noise = sim.capture_noise_trace(2000);
+        assert!(noise.meta().co_starts.is_empty());
+        assert!(noise.len() > 2000);
+    }
+
+    #[test]
+    fn scenario_ground_truth_is_consistent() {
+        let mut sim = SocSimulator::new(SocSimulatorConfig::rd(2), 21);
+        let scenario = Scenario::consecutive(CipherId::Simon128, 6);
+        let result = sim.run_scenario(&scenario);
+        assert_eq!(result.cos.len(), 6);
+        // Starts strictly increasing, ends after starts, all inside the trace.
+        for pair in result.cos.windows(2) {
+            assert!(pair[0].end_sample <= pair[1].start_sample);
+        }
+        for co in &result.cos {
+            assert!(co.start_sample < co.end_sample);
+            assert!(co.end_sample <= result.trace.len());
+        }
+        assert_eq!(result.trace.meta().co_starts, result.co_starts());
+    }
+
+    #[test]
+    fn scenario_ciphertexts_match_cipher() {
+        let mut sim = SocSimulator::new(SocSimulatorConfig::rd(4), 31);
+        let scenario = Scenario::interleaved(CipherId::Aes128, 3);
+        let result = sim.run_scenario(&scenario);
+        let aes = Aes128::new();
+        for co in &result.cos {
+            let expected = aes.encrypt(&result.key, &co.plaintext);
+            assert_eq!(expected, co.ciphertext.to_vec());
+        }
+    }
+
+    #[test]
+    fn interleaved_scenario_is_longer_than_consecutive() {
+        let mut a = SocSimulator::new(SocSimulatorConfig::rd(2), 7);
+        let mut b = SocSimulator::new(SocSimulatorConfig::rd(2), 7);
+        let cons = a.run_scenario(&Scenario::consecutive(CipherId::Camellia128, 5));
+        let inter = b.run_scenario(&Scenario::interleaved(CipherId::Camellia128, 5));
+        assert!(inter.trace.len() > cons.trace.len());
+    }
+
+    #[test]
+    fn mean_co_samples_positive_and_orders_ciphers() {
+        let mut sim = SocSimulator::new(SocSimulatorConfig::rd(2), 13);
+        let aes = sim.mean_co_samples(CipherId::Aes128, 3);
+        let simon = sim.mean_co_samples(CipherId::Simon128, 3);
+        let masked = sim.mean_co_samples(CipherId::MaskedAes128, 3);
+        assert!(aes > 0.0 && simon > 0.0);
+        // Masked AES executes more operations than plain AES; Simon fewer.
+        assert!(masked > aes);
+        assert!(simon < aes);
+    }
+}

@@ -1,0 +1,58 @@
+//! Weight initialisation (He / Xavier uniform) with a deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// He-uniform initialisation for layers followed by ReLU:
+/// samples from `U(-limit, limit)` with `limit = sqrt(6 / fan_in)`.
+pub fn he_uniform(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(shape, -limit, limit, seed)
+}
+
+/// Xavier/Glorot-uniform initialisation:
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, -limit, limit, seed)
+}
+
+/// Uniform initialisation in `[low, high)`.
+pub fn uniform(shape: &[usize], low: f32, high: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(low..high)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = he_uniform(&[4, 4], 4, 7);
+        let b = he_uniform(&[4, 4], 4, 7);
+        assert_eq!(a, b);
+        let c = he_uniform(&[4, 4], 4, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn he_limit_respected() {
+        let t = he_uniform(&[100], 10, 3);
+        let limit = (6.0f32 / 10.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit));
+        // Not all identical.
+        assert!(t.data().iter().any(|&v| (v - t.data()[0]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn xavier_limit_respected() {
+        let t = xavier_uniform(&[50], 5, 7, 11);
+        let limit = (6.0f32 / 12.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit));
+    }
+}

@@ -1,0 +1,833 @@
+//! Neural-network layers with analytic forward/backward passes.
+//!
+//! Layout conventions:
+//!
+//! * convolutional tensors are `[batch, channels, length]`;
+//! * fully-connected tensors are `[batch, features]`.
+//!
+//! Every layer caches what it needs during `forward` and consumes the cache in
+//! `backward`, which returns the gradient with respect to the layer input and
+//! accumulates parameter gradients into the layer's [`Param`]s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::init;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+pub trait Layer: Send {
+    /// Computes the layer output. `training` selects batch statistics vs.
+    /// running statistics in normalisation layers.
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+
+    /// Back-propagates `grad_output`, returning the gradient with respect to
+    /// the layer input and accumulating parameter gradients.
+    ///
+    /// Must be called after a `forward` pass (the layer uses its cache).
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Zeroes every parameter gradient.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+        let data = input.data().iter().map(|&v| v.max(0.0)).collect();
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(grad_output.len(), self.mask.len(), "backward called before forward");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear (fully connected)
+// ---------------------------------------------------------------------------
+
+/// Fully connected layer: `y = x Wᵀ + b` with `x: [B, in]`, `W: [out, in]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a fully connected layer with He-uniform initialisation.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Self {
+            weight: Param::new(init::he_uniform(&[out_features, in_features], in_features, seed)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Linear expects a 2-D input");
+        assert_eq!(input.shape()[1], self.in_features, "Linear input feature mismatch");
+        let batch = input.shape()[0];
+        let mut out = Tensor::zeros(&[batch, self.out_features]);
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                let mut acc = self.bias.value.data()[o];
+                for i in 0..self.in_features {
+                    acc += input.at2(b, i) * self.weight.value.at2(o, i);
+                }
+                out.set2(b, o, acc);
+            }
+        }
+        self.cache_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cache_input.as_ref().expect("backward called before forward");
+        let batch = input.shape()[0];
+        let mut grad_input = Tensor::zeros(&[batch, self.in_features]);
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                let g = grad_output.at2(b, o);
+                self.bias.grad.data_mut()[o] += g;
+                for i in 0..self.in_features {
+                    let w_idx = o * self.in_features + i;
+                    self.weight.grad.data_mut()[w_idx] += g * input.at2(b, i);
+                    let gi = grad_input.at2(b, i) + g * self.weight.value.data()[w_idx];
+                    grad_input.set2(b, i, gi);
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv1d
+// ---------------------------------------------------------------------------
+
+/// 1-D convolution with stride 1 and "same" zero padding, matching the
+/// convolutional layers of the paper's CNN (Figure 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1d {
+    weight: Param, // [out_c, in_c, k]
+    bias: Param,   // [out_c]
+    in_channels: usize,
+    out_channels: usize,
+    kernel_size: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a convolution layer with He-uniform initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_size` is zero.
+    pub fn new(in_channels: usize, out_channels: usize, kernel_size: usize, seed: u64) -> Self {
+        assert!(kernel_size > 0, "kernel size must be non-zero");
+        let fan_in = in_channels * kernel_size;
+        Self {
+            weight: Param::new(init::he_uniform(
+                &[out_channels, in_channels, kernel_size],
+                fan_in,
+                seed,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel_size,
+            cache_input: None,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel_size
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    #[inline]
+    fn w(&self, o: usize, i: usize, t: usize) -> f32 {
+        self.weight.value.data()[(o * self.in_channels + i) * self.kernel_size + t]
+    }
+
+    fn pad_left(&self) -> usize {
+        (self.kernel_size - 1) / 2
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "Conv1d expects a 3-D input [B, C, N]");
+        assert_eq!(input.shape()[1], self.in_channels, "Conv1d channel mismatch");
+        let (batch, len) = (input.shape()[0], input.shape()[2]);
+        let pad = self.pad_left();
+        let mut out = Tensor::zeros(&[batch, self.out_channels, len]);
+        for b in 0..batch {
+            for o in 0..self.out_channels {
+                let bias = self.bias.value.data()[o];
+                for n in 0..len {
+                    let mut acc = bias;
+                    for t in 0..self.kernel_size {
+                        let src = n as isize + t as isize - pad as isize;
+                        if src < 0 || src >= len as isize {
+                            continue;
+                        }
+                        for i in 0..self.in_channels {
+                            acc += self.w(o, i, t) * input.at3(b, i, src as usize);
+                        }
+                    }
+                    out.set3(b, o, n, acc);
+                }
+            }
+        }
+        self.cache_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cache_input.as_ref().expect("backward called before forward").clone();
+        let (batch, len) = (input.shape()[0], input.shape()[2]);
+        let pad = self.pad_left();
+        let mut grad_input = Tensor::zeros(&[batch, self.in_channels, len]);
+        for b in 0..batch {
+            for o in 0..self.out_channels {
+                for n in 0..len {
+                    let g = grad_output.at3(b, o, n);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.bias.grad.data_mut()[o] += g;
+                    for t in 0..self.kernel_size {
+                        let src = n as isize + t as isize - pad as isize;
+                        if src < 0 || src >= len as isize {
+                            continue;
+                        }
+                        let src = src as usize;
+                        for i in 0..self.in_channels {
+                            let w_idx = (o * self.in_channels + i) * self.kernel_size + t;
+                            self.weight.grad.data_mut()[w_idx] += g * input.at3(b, i, src);
+                            grad_input.add3(b, i, src, g * self.weight.value.data()[w_idx]);
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm1d
+// ---------------------------------------------------------------------------
+
+/// Batch normalisation over `[B, C, N]` tensors (per-channel statistics over
+/// the batch and temporal dimensions), as used after every convolution in the
+/// paper's network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm1d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BnCache {
+    x_hat: Tensor,
+    std_inv: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-normalisation layer for `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        let mut gamma = Tensor::zeros(&[channels]);
+        gamma.fill(1.0);
+        Self {
+            gamma: Param::new(gamma),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// Number of normalised channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "BatchNorm1d expects a 3-D input");
+        assert_eq!(input.shape()[1], self.channels, "BatchNorm1d channel mismatch");
+        let (batch, len) = (input.shape()[0], input.shape()[2]);
+        let m = (batch * len) as f32;
+        let mut out = Tensor::zeros(input.shape());
+        let mut x_hat = Tensor::zeros(input.shape());
+        let mut std_inv = vec![0.0f32; self.channels];
+
+        for c in 0..self.channels {
+            let (mean, var) = if training {
+                let mut sum = 0.0f64;
+                for b in 0..batch {
+                    for n in 0..len {
+                        sum += input.at3(b, c, n) as f64;
+                    }
+                }
+                let mean = (sum / m as f64) as f32;
+                let mut var_sum = 0.0f64;
+                for b in 0..batch {
+                    for n in 0..len {
+                        var_sum += ((input.at3(b, c, n) - mean) as f64).powi(2);
+                    }
+                }
+                let var = (var_sum / m as f64) as f32;
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean;
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[c], self.running_var[c])
+            };
+            let inv = 1.0 / (var + self.eps).sqrt();
+            std_inv[c] = inv;
+            let g = self.gamma.value.data()[c];
+            let be = self.beta.value.data()[c];
+            for b in 0..batch {
+                for n in 0..len {
+                    let xh = (input.at3(b, c, n) - mean) * inv;
+                    x_hat.set3(b, c, n, xh);
+                    out.set3(b, c, n, g * xh + be);
+                }
+            }
+        }
+        self.cache = Some(BnCache { x_hat, std_inv });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward called before forward");
+        let (batch, len) = (grad_output.shape()[0], grad_output.shape()[2]);
+        let m = (batch * len) as f32;
+        let mut grad_input = Tensor::zeros(grad_output.shape());
+        for c in 0..self.channels {
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for b in 0..batch {
+                for n in 0..len {
+                    let dy = grad_output.at3(b, c, n) as f64;
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.at3(b, c, n) as f64;
+                }
+            }
+            self.beta.grad.data_mut()[c] += sum_dy as f32;
+            self.gamma.grad.data_mut()[c] += sum_dy_xhat as f32;
+            let g = self.gamma.value.data()[c];
+            let inv = cache.std_inv[c];
+            let mean_dy = sum_dy as f32 / m;
+            let mean_dy_xhat = sum_dy_xhat as f32 / m;
+            for b in 0..batch {
+                for n in 0..len {
+                    let dy = grad_output.at3(b, c, n);
+                    let xh = cache.x_hat.at3(b, c, n);
+                    grad_input.set3(b, c, n, g * inv * (dy - mean_dy - xh * mean_dy_xhat));
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global average pooling
+// ---------------------------------------------------------------------------
+
+/// Global average pooling over the temporal dimension: `[B, C, N] → [B, C]`.
+///
+/// This is the layer that lets the paper use a different window length at
+/// inference time (`N_inf`) than at training time (`N_train`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GlobalAvgPool1d {
+    cache_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool1d {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool1d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "GlobalAvgPool1d expects a 3-D input");
+        let (batch, channels, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let mut out = Tensor::zeros(&[batch, channels]);
+        for b in 0..batch {
+            for c in 0..channels {
+                let mut acc = 0.0f32;
+                for n in 0..len {
+                    acc += input.at3(b, c, n);
+                }
+                out.set2(b, c, acc / len as f32);
+            }
+        }
+        self.cache_shape = input.shape().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.cache_shape.is_empty(), "backward called before forward");
+        let (batch, channels, len) =
+            (self.cache_shape[0], self.cache_shape[1], self.cache_shape[2]);
+        let mut grad_input = Tensor::zeros(&self.cache_shape);
+        for b in 0..batch {
+            for c in 0..channels {
+                let g = grad_output.at2(b, c) / len as f32;
+                for n in 0..len {
+                    grad_input.set3(b, c, n, g);
+                }
+            }
+        }
+        grad_input
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Residual block
+// ---------------------------------------------------------------------------
+
+/// Residual block of the paper's network: two (Conv1d → BatchNorm → ReLU)
+/// stages whose output is summed element-wise with a shortcut connection,
+/// followed by a final ReLU. When the channel count changes, the shortcut is
+/// a 1×1 convolution followed by batch normalisation (the standard ResNet
+/// projection shortcut).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResidualBlock1d {
+    conv1: Conv1d,
+    bn1: BatchNorm1d,
+    relu1: Relu,
+    conv2: Conv1d,
+    bn2: BatchNorm1d,
+    projection: Option<(Conv1d, BatchNorm1d)>,
+    relu_out: Relu,
+    cache_main: Option<Tensor>,
+}
+
+impl ResidualBlock1d {
+    /// Creates a residual block mapping `in_channels` to `out_channels` with
+    /// the given kernel size.
+    pub fn new(in_channels: usize, out_channels: usize, kernel_size: usize, seed: u64) -> Self {
+        let projection = if in_channels != out_channels {
+            Some((
+                Conv1d::new(in_channels, out_channels, 1, seed.wrapping_add(77)),
+                BatchNorm1d::new(out_channels),
+            ))
+        } else {
+            None
+        };
+        Self {
+            conv1: Conv1d::new(in_channels, out_channels, kernel_size, seed),
+            bn1: BatchNorm1d::new(out_channels),
+            relu1: Relu::new(),
+            conv2: Conv1d::new(out_channels, out_channels, kernel_size, seed.wrapping_add(1)),
+            bn2: BatchNorm1d::new(out_channels),
+            projection,
+            relu_out: Relu::new(),
+            cache_main: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.conv2.out_channels()
+    }
+}
+
+impl Layer for ResidualBlock1d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut main = self.conv1.forward(input, training);
+        main = self.bn1.forward(&main, training);
+        main = self.relu1.forward(&main, training);
+        main = self.conv2.forward(&main, training);
+        main = self.bn2.forward(&main, training);
+        let shortcut = match self.projection.as_mut() {
+            Some((conv, bn)) => {
+                let s = conv.forward(input, training);
+                bn.forward(&s, training)
+            }
+            None => input.clone(),
+        };
+        let sum = main.add(&shortcut);
+        self.cache_main = Some(sum.clone());
+        self.relu_out.forward(&sum, training)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let grad_sum = self.relu_out.backward(grad_output);
+        // Main branch.
+        let g = self.bn2.backward(&grad_sum);
+        let g = self.conv2.backward(&g);
+        let g = self.relu1.backward(&g);
+        let g = self.bn1.backward(&g);
+        let grad_main_input = self.conv1.backward(&g);
+        // Shortcut branch.
+        let grad_shortcut_input = match self.projection.as_mut() {
+            Some((conv, bn)) => {
+                let g = bn.backward(&grad_sum);
+                conv.backward(&g)
+            }
+            None => grad_sum.clone(),
+        };
+        grad_main_input.add(&grad_shortcut_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = Vec::new();
+        params.extend(self.conv1.params_mut());
+        params.extend(self.bn1.params_mut());
+        params.extend(self.conv2.params_mut());
+        params.extend(self.bn2.params_mut());
+        if let Some((conv, bn)) = self.projection.as_mut() {
+            params.extend(conv.params_mut());
+            params.extend(bn.params_mut());
+        }
+        params
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------------
+
+/// A simple sequential container of boxed layers.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential model from a list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers in the container.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in self.layers.iter_mut() {
+            x = layer.forward(&x, training);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient check of a layer's input gradient and parameter
+    /// gradients on a tiny random problem.
+    fn gradcheck<L: Layer>(layer: &mut L, input_shape: &[usize], tolerance: f32) {
+        let input = init::uniform(input_shape, -1.0, 1.0, 99);
+        // Scalar objective: weighted sum of outputs (weights fixed).
+        let out = layer.forward(&input, true);
+        let obj_weights = init::uniform(out.shape(), -1.0, 1.0, 123);
+        let objective = |out: &Tensor| -> f32 {
+            out.data().iter().zip(obj_weights.data().iter()).map(|(a, b)| a * b).sum()
+        };
+        // Analytic gradients.
+        layer.zero_grad();
+        let _ = layer.forward(&input, true);
+        let grad_input = layer.backward(&obj_weights);
+        // Numeric input gradient (spot-check a handful of coordinates).
+        let eps = 1e-2f32;
+        let check_idx: Vec<usize> =
+            (0..input.len()).step_by((input.len() / 7).max(1)).take(8).collect();
+        for &idx in &check_idx {
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let f_plus = objective(&layer.forward(&plus, true));
+            let f_minus = objective(&layer.forward(&minus, true));
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grad_input.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < tolerance * (1.0 + numeric.abs()),
+                "input grad mismatch at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -3.0], &[1, 4]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 4]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_known_values() {
+        let mut lin = Linear::new(2, 1, 1);
+        // Overwrite weights for a deterministic check: y = 2*x0 - x1 + 0.5
+        lin.weight.value = Tensor::from_vec(vec![2.0, -1.0], &[1, 2]);
+        lin.bias.value = Tensor::from_vec(vec![0.5], &[1]);
+        let x = Tensor::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        let y = lin.forward(&x, true);
+        assert_eq!(y.data(), &[0.5, -0.5]);
+        let g = lin.backward(&Tensor::from_rows(&[vec![1.0], vec![1.0]]));
+        // dL/dx = w for unit output grads.
+        assert_eq!(g.data(), &[2.0, -1.0, 2.0, -1.0]);
+        // dL/dw = sum of inputs, dL/db = 2.
+        assert_eq!(lin.weight.grad.data(), &[1.0, 3.0]);
+        assert_eq!(lin.bias.grad.data(), &[2.0]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut lin = Linear::new(5, 3, 3);
+        gradcheck(&mut lin, &[4, 5], 1e-2);
+    }
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        let mut conv = Conv1d::new(1, 1, 1, 1);
+        conv.weight.value = Tensor::from_vec(vec![1.0], &[1, 1, 1]);
+        conv.bias.value = Tensor::from_vec(vec![0.0], &[1]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv1d_same_padding_keeps_length() {
+        for k in [1usize, 3, 4, 7, 8] {
+            let mut conv = Conv1d::new(2, 3, k, 5);
+            let x = init::uniform(&[2, 2, 10], -1.0, 1.0, 7);
+            let y = conv.forward(&x, true);
+            assert_eq!(y.shape(), &[2, 3, 10], "kernel {k}");
+        }
+    }
+
+    #[test]
+    fn conv1d_moving_average_kernel() {
+        let mut conv = Conv1d::new(1, 1, 3, 1);
+        conv.weight.value = Tensor::from_vec(vec![1.0 / 3.0; 3], &[1, 1, 3]);
+        conv.bias.value = Tensor::from_vec(vec![0.0], &[1]);
+        let x = Tensor::from_vec(vec![3.0, 3.0, 3.0, 3.0, 3.0], &[1, 1, 5]);
+        let y = conv.forward(&x, true);
+        // Interior samples see the full window, borders see 2/3 of it.
+        assert!((y.at3(0, 0, 2) - 3.0).abs() < 1e-6);
+        assert!((y.at3(0, 0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conv1d_gradcheck() {
+        let mut conv = Conv1d::new(2, 2, 3, 11);
+        gradcheck(&mut conv, &[2, 2, 6], 2e-2);
+    }
+
+    #[test]
+    fn batchnorm_normalises_in_training() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 1, 3]);
+        let y = bn.forward(&x, true);
+        let mean: f32 = y.data().iter().sum::<f32>() / 6.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 6.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1);
+        // Run several training batches to populate running statistics.
+        for seed in 0..20u64 {
+            let x = init::uniform(&[4, 1, 8], 4.0, 6.0, seed);
+            let _ = bn.forward(&x, true);
+        }
+        // In eval mode a constant input centred on the running mean maps near zero.
+        let x = Tensor::from_vec(vec![5.0; 8], &[1, 1, 8]);
+        let y = bn.forward(&x, false);
+        assert!(y.data().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn batchnorm_gradcheck() {
+        let mut bn = BatchNorm1d::new(2);
+        gradcheck(&mut bn, &[3, 2, 4], 3e-2);
+    }
+
+    #[test]
+    fn global_avg_pool_values_and_shape() {
+        let mut pool = GlobalAvgPool1d::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 4]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[4.0, 2.0]);
+        let g = pool.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]));
+        assert_eq!(g.shape(), &[1, 2, 4]);
+        assert_eq!(g.at3(0, 0, 0), 1.0);
+        assert_eq!(g.at3(0, 1, 3), 2.0);
+    }
+
+    #[test]
+    fn residual_block_shapes_and_projection() {
+        let mut same = ResidualBlock1d::new(4, 4, 3, 1);
+        let x = init::uniform(&[2, 4, 6], -1.0, 1.0, 3);
+        let y = same.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4, 6]);
+
+        let mut grow = ResidualBlock1d::new(4, 8, 3, 2);
+        let y = grow.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 8, 6]);
+        assert_eq!(grow.out_channels(), 8);
+        // Projection shortcut adds parameters.
+        assert!(grow.param_count() > same.param_count());
+    }
+
+    #[test]
+    fn residual_block_gradcheck() {
+        let mut block = ResidualBlock1d::new(2, 3, 3, 17);
+        gradcheck(&mut block, &[2, 2, 5], 5e-2);
+    }
+
+    #[test]
+    fn sequential_composes() {
+        let mut model = Sequential::new(vec![
+            Box::new(Linear::new(3, 4, 1)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(4, 2, 2)),
+        ]);
+        let x = init::uniform(&[5, 3], -1.0, 1.0, 9);
+        let y = model.forward(&x, true);
+        assert_eq!(y.shape(), &[5, 2]);
+        model.zero_grad();
+        let g = model.backward(&Tensor::zeros(&[5, 2]));
+        assert_eq!(g.shape(), &[5, 3]);
+        assert_eq!(model.params_mut().len(), 4);
+        assert!(!model.is_empty());
+        assert_eq!(model.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut lin = Linear::new(2, 2, 1);
+        lin.backward(&Tensor::zeros(&[1, 2]));
+    }
+}

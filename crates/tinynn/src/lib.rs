@@ -1,0 +1,63 @@
+//! # tinynn
+//!
+//! A small, dependency-light, CPU-only neural-network library implementing
+//! exactly the building blocks required by the paper's 1-D ResNet classifier
+//! (Figure 2): 1-D convolutions, batch normalisation, ReLU, residual blocks,
+//! global average pooling, fully connected layers, softmax / cross-entropy,
+//! and the Adam optimiser — together with mini-batch data loading, metrics
+//! (accuracy, confusion matrices) and (de)serialisation of trained models.
+//!
+//! The original work trains with PyTorch on a GPU; `tch-rs`/`burn` are not
+//! available in this offline environment and are immature for custom training
+//! loops, so the layers are implemented from scratch with analytic backward
+//! passes validated against finite differences (see the `gradcheck` tests in
+//! each layer module).
+//!
+//! ## Example: train a tiny classifier
+//!
+//! ```rust
+//! use tinynn::{Linear, Relu, Sequential, Layer, Tensor, CrossEntropyLoss, Adam};
+//!
+//! // Linearly separable toy problem.
+//! let inputs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+//! let labels = vec![0usize, 0, 1, 1];
+//! let mut model = Sequential::new(vec![
+//!     Box::new(Linear::new(2, 8, 1)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(8, 2, 2)),
+//! ]);
+//! let loss_fn = CrossEntropyLoss::new();
+//! let mut optim = Adam::new(0.05);
+//! for _ in 0..200 {
+//!     let x = Tensor::from_rows(&inputs);
+//!     let logits = model.forward(&x, true);
+//!     let (_, grad) = loss_fn.loss_and_grad(&logits, &labels);
+//!     model.zero_grad();
+//!     model.backward(&grad);
+//!     optim.step(&mut model.params_mut());
+//! }
+//! let logits = model.forward(&Tensor::from_rows(&inputs), false);
+//! assert_eq!(logits.argmax_rows(), labels);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod param;
+pub mod tensor;
+
+pub use data::{Batch, DataLoader};
+pub use layers::{
+    BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, Relu, ResidualBlock1d, Sequential,
+};
+pub use loss::CrossEntropyLoss;
+pub use metrics::{accuracy, ConfusionMatrix};
+pub use optim::{Adam, Sgd};
+pub use param::Param;
+pub use tensor::Tensor;

@@ -1,0 +1,123 @@
+//! Softmax cross-entropy loss (Equation 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax of one logit row.
+pub fn softmax_row(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum.max(f32::MIN_POSITIVE)).collect()
+}
+
+/// Softmax cross-entropy loss over a batch of logits.
+///
+/// Combines the softmax layer and the cross-entropy of Equation 1 so that the
+/// backward pass is the numerically well-behaved `softmax(logits) - onehot`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Creates the loss function.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the mean loss over the batch and the gradient with respect to
+    /// the logits.
+    ///
+    /// `logits` must be `[batch, classes]`; `labels` holds one class index per
+    /// batch row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch sizes differ or a label is out of range.
+    pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        assert_eq!(logits.shape().len(), 2, "logits must be 2-D");
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(batch, labels.len(), "batch size mismatch");
+        let mut grad = Tensor::zeros(logits.shape());
+        let mut total_loss = 0.0f64;
+        for b in 0..batch {
+            let label = labels[b];
+            assert!(label < classes, "label {label} out of range for {classes} classes");
+            let probs = softmax_row(&logits.row(b));
+            total_loss += -(probs[label].max(1e-12).ln()) as f64;
+            for c in 0..classes {
+                let indicator = if c == label { 1.0 } else { 0.0 };
+                grad.set2(b, c, (probs[c] - indicator) / batch as f32);
+            }
+        }
+        ((total_loss / batch as f64) as f32, grad)
+    }
+
+    /// Computes only the mean loss (no gradient), e.g. for validation.
+    pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> f32 {
+        self.loss_and_grad(logits, labels).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax_row(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax_row(&[1000.0, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn perfect_prediction_has_small_loss() {
+        let loss_fn = CrossEntropyLoss::new();
+        let logits = Tensor::from_rows(&[vec![10.0, -10.0], vec![-10.0, 10.0]]);
+        let (loss, grad) = loss_fn.loss_and_grad(&logits, &[0, 1]);
+        assert!(loss < 1e-3);
+        assert!(grad.max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_classes() {
+        let loss_fn = CrossEntropyLoss::new();
+        let logits = Tensor::from_rows(&[vec![0.0, 0.0]]);
+        let loss = loss_fn.loss(&logits, &[1]);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let loss_fn = CrossEntropyLoss::new();
+        let logits = Tensor::from_rows(&[vec![0.3, -0.7, 1.2], vec![0.1, 0.0, -0.5]]);
+        let labels = [2usize, 0];
+        let (_, grad) = loss_fn.loss_and_grad(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric = (loss_fn.loss(&plus, &labels) - loss_fn.loss(&minus, &labels)) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn out_of_range_label_panics() {
+        CrossEntropyLoss::new().loss(&Tensor::from_rows(&[vec![0.0, 0.0]]), &[5]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Classification metrics: accuracy and confusion matrices (Figure 3 of the
+//! paper reports per-cipher test confusion matrices).
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to the true labels (0.0 for empty input).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels.iter()).filter(|(p, l)| p == l).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// A square confusion matrix. Rows index the true class, columns the
+/// predicted class (same convention as Figure 3 of the paper, which reports
+/// row-normalised percentages).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "confusion matrix needs at least one class");
+        Self { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, true_class: usize, predicted_class: usize) {
+        assert!(true_class < self.classes && predicted_class < self.classes, "class out of range");
+        self.counts[true_class * self.classes + predicted_class] += 1;
+    }
+
+    /// Records a batch of observations.
+    pub fn record_all(&mut self, true_classes: &[usize], predicted_classes: &[usize]) {
+        assert_eq!(true_classes.len(), predicted_classes.len());
+        for (&t, &p) in true_classes.iter().zip(predicted_classes.iter()) {
+            self.record(t, p);
+        }
+    }
+
+    /// Raw count at `(true_class, predicted_class)`.
+    pub fn count(&self, true_class: usize, predicted_class: usize) -> u64 {
+        self.counts[true_class * self.classes + predicted_class]
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Row-normalised percentage at `(true_class, predicted_class)` — the
+    /// numbers shown in Figure 3. Returns 0.0 for an empty row.
+    pub fn percentage(&self, true_class: usize, predicted_class: usize) -> f64 {
+        let row_total: u64 =
+            (0..self.classes).map(|p| self.count(true_class, p)).sum();
+        if row_total == 0 {
+            0.0
+        } else {
+            100.0 * self.count(true_class, predicted_class) as f64 / row_total as f64
+        }
+    }
+
+    /// Overall accuracy (trace of the matrix over the total count).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Renders the matrix as row-normalised percentages, in the layout of
+    /// Figure 3 (rows = true class, columns = predicted class).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("true\\pred");
+        for p in 0..self.classes {
+            out.push_str(&format!("{p:>10}"));
+        }
+        out.push('\n');
+        for t in 0..self.classes {
+            out.push_str(&format!("{t:>9}"));
+            for p in 0..self.classes {
+                out.push_str(&format!("{:>9.2}%", self.percentage(t, p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 0, 1]), 1.0);
+        assert!((accuracy(&[1, 0, 0, 0], &[1, 1, 1, 1]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_percentages() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record_all(&[0, 0, 0, 1, 1], &[0, 0, 1, 1, 1]);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.percentage(0, 0) - 66.666).abs() < 0.01);
+        assert!((cm.percentage(1, 1) - 100.0).abs() < 1e-9);
+        assert!((cm.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.percentage(0, 0), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_percentages() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(1, 0);
+        let rendered = cm.render();
+        assert!(rendered.contains("100.00%"));
+        assert_eq!(format!("{cm}"), rendered);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn out_of_range_record_panics() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

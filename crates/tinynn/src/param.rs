@@ -1,0 +1,73 @@
+//! Trainable parameters: value, gradient and the Adam moment buffers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter tensor with its gradient accumulator and the
+/// first/second-moment buffers used by the Adam optimiser.
+///
+/// Keeping the optimiser state inside the parameter avoids any fragile
+/// "parameter identity" bookkeeping in the optimiser itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Adam first-moment estimate.
+    pub m: Tensor,
+    /// Adam second-moment estimate.
+    pub v: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value into a parameter with zeroed gradient/moments.
+    pub fn new(value: Tensor) -> Self {
+        let shape = value.shape().to_vec();
+        Self {
+            value,
+            grad: Tensor::zeros(&shape),
+            m: Tensor::zeros(&shape),
+            v: Tensor::zeros(&shape),
+        }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` if the parameter holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_and_moments() {
+        let p = Param::new(Tensor::from_vec(vec![1.0, -2.0], &[2]));
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+        assert_eq!(p.m.data(), &[0.0, 0.0]);
+        assert_eq!(p.v.data(), &[0.0, 0.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::zeros(&[3]));
+        p.grad.data_mut()[1] = 4.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0, 0.0]);
+    }
+}

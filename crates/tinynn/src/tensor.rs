@@ -1,0 +1,282 @@
+//! A minimal dense `f32` tensor with 2-D ([batch, features]) and
+//! 3-D ([batch, channels, length]) access helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `f32` tensor.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// Creates a 2-D tensor [rows, cols] from a slice of equally long rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have different lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Self { data, shape: vec![rows.len(), cols] }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(self.len(), shape.iter().product::<usize>(), "reshape must preserve length");
+        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+    }
+
+    /// Element at `[i, j]` of a 2-D tensor.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Sets element `[i, j]` of a 2-D tensor.
+    #[inline]
+    pub fn set2(&mut self, i: usize, j: usize, value: f32) {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j] = value;
+    }
+
+    /// Element at `[b, c, n]` of a 3-D tensor.
+    #[inline]
+    pub fn at3(&self, b: usize, c: usize, n: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        self.data[(b * self.shape[1] + c) * self.shape[2] + n]
+    }
+
+    /// Sets element `[b, c, n]` of a 3-D tensor.
+    #[inline]
+    pub fn set3(&mut self, b: usize, c: usize, n: usize, value: f32) {
+        debug_assert_eq!(self.shape.len(), 3);
+        self.data[(b * self.shape[1] + c) * self.shape[2] + n] = value;
+    }
+
+    /// Adds element `[b, c, n]` of a 3-D tensor.
+    #[inline]
+    pub fn add3(&mut self, b: usize, c: usize, n: usize, value: f32) {
+        debug_assert_eq!(self.shape.len(), 3);
+        self.data[(b * self.shape[1] + c) * self.shape[2] + n] += value;
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// In-place element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|v| v * factor).collect(), shape: self.shape.clone() }
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute element (0.0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// For a 2-D tensor [rows, cols], the per-row arg-max column index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2, "argmax_rows requires a 2-D tensor");
+        let cols = self.shape[1];
+        self.data
+            .chunks(cols)
+            .map(|row| {
+                // Ties resolve to the first (lowest) index.
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Extracts row `i` of a 2-D tensor as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `i` is out of range.
+    pub fn row(&self, i: usize) -> Vec<f32> {
+        assert_eq!(self.shape.len(), 2, "row requires a 2-D tensor");
+        let cols = self.shape[1];
+        self.data[i * cols..(i + 1) * cols].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_mismatch_panics() {
+        Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn indexing_2d_and_3d() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set2(1, 2, 5.0);
+        assert_eq!(t.at2(1, 2), 5.0);
+        assert_eq!(t.at2(0, 0), 0.0);
+
+        let mut u = Tensor::zeros(&[2, 2, 3]);
+        u.set3(1, 0, 2, 7.0);
+        u.add3(1, 0, 2, 1.0);
+        assert_eq!(u.at3(1, 0, 2), 8.0);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.at2(1, 0), 3.0);
+        assert_eq!(t.row(0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![0.5, 0.5, 0.5], &[3]);
+        assert_eq!(a.add(&b).data(), &[1.5, 2.5, 3.5]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.sum(), 6.0);
+        assert!((a.mean() - 2.0).abs() < 1e-6);
+        assert_eq!(a.max_abs(), 3.0);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let t = Tensor::from_rows(&[vec![0.1, 0.9], vec![2.0, -1.0], vec![0.0, 0.0]]);
+        assert_eq!(t.argmax_rows(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape must preserve length")]
+    fn reshape_bad_length_panics() {
+        Tensor::zeros(&[4]).reshape(&[5]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Labelled window datasets, deterministic shuffling and train/val/test splits.
+//!
+//! The paper (Section IV-B) splits the collected windows into 80 % training,
+//! 15 % validation, 5 % testing. [`SplitRatios`] encodes that split and
+//! [`Dataset::split`] applies it after a deterministic shuffle so that
+//! experiments are reproducible.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TraceError, Window, WindowLabel};
+
+/// Fractions of the dataset assigned to training, validation and testing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatios {
+    /// Fraction of windows used for training.
+    pub train: f64,
+    /// Fraction of windows used for validation (epoch selection).
+    pub validation: f64,
+    /// Fraction of windows used for the final test evaluation.
+    pub test: f64,
+}
+
+impl SplitRatios {
+    /// The 80/15/5 split used in the paper.
+    pub fn paper() -> Self {
+        Self { train: 0.80, validation: 0.15, test: 0.05 }
+    }
+
+    /// Creates a new split, validating that the fractions are non-negative
+    /// and sum to 1 (within a small tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSplit`] otherwise.
+    pub fn new(train: f64, validation: f64, test: f64) -> Result<Self> {
+        if train < 0.0 || validation < 0.0 || test < 0.0 {
+            return Err(TraceError::InvalidSplit("fractions must be non-negative".into()));
+        }
+        let sum = train + validation + test;
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(TraceError::InvalidSplit(format!("fractions must sum to 1, got {sum}")));
+        }
+        Ok(Self { train, validation, test })
+    }
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A dataset of labelled windows, the input to CNN training.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    windows: Vec<Window>,
+}
+
+/// The result of splitting a [`Dataset`] into train/validation/test parts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DatasetSplit {
+    /// Training windows.
+    pub train: Dataset,
+    /// Validation windows.
+    pub validation: Dataset,
+    /// Test windows.
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from a vector of windows.
+    pub fn from_windows(windows: Vec<Window>) -> Self {
+        Self { windows }
+    }
+
+    /// Adds a window to the dataset.
+    pub fn push(&mut self, window: Window) {
+        self.windows.push(window);
+    }
+
+    /// Appends all windows of `other`.
+    pub fn extend_from(&mut self, other: Dataset) {
+        self.windows.extend(other.windows);
+    }
+
+    /// Number of windows in the dataset.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Returns `true` if the dataset holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Immutable access to the windows.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Consumes the dataset and returns the windows.
+    pub fn into_windows(self) -> Vec<Window> {
+        self.windows
+    }
+
+    /// Iterator over the windows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Window> {
+        self.windows.iter()
+    }
+
+    /// Number of windows with the given label.
+    pub fn count_label(&self, label: WindowLabel) -> usize {
+        self.windows.iter().filter(|w| w.label() == label).count()
+    }
+
+    /// Fraction of windows labelled `CipherStart`. Returns 0.0 for an empty dataset.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.count_label(WindowLabel::CipherStart) as f64 / self.windows.len() as f64
+    }
+
+    /// Length (in samples) of the windows, or `None` if the dataset is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the dataset contains windows of mixed lengths.
+    pub fn window_len(&self) -> Option<usize> {
+        let first = self.windows.first()?.len();
+        debug_assert!(
+            self.windows.iter().all(|w| w.len() == first),
+            "dataset contains windows of mixed lengths"
+        );
+        Some(first)
+    }
+
+    /// Shuffles the windows in place with a deterministic RNG seeded by `seed`.
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.windows.shuffle(&mut rng);
+    }
+
+    /// Splits the dataset into train/validation/test parts after a
+    /// deterministic shuffle.
+    ///
+    /// The split is stratified per label so that rare `CipherStart` windows
+    /// appear in every part with (approximately) the requested proportions.
+    pub fn split(mut self, ratios: SplitRatios, seed: u64) -> DatasetSplit {
+        self.shuffle(seed);
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        for w in self.windows {
+            match w.label() {
+                WindowLabel::CipherStart => positives.push(w),
+                WindowLabel::NotStart => negatives.push(w),
+            }
+        }
+        let mut split = DatasetSplit::default();
+        for group in [positives, negatives] {
+            let n = group.len();
+            let n_train = (n as f64 * ratios.train).round() as usize;
+            let n_val = (n as f64 * ratios.validation).round() as usize;
+            for (i, w) in group.into_iter().enumerate() {
+                if i < n_train {
+                    split.train.push(w);
+                } else if i < n_train + n_val {
+                    split.validation.push(w);
+                } else {
+                    split.test.push(w);
+                }
+            }
+        }
+        // Re-shuffle each part so labels are interleaved for mini-batching.
+        split.train.shuffle(seed.wrapping_add(1));
+        split.validation.shuffle(seed.wrapping_add(2));
+        split.test.shuffle(seed.wrapping_add(3));
+        split
+    }
+}
+
+impl FromIterator<Window> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Window>>(iter: I) -> Self {
+        Dataset::from_windows(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Window> for Dataset {
+    fn extend<I: IntoIterator<Item = Window>>(&mut self, iter: I) {
+        self.windows.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_dataset(n_pos: usize, n_neg: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n_pos {
+            d.push(Window::new(vec![1.0; 8], WindowLabel::CipherStart, i));
+        }
+        for i in 0..n_neg {
+            d.push(Window::new(vec![0.0; 8], WindowLabel::NotStart, i));
+        }
+        d
+    }
+
+    #[test]
+    fn paper_ratios_sum_to_one() {
+        let r = SplitRatios::paper();
+        assert!((r.train + r.validation + r.test - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_ratios_rejected() {
+        assert!(SplitRatios::new(0.5, 0.5, 0.5).is_err());
+        assert!(SplitRatios::new(-0.1, 0.6, 0.5).is_err());
+        assert!(SplitRatios::new(0.7, 0.2, 0.1).is_ok());
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = make_dataset(100, 400);
+        let split = d.split(SplitRatios::paper(), 42);
+        assert_eq!(split.train.len() + split.validation.len() + split.test.len(), 500);
+        // Stratification: positives present in train and validation.
+        assert!(split.train.count_label(WindowLabel::CipherStart) >= 70);
+        assert!(split.validation.count_label(WindowLabel::CipherStart) >= 10);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = make_dataset(10, 40).split(SplitRatios::paper(), 7);
+        let b = make_dataset(10, 40).split(SplitRatios::paper(), 7);
+        assert_eq!(a.train.len(), b.train.len());
+        let origins_a: Vec<usize> = a.train.iter().map(|w| w.origin()).collect();
+        let origins_b: Vec<usize> = b.train.iter().map(|w| w.origin()).collect();
+        assert_eq!(origins_a, origins_b);
+    }
+
+    #[test]
+    fn positive_fraction() {
+        let d = make_dataset(25, 75);
+        assert!((d.positive_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(Dataset::new().positive_fraction(), 0.0);
+    }
+
+    #[test]
+    fn window_len_of_empty_is_none() {
+        assert_eq!(Dataset::new().window_len(), None);
+        assert_eq!(make_dataset(1, 1).window_len(), Some(8));
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut d: Dataset = (0..5)
+            .map(|i| Window::new(vec![0.0; 4], WindowLabel::NotStart, i))
+            .collect();
+        d.extend((0..3).map(|i| Window::new(vec![1.0; 4], WindowLabel::CipherStart, i)));
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.count_label(WindowLabel::CipherStart), 3);
+    }
+}

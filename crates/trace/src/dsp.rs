@@ -1,0 +1,460 @@
+//! Digital signal processing primitives.
+//!
+//! The functions in this module implement the building blocks of the paper's
+//! *Segmentation* stage (Section III-D): thresholding of the sliding-window
+//! classification signal into a ±1 square wave, median filtering and rising
+//! edge detection. It also contains generic helpers (standardisation, moving
+//! average, decimation, absolute/low-pass filters) used by the simulator and
+//! by the baseline locators.
+
+use crate::{Result, TraceError};
+
+/// Normalises `samples` in place to zero mean and unit (population) variance.
+///
+/// A constant signal is only centred (its variance is zero and cannot be
+/// scaled to one).
+pub fn standardize_in_place(samples: &mut [f32]) {
+    if samples.is_empty() {
+        return;
+    }
+    let mean = crate::stats::mean(samples);
+    let std = crate::stats::std(samples);
+    if std > 0.0 {
+        for s in samples.iter_mut() {
+            *s = (*s - mean) / std;
+        }
+    } else {
+        for s in samples.iter_mut() {
+            *s -= mean;
+        }
+    }
+}
+
+/// Min-max normalises `samples` in place into the `[0, 1]` range.
+///
+/// A constant signal maps to all zeros.
+pub fn min_max_normalize_in_place(samples: &mut [f32]) {
+    if samples.is_empty() {
+        return;
+    }
+    let min = samples.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = samples.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let range = max - min;
+    for s in samples.iter_mut() {
+        *s = if range > 0.0 { (*s - min) / range } else { 0.0 };
+    }
+}
+
+/// Converts a score signal into a ±1 square wave by comparing every sample
+/// to `threshold` (`Th` block in Figure 1 of the paper).
+///
+/// A sample strictly above the threshold maps to `+1.0`, otherwise `-1.0`.
+pub fn threshold_square_wave(samples: &[f32], threshold: f32) -> Vec<f32> {
+    samples.iter().map(|&s| if s > threshold { 1.0 } else { -1.0 }).collect()
+}
+
+/// Applies a median filter of odd window size `k` (`MF` block in Figure 1).
+///
+/// The window is centred on every sample; borders are handled by clamping the
+/// window inside the signal (shrinking it near the edges), which is the usual
+/// behaviour of `scipy.signal.medfilt`-style filters on short signals.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] if `k` is zero or even.
+pub fn median_filter(samples: &[f32], k: usize) -> Result<Vec<f32>> {
+    if k == 0 || k % 2 == 0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "median filter size must be odd and non-zero, got {k}"
+        )));
+    }
+    if samples.is_empty() {
+        return Ok(Vec::new());
+    }
+    let half = k / 2;
+    let mut out = Vec::with_capacity(samples.len());
+    let mut buf: Vec<f32> = Vec::with_capacity(k);
+    for i in 0..samples.len() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(samples.len());
+        buf.clear();
+        buf.extend_from_slice(&samples[lo..hi]);
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median filter input"));
+        out.push(buf[buf.len() / 2]);
+    }
+    Ok(out)
+}
+
+/// Returns the indices at which the signal transitions from a negative value
+/// to a positive one (rising edges of a ±1 square wave).
+///
+/// The returned index is the index of the *first positive sample* of the edge,
+/// matching the paper's convention that the rising edge marks the beginning of
+/// a cryptographic operation.
+pub fn rising_edges(samples: &[f32]) -> Vec<usize> {
+    let mut edges = Vec::new();
+    for i in 1..samples.len() {
+        if samples[i - 1] < 0.0 && samples[i] >= 0.0 {
+            edges.push(i);
+        }
+    }
+    edges
+}
+
+/// Returns the indices at which the signal transitions from a positive value
+/// to a negative one (falling edges).
+pub fn falling_edges(samples: &[f32]) -> Vec<usize> {
+    let mut edges = Vec::new();
+    for i in 1..samples.len() {
+        if samples[i - 1] >= 0.0 && samples[i] < 0.0 {
+            edges.push(i);
+        }
+    }
+    edges
+}
+
+/// Simple moving average with a causal window of `k` samples (`k >= 1`).
+///
+/// The first `k-1` outputs average the available prefix only.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] if `k` is zero.
+pub fn moving_average(samples: &[f32], k: usize) -> Result<Vec<f32>> {
+    if k == 0 {
+        return Err(TraceError::InvalidParameter("moving average window must be > 0".into()));
+    }
+    let mut out = Vec::with_capacity(samples.len());
+    let mut sum = 0.0f64;
+    for i in 0..samples.len() {
+        sum += samples[i] as f64;
+        if i >= k {
+            sum -= samples[i - k] as f64;
+        }
+        let denom = (i + 1).min(k) as f64;
+        out.push((sum / denom) as f32);
+    }
+    Ok(out)
+}
+
+/// First-order IIR low-pass filter `y[n] = alpha * x[n] + (1 - alpha) * y[n-1]`.
+///
+/// `alpha` must be in `(0, 1]`; it models the analog bandwidth limitation of
+/// the measurement chain in the simulator.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] if `alpha` is outside `(0, 1]`.
+pub fn low_pass(samples: &[f32], alpha: f32) -> Result<Vec<f32>> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(TraceError::InvalidParameter(format!("alpha must be in (0,1], got {alpha}")));
+    }
+    let mut out = Vec::with_capacity(samples.len());
+    let mut y = 0.0f32;
+    for (i, &x) in samples.iter().enumerate() {
+        y = if i == 0 { x } else { alpha * x + (1.0 - alpha) * y };
+        out.push(y);
+    }
+    Ok(out)
+}
+
+/// Decimates the signal by keeping one sample every `factor` samples.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] if `factor` is zero.
+pub fn decimate(samples: &[f32], factor: usize) -> Result<Vec<f32>> {
+    if factor == 0 {
+        return Err(TraceError::InvalidParameter("decimation factor must be > 0".into()));
+    }
+    Ok(samples.iter().step_by(factor).copied().collect())
+}
+
+/// Linearly resamples the signal to `new_len` samples (nearest-neighbour for
+/// degenerate cases). Used by the oscilloscope model to convert cycles to
+/// ADC samples at a non-integer samples-per-cycle ratio.
+pub fn resample_linear(samples: &[f32], new_len: usize) -> Vec<f32> {
+    if new_len == 0 || samples.is_empty() {
+        return Vec::new();
+    }
+    if samples.len() == 1 {
+        return vec![samples[0]; new_len];
+    }
+    let mut out = Vec::with_capacity(new_len);
+    let scale = (samples.len() - 1) as f64 / (new_len.max(2) - 1) as f64;
+    for i in 0..new_len {
+        let pos = i as f64 * scale;
+        let idx = pos.floor() as usize;
+        let frac = (pos - idx as f64) as f32;
+        let a = samples[idx.min(samples.len() - 1)];
+        let b = samples[(idx + 1).min(samples.len() - 1)];
+        out.push(a + (b - a) * frac);
+    }
+    out
+}
+
+/// Quantises the signal as an ADC with `bits` bits over the `[min, max]`
+/// full-scale range would. Values outside the range are clipped.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] if `bits` is zero or greater than
+/// 24, or if `max <= min`.
+pub fn quantize(samples: &[f32], bits: u32, min: f32, max: f32) -> Result<Vec<f32>> {
+    if bits == 0 || bits > 24 {
+        return Err(TraceError::InvalidParameter(format!("bits must be in 1..=24, got {bits}")));
+    }
+    if max <= min {
+        return Err(TraceError::InvalidParameter("quantization range max must exceed min".into()));
+    }
+    let levels = (1u32 << bits) as f32 - 1.0;
+    let range = max - min;
+    Ok(samples
+        .iter()
+        .map(|&s| {
+            let clipped = s.clamp(min, max);
+            let code = ((clipped - min) / range * levels).round();
+            min + code / levels * range
+        })
+        .collect())
+}
+
+/// Computes the sliding-window sum of absolute differences (SAD) between a
+/// `template` and every aligned position of `signal`.
+///
+/// Returns a vector of length `signal.len() - template.len() + 1`; lower
+/// values indicate better matches. Used by the SAD baseline locator.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] if the template is empty or longer
+/// than the signal.
+pub fn sliding_sad(signal: &[f32], template: &[f32]) -> Result<Vec<f32>> {
+    if template.is_empty() {
+        return Err(TraceError::InvalidParameter("template must not be empty".into()));
+    }
+    if template.len() > signal.len() {
+        return Err(TraceError::InvalidParameter(
+            "template must not be longer than the signal".into(),
+        ));
+    }
+    let n = signal.len() - template.len() + 1;
+    let mut out = Vec::with_capacity(n);
+    for start in 0..n {
+        let mut sad = 0.0f64;
+        for (i, &t) in template.iter().enumerate() {
+            sad += (signal[start + i] - t).abs() as f64;
+        }
+        out.push(sad as f32);
+    }
+    Ok(out)
+}
+
+/// Computes the normalised cross-correlation between a `template` and every
+/// aligned position of `signal` (matched-filter output).
+///
+/// Each output sample is the Pearson correlation between the template and the
+/// corresponding signal slice, hence bounded in `[-1, 1]`. Used by the
+/// matched-filter baseline locator.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] if the template is empty or longer
+/// than the signal.
+pub fn normalized_cross_correlation(signal: &[f32], template: &[f32]) -> Result<Vec<f32>> {
+    if template.is_empty() {
+        return Err(TraceError::InvalidParameter("template must not be empty".into()));
+    }
+    if template.len() > signal.len() {
+        return Err(TraceError::InvalidParameter(
+            "template must not be longer than the signal".into(),
+        ));
+    }
+    let n = signal.len() - template.len() + 1;
+    let mut out = Vec::with_capacity(n);
+    for start in 0..n {
+        let window = &signal[start..start + template.len()];
+        out.push(crate::stats::pearson(window, template));
+    }
+    Ok(out)
+}
+
+/// Finds local maxima of `signal` that exceed `threshold` and are separated by
+/// at least `min_distance` samples (greedy, highest peaks first).
+///
+/// Returns the peak indices in ascending order.
+pub fn find_peaks(signal: &[f32], threshold: f32, min_distance: usize) -> Vec<usize> {
+    let mut candidates: Vec<usize> = (0..signal.len())
+        .filter(|&i| {
+            let v = signal[i];
+            v > threshold
+                && (i == 0 || signal[i - 1] <= v)
+                && (i + 1 == signal.len() || signal[i + 1] < v)
+        })
+        .collect();
+    candidates.sort_by(|&a, &b| {
+        signal[b].partial_cmp(&signal[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut selected: Vec<usize> = Vec::new();
+    for c in candidates {
+        if selected.iter().all(|&s| c.abs_diff(s) >= min_distance.max(1)) {
+            selected.push(c);
+        }
+    }
+    selected.sort_unstable();
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_wave_threshold() {
+        let w = threshold_square_wave(&[0.1, 0.6, 0.5, 0.9], 0.5);
+        assert_eq!(w, vec![-1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn median_filter_removes_spike() {
+        let signal = vec![-1.0, -1.0, 1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        let filtered = median_filter(&signal, 3).unwrap();
+        assert_eq!(filtered, vec![-1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn median_filter_rejects_even_size() {
+        assert!(median_filter(&[1.0, 2.0], 2).is_err());
+        assert!(median_filter(&[1.0, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn median_filter_empty_signal() {
+        assert!(median_filter(&[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rising_and_falling_edges() {
+        let wave = vec![-1.0, -1.0, 1.0, 1.0, -1.0, 1.0];
+        assert_eq!(rising_edges(&wave), vec![2, 5]);
+        assert_eq!(falling_edges(&wave), vec![4]);
+    }
+
+    #[test]
+    fn no_edges_in_constant_signal() {
+        assert!(rising_edges(&[1.0; 10]).is_empty());
+        assert!(rising_edges(&[-1.0; 10]).is_empty());
+    }
+
+    #[test]
+    fn moving_average_basic() {
+        let out = moving_average(&[1.0, 1.0, 1.0, 5.0], 2).unwrap();
+        assert_eq!(out, vec![1.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn low_pass_validates_alpha() {
+        assert!(low_pass(&[1.0], 0.0).is_err());
+        assert!(low_pass(&[1.0], 1.5).is_err());
+        assert_eq!(low_pass(&[1.0, 3.0], 1.0).unwrap(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn decimate_keeps_every_other() {
+        let out = decimate(&[0.0, 1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        assert_eq!(out, vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let out = resample_linear(&[0.0, 1.0, 2.0, 3.0], 7);
+        assert_eq!(out.len(), 7);
+        assert!((out[0] - 0.0).abs() < 1e-6);
+        assert!((out[6] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_clips_and_rounds() {
+        let out = quantize(&[-2.0, 0.0, 0.5, 2.0], 2, -1.0, 1.0).unwrap();
+        // 2 bits -> 4 levels at -1, -1/3, 1/3, 1.
+        assert!((out[0] + 1.0).abs() < 1e-6);
+        assert!((out[3] - 1.0).abs() < 1e-6);
+        assert!(out[2] > 0.0 && out[2] < 1.0);
+    }
+
+    #[test]
+    fn quantize_validates_params() {
+        assert!(quantize(&[0.0], 0, -1.0, 1.0).is_err());
+        assert!(quantize(&[0.0], 12, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn sad_perfect_match_is_zero() {
+        let signal = vec![0.0, 1.0, 2.0, 3.0, 2.0, 1.0];
+        let template = vec![2.0, 3.0, 2.0];
+        let sad = sliding_sad(&signal, &template).unwrap();
+        assert_eq!(sad.len(), 4);
+        let best = sad
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 2);
+        assert!(sad[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn ncc_detects_template_position() {
+        let mut signal = vec![0.0f32; 32];
+        let template = vec![0.0, 1.0, 4.0, 1.0, 0.0, -2.0];
+        for (i, &t) in template.iter().enumerate() {
+            signal[10 + i] = t;
+        }
+        let ncc = normalized_cross_correlation(&signal, &template).unwrap();
+        let best = ncc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 10);
+        assert!(ncc[10] > 0.99);
+    }
+
+    #[test]
+    fn ncc_rejects_bad_template() {
+        assert!(normalized_cross_correlation(&[1.0], &[]).is_err());
+        assert!(normalized_cross_correlation(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn find_peaks_respects_min_distance() {
+        let signal = vec![0.0, 5.0, 0.0, 4.0, 0.0, 0.0, 0.0, 6.0, 0.0];
+        let peaks = find_peaks(&signal, 1.0, 4);
+        assert_eq!(peaks, vec![1, 7]);
+    }
+
+    #[test]
+    fn find_peaks_threshold_filters() {
+        let signal = vec![0.0, 0.5, 0.0, 2.0, 0.0];
+        assert_eq!(find_peaks(&signal, 1.0, 1), vec![3]);
+    }
+
+    #[test]
+    fn standardize_constant_signal() {
+        let mut v = vec![3.0; 5];
+        standardize_in_place(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn min_max_normalize() {
+        let mut v = vec![2.0, 4.0, 6.0];
+        min_max_normalize_in_place(&mut v);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+        let mut c = vec![1.0, 1.0];
+        min_max_normalize_in_place(&mut c);
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Simple portable trace and dataset (de)serialisation.
+//!
+//! Two formats are supported:
+//!
+//! * a compact little-endian binary format for raw sample vectors
+//!   ([`write_samples_binary`] / [`read_samples_binary`]) compatible with
+//!   `numpy.fromfile(dtype="<f4")`, convenient for exchanging traces with the
+//!   original Python tooling, and
+//! * a self-describing text format for [`Trace`] including metadata
+//!   ([`write_trace_text`] / [`read_trace_text`]), kept dependency-free on
+//!   purpose (no JSON crate in the offline allow-list).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Result, Trace, TraceError, TraceMeta};
+
+const MAGIC: &[u8; 8] = b"SCATRC01";
+
+fn io_err(e: std::io::Error) -> TraceError {
+    TraceError::Io(e.to_string())
+}
+
+/// Writes raw `f32` samples in little-endian binary to `writer`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the underlying writer fails.
+pub fn write_samples_binary<W: Write>(mut writer: W, samples: &[f32]) -> Result<()> {
+    for &s in samples {
+        writer.write_all(&s.to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads raw little-endian `f32` samples from `reader` until EOF.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the reader fails or the byte count is not a
+/// multiple of 4.
+pub fn read_samples_binary<R: Read>(mut reader: R) -> Result<Vec<f32>> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes).map_err(io_err)?;
+    if bytes.len() % 4 != 0 {
+        return Err(TraceError::Io(format!(
+            "byte length {} is not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Writes a [`Trace`] (samples + metadata) to a self-describing text file.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the file cannot be written.
+pub fn write_trace_text<P: AsRef<Path>>(path: P, trace: &Trace) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC).map_err(io_err)?;
+    writeln!(w).map_err(io_err)?;
+    writeln!(w, "description {}", trace.meta().description.replace('\n', " ")).map_err(io_err)?;
+    writeln!(w, "sample_rate_hz {}", trace.meta().sample_rate_hz.unwrap_or(0.0)).map_err(io_err)?;
+    writeln!(w, "device_clock_hz {}", trace.meta().device_clock_hz.unwrap_or(0.0))
+        .map_err(io_err)?;
+    let starts: Vec<String> = trace.meta().co_starts.iter().map(|s| s.to_string()).collect();
+    let ends: Vec<String> = trace.meta().co_ends.iter().map(|s| s.to_string()).collect();
+    writeln!(w, "co_starts {}", starts.join(",")).map_err(io_err)?;
+    writeln!(w, "co_ends {}", ends.join(",")).map_err(io_err)?;
+    writeln!(w, "samples {}", trace.len()).map_err(io_err)?;
+    for &s in trace.samples() {
+        writeln!(w, "{s}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a [`Trace`] previously written by [`write_trace_text`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the file cannot be read or is malformed.
+pub fn read_trace_text<P: AsRef<Path>>(path: P) -> Result<Trace> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut r = BufReader::new(file);
+    let mut lines = Vec::new();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        let n = r.read_line(&mut buf).map_err(io_err)?;
+        if n == 0 {
+            break;
+        }
+        lines.push(buf.trim_end().to_string());
+    }
+    let mut it = lines.into_iter();
+    let magic = it.next().ok_or_else(|| TraceError::Io("empty trace file".into()))?;
+    if magic.as_bytes() != MAGIC {
+        return Err(TraceError::Io("bad magic header".into()));
+    }
+    let mut meta = TraceMeta::default();
+    let mut n_samples = 0usize;
+    for line in it.by_ref() {
+        let (key, value) = line.split_once(' ').unwrap_or((line.as_str(), ""));
+        match key {
+            "description" => meta.description = value.to_string(),
+            "sample_rate_hz" => {
+                let v: f64 = value.parse().map_err(|_| TraceError::Io("bad sample_rate".into()))?;
+                meta.sample_rate_hz = if v > 0.0 { Some(v) } else { None };
+            }
+            "device_clock_hz" => {
+                let v: f64 = value.parse().map_err(|_| TraceError::Io("bad clock".into()))?;
+                meta.device_clock_hz = if v > 0.0 { Some(v) } else { None };
+            }
+            "co_starts" => {
+                meta.co_starts = parse_usize_list(value)?;
+            }
+            "co_ends" => {
+                meta.co_ends = parse_usize_list(value)?;
+            }
+            "samples" => {
+                n_samples = value.parse().map_err(|_| TraceError::Io("bad sample count".into()))?;
+                break;
+            }
+            other => return Err(TraceError::Io(format!("unknown header field '{other}'"))),
+        }
+    }
+    let mut samples = Vec::with_capacity(n_samples);
+    for line in it {
+        if line.is_empty() {
+            continue;
+        }
+        samples.push(line.parse::<f32>().map_err(|_| TraceError::Io("bad sample value".into()))?);
+    }
+    if samples.len() != n_samples {
+        return Err(TraceError::Io(format!(
+            "expected {n_samples} samples, found {}",
+            samples.len()
+        )));
+    }
+    Ok(Trace::with_meta(samples, meta))
+}
+
+fn parse_usize_list(value: &str) -> Result<Vec<usize>> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(|s| s.parse::<usize>().map_err(|_| TraceError::Io(format!("bad index '{s}'"))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_roundtrip() {
+        let samples = vec![0.0f32, -1.5, 3.25, f32::MAX, f32::MIN_POSITIVE];
+        let mut buf = Vec::new();
+        write_samples_binary(&mut buf, &samples).unwrap();
+        let back = read_samples_binary(&buf[..]).unwrap();
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn binary_bad_length() {
+        let bytes = vec![0u8; 7];
+        assert!(read_samples_binary(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip_with_meta() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sca_trace_io_test.trc");
+        let mut meta = TraceMeta::with_description("unit test trace");
+        meta.sample_rate_hz = Some(125e6);
+        meta.device_clock_hz = Some(50e6);
+        meta.co_starts = vec![10, 200];
+        meta.co_ends = vec![100, 320];
+        let trace = Trace::with_meta(vec![0.5, -0.25, 1.0, 2.0], meta);
+        write_trace_text(&path, &trace).unwrap();
+        let back = read_trace_text(&path).unwrap();
+        assert_eq!(back.samples(), trace.samples());
+        assert_eq!(back.meta().co_starts, trace.meta().co_starts);
+        assert_eq!(back.meta().co_ends, trace.meta().co_ends);
+        assert_eq!(back.meta().description, "unit test trace");
+        assert_eq!(back.meta().sample_rate_hz, Some(125e6));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_roundtrip_empty_markers() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sca_trace_io_test_empty.trc");
+        let trace = Trace::from_samples(vec![1.0, 2.0]);
+        write_trace_text(&path, &trace).unwrap();
+        let back = read_trace_text(&path).unwrap();
+        assert!(back.meta().co_starts.is_empty());
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_missing_file_is_error() {
+        assert!(read_trace_text("/nonexistent/definitely_missing.trc").is_err());
+    }
+}

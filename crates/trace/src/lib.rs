@@ -1,0 +1,88 @@
+//! # sca-trace
+//!
+//! Side-channel trace substrate used by the whole `sca-locate` workspace.
+//!
+//! The crate provides:
+//!
+//! * [`Trace`] — a one-dimensional sampled side-channel signal together with
+//!   optional metadata (sample rate, ground-truth markers).
+//! * [`Window`] and [`WindowLabel`] — fixed-size slices of a trace labelled as
+//!   *beginning of a cryptographic operation* (`c1`) or *not* (`c0`), the unit
+//!   the paper's CNN classifier is trained on.
+//! * [`dsp`] — the signal-processing primitives required by the paper's
+//!   segmentation stage (normalisation, thresholding to a ±1 square wave,
+//!   median filtering, rising-edge detection) plus a few generic helpers.
+//! * [`stats`] — running statistics and Pearson correlation (used both for the
+//!   CPA attack and for the matched-filter baseline).
+//! * [`dataset`] — labelled window collections with deterministic shuffling
+//!   and train/validation/test splitting.
+//! * [`io`] — simple portable (de)serialisation of traces and datasets.
+//!
+//! # Example
+//!
+//! ```rust
+//! use sca_trace::{Trace, dsp};
+//!
+//! let trace = Trace::from_samples(vec![0.0, 0.2, 0.9, 1.0, 0.1, 0.0]);
+//! let wave = dsp::threshold_square_wave(trace.samples(), 0.5);
+//! assert_eq!(wave, vec![-1.0, -1.0, 1.0, 1.0, -1.0, -1.0]);
+//! let edges = dsp::rising_edges(&wave);
+//! assert_eq!(edges, vec![2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dsp;
+pub mod io;
+pub mod stats;
+pub mod trace;
+pub mod window;
+
+pub use dataset::{Dataset, DatasetSplit, SplitRatios};
+pub use trace::{Trace, TraceMeta};
+pub use window::{Window, WindowLabel, WindowSlicer};
+
+/// Errors produced by the trace substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A window was requested that exceeds the bounds of the trace.
+    WindowOutOfBounds {
+        /// First sample of the requested window.
+        start: usize,
+        /// Length of the requested window.
+        len: usize,
+        /// Length of the trace.
+        trace_len: usize,
+    },
+    /// An empty trace or window was supplied where a non-empty one is required.
+    Empty,
+    /// Invalid parameter (e.g. a zero-length window or stride).
+    InvalidParameter(String),
+    /// Ratios of a dataset split do not sum to 1 or are negative.
+    InvalidSplit(String),
+    /// An I/O or format error while reading/writing a trace file.
+    Io(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::WindowOutOfBounds { start, len, trace_len } => write!(
+                f,
+                "window [{start}, {}) out of bounds for trace of length {trace_len}",
+                start + len
+            ),
+            TraceError::Empty => write!(f, "empty trace or window"),
+            TraceError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            TraceError::InvalidSplit(msg) => write!(f, "invalid dataset split: {msg}"),
+            TraceError::Io(msg) => write!(f, "trace i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, TraceError>;

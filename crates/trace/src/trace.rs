@@ -1,0 +1,251 @@
+//! Side-channel trace container and metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TraceError};
+
+/// Metadata attached to a [`Trace`].
+///
+/// All fields are optional; the simulator fills them in, while traces loaded
+/// from raw sample files may leave them empty.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Sampling rate of the oscilloscope in samples per second.
+    pub sample_rate_hz: Option<f64>,
+    /// Clock frequency of the device under test in Hz.
+    pub device_clock_hz: Option<f64>,
+    /// Ground-truth start sample of every cryptographic operation contained
+    /// in the trace. Only available for simulated traces; used exclusively
+    /// for evaluation, never by the locator itself.
+    pub co_starts: Vec<usize>,
+    /// Ground-truth end sample (exclusive) of every cryptographic operation.
+    pub co_ends: Vec<usize>,
+    /// Human-readable description (cipher name, scenario, ...).
+    pub description: String,
+}
+
+impl TraceMeta {
+    /// Creates an empty metadata record with a description.
+    pub fn with_description(description: impl Into<String>) -> Self {
+        Self { description: description.into(), ..Self::default() }
+    }
+
+    /// Number of ground-truth cryptographic operations recorded in the metadata.
+    pub fn co_count(&self) -> usize {
+        self.co_starts.len()
+    }
+}
+
+/// A one-dimensional side-channel trace (power, EM, ...).
+///
+/// Samples are stored as `f32` which matches both the 12-bit ADC resolution of
+/// the paper's oscilloscope and the input precision of the CNN.
+///
+/// # Example
+///
+/// ```rust
+/// use sca_trace::Trace;
+///
+/// let t = Trace::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.slice(1, 2).unwrap(), &[2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    samples: Vec<f32>,
+    meta: TraceMeta,
+}
+
+impl Trace {
+    /// Creates a trace from raw samples with empty metadata.
+    pub fn from_samples(samples: Vec<f32>) -> Self {
+        Self { samples, meta: TraceMeta::default() }
+    }
+
+    /// Creates a trace from raw samples and metadata.
+    pub fn with_meta(samples: Vec<f32>, meta: TraceMeta) -> Self {
+        Self { samples, meta }
+    }
+
+    /// Returns the raw samples.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Returns a mutable view of the raw samples.
+    pub fn samples_mut(&mut self) -> &mut [f32] {
+        &mut self.samples
+    }
+
+    /// Consumes the trace and returns the underlying sample vector.
+    pub fn into_samples(self) -> Vec<f32> {
+        self.samples
+    }
+
+    /// Returns the trace metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Returns a mutable reference to the trace metadata.
+    pub fn meta_mut(&mut self) -> &mut TraceMeta {
+        &mut self.meta
+    }
+
+    /// Number of samples in the trace.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns a sub-slice of `len` samples starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::WindowOutOfBounds`] if the requested range does
+    /// not fit in the trace.
+    pub fn slice(&self, start: usize, len: usize) -> Result<&[f32]> {
+        if start.checked_add(len).map_or(true, |end| end > self.samples.len()) {
+            return Err(TraceError::WindowOutOfBounds { start, len, trace_len: self.samples.len() });
+        }
+        Ok(&self.samples[start..start + len])
+    }
+
+    /// Extracts an owned sub-trace of `len` samples starting at `start`,
+    /// carrying over (and re-basing) the ground-truth markers that fall in
+    /// the extracted range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::WindowOutOfBounds`] if the requested range does
+    /// not fit in the trace.
+    pub fn extract(&self, start: usize, len: usize) -> Result<Trace> {
+        let samples = self.slice(start, len)?.to_vec();
+        let mut meta = self.meta.clone();
+        let end = start + len;
+        let rebased: Vec<(usize, usize)> = self
+            .meta
+            .co_starts
+            .iter()
+            .zip(self.meta.co_ends.iter().chain(std::iter::repeat(&usize::MAX)))
+            .filter(|(s, _)| **s >= start && **s < end)
+            .map(|(s, e)| (*s - start, (*e).saturating_sub(start).min(len)))
+            .collect();
+        meta.co_starts = rebased.iter().map(|(s, _)| *s).collect();
+        meta.co_ends = rebased.iter().map(|(_, e)| *e).collect();
+        Ok(Trace { samples, meta })
+    }
+
+    /// Appends another trace, shifting its ground-truth markers by the current length.
+    pub fn append(&mut self, other: &Trace) {
+        let offset = self.samples.len();
+        self.samples.extend_from_slice(&other.samples);
+        self.meta.co_starts.extend(other.meta.co_starts.iter().map(|s| s + offset));
+        self.meta.co_ends.extend(other.meta.co_ends.iter().map(|e| e + offset));
+    }
+
+    /// Mean of the samples. Returns 0.0 for an empty trace.
+    pub fn mean(&self) -> f32 {
+        crate::stats::mean(&self.samples)
+    }
+
+    /// Standard deviation of the samples (population). Returns 0.0 for an empty trace.
+    pub fn std(&self) -> f32 {
+        crate::stats::std(&self.samples)
+    }
+
+    /// Normalises the trace in place to zero mean and unit variance.
+    ///
+    /// A trace with zero variance is left centred at zero.
+    pub fn standardize(&mut self) {
+        crate::dsp::standardize_in_place(&mut self.samples);
+    }
+}
+
+impl FromIterator<f32> for Trace {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        Trace::from_samples(iter.into_iter().collect())
+    }
+}
+
+impl AsRef<[f32]> for Trace {
+    fn as_ref(&self) -> &[f32] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_in_bounds() {
+        let t = Trace::from_samples(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.slice(1, 3).unwrap(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_out_of_bounds_is_error() {
+        let t = Trace::from_samples(vec![1.0, 2.0, 3.0]);
+        let err = t.slice(2, 5).unwrap_err();
+        assert!(matches!(err, TraceError::WindowOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn slice_overflow_is_error() {
+        let t = Trace::from_samples(vec![1.0]);
+        assert!(t.slice(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn extract_rebases_markers() {
+        let mut meta = TraceMeta::default();
+        meta.co_starts = vec![2, 10];
+        meta.co_ends = vec![5, 14];
+        let t = Trace::with_meta((0..20).map(|x| x as f32).collect(), meta);
+        let sub = t.extract(8, 8).unwrap();
+        assert_eq!(sub.meta().co_starts, vec![2]);
+        assert_eq!(sub.meta().co_ends, vec![6]);
+        assert_eq!(sub.len(), 8);
+        assert_eq!(sub.samples()[0], 8.0);
+    }
+
+    #[test]
+    fn append_shifts_markers() {
+        let mut a = Trace::from_samples(vec![0.0; 10]);
+        let mut meta = TraceMeta::default();
+        meta.co_starts = vec![1];
+        meta.co_ends = vec![4];
+        let b = Trace::with_meta(vec![1.0; 5], meta);
+        a.append(&b);
+        assert_eq!(a.len(), 15);
+        assert_eq!(a.meta().co_starts, vec![11]);
+        assert_eq!(a.meta().co_ends, vec![14]);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_std() {
+        let mut t = Trace::from_samples(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        t.standardize();
+        assert!(t.mean().abs() < 1e-6);
+        assert!((t.std() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.std(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Trace = (0..4).map(|x| x as f32).collect();
+        assert_eq!(t.len(), 4);
+    }
+}

@@ -1,0 +1,255 @@
+//! Fixed-size labelled windows and the sliding-window slicer.
+//!
+//! The paper's classifier operates on `N`-sample windows cut out of a
+//! side-channel trace. During training each window carries a label
+//! ([`WindowLabel`]): the first window of every cipher trace is the
+//! *beginning of the cryptographic operation* (`CipherStart`, class `c1`),
+//! every other window (rest of the cipher trace and noise-trace windows) is
+//! `c0`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Trace, TraceError};
+
+/// Binary label of a training window (Section III-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowLabel {
+    /// The window covers the beginning of a cryptographic operation (class `c1`).
+    CipherStart,
+    /// The window does not cover the beginning of a CO (class `c0`):
+    /// either the rest of a cipher trace or a noise window.
+    NotStart,
+}
+
+impl WindowLabel {
+    /// Index of the class used by the cross-entropy loss (c0 = 0, c1 = 1).
+    pub fn class_index(self) -> usize {
+        match self {
+            WindowLabel::NotStart => 0,
+            WindowLabel::CipherStart => 1,
+        }
+    }
+
+    /// Builds a label from a class index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not 0 or 1.
+    pub fn from_class_index(index: usize) -> Self {
+        match index {
+            0 => WindowLabel::NotStart,
+            1 => WindowLabel::CipherStart,
+            other => panic!("invalid class index {other}, expected 0 or 1"),
+        }
+    }
+}
+
+impl std::fmt::Display for WindowLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowLabel::CipherStart => write!(f, "c1 (cipher start)"),
+            WindowLabel::NotStart => write!(f, "c0 (not start)"),
+        }
+    }
+}
+
+/// A labelled `N`-sample window extracted from a side-channel trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    samples: Vec<f32>,
+    label: WindowLabel,
+    /// Index of the first sample of the window in the originating trace.
+    origin: usize,
+}
+
+impl Window {
+    /// Creates a new labelled window.
+    pub fn new(samples: Vec<f32>, label: WindowLabel, origin: usize) -> Self {
+        Self { samples, label, origin }
+    }
+
+    /// Raw samples of the window.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Label of the window.
+    pub fn label(&self) -> WindowLabel {
+        self.label
+    }
+
+    /// Index of the first sample of the window in the originating trace.
+    pub fn origin(&self) -> usize {
+        self.origin
+    }
+
+    /// Window length in samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Consumes the window and returns its samples.
+    pub fn into_samples(self) -> Vec<f32> {
+        self.samples
+    }
+
+    /// Returns a standardized (zero-mean, unit-variance) copy of the samples.
+    pub fn standardized(&self) -> Vec<f32> {
+        let mut v = self.samples.clone();
+        crate::dsp::standardize_in_place(&mut v);
+        v
+    }
+}
+
+/// Iterator configuration that slices a trace into (possibly overlapping)
+/// `N`-sample windows with a fixed stride, as done by the paper's *Slicing*
+/// block in the inference pipeline.
+///
+/// # Example
+///
+/// ```rust
+/// use sca_trace::{Trace, WindowSlicer};
+///
+/// let trace = Trace::from_samples((0..10).map(|x| x as f32).collect());
+/// let slicer = WindowSlicer::new(4, 2).unwrap();
+/// let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
+/// assert_eq!(starts, vec![0, 2, 4, 6]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSlicer {
+    window_len: usize,
+    stride: usize,
+}
+
+impl WindowSlicer {
+    /// Creates a slicer with the given window length `N` and stride `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] if either parameter is zero.
+    pub fn new(window_len: usize, stride: usize) -> Result<Self> {
+        if window_len == 0 {
+            return Err(TraceError::InvalidParameter("window length must be > 0".into()));
+        }
+        if stride == 0 {
+            return Err(TraceError::InvalidParameter("stride must be > 0".into()));
+        }
+        Ok(Self { window_len, stride })
+    }
+
+    /// Window length `N`.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Stride `s` between two consecutive windows.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of complete windows produced for a trace of `trace_len` samples.
+    pub fn window_count(&self, trace_len: usize) -> usize {
+        if trace_len < self.window_len {
+            0
+        } else {
+            (trace_len - self.window_len) / self.stride + 1
+        }
+    }
+
+    /// Iterator over the start sample of every complete window.
+    pub fn window_starts(&self, trace_len: usize) -> impl Iterator<Item = usize> + '_ {
+        let count = self.window_count(trace_len);
+        (0..count).map(move |i| i * self.stride)
+    }
+
+    /// Slices the trace into complete windows, all labelled `NotStart`
+    /// (inference-time slicing does not know labels).
+    pub fn slice_trace(&self, trace: &Trace) -> Vec<Window> {
+        self.window_starts(trace.len())
+            .map(|start| {
+                Window::new(
+                    trace.samples()[start..start + self.window_len].to_vec(),
+                    WindowLabel::NotStart,
+                    start,
+                )
+            })
+            .collect()
+    }
+
+    /// Maps a window index (position in the sliding-window classification
+    /// output) back to a sample index in the original trace.
+    pub fn window_index_to_sample(&self, window_index: usize) -> usize {
+        window_index * self.stride
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        for label in [WindowLabel::CipherStart, WindowLabel::NotStart] {
+            assert_eq!(WindowLabel::from_class_index(label.class_index()), label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid class index")]
+    fn label_invalid_index_panics() {
+        WindowLabel::from_class_index(7);
+    }
+
+    #[test]
+    fn slicer_rejects_zero_params() {
+        assert!(WindowSlicer::new(0, 1).is_err());
+        assert!(WindowSlicer::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn slicer_counts_windows() {
+        let s = WindowSlicer::new(4, 2).unwrap();
+        assert_eq!(s.window_count(10), 4);
+        assert_eq!(s.window_count(4), 1);
+        assert_eq!(s.window_count(3), 0);
+        assert_eq!(s.window_count(0), 0);
+    }
+
+    #[test]
+    fn slicer_non_overlapping() {
+        let s = WindowSlicer::new(3, 3).unwrap();
+        let starts: Vec<usize> = s.window_starts(9).collect();
+        assert_eq!(starts, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn slice_trace_contents() {
+        let t = Trace::from_samples((0..8).map(|x| x as f32).collect());
+        let s = WindowSlicer::new(4, 2).unwrap();
+        let windows = s.slice_trace(&t);
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[1].samples(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(windows[1].origin(), 2);
+        assert_eq!(windows[2].origin(), 4);
+    }
+
+    #[test]
+    fn window_index_back_to_sample() {
+        let s = WindowSlicer::new(16, 5).unwrap();
+        assert_eq!(s.window_index_to_sample(0), 0);
+        assert_eq!(s.window_index_to_sample(7), 35);
+    }
+
+    #[test]
+    fn standardized_window_has_zero_mean() {
+        let w = Window::new(vec![1.0, 2.0, 3.0, 4.0], WindowLabel::CipherStart, 0);
+        let z = w.standardized();
+        let mean: f32 = z.iter().sum::<f32>() / z.len() as f32;
+        assert!(mean.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the trace substrate.
+
+use proptest::prelude::*;
+use sca_trace::{dsp, stats, Dataset, SplitRatios, Trace, Window, WindowLabel, WindowSlicer};
+
+proptest! {
+    /// The thresholded square wave only ever contains +1 and -1.
+    #[test]
+    fn square_wave_is_binary(samples in prop::collection::vec(-10.0f32..10.0, 0..200), th in -5.0f32..5.0) {
+        let wave = dsp::threshold_square_wave(&samples, th);
+        prop_assert!(wave.iter().all(|&v| v == 1.0 || v == -1.0));
+        prop_assert_eq!(wave.len(), samples.len());
+    }
+
+    /// Median filtering a ±1 square wave keeps values in {-1, +1} and is
+    /// idempotent on constant signals.
+    #[test]
+    fn median_filter_preserves_binary_alphabet(
+        samples in prop::collection::vec(prop::bool::ANY, 1..200),
+        k in (0usize..5).prop_map(|x| 2 * x + 1),
+    ) {
+        let wave: Vec<f32> = samples.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let filtered = dsp::median_filter(&wave, k).unwrap();
+        prop_assert_eq!(filtered.len(), wave.len());
+        prop_assert!(filtered.iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    /// A constant signal is a fixed point of the median filter.
+    #[test]
+    fn median_filter_constant_fixed_point(value in -3.0f32..3.0, len in 1usize..100, k in (0usize..6).prop_map(|x| 2 * x + 1)) {
+        let signal = vec![value; len];
+        let filtered = dsp::median_filter(&signal, k).unwrap();
+        prop_assert_eq!(filtered, signal);
+    }
+
+    /// Rising edges are strictly increasing indices and each one really is a
+    /// negative-to-non-negative transition.
+    #[test]
+    fn rising_edges_are_transitions(samples in prop::collection::vec(prop::bool::ANY, 0..300)) {
+        let wave: Vec<f32> = samples.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let edges = dsp::rising_edges(&wave);
+        for pair in edges.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+        for &e in &edges {
+            prop_assert!(e > 0);
+            prop_assert!(wave[e - 1] < 0.0 && wave[e] >= 0.0);
+        }
+    }
+
+    /// Every window produced by the slicer fits inside the trace and
+    /// consecutive start points differ by exactly the stride.
+    #[test]
+    fn slicer_windows_fit(len in 0usize..500, n in 1usize..64, s in 1usize..32) {
+        let slicer = WindowSlicer::new(n, s).unwrap();
+        let starts: Vec<usize> = slicer.window_starts(len).collect();
+        prop_assert_eq!(starts.len(), slicer.window_count(len));
+        for &st in &starts {
+            prop_assert!(st + n <= len);
+        }
+        for pair in starts.windows(2) {
+            prop_assert_eq!(pair[1] - pair[0], s);
+        }
+        // The next window after the last one would not fit.
+        if let Some(&last) = starts.last() {
+            prop_assert!(last + s + n > len);
+        }
+    }
+
+    /// Pearson correlation is always in [-1, 1] and symmetric.
+    #[test]
+    fn pearson_bounded_and_symmetric(
+        a in prop::collection::vec(-100.0f32..100.0, 2..64),
+        b in prop::collection::vec(-100.0f32..100.0, 2..64),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let r = stats::pearson(a, b);
+        prop_assert!(r >= -1.0 - 1e-4 && r <= 1.0 + 1e-4);
+        let r2 = stats::pearson(b, a);
+        prop_assert!((r - r2).abs() < 1e-4);
+    }
+
+    /// Standardisation yields zero mean, and unit variance for non-constant input.
+    #[test]
+    fn standardize_properties(samples in prop::collection::vec(-50.0f32..50.0, 2..128)) {
+        let mut v = samples.clone();
+        dsp::standardize_in_place(&mut v);
+        let mean = stats::mean(&v);
+        prop_assert!(mean.abs() < 1e-3);
+        let distinct = samples.iter().any(|&x| (x - samples[0]).abs() > 1e-3);
+        if distinct {
+            let std = stats::std(&v);
+            prop_assert!((std - 1.0).abs() < 1e-2);
+        }
+    }
+
+    /// Quantisation never moves a sample by more than one LSB and is idempotent.
+    #[test]
+    fn quantize_error_bounded(samples in prop::collection::vec(-1.0f32..1.0, 1..128), bits in 4u32..14) {
+        let q = dsp::quantize(&samples, bits, -1.0, 1.0).unwrap();
+        let lsb = 2.0 / ((1u32 << bits) - 1) as f32;
+        for (orig, quant) in samples.iter().zip(q.iter()) {
+            prop_assert!((orig - quant).abs() <= lsb * 0.5 + 1e-6);
+        }
+        let q2 = dsp::quantize(&q, bits, -1.0, 1.0).unwrap();
+        for (a, b) in q.iter().zip(q2.iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Dataset split always partitions the dataset completely and preserves counts.
+    #[test]
+    fn dataset_split_partitions(n_pos in 0usize..50, n_neg in 0usize..200, seed in any::<u64>()) {
+        let mut d = Dataset::new();
+        for i in 0..n_pos {
+            d.push(Window::new(vec![1.0; 4], WindowLabel::CipherStart, i));
+        }
+        for i in 0..n_neg {
+            d.push(Window::new(vec![0.0; 4], WindowLabel::NotStart, i));
+        }
+        let split = d.split(SplitRatios::paper(), seed);
+        prop_assert_eq!(split.train.len() + split.validation.len() + split.test.len(), n_pos + n_neg);
+        let pos_total = split.train.count_label(WindowLabel::CipherStart)
+            + split.validation.count_label(WindowLabel::CipherStart)
+            + split.test.count_label(WindowLabel::CipherStart);
+        prop_assert_eq!(pos_total, n_pos);
+    }
+
+    /// Trace round trip through the binary sample format is lossless.
+    #[test]
+    fn binary_io_roundtrip(samples in prop::collection::vec(-1e6f32..1e6, 0..256)) {
+        let mut buf = Vec::new();
+        sca_trace::io::write_samples_binary(&mut buf, &samples).unwrap();
+        let back = sca_trace::io::read_samples_binary(&buf[..]).unwrap();
+        prop_assert_eq!(back, samples);
+    }
+
+    /// Trace::extract never loses samples and keeps markers within bounds.
+    #[test]
+    fn extract_markers_in_bounds(len in 1usize..200, start_frac in 0.0f64..1.0, co in prop::collection::vec(0usize..200, 0..8)) {
+        let mut meta = sca_trace::TraceMeta::default();
+        let mut starts: Vec<usize> = co.into_iter().filter(|&c| c < len).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        meta.co_ends = starts.iter().map(|s| (s + 10).min(len)).collect();
+        meta.co_starts = starts;
+        let t = Trace::with_meta((0..len).map(|x| x as f32).collect(), meta);
+        let start = ((len as f64 * start_frac) as usize).min(len.saturating_sub(1));
+        let sub_len = len - start;
+        let sub = t.extract(start, sub_len).unwrap();
+        prop_assert_eq!(sub.len(), sub_len);
+        for &s in &sub.meta().co_starts {
+            prop_assert!(s < sub_len);
+        }
+        for &e in &sub.meta().co_ends {
+            prop_assert!(e <= sub_len);
+        }
+    }
+}

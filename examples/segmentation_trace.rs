@@ -1,0 +1,62 @@
+//! Qualitative view of the inference pipeline (the right-hand side of
+//! Figure 1): dump the sliding-window classification signal, the thresholded
+//! square wave and the located starts for one trace, as an ASCII plot.
+//!
+//! Run with: `cargo run --example segmentation_trace --release`
+
+use sca_locate::ciphers::{cipher_by_id, CipherId};
+use sca_locate::locator::{CipherProfile, LocatorBuilder};
+use sca_locate::soc::{Scenario, SocSimulator, SocSimulatorConfig};
+
+fn ascii_plot(label: &str, values: &[f32], width: usize) {
+    let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let range = (max - min).max(1e-6);
+    let step = (values.len() as f64 / width as f64).max(1.0);
+    let mut line = String::new();
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    for i in 0..width.min(values.len()) {
+        let idx = (i as f64 * step) as usize;
+        let v = (values[idx.min(values.len() - 1)] - min) / range;
+        let g = ((v * (glyphs.len() - 1) as f32).round() as usize).min(glyphs.len() - 1);
+        line.push(glyphs[g]);
+    }
+    println!("{label:<14} |{line}|");
+}
+
+fn main() {
+    let cipher = CipherId::Simon128;
+    let mut sim = SocSimulator::new(SocSimulatorConfig::rd(2), 5);
+    let mean_co = sim.mean_co_samples(cipher, 8);
+    let profile = CipherProfile::scaled(cipher, mean_co.round() as usize);
+    let cipher_impl = cipher_by_id(cipher);
+    let key = Scenario::DEFAULT_KEY;
+    let mut cipher_traces = Vec::new();
+    for _ in 0..48 {
+        let pt = sim.trng_mut().next_block();
+        let (trace, _) = sim.capture_cipher_trace(cipher_impl.as_ref(), &key, &pt);
+        cipher_traces.push(trace);
+    }
+    let noise_trace = sim.capture_noise_trace(6_000);
+    let (mut locator, _) = LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
+
+    let result = sim.run_scenario(&Scenario::interleaved(cipher, 5));
+    let (swc, starts) = locator.locate_detailed(&result.trace);
+
+    println!("trace of {} samples containing {} COs\n", result.trace.len(), result.cos.len());
+    ascii_plot("power trace", result.trace.samples(), 100);
+    ascii_plot("swc signal", &swc, 100);
+    // Mark true and located starts on a 100-column ruler.
+    let mut truth_line = vec![' '; 100];
+    let mut found_line = vec![' '; 100];
+    for &t in &result.co_starts() {
+        truth_line[(t * 100 / result.trace.len().max(1)).min(99)] = 'T';
+    }
+    for &f in &starts {
+        found_line[(f * 100 / result.trace.len().max(1)).min(99)] = 'L';
+    }
+    println!("{:<14} |{}|", "true starts", truth_line.iter().collect::<String>());
+    println!("{:<14} |{}|", "located", found_line.iter().collect::<String>());
+    println!("\nlocated start samples: {starts:?}");
+    println!("true start samples   : {:?}", result.co_starts());
+}

@@ -1,0 +1,47 @@
+//! # sca-locate
+//!
+//! Umbrella crate of the reproduction of *"A Deep-Learning Technique to Locate
+//! Cryptographic Operations in Side-Channel Traces"* (DATE 2024).
+//!
+//! It re-exports every workspace crate under a stable path so applications can
+//! depend on a single crate:
+//!
+//! * [`trace`] — side-channel trace containers, DSP and dataset utilities;
+//! * [`ciphers`] — AES-128, masked AES-128 and the other workload ciphers with
+//!   operation recording;
+//! * [`soc`] — the instruction-level power simulator (random delay, TRNG,
+//!   oscilloscope, scenarios);
+//! * [`nn`] — the from-scratch neural-network library;
+//! * [`locator`] — the paper's contribution: dataset creation, the 1-D ResNet
+//!   CNN, sliding-window classification, segmentation, alignment;
+//! * [`attack`] — the CPA attack used to validate the alignment quality;
+//! * [`baselines`] — the matched-filter and SAD template-matching locators the
+//!   paper compares against.
+//!
+//! ## Quick start
+//!
+//! See `examples/quickstart.rs` for a complete simulate → train → locate →
+//! evaluate round trip, and `EXPERIMENTS.md` for how to regenerate every table
+//! and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sca_attack as attack;
+pub use sca_baselines as baselines;
+pub use sca_ciphers as ciphers;
+pub use sca_locator as locator;
+pub use sca_trace as trace;
+pub use soc_sim as soc;
+pub use tinynn as nn;
+
+/// Version of the reproduction library.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}
