@@ -84,11 +84,10 @@ impl CpaAttack {
             self.trace_len,
             "aggregated trace length changed between traces"
         );
-        for byte in 0..self.config.num_key_bytes {
-            let pt = plaintext[byte];
-            for guess in 0..=255u8 {
-                let h = self.config.model.hypothesis(pt, guess);
-                self.accumulators[byte][guess as usize].update(h, &aggregated);
+        for (accs, &pt) in self.accumulators.iter_mut().zip(plaintext.iter()) {
+            for (guess, acc) in accs.iter_mut().enumerate() {
+                let h = self.config.model.hypothesis(pt, guess as u8);
+                acc.update(h, &aggregated);
             }
         }
         self.traces_seen += 1;
@@ -100,8 +99,8 @@ impl CpaAttack {
         if byte >= self.accumulators.len() {
             return scores;
         }
-        for guess in 0..256 {
-            scores[guess] = self.accumulators[byte][guess].max_abs_correlation();
+        for (score, acc) in scores.iter_mut().zip(self.accumulators[byte].iter()) {
+            *score = acc.max_abs_correlation();
         }
         scores
     }
@@ -248,7 +247,7 @@ mod tests {
             num_key_bytes: 1,
             ..CpaConfig::default()
         });
-        attack.add_trace(&vec![1.0; 40], &[0u8; 16]);
+        attack.add_trace(&[1.0; 40], &[0u8; 16]);
         assert_eq!(attack.trace_len, Some(10));
         assert_eq!(attack.traces_seen(), 1);
     }
@@ -261,7 +260,7 @@ mod tests {
             num_key_bytes: 1,
             ..CpaConfig::default()
         });
-        attack.add_trace(&vec![1.0; 16], &[0u8; 16]);
-        attack.add_trace(&vec![1.0; 17], &[0u8; 16]);
+        attack.add_trace(&[1.0; 16], &[0u8; 16]);
+        attack.add_trace(&[1.0; 17], &[0u8; 16]);
     }
 }

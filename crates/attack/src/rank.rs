@@ -17,7 +17,8 @@ pub fn key_byte_rank(scores: &[f32; 256], correct_key: u8) -> usize {
         .iter()
         .enumerate()
         .filter(|&(k, &s)| {
-            k != correct_key as usize && (s > correct_score || (s == correct_score && k < correct_key as usize))
+            k != correct_key as usize
+                && (s > correct_score || (s == correct_score && k < correct_key as usize))
         })
         .count();
     better + 1

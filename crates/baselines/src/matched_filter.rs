@@ -131,10 +131,7 @@ mod tests {
 
     #[test]
     fn template_from_references_averages() {
-        let t = MatchedFilterLocator::template_from_references(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-        ]);
+        let t = MatchedFilterLocator::template_from_references(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(t, vec![2.0, 3.0]);
     }
 

@@ -100,7 +100,8 @@ mod tests {
     #[test]
     fn tolerates_small_amplitude_noise() {
         let co = co_shape(24);
-        let noisy: Vec<f32> = co.iter().enumerate().map(|(i, &v)| v + 0.01 * ((i % 3) as f32 - 1.0)).collect();
+        let noisy: Vec<f32> =
+            co.iter().enumerate().map(|(i, &v)| v + 0.01 * ((i % 3) as f32 - 1.0)).collect();
         let mut samples = vec![0.0f32; 10];
         samples.extend_from_slice(&noisy);
         samples.extend(vec![0.0f32; 10]);

@@ -1,49 +1,47 @@
-//! Criterion benchmarks of the CPA attack substrate: per-trace accumulator
+//! Micro-benchmarks of the CPA attack substrate: per-trace accumulator
 //! update cost and correlation extraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sca_attack::{aggregate_trace, CpaAttack, CpaConfig};
+use sca_bench::microbench::BenchGroup;
 use sca_trace::stats::CorrelationAccumulator;
+use std::hint::black_box;
 
-fn bench_accumulator_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cpa_accumulator");
-    group.sample_size(30);
+fn bench_accumulator_update() {
+    let mut group = BenchGroup::new("cpa_accumulator");
     for &len in &[256usize, 1024, 4096] {
         let trace = vec![0.5f32; len];
-        group.bench_function(format!("update_{len}"), |b| {
-            let mut acc = CorrelationAccumulator::new(len);
-            b.iter(|| acc.update(std::hint::black_box(4.0), std::hint::black_box(&trace)))
+        let mut acc = CorrelationAccumulator::new(len);
+        group.bench(&format!("update_{len}"), || {
+            acc.update(black_box(4.0), black_box(&trace));
         });
     }
-    group.finish();
 }
 
-fn bench_cpa_add_trace(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cpa_add_trace");
-    group.sample_size(10);
+fn bench_cpa_add_trace() {
+    let mut group = BenchGroup::new("cpa_add_trace");
     // One aligned CO trace, 4 attacked key bytes, 256 guesses each.
     let trace = vec![0.5f32; 2048];
     let pt = [0x3Cu8; 16];
-    group.bench_function("bytes4_len2048_agg8", |b| {
-        let mut attack = CpaAttack::new(CpaConfig {
-            num_key_bytes: 4,
-            aggregation_window: 8,
-            ..CpaConfig::default()
-        });
-        b.iter(|| attack.add_trace(std::hint::black_box(&trace), std::hint::black_box(&pt)))
+    let mut attack = CpaAttack::new(CpaConfig {
+        num_key_bytes: 4,
+        aggregation_window: 8,
+        ..CpaConfig::default()
     });
-    group.finish();
+    group.bench("bytes4_len2048_agg8", || {
+        attack.add_trace(black_box(&trace), black_box(&pt));
+    });
 }
 
-fn bench_aggregation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("time_aggregation");
-    group.sample_size(50);
+fn bench_aggregation() {
+    let mut group = BenchGroup::new("time_aggregation");
     let trace = vec![0.25f32; 100_000];
-    group.bench_function("agg_100k_w8", |b| {
-        b.iter(|| aggregate_trace(std::hint::black_box(&trace), 8))
+    group.bench("agg_100k_w8", || {
+        black_box(aggregate_trace(black_box(&trace), 8));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_accumulator_update, bench_cpa_add_trace, bench_aggregation);
-criterion_main!(benches);
+fn main() {
+    bench_accumulator_update();
+    bench_cpa_add_trace();
+    bench_aggregation();
+}

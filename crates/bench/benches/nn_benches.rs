@@ -1,61 +1,54 @@
-//! Criterion micro-benchmarks of the neural-network substrate: the layers of
-//! the paper's CNN and a full window inference (the unit cost that dominates
-//! the sliding-window classification stage).
+//! Micro-benchmarks of the neural-network substrate: the layers of the
+//! paper's CNN and a full window inference (the unit cost that dominates the
+//! sliding-window classification stage).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sca_bench::microbench::BenchGroup;
 use sca_locator::{CnnConfig, CoLocatorCnn};
+use std::hint::black_box;
 use tinynn::{Conv1d, Layer, Tensor};
 
-fn bench_conv1d_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("conv1d_forward");
-    group.sample_size(20);
+fn bench_conv1d_forward() {
+    let mut group = BenchGroup::new("conv1d_forward");
     for &(channels, kernel, len) in &[(8usize, 9usize, 128usize), (16, 9, 256), (8, 33, 128)] {
         let mut conv = Conv1d::new(channels, channels, kernel, 1);
         let input = Tensor::zeros(&[1, channels, len]);
-        group.bench_function(format!("c{channels}_k{kernel}_n{len}"), |b| {
-            b.iter(|| conv.forward(std::hint::black_box(&input), false))
+        group.bench(&format!("c{channels}_k{kernel}_n{len}"), || {
+            black_box(conv.forward(black_box(&input), false));
         });
     }
-    group.finish();
 }
 
-fn bench_cnn_window_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cnn_window_inference");
-    group.sample_size(15);
+fn bench_cnn_window_inference() {
+    let mut group = BenchGroup::new("cnn_window_inference");
     for &(n, batch) in &[(128usize, 1usize), (128, 16), (256, 16)] {
         let mut cnn = CoLocatorCnn::new(CnnConfig::scaled());
         let windows = vec![vec![0.1f32; n]; batch];
-        group.bench_function(format!("n{n}_batch{batch}"), |b| {
-            b.iter_batched(
-                || CoLocatorCnn::stack_windows(&windows),
-                |input| cnn.class1_scores(std::hint::black_box(&input)),
-                BatchSize::SmallInput,
-            )
+        let input = CoLocatorCnn::stack_windows(&windows);
+        group.bench(&format!("n{n}_batch{batch}"), || {
+            black_box(cnn.class1_scores(black_box(&input)));
         });
     }
-    group.finish();
 }
 
-fn bench_cnn_training_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cnn_training_step");
-    group.sample_size(10);
+fn bench_cnn_training_step() {
+    let mut group = BenchGroup::new("cnn_training_step");
     let mut cnn = CoLocatorCnn::new(CnnConfig::scaled());
     let windows = vec![vec![0.1f32; 128]; 16];
-    let labels = vec![0usize, 1].repeat(8);
+    let labels = [0usize, 1].repeat(8);
     let loss = tinynn::CrossEntropyLoss::new();
     let mut adam = tinynn::Adam::paper();
-    group.bench_function("batch16_n128", |b| {
-        b.iter(|| {
-            let input = CoLocatorCnn::stack_windows(&windows);
-            let logits = cnn.forward(&input, true);
-            let (_, grad) = loss.loss_and_grad(&logits, &labels);
-            cnn.zero_grad();
-            cnn.backward(&grad);
-            adam.step(&mut cnn.params_mut());
-        })
+    group.bench("batch16_n128", || {
+        let input = CoLocatorCnn::stack_windows(&windows);
+        let logits = cnn.forward(&input, true);
+        let (_, grad) = loss.loss_and_grad(&logits, &labels);
+        cnn.zero_grad();
+        cnn.backward(&grad);
+        adam.step(&mut cnn.params_mut());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_conv1d_forward, bench_cnn_window_inference, bench_cnn_training_step);
-criterion_main!(benches);
+fn main() {
+    bench_conv1d_forward();
+    bench_cnn_window_inference();
+    bench_cnn_training_step();
+}

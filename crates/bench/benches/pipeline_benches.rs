@@ -1,53 +1,53 @@
-//! Criterion benchmarks of the localisation pipeline building blocks:
-//! trace simulation, segmentation DSP and the baseline locators.
+//! Micro-benchmarks of the localisation pipeline building blocks: trace
+//! simulation, segmentation DSP and the baseline locators.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sca_baselines::{BaselineLocator, MatchedFilterLocator, SadTemplateLocator};
+use sca_bench::microbench::BenchGroup;
 use sca_ciphers::CipherId;
 use sca_locator::{SegmentationConfig, Segmenter};
 use sca_trace::{dsp, Trace};
 use soc_sim::{Scenario, SocSimulator, SocSimulatorConfig};
+use std::hint::black_box;
 
-fn bench_trace_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_simulation");
-    group.sample_size(10);
+fn bench_trace_simulation() {
+    let mut group = BenchGroup::new("trace_simulation");
     for &(cipher, label) in &[(CipherId::Aes128, "aes_rd4"), (CipherId::Simon128, "simon_rd4")] {
-        group.bench_function(label, |b| {
-            let mut sim = SocSimulator::new(SocSimulatorConfig::rd(4), 1);
-            let scenario = Scenario::consecutive(cipher, 2);
-            b.iter(|| sim.run_scenario(std::hint::black_box(&scenario)))
+        let mut sim = SocSimulator::new(SocSimulatorConfig::rd(4), 1);
+        let scenario = Scenario::consecutive(cipher, 2);
+        group.bench(label, || {
+            black_box(sim.run_scenario(black_box(&scenario)));
         });
     }
-    group.finish();
 }
 
-fn bench_segmentation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("segmentation");
-    group.sample_size(30);
+fn bench_segmentation() {
+    let mut group = BenchGroup::new("segmentation");
     let swc: Vec<f32> = (0..20_000).map(|i| if i % 500 < 20 { 3.0 } else { -2.0 }).collect();
     let segmenter = Segmenter::new(SegmentationConfig::default());
-    group.bench_function("swc_20k", |b| {
-        b.iter(|| segmenter.segment(std::hint::black_box(&swc), 16))
+    group.bench("swc_20k", || {
+        black_box(segmenter.segment(black_box(&swc), 16));
     });
-    group.bench_function("median_filter_20k_k9", |b| {
-        b.iter(|| dsp::median_filter(std::hint::black_box(&swc), 9).unwrap())
+    group.bench("median_filter_20k_k9", || {
+        black_box(dsp::median_filter(black_box(&swc), 9).unwrap());
     });
-    group.finish();
 }
 
-fn bench_baseline_locators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_locators");
-    group.sample_size(10);
+fn bench_baseline_locators() {
+    let mut group = BenchGroup::new("baseline_locators");
     let template: Vec<f32> = (0..512).map(|i| (i as f32 * 0.1).sin()).collect();
     let trace = Trace::from_samples((0..50_000).map(|i| (i as f32 * 0.01).cos()).collect());
     let matched = MatchedFilterLocator::new(template.clone(), 0.9, 256);
     let sad = SadTemplateLocator::new(template, 0.05, 256);
-    group.bench_function("matched_filter_50k", |b| {
-        b.iter(|| matched.locate(std::hint::black_box(&trace)))
+    group.bench("matched_filter_50k", || {
+        black_box(matched.locate(black_box(&trace)));
     });
-    group.bench_function("sad_template_50k", |b| b.iter(|| sad.locate(std::hint::black_box(&trace))));
-    group.finish();
+    group.bench("sad_template_50k", || {
+        black_box(sad.locate(black_box(&trace)));
+    });
 }
 
-criterion_group!(benches, bench_trace_simulation, bench_segmentation, bench_baseline_locators);
-criterion_main!(benches);
+fn main() {
+    bench_trace_simulation();
+    bench_segmentation();
+    bench_baseline_locators();
+}

@@ -24,8 +24,7 @@ fn main() {
     );
     println!("{}", "-".repeat(64));
 
-    let ciphers: &[CipherId] =
-        if ablation { &[CipherId::Aes128] } else { &CipherId::ALL };
+    let ciphers: &[CipherId] = if ablation { &[CipherId::Aes128] } else { &CipherId::ALL };
 
     for &cipher in ciphers {
         for rd in [2usize, 4] {
@@ -64,7 +63,11 @@ fn main() {
             );
             let located = locator.locate(&result.trace);
             let hits = score_hits(&located, &result);
-            println!("k = {k:>2}  ->  hits {:>5.1}%  ({} located)", hits.percentage(), located.len());
+            println!(
+                "k = {k:>2}  ->  hits {:>5.1}%  ({} located)",
+                hits.percentage(),
+                located.len()
+            );
         }
     }
 

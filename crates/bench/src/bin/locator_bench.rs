@@ -1,0 +1,149 @@
+//! Sliding-window inference throughput benchmark.
+//!
+//! Scores a long synthetic trace with the scaled CO-locator CNN through
+//! three paths and writes the results to `BENCH_locator.json` so the perf
+//! trajectory of the inference core is tracked per commit:
+//!
+//! * `naive` — the seed-equivalent baseline: per-window `Vec` staging and
+//!   scalar convolution loops (measured on a window subset, reported
+//!   per-window);
+//! * `staged` — GEMM kernels but the old `Vec<Vec<f32>>` staging;
+//! * `optimized` — the zero-copy im2col/GEMM path used by the pipeline.
+//!
+//! Usage: `locator_bench [--trace-len N] [--naive-windows N] [--out PATH]`.
+
+use sca_locator::{CnnConfig, CoLocatorCnn, SlidingWindowClassifier};
+use sca_trace::Trace;
+use std::io::Write;
+use std::time::Instant;
+
+/// Window length of the scorer (the scaled profiles use this order of size).
+const WINDOW_LEN: usize = 128;
+/// Stride between windows.
+const STRIDE: usize = 32;
+
+struct Args {
+    trace_len: usize,
+    naive_windows: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { trace_len: 1_000_000, naive_windows: 192, out: "BENCH_locator.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match flag.as_str() {
+            "--trace-len" => args.trace_len = value("--trace-len").parse().expect("trace len"),
+            "--naive-windows" => {
+                args.naive_windows = value("--naive-windows").parse().expect("window count")
+            }
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Synthetic "SoC-like" trace: a few superposed oscillations plus a
+/// deterministic pseudo-noise term, so windows are not degenerate constants.
+fn synthetic_trace(len: usize) -> Trace {
+    let mut state = 0x0123_4567_89AB_CDEF_u64;
+    let samples = (0..len)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+            let t = i as f32;
+            (t * 0.013).sin() + 0.4 * (t * 0.11).sin() + 0.25 * noise
+        })
+        .collect();
+    Trace::from_samples(samples)
+}
+
+fn scorer() -> SlidingWindowClassifier {
+    SlidingWindowClassifier::new(WINDOW_LEN, STRIDE).with_batch_size(64)
+}
+
+fn cnn() -> CoLocatorCnn {
+    CoLocatorCnn::new(CnnConfig::scaled())
+}
+
+fn main() {
+    let args = parse_args();
+    let trace = synthetic_trace(args.trace_len);
+    let swc = scorer();
+    let total_windows = swc.output_len(trace.len());
+    assert!(total_windows > 0, "trace too short for the configured window");
+    println!(
+        "trace: {} samples → {} windows (N={WINDOW_LEN}, stride={STRIDE})",
+        trace.len(),
+        total_windows
+    );
+
+    // Naive baseline on a subset of windows (the scalar loops are orders of
+    // magnitude slower; running all windows through them would take minutes).
+    let naive_len = WINDOW_LEN + STRIDE * args.naive_windows.saturating_sub(1);
+    let naive_trace = trace.extract(0, naive_len.min(trace.len())).expect("within bounds");
+    let naive_windows = swc.output_len(naive_trace.len());
+    let mut net = cnn();
+    let t0 = Instant::now();
+    let naive_scores = swc.classify_naive(&mut net, &naive_trace);
+    let naive_elapsed = t0.elapsed();
+    let naive_wps = naive_scores.len() as f64 / naive_elapsed.as_secs_f64();
+    println!("naive:     {naive_windows:>7} windows in {naive_elapsed:>8.2?}  ({naive_wps:>10.1} windows/s)");
+
+    // GEMM kernels, old Vec-staging.
+    let mut net = cnn();
+    let t0 = Instant::now();
+    let staged_scores = swc.classify_reference(&mut net, &trace);
+    let staged_elapsed = t0.elapsed();
+    let staged_wps = staged_scores.len() as f64 / staged_elapsed.as_secs_f64();
+    println!("staged:    {total_windows:>7} windows in {staged_elapsed:>8.2?}  ({staged_wps:>10.1} windows/s)");
+
+    // Full optimized zero-copy path.
+    let mut net = cnn();
+    let t0 = Instant::now();
+    let opt_scores = swc.classify(&mut net, &trace);
+    let opt_elapsed = t0.elapsed();
+    let opt_wps = opt_scores.len() as f64 / opt_elapsed.as_secs_f64();
+    println!(
+        "optimized: {total_windows:>7} windows in {opt_elapsed:>8.2?}  ({opt_wps:>10.1} windows/s)"
+    );
+
+    // Sanity: the three paths agree on the overlapping prefix.
+    for (i, (a, b)) in opt_scores.iter().zip(naive_scores.iter()).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-3 * (1.0 + b.abs()),
+            "score divergence at window {i}: optimized {a} vs naive {b}"
+        );
+    }
+    for (a, b) in opt_scores.iter().zip(staged_scores.iter()) {
+        assert!((a - b).abs() <= 1e-6, "zero-copy staging changed scores: {a} vs {b}");
+    }
+
+    // Single-window forward latency (batch of 1, the latency floor).
+    let mut net = cnn();
+    let one = CoLocatorCnn::stack_windows(&[trace.samples()[..WINDOW_LEN].to_vec()]);
+    let _ = net.class1_scores(&one); // warm-up
+    let reps = 50u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(net.class1_scores(std::hint::black_box(&one)));
+    }
+    let fwd_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    println!("forward(batch=1): {fwd_us:.1} us/window");
+
+    let speedup = opt_wps / naive_wps;
+    println!("speedup optimized vs naive: {speedup:.1}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"locator_sliding_window\",\n  \"trace_len\": {},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"naive_windows_measured\": {},\n  \"windows_per_sec_naive\": {naive_wps:.2},\n  \"windows_per_sec_staged\": {staged_wps:.2},\n  \"windows_per_sec_optimized\": {opt_wps:.2},\n  \"speedup_optimized_vs_naive\": {speedup:.2},\n  \"forward_batch1_latency_us\": {fwd_us:.2}\n}}\n",
+        trace.len(),
+        naive_scores.len(),
+    );
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write benchmark json");
+    println!("wrote {}", args.out);
+}

@@ -16,7 +16,9 @@
 
 use sca_attack::{CpaAttack, CpaConfig};
 use sca_baselines::{BaselineLocator, MatchedFilterLocator, SadTemplateLocator};
-use sca_bench::{baseline_template, score_hits, simulate_scenario, train_locator, ExperimentConfig};
+use sca_bench::{
+    baseline_template, score_hits, simulate_scenario, train_locator, ExperimentConfig,
+};
 use sca_ciphers::CipherId;
 use sca_locator::Aligner;
 use soc_sim::ScenarioResult;
@@ -124,7 +126,11 @@ fn main() {
 
     println!();
     println!("== Table II: segmentation and CPA results targeting AES-128 ==");
-    println!("(scaled scenario: {} COs per trace, {} attacked key bytes)", ExperimentConfig::default().scenario_cos, num_key_bytes);
+    println!(
+        "(scaled scenario: {} COs per trace, {} attacked key bytes)",
+        ExperimentConfig::default().scenario_cos,
+        num_key_bytes
+    );
     println!(
         "{:<22} {:>6} {:>12} {:>10} {:>14}",
         "Method", "RD", "Noise apps", "Hits (%)", "CPA (N. COs)"

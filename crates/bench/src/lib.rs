@@ -1,10 +1,12 @@
 //! Shared experiment harness used by the `table1`, `fig3_confusion`,
-//! `table2_attack` and `hits_sweep` binaries (and by the Criterion
+//! `table2_attack` and `hits_sweep` binaries (and by the
 //! micro-benchmarks) to regenerate the paper's tables and figures on the
 //! simulated platform.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 use sca_ciphers::{cipher_by_id, CipherId};
 use sca_locator::{

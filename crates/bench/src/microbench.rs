@@ -1,0 +1,128 @@
+//! A minimal micro-benchmark harness (the offline environment has no
+//! Criterion).
+//!
+//! Each benchmark warms up, then runs timed batches until both a minimum
+//! number of iterations and a minimum wall-clock budget are reached, and
+//! reports the mean per-iteration latency. Use [`std::hint::black_box`] on
+//! inputs/outputs exactly as with Criterion.
+
+use std::time::{Duration, Instant};
+
+/// Measurement of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark case name (`group/case`).
+    pub name: String,
+    /// Total iterations measured.
+    pub iterations: u64,
+    /// Total measured wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iterations.max(1) as f64
+    }
+
+    /// Iterations per second.
+    pub fn per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.iterations as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// A named group of benchmark cases, printed as it runs.
+pub struct BenchGroup {
+    group: String,
+    budget: Duration,
+    min_iters: u64,
+    results: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    /// Creates a group with a per-case time budget of 300 ms.
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            budget: Duration::from_millis(300),
+            min_iters: 5,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-case wall-clock budget.
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Times `f`, printing and recording the measurement.
+    ///
+    /// Iterations run in batches and the clock is read once per *batch*, not
+    /// once per iteration, so nanosecond-scale cases are not skewed by timer
+    /// overhead. The batch size is calibrated by doubling until one batch
+    /// takes at least ~1 ms (calibration batches are discarded).
+    pub fn bench<F: FnMut()>(&mut self, case: &str, mut f: F) -> &Measurement {
+        const MIN_BATCH_TIME: Duration = Duration::from_millis(1);
+        const MAX_BATCH: u64 = 1 << 24;
+        // Warm-up: one untimed call.
+        f();
+        let mut batch = 1u64;
+        let (mut iterations, mut elapsed) = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let batch_elapsed = t.elapsed();
+            if batch_elapsed >= MIN_BATCH_TIME || batch >= MAX_BATCH {
+                break (batch, batch_elapsed);
+            }
+            batch *= 2;
+        };
+        while iterations < self.min_iters || elapsed < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            elapsed += t.elapsed();
+            iterations += batch;
+        }
+        let m = Measurement { name: format!("{}/{}", self.group, case), iterations, elapsed };
+        println!("{:<48} {:>12.1} ns/iter  ({} iters)", m.name, m.ns_per_iter(), m.iterations);
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_math() {
+        let m =
+            Measurement { name: "g/c".into(), iterations: 10, elapsed: Duration::from_micros(10) };
+        assert!((m.ns_per_iter() - 1000.0).abs() < 1.0);
+        assert!((m.per_sec() - 1e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn bench_runs_at_least_min_iters() {
+        let mut g = BenchGroup::new("test").budget(Duration::from_millis(1));
+        let mut count = 0u64;
+        let m = g.bench("count", || count += 1).clone();
+        assert!(m.iterations >= 5);
+        // Warm-up and the discarded calibration batches add extra calls on
+        // top of the counted iterations.
+        assert!(count > m.iterations);
+    }
+}

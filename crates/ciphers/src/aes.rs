@@ -233,7 +233,12 @@ impl Aes128 {
         }
     }
 
-    fn encrypt_block(&self, key: &[u8; 16], pt: &[u8; 16], mut rec: Option<&mut ExecutionTrace>) -> [u8; 16] {
+    fn encrypt_block(
+        &self,
+        key: &[u8; 16],
+        pt: &[u8; 16],
+        mut rec: Option<&mut ExecutionTrace>,
+    ) -> [u8; 16] {
         let round_keys = key_expansion(key, &self.tables);
         let mut state = *pt;
         if let Some(rec) = rec.as_deref_mut() {
@@ -251,7 +256,7 @@ impl Aes128 {
         self.sub_bytes(&mut state, rec.as_deref_mut());
         Self::shift_rows(&mut state, rec.as_deref_mut());
         Self::add_round_key(&mut state, &round_keys[10], rec.as_deref_mut());
-        if let Some(rec) = rec.as_deref_mut() {
+        if let Some(rec) = rec {
             for &b in state.iter() {
                 rec.byte(OpKind::Store, b);
             }
@@ -301,7 +306,12 @@ impl RecordingCipher for Aes128 {
         self.decrypt_block(&to_block(key), &to_block(ciphertext)).to_vec()
     }
 
-    fn encrypt_recorded(&self, key: &[u8], plaintext: &[u8], trace: &mut ExecutionTrace) -> Vec<u8> {
+    fn encrypt_recorded(
+        &self,
+        key: &[u8],
+        plaintext: &[u8],
+        trace: &mut ExecutionTrace,
+    ) -> Vec<u8> {
         self.encrypt_block(&to_block(key), &to_block(plaintext), Some(trace)).to_vec()
     }
 }
@@ -372,8 +382,10 @@ mod tests {
     #[test]
     fn key_expansion_first_round_key_is_key() {
         let tables = AesTables::generate();
-        let key = [0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09,
-            0xCF, 0x4F, 0x3C];
+        let key = [
+            0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+            0x4F, 0x3C,
+        ];
         let rks = key_expansion(&key, &tables);
         assert_eq!(rks[0], key);
         // FIPS-197 A.1: w[4] = a0fafe17 -> first 4 bytes of round key 1.
@@ -381,8 +393,10 @@ mod tests {
         // Last round key from FIPS-197 A.1: d014f9a8 c9ee2589 e13f0cc8 b6630ca6
         assert_eq!(
             rks[10],
-            [0xD0, 0x14, 0xF9, 0xA8, 0xC9, 0xEE, 0x25, 0x89, 0xE1, 0x3F, 0x0C, 0xC8, 0xB6, 0x63,
-                0x0C, 0xA6]
+            [
+                0xD0, 0x14, 0xF9, 0xA8, 0xC9, 0xEE, 0x25, 0x89, 0xE1, 0x3F, 0x0C, 0xC8, 0xB6, 0x63,
+                0x0C, 0xA6
+            ]
         );
     }
 

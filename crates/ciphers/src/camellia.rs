@@ -81,7 +81,7 @@ impl Camellia128 {
         let y7 = t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[7];
         let y8 = t[0] ^ t[3] ^ t[4] ^ t[5] ^ t[6];
         let out_bytes = [y1, y2, y3, y4, y5, y6, y7, y8];
-        if let Some(rec) = rec.as_deref_mut() {
+        if let Some(rec) = rec {
             for &b in out_bytes.iter() {
                 rec.byte(OpKind::Xor, b);
             }
@@ -90,14 +90,14 @@ impl Camellia128 {
     }
 
     /// FL function (linear masking layer applied every six rounds).
-    fn fl(x: u64, k: u64, mut rec: Option<&mut ExecutionTrace>) -> u64 {
+    fn fl(x: u64, k: u64, rec: Option<&mut ExecutionTrace>) -> u64 {
         let xl = (x >> 32) as u32;
         let xr = x as u32;
         let kl = (k >> 32) as u32;
         let kr = k as u32;
         let yr = ((xl & kl).rotate_left(1)) ^ xr;
         let yl = (yr | kr) ^ xl;
-        if let Some(rec) = rec.as_deref_mut() {
+        if let Some(rec) = rec {
             rec.word(OpKind::Logic, yr);
             rec.word(OpKind::Logic, yl);
         }
@@ -105,14 +105,14 @@ impl Camellia128 {
     }
 
     /// Inverse of [`Self::fl`].
-    fn fl_inv(y: u64, k: u64, mut rec: Option<&mut ExecutionTrace>) -> u64 {
+    fn fl_inv(y: u64, k: u64, rec: Option<&mut ExecutionTrace>) -> u64 {
         let yl = (y >> 32) as u32;
         let yr = y as u32;
         let kl = (k >> 32) as u32;
         let kr = k as u32;
         let xl = (yr | kr) ^ yl;
         let xr = ((xl & kl).rotate_left(1)) ^ yr;
-        if let Some(rec) = rec.as_deref_mut() {
+        if let Some(rec) = rec {
             rec.word(OpKind::Logic, xl);
             rec.word(OpKind::Logic, xr);
         }
@@ -161,7 +161,8 @@ impl Camellia128 {
         // schedule while remaining easy to audit.
         for (i, rk) in round_keys.iter_mut().enumerate() {
             let rot = (15 + 17 * i as u32) % 128;
-            let (hi, lo) = if i % 2 == 0 { rot128(ka_hi, ka_lo, rot) } else { rot128(kl_hi, kl_lo, rot) };
+            let (hi, lo) =
+                if i % 2 == 0 { rot128(ka_hi, ka_lo, rot) } else { rot128(kl_hi, kl_lo, rot) };
             *rk = if i % 4 < 2 { hi } else { lo };
         }
         let (w_hi, w_lo) = rot128(kl_hi, kl_lo, 0);
@@ -210,7 +211,12 @@ fn u64s_to_block(hi: u64, lo: u64) -> Vec<u8> {
 }
 
 impl Camellia128 {
-    fn encrypt_inner(&self, key: &[u8], pt: &[u8], mut rec: Option<&mut ExecutionTrace>) -> Vec<u8> {
+    fn encrypt_inner(
+        &self,
+        key: &[u8],
+        pt: &[u8],
+        mut rec: Option<&mut ExecutionTrace>,
+    ) -> Vec<u8> {
         let key: [u8; 16] = key[..16].try_into().expect("16-byte key");
         let ks = self.schedule(&key);
         let (mut d1, mut d2) = block_to_u64s(pt);
@@ -239,7 +245,7 @@ impl Camellia128 {
         d1 ^= ks.whitening_out[0];
         d2 ^= ks.whitening_out[1];
         let ct = u64s_to_block(d1, d2);
-        if let Some(rec) = rec.as_deref_mut() {
+        if let Some(rec) = rec {
             for &b in ct.iter() {
                 rec.byte(OpKind::Store, b);
             }
@@ -286,7 +292,12 @@ impl RecordingCipher for Camellia128 {
         self.decrypt_inner(key, ciphertext)
     }
 
-    fn encrypt_recorded(&self, key: &[u8], plaintext: &[u8], trace: &mut ExecutionTrace) -> Vec<u8> {
+    fn encrypt_recorded(
+        &self,
+        key: &[u8],
+        plaintext: &[u8],
+        trace: &mut ExecutionTrace,
+    ) -> Vec<u8> {
         self.encrypt_inner(key, plaintext, Some(trace))
     }
 }
@@ -312,7 +323,9 @@ mod tests {
 
     #[test]
     fn fl_and_fl_inv_are_inverses() {
-        for (x, k) in [(0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210u64), (0, u64::MAX), (u64::MAX, 1)] {
+        for (x, k) in
+            [(0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210u64), (0, u64::MAX), (u64::MAX, 1)]
+        {
             assert_eq!(Camellia128::fl_inv(Camellia128::fl(x, k, None), k, None), x);
         }
     }

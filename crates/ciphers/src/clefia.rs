@@ -85,7 +85,7 @@ impl Clefia128 {
             }
         }
         let y = mat_mul(&M0, s);
-        if let Some(rec) = rec.as_deref_mut() {
+        if let Some(rec) = rec {
             for &v in y.iter() {
                 rec.byte(OpKind::GfMul, v);
             }
@@ -108,7 +108,7 @@ impl Clefia128 {
             }
         }
         let y = mat_mul(&M1, s);
-        if let Some(rec) = rec.as_deref_mut() {
+        if let Some(rec) = rec {
             for &v in y.iter() {
                 rec.byte(OpKind::GfMul, v);
             }
@@ -144,7 +144,12 @@ impl Clefia128 {
         (whitening, round_keys)
     }
 
-    fn encrypt_inner(&self, key: &[u8], pt: &[u8], mut rec: Option<&mut ExecutionTrace>) -> Vec<u8> {
+    fn encrypt_inner(
+        &self,
+        key: &[u8],
+        pt: &[u8],
+        mut rec: Option<&mut ExecutionTrace>,
+    ) -> Vec<u8> {
         let key: [u8; 16] = key[..16].try_into().expect("16-byte key");
         let (wk, rk) = Self::schedule(&key);
         let mut p = [
@@ -180,7 +185,7 @@ impl Clefia128 {
         for word in p {
             ct.extend_from_slice(&word.to_be_bytes());
         }
-        if let Some(rec) = rec.as_deref_mut() {
+        if let Some(rec) = rec {
             for &b in ct.iter() {
                 rec.byte(OpKind::Store, b);
             }
@@ -240,7 +245,12 @@ impl RecordingCipher for Clefia128 {
         self.decrypt_inner(key, ciphertext)
     }
 
-    fn encrypt_recorded(&self, key: &[u8], plaintext: &[u8], trace: &mut ExecutionTrace) -> Vec<u8> {
+    fn encrypt_recorded(
+        &self,
+        key: &[u8],
+        plaintext: &[u8],
+        trace: &mut ExecutionTrace,
+    ) -> Vec<u8> {
         self.encrypt_inner(key, plaintext, Some(trace))
     }
 }

@@ -242,12 +242,8 @@ pub trait RecordingCipher: Send + Sync {
     /// Encrypts one block while recording every micro-operation into `trace`.
     ///
     /// The returned ciphertext must be identical to [`Self::encrypt`].
-    fn encrypt_recorded(
-        &self,
-        key: &[u8],
-        plaintext: &[u8],
-        trace: &mut ExecutionTrace,
-    ) -> Vec<u8>;
+    fn encrypt_recorded(&self, key: &[u8], plaintext: &[u8], trace: &mut ExecutionTrace)
+        -> Vec<u8>;
 }
 
 #[cfg(test)]

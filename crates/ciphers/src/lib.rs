@@ -42,6 +42,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Index-based round loops intentionally mirror the cipher specifications.
+#![allow(clippy::needless_range_loop)]
 
 pub mod aes;
 pub mod camellia;

@@ -144,14 +144,15 @@ impl MaskedAes128 {
             }
         }
 
-        let add_round_key = |masked: &mut [u8; 16], rk: &[u8; 16], rec: &mut Option<&mut ExecutionTrace>| {
-            for i in 0..16 {
-                masked[i] ^= rk[i];
-                if let Some(rec) = rec.as_deref_mut() {
-                    rec.byte(OpKind::Xor, masked[i]);
+        let add_round_key =
+            |masked: &mut [u8; 16], rk: &[u8; 16], rec: &mut Option<&mut ExecutionTrace>| {
+                for i in 0..16 {
+                    masked[i] ^= rk[i];
+                    if let Some(rec) = rec.as_deref_mut() {
+                        rec.byte(OpKind::Xor, masked[i]);
+                    }
                 }
-            }
-        };
+            };
 
         add_round_key(&mut masked, &round_keys[0], &mut rec);
 
@@ -237,7 +238,12 @@ impl RecordingCipher for MaskedAes128 {
         crate::aes::Aes128::new().decrypt(key, ciphertext)
     }
 
-    fn encrypt_recorded(&self, key: &[u8], plaintext: &[u8], trace: &mut ExecutionTrace) -> Vec<u8> {
+    fn encrypt_recorded(
+        &self,
+        key: &[u8],
+        plaintext: &[u8],
+        trace: &mut ExecutionTrace,
+    ) -> Vec<u8> {
         let key: [u8; 16] = key[..16].try_into().expect("16-byte key");
         let pt: [u8; 16] = plaintext[..16].try_into().expect("16-byte block");
         let nonce = self.nonce_from(&pt, &key);

@@ -152,14 +152,68 @@ impl CoLocatorCnn {
     /// Classifies a batch of windows, returning the predicted class index per
     /// window (0 = not start, 1 = cipher start).
     pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
-        self.forward(input, false).argmax_rows()
+        let mut preds = Vec::new();
+        self.predict_into(input, &mut preds);
+        preds
+    }
+
+    /// Like [`Self::predict`], but writes into a caller-owned buffer so batch
+    /// loops allocate nothing per call. `preds` is cleared first.
+    pub fn predict_into(&mut self, input: &Tensor, preds: &mut Vec<usize>) {
+        let logits = self.forward(input, false);
+        preds.clear();
+        preds.reserve(logits.shape()[0]);
+        for row in logits.data().chunks(logits.shape()[1]) {
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate().skip(1) {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            preds.push(best);
+        }
     }
 
     /// Scores a batch of windows with the *linear* (pre-softmax) class-1
     /// output, the signal used by the sliding-window classification stage
     /// (Section III-C).
     pub fn class1_scores(&mut self, input: &Tensor) -> Vec<f32> {
+        let mut scores = Vec::new();
+        self.class1_scores_into(input, &mut scores);
+        scores
+    }
+
+    /// Like [`Self::class1_scores`], but writes into a caller-owned buffer so
+    /// the sliding-window loop allocates nothing per batch. `scores` is
+    /// cleared first.
+    pub fn class1_scores_into(&mut self, input: &Tensor, scores: &mut Vec<f32>) {
         let logits = self.forward(input, false);
+        scores.clear();
+        scores.reserve(logits.shape()[0]);
+        for b in 0..logits.shape()[0] {
+            scores.push(logits.at2(b, 1) - logits.at2(b, 0));
+        }
+    }
+
+    /// Inference forward pass with every convolution and fully connected
+    /// layer routed through its naive scalar reference implementation — the
+    /// computational profile of the pre-GEMM seed. Used by throughput
+    /// benchmarks and parity tests.
+    pub fn forward_reference(&mut self, input: &Tensor) -> Tensor {
+        let x = self.conv.forward_reference(input);
+        let x = self.bn.forward(&x, false);
+        let x = self.relu.forward(&x, false);
+        let x = self.res1.forward_reference(&x);
+        let x = self.res2.forward_reference(&x);
+        let x = self.pool.forward(&x, false);
+        let x = self.fc1.forward_reference(&x);
+        let x = self.fc_relu.forward(&x, false);
+        self.fc2.forward_reference(&x)
+    }
+
+    /// [`Self::class1_scores`] on top of [`Self::forward_reference`].
+    pub fn class1_scores_reference(&mut self, input: &Tensor) -> Vec<f32> {
+        let logits = self.forward_reference(input);
         (0..logits.shape()[0]).map(|b| logits.at2(b, 1) - logits.at2(b, 0)).collect()
     }
 

@@ -126,9 +126,7 @@ impl DatasetBuilder {
             });
             for _ in 0..count {
                 let origin = if max_origin == 0 { 0 } else { rng.gen_range(0..=max_origin) };
-                let samples = noise_trace
-                    .slice(origin, n)
-                    .expect("origin chosen within bounds");
+                let samples = noise_trace.slice(origin, n).expect("origin chosen within bounds");
                 dataset.push(self.make_window(samples, WindowLabel::NotStart, origin));
             }
         }
@@ -142,9 +140,8 @@ mod tests {
     use sca_trace::TraceMeta;
 
     fn cipher_trace(len: usize, co_start: usize) -> Trace {
-        let mut meta = TraceMeta::default();
-        meta.co_starts = vec![co_start];
-        meta.co_ends = vec![len];
+        let meta =
+            TraceMeta { co_starts: vec![co_start], co_ends: vec![len], ..Default::default() };
         Trace::with_meta((0..len).map(|x| x as f32).collect(), meta)
     }
 
@@ -152,7 +149,10 @@ mod tests {
     fn labels_follow_paper_convention() {
         let traces = vec![cipher_trace(100, 20), cipher_trace(100, 10)];
         let noise = Trace::from_samples(vec![0.5; 200]);
-        let ds = DatasetBuilder::new(16).with_limits(10, 10, 4).with_standardize(false).build(&traces, &noise);
+        let ds = DatasetBuilder::new(16)
+            .with_limits(10, 10, 4)
+            .with_standardize(false)
+            .build(&traces, &noise);
         assert_eq!(ds.count_label(WindowLabel::CipherStart), 2);
         // Each 100-sample trace with co_start 20/10 yields 4/4 and 4/5 rest windows
         // capped at 10 total, plus 4 noise windows.
@@ -210,7 +210,8 @@ mod tests {
     fn noise_windows_default_to_cipher_start_count() {
         let traces: Vec<Trace> = (0..6).map(|_| cipher_trace(40, 4)).collect();
         let noise = Trace::from_samples(vec![0.3; 300]);
-        let ds = DatasetBuilder::new(8).with_limits(usize::MAX, 0, usize::MAX).build(&traces, &noise);
+        let ds =
+            DatasetBuilder::new(8).with_limits(usize::MAX, 0, usize::MAX).build(&traces, &noise);
         // 6 cipher-start windows and (by default) 6 noise windows.
         assert_eq!(ds.count_label(WindowLabel::CipherStart), 6);
         assert_eq!(ds.count_label(WindowLabel::NotStart), 6);

@@ -59,7 +59,7 @@ pub fn hit_rate(located: &[usize], truth: &[usize], tolerance: usize) -> HitRepo
                 continue;
             }
             let dist = l.abs_diff(t);
-            if dist <= tolerance && best.map_or(true, |(_, d)| dist < d) {
+            if dist <= tolerance && best.is_none_or(|(_, d)| dist < d) {
                 best = Some((i, dist));
             }
         }

@@ -148,6 +148,14 @@ impl CoLocator {
         &self.sliding
     }
 
+    /// Sets the number of scoring threads used by [`Self::locate`]
+    /// (`0` = one per available core). Scores are independent per window, so
+    /// the located starts do not depend on the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.sliding = self.sliding.with_threads(threads);
+        self
+    }
+
     /// The trained CNN.
     pub fn cnn(&self) -> &CoLocatorCnn {
         &self.cnn
@@ -187,18 +195,15 @@ mod tests {
     /// background. No neural network heroics needed — the point of these
     /// tests is the plumbing of the full pipeline.
     fn synth_co(len: usize) -> Vec<f32> {
-        (0..len)
-            .map(|i| if i < len / 4 { 1.0 } else { 0.5 })
-            .collect()
+        (0..len).map(|i| if i < len / 4 { 1.0 } else { 0.5 }).collect()
     }
 
     fn cipher_trace(co_len: usize, lead: usize) -> Trace {
         let mut samples = vec![0.05f32; lead];
         samples.extend(synth_co(co_len));
         samples.extend(vec![0.05f32; lead]);
-        let mut meta = TraceMeta::default();
-        meta.co_starts = vec![lead];
-        meta.co_ends = vec![lead + co_len];
+        let meta =
+            TraceMeta { co_starts: vec![lead], co_ends: vec![lead + co_len], ..Default::default() };
         Trace::with_meta(samples, meta)
     }
 
@@ -221,7 +226,12 @@ mod tests {
         let noise_trace = Trace::from_samples(vec![0.05f32; 2000]);
         let builder = LocatorBuilder::new(32, 24, 8)
             .cnn_config(CnnConfig { base_filters: 2, kernel_size: 3, seed: 11 })
-            .training_config(TrainingConfig { epochs: 4, batch_size: 16, learning_rate: 5e-3, seed: 1 })
+            .training_config(TrainingConfig {
+                epochs: 4,
+                batch_size: 16,
+                learning_rate: 5e-3,
+                seed: 1,
+            })
             .segmentation_config(SegmentationConfig {
                 threshold: ThresholdStrategy::MidRange,
                 median_filter_k: 3,
@@ -243,7 +253,12 @@ mod tests {
         let noise_trace = Trace::from_samples(vec![0.05f32; 1000]);
         let builder = LocatorBuilder::new(24, 24, 8)
             .cnn_config(CnnConfig { base_filters: 2, kernel_size: 3, seed: 2 })
-            .training_config(TrainingConfig { epochs: 3, batch_size: 8, learning_rate: 5e-3, seed: 3 });
+            .training_config(TrainingConfig {
+                epochs: 3,
+                batch_size: 8,
+                learning_rate: 5e-3,
+                seed: 3,
+            });
         let (mut locator, _) = builder.fit(&cipher_traces, &noise_trace);
         let (trace, truth) = long_trace(co_len, &[100, 180]);
         let aligned = locator.locate_and_align(&trace, co_len);

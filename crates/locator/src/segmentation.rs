@@ -96,7 +96,7 @@ impl Segmenter {
         for e in edges {
             if deduped
                 .last()
-                .map_or(true, |&last| e - last >= self.config.min_distance_windows.max(1))
+                .is_none_or(|&last| e - last >= self.config.min_distance_windows.max(1))
             {
                 deduped.push(e);
             }
@@ -139,8 +139,8 @@ mod tests {
     fn synthetic_swc(len: usize, bumps: &[usize], bump_width: usize) -> Vec<f32> {
         let mut swc = vec![-2.0f32; len];
         for &b in bumps {
-            for i in b..(b + bump_width).min(len) {
-                swc[i] = 3.0;
+            for v in swc[b..(b + bump_width).min(len)].iter_mut() {
+                *v = 3.0;
             }
         }
         swc

@@ -4,9 +4,20 @@
 //! every window is scored by the trained CNN with its linear class-1 output.
 //! The resulting score signal (`swc`) exhibits a recurrent pattern at the CO
 //! beginnings that the segmentation stage turns into start samples.
+//!
+//! This stage dominates the pipeline's runtime (hundreds of thousands of CNN
+//! forward passes on a long trace), so the scoring loop is zero-copy: windows
+//! are written straight from the trace into one reused `[B, 1, N]` batch
+//! tensor, standardised in place, and scored through
+//! [`CoLocatorCnn::class1_scores_into`] without any per-window allocation.
+//! Independent shards of the window list can fan out across OS threads, each
+//! with its own clone of the (read-only at inference) CNN; per-window scores
+//! do not depend on batching, so the output is identical for any thread or
+//! batch configuration.
 
 use sca_trace::{Trace, WindowSlicer};
 use serde::{Deserialize, Serialize};
+use tinynn::Tensor;
 
 use crate::cnn::CoLocatorCnn;
 
@@ -17,6 +28,7 @@ pub struct SlidingWindowClassifier {
     stride: usize,
     batch_size: usize,
     standardize: bool,
+    threads: usize,
 }
 
 impl SlidingWindowClassifier {
@@ -28,7 +40,7 @@ impl SlidingWindowClassifier {
     pub fn new(window_len: usize, stride: usize) -> Self {
         assert!(window_len > 0, "window length must be non-zero");
         assert!(stride > 0, "stride must be non-zero");
-        Self { window_len, stride, batch_size: 64, standardize: true }
+        Self { window_len, stride, batch_size: 64, standardize: true, threads: 0 }
     }
 
     /// Sets the inference batch size (larger batches amortise per-call cost).
@@ -41,6 +53,14 @@ impl SlidingWindowClassifier {
     /// builder setting used during training).
     pub fn with_standardize(mut self, standardize: bool) -> Self {
         self.standardize = standardize;
+        self
+    }
+
+    /// Sets the number of scoring threads (`0` = one per available core).
+    /// Scores are independent per window, so any thread count produces
+    /// identical output.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -67,6 +87,37 @@ impl SlidingWindowClassifier {
         let slicer = WindowSlicer::new(self.window_len, self.stride)
             .expect("parameters validated at construction");
         let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
+        let mut scores = vec![0.0f32; starts.len()];
+        if starts.is_empty() {
+            return scores;
+        }
+        let threads = self.effective_threads(starts.len());
+        if threads <= 1 {
+            self.classify_shard(cnn, &starts, trace, &mut scores);
+        } else {
+            let per_shard = starts.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (shard, out) in starts.chunks(per_shard).zip(scores.chunks_mut(per_shard)) {
+                    let mut local_cnn = cnn.clone();
+                    scope.spawn(move || {
+                        // The shards are the parallelism; the CNN's own batch
+                        // fan-out must stay sequential inside them.
+                        let _serial = tinynn::parallel::serial_region();
+                        self.classify_shard(&mut local_cnn, shard, trace, out);
+                    });
+                }
+            });
+        }
+        scores
+    }
+
+    /// The pre-optimisation scoring path (per-window `Vec` staging through
+    /// [`CoLocatorCnn::stack_windows`]), kept as the reference for regression
+    /// tests and the throughput benchmark.
+    pub fn classify_reference(&self, cnn: &mut CoLocatorCnn, trace: &Trace) -> Vec<f32> {
+        let slicer = WindowSlicer::new(self.window_len, self.stride)
+            .expect("parameters validated at construction");
+        let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
         let mut scores = Vec::with_capacity(starts.len());
         for chunk in starts.chunks(self.batch_size) {
             let windows: Vec<Vec<f32>> = chunk
@@ -85,6 +136,78 @@ impl SlidingWindowClassifier {
         scores
     }
 
+    /// The full seed-equivalent baseline: per-window `Vec` staging *and*
+    /// naive scalar convolution kernels
+    /// ([`CoLocatorCnn::class1_scores_reference`]). This is the "before"
+    /// measurement for the throughput benchmark; [`Self::classify`] must
+    /// produce the same scores to within float reassociation error.
+    pub fn classify_naive(&self, cnn: &mut CoLocatorCnn, trace: &Trace) -> Vec<f32> {
+        let slicer = WindowSlicer::new(self.window_len, self.stride)
+            .expect("parameters validated at construction");
+        let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
+        let mut scores = Vec::with_capacity(starts.len());
+        for chunk in starts.chunks(self.batch_size) {
+            let windows: Vec<Vec<f32>> = chunk
+                .iter()
+                .map(|&s| {
+                    let mut w = trace.samples()[s..s + self.window_len].to_vec();
+                    if self.standardize {
+                        sca_trace::dsp::standardize_in_place(&mut w);
+                    }
+                    w
+                })
+                .collect();
+            let input = CoLocatorCnn::stack_windows(&windows);
+            scores.extend(cnn.class1_scores_reference(&input));
+        }
+        scores
+    }
+
+    /// Thread count actually used for `windows` windows: the configured (or
+    /// auto-detected) count, capped so every shard still gets at least two
+    /// full batches of work (cloning the CNN has a cost).
+    fn effective_threads(&self, windows: usize) -> usize {
+        let configured =
+            if self.threads == 0 { tinynn::parallel::max_threads() } else { self.threads };
+        configured.min(windows.div_ceil(2 * self.batch_size)).max(1)
+    }
+
+    /// Scores a contiguous shard of window starts into `out`, reusing one
+    /// `[batch, 1, N]` tensor and one score buffer for the whole shard.
+    fn classify_shard(
+        &self,
+        cnn: &mut CoLocatorCnn,
+        starts: &[usize],
+        trace: &Trace,
+        out: &mut [f32],
+    ) {
+        let n = self.window_len;
+        let samples = trace.samples();
+        let mut batch = Tensor::zeros(&[self.batch_size, 1, n]);
+        let mut scores_buf: Vec<f32> = Vec::with_capacity(self.batch_size);
+        let mut offset = 0usize;
+        for chunk in starts.chunks(self.batch_size) {
+            // The final chunk may be short; give it a matching smaller tensor
+            // (one extra allocation per shard at most).
+            let mut tail;
+            let tensor = if chunk.len() == self.batch_size {
+                &mut batch
+            } else {
+                tail = Tensor::zeros(&[chunk.len(), 1, n]);
+                &mut tail
+            };
+            for (row, &start) in tensor.data_mut().chunks_mut(n).zip(chunk.iter()) {
+                row.copy_from_slice(&samples[start..start + n]);
+                if self.standardize {
+                    sca_trace::dsp::standardize_in_place(row);
+                }
+            }
+            cnn.class1_scores_into(tensor, &mut scores_buf);
+            out[offset..offset + chunk.len()].copy_from_slice(&scores_buf);
+            offset += chunk.len();
+        }
+    }
+
     /// Maps an index in the `swc` signal back to a trace sample index
     /// (multiplication by the stride, as in Section III-D).
     pub fn score_index_to_sample(&self, index: usize) -> usize {
@@ -99,6 +222,10 @@ mod tests {
 
     fn tiny_cnn() -> CoLocatorCnn {
         CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 3 })
+    }
+
+    fn wavy_trace(len: usize) -> Trace {
+        Trace::from_samples((0..len).map(|x| (x as f32 * 0.1).sin()).collect())
     }
 
     #[test]
@@ -123,7 +250,7 @@ mod tests {
     fn batching_does_not_change_scores() {
         let mut cnn_a = tiny_cnn();
         let mut cnn_b = tiny_cnn();
-        let trace = Trace::from_samples((0..200).map(|x| (x as f32 * 0.1).sin()).collect());
+        let trace = wavy_trace(200);
         let small = SlidingWindowClassifier::new(16, 8).with_batch_size(2);
         let big = SlidingWindowClassifier::new(16, 8).with_batch_size(64);
         let a = small.classify(&mut cnn_a, &trace);
@@ -131,6 +258,47 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_copy_path_matches_reference_exactly() {
+        // Regression pin for the buffer-reuse rewrite: identical scores, not
+        // merely close ones, for full and ragged final batches alike.
+        for (window, stride, batch) in [(16, 8, 4), (16, 4, 7), (24, 16, 64)] {
+            let swc = SlidingWindowClassifier::new(window, stride).with_batch_size(batch);
+            let trace = wavy_trace(400);
+            let fast = swc.classify(&mut tiny_cnn(), &trace);
+            let reference = swc.classify_reference(&mut tiny_cnn(), &trace);
+            assert_eq!(fast.len(), reference.len());
+            for (a, b) in fast.iter().zip(reference.iter()) {
+                assert!((a - b).abs() <= 1e-6, "zero-copy {a} vs reference {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_kernels_match_naive_network_end_to_end() {
+        // Whole-network parity: GEMM kernels + zero-copy staging vs the
+        // seed-equivalent naive path, within float reassociation error.
+        let swc = SlidingWindowClassifier::new(24, 8).with_batch_size(8);
+        let trace = wavy_trace(300);
+        let fast = swc.classify(&mut tiny_cnn(), &trace);
+        let naive = swc.classify_naive(&mut tiny_cnn(), &trace);
+        assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(naive.iter()) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "optimised {a} vs naive {b}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_scores() {
+        let trace = wavy_trace(600);
+        let base = SlidingWindowClassifier::new(16, 4).with_batch_size(4);
+        let sequential = base.with_threads(1).classify(&mut tiny_cnn(), &trace);
+        for threads in [2usize, 3, 8] {
+            let parallel = base.with_threads(threads).classify(&mut tiny_cnn(), &trace);
+            assert_eq!(sequential, parallel, "threads = {threads}");
         }
     }
 

@@ -120,7 +120,7 @@ impl Trainer {
             report.validation_losses.push(val_loss);
             report.validation_accuracies.push(val_acc);
 
-            if best.as_ref().map_or(true, |(l, _)| val_loss < *l) {
+            if best.as_ref().is_none_or(|(l, _)| val_loss < *l) {
                 best = Some((val_loss, cnn.clone()));
                 report.best_epoch = epoch;
             }
@@ -153,8 +153,9 @@ impl Trainer {
     pub fn confusion_matrix(&self, cnn: &mut CoLocatorCnn, dataset: &Dataset) -> ConfusionMatrix {
         let loader = Self::loader(dataset, self.config.batch_size);
         let mut cm = ConfusionMatrix::new(2);
+        let mut preds = Vec::with_capacity(self.config.batch_size);
         for batch in loader.sequential() {
-            let preds = cnn.predict(&batch.inputs);
+            cnn.predict_into(&batch.inputs, &mut preds);
             cm.record_all(&batch.labels, &preds);
         }
         cm
@@ -187,7 +188,8 @@ mod tests {
     fn training_learns_separable_problem() {
         let split = separable_dataset(40, 24).split(SplitRatios::paper(), 3);
         let mut cnn = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 5 });
-        let trainer = Trainer::new(TrainingConfig { epochs: 3, batch_size: 8, learning_rate: 5e-3, seed: 1 });
+        let trainer =
+            Trainer::new(TrainingConfig { epochs: 3, batch_size: 8, learning_rate: 5e-3, seed: 1 });
         let report = trainer.train(&mut cnn, &split);
         assert_eq!(report.train_losses.len(), 3);
         assert!(report.best_validation_accuracy() > 0.9, "report: {report:?}");

@@ -1,0 +1,23 @@
+//! Offline API-surface stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no network access, so the real `serde` crate
+//! cannot be fetched. The workspace only *annotates* types with the derives
+//! (keeping them ready for a real backend) and never calls serialisation
+//! functions, so marker traits plus no-op derive macros are sufficient.
+//!
+//! If the environment ever gains registry access, deleting the
+//! `crates/shims/` directory and pointing `[workspace.dependencies]` at
+//! crates.io restores full serde behaviour without touching any other code.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+// Like the real `serde` with the `derive` feature: re-export the derive
+// macros under the same names as the traits (macros live in a separate
+// namespace, so both resolve).
+pub use serde_derive::{Deserialize, Serialize};

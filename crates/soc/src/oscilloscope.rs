@@ -126,7 +126,8 @@ mod tests {
 
     #[test]
     fn noise_free_constant_signal_is_quantised_constant() {
-        let config = OscilloscopeConfig { noise_std: 0.0, lowpass_alpha: 1.0, ..Default::default() };
+        let config =
+            OscilloscopeConfig { noise_std: 0.0, lowpass_alpha: 1.0, ..Default::default() };
         let osc = Oscilloscope::new(config);
         let mut trng = Trng::new(9);
         let trace = osc.capture(&vec![1.0f32; 100], &mut trng);

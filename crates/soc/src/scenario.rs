@@ -154,7 +154,8 @@ mod tests {
         };
         assert_eq!(r.len(), 250);
         assert!(!r.is_empty());
-        let empty = CoRecord { start_sample: 10, end_sample: 10, plaintext: [0; 16], ciphertext: [0; 16] };
+        let empty =
+            CoRecord { start_sample: 10, end_sample: 10, plaintext: [0; 16], ciphertext: [0; 16] };
         assert!(empty.is_empty());
     }
 }

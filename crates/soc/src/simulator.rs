@@ -110,10 +110,8 @@ impl SocSimulator {
 
         let samples = self.digitize(&all_ops);
         let co_start = self.oscilloscope.cycle_to_sample(preamble_cycles);
-        let co_end = self
-            .oscilloscope
-            .cycle_to_sample(preamble_cycles + co_cycles)
-            .min(samples.len());
+        let co_end =
+            self.oscilloscope.cycle_to_sample(preamble_cycles + co_cycles).min(samples.len());
 
         let mut meta = TraceMeta::with_description(format!("{} training trace", cipher.name()));
         meta.sample_rate_hz = Some(125e6);

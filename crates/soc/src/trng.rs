@@ -26,12 +26,8 @@ impl Trng {
     /// Creates a TRNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let state = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Self { state }
     }
 

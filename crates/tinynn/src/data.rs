@@ -98,14 +98,18 @@ impl DataLoader {
             if chunk.is_empty() {
                 continue;
             }
-            let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| self.samples[i].clone()).collect();
+            // Stack selected samples straight into the flat batch buffer
+            // (no per-row intermediate clones).
+            let width = self.samples[chunk[0]].len();
+            let mut flat: Vec<f32> = Vec::with_capacity(chunk.len() * width);
+            for &i in chunk {
+                flat.extend_from_slice(&self.samples[i]);
+            }
             let labels: Vec<usize> = chunk.iter().map(|&i| self.labels[i]).collect();
             let inputs = if self.as_channels {
-                let window = rows[0].len();
-                let flat: Vec<f32> = rows.iter().flatten().copied().collect();
-                Tensor::from_vec(flat, &[rows.len(), 1, window])
+                Tensor::from_vec(flat, &[chunk.len(), 1, width])
             } else {
-                Tensor::from_rows(&rows)
+                Tensor::from_vec(flat, &[chunk.len(), width])
             };
             batches.push(Batch { inputs, labels });
         }
@@ -148,17 +152,13 @@ mod tests {
         let (s, l) = toy_data(20, 1);
         let loader = DataLoader::new(s, l, 5);
         let batches = loader.epoch(7);
-        let mut seen: Vec<f32> =
-            batches.iter().flat_map(|b| b.inputs.data().to_vec()).collect();
+        let mut seen: Vec<f32> = batches.iter().flat_map(|b| b.inputs.data().to_vec()).collect();
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expected: Vec<f32> = (0..20).map(|x| x as f32).collect();
         assert_eq!(seen, expected);
         // Different seed gives different order.
         let other = loader.epoch(8);
-        assert_ne!(
-            batches[0].inputs.data().to_vec(),
-            other[0].inputs.data().to_vec()
-        );
+        assert_ne!(batches[0].inputs.data().to_vec(), other[0].inputs.data().to_vec());
     }
 
     #[test]

@@ -5,26 +5,44 @@
 //! * convolutional tensors are `[batch, channels, length]`;
 //! * fully-connected tensors are `[batch, features]`.
 //!
-//! Every layer caches what it needs during `forward` and consumes the cache in
-//! `backward`, which returns the gradient with respect to the layer input and
-//! accumulates parameter gradients into the layer's [`Param`]s.
+//! Every layer caches what it needs during a *training* `forward` and
+//! consumes the cache in `backward`, which returns the gradient with respect
+//! to the layer input and accumulates parameter gradients into the layer's
+//! [`Param`]s. Inference (`training == false`) skips every cache — forward
+//! passes allocate nothing beyond their output.
+//!
+//! The hot paths are built on the [`crate::matmul`] GEMM kernels:
+//! `Conv1d` lowers to im2col → GEMM (and col2im for the input gradient),
+//! `Linear` is a single GEMM per direction, and the normalisation/pooling
+//! layers operate on contiguous channel slices. The original scalar
+//! implementations survive as `*_reference` methods so parity tests can pin
+//! the optimised kernels against them.
+
+use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
 use crate::init;
+use crate::matmul;
+use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
+
+/// Work threshold (in FLOPs) below which convolution stays single-threaded.
+const CONV_PAR_MIN_FLOPS: usize = 1 << 21;
 
 /// A differentiable layer.
 pub trait Layer: Send {
     /// Computes the layer output. `training` selects batch statistics vs.
-    /// running statistics in normalisation layers.
+    /// running statistics in normalisation layers and controls whether the
+    /// backward caches are recorded (inference skips them entirely).
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
 
     /// Back-propagates `grad_output`, returning the gradient with respect to
     /// the layer input and accumulating parameter gradients.
     ///
-    /// Must be called after a `forward` pass (the layer uses its cache).
+    /// Must be called after a `forward` pass with `training == true` (the
+    /// layer uses its cache).
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
 
     /// Mutable access to the layer's trainable parameters.
@@ -63,14 +81,22 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if training {
+            self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+        } else {
+            self.mask.clear();
+        }
         let data = input.data().iter().map(|&v| v.max(0.0)).collect();
         Tensor::from_vec(data, input.shape())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        assert_eq!(grad_output.len(), self.mask.len(), "backward called before forward");
+        assert_eq!(
+            grad_output.len(),
+            self.mask.len(),
+            "Relu: backward called before forward with training=true"
+        );
         let data = grad_output
             .data()
             .iter()
@@ -116,12 +142,10 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        assert_eq!(input.shape().len(), 2, "Linear expects a 2-D input");
-        assert_eq!(input.shape()[1], self.in_features, "Linear input feature mismatch");
+    /// Naive scalar-loop forward pass, kept as the parity reference for the
+    /// GEMM implementation. Pure: touches no caches.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
         let batch = input.shape()[0];
         let mut out = Tensor::zeros(&[batch, self.out_features]);
         for b in 0..batch {
@@ -133,26 +157,91 @@ impl Layer for Linear {
                 out.set2(b, o, acc);
             }
         }
-        self.cache_input = Some(input.clone());
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cache_input.as_ref().expect("backward called before forward");
+    /// Naive scalar-loop backward pass, kept as the parity reference. Pure:
+    /// returns `(grad_input, grad_weight, grad_bias)` without touching the
+    /// layer's accumulators.
+    pub fn backward_reference(
+        &self,
+        input: &Tensor,
+        grad_output: &Tensor,
+    ) -> (Tensor, Tensor, Tensor) {
         let batch = input.shape()[0];
         let mut grad_input = Tensor::zeros(&[batch, self.in_features]);
+        let mut grad_weight = Tensor::zeros(&[self.out_features, self.in_features]);
+        let mut grad_bias = Tensor::zeros(&[self.out_features]);
         for b in 0..batch {
             for o in 0..self.out_features {
                 let g = grad_output.at2(b, o);
-                self.bias.grad.data_mut()[o] += g;
+                grad_bias.data_mut()[o] += g;
                 for i in 0..self.in_features {
                     let w_idx = o * self.in_features + i;
-                    self.weight.grad.data_mut()[w_idx] += g * input.at2(b, i);
+                    grad_weight.data_mut()[w_idx] += g * input.at2(b, i);
                     let gi = grad_input.at2(b, i) + g * self.weight.value.data()[w_idx];
                     grad_input.set2(b, i, gi);
                 }
             }
         }
+        (grad_input, grad_weight, grad_bias)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Linear expects a 2-D input");
+        assert_eq!(input.shape()[1], self.in_features, "Linear input feature mismatch");
+        let batch = input.shape()[0];
+        let mut out = Tensor::zeros(&[batch, self.out_features]);
+        for row in out.data_mut().chunks_mut(self.out_features) {
+            row.copy_from_slice(self.bias.value.data());
+        }
+        matmul::matmul_a_bt(
+            out.data_mut(),
+            input.data(),
+            self.weight.value.data(),
+            batch,
+            self.in_features,
+            self.out_features,
+        );
+        self.cache_input = if training { Some(input.clone()) } else { None };
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cache_input
+            .take()
+            .expect("Linear: backward called before forward with training=true");
+        let batch = input.shape()[0];
+        let mut grad_input = Tensor::zeros(&[batch, self.in_features]);
+        // dX = dY · W
+        matmul::matmul(
+            grad_input.data_mut(),
+            grad_output.data(),
+            self.weight.value.data(),
+            batch,
+            self.out_features,
+            self.in_features,
+        );
+        // dW += dYᵀ · X
+        matmul::matmul_at_b(
+            self.weight.grad.data_mut(),
+            grad_output.data(),
+            input.data(),
+            batch,
+            self.out_features,
+            self.in_features,
+        );
+        // db += column sums of dY
+        let grad_bias = self.bias.grad.data_mut();
+        for g_row in grad_output.data().chunks(self.out_features) {
+            for (bg, &g) in grad_bias.iter_mut().zip(g_row.iter()) {
+                *bg += g;
+            }
+        }
+        self.cache_input = Some(input);
         grad_input
     }
 
@@ -165,8 +254,73 @@ impl Layer for Linear {
 // Conv1d
 // ---------------------------------------------------------------------------
 
+thread_local! {
+    /// Per-thread im2col scratch buffer, reused across forward calls so
+    /// steady-state inference performs no allocation for the lowering.
+    static COL_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Writes the im2col lowering of one `[C, len]` input signal into `col`.
+///
+/// Row `c*kernel + t` of the `[C*kernel, len]` output is the input channel
+/// `c` shifted by `t - pad`, zero-padded at the borders — every row is a
+/// single contiguous `copy_from_slice` plus zero fills, and the row order
+/// matches the `[out_c, in_c, kernel]` weight layout so the weight tensor is
+/// usable as the GEMM left operand without repacking.
+fn im2col(col: &mut Vec<f32>, x: &[f32], channels: usize, len: usize, kernel: usize, pad: usize) {
+    col.resize(channels * kernel * len, 0.0);
+    for c in 0..channels {
+        let x_row = &x[c * len..(c + 1) * len];
+        for t in 0..kernel {
+            let row = &mut col[(c * kernel + t) * len..(c * kernel + t + 1) * len];
+            let shift = t as isize - pad as isize;
+            let j0 = (-shift).clamp(0, len as isize) as usize;
+            let j1 = (len as isize - shift).clamp(0, len as isize) as usize;
+            row[..j0].fill(0.0);
+            row[j1..].fill(0.0);
+            if j1 > j0 {
+                let s0 = (j0 as isize + shift) as usize;
+                row[j0..j1].copy_from_slice(&x_row[s0..s0 + (j1 - j0)]);
+            }
+        }
+    }
+}
+
+/// Scatter-adds a `[C*kernel, len]` column-gradient back onto the `[C, len]`
+/// input gradient (the adjoint of [`im2col`]).
+fn col2im_add(
+    gx: &mut [f32],
+    dcol: &[f32],
+    channels: usize,
+    len: usize,
+    kernel: usize,
+    pad: usize,
+) {
+    for c in 0..channels {
+        let gx_row = &mut gx[c * len..(c + 1) * len];
+        for t in 0..kernel {
+            let row = &dcol[(c * kernel + t) * len..(c * kernel + t + 1) * len];
+            let shift = t as isize - pad as isize;
+            let j0 = (-shift).clamp(0, len as isize) as usize;
+            let j1 = (len as isize - shift).clamp(0, len as isize) as usize;
+            if j1 > j0 {
+                let s0 = (j0 as isize + shift) as usize;
+                for (g, &d) in gx_row[s0..s0 + (j1 - j0)].iter_mut().zip(row[j0..j1].iter()) {
+                    *g += d;
+                }
+            }
+        }
+    }
+}
+
 /// 1-D convolution with stride 1 and "same" zero padding, matching the
 /// convolutional layers of the paper's CNN (Figure 2).
+///
+/// The forward and backward passes lower to im2col → GEMM: the
+/// `[out_c, in_c, kernel]` weight tensor is row-major exactly the
+/// `[out_c, in_c*kernel]` GEMM operand, and the im2col matrix is built with
+/// contiguous row copies, so the whole convolution is three cache-blocked
+/// matrix products. Batches fan out across threads at inference.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Conv1d {
     weight: Param, // [out_c, in_c, k]
@@ -218,12 +372,10 @@ impl Conv1d {
     fn pad_left(&self) -> usize {
         (self.kernel_size - 1) / 2
     }
-}
 
-impl Layer for Conv1d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        assert_eq!(input.shape().len(), 3, "Conv1d expects a 3-D input [B, C, N]");
-        assert_eq!(input.shape()[1], self.in_channels, "Conv1d channel mismatch");
+    /// Naive 5-deep scalar-loop forward pass, kept as the parity reference
+    /// for the im2col/GEMM implementation. Pure: touches no caches.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
         let (batch, len) = (input.shape()[0], input.shape()[2]);
         let pad = self.pad_left();
         let mut out = Tensor::zeros(&[batch, self.out_channels, len]);
@@ -245,15 +397,23 @@ impl Layer for Conv1d {
                 }
             }
         }
-        self.cache_input = Some(input.clone());
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cache_input.as_ref().expect("backward called before forward").clone();
+    /// Naive scalar-loop backward pass, kept as the parity reference. Pure:
+    /// returns `(grad_input, grad_weight, grad_bias)` without touching the
+    /// layer's accumulators.
+    pub fn backward_reference(
+        &self,
+        input: &Tensor,
+        grad_output: &Tensor,
+    ) -> (Tensor, Tensor, Tensor) {
         let (batch, len) = (input.shape()[0], input.shape()[2]);
         let pad = self.pad_left();
         let mut grad_input = Tensor::zeros(&[batch, self.in_channels, len]);
+        let mut grad_weight =
+            Tensor::zeros(&[self.out_channels, self.in_channels, self.kernel_size]);
+        let mut grad_bias = Tensor::zeros(&[self.out_channels]);
         for b in 0..batch {
             for o in 0..self.out_channels {
                 for n in 0..len {
@@ -261,7 +421,7 @@ impl Layer for Conv1d {
                     if g == 0.0 {
                         continue;
                     }
-                    self.bias.grad.data_mut()[o] += g;
+                    grad_bias.data_mut()[o] += g;
                     for t in 0..self.kernel_size {
                         let src = n as isize + t as isize - pad as isize;
                         if src < 0 || src >= len as isize {
@@ -270,13 +430,94 @@ impl Layer for Conv1d {
                         let src = src as usize;
                         for i in 0..self.in_channels {
                             let w_idx = (o * self.in_channels + i) * self.kernel_size + t;
-                            self.weight.grad.data_mut()[w_idx] += g * input.at3(b, i, src);
+                            grad_weight.data_mut()[w_idx] += g * input.at3(b, i, src);
                             grad_input.add3(b, i, src, g * self.weight.value.data()[w_idx]);
                         }
                     }
                 }
             }
         }
+        (grad_input, grad_weight, grad_bias)
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "Conv1d expects a 3-D input [B, C, N]");
+        assert_eq!(input.shape()[1], self.in_channels, "Conv1d channel mismatch");
+        let (batch, len) = (input.shape()[0], input.shape()[2]);
+        let (in_c, out_c, k) = (self.in_channels, self.out_channels, self.kernel_size);
+        let ck = in_c * k;
+        let pad = self.pad_left();
+        let mut out = Tensor::zeros(&[batch, out_c, len]);
+        let x = input.data();
+        let w = self.weight.value.data();
+        let bias = self.bias.value.data();
+        if batch == 1 {
+            // Single window: parallelise inside the GEMM instead of over the
+            // batch dimension.
+            COL_BUF.with_borrow_mut(|col| {
+                im2col(col, x, in_c, len, k, pad);
+                let out_b = out.data_mut();
+                for (oc, out_row) in out_b.chunks_mut(len).enumerate() {
+                    out_row.fill(bias[oc]);
+                }
+                matmul::matmul_par(out_b, w, col, out_c, ck, len);
+            });
+        } else {
+            let flops = 2 * batch * out_c * ck * len;
+            let threads = parallel::thread_count_for(batch, flops, CONV_PAR_MIN_FLOPS);
+            parallel::for_each_item_mut(out.data_mut(), out_c * len, threads, |b, out_b| {
+                COL_BUF.with_borrow_mut(|col| {
+                    im2col(col, &x[b * in_c * len..(b + 1) * in_c * len], in_c, len, k, pad);
+                    for (oc, out_row) in out_b.chunks_mut(len).enumerate() {
+                        out_row.fill(bias[oc]);
+                    }
+                    matmul::matmul(out_b, w, col, out_c, ck, len);
+                });
+            });
+        }
+        self.cache_input = if training { Some(input.clone()) } else { None };
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cache_input
+            .take()
+            .expect("Conv1d: backward called before forward with training=true");
+        let (batch, len) = (input.shape()[0], input.shape()[2]);
+        let (in_c, out_c, k) = (self.in_channels, self.out_channels, self.kernel_size);
+        let ck = in_c * k;
+        let pad = self.pad_left();
+        let mut grad_input = Tensor::zeros(&[batch, in_c, len]);
+        let mut col: Vec<f32> = Vec::new();
+        let mut dcol = vec![0.0f32; ck * len];
+        let w = self.weight.value.data();
+        for b in 0..batch {
+            let g_b = &grad_output.data()[b * out_c * len..(b + 1) * out_c * len];
+            let x_b = &input.data()[b * in_c * len..(b + 1) * in_c * len];
+            im2col(&mut col, x_b, in_c, len, k, pad);
+            // db += row sums of dY
+            let grad_bias = self.bias.grad.data_mut();
+            for (oc, g_row) in g_b.chunks(len).enumerate() {
+                grad_bias[oc] += g_row.iter().sum::<f32>();
+            }
+            // dW += dY · colᵀ
+            matmul::matmul_a_bt(self.weight.grad.data_mut(), g_b, &col, out_c, len, ck);
+            // dcol = Wᵀ · dY, then scatter back onto the input gradient.
+            dcol.fill(0.0);
+            matmul::matmul_at_b(&mut dcol, w, g_b, out_c, ck, len);
+            col2im_add(
+                &mut grad_input.data_mut()[b * in_c * len..(b + 1) * in_c * len],
+                &dcol,
+                in_c,
+                len,
+                k,
+                pad,
+            );
+        }
+        self.cache_input = Some(input);
         grad_input
     }
 
@@ -331,6 +572,11 @@ impl BatchNorm1d {
     pub fn channels(&self) -> usize {
         self.channels
     }
+
+    #[inline]
+    fn channel_slice(data: &[f32], b: usize, c: usize, channels: usize, len: usize) -> &[f32] {
+        &data[(b * channels + c) * len..(b * channels + c + 1) * len]
+    }
 }
 
 impl Layer for BatchNorm1d {
@@ -338,24 +584,26 @@ impl Layer for BatchNorm1d {
         assert_eq!(input.shape().len(), 3, "BatchNorm1d expects a 3-D input");
         assert_eq!(input.shape()[1], self.channels, "BatchNorm1d channel mismatch");
         let (batch, len) = (input.shape()[0], input.shape()[2]);
+        let channels = self.channels;
         let m = (batch * len) as f32;
-        let mut out = Tensor::zeros(input.shape());
-        let mut x_hat = Tensor::zeros(input.shape());
-        let mut std_inv = vec![0.0f32; self.channels];
+        let x = input.data();
 
-        for c in 0..self.channels {
+        // Per-channel statistics over contiguous [b, c] slices.
+        let mut mean_c = vec![0.0f32; channels];
+        let mut std_inv = vec![0.0f32; channels];
+        for c in 0..channels {
             let (mean, var) = if training {
                 let mut sum = 0.0f64;
                 for b in 0..batch {
-                    for n in 0..len {
-                        sum += input.at3(b, c, n) as f64;
+                    for &v in Self::channel_slice(x, b, c, channels, len) {
+                        sum += v as f64;
                     }
                 }
                 let mean = (sum / m as f64) as f32;
                 let mut var_sum = 0.0f64;
                 for b in 0..batch {
-                    for n in 0..len {
-                        var_sum += ((input.at3(b, c, n) - mean) as f64).powi(2);
+                    for &v in Self::channel_slice(x, b, c, channels, len) {
+                        var_sum += ((v - mean) as f64).powi(2);
                     }
                 }
                 let var = (var_sum / m as f64) as f32;
@@ -367,35 +615,71 @@ impl Layer for BatchNorm1d {
             } else {
                 (self.running_mean[c], self.running_var[c])
             };
-            let inv = 1.0 / (var + self.eps).sqrt();
-            std_inv[c] = inv;
-            let g = self.gamma.value.data()[c];
-            let be = self.beta.value.data()[c];
-            for b in 0..batch {
-                for n in 0..len {
-                    let xh = (input.at3(b, c, n) - mean) * inv;
-                    x_hat.set3(b, c, n, xh);
-                    out.set3(b, c, n, g * xh + be);
+            mean_c[c] = mean;
+            std_inv[c] = 1.0 / (var + self.eps).sqrt();
+        }
+
+        let mut out = Tensor::zeros(input.shape());
+        if training {
+            let mut x_hat = Tensor::zeros(input.shape());
+            {
+                let out_data = out.data_mut();
+                let hat_data = x_hat.data_mut();
+                for b in 0..batch {
+                    for c in 0..channels {
+                        let base = (b * channels + c) * len;
+                        let g = self.gamma.value.data()[c];
+                        let be = self.beta.value.data()[c];
+                        let (mean, inv) = (mean_c[c], std_inv[c]);
+                        for j in base..base + len {
+                            let xh = (x[j] - mean) * inv;
+                            hat_data[j] = xh;
+                            out_data[j] = g * xh + be;
+                        }
+                    }
                 }
             }
+            self.cache = Some(BnCache { x_hat, std_inv });
+        } else {
+            // Inference: fold (mean, inv, gamma, beta) into a single affine
+            // transform per channel and skip the cache.
+            let out_data = out.data_mut();
+            for b in 0..batch {
+                for c in 0..channels {
+                    let base = (b * channels + c) * len;
+                    let scale = self.gamma.value.data()[c] * std_inv[c];
+                    let shift = self.beta.value.data()[c] - mean_c[c] * scale;
+                    for (dst, &v) in out_data[base..base + len].iter_mut().zip(&x[base..base + len])
+                    {
+                        *dst = v * scale + shift;
+                    }
+                }
+            }
+            self.cache = None;
         }
-        self.cache = Some(BnCache { x_hat, std_inv });
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("backward called before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm1d: backward called before forward with training=true");
         let (batch, len) = (grad_output.shape()[0], grad_output.shape()[2]);
+        let channels = self.channels;
         let m = (batch * len) as f32;
+        let dy = grad_output.data();
+        let hat = cache.x_hat.data();
         let mut grad_input = Tensor::zeros(grad_output.shape());
-        for c in 0..self.channels {
+        let gi = grad_input.data_mut();
+        for c in 0..channels {
             let mut sum_dy = 0.0f64;
             let mut sum_dy_xhat = 0.0f64;
             for b in 0..batch {
-                for n in 0..len {
-                    let dy = grad_output.at3(b, c, n) as f64;
-                    sum_dy += dy;
-                    sum_dy_xhat += dy * cache.x_hat.at3(b, c, n) as f64;
+                let base = (b * channels + c) * len;
+                for j in base..base + len {
+                    sum_dy += dy[j] as f64;
+                    sum_dy_xhat += dy[j] as f64 * hat[j] as f64;
                 }
             }
             self.beta.grad.data_mut()[c] += sum_dy as f32;
@@ -405,10 +689,9 @@ impl Layer for BatchNorm1d {
             let mean_dy = sum_dy as f32 / m;
             let mean_dy_xhat = sum_dy_xhat as f32 / m;
             for b in 0..batch {
-                for n in 0..len {
-                    let dy = grad_output.at3(b, c, n);
-                    let xh = cache.x_hat.at3(b, c, n);
-                    grad_input.set3(b, c, n, g * inv * (dy - mean_dy - xh * mean_dy_xhat));
+                let base = (b * channels + c) * len;
+                for j in base..base + len {
+                    gi[j] = g * inv * (dy[j] - mean_dy - hat[j] * mean_dy_xhat);
                 }
             }
         }
@@ -445,31 +728,124 @@ impl Layer for GlobalAvgPool1d {
         assert_eq!(input.shape().len(), 3, "GlobalAvgPool1d expects a 3-D input");
         let (batch, channels, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let mut out = Tensor::zeros(&[batch, channels]);
-        for b in 0..batch {
-            for c in 0..channels {
-                let mut acc = 0.0f32;
-                for n in 0..len {
-                    acc += input.at3(b, c, n);
-                }
-                out.set2(b, c, acc / len as f32);
-            }
+        let inv_len = 1.0 / len as f32;
+        for (dst, row) in out.data_mut().iter_mut().zip(input.data().chunks(len)) {
+            *dst = row.iter().sum::<f32>() * inv_len;
         }
         self.cache_shape = input.shape().to_vec();
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        assert!(!self.cache_shape.is_empty(), "backward called before forward");
-        let (batch, channels, len) =
-            (self.cache_shape[0], self.cache_shape[1], self.cache_shape[2]);
+        assert!(!self.cache_shape.is_empty(), "GlobalAvgPool1d: backward called before forward");
+        let len = self.cache_shape[2];
         let mut grad_input = Tensor::zeros(&self.cache_shape);
-        for b in 0..batch {
-            for c in 0..channels {
-                let g = grad_output.at2(b, c) / len as f32;
-                for n in 0..len {
-                    grad_input.set3(b, c, n, g);
+        for (row, &g) in grad_input.data_mut().chunks_mut(len).zip(grad_output.data().iter()) {
+            row.fill(g / len as f32);
+        }
+        grad_input
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Max pooling
+// ---------------------------------------------------------------------------
+
+/// 1-D max pooling: `[B, C, N] → [B, C, (N - k)/s + 1]` (valid windows only).
+///
+/// Operates on contiguous channel slices; during training the flat arg-max
+/// index of every window is cached so `backward` is a single scatter pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool1d {
+    kernel_size: usize,
+    stride: usize,
+    cache: Option<MaxPoolCache>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MaxPoolCache {
+    argmax: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool1d {
+    /// Creates a max-pooling layer with the given window and stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_size` or `stride` is zero.
+    pub fn new(kernel_size: usize, stride: usize) -> Self {
+        assert!(kernel_size > 0, "kernel size must be non-zero");
+        assert!(stride > 0, "stride must be non-zero");
+        Self { kernel_size, stride, cache: None }
+    }
+
+    /// Pooling window size.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel_size
+    }
+
+    /// Pooling stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Output length for an input of `len` samples.
+    pub fn output_len(&self, len: usize) -> usize {
+        if len < self.kernel_size {
+            0
+        } else {
+            (len - self.kernel_size) / self.stride + 1
+        }
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "MaxPool1d expects a 3-D input [B, C, N]");
+        let (batch, channels, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let out_len = self.output_len(len);
+        assert!(out_len > 0, "MaxPool1d input shorter than the pooling window");
+        let mut out = Tensor::zeros(&[batch, channels, out_len]);
+        let mut argmax =
+            if training { vec![0usize; batch * channels * out_len] } else { Vec::new() };
+        let x = input.data();
+        for (bc, out_row) in out.data_mut().chunks_mut(out_len).enumerate() {
+            let x_row = &x[bc * len..(bc + 1) * len];
+            for (j, dst) in out_row.iter_mut().enumerate() {
+                let start = j * self.stride;
+                let window = &x_row[start..start + self.kernel_size];
+                let mut best = 0usize;
+                let mut best_v = window[0];
+                for (idx, &v) in window.iter().enumerate().skip(1) {
+                    if v > best_v {
+                        best = idx;
+                        best_v = v;
+                    }
+                }
+                *dst = best_v;
+                if training {
+                    argmax[bc * out_len + j] = bc * len + start + best;
                 }
             }
+        }
+        self.cache = if training {
+            Some(MaxPoolCache { argmax, input_shape: input.shape().to_vec() })
+        } else {
+            None
+        };
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("MaxPool1d: backward called before forward with training=true");
+        let mut grad_input = Tensor::zeros(&cache.input_shape);
+        let gi = grad_input.data_mut();
+        for (&idx, &g) in cache.argmax.iter().zip(grad_output.data().iter()) {
+            gi[idx] += g;
         }
         grad_input
     }
@@ -524,6 +900,28 @@ impl ResidualBlock1d {
     pub fn out_channels(&self) -> usize {
         self.conv2.out_channels()
     }
+
+    /// Inference forward pass routing every convolution through
+    /// [`Conv1d::forward_reference`]. The non-conv layers are elementwise in
+    /// both implementations, so this reproduces the pre-GEMM baseline cost
+    /// profile for throughput benchmarks and parity tests.
+    pub fn forward_reference(&mut self, input: &Tensor) -> Tensor {
+        let mut main = self.conv1.forward_reference(input);
+        main = self.bn1.forward(&main, false);
+        main = self.relu1.forward(&main, false);
+        main = self.conv2.forward_reference(&main);
+        main = self.bn2.forward(&main, false);
+        let shortcut = match self.projection.as_mut() {
+            Some((conv, bn)) => {
+                let s = conv.forward_reference(input);
+                bn.forward(&s, false)
+            }
+            None => input.clone(),
+        };
+        let mut sum = main;
+        sum.add_assign(&shortcut);
+        self.relu_out.forward(&sum, false)
+    }
 }
 
 impl Layer for ResidualBlock1d {
@@ -540,8 +938,9 @@ impl Layer for ResidualBlock1d {
             }
             None => input.clone(),
         };
-        let sum = main.add(&shortcut);
-        self.cache_main = Some(sum.clone());
+        let mut sum = main;
+        sum.add_assign(&shortcut);
+        self.cache_main = if training { Some(sum.clone()) } else { None };
         self.relu_out.forward(&sum, training)
     }
 
@@ -704,6 +1103,17 @@ mod tests {
     }
 
     #[test]
+    fn linear_matches_reference() {
+        let mut lin = Linear::new(7, 4, 9);
+        let x = init::uniform(&[5, 7], -1.0, 1.0, 21);
+        let fast = lin.forward(&x, true);
+        let slow = lin.forward_reference(&x);
+        for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
     fn conv1d_identity_kernel() {
         let mut conv = Conv1d::new(1, 1, 1, 1);
         conv.weight.value = Tensor::from_vec(vec![1.0], &[1, 1, 1]);
@@ -739,6 +1149,40 @@ mod tests {
     fn conv1d_gradcheck() {
         let mut conv = Conv1d::new(2, 2, 3, 11);
         gradcheck(&mut conv, &[2, 2, 6], 2e-2);
+    }
+
+    #[test]
+    fn conv1d_matches_reference() {
+        for &(in_c, out_c, k, len, batch) in
+            &[(1usize, 2usize, 3usize, 16usize, 2usize), (2, 3, 4, 9, 3), (3, 2, 7, 32, 1)]
+        {
+            let mut conv = Conv1d::new(in_c, out_c, k, 13);
+            let x = init::uniform(&[batch, in_c, len], -1.0, 1.0, 17);
+            let fast = conv.forward(&x, true);
+            let slow = conv.forward_reference(&x);
+            for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                assert!((a - b).abs() < 1e-5, "in_c={in_c} out_c={out_c} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv1d_inference_skips_cache() {
+        let mut conv = Conv1d::new(1, 2, 3, 3);
+        let x = Tensor::zeros(&[1, 1, 8]);
+        let _ = conv.forward(&x, false);
+        assert!(conv.cache_input.is_none(), "inference must not cache the input");
+        let _ = conv.forward(&x, true);
+        assert!(conv.cache_input.is_some(), "training must cache the input");
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn conv1d_backward_after_inference_panics() {
+        let mut conv = Conv1d::new(1, 1, 3, 3);
+        let x = Tensor::zeros(&[1, 1, 8]);
+        let y = conv.forward(&x, false);
+        let _ = conv.backward(&y);
     }
 
     #[test]
@@ -783,6 +1227,37 @@ mod tests {
         assert_eq!(g.shape(), &[1, 2, 4]);
         assert_eq!(g.at3(0, 0, 0), 1.0);
         assert_eq!(g.at3(0, 1, 3), 2.0);
+    }
+
+    #[test]
+    fn max_pool_values_and_backward() {
+        let mut pool = MaxPool1d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 2.0, -1.0, 0.0, 5.0, 4.0], &[1, 2, 4]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[3.0, 2.0, 0.0, 5.0]);
+        let g = pool.backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]));
+        // Ties resolve to the first index (sample 2 of channel 0).
+        assert_eq!(g.data(), &[0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_overlapping_windows() {
+        let mut pool = MaxPool1d::new(3, 1);
+        let x = Tensor::from_vec(vec![0.0, 2.0, 1.0, 4.0, 3.0], &[1, 1, 5]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data(), &[2.0, 4.0, 4.0]);
+        assert_eq!(pool.output_len(5), 3);
+        assert_eq!(pool.output_len(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn max_pool_backward_after_inference_panics() {
+        let mut pool = MaxPool1d::new(2, 2);
+        let x = Tensor::zeros(&[1, 1, 4]);
+        let y = pool.forward(&x, false);
+        let _ = pool.backward(&y);
     }
 
     #[test]

@@ -47,14 +47,17 @@ pub mod data;
 pub mod init;
 pub mod layers;
 pub mod loss;
+pub mod matmul;
 pub mod metrics;
 pub mod optim;
+pub mod parallel;
 pub mod param;
 pub mod tensor;
 
 pub use data::{Batch, DataLoader};
 pub use layers::{
-    BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, Relu, ResidualBlock1d, Sequential,
+    BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, MaxPool1d, Relu, ResidualBlock1d,
+    Sequential,
 };
 pub use loss::CrossEntropyLoss;
 pub use metrics::{accuracy, ConfusionMatrix};

@@ -40,14 +40,13 @@ impl CrossEntropyLoss {
         assert_eq!(batch, labels.len(), "batch size mismatch");
         let mut grad = Tensor::zeros(logits.shape());
         let mut total_loss = 0.0f64;
-        for b in 0..batch {
-            let label = labels[b];
+        for (b, &label) in labels.iter().enumerate() {
             assert!(label < classes, "label {label} out of range for {classes} classes");
             let probs = softmax_row(&logits.row(b));
             total_loss += -(probs[label].max(1e-12).ln()) as f64;
-            for c in 0..classes {
+            for (c, &p) in probs.iter().enumerate() {
                 let indicator = if c == label { 1.0 } else { 0.0 };
-                grad.set2(b, c, (probs[c] - indicator) / batch as f32);
+                grad.set2(b, c, (p - indicator) / batch as f32);
             }
         }
         ((total_loss / batch as f64) as f32, grad)
@@ -106,7 +105,8 @@ mod tests {
             plus.data_mut()[idx] += eps;
             let mut minus = logits.clone();
             minus.data_mut()[idx] -= eps;
-            let numeric = (loss_fn.loss(&plus, &labels) - loss_fn.loss(&minus, &labels)) / (2.0 * eps);
+            let numeric =
+                (loss_fn.loss(&plus, &labels) - loss_fn.loss(&minus, &labels)) / (2.0 * eps);
             assert!(
                 (numeric - grad.data()[idx]).abs() < 1e-3,
                 "idx {idx}: numeric {numeric} vs analytic {}",

@@ -1,0 +1,248 @@
+//! Cache-blocked `f32` matrix multiplication kernels.
+//!
+//! These are the GEMM primitives behind the im2col convolution and the
+//! vectorised fully connected layer. Three data layouts cover every use in
+//! the library without ever materialising a transpose:
+//!
+//! * [`matmul`]      — `C[m,n] += A[m,k] · B[k,n]` (row-major everywhere);
+//! * [`matmul_a_bt`] — `C[m,n] += A[m,k] · B[n,k]ᵀ` (dot products of rows);
+//! * [`matmul_at_b`] — `C[m,n] += A[r,m]ᵀ · B[r,n]` (sum of row outer
+//!   products — the gradient accumulation shape).
+//!
+//! The inner loops run over contiguous slices only (no index arithmetic per
+//! element), which LLVM auto-vectorises, and the `k`/`n` dimensions are
+//! blocked so the working set of the streamed `B` panel stays inside L1/L2.
+//! [`matmul_par`] adds a deterministic split of the `m` dimension across OS
+//! threads (`std::thread::scope`; this workspace has no external thread-pool
+//! crate) for batched inference workloads.
+
+use crate::parallel;
+
+/// Work threshold (in FLOPs) below which [`matmul_par`] stays sequential —
+/// spawning OS threads costs more than the multiply below this size.
+const PAR_MIN_FLOPS: usize = 1 << 21;
+
+/// Column-panel width: `NB` output columns are updated per pass so the `C`
+/// row segment and the `B` panel rows stay cache-resident.
+const NB: usize = 512;
+
+/// Depth-panel height for the same reason on the `k` dimension.
+const KB: usize = 256;
+
+fn check_dims(c: &[f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A must be m*k = {}x{}", m, k);
+    assert_eq!(b.len(), k * n, "B must be k*n = {}x{}", k, n);
+    assert_eq!(c.len(), m * n, "C must be m*n = {}x{}", m, n);
+}
+
+/// `C += A · B` with `A: [m,k]`, `B: [k,n]`, `C: [m,n]`, all row-major.
+///
+/// Accumulates into `C` (zero it first for a plain product). The `i-k-j`
+/// loop order turns the innermost loop into `c_row += a_ik * b_row`, a fused
+/// multiply-add over two contiguous slices.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn matmul(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(c, a, b, m, k, n);
+    for jb in (0..n).step_by(NB) {
+        let jw = NB.min(n - jb);
+        for kb in (0..k).step_by(KB) {
+            let kw = KB.min(k - kb);
+            for i in 0..m {
+                let a_row = &a[i * k + kb..i * k + kb + kw];
+                let c_row = &mut c[i * n + jb..i * n + jb + jw];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + jw];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C += A · Bᵀ` with `A: [m,k]`, `B: [n,k]`, `C: [m,n]`, all row-major.
+///
+/// Every output element is a dot product of two contiguous rows, the natural
+/// layout for `Linear` (`y = x Wᵀ`) and for the conv weight gradient
+/// (`dW = dY · colᵀ`).
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn matmul_a_bt(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A must be m*k = {}x{}", m, k);
+    assert_eq!(b.len(), n * k, "B must be n*k = {}x{}", n, k);
+    assert_eq!(c.len(), m * n, "C must be m*n = {}x{}", m, n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+/// `C += Aᵀ · B` with `A: [r,m]`, `B: [r,n]`, `C: [m,n]`, all row-major.
+///
+/// Computed as a sum of per-row outer products so the inner loop still runs
+/// over the contiguous `B` rows. This is the gradient shape: for `Linear`,
+/// `dW = dYᵀ · X`; for the conv input gradient, `dcol = Wᵀ · dY`.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn matmul_at_b(c: &mut [f32], a: &[f32], b: &[f32], r: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), r * m, "A must be r*m = {}x{}", r, m);
+    assert_eq!(b.len(), r * n, "B must be r*n = {}x{}", r, n);
+    assert_eq!(c.len(), m * n, "C must be m*n = {}x{}", m, n);
+    for row in 0..r {
+        let a_row = &a[row * m..(row + 1) * m];
+        let b_row = &b[row * n..(row + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Like [`matmul`] but splits the rows of `C` across OS threads when the
+/// problem is large enough to amortise thread spawning.
+///
+/// The row split is deterministic, and each row of `C` is produced by exactly
+/// one thread with the same accumulation order as the sequential kernel, so
+/// the result is bit-identical to [`matmul`].
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn matmul_par(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(c, a, b, m, k, n);
+    let threads = parallel::thread_count_for(m, 2 * m * k * n, PAR_MIN_FLOPS);
+    if threads <= 1 {
+        matmul(c, a, b, m, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let rows = c_chunk.len() / n;
+            let row0 = chunk_idx * rows_per;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || {
+                let _serial = parallel::serial_region();
+                matmul(c_chunk, a_chunk, b, rows, k, n)
+            });
+        }
+    });
+}
+
+/// Reference (naive triple-loop) product `C = A · B`, kept for parity tests.
+pub fn matmul_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn matmul_matches_reference_across_shapes() {
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (3, 4, 5), (7, 13, 11), (16, 64, 128), (2, 300, 600)]
+        {
+            let a = init::uniform(&[m, k], -1.0, 1.0, 1).data().to_vec();
+            let b = init::uniform(&[k, n], -1.0, 1.0, 2).data().to_vec();
+            let expect = matmul_reference(&a, &b, m, k, n);
+            let mut c = vec![0.0f32; m * n];
+            matmul(&mut c, &a, &b, m, k, n);
+            assert!(max_abs_diff(&c, &expect) < 1e-4, "matmul {m}x{k}x{n}");
+            let mut cp = vec![0.0f32; m * n];
+            matmul_par(&mut cp, &a, &b, m, k, n);
+            assert_eq!(c, cp, "matmul_par must be bit-identical {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_reference() {
+        let (m, k, n) = (5usize, 17usize, 9usize);
+        let a = init::uniform(&[m, k], -1.0, 1.0, 3).data().to_vec();
+        let bt = init::uniform(&[n, k], -1.0, 1.0, 4).data().to_vec();
+        // Build B = (Bᵀ)ᵀ row-major for the reference.
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let expect = matmul_reference(&a, &b, m, k, n);
+        let mut c = vec![0.0f32; m * n];
+        matmul_a_bt(&mut c, &a, &bt, m, k, n);
+        assert!(max_abs_diff(&c, &expect) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_reference() {
+        let (r, m, n) = (6usize, 4usize, 8usize);
+        let at = init::uniform(&[r, m], -1.0, 1.0, 5).data().to_vec();
+        let b = init::uniform(&[r, n], -1.0, 1.0, 6).data().to_vec();
+        // Build A = (Aᵀ)ᵀ row-major [m, r] for the reference.
+        let mut a = vec![0.0f32; m * r];
+        for row in 0..r {
+            for i in 0..m {
+                a[i * r + row] = at[row * m + i];
+            }
+        }
+        let expect = matmul_reference(&a, &b, m, r, n);
+        let mut c = vec![0.0f32; m * n];
+        matmul_at_b(&mut c, &at, &b, r, m, n);
+        assert!(max_abs_diff(&c, &expect) < 1e-4);
+    }
+
+    #[test]
+    fn accumulates_instead_of_overwriting() {
+        let a = vec![1.0f32, 0.0, 0.0, 1.0];
+        let b = vec![2.0f32, 3.0, 4.0, 5.0];
+        let mut c = vec![10.0f32; 4];
+        matmul(&mut c, &a, &b, 2, 2, 2);
+        assert_eq!(c, vec![12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be")]
+    fn dimension_mismatch_panics() {
+        let mut c = vec![0.0f32; 4];
+        matmul(&mut c, &[1.0; 3], &[1.0; 4], 2, 2, 2);
+    }
+}

@@ -73,8 +73,7 @@ impl ConfusionMatrix {
     /// Row-normalised percentage at `(true_class, predicted_class)` — the
     /// numbers shown in Figure 3. Returns 0.0 for an empty row.
     pub fn percentage(&self, true_class: usize, predicted_class: usize) -> f64 {
-        let row_total: u64 =
-            (0..self.classes).map(|p| self.count(true_class, p)).sum();
+        let row_total: u64 = (0..self.classes).map(|p| self.count(true_class, p)).sum();
         if row_total == 0 {
             0.0
         } else {

@@ -1,0 +1,178 @@
+//! Deterministic work splitting across OS threads.
+//!
+//! The offline build has no `rayon`, so heavy loops fan out with
+//! [`std::thread::scope`] instead: contiguous chunks of the output buffer are
+//! handed to short-lived worker threads. Splits are purely a function of the
+//! input size and thread count — never of timing — so results are
+//! reproducible run to run.
+//!
+//! The thread count defaults to [`std::thread::available_parallelism`] and
+//! can be pinned with the `TINYNN_THREADS` environment variable (`1` forces
+//! the sequential path everywhere).
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// `true` on threads that are already workers of an enclosing parallel
+    /// region (ours or a caller's): nested fan-out would oversubscribe the
+    /// cores and defeat thread-local buffer reuse, so such threads stay
+    /// sequential.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current thread as a parallel-region worker until the returned
+/// guard is dropped; while marked, [`thread_count_for`] answers `1` so any
+/// nested tinynn fan-out runs inline.
+///
+/// Callers that spread tinynn work across their own threads (e.g. the
+/// locator's sliding-window shards) should hold one of these per worker.
+pub fn serial_region() -> SerialRegionGuard {
+    let prev = IN_WORKER.with(|f| f.replace(true));
+    SerialRegionGuard { prev }
+}
+
+/// RAII guard of [`serial_region`]; restores the previous marking on drop.
+#[must_use = "the serial region ends when the guard is dropped"]
+pub struct SerialRegionGuard {
+    prev: bool,
+}
+
+impl Drop for SerialRegionGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|f| f.set(prev));
+    }
+}
+
+/// Maximum threads the library will ever use.
+pub fn max_threads() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        if let Ok(v) = std::env::var("TINYNN_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Picks a thread count for a loop of `items` units costing `flops` total:
+/// `1` (sequential) unless the work exceeds `min_flops`, there is more than
+/// one item and one core, and the current thread is not itself already a
+/// parallel-region worker.
+pub fn thread_count_for(items: usize, flops: usize, min_flops: usize) -> usize {
+    if flops < min_flops || IN_WORKER.with(|f| f.get()) {
+        return 1;
+    }
+    max_threads().min(items).max(1)
+}
+
+/// Splits `out` into per-item chunks of `item_len` and processes contiguous
+/// runs of items on up to `threads` scoped threads.
+///
+/// `f` is called as `f(item_index, item_chunk)` for every item; with
+/// `threads <= 1` it runs inline in item order. The assignment of items to
+/// threads is deterministic.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `item_len`.
+pub fn for_each_item_mut<F>(out: &mut [f32], item_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(item_len > 0, "item_len must be non-zero");
+    assert_eq!(out.len() % item_len, 0, "output not a multiple of item_len");
+    let items = out.len() / item_len;
+    if threads <= 1 || items <= 1 {
+        for (i, chunk) in out.chunks_mut(item_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let per_thread = items.div_ceil(threads.min(items));
+    std::thread::scope(|scope| {
+        for (run_idx, run) in out.chunks_mut(per_thread * item_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let _serial = serial_region();
+                for (offset, chunk) in run.chunks_mut(item_len).enumerate() {
+                    f(run_idx * per_thread + offset, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let item_len = 7;
+        let items = 23;
+        let mut seq = vec![0.0f32; item_len * items];
+        let mut par = vec![0.0f32; item_len * items];
+        let fill = |i: usize, chunk: &mut [f32]| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 100 + j) as f32;
+            }
+        };
+        for_each_item_mut(&mut seq, item_len, 1, fill);
+        for_each_item_mut(&mut par, item_len, 4, fill);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn covers_every_item_exactly_once() {
+        let mut out = vec![0.0f32; 12];
+        for_each_item_mut(&mut out, 3, 3, |_i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1.0;
+            }
+        });
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn thread_count_gates_on_flops() {
+        assert_eq!(thread_count_for(8, 10, 1000), 1);
+        assert!(thread_count_for(8, 10_000, 1000) >= 1);
+    }
+
+    #[test]
+    fn serial_region_disables_nested_fan_out() {
+        {
+            let _guard = serial_region();
+            assert_eq!(thread_count_for(8, 1 << 30, 1), 1);
+            // Nested guards restore correctly.
+            {
+                let _inner = serial_region();
+            }
+            assert_eq!(thread_count_for(8, 1 << 30, 1), 1);
+        }
+        // Dropping the guard restores the unrestricted count.
+        assert_eq!(thread_count_for(8, 1 << 30, 1), max_threads().min(8));
+    }
+
+    #[test]
+    fn workers_are_marked_serial() {
+        // Each spawned worker must see the serial flag so nested fan-out
+        // stays inline (recorded as 1.0 = serial, 2.0 = would fan out).
+        let mut out = vec![0.0f32; 4];
+        for_each_item_mut(&mut out, 1, 4, |_i, chunk| {
+            chunk[0] = if thread_count_for(8, 1 << 30, 1) == 1 { 1.0 } else { 2.0 };
+        });
+        assert_eq!(out, vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of item_len")]
+    fn misaligned_output_panics() {
+        let mut out = vec![0.0f32; 10];
+        for_each_item_mut(&mut out, 3, 1, |_, _| {});
+    }
+}

@@ -261,9 +261,8 @@ mod tests {
 
     #[test]
     fn extend_and_collect() {
-        let mut d: Dataset = (0..5)
-            .map(|i| Window::new(vec![0.0; 4], WindowLabel::NotStart, i))
-            .collect();
+        let mut d: Dataset =
+            (0..5).map(|i| Window::new(vec![0.0; 4], WindowLabel::NotStart, i)).collect();
         d.extend((0..3).map(|i| Window::new(vec![1.0; 4], WindowLabel::CipherStart, i)));
         assert_eq!(d.len(), 8);
         assert_eq!(d.count_label(WindowLabel::CipherStart), 3);

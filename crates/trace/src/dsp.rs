@@ -63,7 +63,7 @@ pub fn threshold_square_wave(samples: &[f32], threshold: f32) -> Vec<f32> {
 ///
 /// Returns [`TraceError::InvalidParameter`] if `k` is zero or even.
 pub fn median_filter(samples: &[f32], k: usize) -> Result<Vec<f32>> {
-    if k == 0 || k % 2 == 0 {
+    if k == 0 || k.is_multiple_of(2) {
         return Err(TraceError::InvalidParameter(format!(
             "median filter size must be odd and non-zero, got {k}"
         )));
@@ -292,9 +292,8 @@ pub fn find_peaks(signal: &[f32], threshold: f32, min_distance: usize) -> Vec<us
                 && (i + 1 == signal.len() || signal[i + 1] < v)
         })
         .collect();
-    candidates.sort_by(|&a, &b| {
-        signal[b].partial_cmp(&signal[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    candidates
+        .sort_by(|&a, &b| signal[b].partial_cmp(&signal[a]).unwrap_or(std::cmp::Ordering::Equal));
     let mut selected: Vec<usize> = Vec::new();
     for c in candidates {
         if selected.iter().all(|&s| c.abs_diff(s) >= min_distance.max(1)) {
@@ -394,12 +393,7 @@ mod tests {
         let template = vec![2.0, 3.0, 2.0];
         let sad = sliding_sad(&signal, &template).unwrap();
         assert_eq!(sad.len(), 4);
-        let best = sad
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = sad.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(best, 2);
         assert!(sad[2].abs() < 1e-6);
     }
@@ -412,12 +406,7 @@ mod tests {
             signal[10 + i] = t;
         }
         let ncc = normalized_cross_correlation(&signal, &template).unwrap();
-        let best = ncc
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = ncc.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(best, 10);
         assert!(ncc[10] > 0.99);
     }

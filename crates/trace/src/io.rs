@@ -43,15 +43,9 @@ pub fn read_samples_binary<R: Read>(mut reader: R) -> Result<Vec<f32>> {
     let mut bytes = Vec::new();
     reader.read_to_end(&mut bytes).map_err(io_err)?;
     if bytes.len() % 4 != 0 {
-        return Err(TraceError::Io(format!(
-            "byte length {} is not a multiple of 4",
-            bytes.len()
-        )));
+        return Err(TraceError::Io(format!("byte length {} is not a multiple of 4", bytes.len())));
     }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect())
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
 }
 
 /// Writes a [`Trace`] (samples + metadata) to a self-describing text file.
@@ -170,7 +164,7 @@ mod tests {
 
     #[test]
     fn binary_bad_length() {
-        let bytes = vec![0u8; 7];
+        let bytes = [0u8; 7];
         assert!(read_samples_binary(&bytes[..]).is_err());
     }
 

@@ -200,7 +200,8 @@ mod tests {
         let mut acc = CorrelationAccumulator::new(n_samples);
         for _ in 0..n_traces {
             let h = next();
-            let t: Vec<f32> = (0..n_samples).map(|j| next() + if j == 3 { h } else { 0.0 }).collect();
+            let t: Vec<f32> =
+                (0..n_samples).map(|j| next() + if j == 3 { h } else { 0.0 }).collect();
             acc.update(h, &t);
             hs.push(h);
             ts.push(t);

@@ -109,8 +109,12 @@ impl Trace {
     /// Returns [`TraceError::WindowOutOfBounds`] if the requested range does
     /// not fit in the trace.
     pub fn slice(&self, start: usize, len: usize) -> Result<&[f32]> {
-        if start.checked_add(len).map_or(true, |end| end > self.samples.len()) {
-            return Err(TraceError::WindowOutOfBounds { start, len, trace_len: self.samples.len() });
+        if start.checked_add(len).is_none_or(|end| end > self.samples.len()) {
+            return Err(TraceError::WindowOutOfBounds {
+                start,
+                len,
+                trace_len: self.samples.len(),
+            });
         }
         Ok(&self.samples[start..start + len])
     }
@@ -203,9 +207,7 @@ mod tests {
 
     #[test]
     fn extract_rebases_markers() {
-        let mut meta = TraceMeta::default();
-        meta.co_starts = vec![2, 10];
-        meta.co_ends = vec![5, 14];
+        let meta = TraceMeta { co_starts: vec![2, 10], co_ends: vec![5, 14], ..Default::default() };
         let t = Trace::with_meta((0..20).map(|x| x as f32).collect(), meta);
         let sub = t.extract(8, 8).unwrap();
         assert_eq!(sub.meta().co_starts, vec![2]);
@@ -217,9 +219,7 @@ mod tests {
     #[test]
     fn append_shifts_markers() {
         let mut a = Trace::from_samples(vec![0.0; 10]);
-        let mut meta = TraceMeta::default();
-        meta.co_starts = vec![1];
-        meta.co_ends = vec![4];
+        let meta = TraceMeta { co_starts: vec![1], co_ends: vec![4], ..Default::default() };
         let b = Trace::with_meta(vec![1.0; 5], meta);
         a.append(&b);
         assert_eq!(a.len(), 15);

@@ -1,117 +1,171 @@
-//! Property-based tests for the trace substrate.
+//! Property-style tests for the trace substrate.
+//!
+//! The offline build environment has no `proptest`, so these properties are
+//! exercised over a deterministic fan of pseudo-random cases drawn from the
+//! workspace `rand` shim: same shrink-free spirit, fully reproducible.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sca_trace::{dsp, stats, Dataset, SplitRatios, Trace, Window, WindowLabel, WindowSlicer};
 
-proptest! {
-    /// The thresholded square wave only ever contains +1 and -1.
-    #[test]
-    fn square_wave_is_binary(samples in prop::collection::vec(-10.0f32..10.0, 0..200), th in -5.0f32..5.0) {
+const CASES: u64 = 64;
+
+fn rng_for(case: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9).wrapping_add(salt))
+}
+
+fn random_vec(rng: &mut StdRng, len: usize, low: f32, high: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(low..high)).collect()
+}
+
+/// The thresholded square wave only ever contains +1 and -1.
+#[test]
+fn square_wave_is_binary() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 1);
+        let len = rng.gen_range(0usize..200);
+        let samples = random_vec(&mut rng, len, -10.0, 10.0);
+        let th = rng.gen_range(-5.0f32..5.0);
         let wave = dsp::threshold_square_wave(&samples, th);
-        prop_assert!(wave.iter().all(|&v| v == 1.0 || v == -1.0));
-        prop_assert_eq!(wave.len(), samples.len());
+        assert!(wave.iter().all(|&v| v == 1.0 || v == -1.0));
+        assert_eq!(wave.len(), samples.len());
     }
+}
 
-    /// Median filtering a ±1 square wave keeps values in {-1, +1} and is
-    /// idempotent on constant signals.
-    #[test]
-    fn median_filter_preserves_binary_alphabet(
-        samples in prop::collection::vec(prop::bool::ANY, 1..200),
-        k in (0usize..5).prop_map(|x| 2 * x + 1),
-    ) {
-        let wave: Vec<f32> = samples.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+/// Median filtering a ±1 square wave keeps values in {-1, +1}.
+#[test]
+fn median_filter_preserves_binary_alphabet() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 2);
+        let len = rng.gen_range(1usize..200);
+        let wave: Vec<f32> = (0..len).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+        let k = 2 * rng.gen_range(0usize..5) + 1;
         let filtered = dsp::median_filter(&wave, k).unwrap();
-        prop_assert_eq!(filtered.len(), wave.len());
-        prop_assert!(filtered.iter().all(|&v| v == 1.0 || v == -1.0));
+        assert_eq!(filtered.len(), wave.len());
+        assert!(filtered.iter().all(|&v| v == 1.0 || v == -1.0));
     }
+}
 
-    /// A constant signal is a fixed point of the median filter.
-    #[test]
-    fn median_filter_constant_fixed_point(value in -3.0f32..3.0, len in 1usize..100, k in (0usize..6).prop_map(|x| 2 * x + 1)) {
+/// A constant signal is a fixed point of the median filter.
+#[test]
+fn median_filter_constant_fixed_point() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 3);
+        let value = rng.gen_range(-3.0f32..3.0);
+        let len = rng.gen_range(1usize..100);
+        let k = 2 * rng.gen_range(0usize..6) + 1;
         let signal = vec![value; len];
         let filtered = dsp::median_filter(&signal, k).unwrap();
-        prop_assert_eq!(filtered, signal);
+        assert_eq!(filtered, signal);
     }
+}
 
-    /// Rising edges are strictly increasing indices and each one really is a
-    /// negative-to-non-negative transition.
-    #[test]
-    fn rising_edges_are_transitions(samples in prop::collection::vec(prop::bool::ANY, 0..300)) {
-        let wave: Vec<f32> = samples.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+/// Rising edges are strictly increasing indices and each one really is a
+/// negative-to-non-negative transition.
+#[test]
+fn rising_edges_are_transitions() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 4);
+        let len = rng.gen_range(0usize..300);
+        let wave: Vec<f32> = (0..len).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
         let edges = dsp::rising_edges(&wave);
         for pair in edges.windows(2) {
-            prop_assert!(pair[0] < pair[1]);
+            assert!(pair[0] < pair[1]);
         }
         for &e in &edges {
-            prop_assert!(e > 0);
-            prop_assert!(wave[e - 1] < 0.0 && wave[e] >= 0.0);
+            assert!(e > 0);
+            assert!(wave[e - 1] < 0.0 && wave[e] >= 0.0);
         }
     }
+}
 
-    /// Every window produced by the slicer fits inside the trace and
-    /// consecutive start points differ by exactly the stride.
-    #[test]
-    fn slicer_windows_fit(len in 0usize..500, n in 1usize..64, s in 1usize..32) {
+/// Every window produced by the slicer fits inside the trace and consecutive
+/// start points differ by exactly the stride.
+#[test]
+fn slicer_windows_fit() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 5);
+        let len = rng.gen_range(0usize..500);
+        let n = rng.gen_range(1usize..64);
+        let s = rng.gen_range(1usize..32);
         let slicer = WindowSlicer::new(n, s).unwrap();
         let starts: Vec<usize> = slicer.window_starts(len).collect();
-        prop_assert_eq!(starts.len(), slicer.window_count(len));
+        assert_eq!(starts.len(), slicer.window_count(len));
         for &st in &starts {
-            prop_assert!(st + n <= len);
+            assert!(st + n <= len);
         }
         for pair in starts.windows(2) {
-            prop_assert_eq!(pair[1] - pair[0], s);
+            assert_eq!(pair[1] - pair[0], s);
         }
         // The next window after the last one would not fit.
         if let Some(&last) = starts.last() {
-            prop_assert!(last + s + n > len);
+            assert!(last + s + n > len);
         }
     }
+}
 
-    /// Pearson correlation is always in [-1, 1] and symmetric.
-    #[test]
-    fn pearson_bounded_and_symmetric(
-        a in prop::collection::vec(-100.0f32..100.0, 2..64),
-        b in prop::collection::vec(-100.0f32..100.0, 2..64),
-    ) {
-        let n = a.len().min(b.len());
-        let (a, b) = (&a[..n], &b[..n]);
-        let r = stats::pearson(a, b);
-        prop_assert!(r >= -1.0 - 1e-4 && r <= 1.0 + 1e-4);
-        let r2 = stats::pearson(b, a);
-        prop_assert!((r - r2).abs() < 1e-4);
+/// Pearson correlation is always in [-1, 1] and symmetric.
+#[test]
+fn pearson_bounded_and_symmetric() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 6);
+        let n = rng.gen_range(2usize..64);
+        let a = random_vec(&mut rng, n, -100.0, 100.0);
+        let b = random_vec(&mut rng, n, -100.0, 100.0);
+        let r = stats::pearson(&a, &b);
+        assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&r));
+        let r2 = stats::pearson(&b, &a);
+        assert!((r - r2).abs() < 1e-4);
     }
+}
 
-    /// Standardisation yields zero mean, and unit variance for non-constant input.
-    #[test]
-    fn standardize_properties(samples in prop::collection::vec(-50.0f32..50.0, 2..128)) {
+/// Standardisation yields zero mean, and unit variance for non-constant input.
+#[test]
+fn standardize_properties() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 7);
+        let len = rng.gen_range(2usize..128);
+        let samples = random_vec(&mut rng, len, -50.0, 50.0);
         let mut v = samples.clone();
         dsp::standardize_in_place(&mut v);
         let mean = stats::mean(&v);
-        prop_assert!(mean.abs() < 1e-3);
+        assert!(mean.abs() < 1e-3);
         let distinct = samples.iter().any(|&x| (x - samples[0]).abs() > 1e-3);
         if distinct {
             let std = stats::std(&v);
-            prop_assert!((std - 1.0).abs() < 1e-2);
+            assert!((std - 1.0).abs() < 1e-2);
         }
     }
+}
 
-    /// Quantisation never moves a sample by more than one LSB and is idempotent.
-    #[test]
-    fn quantize_error_bounded(samples in prop::collection::vec(-1.0f32..1.0, 1..128), bits in 4u32..14) {
+/// Quantisation never moves a sample by more than one LSB and is idempotent.
+#[test]
+fn quantize_error_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 8);
+        let len = rng.gen_range(1usize..128);
+        let samples = random_vec(&mut rng, len, -1.0, 1.0);
+        let bits = rng.gen_range(4u32..14);
         let q = dsp::quantize(&samples, bits, -1.0, 1.0).unwrap();
         let lsb = 2.0 / ((1u32 << bits) - 1) as f32;
         for (orig, quant) in samples.iter().zip(q.iter()) {
-            prop_assert!((orig - quant).abs() <= lsb * 0.5 + 1e-6);
+            assert!((orig - quant).abs() <= lsb * 0.5 + 1e-6);
         }
         let q2 = dsp::quantize(&q, bits, -1.0, 1.0).unwrap();
         for (a, b) in q.iter().zip(q2.iter()) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6);
         }
     }
+}
 
-    /// Dataset split always partitions the dataset completely and preserves counts.
-    #[test]
-    fn dataset_split_partitions(n_pos in 0usize..50, n_neg in 0usize..200, seed in any::<u64>()) {
+/// Dataset split always partitions the dataset completely and preserves counts.
+#[test]
+fn dataset_split_partitions() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 9);
+        let n_pos = rng.gen_range(0usize..50);
+        let n_neg = rng.gen_range(0usize..200);
+        let seed = rng.gen_range(0u64..=u64::MAX);
         let mut d = Dataset::new();
         for i in 0..n_pos {
             d.push(Window::new(vec![1.0; 4], WindowLabel::CipherStart, i));
@@ -120,25 +174,37 @@ proptest! {
             d.push(Window::new(vec![0.0; 4], WindowLabel::NotStart, i));
         }
         let split = d.split(SplitRatios::paper(), seed);
-        prop_assert_eq!(split.train.len() + split.validation.len() + split.test.len(), n_pos + n_neg);
+        assert_eq!(split.train.len() + split.validation.len() + split.test.len(), n_pos + n_neg);
         let pos_total = split.train.count_label(WindowLabel::CipherStart)
             + split.validation.count_label(WindowLabel::CipherStart)
             + split.test.count_label(WindowLabel::CipherStart);
-        prop_assert_eq!(pos_total, n_pos);
+        assert_eq!(pos_total, n_pos);
     }
+}
 
-    /// Trace round trip through the binary sample format is lossless.
-    #[test]
-    fn binary_io_roundtrip(samples in prop::collection::vec(-1e6f32..1e6, 0..256)) {
+/// Trace round trip through the binary sample format is lossless.
+#[test]
+fn binary_io_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 10);
+        let len = rng.gen_range(0usize..256);
+        let samples = random_vec(&mut rng, len, -1e6, 1e6);
         let mut buf = Vec::new();
         sca_trace::io::write_samples_binary(&mut buf, &samples).unwrap();
         let back = sca_trace::io::read_samples_binary(&buf[..]).unwrap();
-        prop_assert_eq!(back, samples);
+        assert_eq!(back, samples);
     }
+}
 
-    /// Trace::extract never loses samples and keeps markers within bounds.
-    #[test]
-    fn extract_markers_in_bounds(len in 1usize..200, start_frac in 0.0f64..1.0, co in prop::collection::vec(0usize..200, 0..8)) {
+/// Trace::extract never loses samples and keeps markers within bounds.
+#[test]
+fn extract_markers_in_bounds() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 11);
+        let len = rng.gen_range(1usize..200);
+        let start_frac = rng.gen_range(0.0f64..1.0);
+        let co_count = rng.gen_range(0usize..8);
+        let co: Vec<usize> = (0..co_count).map(|_| rng.gen_range(0usize..200)).collect();
         let mut meta = sca_trace::TraceMeta::default();
         let mut starts: Vec<usize> = co.into_iter().filter(|&c| c < len).collect();
         starts.sort_unstable();
@@ -149,12 +215,12 @@ proptest! {
         let start = ((len as f64 * start_frac) as usize).min(len.saturating_sub(1));
         let sub_len = len - start;
         let sub = t.extract(start, sub_len).unwrap();
-        prop_assert_eq!(sub.len(), sub_len);
+        assert_eq!(sub.len(), sub_len);
         for &s in &sub.meta().co_starts {
-            prop_assert!(s < sub_len);
+            assert!(s < sub_len);
         }
         for &e in &sub.meta().co_ends {
-            prop_assert!(e <= sub_len);
+            assert!(e <= sub_len);
         }
     }
 }

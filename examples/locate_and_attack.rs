@@ -27,7 +27,8 @@ fn main() {
     }
     let noise_trace = sim.capture_noise_trace(10_000);
     println!("training the locator for AES-128 under RD-{rd} ...");
-    let (mut locator, report) = LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
+    let (mut locator, report) =
+        LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
     println!("best validation accuracy: {:.1}%", 100.0 * report.best_validation_accuracy());
 
     // Attack phase on the target device: a long trace with many AES executions.
@@ -45,7 +46,9 @@ fn main() {
     let mut traces = Vec::new();
     let mut plaintexts = Vec::new();
     for (segment, &idx) in aligned.iter().zip(kept.iter()) {
-        if let Some(co) = result.cos.iter().find(|c| c.start_sample.abs_diff(located[idx]) <= tolerance) {
+        if let Some(co) =
+            result.cos.iter().find(|c| c.start_sample.abs_diff(located[idx]) <= tolerance)
+        {
             traces.push(segment.clone());
             plaintexts.push(co.plaintext);
         }
@@ -59,6 +62,10 @@ fn main() {
     println!("recovered guesses: {:02x?}", &guesses[..4]);
     match progress.cos_to_rank1 {
         Some(n) => println!("all attacked bytes reached rank 1 after {n} located COs"),
-        None => println!("key not fully recovered with {} COs (rank evolution: {:?})", traces.len(), progress.checkpoints),
+        None => println!(
+            "key not fully recovered with {} COs (rank evolution: {:?})",
+            traces.len(),
+            progress.checkpoints
+        ),
     }
 }

@@ -18,7 +18,10 @@ fn main() {
     let mean_co = sim.mean_co_samples(cipher, 8);
     let profile = CipherProfile::scaled(cipher, mean_co.round() as usize);
     println!("mean {} CO length on this platform: {:.0} samples", cipher, mean_co);
-    println!("pipeline parameters: N_train={} N_inf={} stride={}", profile.n_train, profile.n_inf, profile.stride);
+    println!(
+        "pipeline parameters: N_train={} N_inf={} stride={}",
+        profile.n_train, profile.n_inf, profile.stride
+    );
 
     let cipher_impl = cipher_by_id(cipher);
     let key = Scenario::DEFAULT_KEY;
@@ -31,8 +34,12 @@ fn main() {
     let noise_trace = sim.capture_noise_trace(8_000);
 
     // 3. Train the CNN-based locator.
-    let (mut locator, report) = LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
-    println!("trained CNN, best validation accuracy: {:.1}%", 100.0 * report.best_validation_accuracy());
+    let (mut locator, report) =
+        LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
+    println!(
+        "trained CNN, best validation accuracy: {:.1}%",
+        100.0 * report.best_validation_accuracy()
+    );
 
     // 4. Locate the COs in a fresh trace from the *target* device: 8 cipher
     //    executions interleaved with other applications.

@@ -41,11 +41,7 @@ fn small_locator(
     let noise_trace = sim.capture_noise_trace(6_000);
     let (locator, report) =
         LocatorBuilder::from_profile(&profile).seed(seed).fit(&cipher_traces, &noise_trace);
-    assert!(
-        report.best_validation_accuracy() > 0.7,
-        "CNN failed to learn ({:?})",
-        report
-    );
+    assert!(report.best_validation_accuracy() > 0.7, "CNN failed to learn ({:?})", report);
     (locator, profile, sim)
 }
 
