@@ -5,15 +5,16 @@
 use sca_bench::microbench::BenchGroup;
 use sca_locator::{CnnConfig, CoLocatorCnn};
 use std::hint::black_box;
-use tinynn::{Conv1d, Layer, Tensor};
+use tinynn::{Conv1d, Layer, Tensor, Workspace};
 
 fn bench_conv1d_forward() {
     let mut group = BenchGroup::new("conv1d_forward");
     for &(channels, kernel, len) in &[(8usize, 9usize, 128usize), (16, 9, 256), (8, 33, 128)] {
-        let mut conv = Conv1d::new(channels, channels, kernel, 1);
+        let conv = Conv1d::new(channels, channels, kernel, 1);
+        let mut ws = Workspace::new();
         let input = Tensor::zeros(&[1, channels, len]);
         group.bench(&format!("c{channels}_k{kernel}_n{len}"), || {
-            black_box(conv.forward(black_box(&input), false));
+            black_box(conv.forward(black_box(&input), &mut ws, false));
         });
     }
 }
@@ -21,11 +22,12 @@ fn bench_conv1d_forward() {
 fn bench_cnn_window_inference() {
     let mut group = BenchGroup::new("cnn_window_inference");
     for &(n, batch) in &[(128usize, 1usize), (128, 16), (256, 16)] {
-        let mut cnn = CoLocatorCnn::new(CnnConfig::scaled());
+        let cnn = CoLocatorCnn::new(CnnConfig::scaled());
+        let mut ws = Workspace::new();
         let windows = vec![vec![0.1f32; n]; batch];
         let input = CoLocatorCnn::stack_windows(&windows);
         group.bench(&format!("n{n}_batch{batch}"), || {
-            black_box(cnn.class1_scores(black_box(&input)));
+            black_box(cnn.class1_scores(black_box(&input), &mut ws));
         });
     }
 }
@@ -33,16 +35,17 @@ fn bench_cnn_window_inference() {
 fn bench_cnn_training_step() {
     let mut group = BenchGroup::new("cnn_training_step");
     let mut cnn = CoLocatorCnn::new(CnnConfig::scaled());
+    let mut ws = Workspace::new();
     let windows = vec![vec![0.1f32; 128]; 16];
     let labels = [0usize, 1].repeat(8);
     let loss = tinynn::CrossEntropyLoss::new();
     let mut adam = tinynn::Adam::paper();
     group.bench("batch16_n128", || {
         let input = CoLocatorCnn::stack_windows(&windows);
-        let logits = cnn.forward(&input, true);
+        let logits = cnn.forward(&input, &mut ws, true);
         let (_, grad) = loss.loss_and_grad(&logits, &labels);
         cnn.zero_grad();
-        cnn.backward(&grad);
+        cnn.backward(&grad, &mut ws);
         adam.step(&mut cnn.params_mut());
     });
 }

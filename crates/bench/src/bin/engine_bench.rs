@@ -1,0 +1,137 @@
+//! Multi-trace engine throughput benchmark.
+//!
+//! Measures the batched serving path introduced with
+//! [`sca_locator::LocatorEngine`]: N synthetic traces are scored through one
+//! shared weight set, once by looping the single-trace `locate` (per-trace
+//! shard parallelism) and once through `locate_batch` (across-trace
+//! parallelism). A save → load roundtrip of the engine is also timed and the
+//! restored model is verified to reproduce the located starts exactly. The
+//! results go to `BENCH_engine.json` so the serving-path trajectory is
+//! tracked per commit.
+//!
+//! Usage: `engine_bench [--traces N] [--trace-len N] [--out PATH]`
+//! (defaults: 8 traces of 1,000,000 samples).
+
+use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
+use sca_trace::Trace;
+use std::io::Write;
+use std::time::Instant;
+
+/// Window length of the scorer (the scaled profiles use this order of size).
+const WINDOW_LEN: usize = 128;
+/// Stride between windows.
+const STRIDE: usize = 32;
+
+struct Args {
+    traces: usize,
+    trace_len: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { traces: 8, trace_len: 1_000_000, out: "BENCH_engine.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match flag.as_str() {
+            "--traces" => args.traces = value("--traces").parse().expect("trace count"),
+            "--trace-len" => args.trace_len = value("--trace-len").parse().expect("trace len"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.traces > 0, "need at least one trace");
+    args
+}
+
+/// Synthetic "SoC-like" trace: superposed oscillations plus a deterministic
+/// pseudo-noise term, seeded per trace so the fleet is not N copies of one
+/// signal.
+fn synthetic_trace(len: usize, seed: u64) -> Trace {
+    let mut state = 0x0123_4567_89AB_CDEF_u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let samples = (0..len)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+            let t = i as f32;
+            (t * 0.013).sin() + 0.4 * (t * 0.11).sin() + 0.25 * noise
+        })
+        .collect();
+    Trace::from_samples(samples)
+}
+
+fn main() {
+    let args = parse_args();
+    let engine = LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig::scaled()),
+        SlidingWindowClassifier::new(WINDOW_LEN, STRIDE).with_batch_size(64),
+        Segmenter::default(),
+    );
+    let traces: Vec<Trace> =
+        (0..args.traces).map(|i| synthetic_trace(args.trace_len, i as u64)).collect();
+    let total_samples: usize = traces.iter().map(|t| t.len()).sum();
+    let total_windows: usize = traces.iter().map(|t| engine.sliding().output_len(t.len())).sum();
+    println!(
+        "fleet: {} traces x {} samples = {} windows (N={WINDOW_LEN}, stride={STRIDE})",
+        traces.len(),
+        args.trace_len,
+        total_windows
+    );
+
+    // Warm-up: fault in code paths and thread-local buffers.
+    let _ = engine.locate(&traces[0]);
+
+    // Looping the single-trace path (intra-trace shard parallelism only).
+    let t0 = Instant::now();
+    let looped: Vec<Vec<usize>> = traces.iter().map(|t| engine.locate(t)).collect();
+    let loop_elapsed = t0.elapsed();
+    let loop_tps = traces.len() as f64 / loop_elapsed.as_secs_f64();
+    let loop_wps = total_windows as f64 / loop_elapsed.as_secs_f64();
+    println!(
+        "looped locate:  {loop_elapsed:>8.2?}  ({loop_tps:>6.2} traces/s, {loop_wps:>10.1} windows/s)"
+    );
+
+    // The batched serving path (across-trace parallelism).
+    let t0 = Instant::now();
+    let batched = engine.locate_batch(&traces);
+    let batch_elapsed = t0.elapsed();
+    let batch_tps = traces.len() as f64 / batch_elapsed.as_secs_f64();
+    let batch_wps = total_windows as f64 / batch_elapsed.as_secs_f64();
+    println!(
+        "locate_batch:   {batch_elapsed:>8.2?}  ({batch_tps:>6.2} traces/s, {batch_wps:>10.1} windows/s)"
+    );
+
+    // Acceptance: the two routes must agree exactly.
+    assert_eq!(batched, looped, "locate_batch must reproduce per-trace locate exactly");
+
+    // Model persistence roundtrip: save, load, verify identical starts.
+    let model_path =
+        std::env::temp_dir().join(format!("engine_bench_{}.model", std::process::id()));
+    let t0 = Instant::now();
+    engine.save(&model_path).expect("save engine");
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let model_bytes = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
+    let t0 = Instant::now();
+    let restored = LocatorEngine::load(&model_path).expect("load engine");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        restored.locate(&traces[0]),
+        looped[0],
+        "restored engine must reproduce the original starts"
+    );
+    std::fs::remove_file(&model_path).ok();
+    println!("model roundtrip: save {save_ms:.2} ms, load {load_ms:.2} ms, {model_bytes} bytes");
+
+    let speedup = batch_wps / loop_wps;
+    println!("speedup locate_batch vs looped locate: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"locator_engine_batch\",\n  \"traces\": {},\n  \"trace_len\": {},\n  \"total_samples\": {total_samples},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"traces_per_sec_looped\": {loop_tps:.3},\n  \"windows_per_sec_looped\": {loop_wps:.2},\n  \"traces_per_sec_batch\": {batch_tps:.3},\n  \"windows_per_sec_batch\": {batch_wps:.2},\n  \"speedup_batch_vs_looped\": {speedup:.3},\n  \"model_bytes\": {model_bytes},\n  \"model_save_ms\": {save_ms:.3},\n  \"model_load_ms\": {load_ms:.3}\n}}\n",
+        traces.len(),
+        args.trace_len,
+    );
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write benchmark json");
+    println!("wrote {}", args.out);
+}

@@ -29,7 +29,7 @@ fn main() {
     for &cipher in ciphers {
         for rd in [2usize, 4] {
             let cfg = ExperimentConfig { rd_max: rd, ..base };
-            let mut setup = train_locator(cipher, &cfg);
+            let setup = train_locator(cipher, &cfg);
             for noise in [false, true] {
                 let result = simulate_scenario(cipher, noise, &cfg);
                 let located = setup.locator.locate(&result.trace);
@@ -56,7 +56,7 @@ fn main() {
         for k in [1usize, 3, 5, 9, 15] {
             let mut profile = setup.profile.clone();
             profile.segmentation.median_filter_k = k;
-            let mut locator = sca_locator::CoLocator::from_parts(
+            let locator = sca_locator::CoLocator::from_parts(
                 setup.locator.cnn().clone(),
                 *setup.locator.sliding(),
                 sca_locator::Segmenter::new(profile.segmentation),

@@ -87,25 +87,26 @@ fn main() {
     let naive_len = WINDOW_LEN + STRIDE * args.naive_windows.saturating_sub(1);
     let naive_trace = trace.extract(0, naive_len.min(trace.len())).expect("within bounds");
     let naive_windows = swc.output_len(naive_trace.len());
-    let mut net = cnn();
+    let net = cnn();
     let t0 = Instant::now();
-    let naive_scores = swc.classify_naive(&mut net, &naive_trace);
+    let naive_scores = swc.classify_naive(&net, &naive_trace);
     let naive_elapsed = t0.elapsed();
     let naive_wps = naive_scores.len() as f64 / naive_elapsed.as_secs_f64();
     println!("naive:     {naive_windows:>7} windows in {naive_elapsed:>8.2?}  ({naive_wps:>10.1} windows/s)");
 
     // GEMM kernels, old Vec-staging.
-    let mut net = cnn();
+    let net = cnn();
     let t0 = Instant::now();
-    let staged_scores = swc.classify_reference(&mut net, &trace);
+    let staged_scores = swc.classify_reference(&net, &trace);
     let staged_elapsed = t0.elapsed();
     let staged_wps = staged_scores.len() as f64 / staged_elapsed.as_secs_f64();
     println!("staged:    {total_windows:>7} windows in {staged_elapsed:>8.2?}  ({staged_wps:>10.1} windows/s)");
 
-    // Full optimized zero-copy path.
-    let mut net = cnn();
+    // Full optimized zero-copy path: one shared `&net`, per-thread
+    // workspaces, zero weight clones.
+    let net = cnn();
     let t0 = Instant::now();
-    let opt_scores = swc.classify(&mut net, &trace);
+    let opt_scores = swc.classify(&net, &trace);
     let opt_elapsed = t0.elapsed();
     let opt_wps = opt_scores.len() as f64 / opt_elapsed.as_secs_f64();
     println!(
@@ -124,13 +125,14 @@ fn main() {
     }
 
     // Single-window forward latency (batch of 1, the latency floor).
-    let mut net = cnn();
+    let net = cnn();
+    let mut ws = tinynn::Workspace::new();
     let one = CoLocatorCnn::stack_windows(&[trace.samples()[..WINDOW_LEN].to_vec()]);
-    let _ = net.class1_scores(&one); // warm-up
+    let _ = net.class1_scores(&one, &mut ws); // warm-up
     let reps = 50u32;
     let t0 = Instant::now();
     for _ in 0..reps {
-        std::hint::black_box(net.class1_scores(std::hint::black_box(&one)));
+        std::hint::black_box(net.class1_scores(std::hint::black_box(&one), &mut ws));
     }
     let fwd_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
     println!("forward(batch=1): {fwd_us:.1} us/window");

@@ -83,7 +83,7 @@ fn main() {
     for rd in [2usize, 4] {
         let cfg = ExperimentConfig { rd_max: rd, ..ExperimentConfig::default() };
         println!("training CNN locator for AES-128 under RD-{rd} ...");
-        let mut setup = train_locator(CipherId::Aes128, &cfg);
+        let setup = train_locator(CipherId::Aes128, &cfg);
         let template = baseline_template(CipherId::Aes128, cfg.seed, 8);
         let matched = MatchedFilterLocator::new(template.clone(), 0.85, template.len() / 2);
         let sad = SadTemplateLocator::new(template.clone(), 0.05, template.len() / 2);

@@ -83,9 +83,8 @@ pub fn train_locator(cipher: CipherId, cfg: &ExperimentConfig) -> TrainedSetup {
         .with_seed(cfg.seed)
         .build(&cipher_traces, &noise_trace);
     let split = dataset.split(SplitRatios::paper(), cfg.seed);
-    let mut cnn = locator.cnn().clone();
     let trainer = Trainer::new(profile.training);
-    let confusion = trainer.confusion_matrix(&mut cnn, &split.test);
+    let confusion = trainer.confusion_matrix(locator.cnn(), &split.test);
 
     TrainedSetup { locator, profile, mean_co_len, report, confusion }
 }

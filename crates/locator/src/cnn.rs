@@ -17,10 +17,16 @@
 //! The softmax is folded into the cross-entropy loss during training; at
 //! inference the *linear* class-1 score (pre-softmax) is used as the sliding
 //! window classification signal, as prescribed in Section III-C.
+//!
+//! The network holds **weights only**: `forward` takes `&self` plus an
+//! explicit [`Workspace`], so one trained CNN can score windows from many
+//! threads (and many traces) concurrently — each thread brings its own cheap
+//! workspace instead of a clone of the weights.
 
 use serde::{Deserialize, Serialize};
 use tinynn::{
     BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, Param, Relu, ResidualBlock1d, Tensor,
+    Workspace,
 };
 
 /// Hyper-parameters of the CNN.
@@ -100,32 +106,51 @@ impl CoLocatorCnn {
     }
 
     /// Forward pass: windows `[B, 1, N]` → class logits `[B, 2]`.
-    pub fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
-        let x = self.conv.forward(input, training);
-        let x = self.bn.forward(&x, training);
-        let x = self.relu.forward(&x, training);
-        let x = self.res1.forward(&x, training);
-        let x = self.res2.forward(&x, training);
-        let x = self.pool.forward(&x, training);
-        let x = self.fc1.forward(&x, training);
-        let x = self.fc_relu.forward(&x, training);
-        self.fc2.forward(&x, training)
+    ///
+    /// Shares the weights (`&self`); every piece of per-call state lives in
+    /// `ws`, so concurrent callers each pass their own workspace.
+    pub fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
+        let x = self.conv.forward(input, ws, training);
+        let x = self.bn.forward(&x, ws, training);
+        let x = self.relu.forward(&x, ws, training);
+        let x = self.res1.forward(&x, ws, training);
+        let x = self.res2.forward(&x, ws, training);
+        let x = self.pool.forward(&x, ws, training);
+        let x = self.fc1.forward(&x, ws, training);
+        let x = self.fc_relu.forward(&x, ws, training);
+        self.fc2.forward(&x, ws, training)
     }
 
-    /// Backward pass for a batch previously run through [`Self::forward`].
-    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
-        let g = self.fc2.backward(grad_logits);
-        let g = self.fc_relu.backward(&g);
-        let g = self.fc1.backward(&g);
-        let g = self.pool.backward(&g);
-        let g = self.res2.backward(&g);
-        let g = self.res1.backward(&g);
-        let g = self.relu.backward(&g);
-        let g = self.bn.backward(&g);
-        self.conv.backward(&g)
+    /// Backward pass for a batch previously run through [`Self::forward`]
+    /// with `training == true` on the same workspace.
+    pub fn backward(&mut self, grad_logits: &Tensor, ws: &mut Workspace) -> Tensor {
+        let g = self.fc2.backward(grad_logits, ws);
+        let g = self.fc_relu.backward(&g, ws);
+        let g = self.fc1.backward(&g, ws);
+        let g = self.pool.backward(&g, ws);
+        let g = self.res2.backward(&g, ws);
+        let g = self.res1.backward(&g, ws);
+        let g = self.relu.backward(&g, ws);
+        let g = self.bn.backward(&g, ws);
+        self.conv.backward(&g, ws)
     }
 
-    /// Mutable access to every trainable parameter.
+    /// Shared access to every trainable parameter, in a fixed architecture
+    /// order (matching [`Self::params_mut`] — the model persistence format
+    /// relies on this order).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut params = Vec::new();
+        params.extend(self.conv.params());
+        params.extend(self.bn.params());
+        params.extend(self.res1.params());
+        params.extend(self.res2.params());
+        params.extend(self.fc1.params());
+        params.extend(self.fc2.params());
+        params
+    }
+
+    /// Mutable access to every trainable parameter (same order as
+    /// [`Self::params`]).
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut params = Vec::new();
         params.extend(self.conv.params_mut());
@@ -137,6 +162,26 @@ impl CoLocatorCnn {
         params
     }
 
+    /// Shared access to every non-trainable state buffer (batch-norm running
+    /// statistics), in a fixed order matching [`Self::buffers_mut`].
+    pub fn buffers(&self) -> Vec<&[f32]> {
+        let mut buffers = Vec::new();
+        buffers.extend(self.bn.buffers());
+        buffers.extend(self.res1.buffers());
+        buffers.extend(self.res2.buffers());
+        buffers
+    }
+
+    /// Mutable access to every non-trainable state buffer (same order as
+    /// [`Self::buffers`]).
+    pub fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        let mut buffers = Vec::new();
+        buffers.extend(self.bn.buffers_mut());
+        buffers.extend(self.res1.buffers_mut());
+        buffers.extend(self.res2.buffers_mut());
+        buffers
+    }
+
     /// Zeroes every accumulated gradient.
     pub fn zero_grad(&mut self) {
         for p in self.params_mut() {
@@ -145,22 +190,22 @@ impl CoLocatorCnn {
     }
 
     /// Total number of trainable scalars.
-    pub fn param_count(&mut self) -> usize {
-        self.params_mut().iter().map(|p| p.len()).sum()
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
     }
 
     /// Classifies a batch of windows, returning the predicted class index per
     /// window (0 = not start, 1 = cipher start).
-    pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
+    pub fn predict(&self, input: &Tensor, ws: &mut Workspace) -> Vec<usize> {
         let mut preds = Vec::new();
-        self.predict_into(input, &mut preds);
+        self.predict_into(input, ws, &mut preds);
         preds
     }
 
     /// Like [`Self::predict`], but writes into a caller-owned buffer so batch
     /// loops allocate nothing per call. `preds` is cleared first.
-    pub fn predict_into(&mut self, input: &Tensor, preds: &mut Vec<usize>) {
-        let logits = self.forward(input, false);
+    pub fn predict_into(&self, input: &Tensor, ws: &mut Workspace, preds: &mut Vec<usize>) {
+        let logits = self.forward(input, ws, false);
         preds.clear();
         preds.reserve(logits.shape()[0]);
         for row in logits.data().chunks(logits.shape()[1]) {
@@ -177,17 +222,17 @@ impl CoLocatorCnn {
     /// Scores a batch of windows with the *linear* (pre-softmax) class-1
     /// output, the signal used by the sliding-window classification stage
     /// (Section III-C).
-    pub fn class1_scores(&mut self, input: &Tensor) -> Vec<f32> {
+    pub fn class1_scores(&self, input: &Tensor, ws: &mut Workspace) -> Vec<f32> {
         let mut scores = Vec::new();
-        self.class1_scores_into(input, &mut scores);
+        self.class1_scores_into(input, ws, &mut scores);
         scores
     }
 
     /// Like [`Self::class1_scores`], but writes into a caller-owned buffer so
     /// the sliding-window loop allocates nothing per batch. `scores` is
     /// cleared first.
-    pub fn class1_scores_into(&mut self, input: &Tensor, scores: &mut Vec<f32>) {
-        let logits = self.forward(input, false);
+    pub fn class1_scores_into(&self, input: &Tensor, ws: &mut Workspace, scores: &mut Vec<f32>) {
+        let logits = self.forward(input, ws, false);
         scores.clear();
         scores.reserve(logits.shape()[0]);
         for b in 0..logits.shape()[0] {
@@ -199,21 +244,21 @@ impl CoLocatorCnn {
     /// layer routed through its naive scalar reference implementation — the
     /// computational profile of the pre-GEMM seed. Used by throughput
     /// benchmarks and parity tests.
-    pub fn forward_reference(&mut self, input: &Tensor) -> Tensor {
+    pub fn forward_reference(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self.conv.forward_reference(input);
-        let x = self.bn.forward(&x, false);
-        let x = self.relu.forward(&x, false);
-        let x = self.res1.forward_reference(&x);
-        let x = self.res2.forward_reference(&x);
-        let x = self.pool.forward(&x, false);
+        let x = self.bn.forward(&x, ws, false);
+        let x = self.relu.forward(&x, ws, false);
+        let x = self.res1.forward_reference(&x, ws);
+        let x = self.res2.forward_reference(&x, ws);
+        let x = self.pool.forward(&x, ws, false);
         let x = self.fc1.forward_reference(&x);
-        let x = self.fc_relu.forward(&x, false);
+        let x = self.fc_relu.forward(&x, ws, false);
         self.fc2.forward_reference(&x)
     }
 
     /// [`Self::class1_scores`] on top of [`Self::forward_reference`].
-    pub fn class1_scores_reference(&mut self, input: &Tensor) -> Vec<f32> {
-        let logits = self.forward_reference(input);
+    pub fn class1_scores_reference(&self, input: &Tensor, ws: &mut Workspace) -> Vec<f32> {
+        let logits = self.forward_reference(input, ws);
         (0..logits.shape()[0]).map(|b| logits.at2(b, 1) - logits.at2(b, 0)).collect()
     }
 
@@ -241,9 +286,11 @@ mod tests {
 
     #[test]
     fn forward_shapes() {
-        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let cnn = CoLocatorCnn::new(tiny_config());
+        let mut ws = Workspace::new();
         let x = CoLocatorCnn::stack_windows(&[vec![0.1; 32], vec![-0.2; 32], vec![0.0; 32]]);
-        let logits = cnn.forward(&x, true);
+        let logits = cnn.forward(&x, &mut ws, true);
+        ws.clear();
         assert_eq!(logits.shape(), &[3, 2]);
     }
 
@@ -251,18 +298,35 @@ mod tests {
     fn global_average_pooling_supports_different_window_lengths() {
         // The same network must accept N_train- and N_inf-sized windows
         // (Section III-B / IV-B).
-        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let cnn = CoLocatorCnn::new(tiny_config());
+        let mut ws = Workspace::new();
         let train = CoLocatorCnn::stack_windows(&[vec![0.5; 40]]);
         let infer = CoLocatorCnn::stack_windows(&[vec![0.5; 24]]);
-        assert_eq!(cnn.forward(&train, false).shape(), &[1, 2]);
-        assert_eq!(cnn.forward(&infer, false).shape(), &[1, 2]);
+        assert_eq!(cnn.forward(&train, &mut ws, false).shape(), &[1, 2]);
+        assert_eq!(cnn.forward(&infer, &mut ws, false).shape(), &[1, 2]);
     }
 
     #[test]
     fn param_count_grows_with_filters() {
-        let mut small = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 1 });
-        let mut big = CoLocatorCnn::new(CnnConfig { base_filters: 4, kernel_size: 3, seed: 1 });
+        let small = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 1 });
+        let big = CoLocatorCnn::new(CnnConfig { base_filters: 4, kernel_size: 3, seed: 1 });
         assert!(big.param_count() > small.param_count());
+    }
+
+    #[test]
+    fn params_and_params_mut_agree_in_order() {
+        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let shapes: Vec<Vec<usize>> =
+            cnn.params().iter().map(|p| p.value.shape().to_vec()).collect();
+        let shapes_mut: Vec<Vec<usize>> =
+            cnn.params_mut().iter().map(|p| p.value.shape().to_vec()).collect();
+        assert_eq!(shapes, shapes_mut);
+        let buf_lens: Vec<usize> = cnn.buffers().iter().map(|b| b.len()).collect();
+        let buf_lens_mut: Vec<usize> = cnn.buffers_mut().iter().map(|b| b.len()).collect();
+        assert_eq!(buf_lens, buf_lens_mut);
+        // 3 BatchNorm layers outside projections + 1 projection BN (res2
+        // changes the channel count), 2 buffers each.
+        assert_eq!(buf_lens.len(), 2 * 6);
     }
 
     #[test]
@@ -275,22 +339,26 @@ mod tests {
     #[test]
     fn backward_produces_input_gradient() {
         let mut cnn = CoLocatorCnn::new(tiny_config());
+        let mut ws = Workspace::new();
         let x = CoLocatorCnn::stack_windows(&[vec![0.3; 16], vec![-0.3; 16]]);
-        let logits = cnn.forward(&x, true);
+        let logits = cnn.forward(&x, &mut ws, true);
         cnn.zero_grad();
-        let grad = cnn.backward(&Tensor::from_vec(vec![1.0, -1.0, 0.5, -0.5], logits.shape()));
+        let grad =
+            cnn.backward(&Tensor::from_vec(vec![1.0, -1.0, 0.5, -0.5], logits.shape()), &mut ws);
         assert_eq!(grad.shape(), x.shape());
+        assert_eq!(ws.cache_depth(), 0, "backward must consume every layer cache");
         // Some parameter gradient must be non-zero.
-        let any_nonzero = cnn.params_mut().iter().any(|p| p.grad.max_abs() > 0.0);
+        let any_nonzero = cnn.params().iter().any(|p| p.grad.max_abs() > 0.0);
         assert!(any_nonzero);
     }
 
     #[test]
     fn class1_scores_orders_like_softmax_probability() {
-        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let cnn = CoLocatorCnn::new(tiny_config());
+        let mut ws = Workspace::new();
         let x = CoLocatorCnn::stack_windows(&[vec![0.9; 20], vec![-0.9; 20]]);
-        let scores = cnn.class1_scores(&x);
-        let logits = cnn.forward(&x, false);
+        let scores = cnn.class1_scores(&x, &mut ws);
+        let logits = cnn.forward(&x, &mut ws, false);
         // The window with the larger class-1 margin also has the larger softmax probability.
         let p = |b: usize| {
             let row = logits.row(b);
@@ -314,10 +382,32 @@ mod tests {
 
     #[test]
     fn predictions_are_binary() {
-        let mut cnn = CoLocatorCnn::new(tiny_config());
+        let cnn = CoLocatorCnn::new(tiny_config());
+        let mut ws = Workspace::new();
         let x = CoLocatorCnn::stack_windows(&vec![vec![0.0; 16]; 5]);
-        let preds = cnn.predict(&x);
+        let preds = cnn.predict(&x, &mut ws);
         assert_eq!(preds.len(), 5);
         assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn shared_cnn_scores_identically_across_threads() {
+        // One CNN instance, several threads, per-thread workspaces: the
+        // scores must be bit-identical to the single-threaded ones.
+        let cnn = CoLocatorCnn::new(tiny_config());
+        let x = CoLocatorCnn::stack_windows(&[vec![0.4; 24], vec![-0.1; 24]]);
+        let mut ws = Workspace::new();
+        let expected = cnn.class1_scores(&x, &mut ws);
+        let cnn_ref = &cnn;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let x = x.clone();
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    let mut ws = Workspace::new();
+                    assert_eq!(cnn_ref.class1_scores(&x, &mut ws), expected);
+                });
+            }
+        });
     }
 }

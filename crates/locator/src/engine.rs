@@ -1,0 +1,303 @@
+//! The shared-weight serving engine: profile once, score many traces.
+//!
+//! The paper's workflow (and the follow-up localisation literature) trains a
+//! CNN once per cipher and then applies it to whole sets of long traces. A
+//! [`LocatorEngine`] is the object built for that second phase:
+//!
+//! * every entry point takes **`&self`** — one warm weight set is shared by
+//!   all scoring threads, which allocate only a per-thread
+//!   [`tinynn::Workspace`] (no weight clones anywhere);
+//! * [`LocatorEngine::locate_batch`] streams many traces through one thread
+//!   pool, parallelising across traces when the batch is wide and falling
+//!   back to intra-trace shard parallelism when it is narrow — the scores
+//!   are identical either way;
+//! * [`LocatorEngine::save`] / [`LocatorEngine::load`] persist a trained
+//!   model in the versioned binary format of [`crate::persist`], so a fleet
+//!   of workers can load one profile from disk instead of retraining.
+//!
+//! # Example: build → save → load → serve
+//!
+//! ```
+//! use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
+//! use sca_trace::Trace;
+//!
+//! // Normally the CNN comes out of `LocatorBuilder::fit(...)`; an untrained
+//! // network keeps the example fast.
+//! let cnn = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 1 });
+//! let engine =
+//!     LocatorEngine::new(cnn, SlidingWindowClassifier::new(16, 4), Segmenter::default());
+//!
+//! let traces: Vec<Trace> = (0..3)
+//!     .map(|i| Trace::from_samples((0..96).map(|x| ((x + i) as f32 * 0.2).sin()).collect()))
+//!     .collect();
+//! let located = engine.locate_batch(&traces);
+//! assert_eq!(located.len(), traces.len());
+//!
+//! // Persist the profile and serve it from a fresh process.
+//! let path =
+//!     std::env::temp_dir().join(format!("colocator_doc_{}.engine", std::process::id()));
+//! engine.save(&path).unwrap();
+//! let restored = LocatorEngine::load(&path).unwrap();
+//! assert_eq!(restored.locate(&traces[0]), located[0]);
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+use std::path::Path;
+
+use sca_trace::Trace;
+
+use crate::cnn::CoLocatorCnn;
+use crate::persist::{self, PersistError};
+use crate::pipeline::CoLocator;
+use crate::segmentation::Segmenter;
+use crate::sliding::SlidingWindowClassifier;
+
+/// A trained, immutable CO-locating model ready to serve many traces.
+///
+/// Built from a trained [`CoLocator`] (via [`CoLocator::into_engine`] or
+/// [`LocatorEngine::from_locator`]) or loaded from disk with
+/// [`LocatorEngine::load`]. All scoring entry points take `&self`, so one
+/// engine can be shared behind an `Arc` (or plain borrows) by any number of
+/// worker threads.
+#[derive(Debug, Clone)]
+pub struct LocatorEngine {
+    cnn: CoLocatorCnn,
+    sliding: SlidingWindowClassifier,
+    segmenter: Segmenter,
+}
+
+impl LocatorEngine {
+    /// Assembles an engine from an already trained CNN and explicit inference
+    /// parameters.
+    pub fn new(cnn: CoLocatorCnn, sliding: SlidingWindowClassifier, segmenter: Segmenter) -> Self {
+        Self { cnn, sliding, segmenter }
+    }
+
+    /// Converts a trained [`CoLocator`] into an engine.
+    pub fn from_locator(locator: CoLocator) -> Self {
+        let (cnn, sliding, segmenter) = locator.into_parts();
+        Self { cnn, sliding, segmenter }
+    }
+
+    /// The trained CNN.
+    pub fn cnn(&self) -> &CoLocatorCnn {
+        &self.cnn
+    }
+
+    /// The sliding-window classifier parameters.
+    pub fn sliding(&self) -> &SlidingWindowClassifier {
+        &self.sliding
+    }
+
+    /// The segmentation stage.
+    pub fn segmenter(&self) -> &Segmenter {
+        &self.segmenter
+    }
+
+    /// Sets the number of scoring threads (`0` = one per available core).
+    /// Scores are independent per window, so the located starts do not
+    /// depend on the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.sliding = self.sliding.with_threads(threads);
+        self
+    }
+
+    /// Converts the engine back into a [`CoLocator`].
+    pub fn into_locator(self) -> CoLocator {
+        CoLocator::from_parts(self.cnn, self.sliding, self.segmenter)
+    }
+
+    /// Locates the CO start samples in one trace (identical to
+    /// [`CoLocator::locate`]).
+    pub fn locate(&self, trace: &Trace) -> Vec<usize> {
+        let swc = self.sliding.classify(&self.cnn, trace);
+        self.segmenter.segment(&swc, self.sliding.stride())
+    }
+
+    /// Like [`Self::locate`] but also returns the raw sliding-window scores.
+    pub fn locate_detailed(&self, trace: &Trace) -> (Vec<f32>, Vec<usize>) {
+        let swc = self.sliding.classify(&self.cnn, trace);
+        let starts = self.segmenter.segment(&swc, self.sliding.stride());
+        (swc, starts)
+    }
+
+    /// Locates the CO starts of every trace in `traces`, streaming all of
+    /// them through the one shared weight set and one scoped thread pool.
+    ///
+    /// Wide batches fan out **across traces** (one worker per trace chunk,
+    /// intra-trace scoring kept sequential); narrow batches fall back to
+    /// per-trace calls so the intra-trace shard parallelism of
+    /// [`SlidingWindowClassifier`] can use the idle cores. Per-window scores
+    /// depend on neither batching nor threading, so both routes return
+    /// results identical to looping [`Self::locate`] — the choice is purely
+    /// a throughput matter.
+    pub fn locate_batch(&self, traces: &[Trace]) -> Vec<Vec<usize>> {
+        let n = traces.len();
+        let cores = tinynn::parallel::max_threads();
+        // Narrow batch (or nothing to fan out): per-trace inner parallelism.
+        if n <= 1 || cores <= 1 || n < cores / 2 {
+            return traces.iter().map(|t| self.locate(t)).collect();
+        }
+        let threads = cores.min(n);
+        let per = n.div_ceil(threads);
+        // Inside a worker the whole pipeline must stay sequential: the
+        // across-traces split is the parallelism.
+        let serial_sliding = self.sliding.with_threads(1);
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        std::thread::scope(|scope| {
+            for (chunk, results) in traces.chunks(per).zip(out.chunks_mut(per)) {
+                let sliding = serial_sliding;
+                scope.spawn(move || {
+                    let _serial = tinynn::parallel::serial_region();
+                    for (trace, result) in chunk.iter().zip(results.iter_mut()) {
+                        let swc = sliding.classify(&self.cnn, trace);
+                        *result = self.segmenter.segment(&swc, sliding.stride());
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Serialises the engine (weights + inference parameters) to `path` in
+    /// the versioned binary format of [`crate::persist`]. A
+    /// [`Self::load`]-ed copy reproduces every score bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if the file cannot be written.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        persist::save_engine(path.as_ref(), &self.cnn, &self.sliding, &self.segmenter)
+    }
+
+    /// Loads an engine previously written by [`Self::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`PersistError`] for missing files, foreign files
+    /// (bad magic), incompatible versions and corrupt/truncated payloads.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let (cnn, sliding, segmenter) = persist::load_engine(path.as_ref())?;
+        Ok(Self { cnn, sliding, segmenter })
+    }
+}
+
+impl From<CoLocator> for LocatorEngine {
+    fn from(locator: CoLocator) -> Self {
+        Self::from_locator(locator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn::CnnConfig;
+    use crate::segmentation::{SegmentationConfig, ThresholdStrategy};
+
+    fn tiny_engine() -> LocatorEngine {
+        LocatorEngine::new(
+            CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 5 }),
+            SlidingWindowClassifier::new(16, 4).with_batch_size(8),
+            Segmenter::new(SegmentationConfig {
+                threshold: ThresholdStrategy::MidRange,
+                median_filter_k: 3,
+                min_distance_windows: 2,
+            }),
+        )
+    }
+
+    fn wavy_trace(len: usize, phase: usize) -> Trace {
+        Trace::from_samples((0..len).map(|x| ((x + phase) as f32 * 0.13).sin()).collect())
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sca_locator_engine_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn engine_locate_matches_colocator_locate() {
+        let engine = tiny_engine();
+        let locator = engine.clone().into_locator();
+        for len in [80usize, 200, 333] {
+            let trace = wavy_trace(len, len);
+            assert_eq!(engine.locate(&trace), locator.locate(&trace));
+        }
+    }
+
+    #[test]
+    fn locate_batch_matches_per_trace_locate_exactly() {
+        // Acceptance pin: batched multi-trace scoring from a single `&self`
+        // borrow must be bit-identical to looping single-trace locate.
+        let engine = tiny_engine();
+        let traces: Vec<Trace> = (0..12).map(|i| wavy_trace(150 + 17 * i, i)).collect();
+        let batched = engine.locate_batch(&traces);
+        let looped: Vec<Vec<usize>> = traces.iter().map(|t| engine.locate(t)).collect();
+        assert_eq!(batched, looped);
+    }
+
+    #[test]
+    fn locate_batch_scores_match_detailed_scores() {
+        let engine = tiny_engine();
+        let traces: Vec<Trace> = (0..9).map(|i| wavy_trace(240, 3 * i)).collect();
+        let batched = engine.locate_batch(&traces);
+        for (trace, starts) in traces.iter().zip(batched.iter()) {
+            let (_, detailed_starts) = engine.locate_detailed(trace);
+            assert_eq!(&detailed_starts, starts);
+        }
+    }
+
+    #[test]
+    fn locate_batch_handles_empty_and_short_inputs() {
+        let engine = tiny_engine();
+        assert!(engine.locate_batch(&[]).is_empty());
+        // A trace shorter than the window yields no starts but keeps its slot.
+        let traces = vec![Trace::from_samples(vec![0.0; 4]), wavy_trace(120, 0)];
+        let out = engine.locate_batch(&traces);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = tiny_engine();
+        let trace = wavy_trace(300, 1);
+        let expected = engine.locate(&trace);
+        let engine_ref = &engine;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let trace = trace.clone();
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    assert_eq!(engine_ref.locate(&trace), expected);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn save_load_roundtrip_reproduces_scores_bit_exactly() {
+        let engine = tiny_engine();
+        let path = temp_path("roundtrip");
+        engine.save(&path).unwrap();
+        let restored = LocatorEngine::load(&path).unwrap();
+        for (i, len) in [100usize, 257, 400].into_iter().enumerate() {
+            let trace = wavy_trace(len, i);
+            let (scores_a, starts_a) = engine.locate_detailed(&trace);
+            let (scores_b, starts_b) = restored.locate_detailed(&trace);
+            assert_eq!(starts_a, starts_b);
+            assert_eq!(scores_a.len(), scores_b.len());
+            for (a, b) in scores_a.iter().zip(scores_b.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "roundtrip scores must be bit-identical");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_foreign_file_with_typed_error() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"definitely not a model file").unwrap();
+        assert_eq!(LocatorEngine::load(&path).unwrap_err(), PersistError::BadMagic);
+        std::fs::remove_file(&path).ok();
+    }
+}

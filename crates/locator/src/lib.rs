@@ -22,6 +22,11 @@
 //! * [`evaluation`] — hit-rate scoring against ground truth (IV-B).
 //! * [`pipeline`] — [`pipeline::CoLocator`], the end-to-end inference object,
 //!   and [`pipeline::LocatorBuilder`] to assemble it.
+//! * [`engine`] — [`engine::LocatorEngine`], the profile-once / score-many
+//!   serving front-end: `&self` scoring, batched multi-trace
+//!   [`engine::LocatorEngine::locate_batch`], model save/load.
+//! * [`persist`] — the versioned little-endian binary model format behind
+//!   the engine's save/load.
 //! * [`profiles`] — per-cipher pipeline parameters: the paper's Table I
 //!   values and the CPU-scaled equivalents used by this reproduction.
 
@@ -31,7 +36,9 @@
 pub mod alignment;
 pub mod cnn;
 pub mod dataset;
+pub mod engine;
 pub mod evaluation;
+pub mod persist;
 pub mod pipeline;
 pub mod profiles;
 pub mod segmentation;
@@ -41,7 +48,9 @@ pub mod training;
 pub use alignment::Aligner;
 pub use cnn::{CnnConfig, CoLocatorCnn};
 pub use dataset::DatasetBuilder;
+pub use engine::LocatorEngine;
 pub use evaluation::{hit_rate, HitReport};
+pub use persist::PersistError;
 pub use pipeline::{CoLocator, LocatorBuilder};
 pub use profiles::{CipherProfile, ProfileKind};
 pub use segmentation::{SegmentationConfig, Segmenter, ThresholdStrategy};

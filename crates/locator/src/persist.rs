@@ -1,0 +1,474 @@
+//! Versioned binary model persistence for the locator engine.
+//!
+//! The offline build's serde shims are no-ops, so the format is hand-rolled
+//! in the spirit of `sca-trace::io`: a little-endian binary layout built from
+//! the shared primitives in [`sca_trace::io`]. Weights are stored as raw
+//! IEEE-754 bits, so a save → load roundtrip reproduces every score
+//! **bit-exactly**.
+//!
+//! ## Layout (version 1)
+//!
+//! ```text
+//! magic      8 bytes  "SCALOCEN"
+//! version    u32      1
+//! cnn config            base_filters u64 · kernel_size u64 · seed u64
+//! sliding config        window_len u64 · stride u64 · batch_size u64 ·
+//!                       standardize u8 · threads u64
+//! segmentation config   threshold tag u8 (0 Fixed · 1 MidRange · 2 MeanPlusStd) ·
+//!                       threshold value f32 · median_filter_k u64 ·
+//!                       min_distance_windows u64
+//! weights    u32 count, then per parameter: ndim u32 · dims u64… · data f32…
+//! buffers    u32 count, then per buffer:    len u64 · data f32…
+//! ```
+//!
+//! Parameters and buffers are enumerated in the fixed architecture order of
+//! [`CoLocatorCnn::params`] / [`CoLocatorCnn::buffers`]; the loader rebuilds
+//! the network from the stored configuration and verifies every shape, so a
+//! truncated, corrupted or incompatible file yields a typed [`PersistError`]
+//! instead of a panic or a silently wrong model.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use sca_trace::io::{
+    read_f32s_le, read_u32_le, read_u64_le, write_f32s_le, write_u32_le, write_u64_le,
+};
+use tinynn::Tensor;
+
+use crate::cnn::{CnnConfig, CoLocatorCnn};
+use crate::segmentation::{SegmentationConfig, Segmenter, ThresholdStrategy};
+use crate::sliding::SlidingWindowClassifier;
+
+/// File magic of the engine model format.
+pub const MAGIC: &[u8; 8] = b"SCALOCEN";
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Upper bound accepted for any stored dimension — rejects absurd sizes from
+/// corrupt headers before they turn into multi-gigabyte allocations.
+const MAX_DIM: u64 = 1 << 32;
+
+/// Upper bound on the stored filter count. The paper uses 16; anything past
+/// this is a corrupt or hostile header, and the network must not be
+/// constructed from it (its weight tensors scale with `base_filters²`).
+const MAX_BASE_FILTERS: usize = 1 << 12;
+
+/// Upper bound on the stored kernel size (the paper uses 64).
+const MAX_KERNEL_SIZE: usize = 1 << 16;
+
+/// Upper bound on the *estimated* parameter count implied by the stored CNN
+/// configuration (~1 GiB of f32 weights). Checked before the architecture is
+/// instantiated, so a corrupt header yields [`PersistError::Corrupt`] instead
+/// of an allocation abort.
+const MAX_PARAM_ESTIMATE: u64 = 1 << 28;
+
+/// Typed errors of the model persistence layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The underlying file could not be read or written.
+    Io(String),
+    /// The file does not start with the engine magic — not a model file.
+    BadMagic,
+    /// The file uses a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The file is truncated or internally inconsistent (shape mismatch,
+    /// invalid configuration values, trailing data, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "model file I/O error: {msg}"),
+            PersistError::BadMagic => write!(f, "not a locator engine model file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported model format version {v} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            PersistError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Maps an I/O failure onto the persistence error space: truncation while
+/// parsing a structured file is corruption, everything else is I/O.
+fn io_err(e: std::io::Error) -> PersistError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        PersistError::Corrupt("unexpected end of file".into())
+    } else {
+        PersistError::Io(e.to_string())
+    }
+}
+
+/// Serialises a trained engine (CNN weights + inference parameters) to
+/// `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] if the file cannot be written.
+pub(crate) fn save_engine(
+    path: &Path,
+    cnn: &CoLocatorCnn,
+    sliding: &SlidingWindowClassifier,
+    segmenter: &Segmenter,
+) -> Result<(), PersistError> {
+    let file = File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC).map_err(io_err)?;
+    write_u32_le(&mut w, FORMAT_VERSION).map_err(io_err)?;
+
+    let cfg = cnn.config();
+    write_u64_le(&mut w, cfg.base_filters as u64).map_err(io_err)?;
+    write_u64_le(&mut w, cfg.kernel_size as u64).map_err(io_err)?;
+    write_u64_le(&mut w, cfg.seed).map_err(io_err)?;
+
+    write_u64_le(&mut w, sliding.window_len() as u64).map_err(io_err)?;
+    write_u64_le(&mut w, sliding.stride() as u64).map_err(io_err)?;
+    write_u64_le(&mut w, sliding.batch_size() as u64).map_err(io_err)?;
+    w.write_all(&[sliding.standardize() as u8]).map_err(io_err)?;
+    write_u64_le(&mut w, sliding.threads() as u64).map_err(io_err)?;
+
+    let seg = segmenter.config();
+    let (tag, value) = match seg.threshold {
+        ThresholdStrategy::Fixed(t) => (0u8, t),
+        ThresholdStrategy::MidRange => (1u8, 0.0),
+        ThresholdStrategy::MeanPlusStd(f) => (2u8, f),
+    };
+    w.write_all(&[tag]).map_err(io_err)?;
+    write_f32s_le(&mut w, &[value]).map_err(io_err)?;
+    write_u64_le(&mut w, seg.median_filter_k as u64).map_err(io_err)?;
+    write_u64_le(&mut w, seg.min_distance_windows as u64).map_err(io_err)?;
+
+    let params = cnn.params();
+    write_u32_le(&mut w, params.len() as u32).map_err(io_err)?;
+    for p in params {
+        let shape = p.value.shape();
+        write_u32_le(&mut w, shape.len() as u32).map_err(io_err)?;
+        for &dim in shape {
+            write_u64_le(&mut w, dim as u64).map_err(io_err)?;
+        }
+        write_f32s_le(&mut w, p.value.data()).map_err(io_err)?;
+    }
+
+    let buffers = cnn.buffers();
+    write_u32_le(&mut w, buffers.len() as u32).map_err(io_err)?;
+    for b in buffers {
+        write_u64_le(&mut w, b.len() as u64).map_err(io_err)?;
+        write_f32s_le(&mut w, b).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Reads a `u64` and validates it as a sane `usize` dimension.
+fn read_dim<R: Read>(r: R, what: &str) -> Result<usize, PersistError> {
+    let v = read_u64_le(r).map_err(io_err)?;
+    if v > MAX_DIM {
+        return Err(PersistError::Corrupt(format!("{what} {v} exceeds the sanity bound")));
+    }
+    Ok(v as usize)
+}
+
+/// Deserialises an engine model file written by [`save_engine`].
+///
+/// # Errors
+///
+/// * [`PersistError::BadMagic`] — not an engine model file;
+/// * [`PersistError::UnsupportedVersion`] — written by an incompatible build;
+/// * [`PersistError::Corrupt`] — truncated file, shape mismatch, invalid
+///   configuration values or trailing bytes;
+/// * [`PersistError::Io`] — underlying filesystem failure.
+pub(crate) fn load_engine(
+    path: &Path,
+) -> Result<(CoLocatorCnn, SlidingWindowClassifier, Segmenter), PersistError> {
+    let file = File::open(path).map_err(io_err)?;
+    let mut r = BufReader::new(file);
+
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32_le(&mut r).map_err(io_err)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+
+    let base_filters = read_dim(&mut r, "base_filters")?;
+    let kernel_size = read_dim(&mut r, "kernel_size")?;
+    let seed = read_u64_le(&mut r).map_err(io_err)?;
+    if base_filters == 0 || kernel_size == 0 {
+        return Err(PersistError::Corrupt("CNN configuration dimensions must be non-zero".into()));
+    }
+    if base_filters > MAX_BASE_FILTERS || kernel_size > MAX_KERNEL_SIZE {
+        return Err(PersistError::Corrupt(format!(
+            "CNN configuration ({base_filters} filters, kernel {kernel_size}) exceeds the \
+             sanity bounds ({MAX_BASE_FILTERS}, {MAX_KERNEL_SIZE})"
+        )));
+    }
+    // The largest tensors are the residual-block convolutions:
+    // ~(2·base_filters)² · kernel_size weights. Reject configurations whose
+    // implied parameter count is absurd *before* instantiating the network.
+    let param_estimate = 8 * (base_filters as u64).pow(2) * kernel_size as u64;
+    if param_estimate > MAX_PARAM_ESTIMATE {
+        return Err(PersistError::Corrupt(format!(
+            "CNN configuration implies ~{param_estimate} parameters \
+             (bound {MAX_PARAM_ESTIMATE})"
+        )));
+    }
+
+    let window_len = read_dim(&mut r, "window_len")?;
+    let stride = read_dim(&mut r, "stride")?;
+    let batch_size = read_dim(&mut r, "batch_size")?;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag).map_err(io_err)?;
+    let standardize = match flag[0] {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(PersistError::Corrupt(format!("invalid standardize flag {other}")));
+        }
+    };
+    let threads = read_dim(&mut r, "threads")?;
+    if window_len == 0 || stride == 0 || batch_size == 0 {
+        return Err(PersistError::Corrupt("sliding-window parameters must be non-zero".into()));
+    }
+
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag).map_err(io_err)?;
+    let value = read_f32s_le(&mut r, 1).map_err(io_err)?[0];
+    let threshold = match tag[0] {
+        0 => ThresholdStrategy::Fixed(value),
+        1 => ThresholdStrategy::MidRange,
+        2 => ThresholdStrategy::MeanPlusStd(value),
+        other => {
+            return Err(PersistError::Corrupt(format!("invalid threshold strategy tag {other}")));
+        }
+    };
+    let median_filter_k = read_dim(&mut r, "median_filter_k")?;
+    let min_distance_windows = read_dim(&mut r, "min_distance_windows")?;
+    if median_filter_k == 0 || median_filter_k % 2 == 0 {
+        return Err(PersistError::Corrupt(format!(
+            "median filter size {median_filter_k} must be odd and non-zero"
+        )));
+    }
+
+    let mut cnn = CoLocatorCnn::new(CnnConfig { base_filters, kernel_size, seed });
+    let expected_shapes: Vec<Vec<usize>> =
+        cnn.params().iter().map(|p| p.value.shape().to_vec()).collect();
+    let n_params = read_u32_le(&mut r).map_err(io_err)? as usize;
+    if n_params != expected_shapes.len() {
+        return Err(PersistError::Corrupt(format!(
+            "parameter count {n_params} does not match the architecture ({})",
+            expected_shapes.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(n_params);
+    for expected in &expected_shapes {
+        let ndim = read_u32_le(&mut r).map_err(io_err)? as usize;
+        if ndim != expected.len() {
+            return Err(PersistError::Corrupt(format!(
+                "parameter rank {ndim} does not match expected {:?}",
+                expected
+            )));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_dim(&mut r, "parameter dimension")?);
+        }
+        if &shape != expected {
+            return Err(PersistError::Corrupt(format!(
+                "parameter shape {shape:?} does not match expected {expected:?}"
+            )));
+        }
+        let len: usize = shape.iter().product();
+        let data = read_f32s_le(&mut r, len).map_err(io_err)?;
+        values.push(Tensor::from_vec(data, &shape));
+    }
+    for (param, value) in cnn.params_mut().into_iter().zip(values) {
+        param.value = value;
+    }
+
+    let expected_buffers: Vec<usize> = cnn.buffers().iter().map(|b| b.len()).collect();
+    let n_buffers = read_u32_le(&mut r).map_err(io_err)? as usize;
+    if n_buffers != expected_buffers.len() {
+        return Err(PersistError::Corrupt(format!(
+            "buffer count {n_buffers} does not match the architecture ({})",
+            expected_buffers.len()
+        )));
+    }
+    let mut buffer_values = Vec::with_capacity(n_buffers);
+    for &expected_len in &expected_buffers {
+        let len = read_dim(&mut r, "buffer length")?;
+        if len != expected_len {
+            return Err(PersistError::Corrupt(format!(
+                "buffer length {len} does not match expected {expected_len}"
+            )));
+        }
+        buffer_values.push(read_f32s_le(&mut r, len).map_err(io_err)?);
+    }
+    for (buffer, value) in cnn.buffers_mut().into_iter().zip(buffer_values) {
+        *buffer = value;
+    }
+
+    // Anything after the last buffer is not ours — reject it rather than
+    // silently ignoring a concatenated or doctored file.
+    let mut trailing = [0u8; 1];
+    match r.read(&mut trailing).map_err(io_err)? {
+        0 => {}
+        _ => return Err(PersistError::Corrupt("trailing data after model".into())),
+    }
+
+    let sliding = SlidingWindowClassifier::new(window_len, stride)
+        .with_batch_size(batch_size)
+        .with_standardize(standardize)
+        .with_threads(threads);
+    let segmenter =
+        Segmenter::new(SegmentationConfig { threshold, median_filter_k, min_distance_windows });
+    Ok((cnn, sliding, segmenter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_parts() -> (CoLocatorCnn, SlidingWindowClassifier, Segmenter) {
+        let cnn = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 9 });
+        let sliding = SlidingWindowClassifier::new(16, 4).with_batch_size(8);
+        let segmenter = Segmenter::new(SegmentationConfig {
+            threshold: ThresholdStrategy::MeanPlusStd(1.5),
+            median_filter_k: 3,
+            min_distance_windows: 2,
+        });
+        (cnn, sliding, segmenter)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sca_locator_persist_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_weights_and_config_bit_exactly() {
+        let (cnn, sliding, segmenter) = tiny_parts();
+        let path = temp_path("roundtrip");
+        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        let (cnn2, sliding2, segmenter2) = load_engine(&path).unwrap();
+        assert_eq!(cnn2.config(), cnn.config());
+        assert_eq!(sliding2, sliding);
+        assert_eq!(segmenter2.config(), segmenter.config());
+        for (a, b) in cnn.params().iter().zip(cnn2.params().iter()) {
+            assert_eq!(a.value.shape(), b.value.shape());
+            for (x, y) in a.value.data().iter().zip(b.value.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "weights must roundtrip bit-exactly");
+            }
+        }
+        for (a, b) in cnn.buffers().iter().zip(cnn2.buffers().iter()) {
+            assert_eq!(a, b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_panic() {
+        let (cnn, sliding, segmenter) = tiny_parts();
+        let path = temp_path("truncated");
+        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the file at several depths: inside the header, inside the
+        // config block and inside the weight payload.
+        for cut in [4usize, 11, 40, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            match load_engine(&path) {
+                Err(PersistError::Corrupt(_)) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let (cnn, sliding, segmenter) = tiny_parts();
+        let path = temp_path("magic");
+        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_engine(&path).unwrap_err(), PersistError::BadMagic);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let (cnn, sliding, segmenter) = tiny_parts();
+        let path = temp_path("version");
+        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_engine(&path).unwrap_err(), PersistError::UnsupportedVersion(99));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let (cnn, sliding, segmenter) = tiny_parts();
+        let path = temp_path("trailing");
+        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0x42);
+        std::fs::write(&path, &bytes).unwrap();
+        match load_engine(&path) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("trailing")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absurd_config_is_rejected_before_network_construction() {
+        let (cnn, sliding, segmenter) = tiny_parts();
+        let path = temp_path("absurd");
+        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // base_filters lives right after magic (8) + version (4).
+        bytes[12..20].copy_from_slice(&4_000_000_000u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match load_engine(&path) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("bound"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // A value inside MAX_DIM but implying a gigantic network must also be
+        // rejected (the parameter-count estimate, not just the field bound).
+        bytes[12..20].copy_from_slice(&4096u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match load_engine(&path) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        match load_engine(Path::new("/nonexistent/definitely_missing.engine")) {
+            Err(PersistError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PersistError::UnsupportedVersion(7);
+        assert!(e.to_string().contains('7'));
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+    }
+}

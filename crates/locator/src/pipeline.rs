@@ -161,24 +161,45 @@ impl CoLocator {
         &self.cnn
     }
 
+    /// The segmentation stage.
+    pub fn segmenter(&self) -> &Segmenter {
+        &self.segmenter
+    }
+
+    /// Decomposes the locator into its parts (CNN, sliding-window classifier,
+    /// segmenter).
+    pub fn into_parts(self) -> (CoLocatorCnn, SlidingWindowClassifier, Segmenter) {
+        (self.cnn, self.sliding, self.segmenter)
+    }
+
+    /// Converts the locator into a [`crate::engine::LocatorEngine`], the
+    /// share-everywhere serving front-end (batched multi-trace scoring and
+    /// model persistence).
+    pub fn into_engine(self) -> crate::engine::LocatorEngine {
+        crate::engine::LocatorEngine::from_locator(self)
+    }
+
     /// Runs the full inference pipeline on an unknown trace and returns the
     /// located CO start samples.
-    pub fn locate(&mut self, trace: &Trace) -> Vec<usize> {
-        let swc = self.sliding.classify(&mut self.cnn, trace);
+    ///
+    /// Takes `&self`: the weights are shared across the scoring threads and
+    /// never cloned or mutated.
+    pub fn locate(&self, trace: &Trace) -> Vec<usize> {
+        let swc = self.sliding.classify(&self.cnn, trace);
         self.segmenter.segment(&swc, self.sliding.stride())
     }
 
     /// Like [`Self::locate`] but also returns the raw sliding-window scores
     /// (useful for inspection / the qualitative Figure 1 example).
-    pub fn locate_detailed(&mut self, trace: &Trace) -> (Vec<f32>, Vec<usize>) {
-        let swc = self.sliding.classify(&mut self.cnn, trace);
+    pub fn locate_detailed(&self, trace: &Trace) -> (Vec<f32>, Vec<usize>) {
+        let swc = self.sliding.classify(&self.cnn, trace);
         let starts = self.segmenter.segment(&swc, self.sliding.stride());
         (swc, starts)
     }
 
     /// Locates the COs and cuts `co_len`-sample aligned sub-traces at every
     /// located start (the Alignment stage of Figure 1).
-    pub fn locate_and_align(&mut self, trace: &Trace, co_len: usize) -> Vec<Vec<f32>> {
+    pub fn locate_and_align(&self, trace: &Trace, co_len: usize) -> Vec<Vec<f32>> {
         let starts = self.locate(trace);
         Aligner::new(co_len).align(trace, &starts).0
     }
@@ -237,7 +258,7 @@ mod tests {
                 median_filter_k: 3,
                 min_distance_windows: 4,
             });
-        let (mut locator, report) = builder.fit(&cipher_traces, &noise_trace);
+        let (locator, report) = builder.fit(&cipher_traces, &noise_trace);
         assert!(report.best_validation_accuracy() > 0.8, "report {report:?}");
 
         let (trace, truth) = long_trace(co_len, &[120, 200, 150]);
@@ -259,7 +280,7 @@ mod tests {
                 learning_rate: 5e-3,
                 seed: 3,
             });
-        let (mut locator, _) = builder.fit(&cipher_traces, &noise_trace);
+        let (locator, _) = builder.fit(&cipher_traces, &noise_trace);
         let (trace, truth) = long_trace(co_len, &[100, 180]);
         let aligned = locator.locate_and_align(&trace, co_len);
         assert!(!aligned.is_empty());

@@ -10,14 +10,15 @@
 //! are written straight from the trace into one reused `[B, 1, N]` batch
 //! tensor, standardised in place, and scored through
 //! [`CoLocatorCnn::class1_scores_into`] without any per-window allocation.
-//! Independent shards of the window list can fan out across OS threads, each
-//! with its own clone of the (read-only at inference) CNN; per-window scores
-//! do not depend on batching, so the output is identical for any thread or
-//! batch configuration.
+//! Independent shards of the window list fan out across OS threads, every
+//! shard scoring through **one shared `&CoLocatorCnn`** with its own
+//! [`Workspace`] — the weights are never cloned. Per-window scores do not
+//! depend on batching, so the output is identical for any thread or batch
+//! configuration.
 
 use sca_trace::{Trace, WindowSlicer};
 use serde::{Deserialize, Serialize};
-use tinynn::Tensor;
+use tinynn::{Tensor, Workspace};
 
 use crate::cnn::CoLocatorCnn;
 
@@ -74,6 +75,21 @@ impl SlidingWindowClassifier {
         self.stride
     }
 
+    /// Inference batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Whether windows are standardised before scoring.
+    pub fn standardize(&self) -> bool {
+        self.standardize
+    }
+
+    /// Configured scoring thread count (`0` = one per available core).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Number of score samples produced for a trace of `trace_len` samples.
     pub fn output_len(&self, trace_len: usize) -> usize {
         WindowSlicer::new(self.window_len, self.stride)
@@ -83,7 +99,10 @@ impl SlidingWindowClassifier {
 
     /// Runs the sliding-window classification, returning the `swc` score
     /// signal (one score per window, in window order).
-    pub fn classify(&self, cnn: &mut CoLocatorCnn, trace: &Trace) -> Vec<f32> {
+    ///
+    /// The CNN is borrowed immutably: shards share the weights and allocate
+    /// only a per-thread [`Workspace`].
+    pub fn classify(&self, cnn: &CoLocatorCnn, trace: &Trace) -> Vec<f32> {
         let slicer = WindowSlicer::new(self.window_len, self.stride)
             .expect("parameters validated at construction");
         let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
@@ -93,17 +112,18 @@ impl SlidingWindowClassifier {
         }
         let threads = self.effective_threads(starts.len());
         if threads <= 1 {
-            self.classify_shard(cnn, &starts, trace, &mut scores);
+            let mut ws = Workspace::new();
+            self.classify_shard(cnn, &mut ws, &starts, trace, &mut scores);
         } else {
             let per_shard = starts.len().div_ceil(threads);
             std::thread::scope(|scope| {
                 for (shard, out) in starts.chunks(per_shard).zip(scores.chunks_mut(per_shard)) {
-                    let mut local_cnn = cnn.clone();
                     scope.spawn(move || {
                         // The shards are the parallelism; the CNN's own batch
                         // fan-out must stay sequential inside them.
                         let _serial = tinynn::parallel::serial_region();
-                        self.classify_shard(&mut local_cnn, shard, trace, out);
+                        let mut ws = Workspace::new();
+                        self.classify_shard(cnn, &mut ws, shard, trace, out);
                     });
                 }
             });
@@ -114,10 +134,11 @@ impl SlidingWindowClassifier {
     /// The pre-optimisation scoring path (per-window `Vec` staging through
     /// [`CoLocatorCnn::stack_windows`]), kept as the reference for regression
     /// tests and the throughput benchmark.
-    pub fn classify_reference(&self, cnn: &mut CoLocatorCnn, trace: &Trace) -> Vec<f32> {
+    pub fn classify_reference(&self, cnn: &CoLocatorCnn, trace: &Trace) -> Vec<f32> {
         let slicer = WindowSlicer::new(self.window_len, self.stride)
             .expect("parameters validated at construction");
         let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
+        let mut ws = Workspace::new();
         let mut scores = Vec::with_capacity(starts.len());
         for chunk in starts.chunks(self.batch_size) {
             let windows: Vec<Vec<f32>> = chunk
@@ -131,7 +152,7 @@ impl SlidingWindowClassifier {
                 })
                 .collect();
             let input = CoLocatorCnn::stack_windows(&windows);
-            scores.extend(cnn.class1_scores(&input));
+            scores.extend(cnn.class1_scores(&input, &mut ws));
         }
         scores
     }
@@ -141,10 +162,11 @@ impl SlidingWindowClassifier {
     /// ([`CoLocatorCnn::class1_scores_reference`]). This is the "before"
     /// measurement for the throughput benchmark; [`Self::classify`] must
     /// produce the same scores to within float reassociation error.
-    pub fn classify_naive(&self, cnn: &mut CoLocatorCnn, trace: &Trace) -> Vec<f32> {
+    pub fn classify_naive(&self, cnn: &CoLocatorCnn, trace: &Trace) -> Vec<f32> {
         let slicer = WindowSlicer::new(self.window_len, self.stride)
             .expect("parameters validated at construction");
         let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
+        let mut ws = Workspace::new();
         let mut scores = Vec::with_capacity(starts.len());
         for chunk in starts.chunks(self.batch_size) {
             let windows: Vec<Vec<f32>> = chunk
@@ -158,14 +180,15 @@ impl SlidingWindowClassifier {
                 })
                 .collect();
             let input = CoLocatorCnn::stack_windows(&windows);
-            scores.extend(cnn.class1_scores_reference(&input));
+            scores.extend(cnn.class1_scores_reference(&input, &mut ws));
         }
         scores
     }
 
     /// Thread count actually used for `windows` windows: the configured (or
     /// auto-detected) count, capped so every shard still gets at least two
-    /// full batches of work (cloning the CNN has a cost).
+    /// full batches of work (thread spawn has a cost, even if the weights are
+    /// no longer cloned).
     fn effective_threads(&self, windows: usize) -> usize {
         let configured =
             if self.threads == 0 { tinynn::parallel::max_threads() } else { self.threads };
@@ -176,7 +199,8 @@ impl SlidingWindowClassifier {
     /// `[batch, 1, N]` tensor and one score buffer for the whole shard.
     fn classify_shard(
         &self,
-        cnn: &mut CoLocatorCnn,
+        cnn: &CoLocatorCnn,
+        ws: &mut Workspace,
         starts: &[usize],
         trace: &Trace,
         out: &mut [f32],
@@ -202,7 +226,7 @@ impl SlidingWindowClassifier {
                     sca_trace::dsp::standardize_in_place(row);
                 }
             }
-            cnn.class1_scores_into(tensor, &mut scores_buf);
+            cnn.class1_scores_into(tensor, ws, &mut scores_buf);
             out[offset..offset + chunk.len()].copy_from_slice(&scores_buf);
             offset += chunk.len();
         }
@@ -233,9 +257,9 @@ mod tests {
         let swc = SlidingWindowClassifier::new(16, 4);
         assert_eq!(swc.output_len(64), (64 - 16) / 4 + 1);
         assert_eq!(swc.output_len(10), 0);
-        let mut cnn = tiny_cnn();
+        let cnn = tiny_cnn();
         let trace = Trace::from_samples(vec![0.1; 64]);
-        let scores = swc.classify(&mut cnn, &trace);
+        let scores = swc.classify(&cnn, &trace);
         assert_eq!(scores.len(), swc.output_len(64));
     }
 
@@ -248,13 +272,12 @@ mod tests {
 
     #[test]
     fn batching_does_not_change_scores() {
-        let mut cnn_a = tiny_cnn();
-        let mut cnn_b = tiny_cnn();
+        let cnn = tiny_cnn();
         let trace = wavy_trace(200);
         let small = SlidingWindowClassifier::new(16, 8).with_batch_size(2);
         let big = SlidingWindowClassifier::new(16, 8).with_batch_size(64);
-        let a = small.classify(&mut cnn_a, &trace);
-        let b = big.classify(&mut cnn_b, &trace);
+        let a = small.classify(&cnn, &trace);
+        let b = big.classify(&cnn, &trace);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
             assert!((x - y).abs() < 1e-4);
@@ -268,8 +291,8 @@ mod tests {
         for (window, stride, batch) in [(16, 8, 4), (16, 4, 7), (24, 16, 64)] {
             let swc = SlidingWindowClassifier::new(window, stride).with_batch_size(batch);
             let trace = wavy_trace(400);
-            let fast = swc.classify(&mut tiny_cnn(), &trace);
-            let reference = swc.classify_reference(&mut tiny_cnn(), &trace);
+            let fast = swc.classify(&tiny_cnn(), &trace);
+            let reference = swc.classify_reference(&tiny_cnn(), &trace);
             assert_eq!(fast.len(), reference.len());
             for (a, b) in fast.iter().zip(reference.iter()) {
                 assert!((a - b).abs() <= 1e-6, "zero-copy {a} vs reference {b}");
@@ -283,8 +306,8 @@ mod tests {
         // seed-equivalent naive path, within float reassociation error.
         let swc = SlidingWindowClassifier::new(24, 8).with_batch_size(8);
         let trace = wavy_trace(300);
-        let fast = swc.classify(&mut tiny_cnn(), &trace);
-        let naive = swc.classify_naive(&mut tiny_cnn(), &trace);
+        let fast = swc.classify(&tiny_cnn(), &trace);
+        let naive = swc.classify_naive(&tiny_cnn(), &trace);
         assert_eq!(fast.len(), naive.len());
         for (a, b) in fast.iter().zip(naive.iter()) {
             assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "optimised {a} vs naive {b}");
@@ -293,12 +316,36 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_scores() {
+        let cnn = tiny_cnn();
         let trace = wavy_trace(600);
         let base = SlidingWindowClassifier::new(16, 4).with_batch_size(4);
-        let sequential = base.with_threads(1).classify(&mut tiny_cnn(), &trace);
+        let sequential = base.with_threads(1).classify(&cnn, &trace);
         for threads in [2usize, 3, 8] {
-            let parallel = base.with_threads(threads).classify(&mut tiny_cnn(), &trace);
+            let parallel = base.with_threads(threads).classify(&cnn, &trace);
             assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn shared_weight_scores_match_staged_reference_across_thread_counts() {
+        // Regression pin for the `&mut self` → `&self` redesign: the shared
+        // weight path (one `&CoLocatorCnn`, per-thread workspaces — the old
+        // path cloned the full CNN per shard per call) must reproduce the
+        // per-window staged reference scores at 1e-6, whatever the thread
+        // count.
+        let cnn = tiny_cnn();
+        let trace = wavy_trace(800);
+        let base = SlidingWindowClassifier::new(16, 4).with_batch_size(4);
+        let reference = base.classify_reference(&cnn, &trace);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let scores = base.with_threads(threads).classify(&cnn, &trace);
+            assert_eq!(scores.len(), reference.len());
+            for (i, (a, b)) in scores.iter().zip(reference.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-6,
+                    "threads={threads} window {i}: shared {a} vs reference {b}"
+                );
+            }
         }
     }
 
@@ -311,8 +358,8 @@ mod tests {
     #[test]
     fn short_trace_yields_no_scores() {
         let swc = SlidingWindowClassifier::new(128, 16);
-        let mut cnn = tiny_cnn();
-        let scores = swc.classify(&mut cnn, &Trace::from_samples(vec![0.0; 50]));
+        let cnn = tiny_cnn();
+        let scores = swc.classify(&cnn, &Trace::from_samples(vec![0.0; 50]));
         assert!(scores.is_empty());
     }
 }

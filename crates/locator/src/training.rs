@@ -4,7 +4,7 @@
 
 use sca_trace::{Dataset, DatasetSplit};
 use serde::{Deserialize, Serialize};
-use tinynn::{accuracy, Adam, ConfusionMatrix, CrossEntropyLoss, DataLoader};
+use tinynn::{accuracy, Adam, ConfusionMatrix, CrossEntropyLoss, DataLoader, Workspace};
 
 use crate::cnn::CoLocatorCnn;
 
@@ -97,15 +97,18 @@ impl Trainer {
         let train_loader = Self::loader(&split.train, self.config.batch_size);
         let mut report = TrainingReport::default();
         let mut best: Option<(f32, CoLocatorCnn)> = None;
+        // One workspace serves every forward/backward pair of the run; its
+        // buffers grow once to the high-water mark and are then reused.
+        let mut ws = Workspace::new();
 
         for epoch in 0..self.config.epochs {
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for batch in train_loader.epoch(self.config.seed.wrapping_add(epoch as u64)) {
-                let logits = cnn.forward(&batch.inputs, true);
+                let logits = cnn.forward(&batch.inputs, &mut ws, true);
                 let (loss, grad) = loss_fn.loss_and_grad(&logits, &batch.labels);
                 cnn.zero_grad();
-                cnn.backward(&grad);
+                cnn.backward(&grad, &mut ws);
                 optim.step(&mut cnn.params_mut());
                 epoch_loss += loss as f64;
                 batches += 1;
@@ -132,15 +135,16 @@ impl Trainer {
     }
 
     /// Mean loss and accuracy of `cnn` over a dataset (no weight updates).
-    pub fn evaluate_loss(&self, cnn: &mut CoLocatorCnn, dataset: &Dataset) -> (f32, f64) {
+    pub fn evaluate_loss(&self, cnn: &CoLocatorCnn, dataset: &Dataset) -> (f32, f64) {
         let loss_fn = CrossEntropyLoss::new();
         let loader = Self::loader(dataset, self.config.batch_size);
+        let mut ws = Workspace::new();
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
         let mut preds = Vec::new();
         let mut labels = Vec::new();
         for batch in loader.sequential() {
-            let logits = cnn.forward(&batch.inputs, false);
+            let logits = cnn.forward(&batch.inputs, &mut ws, false);
             total_loss += loss_fn.loss(&logits, &batch.labels) as f64;
             batches += 1;
             preds.extend(logits.argmax_rows());
@@ -150,12 +154,13 @@ impl Trainer {
     }
 
     /// Builds the test confusion matrix of a trained classifier (Figure 3).
-    pub fn confusion_matrix(&self, cnn: &mut CoLocatorCnn, dataset: &Dataset) -> ConfusionMatrix {
+    pub fn confusion_matrix(&self, cnn: &CoLocatorCnn, dataset: &Dataset) -> ConfusionMatrix {
         let loader = Self::loader(dataset, self.config.batch_size);
         let mut cm = ConfusionMatrix::new(2);
+        let mut ws = Workspace::new();
         let mut preds = Vec::with_capacity(self.config.batch_size);
         for batch in loader.sequential() {
-            cnn.predict_into(&batch.inputs, &mut preds);
+            cnn.predict_into(&batch.inputs, &mut ws, &mut preds);
             cm.record_all(&batch.labels, &preds);
         }
         cm
@@ -196,16 +201,16 @@ mod tests {
         // The loss must decrease from the first to the best epoch.
         assert!(report.validation_losses[report.best_epoch] <= report.validation_losses[0] + 1e-6);
         // Test confusion matrix close to diagonal.
-        let cm = trainer.confusion_matrix(&mut cnn, &split.test);
+        let cm = trainer.confusion_matrix(&cnn, &split.test);
         assert!(cm.accuracy() > 0.9, "confusion matrix:\n{cm}");
     }
 
     #[test]
     fn evaluate_loss_without_training_is_near_chance() {
         let d = separable_dataset(10, 16);
-        let mut cnn = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 2 });
+        let cnn = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 2 });
         let trainer = Trainer::default();
-        let (loss, _acc) = trainer.evaluate_loss(&mut cnn, &d);
+        let (loss, _acc) = trainer.evaluate_loss(&cnn, &d);
         // Untrained binary classifier: loss around ln(2) ~ 0.69.
         assert!(loss > 0.2 && loss < 2.0, "loss = {loss}");
     }

@@ -5,11 +5,18 @@
 //! * convolutional tensors are `[batch, channels, length]`;
 //! * fully-connected tensors are `[batch, features]`.
 //!
-//! Every layer caches what it needs during a *training* `forward` and
-//! consumes the cache in `backward`, which returns the gradient with respect
-//! to the layer input and accumulates parameter gradients into the layer's
-//! [`Param`]s. Inference (`training == false`) skips every cache — forward
-//! passes allocate nothing beyond their output.
+//! Layers hold **parameters only** — weights, biases and (for batch
+//! normalisation) running statistics. Everything a pass needs beyond that —
+//! backward caches, im2col scratch — lives in an explicit [`Workspace`], so
+//! `forward` takes `&self`: one trained network can be shared across threads
+//! (`Layer: Send + Sync`) with a cheap per-thread workspace instead of a
+//! per-thread clone of the weights.
+//!
+//! During a *training* `forward` every layer pushes one cache entry onto the
+//! workspace stack; `backward` (which still takes `&mut self` to accumulate
+//! parameter gradients into the layer's [`Param`]s) pops the entries in
+//! reverse. Inference (`training == false`) records nothing — forward passes
+//! allocate nothing beyond their output.
 //!
 //! The hot paths are built on the [`crate::matmul`] GEMM kernels:
 //! `Conv1d` lowers to im2col → GEMM (and col2im for the input gradient),
@@ -27,26 +34,60 @@ use crate::matmul;
 use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
+use crate::workspace::{LayerCache, Workspace};
 
 /// Work threshold (in FLOPs) below which convolution stays single-threaded.
 const CONV_PAR_MIN_FLOPS: usize = 1 << 21;
 
+/// Panic for a cache entry that does not belong to the popping layer — a
+/// programming error in the forward/backward traversal order, not a user
+/// mistake.
+fn cache_mismatch(layer: &str, found: &LayerCache) -> ! {
+    panic!(
+        "{layer}: workspace cache mismatch (found {} entry; \
+         forward and backward must traverse layers in reverse order)",
+        found.kind()
+    )
+}
+
 /// A differentiable layer.
-pub trait Layer: Send {
+///
+/// Parameters are shared state (`&self` forward); per-call scratch and
+/// backward caches live in the caller-provided [`Workspace`].
+pub trait Layer: Send + Sync {
     /// Computes the layer output. `training` selects batch statistics vs.
-    /// running statistics in normalisation layers and controls whether the
-    /// backward caches are recorded (inference skips them entirely).
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+    /// running statistics in normalisation layers and controls whether a
+    /// backward cache is pushed onto `ws` (inference pushes nothing).
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor;
 
     /// Back-propagates `grad_output`, returning the gradient with respect to
     /// the layer input and accumulating parameter gradients.
     ///
-    /// Must be called after a `forward` pass with `training == true` (the
-    /// layer uses its cache).
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+    /// Must be called after a `forward` pass with `training == true` on the
+    /// same workspace (the layer pops its cache from `ws`).
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor;
 
-    /// Mutable access to the layer's trainable parameters.
+    /// Shared access to the layer's trainable parameters, in a fixed order
+    /// matching [`Layer::params_mut`].
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the layer's trainable parameters, in a fixed order
+    /// matching [`Layer::params`].
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to the layer's non-trainable state buffers (batch-norm
+    /// running statistics), in a fixed order matching [`Layer::buffers_mut`].
+    fn buffers(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    /// Mutable access to the layer's non-trainable state buffers, in a fixed
+    /// order matching [`Layer::buffers`].
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         Vec::new()
     }
 
@@ -58,8 +99,8 @@ pub trait Layer: Send {
     }
 
     /// Total number of trainable scalars.
-    fn param_count(&mut self) -> usize {
-        self.params_mut().iter().map(|p| p.len()).sum()
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
     }
 }
 
@@ -68,39 +109,35 @@ pub trait Layer: Send {
 // ---------------------------------------------------------------------------
 
 /// Rectified linear unit.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Relu {
-    mask: Vec<bool>,
-}
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Relu;
 
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        Self::default()
+        Self
     }
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         if training {
-            self.mask = input.data().iter().map(|&v| v > 0.0).collect();
-        } else {
-            self.mask.clear();
+            ws.push(LayerCache::Mask(input.data().iter().map(|&v| v > 0.0).collect()));
         }
         let data = input.data().iter().map(|&v| v.max(0.0)).collect();
         Tensor::from_vec(data, input.shape())
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        assert_eq!(
-            grad_output.len(),
-            self.mask.len(),
-            "Relu: backward called before forward with training=true"
-        );
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mask = match ws.pop("Relu") {
+            LayerCache::Mask(mask) => mask,
+            other => cache_mismatch("Relu", &other),
+        };
+        assert_eq!(grad_output.len(), mask.len(), "Relu: gradient/mask length mismatch");
         let data = grad_output
             .data()
             .iter()
-            .zip(self.mask.iter())
+            .zip(mask.iter())
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
         Tensor::from_vec(data, grad_output.shape())
@@ -118,7 +155,6 @@ pub struct Linear {
     bias: Param,
     in_features: usize,
     out_features: usize,
-    cache_input: Option<Tensor>,
 }
 
 impl Linear {
@@ -129,7 +165,6 @@ impl Linear {
             bias: Param::new(Tensor::zeros(&[out_features])),
             in_features,
             out_features,
-            cache_input: None,
         }
     }
 
@@ -189,7 +224,7 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         assert_eq!(input.shape().len(), 2, "Linear expects a 2-D input");
         assert_eq!(input.shape()[1], self.in_features, "Linear input feature mismatch");
         let batch = input.shape()[0];
@@ -205,15 +240,17 @@ impl Layer for Linear {
             self.in_features,
             self.out_features,
         );
-        self.cache_input = if training { Some(input.clone()) } else { None };
+        if training {
+            ws.push(LayerCache::Input(input.clone()));
+        }
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cache_input
-            .take()
-            .expect("Linear: backward called before forward with training=true");
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
+        let input = match ws.pop("Linear") {
+            LayerCache::Input(input) => input,
+            other => cache_mismatch("Linear", &other),
+        };
         let batch = input.shape()[0];
         let mut grad_input = Tensor::zeros(&[batch, self.in_features]);
         // dX = dY · W
@@ -241,8 +278,11 @@ impl Layer for Linear {
                 *bg += g;
             }
         }
-        self.cache_input = Some(input);
         grad_input
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -255,8 +295,8 @@ impl Layer for Linear {
 // ---------------------------------------------------------------------------
 
 thread_local! {
-    /// Per-thread im2col scratch buffer, reused across forward calls so
-    /// steady-state inference performs no allocation for the lowering.
+    /// Per-thread im2col scratch used only when the batch fans out across
+    /// threads (worker threads cannot share the caller's workspace buffer).
     static COL_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -320,7 +360,9 @@ fn col2im_add(
 /// `[out_c, in_c, kernel]` weight tensor is row-major exactly the
 /// `[out_c, in_c*kernel]` GEMM operand, and the im2col matrix is built with
 /// contiguous row copies, so the whole convolution is three cache-blocked
-/// matrix products. Batches fan out across threads at inference.
+/// matrix products. Batches fan out across threads at inference; the im2col
+/// scratch comes from the workspace on the sequential paths and from a
+/// per-thread buffer inside the fan-out.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Conv1d {
     weight: Param, // [out_c, in_c, k]
@@ -328,7 +370,6 @@ pub struct Conv1d {
     in_channels: usize,
     out_channels: usize,
     kernel_size: usize,
-    cache_input: Option<Tensor>,
 }
 
 impl Conv1d {
@@ -350,7 +391,6 @@ impl Conv1d {
             in_channels,
             out_channels,
             kernel_size,
-            cache_input: None,
         }
     }
 
@@ -442,7 +482,7 @@ impl Conv1d {
 }
 
 impl Layer for Conv1d {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         assert_eq!(input.shape().len(), 3, "Conv1d expects a 3-D input [B, C, N]");
         assert_eq!(input.shape()[1], self.in_channels, "Conv1d channel mismatch");
         let (batch, len) = (input.shape()[0], input.shape()[2]);
@@ -453,20 +493,29 @@ impl Layer for Conv1d {
         let x = input.data();
         let w = self.weight.value.data();
         let bias = self.bias.value.data();
-        if batch == 1 {
-            // Single window: parallelise inside the GEMM instead of over the
-            // batch dimension.
-            COL_BUF.with_borrow_mut(|col| {
-                im2col(col, x, in_c, len, k, pad);
-                let out_b = out.data_mut();
+        let flops = 2 * batch * out_c * ck * len;
+        let threads = if batch == 1 {
+            1
+        } else {
+            parallel::thread_count_for(batch, flops, CONV_PAR_MIN_FLOPS)
+        };
+        if threads <= 1 {
+            // Sequential over the batch: reuse the workspace im2col buffer
+            // across items (and across layers of the whole pass). A single
+            // window additionally parallelises inside the GEMM.
+            let col = &mut ws.col;
+            for (b, out_b) in out.data_mut().chunks_mut(out_c * len).enumerate() {
+                im2col(col, &x[b * in_c * len..(b + 1) * in_c * len], in_c, len, k, pad);
                 for (oc, out_row) in out_b.chunks_mut(len).enumerate() {
                     out_row.fill(bias[oc]);
                 }
-                matmul::matmul_par(out_b, w, col, out_c, ck, len);
-            });
+                if batch == 1 {
+                    matmul::matmul_par(out_b, w, col, out_c, ck, len);
+                } else {
+                    matmul::matmul(out_b, w, col, out_c, ck, len);
+                }
+            }
         } else {
-            let flops = 2 * batch * out_c * ck * len;
-            let threads = parallel::thread_count_for(batch, flops, CONV_PAR_MIN_FLOPS);
             parallel::for_each_item_mut(out.data_mut(), out_c * len, threads, |b, out_b| {
                 COL_BUF.with_borrow_mut(|col| {
                     im2col(col, &x[b * in_c * len..(b + 1) * in_c * len], in_c, len, k, pad);
@@ -477,48 +526,54 @@ impl Layer for Conv1d {
                 });
             });
         }
-        self.cache_input = if training { Some(input.clone()) } else { None };
+        if training {
+            ws.push(LayerCache::Input(input.clone()));
+        }
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cache_input
-            .take()
-            .expect("Conv1d: backward called before forward with training=true");
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
+        let input = match ws.pop("Conv1d") {
+            LayerCache::Input(input) => input,
+            other => cache_mismatch("Conv1d", &other),
+        };
         let (batch, len) = (input.shape()[0], input.shape()[2]);
         let (in_c, out_c, k) = (self.in_channels, self.out_channels, self.kernel_size);
         let ck = in_c * k;
         let pad = self.pad_left();
         let mut grad_input = Tensor::zeros(&[batch, in_c, len]);
-        let mut col: Vec<f32> = Vec::new();
-        let mut dcol = vec![0.0f32; ck * len];
+        let col = &mut ws.col;
+        let dcol = &mut ws.dcol;
+        dcol.resize(ck * len, 0.0);
         let w = self.weight.value.data();
         for b in 0..batch {
             let g_b = &grad_output.data()[b * out_c * len..(b + 1) * out_c * len];
             let x_b = &input.data()[b * in_c * len..(b + 1) * in_c * len];
-            im2col(&mut col, x_b, in_c, len, k, pad);
+            im2col(col, x_b, in_c, len, k, pad);
             // db += row sums of dY
             let grad_bias = self.bias.grad.data_mut();
             for (oc, g_row) in g_b.chunks(len).enumerate() {
                 grad_bias[oc] += g_row.iter().sum::<f32>();
             }
             // dW += dY · colᵀ
-            matmul::matmul_a_bt(self.weight.grad.data_mut(), g_b, &col, out_c, len, ck);
+            matmul::matmul_a_bt(self.weight.grad.data_mut(), g_b, col, out_c, len, ck);
             // dcol = Wᵀ · dY, then scatter back onto the input gradient.
-            dcol.fill(0.0);
-            matmul::matmul_at_b(&mut dcol, w, g_b, out_c, ck, len);
+            dcol[..ck * len].fill(0.0);
+            matmul::matmul_at_b(&mut dcol[..ck * len], w, g_b, out_c, ck, len);
             col2im_add(
                 &mut grad_input.data_mut()[b * in_c * len..(b + 1) * in_c * len],
-                &dcol,
+                &dcol[..ck * len],
                 in_c,
                 len,
                 k,
                 pad,
             );
         }
-        self.cache_input = Some(input);
         grad_input
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -533,6 +588,12 @@ impl Layer for Conv1d {
 /// Batch normalisation over `[B, C, N]` tensors (per-channel statistics over
 /// the batch and temporal dimensions), as used after every convolution in the
 /// paper's network.
+///
+/// `forward` takes `&self`, so the running statistics cannot be advanced
+/// there; a training forward caches the batch mean/variance in the workspace
+/// and **`backward` commits them** to the running statistics (backward is the
+/// only `&mut self` phase of a training step). A training forward without a
+/// matching backward therefore leaves the running statistics untouched.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchNorm1d {
     gamma: Param,
@@ -542,13 +603,6 @@ pub struct BatchNorm1d {
     momentum: f32,
     eps: f32,
     channels: usize,
-    cache: Option<BnCache>,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct BnCache {
-    x_hat: Tensor,
-    std_inv: Vec<f32>,
 }
 
 impl BatchNorm1d {
@@ -564,7 +618,6 @@ impl BatchNorm1d {
             momentum: 0.1,
             eps: 1e-5,
             channels,
-            cache: None,
         }
     }
 
@@ -580,7 +633,7 @@ impl BatchNorm1d {
 }
 
 impl Layer for BatchNorm1d {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         assert_eq!(input.shape().len(), 3, "BatchNorm1d expects a 3-D input");
         assert_eq!(input.shape()[1], self.channels, "BatchNorm1d channel mismatch");
         let (batch, len) = (input.shape()[0], input.shape()[2]);
@@ -590,6 +643,7 @@ impl Layer for BatchNorm1d {
 
         // Per-channel statistics over contiguous [b, c] slices.
         let mut mean_c = vec![0.0f32; channels];
+        let mut var_c = vec![0.0f32; channels];
         let mut std_inv = vec![0.0f32; channels];
         for c in 0..channels {
             let (mean, var) = if training {
@@ -606,16 +660,12 @@ impl Layer for BatchNorm1d {
                         var_sum += ((v - mean) as f64).powi(2);
                     }
                 }
-                let var = (var_sum / m as f64) as f32;
-                self.running_mean[c] =
-                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean;
-                self.running_var[c] =
-                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var;
-                (mean, var)
+                (mean, (var_sum / m as f64) as f32)
             } else {
                 (self.running_mean[c], self.running_var[c])
             };
             mean_c[c] = mean;
+            var_c[c] = var;
             std_inv[c] = 1.0 / (var + self.eps).sqrt();
         }
 
@@ -639,7 +689,7 @@ impl Layer for BatchNorm1d {
                     }
                 }
             }
-            self.cache = Some(BnCache { x_hat, std_inv });
+            ws.push(LayerCache::Bn { x_hat, std_inv, mean: mean_c, var: var_c });
         } else {
             // Inference: fold (mean, inv, gamma, beta) into a single affine
             // transform per channel and skip the cache.
@@ -655,24 +705,31 @@ impl Layer for BatchNorm1d {
                     }
                 }
             }
-            self.cache = None;
         }
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("BatchNorm1d: backward called before forward with training=true");
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (x_hat, std_inv, mean, var) = match ws.pop("BatchNorm1d") {
+            LayerCache::Bn { x_hat, std_inv, mean, var } => (x_hat, std_inv, mean, var),
+            other => cache_mismatch("BatchNorm1d", &other),
+        };
+        // Commit the batch statistics of the matching forward to the running
+        // statistics (deferred from forward, which is `&self`).
+        for c in 0..self.channels {
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+            self.running_var[c] =
+                (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+        }
         let (batch, len) = (grad_output.shape()[0], grad_output.shape()[2]);
         let channels = self.channels;
         let m = (batch * len) as f32;
         let dy = grad_output.data();
-        let hat = cache.x_hat.data();
+        let hat = x_hat.data();
         let mut grad_input = Tensor::zeros(grad_output.shape());
         let gi = grad_input.data_mut();
-        for c in 0..channels {
+        for (c, &inv) in std_inv.iter().enumerate() {
             let mut sum_dy = 0.0f64;
             let mut sum_dy_xhat = 0.0f64;
             for b in 0..batch {
@@ -685,7 +742,6 @@ impl Layer for BatchNorm1d {
             self.beta.grad.data_mut()[c] += sum_dy as f32;
             self.gamma.grad.data_mut()[c] += sum_dy_xhat as f32;
             let g = self.gamma.value.data()[c];
-            let inv = cache.std_inv[c];
             let mean_dy = sum_dy as f32 / m;
             let mean_dy_xhat = sum_dy_xhat as f32 / m;
             for b in 0..batch {
@@ -698,8 +754,20 @@ impl Layer for BatchNorm1d {
         grad_input
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers(&self) -> Vec<&[f32]> {
+        vec![&self.running_mean, &self.running_var]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        vec![&mut self.running_mean, &mut self.running_var]
     }
 }
 
@@ -711,20 +779,18 @@ impl Layer for BatchNorm1d {
 ///
 /// This is the layer that lets the paper use a different window length at
 /// inference time (`N_inf`) than at training time (`N_train`).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct GlobalAvgPool1d {
-    cache_shape: Vec<usize>,
-}
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct GlobalAvgPool1d;
 
 impl GlobalAvgPool1d {
     /// Creates a global average pooling layer.
     pub fn new() -> Self {
-        Self::default()
+        Self
     }
 }
 
 impl Layer for GlobalAvgPool1d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         assert_eq!(input.shape().len(), 3, "GlobalAvgPool1d expects a 3-D input");
         let (batch, channels, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let mut out = Tensor::zeros(&[batch, channels]);
@@ -732,14 +798,19 @@ impl Layer for GlobalAvgPool1d {
         for (dst, row) in out.data_mut().iter_mut().zip(input.data().chunks(len)) {
             *dst = row.iter().sum::<f32>() * inv_len;
         }
-        self.cache_shape = input.shape().to_vec();
+        if training {
+            ws.push(LayerCache::Shape(input.shape().to_vec()));
+        }
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        assert!(!self.cache_shape.is_empty(), "GlobalAvgPool1d: backward called before forward");
-        let len = self.cache_shape[2];
-        let mut grad_input = Tensor::zeros(&self.cache_shape);
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
+        let shape = match ws.pop("GlobalAvgPool1d") {
+            LayerCache::Shape(shape) => shape,
+            other => cache_mismatch("GlobalAvgPool1d", &other),
+        };
+        let len = shape[2];
+        let mut grad_input = Tensor::zeros(&shape);
         for (row, &g) in grad_input.data_mut().chunks_mut(len).zip(grad_output.data().iter()) {
             row.fill(g / len as f32);
         }
@@ -755,17 +826,10 @@ impl Layer for GlobalAvgPool1d {
 ///
 /// Operates on contiguous channel slices; during training the flat arg-max
 /// index of every window is cached so `backward` is a single scatter pass.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MaxPool1d {
     kernel_size: usize,
     stride: usize,
-    cache: Option<MaxPoolCache>,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct MaxPoolCache {
-    argmax: Vec<usize>,
-    input_shape: Vec<usize>,
 }
 
 impl MaxPool1d {
@@ -777,7 +841,7 @@ impl MaxPool1d {
     pub fn new(kernel_size: usize, stride: usize) -> Self {
         assert!(kernel_size > 0, "kernel size must be non-zero");
         assert!(stride > 0, "stride must be non-zero");
-        Self { kernel_size, stride, cache: None }
+        Self { kernel_size, stride }
     }
 
     /// Pooling window size.
@@ -801,7 +865,7 @@ impl MaxPool1d {
 }
 
 impl Layer for MaxPool1d {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         assert_eq!(input.shape().len(), 3, "MaxPool1d expects a 3-D input [B, C, N]");
         let (batch, channels, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let out_len = self.output_len(len);
@@ -829,22 +893,20 @@ impl Layer for MaxPool1d {
                 }
             }
         }
-        self.cache = if training {
-            Some(MaxPoolCache { argmax, input_shape: input.shape().to_vec() })
-        } else {
-            None
-        };
+        if training {
+            ws.push(LayerCache::Argmax { argmax, input_shape: input.shape().to_vec() });
+        }
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("MaxPool1d: backward called before forward with training=true");
-        let mut grad_input = Tensor::zeros(&cache.input_shape);
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (argmax, input_shape) = match ws.pop("MaxPool1d") {
+            LayerCache::Argmax { argmax, input_shape } => (argmax, input_shape),
+            other => cache_mismatch("MaxPool1d", &other),
+        };
+        let mut grad_input = Tensor::zeros(&input_shape);
         let gi = grad_input.data_mut();
-        for (&idx, &g) in cache.argmax.iter().zip(grad_output.data().iter()) {
+        for (&idx, &g) in argmax.iter().zip(grad_output.data().iter()) {
             gi[idx] += g;
         }
         grad_input
@@ -869,7 +931,6 @@ pub struct ResidualBlock1d {
     bn2: BatchNorm1d,
     projection: Option<(Conv1d, BatchNorm1d)>,
     relu_out: Relu,
-    cache_main: Option<Tensor>,
 }
 
 impl ResidualBlock1d {
@@ -892,7 +953,6 @@ impl ResidualBlock1d {
             bn2: BatchNorm1d::new(out_channels),
             projection,
             relu_out: Relu::new(),
-            cache_main: None,
         }
     }
 
@@ -905,62 +965,75 @@ impl ResidualBlock1d {
     /// [`Conv1d::forward_reference`]. The non-conv layers are elementwise in
     /// both implementations, so this reproduces the pre-GEMM baseline cost
     /// profile for throughput benchmarks and parity tests.
-    pub fn forward_reference(&mut self, input: &Tensor) -> Tensor {
+    pub fn forward_reference(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         let mut main = self.conv1.forward_reference(input);
-        main = self.bn1.forward(&main, false);
-        main = self.relu1.forward(&main, false);
+        main = self.bn1.forward(&main, ws, false);
+        main = self.relu1.forward(&main, ws, false);
         main = self.conv2.forward_reference(&main);
-        main = self.bn2.forward(&main, false);
-        let shortcut = match self.projection.as_mut() {
+        main = self.bn2.forward(&main, ws, false);
+        let shortcut = match self.projection.as_ref() {
             Some((conv, bn)) => {
                 let s = conv.forward_reference(input);
-                bn.forward(&s, false)
+                bn.forward(&s, ws, false)
             }
             None => input.clone(),
         };
         let mut sum = main;
         sum.add_assign(&shortcut);
-        self.relu_out.forward(&sum, false)
+        self.relu_out.forward(&sum, ws, false)
     }
 }
 
 impl Layer for ResidualBlock1d {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
-        let mut main = self.conv1.forward(input, training);
-        main = self.bn1.forward(&main, training);
-        main = self.relu1.forward(&main, training);
-        main = self.conv2.forward(&main, training);
-        main = self.bn2.forward(&main, training);
-        let shortcut = match self.projection.as_mut() {
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
+        let mut main = self.conv1.forward(input, ws, training);
+        main = self.bn1.forward(&main, ws, training);
+        main = self.relu1.forward(&main, ws, training);
+        main = self.conv2.forward(&main, ws, training);
+        main = self.bn2.forward(&main, ws, training);
+        let shortcut = match self.projection.as_ref() {
             Some((conv, bn)) => {
-                let s = conv.forward(input, training);
-                bn.forward(&s, training)
+                let s = conv.forward(input, ws, training);
+                bn.forward(&s, ws, training)
             }
             None => input.clone(),
         };
         let mut sum = main;
         sum.add_assign(&shortcut);
-        self.cache_main = if training { Some(sum.clone()) } else { None };
-        self.relu_out.forward(&sum, training)
+        self.relu_out.forward(&sum, ws, training)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let grad_sum = self.relu_out.backward(grad_output);
-        // Main branch.
-        let g = self.bn2.backward(&grad_sum);
-        let g = self.conv2.backward(&g);
-        let g = self.relu1.backward(&g);
-        let g = self.bn1.backward(&g);
-        let grad_main_input = self.conv1.backward(&g);
-        // Shortcut branch.
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
+        // Pop order must be the exact reverse of the forward push order:
+        // relu_out, [projection bn, projection conv], bn2, conv2, relu1, bn1,
+        // conv1 — so the shortcut branch unwinds before the main branch.
+        let grad_sum = self.relu_out.backward(grad_output, ws);
         let grad_shortcut_input = match self.projection.as_mut() {
             Some((conv, bn)) => {
-                let g = bn.backward(&grad_sum);
-                conv.backward(&g)
+                let g = bn.backward(&grad_sum, ws);
+                conv.backward(&g, ws)
             }
             None => grad_sum.clone(),
         };
+        let g = self.bn2.backward(&grad_sum, ws);
+        let g = self.conv2.backward(&g, ws);
+        let g = self.relu1.backward(&g, ws);
+        let g = self.bn1.backward(&g, ws);
+        let grad_main_input = self.conv1.backward(&g, ws);
         grad_main_input.add(&grad_shortcut_input)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut params = Vec::new();
+        params.extend(self.conv1.params());
+        params.extend(self.bn1.params());
+        params.extend(self.conv2.params());
+        params.extend(self.bn2.params());
+        if let Some((conv, bn)) = self.projection.as_ref() {
+            params.extend(conv.params());
+            params.extend(bn.params());
+        }
+        params
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -974,6 +1047,26 @@ impl Layer for ResidualBlock1d {
             params.extend(bn.params_mut());
         }
         params
+    }
+
+    fn buffers(&self) -> Vec<&[f32]> {
+        let mut buffers = Vec::new();
+        buffers.extend(self.bn1.buffers());
+        buffers.extend(self.bn2.buffers());
+        if let Some((_, bn)) = self.projection.as_ref() {
+            buffers.extend(bn.buffers());
+        }
+        buffers
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        let mut buffers = Vec::new();
+        buffers.extend(self.bn1.buffers_mut());
+        buffers.extend(self.bn2.buffers_mut());
+        if let Some((_, bn)) = self.projection.as_mut() {
+            buffers.extend(bn.buffers_mut());
+        }
+        buffers
     }
 }
 
@@ -1010,24 +1103,36 @@ impl std::fmt::Debug for Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         let mut x = input.clone();
-        for layer in self.layers.iter_mut() {
-            x = layer.forward(&x, training);
+        for layer in self.layers.iter() {
+            x = layer.forward(&x, ws, training);
         }
         x
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            g = layer.backward(&g, ws);
         }
         g
     }
 
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn buffers(&self) -> Vec<&[f32]> {
+        self.layers.iter().flat_map(|l| l.buffers()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        self.layers.iter_mut().flat_map(|l| l.buffers_mut()).collect()
     }
 }
 
@@ -1035,20 +1140,32 @@ impl Layer for Sequential {
 mod tests {
     use super::*;
 
-    /// Numerical gradient check of a layer's input gradient and parameter
-    /// gradients on a tiny random problem.
-    fn gradcheck<L: Layer>(layer: &mut L, input_shape: &[usize], tolerance: f32) {
+    /// Numerical gradient check of a layer's input gradient on a tiny random
+    /// problem. `probe_training` selects the mode of the finite-difference
+    /// probes: layers with batch statistics (BatchNorm, residual blocks) must
+    /// probe in training mode because those statistics are part of the
+    /// function being differentiated; stateless layers probe in inference
+    /// mode so the probes push no caches.
+    fn gradcheck_mode<L: Layer>(
+        layer: &mut L,
+        input_shape: &[usize],
+        tolerance: f32,
+        probe_training: bool,
+    ) {
+        let mut ws = Workspace::new();
         let input = init::uniform(input_shape, -1.0, 1.0, 99);
         // Scalar objective: weighted sum of outputs (weights fixed).
-        let out = layer.forward(&input, true);
+        let out = layer.forward(&input, &mut ws, true);
+        ws.clear();
         let obj_weights = init::uniform(out.shape(), -1.0, 1.0, 123);
         let objective = |out: &Tensor| -> f32 {
             out.data().iter().zip(obj_weights.data().iter()).map(|(a, b)| a * b).sum()
         };
         // Analytic gradients.
         layer.zero_grad();
-        let _ = layer.forward(&input, true);
-        let grad_input = layer.backward(&obj_weights);
+        let _ = layer.forward(&input, &mut ws, true);
+        let grad_input = layer.backward(&obj_weights, &mut ws);
+        assert_eq!(ws.cache_depth(), 0, "backward must consume every cache");
         // Numeric input gradient (spot-check a handful of coordinates).
         let eps = 1e-2f32;
         let check_idx: Vec<usize> =
@@ -1058,8 +1175,9 @@ mod tests {
             plus.data_mut()[idx] += eps;
             let mut minus = input.clone();
             minus.data_mut()[idx] -= eps;
-            let f_plus = objective(&layer.forward(&plus, true));
-            let f_minus = objective(&layer.forward(&minus, true));
+            let f_plus = objective(&layer.forward(&plus, &mut ws, probe_training));
+            let f_minus = objective(&layer.forward(&minus, &mut ws, probe_training));
+            ws.clear();
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let analytic = grad_input.data()[idx];
             assert!(
@@ -1069,26 +1187,36 @@ mod tests {
         }
     }
 
+    fn gradcheck<L: Layer>(layer: &mut L, input_shape: &[usize], tolerance: f32) {
+        gradcheck_mode(layer, input_shape, tolerance, false);
+    }
+
+    fn gradcheck_training_probes<L: Layer>(layer: &mut L, input_shape: &[usize], tolerance: f32) {
+        gradcheck_mode(layer, input_shape, tolerance, true);
+    }
+
     #[test]
     fn relu_forward_backward() {
         let mut relu = Relu::new();
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -3.0], &[1, 4]);
-        let y = relu.forward(&x, true);
+        let y = relu.forward(&x, &mut ws, true);
         assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
-        let g = relu.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 4]));
+        let g = relu.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 4]), &mut ws);
         assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]
     fn linear_known_values() {
         let mut lin = Linear::new(2, 1, 1);
+        let mut ws = Workspace::new();
         // Overwrite weights for a deterministic check: y = 2*x0 - x1 + 0.5
         lin.weight.value = Tensor::from_vec(vec![2.0, -1.0], &[1, 2]);
         lin.bias.value = Tensor::from_vec(vec![0.5], &[1]);
         let x = Tensor::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
-        let y = lin.forward(&x, true);
+        let y = lin.forward(&x, &mut ws, true);
         assert_eq!(y.data(), &[0.5, -0.5]);
-        let g = lin.backward(&Tensor::from_rows(&[vec![1.0], vec![1.0]]));
+        let g = lin.backward(&Tensor::from_rows(&[vec![1.0], vec![1.0]]), &mut ws);
         // dL/dx = w for unit output grads.
         assert_eq!(g.data(), &[2.0, -1.0, 2.0, -1.0]);
         // dL/dw = sum of inputs, dL/db = 2.
@@ -1104,9 +1232,10 @@ mod tests {
 
     #[test]
     fn linear_matches_reference() {
-        let mut lin = Linear::new(7, 4, 9);
+        let lin = Linear::new(7, 4, 9);
+        let mut ws = Workspace::new();
         let x = init::uniform(&[5, 7], -1.0, 1.0, 21);
-        let fast = lin.forward(&x, true);
+        let fast = lin.forward(&x, &mut ws, false);
         let slow = lin.forward_reference(&x);
         for (a, b) in fast.data().iter().zip(slow.data().iter()) {
             assert!((a - b).abs() < 1e-5);
@@ -1116,19 +1245,21 @@ mod tests {
     #[test]
     fn conv1d_identity_kernel() {
         let mut conv = Conv1d::new(1, 1, 1, 1);
+        let mut ws = Workspace::new();
         conv.weight.value = Tensor::from_vec(vec![1.0], &[1, 1, 1]);
         conv.bias.value = Tensor::from_vec(vec![0.0], &[1]);
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
-        let y = conv.forward(&x, true);
+        let y = conv.forward(&x, &mut ws, true);
         assert_eq!(y.data(), x.data());
     }
 
     #[test]
     fn conv1d_same_padding_keeps_length() {
+        let mut ws = Workspace::new();
         for k in [1usize, 3, 4, 7, 8] {
-            let mut conv = Conv1d::new(2, 3, k, 5);
+            let conv = Conv1d::new(2, 3, k, 5);
             let x = init::uniform(&[2, 2, 10], -1.0, 1.0, 7);
-            let y = conv.forward(&x, true);
+            let y = conv.forward(&x, &mut ws, false);
             assert_eq!(y.shape(), &[2, 3, 10], "kernel {k}");
         }
     }
@@ -1136,10 +1267,11 @@ mod tests {
     #[test]
     fn conv1d_moving_average_kernel() {
         let mut conv = Conv1d::new(1, 1, 3, 1);
+        let mut ws = Workspace::new();
         conv.weight.value = Tensor::from_vec(vec![1.0 / 3.0; 3], &[1, 1, 3]);
         conv.bias.value = Tensor::from_vec(vec![0.0], &[1]);
         let x = Tensor::from_vec(vec![3.0, 3.0, 3.0, 3.0, 3.0], &[1, 1, 5]);
-        let y = conv.forward(&x, true);
+        let y = conv.forward(&x, &mut ws, false);
         // Interior samples see the full window, borders see 2/3 of it.
         assert!((y.at3(0, 0, 2) - 3.0).abs() < 1e-6);
         assert!((y.at3(0, 0, 0) - 2.0).abs() < 1e-6);
@@ -1153,12 +1285,13 @@ mod tests {
 
     #[test]
     fn conv1d_matches_reference() {
+        let mut ws = Workspace::new();
         for &(in_c, out_c, k, len, batch) in
             &[(1usize, 2usize, 3usize, 16usize, 2usize), (2, 3, 4, 9, 3), (3, 2, 7, 32, 1)]
         {
-            let mut conv = Conv1d::new(in_c, out_c, k, 13);
+            let conv = Conv1d::new(in_c, out_c, k, 13);
             let x = init::uniform(&[batch, in_c, len], -1.0, 1.0, 17);
-            let fast = conv.forward(&x, true);
+            let fast = conv.forward(&x, &mut ws, false);
             let slow = conv.forward_reference(&x);
             for (a, b) in fast.data().iter().zip(slow.data().iter()) {
                 assert!((a - b).abs() < 1e-5, "in_c={in_c} out_c={out_c} k={k}");
@@ -1168,28 +1301,31 @@ mod tests {
 
     #[test]
     fn conv1d_inference_skips_cache() {
-        let mut conv = Conv1d::new(1, 2, 3, 3);
+        let conv = Conv1d::new(1, 2, 3, 3);
+        let mut ws = Workspace::new();
         let x = Tensor::zeros(&[1, 1, 8]);
-        let _ = conv.forward(&x, false);
-        assert!(conv.cache_input.is_none(), "inference must not cache the input");
-        let _ = conv.forward(&x, true);
-        assert!(conv.cache_input.is_some(), "training must cache the input");
+        let _ = conv.forward(&x, &mut ws, false);
+        assert_eq!(ws.cache_depth(), 0, "inference must not record a cache");
+        let _ = conv.forward(&x, &mut ws, true);
+        assert_eq!(ws.cache_depth(), 1, "training must record a cache");
     }
 
     #[test]
     #[should_panic(expected = "backward called before forward")]
     fn conv1d_backward_after_inference_panics() {
         let mut conv = Conv1d::new(1, 1, 3, 3);
+        let mut ws = Workspace::new();
         let x = Tensor::zeros(&[1, 1, 8]);
-        let y = conv.forward(&x, false);
-        let _ = conv.backward(&y);
+        let y = conv.forward(&x, &mut ws, false);
+        let _ = conv.backward(&y, &mut ws);
     }
 
     #[test]
     fn batchnorm_normalises_in_training() {
-        let mut bn = BatchNorm1d::new(1);
+        let bn = BatchNorm1d::new(1);
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 1, 3]);
-        let y = bn.forward(&x, true);
+        let y = bn.forward(&x, &mut ws, true);
         let mean: f32 = y.data().iter().sum::<f32>() / 6.0;
         let var: f32 = y.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 6.0;
         assert!(mean.abs() < 1e-5);
@@ -1199,31 +1335,55 @@ mod tests {
     #[test]
     fn batchnorm_eval_uses_running_stats() {
         let mut bn = BatchNorm1d::new(1);
-        // Run several training batches to populate running statistics.
+        let mut ws = Workspace::new();
+        // Run several training forward/backward pairs to populate the running
+        // statistics (they are committed during backward).
         for seed in 0..20u64 {
             let x = init::uniform(&[4, 1, 8], 4.0, 6.0, seed);
-            let _ = bn.forward(&x, true);
+            let y = bn.forward(&x, &mut ws, true);
+            let _ = bn.backward(&Tensor::zeros(y.shape()), &mut ws);
         }
         // In eval mode a constant input centred on the running mean maps near zero.
         let x = Tensor::from_vec(vec![5.0; 8], &[1, 1, 8]);
-        let y = bn.forward(&x, false);
+        let y = bn.forward(&x, &mut ws, false);
         assert!(y.data().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn batchnorm_stats_commit_in_backward_not_forward() {
+        let mut bn = BatchNorm1d::new(1);
+        let mut ws = Workspace::new();
+        let before = bn.buffers().iter().map(|b| b.to_vec()).collect::<Vec<_>>();
+        let x = init::uniform(&[2, 1, 8], 4.0, 6.0, 1);
+        let y = bn.forward(&x, &mut ws, true);
+        assert_eq!(
+            bn.buffers().iter().map(|b| b.to_vec()).collect::<Vec<_>>(),
+            before,
+            "a training forward alone must not advance the running statistics"
+        );
+        let _ = bn.backward(&Tensor::zeros(y.shape()), &mut ws);
+        assert_ne!(
+            bn.buffers().iter().map(|b| b.to_vec()).collect::<Vec<_>>(),
+            before,
+            "backward must commit the batch statistics"
+        );
     }
 
     #[test]
     fn batchnorm_gradcheck() {
         let mut bn = BatchNorm1d::new(2);
-        gradcheck(&mut bn, &[3, 2, 4], 3e-2);
+        gradcheck_training_probes(&mut bn, &[3, 2, 4], 3e-2);
     }
 
     #[test]
     fn global_avg_pool_values_and_shape() {
         let mut pool = GlobalAvgPool1d::new();
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 4]);
-        let y = pool.forward(&x, true);
+        let y = pool.forward(&x, &mut ws, true);
         assert_eq!(y.shape(), &[1, 2]);
         assert_eq!(y.data(), &[4.0, 2.0]);
-        let g = pool.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]));
+        let g = pool.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]), &mut ws);
         assert_eq!(g.shape(), &[1, 2, 4]);
         assert_eq!(g.at3(0, 0, 0), 1.0);
         assert_eq!(g.at3(0, 1, 3), 2.0);
@@ -1232,20 +1392,22 @@ mod tests {
     #[test]
     fn max_pool_values_and_backward() {
         let mut pool = MaxPool1d::new(2, 2);
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 2.0, -1.0, 0.0, 5.0, 4.0], &[1, 2, 4]);
-        let y = pool.forward(&x, true);
+        let y = pool.forward(&x, &mut ws, true);
         assert_eq!(y.shape(), &[1, 2, 2]);
         assert_eq!(y.data(), &[3.0, 2.0, 0.0, 5.0]);
-        let g = pool.backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]));
+        let g = pool.backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]), &mut ws);
         // Ties resolve to the first index (sample 2 of channel 0).
         assert_eq!(g.data(), &[0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0]);
     }
 
     #[test]
     fn max_pool_overlapping_windows() {
-        let mut pool = MaxPool1d::new(3, 1);
+        let pool = MaxPool1d::new(3, 1);
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(vec![0.0, 2.0, 1.0, 4.0, 3.0], &[1, 1, 5]);
-        let y = pool.forward(&x, false);
+        let y = pool.forward(&x, &mut ws, false);
         assert_eq!(y.data(), &[2.0, 4.0, 4.0]);
         assert_eq!(pool.output_len(5), 3);
         assert_eq!(pool.output_len(2), 0);
@@ -1255,20 +1417,24 @@ mod tests {
     #[should_panic(expected = "backward called before forward")]
     fn max_pool_backward_after_inference_panics() {
         let mut pool = MaxPool1d::new(2, 2);
+        let mut ws = Workspace::new();
         let x = Tensor::zeros(&[1, 1, 4]);
-        let y = pool.forward(&x, false);
-        let _ = pool.backward(&y);
+        let y = pool.forward(&x, &mut ws, false);
+        let _ = pool.backward(&y, &mut ws);
     }
 
     #[test]
     fn residual_block_shapes_and_projection() {
-        let mut same = ResidualBlock1d::new(4, 4, 3, 1);
+        let mut ws = Workspace::new();
+        let same = ResidualBlock1d::new(4, 4, 3, 1);
         let x = init::uniform(&[2, 4, 6], -1.0, 1.0, 3);
-        let y = same.forward(&x, true);
+        let y = same.forward(&x, &mut ws, true);
+        ws.clear();
         assert_eq!(y.shape(), &[2, 4, 6]);
 
-        let mut grow = ResidualBlock1d::new(4, 8, 3, 2);
-        let y = grow.forward(&x, true);
+        let grow = ResidualBlock1d::new(4, 8, 3, 2);
+        let y = grow.forward(&x, &mut ws, true);
+        ws.clear();
         assert_eq!(y.shape(), &[2, 8, 6]);
         assert_eq!(grow.out_channels(), 8);
         // Projection shortcut adds parameters.
@@ -1278,7 +1444,19 @@ mod tests {
     #[test]
     fn residual_block_gradcheck() {
         let mut block = ResidualBlock1d::new(2, 3, 3, 17);
-        gradcheck(&mut block, &[2, 2, 5], 5e-2);
+        gradcheck_training_probes(&mut block, &[2, 2, 5], 5e-2);
+    }
+
+    #[test]
+    fn residual_block_backward_consumes_all_caches() {
+        let mut block = ResidualBlock1d::new(2, 4, 3, 9);
+        let mut ws = Workspace::new();
+        let x = init::uniform(&[2, 2, 8], -1.0, 1.0, 5);
+        let y = block.forward(&x, &mut ws, true);
+        assert!(ws.cache_depth() > 0);
+        let g = block.backward(&Tensor::zeros(y.shape()), &mut ws);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(ws.cache_depth(), 0, "backward must pop exactly what forward pushed");
     }
 
     #[test]
@@ -1288,21 +1466,50 @@ mod tests {
             Box::new(Relu::new()),
             Box::new(Linear::new(4, 2, 2)),
         ]);
+        let mut ws = Workspace::new();
         let x = init::uniform(&[5, 3], -1.0, 1.0, 9);
-        let y = model.forward(&x, true);
+        let y = model.forward(&x, &mut ws, true);
         assert_eq!(y.shape(), &[5, 2]);
         model.zero_grad();
-        let g = model.backward(&Tensor::zeros(&[5, 2]));
+        let g = model.backward(&Tensor::zeros(&[5, 2]), &mut ws);
         assert_eq!(g.shape(), &[5, 3]);
         assert_eq!(model.params_mut().len(), 4);
+        assert_eq!(model.params().len(), 4);
         assert!(!model.is_empty());
         assert_eq!(model.len(), 3);
+    }
+
+    #[test]
+    fn shared_model_scores_identically_across_threads() {
+        // The point of the `&self` redesign: one model instance, many
+        // workspaces, no weight clones — identical outputs on every thread.
+        let model = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, 1)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, 2)),
+        ]);
+        let x = init::uniform(&[3, 4], -1.0, 1.0, 11);
+        let mut ws = Workspace::new();
+        let expected = model.forward(&x, &mut ws, false);
+        let model_ref = &model;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let x = x.clone();
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    let mut ws = Workspace::new();
+                    let y = model_ref.forward(&x, &mut ws, false);
+                    assert_eq!(y.data(), expected.data());
+                });
+            }
+        });
     }
 
     #[test]
     #[should_panic(expected = "backward called before forward")]
     fn backward_before_forward_panics() {
         let mut lin = Linear::new(2, 2, 1);
-        lin.backward(&Tensor::zeros(&[1, 2]));
+        let mut ws = Workspace::new();
+        lin.backward(&Tensor::zeros(&[1, 2]), &mut ws);
     }
 }

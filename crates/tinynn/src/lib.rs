@@ -13,10 +13,15 @@
 //! passes validated against finite differences (see the `gradcheck` tests in
 //! each layer module).
 //!
+//! Layers hold parameters only; per-call scratch (backward caches, im2col
+//! buffers) lives in an explicit [`Workspace`], so inference `forward` takes
+//! `&self` and one trained model can be shared across threads with a cheap
+//! per-thread workspace instead of a per-thread weight clone.
+//!
 //! ## Example: train a tiny classifier
 //!
 //! ```rust
-//! use tinynn::{Linear, Relu, Sequential, Layer, Tensor, CrossEntropyLoss, Adam};
+//! use tinynn::{Linear, Relu, Sequential, Layer, Tensor, CrossEntropyLoss, Adam, Workspace};
 //!
 //! // Linearly separable toy problem.
 //! let inputs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
@@ -28,15 +33,16 @@
 //! ]);
 //! let loss_fn = CrossEntropyLoss::new();
 //! let mut optim = Adam::new(0.05);
+//! let mut ws = Workspace::new();
 //! for _ in 0..200 {
 //!     let x = Tensor::from_rows(&inputs);
-//!     let logits = model.forward(&x, true);
+//!     let logits = model.forward(&x, &mut ws, true);
 //!     let (_, grad) = loss_fn.loss_and_grad(&logits, &labels);
 //!     model.zero_grad();
-//!     model.backward(&grad);
+//!     model.backward(&grad, &mut ws);
 //!     optim.step(&mut model.params_mut());
 //! }
-//! let logits = model.forward(&Tensor::from_rows(&inputs), false);
+//! let logits = model.forward(&Tensor::from_rows(&inputs), &mut ws, false);
 //! assert_eq!(logits.argmax_rows(), labels);
 //! ```
 
@@ -53,6 +59,7 @@ pub mod optim;
 pub mod parallel;
 pub mod param;
 pub mod tensor;
+pub mod workspace;
 
 pub use data::{Batch, DataLoader};
 pub use layers::{
@@ -64,3 +71,4 @@ pub use metrics::{accuracy, ConfusionMatrix};
 pub use optim::{Adam, Sgd};
 pub use param::Param;
 pub use tensor::Tensor;
+pub use workspace::Workspace;

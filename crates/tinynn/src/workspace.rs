@@ -1,0 +1,147 @@
+//! Per-call scratch state for `&self` forward/backward passes.
+//!
+//! Layers used to own their backward caches (and the im2col scratch lived in
+//! a thread-local), which forced `forward` to take `&mut self` and made a
+//! trained network impossible to share across threads without cloning its
+//! weights. A [`Workspace`] moves every piece of per-call state out of the
+//! layers:
+//!
+//! * a **cache stack**: during a training forward every layer pushes exactly
+//!   one [`LayerCache`] entry; `backward` pops them in reverse. Because
+//!   backward traverses the network in exactly the reverse order of forward,
+//!   a LIFO stack needs no layer identity bookkeeping at all. Inference
+//!   (`training == false`) pushes nothing.
+//! * **scratch buffers** (`col`, `dcol`) reused by the im2col convolution
+//!   across layers and calls, so steady-state inference performs no
+//!   allocation for the lowering.
+//!
+//! A workspace is cheap to create (empty vectors) and grows to the high-water
+//! mark of the network it serves. One workspace serves one thread; parallel
+//! scoring shares a single immutable network and gives every thread its own
+//! workspace.
+
+use crate::tensor::Tensor;
+
+/// Per-call (and per-thread) scratch for forward/backward passes: the
+/// backward cache stack plus reusable im2col buffers.
+///
+/// See the [module documentation](self) for the design rationale.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    stack: Vec<LayerCache>,
+    /// im2col lowering buffer, reused across layers of one pass.
+    pub(crate) col: Vec<f32>,
+    /// Column-gradient buffer of the convolution backward pass.
+    pub(crate) dcol: Vec<f32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of layer caches currently recorded (0 outside a training
+    /// forward/backward pair; inference never records any).
+    pub fn cache_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Drops every recorded layer cache (scratch buffers keep their
+    /// capacity). Useful when a training forward was not followed by a
+    /// matching backward.
+    pub fn clear(&mut self) {
+        self.stack.clear();
+    }
+
+    /// Records a layer cache during a training forward.
+    pub(crate) fn push(&mut self, cache: LayerCache) {
+        self.stack.push(cache);
+    }
+
+    /// Pops the most recent layer cache during backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty, i.e. `backward` was called without a
+    /// preceding `forward` with `training == true`.
+    pub(crate) fn pop(&mut self, layer: &str) -> LayerCache {
+        self.stack
+            .pop()
+            .unwrap_or_else(|| panic!("{layer}: backward called before forward with training=true"))
+    }
+}
+
+/// One layer's backward cache, pushed during a training forward.
+#[derive(Debug, Clone)]
+pub(crate) enum LayerCache {
+    /// The layer input (Linear, Conv1d).
+    Input(Tensor),
+    /// The positive-input mask of a ReLU.
+    Mask(Vec<bool>),
+    /// Batch-normalisation statistics of one training batch.
+    Bn {
+        /// Normalised activations.
+        x_hat: Tensor,
+        /// Per-channel `1 / sqrt(var + eps)`.
+        std_inv: Vec<f32>,
+        /// Per-channel batch mean (committed to the running mean in
+        /// backward).
+        mean: Vec<f32>,
+        /// Per-channel batch variance (committed to the running variance in
+        /// backward).
+        var: Vec<f32>,
+    },
+    /// Flat arg-max indices and input shape of a max-pooling layer.
+    Argmax {
+        /// Flat input index of the maximum of every pooling window.
+        argmax: Vec<usize>,
+        /// Shape of the pooled input.
+        input_shape: Vec<usize>,
+    },
+    /// The input shape (global average pooling).
+    Shape(Vec<usize>),
+}
+
+impl LayerCache {
+    /// Debug name of the variant, used in cache-mismatch panics.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            LayerCache::Input(_) => "Input",
+            LayerCache::Mask(_) => "Mask",
+            LayerCache::Bn { .. } => "Bn",
+            LayerCache::Argmax { .. } => "Argmax",
+            LayerCache::Shape(_) => "Shape",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let mut ws = Workspace::new();
+        ws.push(LayerCache::Shape(vec![1]));
+        ws.push(LayerCache::Mask(vec![true]));
+        assert_eq!(ws.cache_depth(), 2);
+        assert_eq!(ws.pop("test").kind(), "Mask");
+        assert_eq!(ws.pop("test").kind(), "Shape");
+        assert_eq!(ws.cache_depth(), 0);
+    }
+
+    #[test]
+    fn clear_drops_caches() {
+        let mut ws = Workspace::new();
+        ws.push(LayerCache::Shape(vec![2, 3]));
+        ws.clear();
+        assert_eq!(ws.cache_depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn pop_on_empty_stack_panics() {
+        Workspace::new().pop("EmptyLayer");
+    }
+}

@@ -3,6 +3,7 @@
 //! and even kernel sizes, multi-channel inputs and edge-padding cases.
 
 use tinynn::layers::{Conv1d, Layer, Linear};
+use tinynn::workspace::Workspace;
 use tinynn::{init, Tensor};
 
 const TOL: f32 = 1e-5;
@@ -37,11 +38,12 @@ const CONV_CASES: &[(usize, usize, usize, usize, usize)] = &[
 
 #[test]
 fn conv1d_forward_matches_naive_reference() {
+    let mut ws = Workspace::new();
     for &(in_c, out_c, k, len, batch) in CONV_CASES {
-        let mut conv = Conv1d::new(in_c, out_c, k, 0xC0FFEE ^ (k as u64));
+        let conv = Conv1d::new(in_c, out_c, k, 0xC0FFEE ^ (k as u64));
         let x = init::uniform(&[batch, in_c, len], -2.0, 2.0, 31 + k as u64);
         let slow = conv.forward_reference(&x);
-        let fast = conv.forward(&x, false);
+        let fast = conv.forward(&x, &mut ws, false);
         assert_close(&fast, &slow, &format!("conv fwd in{in_c} out{out_c} k{k} n{len} b{batch}"));
     }
 }
@@ -52,10 +54,11 @@ fn conv1d_backward_matches_naive_reference() {
         let mut conv = Conv1d::new(in_c, out_c, k, 7 + k as u64);
         let x = init::uniform(&[batch, in_c, len], -1.0, 1.0, 100 + k as u64);
         let g = init::uniform(&[batch, out_c, len], -1.0, 1.0, 200 + k as u64);
+        let mut ws = Workspace::new();
         let (ref_gi, ref_gw, ref_gb) = conv.backward_reference(&x, &g);
-        let _ = conv.forward(&x, true);
+        let _ = conv.forward(&x, &mut ws, true);
         conv.zero_grad();
-        let gi = conv.backward(&g);
+        let gi = conv.backward(&g, &mut ws);
         let what = format!("conv bwd in{in_c} out{out_c} k{k} n{len} b{batch}");
         assert_close(&gi, &ref_gi, &format!("{what}: grad_input"));
         let params = conv.params_mut();
@@ -72,10 +75,11 @@ fn conv1d_backward_accumulates_across_calls() {
     let mut conv = Conv1d::new(in_c, out_c, k, 5);
     let x = init::uniform(&[batch, in_c, len], -1.0, 1.0, 1);
     let g = init::uniform(&[batch, out_c, len], -1.0, 1.0, 2);
+    let mut ws = Workspace::new();
     let (_, ref_gw, _) = conv.backward_reference(&x, &g);
     for _ in 0..2 {
-        let _ = conv.forward(&x, true);
-        let _ = conv.backward(&g);
+        let _ = conv.forward(&x, &mut ws, true);
+        let _ = conv.backward(&g, &mut ws);
     }
     let doubled = ref_gw.scale(2.0);
     let params = conv.params_mut();
@@ -87,10 +91,11 @@ fn linear_forward_matches_naive_reference() {
     for &(in_f, out_f, batch) in
         &[(1usize, 1usize, 1usize), (5, 3, 4), (16, 16, 2), (64, 2, 33), (7, 11, 1)]
     {
-        let mut lin = Linear::new(in_f, out_f, 3 + in_f as u64);
+        let mut ws = Workspace::new();
+        let lin = Linear::new(in_f, out_f, 3 + in_f as u64);
         let x = init::uniform(&[batch, in_f], -2.0, 2.0, 50 + batch as u64);
         let slow = lin.forward_reference(&x);
-        let fast = lin.forward(&x, false);
+        let fast = lin.forward(&x, &mut ws, false);
         assert_close(&fast, &slow, &format!("linear fwd in{in_f} out{out_f} b{batch}"));
     }
 }
@@ -101,10 +106,11 @@ fn linear_backward_matches_naive_reference() {
         let mut lin = Linear::new(in_f, out_f, 9 + out_f as u64);
         let x = init::uniform(&[batch, in_f], -1.0, 1.0, 60 + batch as u64);
         let g = init::uniform(&[batch, out_f], -1.0, 1.0, 70 + batch as u64);
+        let mut ws = Workspace::new();
         let (ref_gi, ref_gw, ref_gb) = lin.backward_reference(&x, &g);
-        let _ = lin.forward(&x, true);
+        let _ = lin.forward(&x, &mut ws, true);
         lin.zero_grad();
-        let gi = lin.backward(&g);
+        let gi = lin.backward(&g, &mut ws);
         let what = format!("linear bwd in{in_f} out{out_f} b{batch}");
         assert_close(&gi, &ref_gi, &format!("{what}: grad_input"));
         let params = lin.params_mut();

@@ -21,16 +21,88 @@ fn io_err(e: std::io::Error) -> TraceError {
     TraceError::Io(e.to_string())
 }
 
+// ---------------------------------------------------------------------------
+// Little-endian primitives
+// ---------------------------------------------------------------------------
+//
+// Shared building blocks for every binary format in the workspace (raw sample
+// dumps here, the locator's model files in `sca-locator::persist`). They
+// return plain `std::io::Result` so callers can map failures onto their own
+// error types; truncation surfaces as `ErrorKind::UnexpectedEof`.
+
+/// Writes a `u32` in little-endian byte order.
+///
+/// # Errors
+///
+/// Propagates the underlying writer error.
+pub fn write_u32_le<W: Write>(mut writer: W, value: u32) -> std::io::Result<()> {
+    writer.write_all(&value.to_le_bytes())
+}
+
+/// Reads a little-endian `u32`.
+///
+/// # Errors
+///
+/// Propagates the underlying reader error (`UnexpectedEof` on truncation).
+pub fn read_u32_le<R: Read>(mut reader: R) -> std::io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes a `u64` in little-endian byte order.
+///
+/// # Errors
+///
+/// Propagates the underlying writer error.
+pub fn write_u64_le<W: Write>(mut writer: W, value: u64) -> std::io::Result<()> {
+    writer.write_all(&value.to_le_bytes())
+}
+
+/// Reads a little-endian `u64`.
+///
+/// # Errors
+///
+/// Propagates the underlying reader error (`UnexpectedEof` on truncation).
+pub fn read_u64_le<R: Read>(mut reader: R) -> std::io::Result<u64> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes an `f32` slice in little-endian byte order (bit-exact: the bytes
+/// are the IEEE-754 representation, so a read-back reproduces every value
+/// including NaN payloads).
+///
+/// # Errors
+///
+/// Propagates the underlying writer error.
+pub fn write_f32s_le<W: Write>(mut writer: W, values: &[f32]) -> std::io::Result<()> {
+    for &v in values {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads exactly `count` little-endian `f32` values.
+///
+/// # Errors
+///
+/// Propagates the underlying reader error (`UnexpectedEof` if fewer than
+/// `count` values are available).
+pub fn read_f32s_le<R: Read>(mut reader: R, count: usize) -> std::io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; count * 4];
+    reader.read_exact(&mut bytes)?;
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
 /// Writes raw `f32` samples in little-endian binary to `writer`.
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::Io`] if the underlying writer fails.
-pub fn write_samples_binary<W: Write>(mut writer: W, samples: &[f32]) -> Result<()> {
-    for &s in samples {
-        writer.write_all(&s.to_le_bytes()).map_err(io_err)?;
-    }
-    Ok(())
+pub fn write_samples_binary<W: Write>(writer: W, samples: &[f32]) -> Result<()> {
+    write_f32s_le(writer, samples).map_err(io_err)
 }
 
 /// Reads raw little-endian `f32` samples from `reader` until EOF.
@@ -166,6 +238,34 @@ mod tests {
     fn binary_bad_length() {
         let bytes = [0u8; 7];
         assert!(read_samples_binary(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn le_primitives_roundtrip_bit_exactly() {
+        let mut buf = Vec::new();
+        write_u32_le(&mut buf, 0xDEAD_BEEF).unwrap();
+        write_u64_le(&mut buf, u64::MAX - 7).unwrap();
+        let values = [0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, f32::NAN, f32::INFINITY];
+        write_f32s_le(&mut buf, &values).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_u32_le(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(read_u64_le(&mut r).unwrap(), u64::MAX - 7);
+        let back = read_f32s_le(&mut r, values.len()).unwrap();
+        for (a, b) in back.iter().zip(values.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "f32 roundtrip must be bit-exact");
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn le_reads_report_truncation_as_unexpected_eof() {
+        let bytes = [1u8, 2, 3]; // shorter than any primitive
+        assert_eq!(read_u32_le(&bytes[..]).unwrap_err().kind(), std::io::ErrorKind::UnexpectedEof);
+        assert_eq!(read_u64_le(&bytes[..]).unwrap_err().kind(), std::io::ErrorKind::UnexpectedEof);
+        assert_eq!(
+            read_f32s_le(&bytes[..], 1).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
     }
 
     #[test]

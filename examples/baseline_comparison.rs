@@ -41,8 +41,7 @@ fn main() {
         cipher_traces.push(trace);
     }
     let noise_trace = sim.capture_noise_trace(8_000);
-    let (mut cnn_locator, _) =
-        LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
+    let (cnn_locator, _) = LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
 
     // One protected trace with 12 COs interleaved with noise applications.
     let result = sim.run_scenario(&Scenario::interleaved(cipher, 12));

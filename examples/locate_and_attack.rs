@@ -27,7 +27,7 @@ fn main() {
     }
     let noise_trace = sim.capture_noise_trace(10_000);
     println!("training the locator for AES-128 under RD-{rd} ...");
-    let (mut locator, report) =
+    let (locator, report) =
         LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
     println!("best validation accuracy: {:.1}%", 100.0 * report.best_validation_accuracy());
 

@@ -26,7 +26,7 @@ fn main() {
         cipher_traces.push(trace);
     }
     let noise_trace = sim.capture_noise_trace(10_000);
-    let (mut locator, report) =
+    let (locator, report) =
         LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
     println!("best validation accuracy: {:.1}%", 100.0 * report.best_validation_accuracy());
 

@@ -38,7 +38,7 @@ fn main() {
         cipher_traces.push(trace);
     }
     let noise_trace = sim.capture_noise_trace(6_000);
-    let (mut locator, _) = LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
+    let (locator, _) = LocatorBuilder::from_profile(&profile).fit(&cipher_traces, &noise_trace);
 
     let result = sim.run_scenario(&Scenario::interleaved(cipher, 5));
     let (swc, starts) = locator.locate_detailed(&result.trace);

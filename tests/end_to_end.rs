@@ -47,7 +47,7 @@ fn small_locator(
 
 #[test]
 fn locator_finds_most_cos_in_consecutive_scenario() {
-    let (mut locator, _profile, mut sim) = small_locator(CipherId::Simon128, 2, 101);
+    let (locator, _profile, mut sim) = small_locator(CipherId::Simon128, 2, 101);
     let result = sim.run_scenario(&Scenario::consecutive(CipherId::Simon128, 8));
     let located = locator.locate(&result.trace);
     let hits = hit_rate(&located, &result.co_starts(), (result.mean_co_len() / 2.0) as usize);
@@ -62,7 +62,7 @@ fn locator_finds_most_cos_in_consecutive_scenario() {
 
 #[test]
 fn locator_generalises_to_noise_interleaved_scenario() {
-    let (mut locator, _profile, mut sim) = small_locator(CipherId::Simon128, 2, 202);
+    let (locator, _profile, mut sim) = small_locator(CipherId::Simon128, 2, 202);
     let result = sim.run_scenario(&Scenario::interleaved(CipherId::Simon128, 6));
     let located = locator.locate(&result.trace);
     let hits = hit_rate(&located, &result.co_starts(), (result.mean_co_len() / 2.0) as usize);
@@ -72,6 +72,32 @@ fn locator_generalises_to_noise_interleaved_scenario() {
         hits.percentage(),
         located,
         result.co_starts()
+    );
+}
+
+#[test]
+fn trained_engine_roundtrips_and_batches_identically() {
+    // The serving workflow of the engine API: train once, convert to a
+    // `LocatorEngine`, persist it, reload it, and score a fleet of traces —
+    // every route must agree with the plain per-trace `CoLocator::locate`.
+    let (locator, _profile, mut sim) = small_locator(CipherId::Simon128, 2, 303);
+    let traces: Vec<Trace> = (0..4)
+        .map(|i| sim.run_scenario(&Scenario::consecutive(CipherId::Simon128, 3 + i % 2)).trace)
+        .collect();
+    let expected: Vec<Vec<usize>> = traces.iter().map(|t| locator.locate(t)).collect();
+    assert!(expected.iter().any(|starts| !starts.is_empty()), "locator found nothing at all");
+
+    let engine = locator.into_engine();
+    assert_eq!(engine.locate_batch(&traces), expected, "locate_batch must match per-trace locate");
+
+    let path = std::env::temp_dir().join(format!("e2e_engine_{}.model", std::process::id()));
+    engine.save(&path).expect("save trained engine");
+    let restored = sca_locate::locator::LocatorEngine::load(&path).expect("load trained engine");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        restored.locate_batch(&traces),
+        expected,
+        "a save/load roundtrip must reproduce the located starts exactly"
     );
 }
 
