@@ -1,0 +1,168 @@
+//! Quantised-inference throughput and parity benchmark.
+//!
+//! Builds the scaled f32 engine, derives its quantised (`i8` weights,
+//! per-channel scales) counterpart with [`LocatorEngine::quantize`], and
+//! streams the same synthetic multi-trace workload through both:
+//!
+//! * `locate_batch` wall time → windows/s for each engine and the i8:f32
+//!   throughput ratio;
+//! * per-window class-1 score divergence (max over every window of every
+//!   trace) — the accuracy envelope of the quantised path;
+//! * model-file sizes and save/load timings of format v1 vs v2.
+//!
+//! The benchmark model is untrained (its noise scores hover at the
+//! segmentation threshold), so start agreement is *measured and reported*
+//! rather than asserted here — the trained-model parity contract
+//! (identical starts, divergence ≤ 1e-2) is enforced by the end-to-end
+//! tests. Results go to `BENCH_quant.json` so the quantised-path
+//! trajectory is tracked per commit.
+//!
+//! Usage: `quant_bench [--traces N] [--trace-len N] [--out PATH]`
+//! (defaults: 8 traces of 1,000,000 samples).
+
+use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
+use sca_trace::Trace;
+use std::io::Write;
+use std::time::Instant;
+
+/// Window length of the scorer (the scaled profiles use this order of size).
+const WINDOW_LEN: usize = 128;
+/// Stride between windows.
+const STRIDE: usize = 32;
+
+struct Args {
+    traces: usize,
+    trace_len: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { traces: 8, trace_len: 1_000_000, out: "BENCH_quant.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match flag.as_str() {
+            "--traces" => args.traces = value("--traces").parse().expect("trace count"),
+            "--trace-len" => args.trace_len = value("--trace-len").parse().expect("trace len"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.traces > 0, "need at least one trace");
+    args
+}
+
+/// Synthetic "SoC-like" trace: superposed oscillations plus a deterministic
+/// pseudo-noise term, seeded per trace (same generator as `engine_bench`).
+fn synthetic_trace(len: usize, seed: u64) -> Trace {
+    let mut state = 0x0123_4567_89AB_CDEF_u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let samples = (0..len)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+            let t = i as f32;
+            (t * 0.013).sin() + 0.4 * (t * 0.11).sin() + 0.25 * noise
+        })
+        .collect();
+    Trace::from_samples(samples)
+}
+
+fn main() {
+    let args = parse_args();
+    let engine = LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig::scaled()),
+        SlidingWindowClassifier::new(WINDOW_LEN, STRIDE).with_batch_size(64),
+        Segmenter::default(),
+    );
+    let qengine = engine.quantize();
+    let traces: Vec<Trace> =
+        (0..args.traces).map(|i| synthetic_trace(args.trace_len, i as u64)).collect();
+    let total_windows: usize = traces.iter().map(|t| engine.sliding().output_len(t.len())).sum();
+    println!(
+        "fleet: {} traces x {} samples = {} windows (N={WINDOW_LEN}, stride={STRIDE})",
+        traces.len(),
+        args.trace_len,
+        total_windows
+    );
+
+    // Warm-up both paths: fault in code and scratch buffers.
+    let _ = engine.locate(&traces[0]);
+    let _ = qengine.locate(&traces[0]);
+
+    let t0 = Instant::now();
+    let f32_starts = engine.locate_batch(&traces);
+    let f32_elapsed = t0.elapsed();
+    let f32_wps = total_windows as f64 / f32_elapsed.as_secs_f64();
+    println!("f32 locate_batch: {f32_elapsed:>8.2?}  ({f32_wps:>10.1} windows/s)");
+
+    let t0 = Instant::now();
+    let q_starts = qengine.locate_batch(&traces);
+    let q_elapsed = t0.elapsed();
+    let q_wps = total_windows as f64 / q_elapsed.as_secs_f64();
+    println!("i8  locate_batch: {q_elapsed:>8.2?}  ({q_wps:>10.1} windows/s)");
+
+    // Parity: bounded score divergence and start agreement. The benchmark
+    // model is untrained, so its noise scores hover at the segmentation
+    // threshold and marginal windows may flip — the trained-model contract
+    // (identical starts, divergence ≤ 1e-2) is enforced by the end-to-end
+    // tests; here the envelope is measured and reported.
+    let mut max_divergence = 0.0f32;
+    for trace in &traces {
+        let (f32_scores, _) = engine.locate_detailed(trace);
+        let (q_scores, _) = qengine.locate_detailed(trace);
+        for (a, b) in q_scores.iter().zip(f32_scores.iter()) {
+            max_divergence = max_divergence.max((a - b).abs());
+        }
+    }
+    let matching: usize = f32_starts
+        .iter()
+        .zip(q_starts.iter())
+        .map(|(a, b)| a.iter().filter(|s| b.contains(s)).count())
+        .sum();
+    let total_starts: usize = f32_starts.iter().map(|s| s.len()).sum();
+    let start_agreement =
+        if total_starts == 0 { 1.0 } else { matching as f64 / total_starts as f64 };
+    println!("max per-window class-1 score divergence: {max_divergence:.2e}");
+    println!("start agreement (untrained model, noise input): {:.1}%", 100.0 * start_agreement);
+
+    // Model persistence: v1 vs v2 size and timing.
+    let pid = std::process::id();
+    let v1_path = std::env::temp_dir().join(format!("quant_bench_{pid}.v1"));
+    let v2_path = std::env::temp_dir().join(format!("quant_bench_{pid}.v2"));
+    let t0 = Instant::now();
+    engine.save(&v1_path).expect("save f32 engine");
+    let v1_save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    qengine.save(&v2_path).expect("save quantised engine");
+    let v2_save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let v1_bytes = std::fs::metadata(&v1_path).map(|m| m.len()).unwrap_or(0);
+    let v2_bytes = std::fs::metadata(&v2_path).map(|m| m.len()).unwrap_or(0);
+    let t0 = Instant::now();
+    let restored = LocatorEngine::load(&v2_path).expect("load quantised engine");
+    let v2_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(restored.is_quantized());
+    assert_eq!(
+        restored.locate(&traces[0]),
+        q_starts[0],
+        "restored v2 engine must reproduce the quantised starts"
+    );
+    std::fs::remove_file(&v1_path).ok();
+    std::fs::remove_file(&v2_path).ok();
+    println!(
+        "model files: v1 {v1_bytes} bytes, v2 {v2_bytes} bytes ({:.2}x smaller)",
+        v1_bytes as f64 / v2_bytes.max(1) as f64
+    );
+
+    let speedup = q_wps / f32_wps;
+    println!("throughput i8 vs f32: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"locator_engine_quantized\",\n  \"traces\": {},\n  \"trace_len\": {},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"windows_per_sec_f32\": {f32_wps:.2},\n  \"windows_per_sec_i8\": {q_wps:.2},\n  \"speedup_i8_vs_f32\": {speedup:.3},\n  \"max_score_divergence\": {max_divergence:.6e},\n  \"start_agreement\": {start_agreement:.4},\n  \"model_bytes_v1\": {v1_bytes},\n  \"model_bytes_v2\": {v2_bytes},\n  \"model_save_ms_v1\": {v1_save_ms:.3},\n  \"model_save_ms_v2\": {v2_save_ms:.3},\n  \"model_load_ms_v2\": {v2_load_ms:.3}\n}}\n",
+        traces.len(),
+        args.trace_len,
+    );
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write benchmark json");
+    println!("wrote {}", args.out);
+}

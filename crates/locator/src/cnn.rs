@@ -65,6 +65,26 @@ impl Default for CnnConfig {
     }
 }
 
+/// A model that can score batches of trace windows with the linear class-1
+/// margin (the `swc` signal of Section III-C).
+///
+/// Implemented by the `f32` [`CoLocatorCnn`], its quantised counterpart
+/// [`crate::qcnn::QuantizedCoLocatorCnn`], and the engine's model wrapper —
+/// the sliding-window classifier (and therefore the whole shard fan-out and
+/// batching machinery) is generic over this trait, so every scorer shares
+/// one inference path.
+pub trait WindowScorer: Send + Sync {
+    /// Scores a `[B, 1, N]` batch of windows into `scores` (cleared first):
+    /// one linear class-1 margin per window.
+    fn score_windows_into(&self, input: &Tensor, ws: &mut Workspace, scores: &mut Vec<f32>);
+}
+
+impl WindowScorer for CoLocatorCnn {
+    fn score_windows_into(&self, input: &Tensor, ws: &mut Workspace, scores: &mut Vec<f32>) {
+        self.class1_scores_into(input, ws, scores);
+    }
+}
+
 /// The CO-locator CNN of Figure 2.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CoLocatorCnn {
@@ -103,6 +123,15 @@ impl CoLocatorCnn {
     /// The network configuration.
     pub fn config(&self) -> &CnnConfig {
         &self.config
+    }
+
+    /// Shared access to the network's sub-layers, in forward order:
+    /// `(conv, bn, res1, res2, fc1, fc2)`. Used by the quantised network to
+    /// mirror the architecture.
+    pub(crate) fn parts(
+        &self,
+    ) -> (&Conv1d, &BatchNorm1d, &ResidualBlock1d, &ResidualBlock1d, &Linear, &Linear) {
+        (&self.conv, &self.bn, &self.res1, &self.res2, &self.fc1, &self.fc2)
     }
 
     /// Forward pass: windows `[B, 1, N]` → class logits `[B, 2]`.

@@ -45,12 +45,41 @@
 use std::path::Path;
 
 use sca_trace::Trace;
+use tinynn::{Tensor, Workspace};
 
-use crate::cnn::CoLocatorCnn;
+use crate::cnn::{CoLocatorCnn, WindowScorer};
 use crate::persist::{self, PersistError};
 use crate::pipeline::CoLocator;
+use crate::qcnn::QuantizedCoLocatorCnn;
 use crate::segmentation::Segmenter;
 use crate::sliding::SlidingWindowClassifier;
+
+/// The weight set an engine serves: the trained `f32` network or its
+/// quantised (`i8` weights, per-channel scales) counterpart.
+///
+/// Both variants implement [`WindowScorer`], so every scoring path of the
+/// engine — single-trace, shard fan-out, batched multi-trace — is shared
+/// verbatim between them.
+// The variants genuinely differ in size (f32 tensors vs i8 blocks); an
+// engine holds exactly one model for its whole lifetime, so boxing would
+// only add a pointer chase to every score.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum EngineModel {
+    /// Full-precision weights (model format v1).
+    F32(CoLocatorCnn),
+    /// Per-channel symmetric `i8` weights (model format v2).
+    Quantized(QuantizedCoLocatorCnn),
+}
+
+impl WindowScorer for EngineModel {
+    fn score_windows_into(&self, input: &Tensor, ws: &mut Workspace, scores: &mut Vec<f32>) {
+        match self {
+            EngineModel::F32(cnn) => cnn.score_windows_into(input, ws, scores),
+            EngineModel::Quantized(qcnn) => qcnn.score_windows_into(input, ws, scores),
+        }
+    }
+}
 
 /// A trained, immutable CO-locating model ready to serve many traces.
 ///
@@ -58,10 +87,12 @@ use crate::sliding::SlidingWindowClassifier;
 /// [`LocatorEngine::from_locator`]) or loaded from disk with
 /// [`LocatorEngine::load`]. All scoring entry points take `&self`, so one
 /// engine can be shared behind an `Arc` (or plain borrows) by any number of
-/// worker threads.
+/// worker threads. [`LocatorEngine::quantize`] derives a drop-in engine
+/// with `i8` weights that serves the same API from a quarter of the weight
+/// memory.
 #[derive(Debug, Clone)]
 pub struct LocatorEngine {
-    cnn: CoLocatorCnn,
+    model: EngineModel,
     sliding: SlidingWindowClassifier,
     segmenter: Segmenter,
 }
@@ -70,18 +101,45 @@ impl LocatorEngine {
     /// Assembles an engine from an already trained CNN and explicit inference
     /// parameters.
     pub fn new(cnn: CoLocatorCnn, sliding: SlidingWindowClassifier, segmenter: Segmenter) -> Self {
-        Self { cnn, sliding, segmenter }
+        Self { model: EngineModel::F32(cnn), sliding, segmenter }
     }
 
     /// Converts a trained [`CoLocator`] into an engine.
     pub fn from_locator(locator: CoLocator) -> Self {
         let (cnn, sliding, segmenter) = locator.into_parts();
-        Self { cnn, sliding, segmenter }
+        Self::new(cnn, sliding, segmenter)
     }
 
-    /// The trained CNN.
-    pub fn cnn(&self) -> &CoLocatorCnn {
-        &self.cnn
+    /// The model served by this engine.
+    pub fn model(&self) -> &EngineModel {
+        &self.model
+    }
+
+    /// The trained `f32` CNN, or `None` for a quantised engine.
+    pub fn cnn(&self) -> Option<&CoLocatorCnn> {
+        match &self.model {
+            EngineModel::F32(cnn) => Some(cnn),
+            EngineModel::Quantized(_) => None,
+        }
+    }
+
+    /// `true` if this engine serves quantised (`i8`) weights.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self.model, EngineModel::Quantized(_))
+    }
+
+    /// Derives an engine serving the quantised (`i8` weights, per-channel
+    /// scales) version of this engine's model, with identical inference
+    /// parameters. `locate` / `locate_batch` of the result are drop-in
+    /// replacements whose scores track the `f32` engine within the
+    /// quantisation error bound (see the parity tests); quantising an
+    /// already quantised engine is a plain copy.
+    pub fn quantize(&self) -> LocatorEngine {
+        let model = match &self.model {
+            EngineModel::F32(cnn) => EngineModel::Quantized(QuantizedCoLocatorCnn::from_cnn(cnn)),
+            EngineModel::Quantized(qcnn) => EngineModel::Quantized(qcnn.clone()),
+        };
+        LocatorEngine { model, sliding: self.sliding, segmenter: self.segmenter }
     }
 
     /// The sliding-window classifier parameters.
@@ -103,20 +161,30 @@ impl LocatorEngine {
     }
 
     /// Converts the engine back into a [`CoLocator`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for a quantised engine: a [`CoLocator`] wraps the trainable
+    /// `f32` network, which a quantised model no longer carries.
     pub fn into_locator(self) -> CoLocator {
-        CoLocator::from_parts(self.cnn, self.sliding, self.segmenter)
+        match self.model {
+            EngineModel::F32(cnn) => CoLocator::from_parts(cnn, self.sliding, self.segmenter),
+            EngineModel::Quantized(_) => {
+                panic!("a quantised engine cannot become a CoLocator (no f32 weights)")
+            }
+        }
     }
 
     /// Locates the CO start samples in one trace (identical to
     /// [`CoLocator::locate`]).
     pub fn locate(&self, trace: &Trace) -> Vec<usize> {
-        let swc = self.sliding.classify(&self.cnn, trace);
+        let swc = self.sliding.classify(&self.model, trace);
         self.segmenter.segment(&swc, self.sliding.stride())
     }
 
     /// Like [`Self::locate`] but also returns the raw sliding-window scores.
     pub fn locate_detailed(&self, trace: &Trace) -> (Vec<f32>, Vec<usize>) {
-        let swc = self.sliding.classify(&self.cnn, trace);
+        let swc = self.sliding.classify(&self.model, trace);
         let starts = self.segmenter.segment(&swc, self.sliding.stride());
         (swc, starts)
     }
@@ -150,7 +218,7 @@ impl LocatorEngine {
                 scope.spawn(move || {
                     let _serial = tinynn::parallel::serial_region();
                     for (trace, result) in chunk.iter().zip(results.iter_mut()) {
-                        let swc = sliding.classify(&self.cnn, trace);
+                        let swc = sliding.classify(&self.model, trace);
                         *result = self.segmenter.segment(&swc, sliding.stride());
                     }
                 });
@@ -160,25 +228,27 @@ impl LocatorEngine {
     }
 
     /// Serialises the engine (weights + inference parameters) to `path` in
-    /// the versioned binary format of [`crate::persist`]. A
-    /// [`Self::load`]-ed copy reproduces every score bit-exactly.
+    /// the versioned binary format of [`crate::persist`]: format v1 for
+    /// `f32` engines, format v2 (i8 blocks + scale vectors) for quantised
+    /// engines. A [`Self::load`]-ed copy reproduces every score bit-exactly.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] if the file cannot be written.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
-        persist::save_engine(path.as_ref(), &self.cnn, &self.sliding, &self.segmenter)
+        persist::save_engine(path.as_ref(), &self.model, &self.sliding, &self.segmenter)
     }
 
-    /// Loads an engine previously written by [`Self::save`].
+    /// Loads an engine previously written by [`Self::save`] — either format
+    /// version; the loaded engine is quantised exactly when the file was.
     ///
     /// # Errors
     ///
     /// Returns a typed [`PersistError`] for missing files, foreign files
     /// (bad magic), incompatible versions and corrupt/truncated payloads.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
-        let (cnn, sliding, segmenter) = persist::load_engine(path.as_ref())?;
-        Ok(Self { cnn, sliding, segmenter })
+        let (model, sliding, segmenter) = persist::load_engine(path.as_ref())?;
+        Ok(Self { model, sliding, segmenter })
     }
 }
 

@@ -24,7 +24,10 @@
 //!   and [`pipeline::LocatorBuilder`] to assemble it.
 //! * [`engine`] — [`engine::LocatorEngine`], the profile-once / score-many
 //!   serving front-end: `&self` scoring, batched multi-trace
-//!   [`engine::LocatorEngine::locate_batch`], model save/load.
+//!   [`engine::LocatorEngine::locate_batch`], model save/load, and
+//!   [`engine::LocatorEngine::quantize`] for the `i8` serving path.
+//! * [`qcnn`] — [`qcnn::QuantizedCoLocatorCnn`], the inference-only
+//!   quantised CNN (per-channel symmetric `i8` weights, `f32` activations).
 //! * [`persist`] — the versioned little-endian binary model format behind
 //!   the engine's save/load.
 //! * [`profiles`] — per-cipher pipeline parameters: the paper's Table I
@@ -41,18 +44,20 @@ pub mod evaluation;
 pub mod persist;
 pub mod pipeline;
 pub mod profiles;
+pub mod qcnn;
 pub mod segmentation;
 pub mod sliding;
 pub mod training;
 
 pub use alignment::Aligner;
-pub use cnn::{CnnConfig, CoLocatorCnn};
+pub use cnn::{CnnConfig, CoLocatorCnn, WindowScorer};
 pub use dataset::DatasetBuilder;
-pub use engine::LocatorEngine;
+pub use engine::{EngineModel, LocatorEngine};
 pub use evaluation::{hit_rate, HitReport};
 pub use persist::PersistError;
 pub use pipeline::{CoLocator, LocatorBuilder};
 pub use profiles::{CipherProfile, ProfileKind};
+pub use qcnn::QuantizedCoLocatorCnn;
 pub use segmentation::{SegmentationConfig, Segmenter, ThresholdStrategy};
 pub use sliding::SlidingWindowClassifier;
 pub use training::{Trainer, TrainingConfig, TrainingReport};

@@ -3,29 +3,48 @@
 //! The offline build's serde shims are no-ops, so the format is hand-rolled
 //! in the spirit of `sca-trace::io`: a little-endian binary layout built from
 //! the shared primitives in [`sca_trace::io`]. Weights are stored as raw
-//! IEEE-754 bits, so a save → load roundtrip reproduces every score
-//! **bit-exactly**.
+//! bits (IEEE-754 for `f32`, two's complement for `i8`), so a save → load
+//! roundtrip reproduces every score **bit-exactly**.
 //!
-//! ## Layout (version 1)
+//! ## Layout
+//!
+//! Both versions share one header and configuration block:
 //!
 //! ```text
 //! magic      8 bytes  "SCALOCEN"
-//! version    u32      1
+//! version    u32      1 (f32 weights) · 2 (quantised i8 weights)
 //! cnn config            base_filters u64 · kernel_size u64 · seed u64
 //! sliding config        window_len u64 · stride u64 · batch_size u64 ·
 //!                       standardize u8 · threads u64
 //! segmentation config   threshold tag u8 (0 Fixed · 1 MidRange · 2 MeanPlusStd) ·
 //!                       threshold value f32 · median_filter_k u64 ·
 //!                       min_distance_windows u64
+//! ```
+//!
+//! **Version 1** (full precision) continues with:
+//!
+//! ```text
 //! weights    u32 count, then per parameter: ndim u32 · dims u64… · data f32…
 //! buffers    u32 count, then per buffer:    len u64 · data f32…
 //! ```
 //!
-//! Parameters and buffers are enumerated in the fixed architecture order of
-//! [`CoLocatorCnn::params`] / [`CoLocatorCnn::buffers`]; the loader rebuilds
-//! the network from the stored configuration and verifies every shape, so a
-//! truncated, corrupted or incompatible file yields a typed [`PersistError`]
-//! instead of a panic or a silently wrong model.
+//! **Version 2** (quantised) stores every convolution GEMM operand as an
+//! `i8` block with per-output-channel `f32` scale vectors and the layer's
+//! `f32` bias (batch normalisation is folded into the convolutions at
+//! quantise time), followed by the `f32` fully connected head:
+//!
+//! ```text
+//! qblocks    u32 count, then per block: rows u64 · cols u64 ·
+//!            scales f32[rows] · bias f32[rows] · data i8[rows·cols]
+//! head       u32 count, then per parameter: len u64 · data f32…
+//! ```
+//!
+//! Blocks, parameters and buffers are enumerated in the fixed architecture
+//! order of the network's accessors; the loader rebuilds the network from
+//! the stored configuration and verifies every shape, so a truncated,
+//! corrupted or incompatible file yields a typed [`PersistError`] instead of
+//! a panic or a silently wrong model. Version 1 files written by older
+//! builds load unchanged.
 
 use std::fmt;
 use std::fs::File;
@@ -33,19 +52,25 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use sca_trace::io::{
-    read_f32s_le, read_u32_le, read_u64_le, write_f32s_le, write_u32_le, write_u64_le,
+    read_f32s_le, read_i8s, read_u32_le, read_u64_le, write_f32s_le, write_i8s, write_u32_le,
+    write_u64_le,
 };
 use tinynn::Tensor;
 
 use crate::cnn::{CnnConfig, CoLocatorCnn};
+use crate::engine::EngineModel;
+use crate::qcnn::QuantizedCoLocatorCnn;
 use crate::segmentation::{SegmentationConfig, Segmenter, ThresholdStrategy};
 use crate::sliding::SlidingWindowClassifier;
 
 /// File magic of the engine model format.
 pub const MAGIC: &[u8; 8] = b"SCALOCEN";
 
-/// Current format version.
+/// Format version of full-precision (`f32`) models.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Format version of quantised (`i8` weights + per-channel scales) models.
+pub const FORMAT_VERSION_QUANTIZED: u32 = 2;
 
 /// Upper bound accepted for any stored dimension — rejects absurd sizes from
 /// corrupt headers before they turn into multi-gigabyte allocations.
@@ -87,7 +112,8 @@ impl fmt::Display for PersistError {
             PersistError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported model format version {v} (this build reads {FORMAT_VERSION})"
+                    "unsupported model format version {v} (this build reads \
+                     {FORMAT_VERSION} and {FORMAT_VERSION_QUANTIZED})"
                 )
             }
             PersistError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
@@ -107,33 +133,27 @@ fn io_err(e: std::io::Error) -> PersistError {
     }
 }
 
-/// Serialises a trained engine (CNN weights + inference parameters) to
-/// `path`.
-///
-/// # Errors
-///
-/// Returns [`PersistError::Io`] if the file cannot be written.
-pub(crate) fn save_engine(
-    path: &Path,
-    cnn: &CoLocatorCnn,
+/// Writes the shared header + configuration block (everything between the
+/// magic and the version-specific weight payload).
+fn write_configs<W: Write>(
+    w: &mut W,
+    version: u32,
+    config: &CnnConfig,
     sliding: &SlidingWindowClassifier,
     segmenter: &Segmenter,
 ) -> Result<(), PersistError> {
-    let file = File::create(path).map_err(io_err)?;
-    let mut w = BufWriter::new(file);
     w.write_all(MAGIC).map_err(io_err)?;
-    write_u32_le(&mut w, FORMAT_VERSION).map_err(io_err)?;
+    write_u32_le(&mut *w, version).map_err(io_err)?;
 
-    let cfg = cnn.config();
-    write_u64_le(&mut w, cfg.base_filters as u64).map_err(io_err)?;
-    write_u64_le(&mut w, cfg.kernel_size as u64).map_err(io_err)?;
-    write_u64_le(&mut w, cfg.seed).map_err(io_err)?;
+    write_u64_le(&mut *w, config.base_filters as u64).map_err(io_err)?;
+    write_u64_le(&mut *w, config.kernel_size as u64).map_err(io_err)?;
+    write_u64_le(&mut *w, config.seed).map_err(io_err)?;
 
-    write_u64_le(&mut w, sliding.window_len() as u64).map_err(io_err)?;
-    write_u64_le(&mut w, sliding.stride() as u64).map_err(io_err)?;
-    write_u64_le(&mut w, sliding.batch_size() as u64).map_err(io_err)?;
+    write_u64_le(&mut *w, sliding.window_len() as u64).map_err(io_err)?;
+    write_u64_le(&mut *w, sliding.stride() as u64).map_err(io_err)?;
+    write_u64_le(&mut *w, sliding.batch_size() as u64).map_err(io_err)?;
     w.write_all(&[sliding.standardize() as u8]).map_err(io_err)?;
-    write_u64_le(&mut w, sliding.threads() as u64).map_err(io_err)?;
+    write_u64_le(&mut *w, sliding.threads() as u64).map_err(io_err)?;
 
     let seg = segmenter.config();
     let (tag, value) = match seg.threshold {
@@ -142,26 +162,63 @@ pub(crate) fn save_engine(
         ThresholdStrategy::MeanPlusStd(f) => (2u8, f),
     };
     w.write_all(&[tag]).map_err(io_err)?;
-    write_f32s_le(&mut w, &[value]).map_err(io_err)?;
-    write_u64_le(&mut w, seg.median_filter_k as u64).map_err(io_err)?;
-    write_u64_le(&mut w, seg.min_distance_windows as u64).map_err(io_err)?;
+    write_f32s_le(&mut *w, &[value]).map_err(io_err)?;
+    write_u64_le(&mut *w, seg.median_filter_k as u64).map_err(io_err)?;
+    write_u64_le(&mut *w, seg.min_distance_windows as u64).map_err(io_err)
+}
 
-    let params = cnn.params();
-    write_u32_le(&mut w, params.len() as u32).map_err(io_err)?;
-    for p in params {
-        let shape = p.value.shape();
-        write_u32_le(&mut w, shape.len() as u32).map_err(io_err)?;
-        for &dim in shape {
-            write_u64_le(&mut w, dim as u64).map_err(io_err)?;
+/// Serialises a trained engine (model weights + inference parameters) to
+/// `path`: format v1 for `f32` models, format v2 for quantised models.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] if the file cannot be written.
+pub(crate) fn save_engine(
+    path: &Path,
+    model: &EngineModel,
+    sliding: &SlidingWindowClassifier,
+    segmenter: &Segmenter,
+) -> Result<(), PersistError> {
+    let file = File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    match model {
+        EngineModel::F32(cnn) => {
+            write_configs(&mut w, FORMAT_VERSION, cnn.config(), sliding, segmenter)?;
+            let params = cnn.params();
+            write_u32_le(&mut w, params.len() as u32).map_err(io_err)?;
+            for p in params {
+                let shape = p.value.shape();
+                write_u32_le(&mut w, shape.len() as u32).map_err(io_err)?;
+                for &dim in shape {
+                    write_u64_le(&mut w, dim as u64).map_err(io_err)?;
+                }
+                write_f32s_le(&mut w, p.value.data()).map_err(io_err)?;
+            }
+            let buffers = cnn.buffers();
+            write_u32_le(&mut w, buffers.len() as u32).map_err(io_err)?;
+            for b in buffers {
+                write_u64_le(&mut w, b.len() as u64).map_err(io_err)?;
+                write_f32s_le(&mut w, b).map_err(io_err)?;
+            }
         }
-        write_f32s_le(&mut w, p.value.data()).map_err(io_err)?;
-    }
-
-    let buffers = cnn.buffers();
-    write_u32_le(&mut w, buffers.len() as u32).map_err(io_err)?;
-    for b in buffers {
-        write_u64_le(&mut w, b.len() as u64).map_err(io_err)?;
-        write_f32s_le(&mut w, b).map_err(io_err)?;
+        EngineModel::Quantized(qcnn) => {
+            write_configs(&mut w, FORMAT_VERSION_QUANTIZED, qcnn.config(), sliding, segmenter)?;
+            let gemms = qcnn.qgemms();
+            write_u32_le(&mut w, gemms.len() as u32).map_err(io_err)?;
+            for g in gemms {
+                write_u64_le(&mut w, g.rows() as u64).map_err(io_err)?;
+                write_u64_le(&mut w, g.cols() as u64).map_err(io_err)?;
+                write_f32s_le(&mut w, g.scales()).map_err(io_err)?;
+                write_f32s_le(&mut w, g.bias()).map_err(io_err)?;
+                write_i8s(&mut w, g.data()).map_err(io_err)?;
+            }
+            let head = qcnn.head_params();
+            write_u32_le(&mut w, head.len() as u32).map_err(io_err)?;
+            for p in head {
+                write_u64_le(&mut w, p.len() as u64).map_err(io_err)?;
+                write_f32s_le(&mut w, p.value.data()).map_err(io_err)?;
+            }
+        }
     }
     w.flush().map_err(io_err)
 }
@@ -175,7 +232,141 @@ fn read_dim<R: Read>(r: R, what: &str) -> Result<usize, PersistError> {
     Ok(v as usize)
 }
 
-/// Deserialises an engine model file written by [`save_engine`].
+/// Reads the v1 weight payload into a freshly constructed architecture.
+fn load_f32_payload<R: Read>(r: &mut R, config: CnnConfig) -> Result<CoLocatorCnn, PersistError> {
+    let mut cnn = CoLocatorCnn::new(config);
+    let expected_shapes: Vec<Vec<usize>> =
+        cnn.params().iter().map(|p| p.value.shape().to_vec()).collect();
+    let n_params = read_u32_le(&mut *r).map_err(io_err)? as usize;
+    if n_params != expected_shapes.len() {
+        return Err(PersistError::Corrupt(format!(
+            "parameter count {n_params} does not match the architecture ({})",
+            expected_shapes.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(n_params);
+    for expected in &expected_shapes {
+        let ndim = read_u32_le(&mut *r).map_err(io_err)? as usize;
+        if ndim != expected.len() {
+            return Err(PersistError::Corrupt(format!(
+                "parameter rank {ndim} does not match expected {:?}",
+                expected
+            )));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_dim(&mut *r, "parameter dimension")?);
+        }
+        if &shape != expected {
+            return Err(PersistError::Corrupt(format!(
+                "parameter shape {shape:?} does not match expected {expected:?}"
+            )));
+        }
+        let len: usize = shape.iter().product();
+        let data = read_f32s_le(&mut *r, len).map_err(io_err)?;
+        values.push(Tensor::from_vec(data, &shape));
+    }
+    for (param, value) in cnn.params_mut().into_iter().zip(values) {
+        param.value = value;
+    }
+    let expected_buffers: Vec<usize> = cnn.buffers().iter().map(|b| b.len()).collect();
+    let buffer_values = load_buffers(r, &expected_buffers)?;
+    for (buffer, value) in cnn.buffers_mut().into_iter().zip(buffer_values) {
+        *buffer = value;
+    }
+    Ok(cnn)
+}
+
+/// Reads the v2 quantised payload into a freshly constructed architecture.
+fn load_quantized_payload<R: Read>(
+    r: &mut R,
+    config: CnnConfig,
+) -> Result<QuantizedCoLocatorCnn, PersistError> {
+    // Build the architecture skeleton (the random init values are discarded;
+    // only the tensor geometry matters) and overwrite every payload.
+    let mut qcnn = QuantizedCoLocatorCnn::from_cnn(&CoLocatorCnn::new(config));
+
+    let expected_geoms: Vec<(usize, usize)> =
+        qcnn.qgemms().iter().map(|g| (g.rows(), g.cols())).collect();
+    let n_blocks = read_u32_le(&mut *r).map_err(io_err)? as usize;
+    if n_blocks != expected_geoms.len() {
+        return Err(PersistError::Corrupt(format!(
+            "quantised block count {n_blocks} does not match the architecture ({})",
+            expected_geoms.len()
+        )));
+    }
+    let mut payloads = Vec::with_capacity(n_blocks);
+    for &(rows, cols) in &expected_geoms {
+        let file_rows = read_dim(&mut *r, "quantised block rows")?;
+        let file_cols = read_dim(&mut *r, "quantised block cols")?;
+        if (file_rows, file_cols) != (rows, cols) {
+            return Err(PersistError::Corrupt(format!(
+                "quantised block geometry {file_rows}x{file_cols} does not match \
+                 expected {rows}x{cols}"
+            )));
+        }
+        let scales = read_f32s_le(&mut *r, rows).map_err(io_err)?;
+        let bias = read_f32s_le(&mut *r, rows).map_err(io_err)?;
+        let data = read_i8s(&mut *r, rows * cols).map_err(io_err)?;
+        payloads.push((data, scales, bias));
+    }
+    for (gemm, (data, scales, bias)) in qcnn.qgemms_mut().into_iter().zip(payloads) {
+        gemm.set_payload(data, scales, bias).map_err(PersistError::Corrupt)?;
+    }
+
+    let expected_head: Vec<Vec<usize>> =
+        qcnn.head_params().iter().map(|p| p.value.shape().to_vec()).collect();
+    let n_head = read_u32_le(&mut *r).map_err(io_err)? as usize;
+    if n_head != expected_head.len() {
+        return Err(PersistError::Corrupt(format!(
+            "head parameter count {n_head} does not match the architecture ({})",
+            expected_head.len()
+        )));
+    }
+    let mut head_values = Vec::with_capacity(n_head);
+    for shape in &expected_head {
+        let expected_len: usize = shape.iter().product();
+        let len = read_dim(&mut *r, "head parameter length")?;
+        if len != expected_len {
+            return Err(PersistError::Corrupt(format!(
+                "head parameter length {len} does not match expected {expected_len}"
+            )));
+        }
+        head_values.push(Tensor::from_vec(read_f32s_le(&mut *r, len).map_err(io_err)?, shape));
+    }
+    for (param, value) in qcnn.head_params_mut().into_iter().zip(head_values) {
+        param.value = value;
+    }
+    Ok(qcnn)
+}
+
+/// Reads a length-checked list of `f32` buffers (shared by both versions).
+fn load_buffers<R: Read>(
+    r: &mut R,
+    expected_lens: &[usize],
+) -> Result<Vec<Vec<f32>>, PersistError> {
+    let n_buffers = read_u32_le(&mut *r).map_err(io_err)? as usize;
+    if n_buffers != expected_lens.len() {
+        return Err(PersistError::Corrupt(format!(
+            "buffer count {n_buffers} does not match the architecture ({})",
+            expected_lens.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(n_buffers);
+    for &expected_len in expected_lens {
+        let len = read_dim(&mut *r, "buffer length")?;
+        if len != expected_len {
+            return Err(PersistError::Corrupt(format!(
+                "buffer length {len} does not match expected {expected_len}"
+            )));
+        }
+        values.push(read_f32s_le(&mut *r, len).map_err(io_err)?);
+    }
+    Ok(values)
+}
+
+/// Deserialises an engine model file written by [`save_engine`] — either
+/// format version.
 ///
 /// # Errors
 ///
@@ -186,7 +377,7 @@ fn read_dim<R: Read>(r: R, what: &str) -> Result<usize, PersistError> {
 /// * [`PersistError::Io`] — underlying filesystem failure.
 pub(crate) fn load_engine(
     path: &Path,
-) -> Result<(CoLocatorCnn, SlidingWindowClassifier, Segmenter), PersistError> {
+) -> Result<(EngineModel, SlidingWindowClassifier, Segmenter), PersistError> {
     let file = File::open(path).map_err(io_err)?;
     let mut r = BufReader::new(file);
 
@@ -196,7 +387,7 @@ pub(crate) fn load_engine(
         return Err(PersistError::BadMagic);
     }
     let version = read_u32_le(&mut r).map_err(io_err)?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != FORMAT_VERSION_QUANTIZED {
         return Err(PersistError::UnsupportedVersion(version));
     }
 
@@ -259,63 +450,12 @@ pub(crate) fn load_engine(
         )));
     }
 
-    let mut cnn = CoLocatorCnn::new(CnnConfig { base_filters, kernel_size, seed });
-    let expected_shapes: Vec<Vec<usize>> =
-        cnn.params().iter().map(|p| p.value.shape().to_vec()).collect();
-    let n_params = read_u32_le(&mut r).map_err(io_err)? as usize;
-    if n_params != expected_shapes.len() {
-        return Err(PersistError::Corrupt(format!(
-            "parameter count {n_params} does not match the architecture ({})",
-            expected_shapes.len()
-        )));
-    }
-    let mut values = Vec::with_capacity(n_params);
-    for expected in &expected_shapes {
-        let ndim = read_u32_le(&mut r).map_err(io_err)? as usize;
-        if ndim != expected.len() {
-            return Err(PersistError::Corrupt(format!(
-                "parameter rank {ndim} does not match expected {:?}",
-                expected
-            )));
-        }
-        let mut shape = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            shape.push(read_dim(&mut r, "parameter dimension")?);
-        }
-        if &shape != expected {
-            return Err(PersistError::Corrupt(format!(
-                "parameter shape {shape:?} does not match expected {expected:?}"
-            )));
-        }
-        let len: usize = shape.iter().product();
-        let data = read_f32s_le(&mut r, len).map_err(io_err)?;
-        values.push(Tensor::from_vec(data, &shape));
-    }
-    for (param, value) in cnn.params_mut().into_iter().zip(values) {
-        param.value = value;
-    }
-
-    let expected_buffers: Vec<usize> = cnn.buffers().iter().map(|b| b.len()).collect();
-    let n_buffers = read_u32_le(&mut r).map_err(io_err)? as usize;
-    if n_buffers != expected_buffers.len() {
-        return Err(PersistError::Corrupt(format!(
-            "buffer count {n_buffers} does not match the architecture ({})",
-            expected_buffers.len()
-        )));
-    }
-    let mut buffer_values = Vec::with_capacity(n_buffers);
-    for &expected_len in &expected_buffers {
-        let len = read_dim(&mut r, "buffer length")?;
-        if len != expected_len {
-            return Err(PersistError::Corrupt(format!(
-                "buffer length {len} does not match expected {expected_len}"
-            )));
-        }
-        buffer_values.push(read_f32s_le(&mut r, len).map_err(io_err)?);
-    }
-    for (buffer, value) in cnn.buffers_mut().into_iter().zip(buffer_values) {
-        *buffer = value;
-    }
+    let config = CnnConfig { base_filters, kernel_size, seed };
+    let model = if version == FORMAT_VERSION {
+        EngineModel::F32(load_f32_payload(&mut r, config)?)
+    } else {
+        EngineModel::Quantized(load_quantized_payload(&mut r, config)?)
+    };
 
     // Anything after the last buffer is not ours — reject it rather than
     // silently ignoring a concatenated or doctored file.
@@ -331,14 +471,14 @@ pub(crate) fn load_engine(
         .with_threads(threads);
     let segmenter =
         Segmenter::new(SegmentationConfig { threshold, median_filter_k, min_distance_windows });
-    Ok((cnn, sliding, segmenter))
+    Ok((model, sliding, segmenter))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn tiny_parts() -> (CoLocatorCnn, SlidingWindowClassifier, Segmenter) {
+    fn tiny_parts() -> (EngineModel, SlidingWindowClassifier, Segmenter) {
         let cnn = CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 9 });
         let sliding = SlidingWindowClassifier::new(16, 4).with_batch_size(8);
         let segmenter = Segmenter::new(SegmentationConfig {
@@ -346,7 +486,16 @@ mod tests {
             median_filter_k: 3,
             min_distance_windows: 2,
         });
-        (cnn, sliding, segmenter)
+        (EngineModel::F32(cnn), sliding, segmenter)
+    }
+
+    fn tiny_quantized_parts() -> (EngineModel, SlidingWindowClassifier, Segmenter) {
+        let (model, sliding, segmenter) = tiny_parts();
+        let qcnn = match &model {
+            EngineModel::F32(cnn) => QuantizedCoLocatorCnn::from_cnn(cnn),
+            EngineModel::Quantized(_) => unreachable!(),
+        };
+        (EngineModel::Quantized(qcnn), sliding, segmenter)
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -355,10 +504,18 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_weights_and_config_bit_exactly() {
-        let (cnn, sliding, segmenter) = tiny_parts();
+        let (model, sliding, segmenter) = tiny_parts();
         let path = temp_path("roundtrip");
-        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
-        let (cnn2, sliding2, segmenter2) = load_engine(&path).unwrap();
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
+        let (model2, sliding2, segmenter2) = load_engine(&path).unwrap();
+        let cnn = match &model {
+            EngineModel::F32(cnn) => cnn,
+            EngineModel::Quantized(_) => unreachable!(),
+        };
+        let cnn2 = match &model2 {
+            EngineModel::F32(cnn) => cnn,
+            other => panic!("expected an f32 model, got {other:?}"),
+        };
         assert_eq!(cnn2.config(), cnn.config());
         assert_eq!(sliding2, sliding);
         assert_eq!(segmenter2.config(), segmenter.config());
@@ -375,28 +532,54 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_corrupt_not_panic() {
-        let (cnn, sliding, segmenter) = tiny_parts();
-        let path = temp_path("truncated");
-        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
-        let bytes = std::fs::read(&path).unwrap();
-        // Cut the file at several depths: inside the header, inside the
-        // config block and inside the weight payload.
-        for cut in [4usize, 11, 40, bytes.len() / 2, bytes.len() - 1] {
-            std::fs::write(&path, &bytes[..cut]).unwrap();
-            match load_engine(&path) {
-                Err(PersistError::Corrupt(_)) => {}
-                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
-            }
+    fn quantized_roundtrip_is_bit_exact() {
+        let (model, sliding, segmenter) = tiny_quantized_parts();
+        let path = temp_path("qroundtrip");
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        let (model2, sliding2, _seg2) = load_engine(&path).unwrap();
+        assert_eq!(sliding2, sliding);
+        let (qcnn, qcnn2) = match (&model, &model2) {
+            (EngineModel::Quantized(a), EngineModel::Quantized(b)) => (a, b),
+            other => panic!("expected quantised models, got {other:?}"),
+        };
+        for (a, b) in qcnn.qgemms().iter().zip(qcnn2.qgemms().iter()) {
+            assert_eq!(a, b, "quantised blocks must roundtrip bit-exactly");
         }
+        // Save → load → save must be byte-identical.
+        let path2 = temp_path("qroundtrip2");
+        save_engine(&path2, &model2, &sliding2, &_seg2).unwrap();
+        assert_eq!(std::fs::read(&path2).unwrap(), first);
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_panic() {
+        for (what, (model, sliding, segmenter)) in
+            [("f32", tiny_parts()), ("quantized", tiny_quantized_parts())]
+        {
+            let path = temp_path(&format!("truncated_{what}"));
+            save_engine(&path, &model, &sliding, &segmenter).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            // Cut the file at several depths: inside the header, inside the
+            // config block and inside the weight payload.
+            for cut in [4usize, 11, 40, bytes.len() / 2, bytes.len() - 1] {
+                std::fs::write(&path, &bytes[..cut]).unwrap();
+                match load_engine(&path) {
+                    Err(PersistError::Corrupt(_)) => {}
+                    other => panic!("{what} cut at {cut}: expected Corrupt, got {other:?}"),
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]
     fn bad_magic_is_typed() {
-        let (cnn, sliding, segmenter) = tiny_parts();
+        let (model, sliding, segmenter) = tiny_parts();
         let path = temp_path("magic");
-        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[0] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
@@ -406,9 +589,9 @@ mod tests {
 
     #[test]
     fn wrong_version_is_typed() {
-        let (cnn, sliding, segmenter) = tiny_parts();
+        let (model, sliding, segmenter) = tiny_parts();
         let path = temp_path("version");
-        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
@@ -417,25 +600,45 @@ mod tests {
     }
 
     #[test]
-    fn trailing_garbage_is_corrupt() {
-        let (cnn, sliding, segmenter) = tiny_parts();
-        let path = temp_path("trailing");
-        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+    fn version_payload_mismatch_is_corrupt() {
+        // Flip a v2 file's version field to 1: the payload no longer parses
+        // as f32 tensors and must surface as Corrupt, not a wrong model.
+        let (model, sliding, segmenter) = tiny_quantized_parts();
+        let path = temp_path("vmix");
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes.push(0x42);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         match load_engine(&path) {
-            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("trailing")),
+            Err(PersistError::Corrupt(_)) => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
+    fn trailing_garbage_is_corrupt() {
+        for (what, (model, sliding, segmenter)) in
+            [("f32", tiny_parts()), ("quantized", tiny_quantized_parts())]
+        {
+            let path = temp_path(&format!("trailing_{what}"));
+            save_engine(&path, &model, &sliding, &segmenter).unwrap();
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes.push(0x42);
+            std::fs::write(&path, &bytes).unwrap();
+            match load_engine(&path) {
+                Err(PersistError::Corrupt(msg)) => assert!(msg.contains("trailing")),
+                other => panic!("{what}: expected Corrupt, got {other:?}"),
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
     fn absurd_config_is_rejected_before_network_construction() {
-        let (cnn, sliding, segmenter) = tiny_parts();
+        let (model, sliding, segmenter) = tiny_parts();
         let path = temp_path("absurd");
-        save_engine(&path, &cnn, &sliding, &segmenter).unwrap();
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         // base_filters lives right after magic (8) + version (4).
         bytes[12..20].copy_from_slice(&4_000_000_000u64.to_le_bytes());

@@ -1,0 +1,224 @@
+//! Quantised variant of the CO-locator CNN (`i8` weights, per-channel
+//! scales).
+//!
+//! [`QuantizedCoLocatorCnn`] mirrors the block sequence of
+//! [`CoLocatorCnn`] (Figure 2) with every convolution replaced by its
+//! quantised counterpart from [`tinynn::qlayers`]. Batch normalisation does
+//! not survive quantisation as a separate layer: at inference it is a
+//! per-channel affine transform, which
+//! [`tinynn::QuantizedConv1d::from_conv_folded`] folds into the preceding
+//! convolution's weights and bias before the `i8` grid is chosen (the
+//! per-channel scales absorb the rescaling exactly). Inner ReLUs are fused
+//! into their producing layer, so the quantised network is a chain of
+//! integer GEMMs plus the pooling/shortcut glue. The tiny fully connected
+//! head stays `f32` (see [`QuantizedCoLocatorCnn::from_cnn`] for why).
+//!
+//! The network is produced by quantising a *trained* `f32` network
+//! ([`QuantizedCoLocatorCnn::from_cnn`]) and is inference-only: it holds no
+//! gradients and cannot be trained further.
+//!
+//! Like the `f32` network it implements [`WindowScorer`], so the
+//! sliding-window classifier, the shard fan-out and the engine's batched
+//! serving path all work on it unchanged. Scores are deterministic and
+//! independent of batch composition (activation scales are per window), so
+//! thread count never changes a score bit.
+
+use tinynn::{
+    GlobalAvgPool1d, Layer, Linear, Param, QuantizedConv1d, QuantizedGemm,
+    QuantizedResidualBlock1d, Relu, Tensor, Workspace,
+};
+
+use crate::cnn::{CnnConfig, CoLocatorCnn, WindowScorer};
+
+/// The quantised CO-locator CNN.
+#[derive(Debug, Clone)]
+pub struct QuantizedCoLocatorCnn {
+    config: CnnConfig,
+    conv: QuantizedConv1d,
+    res1: QuantizedResidualBlock1d,
+    res2: QuantizedResidualBlock1d,
+    pool: GlobalAvgPool1d,
+    fc1: Linear,
+    fc_relu: Relu,
+    fc2: Linear,
+}
+
+impl QuantizedCoLocatorCnn {
+    /// Quantises a trained `f32` network: per-output-channel symmetric `i8`
+    /// weights for every convolution (the conv GEMMs are where essentially
+    /// all inference time goes), with every batch-norm folded into its
+    /// convolution and the inner ReLUs fused.
+    ///
+    /// The tiny fully connected head stays `f32` on purpose: it is ~0.05%
+    /// of the per-window compute, while the class-1 margin is *most*
+    /// sensitive to rounding of exactly those few weights (they multiply
+    /// the pooled features straight into the output). Keeping the head full
+    /// precision is what holds the end-to-end score divergence inside the
+    /// 1e-2 parity envelope.
+    pub fn from_cnn(cnn: &CoLocatorCnn) -> Self {
+        let (conv, bn, res1, res2, fc1, fc2) = cnn.parts();
+        Self {
+            config: *cnn.config(),
+            conv: QuantizedConv1d::from_conv_folded(conv, bn, true),
+            res1: QuantizedResidualBlock1d::from_residual(res1),
+            res2: QuantizedResidualBlock1d::from_residual(res2),
+            pool: GlobalAvgPool1d::new(),
+            fc1: fc1.clone(),
+            fc_relu: Relu::new(),
+            fc2: fc2.clone(),
+        }
+    }
+
+    /// The architecture configuration of the quantised network (identical to
+    /// the `f32` network it was quantised from).
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Inference forward pass: windows `[B, 1, N]` → class logits `[B, 2]`.
+    pub fn forward(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        // The stem conv carries its batch-norm and ReLU folded.
+        let x = self.conv.forward(input, ws, false);
+        let x = self.res1.forward(&x, ws, false);
+        let x = self.res2.forward(&x, ws, false);
+        let x = self.pool.forward(&x, ws, false);
+        let x = self.fc1.forward(&x, ws, false);
+        let x = self.fc_relu.forward(&x, ws, false);
+        self.fc2.forward(&x, ws, false)
+    }
+
+    /// Scores a batch of windows with the linear class-1 margin, writing
+    /// into a caller-owned buffer (cleared first).
+    pub fn class1_scores_into(&self, input: &Tensor, ws: &mut Workspace, scores: &mut Vec<f32>) {
+        let logits = self.forward(input, ws);
+        scores.clear();
+        scores.reserve(logits.shape()[0]);
+        for b in 0..logits.shape()[0] {
+            scores.push(logits.at2(b, 1) - logits.at2(b, 0));
+        }
+    }
+
+    /// Scores a batch of windows, returning a fresh score vector.
+    pub fn class1_scores(&self, input: &Tensor, ws: &mut Workspace) -> Vec<f32> {
+        let mut scores = Vec::new();
+        self.class1_scores_into(input, ws, &mut scores);
+        scores
+    }
+
+    /// Every quantised GEMM operand in a fixed architecture order (the model
+    /// persistence format relies on this order): `conv`, then the
+    /// residual-block convs of `res1` and `res2`.
+    pub fn qgemms(&self) -> Vec<&QuantizedGemm> {
+        let mut gemms = vec![self.conv.gemm()];
+        gemms.extend(self.res1.gemms());
+        gemms.extend(self.res2.gemms());
+        gemms
+    }
+
+    /// Mutable access to the quantised operands (same order as
+    /// [`Self::qgemms`]).
+    pub fn qgemms_mut(&mut self) -> Vec<&mut QuantizedGemm> {
+        let mut gemms = vec![self.conv.gemm_mut()];
+        gemms.extend(self.res1.gemms_mut());
+        gemms.extend(self.res2.gemms_mut());
+        gemms
+    }
+
+    /// The `f32` parameters of the fully connected head, in a fixed order
+    /// (`fc1` weight/bias, then `fc2` weight/bias) matching
+    /// [`Self::head_params_mut`] — the model persistence format relies on
+    /// this order.
+    pub fn head_params(&self) -> Vec<&Param> {
+        let mut params = self.fc1.params();
+        params.extend(self.fc2.params());
+        params
+    }
+
+    /// Mutable access to the head parameters (same order as
+    /// [`Self::head_params`]).
+    pub fn head_params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.fc1.params_mut();
+        params.extend(self.fc2.params_mut());
+        params
+    }
+
+    /// Total bytes of quantised weight storage (the `i8` blocks only).
+    pub fn quantized_weight_bytes(&self) -> usize {
+        self.qgemms().iter().map(|g| g.quantized_bytes()).sum()
+    }
+}
+
+impl WindowScorer for QuantizedCoLocatorCnn {
+    fn score_windows_into(&self, input: &Tensor, ws: &mut Workspace, scores: &mut Vec<f32>) {
+        self.class1_scores_into(input, ws, scores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cnn() -> CoLocatorCnn {
+        CoLocatorCnn::new(CnnConfig { base_filters: 4, kernel_size: 5, seed: 11 })
+    }
+
+    fn windows(count: usize, len: usize) -> Tensor {
+        let windows: Vec<Vec<f32>> = (0..count)
+            .map(|w| (0..len).map(|i| ((i + 3 * w) as f32 * 0.17).sin()).collect())
+            .collect();
+        CoLocatorCnn::stack_windows(&windows)
+    }
+
+    #[test]
+    fn quantised_scores_track_f32_scores() {
+        let cnn = tiny_cnn();
+        let qcnn = QuantizedCoLocatorCnn::from_cnn(&cnn);
+        let mut ws = Workspace::new();
+        let x = windows(6, 48);
+        let f32_scores = cnn.class1_scores(&x, &mut ws);
+        let q_scores = qcnn.class1_scores(&x, &mut ws);
+        assert_eq!(f32_scores.len(), q_scores.len());
+        for (a, b) in q_scores.iter().zip(f32_scores.iter()) {
+            assert!((a - b).abs() <= 1e-2, "quantised {a} vs f32 {b}");
+        }
+    }
+
+    #[test]
+    fn quantised_scores_are_independent_of_batch_composition() {
+        let qcnn = QuantizedCoLocatorCnn::from_cnn(&tiny_cnn());
+        let mut ws = Workspace::new();
+        let all = windows(5, 32);
+        let batched = qcnn.class1_scores(&all, &mut ws);
+        for (w, expected) in batched.iter().enumerate() {
+            let single = Tensor::from_vec(all.data()[w * 32..(w + 1) * 32].to_vec(), &[1, 1, 32]);
+            let one = qcnn.class1_scores(&single, &mut ws);
+            assert_eq!(one[0].to_bits(), expected.to_bits(), "window {w}");
+        }
+    }
+
+    #[test]
+    fn enumeration_orders_are_consistent() {
+        let mut qcnn = QuantizedCoLocatorCnn::from_cnn(&tiny_cnn());
+        // conv + res1 (2 convs) + res2 (2 convs + projection).
+        assert_eq!(qcnn.qgemms().len(), 6);
+        let geoms: Vec<(usize, usize)> =
+            qcnn.qgemms().iter().map(|g| (g.rows(), g.cols())).collect();
+        let geoms_mut: Vec<(usize, usize)> =
+            qcnn.qgemms_mut().iter().map(|g| (g.rows(), g.cols())).collect();
+        assert_eq!(geoms, geoms_mut);
+        assert!(qcnn.quantized_weight_bytes() > 0);
+        // The f32 head: fc1 weight/bias + fc2 weight/bias.
+        let head: Vec<usize> = qcnn.head_params().iter().map(|p| p.len()).collect();
+        let head_mut: Vec<usize> = qcnn.head_params_mut().iter().map(|p| p.len()).collect();
+        assert_eq!(head, head_mut);
+        assert_eq!(head.len(), 4);
+    }
+
+    #[test]
+    fn supports_different_window_lengths() {
+        let qcnn = QuantizedCoLocatorCnn::from_cnn(&tiny_cnn());
+        let mut ws = Workspace::new();
+        assert_eq!(qcnn.forward(&windows(1, 40), &mut ws).shape(), &[1, 2]);
+        assert_eq!(qcnn.forward(&windows(1, 24), &mut ws).shape(), &[1, 2]);
+    }
+}

@@ -20,7 +20,7 @@ use sca_trace::{Trace, WindowSlicer};
 use serde::{Deserialize, Serialize};
 use tinynn::{Tensor, Workspace};
 
-use crate::cnn::CoLocatorCnn;
+use crate::cnn::{CoLocatorCnn, WindowScorer};
 
 /// The sliding-window classifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,9 +100,12 @@ impl SlidingWindowClassifier {
     /// Runs the sliding-window classification, returning the `swc` score
     /// signal (one score per window, in window order).
     ///
-    /// The CNN is borrowed immutably: shards share the weights and allocate
-    /// only a per-thread [`Workspace`].
-    pub fn classify(&self, cnn: &CoLocatorCnn, trace: &Trace) -> Vec<f32> {
+    /// Generic over [`WindowScorer`], so the `f32` CNN, its quantised
+    /// counterpart and the engine's model wrapper all score through this one
+    /// path (including the shard fan-out). The scorer is borrowed immutably:
+    /// shards share the weights and allocate only a per-thread
+    /// [`Workspace`].
+    pub fn classify<S: WindowScorer>(&self, cnn: &S, trace: &Trace) -> Vec<f32> {
         let slicer = WindowSlicer::new(self.window_len, self.stride)
             .expect("parameters validated at construction");
         let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
@@ -197,9 +200,9 @@ impl SlidingWindowClassifier {
 
     /// Scores a contiguous shard of window starts into `out`, reusing one
     /// `[batch, 1, N]` tensor and one score buffer for the whole shard.
-    fn classify_shard(
+    fn classify_shard<S: WindowScorer>(
         &self,
-        cnn: &CoLocatorCnn,
+        cnn: &S,
         ws: &mut Workspace,
         starts: &[usize],
         trace: &Trace,
@@ -226,7 +229,7 @@ impl SlidingWindowClassifier {
                     sca_trace::dsp::standardize_in_place(row);
                 }
             }
-            cnn.class1_scores_into(tensor, ws, &mut scores_buf);
+            cnn.score_windows_into(tensor, ws, &mut scores_buf);
             out[offset..offset + chunk.len()].copy_from_slice(&scores_buf);
             offset += chunk.len();
         }

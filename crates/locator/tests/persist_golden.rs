@@ -1,0 +1,179 @@
+//! Golden-file tests of the engine model format: byte-exact v1 and v2
+//! fixtures checked in under `tests/fixtures/`, loaded and verified against
+//! freshly constructed engines.
+//!
+//! The in-crate unit tests cover the error paths against in-memory buffers;
+//! these tests pin the *on-disk* artefacts: the exact bytes a past build
+//! wrote must keep loading, a fresh save of the same deterministic model
+//! must reproduce them bit-for-bit (format stability), and every typed error
+//! must surface from mutated copies of the real files.
+//!
+//! Regenerate the fixtures after an *intentional* format change with
+//! `cargo test -p sca-locator --test persist_golden -- --ignored`.
+
+use std::path::PathBuf;
+
+use sca_locator::{
+    CnnConfig, CoLocatorCnn, LocatorEngine, PersistError, SegmentationConfig, Segmenter,
+    SlidingWindowClassifier, ThresholdStrategy,
+};
+use sca_trace::Trace;
+
+/// The deterministic reference engine behind both fixtures: fixed seeds
+/// everywhere, so every build constructs bit-identical weights.
+fn golden_engine() -> LocatorEngine {
+    LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 77 }),
+        SlidingWindowClassifier::new(24, 6).with_batch_size(16).with_threads(2),
+        Segmenter::new(SegmentationConfig {
+            threshold: ThresholdStrategy::MeanPlusStd(1.25),
+            median_filter_k: 5,
+            min_distance_windows: 3,
+        }),
+    )
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sca_locator_golden_{name}_{}", std::process::id()))
+}
+
+fn golden_trace() -> Trace {
+    Trace::from_samples(
+        (0..480).map(|i| (i as f32 * 0.11).sin() * (1.0 + i as f32 * 1e-3)).collect(),
+    )
+}
+
+/// One-time fixture writer (run explicitly with `--ignored` after an
+/// intentional format change; never runs in CI).
+#[test]
+#[ignore = "regenerates the golden fixtures in the source tree"]
+fn regenerate_fixtures() {
+    let engine = golden_engine();
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    engine.save(fixture_path("engine_v1.scaloc")).unwrap();
+    engine.quantize().save(fixture_path("engine_v2.scaloc")).unwrap();
+}
+
+#[test]
+fn v1_fixture_loads_and_matches_fresh_save_byte_exactly() {
+    let engine = golden_engine();
+    let restored = LocatorEngine::load(fixture_path("engine_v1.scaloc")).expect("load v1 fixture");
+    assert!(!restored.is_quantized());
+    assert_eq!(restored.cnn().unwrap().config(), engine.cnn().unwrap().config());
+    assert_eq!(restored.sliding(), engine.sliding());
+    assert_eq!(restored.segmenter().config(), engine.segmenter().config());
+
+    // The deterministic engine must keep serialising to the committed bytes:
+    // any accidental layout change shows up as a byte diff here.
+    let fresh = temp_path("v1");
+    engine.save(&fresh).unwrap();
+    assert_eq!(
+        std::fs::read(&fresh).unwrap(),
+        std::fs::read(fixture_path("engine_v1.scaloc")).unwrap(),
+        "format v1 serialisation drifted from the golden fixture"
+    );
+    std::fs::remove_file(&fresh).ok();
+
+    // And the loaded model scores bit-identically to the in-memory one.
+    let trace = golden_trace();
+    let (scores_a, starts_a) = engine.locate_detailed(&trace);
+    let (scores_b, starts_b) = restored.locate_detailed(&trace);
+    assert_eq!(starts_a, starts_b);
+    for (a, b) in scores_a.iter().zip(scores_b.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "fixture model must score bit-identically");
+    }
+}
+
+#[test]
+fn v2_fixture_loads_and_matches_fresh_save_byte_exactly() {
+    let qengine = golden_engine().quantize();
+    let restored = LocatorEngine::load(fixture_path("engine_v2.scaloc")).expect("load v2 fixture");
+    assert!(restored.is_quantized());
+    assert!(restored.cnn().is_none(), "a quantised engine exposes no f32 CNN");
+
+    let fresh = temp_path("v2");
+    qengine.save(&fresh).unwrap();
+    assert_eq!(
+        std::fs::read(&fresh).unwrap(),
+        std::fs::read(fixture_path("engine_v2.scaloc")).unwrap(),
+        "format v2 serialisation drifted from the golden fixture"
+    );
+    std::fs::remove_file(&fresh).ok();
+
+    let trace = golden_trace();
+    let (scores_a, starts_a) = qengine.locate_detailed(&trace);
+    let (scores_b, starts_b) = restored.locate_detailed(&trace);
+    assert_eq!(starts_a, starts_b);
+    for (a, b) in scores_a.iter().zip(scores_b.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "v2 fixture model must score bit-identically");
+    }
+}
+
+#[test]
+fn v2_file_is_smaller_than_v1() {
+    let v1 = std::fs::metadata(fixture_path("engine_v1.scaloc")).unwrap().len();
+    let v2 = std::fs::metadata(fixture_path("engine_v2.scaloc")).unwrap().len();
+    assert!(v2 < v1, "quantised model file ({v2} bytes) should undercut the f32 one ({v1} bytes)");
+}
+
+#[test]
+fn bad_magic_on_fixture_bytes_is_typed() {
+    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc"] {
+        let mut bytes = std::fs::read(fixture_path(fixture)).unwrap();
+        bytes[0] ^= 0xFF;
+        let path = temp_path("magic");
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(LocatorEngine::load(&path).unwrap_err(), PersistError::BadMagic, "{fixture}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn unknown_version_on_fixture_bytes_is_typed() {
+    let mut bytes = std::fs::read(fixture_path("engine_v1.scaloc")).unwrap();
+    bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
+    let path = temp_path("version");
+    std::fs::write(&path, &bytes).unwrap();
+    assert_eq!(LocatorEngine::load(&path).unwrap_err(), PersistError::UnsupportedVersion(3));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncation_of_fixture_bytes_is_corrupt_at_every_boundary() {
+    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc"] {
+        let bytes = std::fs::read(fixture_path(fixture)).unwrap();
+        let path = temp_path("trunc");
+        // Walk a spread of cut points through header, configs and payload.
+        for cut in [0usize, 4, 8, 11, 12, 20, 60, bytes.len() / 3, bytes.len() - 4, bytes.len() - 1]
+        {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            match LocatorEngine::load(&path) {
+                Err(PersistError::Corrupt(_)) => {}
+                Err(PersistError::BadMagic) if cut < 8 => {}
+                other => panic!("{fixture} cut at {cut}: expected a typed error, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn trailing_data_on_fixture_bytes_is_corrupt() {
+    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc"] {
+        let mut bytes = std::fs::read(fixture_path(fixture)).unwrap();
+        bytes.extend_from_slice(b"junk");
+        let path = temp_path("trail");
+        std::fs::write(&path, &bytes).unwrap();
+        match LocatorEngine::load(&path) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("trailing"), "{fixture}: {msg}")
+            }
+            other => panic!("{fixture}: expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -178,6 +178,16 @@ impl Linear {
         self.out_features
     }
 
+    /// The `[out, in]` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The `[out]` bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
     /// Naive scalar-loop forward pass, kept as the parity reference for the
     /// GEMM implementation. Pure: touches no caches.
     pub fn forward_reference(&self, input: &Tensor) -> Tensor {
@@ -306,7 +316,9 @@ thread_local! {
 /// `c` shifted by `t - pad`, zero-padded at the borders — every row is a
 /// single contiguous `copy_from_slice` plus zero fills, and the row order
 /// matches the `[out_c, in_c, kernel]` weight layout so the weight tensor is
-/// usable as the GEMM left operand without repacking.
+/// usable as the GEMM left operand without repacking. (The quantised
+/// convolution does not lower at all — see `qlayers::transpose_pad_q` for
+/// its channels-last windowing.)
 fn im2col(col: &mut Vec<f32>, x: &[f32], channels: usize, len: usize, kernel: usize, pad: usize) {
     col.resize(channels * kernel * len, 0.0);
     for c in 0..channels {
@@ -399,9 +411,24 @@ impl Conv1d {
         self.kernel_size
     }
 
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
         self.out_channels
+    }
+
+    /// The `[out_c, in_c, kernel]` weight tensor.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The `[out_c]` bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
     }
 
     #[inline]
@@ -624,6 +651,21 @@ impl BatchNorm1d {
     /// Number of normalised channels.
     pub fn channels(&self) -> usize {
         self.channels
+    }
+
+    /// The per-channel affine transform this layer applies at *inference*
+    /// (`y = scale · x + shift` from the running statistics) — the fold the
+    /// quantised layers absorb into a preceding convolution's per-channel
+    /// scales and bias.
+    pub fn inference_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut scale = vec![0.0f32; self.channels];
+        let mut shift = vec![0.0f32; self.channels];
+        for c in 0..self.channels {
+            let inv = 1.0 / (self.running_var[c] + self.eps).sqrt();
+            scale[c] = self.gamma.value.data()[c] * inv;
+            shift[c] = self.beta.value.data()[c] - self.running_mean[c] * scale[c];
+        }
+        (scale, shift)
     }
 
     #[inline]
@@ -959,6 +1001,22 @@ impl ResidualBlock1d {
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
         self.conv2.out_channels()
+    }
+
+    /// Shared access to the block's sub-layers, in forward order:
+    /// `(conv1, bn1, conv2, bn2, projection)`. Used by the quantised layer
+    /// variants to mirror the block structure.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts(
+        &self,
+    ) -> (&Conv1d, &BatchNorm1d, &Conv1d, &BatchNorm1d, Option<(&Conv1d, &BatchNorm1d)>) {
+        (
+            &self.conv1,
+            &self.bn1,
+            &self.conv2,
+            &self.bn2,
+            self.projection.as_ref().map(|(c, b)| (c, b)),
+        )
     }
 
     /// Inference forward pass routing every convolution through

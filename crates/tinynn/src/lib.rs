@@ -58,6 +58,8 @@ pub mod metrics;
 pub mod optim;
 pub mod parallel;
 pub mod param;
+pub mod qlayers;
+pub mod quant;
 pub mod tensor;
 pub mod workspace;
 
@@ -70,5 +72,7 @@ pub use loss::CrossEntropyLoss;
 pub use metrics::{accuracy, ConfusionMatrix};
 pub use optim::{Adam, Sgd};
 pub use param::Param;
+pub use qlayers::{QuantizedConv1d, QuantizedLinear, QuantizedResidualBlock1d};
+pub use quant::QuantizedGemm;
 pub use tensor::Tensor;
 pub use workspace::Workspace;

@@ -153,6 +153,303 @@ pub fn matmul_par(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: us
     });
 }
 
+// ---------------------------------------------------------------------------
+// Quantised kernels (i8-range weight codes × i16 activations, i32 panels)
+// ---------------------------------------------------------------------------
+
+/// Depth-panel height of the quantised kernels, chosen so an `i32`
+/// accumulator can never overflow: every product of an i8-range code with an
+/// i16 code is bounded by `127 · 32767 < 2²²`, and `QK` of them sum to below
+/// `2³⁰`.
+pub const QK: usize = 256;
+
+/// Exact integer dot product of two `K`-element rows (compile-time length).
+///
+/// Both operands are `i16` so the reduction is the x86 `vpmaddwd` idiom
+/// (pairwise i16 multiply-add); the constant trip count lets LLVM fully
+/// unroll and vectorise it with no scalar epilogue (~1.5–2× the throughput
+/// of the runtime-length loop, and ~2× the f32 FMA GEMM at the network's
+/// fan-ins — the reason the quantised path beats the `f32` kernels).
+/// Overflow-free for `K ≤ QK` when one operand holds i8-range codes
+/// (|v| ≤ 127, the widened weight blocks of
+/// [`crate::quant::QuantizedGemm::data16`]).
+#[inline]
+fn q_dot_const<const K: usize>(a: &[i16], b: &[i16]) -> i32 {
+    let a = &a[..K];
+    let b = &b[..K];
+    let mut acc = 0i32;
+    for t in 0..K {
+        acc += a[t] as i32 * b[t] as i32;
+    }
+    acc
+}
+
+/// Runtime-length fallback of [`q_dot_const`] (still the `pmaddwd` idiom,
+/// with a scalar epilogue). Overflow-free for `a.len() ≤ QK`.
+#[inline]
+fn q_dot_any(a: &[i16], b: &[i16]) -> i32 {
+    let mut acc = 0i32;
+    for (&av, &bv) in a.iter().zip(b.iter()) {
+        acc += av as i32 * bv as i32;
+    }
+    acc
+}
+
+/// Deep dot (`k > QK`): exact `i32` accumulation inside [`QK`]-element
+/// panels (constant-length, overflow-free), summed in `i64` across panels.
+#[inline]
+fn q_dot_deep(a: &[i16], b: &[i16]) -> i64 {
+    let mut total = 0i64;
+    let mut ita = a.chunks_exact(QK);
+    let mut itb = b.chunks_exact(QK);
+    for (a_chunk, b_chunk) in (&mut ita).zip(&mut itb) {
+        total += q_dot_const::<QK>(a_chunk, b_chunk) as i64;
+    }
+    total + q_dot_any(ita.remainder(), itb.remainder()) as i64
+}
+
+/// The convolution-shaped GEMM body, monomorphised per depth `K ≤ QK`. The
+/// `stride` between consecutive activation rows is independent of `K`, so
+/// the same body serves the packed `[n, K]` layout (`stride == K`) and the
+/// channels-last sliding-window layout (`stride == channels`, rows
+/// overlapping by `K - stride` codes).
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+fn gemm_q8_const<const K: usize>(
+    c: &mut [f32],
+    a: &[i16],
+    a_scales: &[f32],
+    b: &[i16],
+    b_scale: f32,
+    m: usize,
+    n: usize,
+    stride: usize,
+) {
+    for j in 0..n {
+        let b_row = &b[j * stride..j * stride + K];
+        for i in 0..m {
+            c[i * n + j] +=
+                a_scales[i] * b_scale * q_dot_const::<K>(&a[i * K..(i + 1) * K], b_row) as f32;
+        }
+    }
+}
+
+/// The convolution-shaped GEMM body for depths without a specialisation.
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+fn gemm_q8_any(
+    c: &mut [f32],
+    a: &[i16],
+    a_scales: &[f32],
+    b: &[i16],
+    b_scale: f32,
+    m: usize,
+    n: usize,
+    stride: usize,
+    k: usize,
+) {
+    let deep = k > QK;
+    for j in 0..n {
+        let b_row = &b[j * stride..j * stride + k];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let dot = if deep { q_dot_deep(a_row, b_row) } else { q_dot_any(a_row, b_row) as i64 };
+            c[i * n + j] += a_scales[i] * b_scale * dot as f32;
+        }
+    }
+}
+
+/// The fully-connected-shaped GEMM body, monomorphised per depth `K ≤ QK`.
+fn gemm_q8_a_bt_const<const K: usize>(
+    c: &mut [f32],
+    a: &[i16],
+    a_scales: &[f32],
+    b: &[i16],
+    b_scales: &[f32],
+    m: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * K..(i + 1) * K];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            *cv +=
+                a_scales[i] * b_scales[j] * q_dot_const::<K>(a_row, &b[j * K..(j + 1) * K]) as f32;
+        }
+    }
+}
+
+/// The fully-connected-shaped GEMM body for depths without a
+/// specialisation.
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+fn gemm_q8_a_bt_any(
+    c: &mut [f32],
+    a: &[i16],
+    a_scales: &[f32],
+    b: &[i16],
+    b_scales: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let deep = k > QK;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let dot = if deep { q_dot_deep(a_row, b_row) } else { q_dot_any(a_row, b_row) as i64 };
+            *cv += a_scales[i] * b_scales[j] * dot as f32;
+        }
+    }
+}
+
+/// Expands a `match` over the depth dimension that routes the common
+/// conv/linear fan-ins (`in_c · kernel` and `2f` across the paper, scaled
+/// and test configurations) to their monomorphised constant-depth GEMM
+/// bodies, leaving every other depth on the runtime-length path.
+macro_rules! q8_dispatch {
+    ($k:expr, $const_body:ident, $any_body:ident, ($($args:expr),*)) => {
+        match $k {
+            8 => $const_body::<8>($($args),*),
+            9 => $const_body::<9>($($args),*),
+            12 => $const_body::<12>($($args),*),
+            16 => $const_body::<16>($($args),*),
+            18 => $const_body::<18>($($args),*),
+            20 => $const_body::<20>($($args),*),
+            24 => $const_body::<24>($($args),*),
+            27 => $const_body::<27>($($args),*),
+            32 => $const_body::<32>($($args),*),
+            36 => $const_body::<36>($($args),*),
+            40 => $const_body::<40>($($args),*),
+            48 => $const_body::<48>($($args),*),
+            64 => $const_body::<64>($($args),*),
+            72 => $const_body::<72>($($args),*),
+            80 => $const_body::<80>($($args),*),
+            96 => $const_body::<96>($($args),*),
+            128 => $const_body::<128>($($args),*),
+            144 => $const_body::<144>($($args),*),
+            160 => $const_body::<160>($($args),*),
+            192 => $const_body::<192>($($args),*),
+            256 => $const_body::<256>($($args),*),
+            k => $any_body($($args,)* k),
+        }
+    };
+}
+
+/// Quantised convolution GEMM `C += diag(a_scales) · (A · Bᵀ) · b_scale`
+/// with `A: [m,k]` i8-range weight codes (per-row scales), `B: [n,k]` `i16`
+/// activation codes (one dynamic scale — the rows are the im2row lowering
+/// of one input signal), `C: [m,n]` `f32`, all row-major.
+///
+/// Every output element is one exact integer dot product rescaled into
+/// `f32`; the depth dimension dispatches to a constant-length body (see
+/// [`q_dot_const`]) for the architecture's common fan-ins. The loop nest
+/// streams one activation row against all weight rows (the weight block
+/// stays L1-resident), which is the locality that matters for the
+/// `[out_c, len]` convolution output shape.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+pub fn matmul_q8(
+    c: &mut [f32],
+    a: &[i16],
+    a_scales: &[f32],
+    b: &[i16],
+    b_scale: f32,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A must be m*k = {}x{}", m, k);
+    assert_eq!(a_scales.len(), m, "A needs one scale per row ({m})");
+    assert_eq!(b.len(), n * k, "B must be n*k = {}x{}", n, k);
+    assert_eq!(c.len(), m * n, "C must be m*n = {}x{}", m, n);
+    q8_dispatch!(k, gemm_q8_const, gemm_q8_any, (c, a, a_scales, b, b_scale, m, n, k));
+}
+
+/// Like [`matmul_q8`], but the activation rows are *overlapping windows* of
+/// one channels-last buffer: row `j` is `b[j·stride .. j·stride + k]`. This
+/// is the zero-materialisation convolution shape — with the input stored
+/// sample-major (`[len + kernel - 1, channels]`, zero-padded at both ends)
+/// and the weight columns permuted to match, every output position's
+/// receptive field is already one contiguous slice, so no im2col/im2row
+/// lowering exists at all.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+pub fn matmul_q8_sliding(
+    c: &mut [f32],
+    a: &[i16],
+    a_scales: &[f32],
+    b: &[i16],
+    b_scale: f32,
+    m: usize,
+    k: usize,
+    n: usize,
+    stride: usize,
+) {
+    assert_eq!(a.len(), m * k, "A must be m*k = {}x{}", m, k);
+    assert_eq!(a_scales.len(), m, "A needs one scale per row ({m})");
+    assert_eq!(c.len(), m * n, "C must be m*n = {}x{}", m, n);
+    if n > 0 {
+        assert!(
+            b.len() >= (n - 1) * stride + k,
+            "B must cover {} windows of {} codes at stride {}",
+            n,
+            k,
+            stride
+        );
+    }
+    q8_dispatch!(k, gemm_q8_const, gemm_q8_any, (c, a, a_scales, b, b_scale, m, n, stride));
+}
+
+/// Quantised `C += diag(a_scales) · (A · Bᵀ) · diag(b_scales)` with
+/// `A: [m,k]` `i16` activation codes (per-row scales), `B: [n,k]` i8-range
+/// weight codes (per-row scales), `C: [m,n]` `f32`, all row-major — the
+/// fully connected shape (`y = x Wᵀ` with per-batch-row activation scales
+/// and per-output-channel weight scales).
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+pub fn matmul_q8_a_bt(
+    c: &mut [f32],
+    a: &[i16],
+    a_scales: &[f32],
+    b: &[i16],
+    b_scales: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A must be m*k = {}x{}", m, k);
+    assert_eq!(a_scales.len(), m, "A needs one scale per row ({m})");
+    assert_eq!(b.len(), n * k, "B must be n*k = {}x{}", n, k);
+    assert_eq!(b_scales.len(), n, "B needs one scale per row ({n})");
+    assert_eq!(c.len(), m * n, "C must be m*n = {}x{}", m, n);
+    q8_dispatch!(k, gemm_q8_a_bt_const, gemm_q8_a_bt_any, (c, a, a_scales, b, b_scales, m, n));
+}
+
+/// Reference (naive, exact `i64`) integer product `A[m,k] · B[n,k]ᵀ` of the
+/// quantised operands, kept for parity tests of the optimised kernels.
+pub fn matmul_q8_reference(a: &[i16], b: &[i16], m: usize, k: usize, n: usize) -> Vec<i64> {
+    let mut c = vec![0i64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for kk in 0..k {
+                acc += a[i * k + kk] as i64 * b[j * k + kk] as i64;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
 /// Reference (naive triple-loop) product `C = A · B`, kept for parity tests.
 pub fn matmul_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
@@ -244,5 +541,114 @@ mod tests {
     fn dimension_mismatch_panics() {
         let mut c = vec![0.0f32; 4];
         matmul(&mut c, &[1.0; 3], &[1.0; 4], 2, 2, 2);
+    }
+
+    /// Deterministic pseudo-random quantised operands for kernel tests:
+    /// `a` holds i8-range codes (the weight side), `b` full i16 codes.
+    fn q_operands(m: usize, k: usize, n: usize, seed: u64) -> (Vec<i16>, Vec<i16>) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let a: Vec<i16> = (0..m * k).map(|_| ((next() % 255) as i64 - 127) as i16).collect();
+        let b: Vec<i16> = (0..n * k).map(|_| ((next() % 65535) as i64 - 32767) as i16).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn matmul_q8_matches_exact_integer_reference() {
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 7), (8, 72, 130), (5, 300, 520)] {
+            let (a, b) = q_operands(m, k, n, 7 + (m * k * n) as u64);
+            let a_scales: Vec<f32> = (0..m).map(|i| 0.01 + i as f32 * 1e-3).collect();
+            let b_scale = 2.5e-4f32;
+            let exact = matmul_q8_reference(&a, &b, m, k, n);
+            let mut c = vec![0.0f32; m * n];
+            matmul_q8(&mut c, &a, &a_scales, &b, b_scale, m, k, n);
+            for (idx, (&got, &want)) in c.iter().zip(exact.iter()).enumerate() {
+                let expect = a_scales[idx / n] * b_scale * want as f32;
+                let tol = 1e-5 * (1.0 + expect.abs());
+                assert!((got - expect).abs() <= tol, "{m}x{k}x{n} at {idx}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_q8_a_bt_is_exact_up_to_scaling() {
+        let (m, k, n) = (4usize, 300usize, 6usize);
+        let (bq, aq) = q_operands(n, k, m, 99);
+        let a_scales: Vec<f32> = (0..m).map(|i| 1e-4 + i as f32 * 1e-5).collect();
+        let b_scales: Vec<f32> = (0..n).map(|j| 0.02 + j as f32 * 1e-3).collect();
+        let mut c = vec![0.0f32; m * n];
+        matmul_q8_a_bt(&mut c, &aq, &a_scales, &bq, &b_scales, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for kk in 0..k {
+                    acc += aq[i * k + kk] as i64 * bq[j * k + kk] as i64;
+                }
+                let expect = a_scales[i] * b_scales[j] * acc as f32;
+                let got = c[i * n + j];
+                assert!((got - expect).abs() <= 1e-5 * (1.0 + expect.abs()), "{got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_q8_accumulates_instead_of_overwriting() {
+        // A = I (weight codes), B rows = [2,3] and [4,5]: C_ij = B[j][i].
+        let a = vec![1i16, 0, 0, 1];
+        let b = vec![2i16, 3, 4, 5];
+        let mut c = vec![10.0f32; 4];
+        matmul_q8(&mut c, &a, &[1.0, 1.0], &b, 1.0, 2, 2, 2);
+        assert_eq!(c, vec![12.0, 14.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn matmul_q8_deep_k_does_not_overflow() {
+        // Worst-case magnitudes at a depth well past one i32 panel: the
+        // panel-accumulation scheme must stay exact.
+        let k = 3 * QK + 17;
+        let a = vec![127i16; k];
+        let b = vec![32767i16; k];
+        let exact = matmul_q8_reference(&a, &b, 1, k, 1)[0];
+        let mut c = vec![0.0f32; 1];
+        matmul_q8(&mut c, &a, &[1.0], &b, 1.0, 1, k, 1);
+        let expect = exact as f32;
+        assert!((c[0] - expect).abs() <= 1e-4 * expect.abs(), "{} vs {expect}", c[0]);
+        let mut c2 = vec![0.0f32; 1];
+        matmul_q8_a_bt(&mut c2, &b, &[1.0], &a, &[1.0], 1, k, 1);
+        assert!((c2[0] - expect).abs() <= 1e-4 * expect.abs(), "{} vs {expect}", c2[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A needs one scale per row")]
+    fn matmul_q8_scale_mismatch_panics() {
+        let mut c = vec![0.0f32; 4];
+        matmul_q8(&mut c, &[1i16; 4], &[1.0; 1], &[1i16; 4], 1.0, 2, 2, 2);
+    }
+
+    #[test]
+    fn matmul_q8_sliding_matches_packed_layout() {
+        // A channels-last sliding buffer with stride < k produces the same
+        // products as explicitly materialising every overlapping window.
+        for &(m, stride, k, n) in
+            &[(3usize, 2usize, 6usize, 17usize), (5, 1, 9, 30), (4, 16, 144, 12), (2, 4, 4, 9)]
+        {
+            let len_b = (n - 1) * stride + k;
+            let (a, b_all) = q_operands(m, k, len_b.div_ceil(k), 31);
+            let buf = &b_all[..len_b];
+            let a_scales: Vec<f32> = (0..m).map(|i| 0.01 + i as f32 * 1e-3).collect();
+            let b_scale = 3e-4f32;
+            let mut packed = Vec::with_capacity(n * k);
+            for j in 0..n {
+                packed.extend_from_slice(&buf[j * stride..j * stride + k]);
+            }
+            let mut c_packed = vec![0.0f32; m * n];
+            matmul_q8(&mut c_packed, &a, &a_scales, &packed, b_scale, m, k, n);
+            let mut c_sliding = vec![0.0f32; m * n];
+            matmul_q8_sliding(&mut c_sliding, &a, &a_scales, buf, b_scale, m, k, n, stride);
+            assert_eq!(c_packed, c_sliding, "m={m} stride={stride} k={k} n={n}");
+        }
     }
 }

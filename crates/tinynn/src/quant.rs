@@ -1,0 +1,282 @@
+//! Per-channel symmetric `i8` weight quantisation and dynamic activation
+//! quantisation.
+//!
+//! The quantisation scheme is the standard inference recipe:
+//!
+//! * **Weights** are quantised *per output channel* (per row of the GEMM
+//!   operand): each row gets its own scale `s_r = max|w_r| / 127` and is
+//!   stored as `i8` values `q = round(w / s_r)`. Per-channel scales bound the
+//!   roundtrip error of every weight by `s_r / 2` — one badly scaled channel
+//!   cannot poison the rest.
+//! * **Activations** stay `f32` at the layer boundary and are quantised
+//!   *dynamically* per call to `i16` (scale `max|x| / 32767`), which makes
+//!   their quantisation error negligible next to the weight error while the
+//!   integer product `i8 × i16` still accumulates exactly in `i32` panels
+//!   (see [`crate::matmul::matmul_q8`]).
+//! * **Accumulation** is integer (`i32` within depth panels), and the panel
+//!   sums are rescaled into `f32` with `s_row · s_act`.
+//!
+//! Biases and every non-GEMM layer (batch norm, pooling, ReLU) remain `f32`:
+//! the conv/linear GEMMs are where essentially all inference time and memory
+//! bandwidth go.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Largest magnitude representable by the `i8` weight grid.
+pub const WEIGHT_QMAX: f32 = 127.0;
+
+/// Largest magnitude representable by the `i16` activation grid.
+pub const ACT_QMAX: f32 = 32767.0;
+
+/// A per-row (per-output-channel) symmetrically quantised GEMM operand:
+/// `i8` weights, one `f32` scale per row, and the `f32` bias of the layer.
+///
+/// This is the shared storage of [`crate::qlayers::QuantizedConv1d`] and
+/// [`crate::qlayers::QuantizedLinear`], and the unit the versioned model
+/// format serialises.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedGemm {
+    data: Vec<i8>,
+    /// The same codes widened to `i16` once at construction: the integer
+    /// kernels multiply `i16 × i16` (the x86 `pmaddwd` shape), so keeping a
+    /// widened shadow copy moves the sign extension out of every inner loop.
+    /// Never serialised — rebuilt from `data` on load.
+    data16: Vec<i16>,
+    scales: Vec<f32>,
+    bias: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl PartialEq for QuantizedGemm {
+    fn eq(&self, other: &Self) -> bool {
+        // `data16` is derived state; comparing it would be redundant.
+        self.data == other.data
+            && self.scales == other.scales
+            && self.bias == other.bias
+            && self.rows == other.rows
+            && self.cols == other.cols
+    }
+}
+
+impl QuantizedGemm {
+    /// Quantises a row-major `[rows, cols]` weight matrix with per-row
+    /// symmetric scales. A row of zeros gets scale `1.0` (never `NaN` or
+    /// zero), so dequantisation is always well defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows * cols` or `bias.len() != rows`.
+    pub fn from_f32(weights: &[f32], bias: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(weights.len(), rows * cols, "weights must be rows*cols = {rows}x{cols}");
+        assert_eq!(bias.len(), rows, "bias length must equal the row count {rows}");
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        for row in weights.chunks(cols) {
+            let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if max_abs == 0.0 { 1.0 } else { max_abs / WEIGHT_QMAX };
+            let inv = 1.0 / scale;
+            scales.push(scale);
+            data.extend(
+                row.iter().map(|&v| (v * inv).round().clamp(-WEIGHT_QMAX, WEIGHT_QMAX) as i8),
+            );
+        }
+        let data16 = data.iter().map(|&q| q as i16).collect();
+        Self { data, data16, scales, bias: bias.to_vec(), rows, cols }
+    }
+
+    /// Quantises a weight tensor whose first dimension is the output-channel
+    /// (row) dimension; the remaining dimensions are flattened into columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty or `bias` does not match the first
+    /// dimension.
+    pub fn from_tensor(weights: &Tensor, bias: &[f32]) -> Self {
+        let rows = weights.shape()[0];
+        let cols = weights.len() / rows.max(1);
+        Self::from_f32(weights.data(), bias, rows, cols)
+    }
+
+    /// Number of rows (output channels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (fan-in per output channel).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `i8` weight block, row-major `[rows, cols]` (the serialised
+    /// representation).
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// The weight codes widened to `i16` (same values as [`Self::data`]),
+    /// the operand shape of the integer GEMM kernels.
+    pub fn data16(&self) -> &[i16] {
+        &self.data16
+    }
+
+    /// Per-row dequantisation scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The layer bias (kept in `f32`).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Bytes occupied by the quantised weight block (excluding scales/bias).
+    pub fn quantized_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Replaces the quantised payload (used by the model loader).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if any length disagrees with
+    /// the operand's `[rows, cols]` geometry.
+    pub fn set_payload(
+        &mut self,
+        data: Vec<i8>,
+        scales: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Result<(), String> {
+        if data.len() != self.rows * self.cols {
+            return Err(format!(
+                "quantised block length {} does not match {}x{}",
+                data.len(),
+                self.rows,
+                self.cols
+            ));
+        }
+        if scales.len() != self.rows {
+            return Err(format!("scale count {} does not match {} rows", scales.len(), self.rows));
+        }
+        if bias.len() != self.rows {
+            return Err(format!("bias count {} does not match {} rows", bias.len(), self.rows));
+        }
+        self.data16 = data.iter().map(|&q| q as i16).collect();
+        self.data = data;
+        self.scales = scales;
+        self.bias = bias;
+        Ok(())
+    }
+
+    /// Dequantises the weight block back to `f32` (row-major), mainly for
+    /// tests and diagnostics.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.data.len());
+        for (row, &scale) in self.data.chunks(self.cols).zip(self.scales.iter()) {
+            out.extend(row.iter().map(|&q| q as f32 * scale));
+        }
+        out
+    }
+}
+
+/// Dynamically quantises an activation slice to `i16` with one symmetric
+/// scale, writing into `dst` (cleared first) and returning the scale.
+///
+/// An all-zero (or empty) input yields scale `1.0` and zero codes, so the
+/// caller never sees a `NaN` or zero scale. Non-finite inputs saturate to
+/// the grid limits.
+///
+/// The float→code conversion is the classic magic-constant trick: after
+/// clamping to the grid, adding `1.5 · 2²³` pins the value's integer part
+/// (round-to-nearest-even) into the low mantissa bits, which are read back
+/// with a bit cast. No float→int cast instruction exists in the loop — a
+/// saturating `as i16` (and `f32::round`, a libcall) would each keep LLVM
+/// from vectorising this hot path (~13× slower, measured).
+pub fn quantize_activations_into(src: &[f32], dst: &mut Vec<i16>) -> f32 {
+    /// `1.5 · 2²³` — for `|r| ≤ 2²², r + MAGIC` has a fixed exponent, so
+    /// its low 16 mantissa bits are `round(r)` in two's complement.
+    const MAGIC: f32 = 12_582_912.0;
+    let max_abs = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max_abs == 0.0 || !max_abs.is_finite() { 1.0 } else { max_abs / ACT_QMAX };
+    let inv = 1.0 / scale;
+    dst.resize(src.len(), 0);
+    for (d, &v) in dst.iter_mut().zip(src.iter()) {
+        // max/min (not `clamp`) so a NaN lands on a grid limit instead of
+        // flowing through to the bit trick.
+        #[allow(clippy::manual_clamp)]
+        let r = (v * inv).max(-ACT_QMAX).min(ACT_QMAX);
+        *d = (r + MAGIC).to_bits() as u16 as i16;
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn per_row_scales_are_max_abs_over_127() {
+        let w = vec![1.0f32, -2.0, 0.5, 0.0, 0.25, -0.125];
+        let g = QuantizedGemm::from_f32(&w, &[0.0, 0.0], 2, 3);
+        assert_eq!(g.scales()[0], 2.0 / WEIGHT_QMAX);
+        assert_eq!(g.scales()[1], 0.25 / WEIGHT_QMAX);
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_half_scale() {
+        let w = init::uniform(&[4, 33], -0.7, 0.7, 42);
+        let g = QuantizedGemm::from_tensor(&w, &[0.0; 4]);
+        let back = g.dequantize();
+        for (r, (orig_row, deq_row)) in w.data().chunks(33).zip(back.chunks(33)).enumerate() {
+            let half = g.scales()[r] / 2.0;
+            for (&a, &b) in orig_row.iter().zip(deq_row.iter()) {
+                assert!((a - b).abs() <= half * 1.0001, "row {r}: {a} vs {b} (half {half})");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_has_finite_scale_and_zero_codes() {
+        let w = vec![0.0f32; 8];
+        let g = QuantizedGemm::from_f32(&w, &[1.0, -1.0], 2, 4);
+        assert!(g.scales().iter().all(|s| s.is_finite() && *s > 0.0));
+        assert!(g.data().iter().all(|&q| q == 0));
+        assert_eq!(g.dequantize(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn activation_quantisation_is_symmetric_and_tight() {
+        let x = vec![0.5f32, -1.5, 0.0, 1.5];
+        let mut q = Vec::new();
+        let scale = quantize_activations_into(&x, &mut q);
+        assert_eq!(scale, 1.5 / ACT_QMAX);
+        assert_eq!(q[1], -32767);
+        assert_eq!(q[3], 32767);
+        assert_eq!(q[2], 0);
+        for (&orig, &code) in x.iter().zip(q.iter()) {
+            assert!((orig - code as f32 * scale).abs() <= scale / 2.0 * 1.0001);
+        }
+    }
+
+    #[test]
+    fn all_zero_activations_do_not_produce_nan_scale() {
+        let mut q = Vec::new();
+        let scale = quantize_activations_into(&[0.0; 5], &mut q);
+        assert_eq!(scale, 1.0);
+        assert!(q.iter().all(|&v| v == 0));
+        let scale = quantize_activations_into(&[], &mut q);
+        assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn set_payload_validates_lengths() {
+        let mut g = QuantizedGemm::from_f32(&[1.0; 6], &[0.0; 2], 2, 3);
+        assert!(g.set_payload(vec![0; 5], vec![1.0; 2], vec![0.0; 2]).is_err());
+        assert!(g.set_payload(vec![0; 6], vec![1.0; 3], vec![0.0; 2]).is_err());
+        assert!(g.set_payload(vec![0; 6], vec![1.0; 2], vec![0.0; 1]).is_err());
+        assert!(g.set_payload(vec![0; 6], vec![1.0; 2], vec![0.0; 2]).is_ok());
+    }
+}

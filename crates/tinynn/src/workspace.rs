@@ -11,9 +11,10 @@
 //!   backward traverses the network in exactly the reverse order of forward,
 //!   a LIFO stack needs no layer identity bookkeeping at all. Inference
 //!   (`training == false`) pushes nothing.
-//! * **scratch buffers** (`col`, `dcol`) reused by the im2col convolution
-//!   across layers and calls, so steady-state inference performs no
-//!   allocation for the lowering.
+//! * **scratch buffers** — the f32 im2col pair (`col`, `dcol`) and the
+//!   quantised-path pair (`qx` activation codes, `qcol` channels-last
+//!   windows) — reused across layers and calls, so steady-state inference
+//!   performs no allocation for the lowerings.
 //!
 //! A workspace is cheap to create (empty vectors) and grows to the high-water
 //! mark of the network it serves. One workspace serves one thread; parallel
@@ -33,6 +34,12 @@ pub struct Workspace {
     pub(crate) col: Vec<f32>,
     /// Column-gradient buffer of the convolution backward pass.
     pub(crate) dcol: Vec<f32>,
+    /// Quantised activation buffer of the quantised layers (`i16` codes of
+    /// the current input), reused across layers and calls.
+    pub(crate) qx: Vec<i16>,
+    /// Channels-last zero-padded window buffer of
+    /// [`crate::qlayers::QuantizedConv1d`] (built by its `transpose_pad_q`).
+    pub(crate) qcol: Vec<i16>,
 }
 
 impl Workspace {

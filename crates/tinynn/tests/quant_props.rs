@@ -1,0 +1,209 @@
+//! Deterministic, seeded property tests for the quantisation path:
+//! quantise→dequantise roundtrip bounds, scale correctness, degenerate
+//! inputs, and integer-GEMM parity against the f32 kernels.
+//!
+//! The offline build has no `proptest`, so cases are generated from a seeded
+//! xorshift generator — every run exercises the identical case set.
+
+use tinynn::matmul::{matmul_q8, matmul_q8_a_bt, matmul_q8_reference, matmul_reference};
+use tinynn::quant::{quantize_activations_into, QuantizedGemm, ACT_QMAX, WEIGHT_QMAX};
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f32 in `[-amp, amp)`.
+    fn uniform(&mut self, amp: f32) -> f32 {
+        let u = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        (2.0 * u - 1.0) * amp
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+#[test]
+fn per_channel_scales_equal_row_max_over_127() {
+    let mut rng = Rng::new(1);
+    for case in 0..50 {
+        let rows = rng.usize_in(1, 9);
+        let cols = rng.usize_in(1, 130);
+        let amp = 0.01 + rng.uniform(1.0).abs() * 4.0;
+        let weights: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(amp)).collect();
+        let gemm = QuantizedGemm::from_f32(&weights, &vec![0.0; rows], rows, cols);
+        for (r, row) in weights.chunks(cols).enumerate() {
+            let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let expect = if max_abs == 0.0 { 1.0 } else { max_abs / WEIGHT_QMAX };
+            assert_eq!(gemm.scales()[r], expect, "case {case} row {r}");
+        }
+    }
+}
+
+#[test]
+fn roundtrip_error_is_bounded_by_half_scale_per_weight() {
+    let mut rng = Rng::new(2);
+    for case in 0..50 {
+        let rows = rng.usize_in(1, 8);
+        let cols = rng.usize_in(1, 200);
+        let amp = 1e-3 + rng.uniform(1.0).abs() * 10.0;
+        let weights: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(amp)).collect();
+        let gemm = QuantizedGemm::from_f32(&weights, &vec![0.0; rows], rows, cols);
+        let back = gemm.dequantize();
+        for (r, (orig, deq)) in weights.chunks(cols).zip(back.chunks(cols)).enumerate() {
+            // Round-to-nearest: every weight lands within half a grid step.
+            // The 1e-6 slack absorbs the rounding of the scale itself.
+            let bound = gemm.scales()[r] * (0.5 + 1e-4);
+            for (i, (&a, &b)) in orig.iter().zip(deq.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= bound,
+                    "case {case} row {r} col {i}: |{a} - {b}| > {bound}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_channels_never_produce_nan_or_zero_scales() {
+    let mut rng = Rng::new(3);
+    for case in 0..30 {
+        let rows = rng.usize_in(2, 7);
+        let cols = rng.usize_in(1, 64);
+        let zero_row = rng.usize_in(0, rows - 1);
+        let mut weights: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(2.0)).collect();
+        weights[zero_row * cols..(zero_row + 1) * cols].fill(0.0);
+        let gemm = QuantizedGemm::from_f32(&weights, &vec![0.0; rows], rows, cols);
+        for (r, &s) in gemm.scales().iter().enumerate() {
+            assert!(s.is_finite() && s > 0.0, "case {case} row {r}: scale {s}");
+        }
+        let deq = gemm.dequantize();
+        assert!(deq.iter().all(|v| v.is_finite()));
+        assert!(deq[zero_row * cols..(zero_row + 1) * cols].iter().all(|&v| v == 0.0));
+    }
+}
+
+#[test]
+fn activation_roundtrip_error_is_bounded_by_half_scale() {
+    let mut rng = Rng::new(4);
+    let mut codes = Vec::new();
+    for case in 0..50 {
+        let len = rng.usize_in(1, 400);
+        let amp = 1e-4 + rng.uniform(1.0).abs() * 100.0;
+        let xs: Vec<f32> = (0..len).map(|_| rng.uniform(amp)).collect();
+        let scale = quantize_activations_into(&xs, &mut codes);
+        assert!(scale.is_finite() && scale > 0.0, "case {case}");
+        let max_abs = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if max_abs > 0.0 {
+            assert_eq!(scale, max_abs / ACT_QMAX, "case {case}: tight grid");
+        }
+        // The i16 grid ratio reaches 32767, so the ~1e-7 relative rounding
+        // of the `x · (1/scale)` multiply can shift a value by a few
+        // thousandths of a grid step across the round-to-nearest boundary.
+        for (i, (&x, &q)) in xs.iter().zip(codes.iter()).enumerate() {
+            assert!((x - q as f32 * scale).abs() <= scale * (0.5 + 1e-2), "case {case} sample {i}");
+        }
+    }
+}
+
+#[test]
+fn quantised_gemm_tracks_f32_gemm_within_quantisation_error() {
+    // End-to-end kernel property: dequantised integer GEMM ≈ f32 GEMM of
+    // the dequantised operands, and both ≈ the original product within the
+    // analytic quantisation error bound.
+    let mut rng = Rng::new(5);
+    for case in 0..12 {
+        let m = rng.usize_in(1, 10);
+        let k = rng.usize_in(1, 300);
+        let n = rng.usize_in(1, 200);
+        let w: Vec<f32> = (0..m * k).map(|_| rng.uniform(0.5)).collect();
+        let x: Vec<f32> = (0..k * n).map(|_| rng.uniform(2.0)).collect();
+        let gemm = QuantizedGemm::from_f32(&w, &vec![0.0; m], m, k);
+        // The conv kernel takes the activations as im2row-style rows
+        // ([n, k]); build the transposed layout from the [k, n] matrix.
+        let mut xt = vec![0.0f32; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                xt[j * k + kk] = x[kk * n + j];
+            }
+        }
+        let mut codes = Vec::new();
+        let x_scale = quantize_activations_into(&xt, &mut codes);
+
+        let mut qc = vec![0.0f32; m * n];
+        matmul_q8(&mut qc, gemm.data16(), gemm.scales(), &codes, x_scale, m, k, n);
+
+        // Exact integer reference with the same scaling.
+        let exact = matmul_q8_reference(gemm.data16(), &codes, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let expect = gemm.scales()[i] * x_scale * exact[i * n + j] as f32;
+                let got = qc[i * n + j];
+                assert!(
+                    (got - expect).abs() <= 1e-5 * (1.0 + expect.abs()),
+                    "case {case}: blocked kernel diverged from the exact integer product"
+                );
+            }
+        }
+
+        // Against the original f32 product: error bounded by the propagated
+        // weight/activation grid steps (loose analytic bound).
+        let f32_ref = matmul_reference(&w, &x, m, k, n);
+        let x_max = x.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        for i in 0..m {
+            let w_step = gemm.scales()[i] / 2.0;
+            let x_step = x_scale / 2.0;
+            let w_row_l1: f32 = w[i * k..(i + 1) * k].iter().map(|v| v.abs()).sum();
+            let bound = (k as f32) * w_step * (x_max + x_step) + w_row_l1 * x_step + 1e-5;
+            for j in 0..n {
+                let diff = (qc[i * n + j] - f32_ref[i * n + j]).abs();
+                assert!(diff <= bound, "case {case} ({i},{j}): |Δ| = {diff} > bound {bound}");
+            }
+        }
+    }
+}
+
+#[test]
+fn quantised_dot_kernel_matches_integer_math_exactly_up_to_scaling() {
+    let mut rng = Rng::new(6);
+    for case in 0..12 {
+        let m = rng.usize_in(1, 8);
+        let k = rng.usize_in(1, 700);
+        let n = rng.usize_in(1, 12);
+        let a: Vec<i16> =
+            (0..m * k).map(|_| ((rng.next_u64() % 65535) as i64 - 32767) as i16).collect();
+        let b: Vec<i16> =
+            (0..n * k).map(|_| ((rng.next_u64() % 255) as i64 - 127) as i16).collect();
+        let a_scales: Vec<f32> = (0..m).map(|_| 1e-5 + rng.uniform(1.0).abs() * 1e-4).collect();
+        let b_scales: Vec<f32> = (0..n).map(|_| 1e-3 + rng.uniform(1.0).abs() * 1e-2).collect();
+        let mut c = vec![0.0f32; m * n];
+        matmul_q8_a_bt(&mut c, &a, &a_scales, &b, &b_scales, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for kk in 0..k {
+                    acc += a[i * k + kk] as i64 * b[j * k + kk] as i64;
+                }
+                let expect = a_scales[i] * b_scales[j] * acc as f32;
+                let got = c[i * n + j];
+                assert!(
+                    (got - expect).abs() <= 1e-5 * (1.0 + expect.abs()),
+                    "case {case} ({i},{j}): {got} vs {expect}"
+                );
+            }
+        }
+    }
+}

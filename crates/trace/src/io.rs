@@ -96,6 +96,39 @@ pub fn read_f32s_le<R: Read>(mut reader: R, count: usize) -> std::io::Result<Vec
     Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
 }
 
+/// Writes an `i8` slice as raw bytes (two's complement, endianness-free).
+///
+/// The counterpart of [`read_i8s`]; used for the quantised weight blocks of
+/// the locator's model format v2.
+///
+/// # Errors
+///
+/// Propagates the underlying writer error.
+pub fn write_i8s<W: Write>(mut writer: W, values: &[i8]) -> std::io::Result<()> {
+    // Chunked copy keeps the conversion allocation small and the writes
+    // large enough for a buffered writer.
+    let mut buf = [0u8; 4096];
+    for chunk in values.chunks(buf.len()) {
+        for (dst, &v) in buf.iter_mut().zip(chunk.iter()) {
+            *dst = v as u8;
+        }
+        writer.write_all(&buf[..chunk.len()])?;
+    }
+    Ok(())
+}
+
+/// Reads exactly `count` `i8` values (raw two's-complement bytes).
+///
+/// # Errors
+///
+/// Propagates the underlying reader error (`UnexpectedEof` if fewer than
+/// `count` bytes are available).
+pub fn read_i8s<R: Read>(mut reader: R, count: usize) -> std::io::Result<Vec<i8>> {
+    let mut bytes = vec![0u8; count];
+    reader.read_exact(&mut bytes)?;
+    Ok(bytes.into_iter().map(|b| b as i8).collect())
+}
+
 /// Writes raw `f32` samples in little-endian binary to `writer`.
 ///
 /// # Errors
@@ -255,6 +288,27 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "f32 roundtrip must be bit-exact");
         }
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn i8_roundtrip_covers_full_range() {
+        let values: Vec<i8> = (-128i16..=127).map(|v| v as i8).collect();
+        let mut buf = Vec::new();
+        write_i8s(&mut buf, &values).unwrap();
+        assert_eq!(buf.len(), values.len());
+        let back = read_i8s(&buf[..], values.len()).unwrap();
+        assert_eq!(back, values);
+        // Truncation surfaces as UnexpectedEof like the other primitives.
+        assert_eq!(read_i8s(&buf[..10], 11).unwrap_err().kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn i8_write_handles_chunk_boundaries() {
+        // Longer than one internal chunk to exercise the buffered path.
+        let values: Vec<i8> = (0..10_000).map(|i| (i % 251) as i8).collect();
+        let mut buf = Vec::new();
+        write_i8s(&mut buf, &values).unwrap();
+        assert_eq!(read_i8s(&buf[..], values.len()).unwrap(), values);
     }
 
     #[test]

@@ -102,6 +102,65 @@ fn trained_engine_roundtrips_and_batches_identically() {
 }
 
 #[test]
+fn quantised_engine_matches_f32_engine_on_consecutive_aes() {
+    // The quantised serving path end to end: train a tiny f32 locator on
+    // AES, derive the i8 engine, and check the full parity contract on the
+    // consecutive-AES scenario — bounded per-window score divergence,
+    // identical predicted CO starts, a bit-exact v2 save/load roundtrip,
+    // and locate_batch invariant under the thread count.
+    let (locator, _profile, mut sim) = small_locator(CipherId::Aes128, 2, 42);
+    let result = sim.run_scenario(&Scenario::consecutive(CipherId::Aes128, 6));
+    let engine = locator.into_engine();
+    let qengine = engine.quantize();
+    assert!(qengine.is_quantized());
+
+    // Parity on the reference scenario: the class-1 score signal of the
+    // quantised engine tracks the f32 engine within 1e-2 per window and
+    // yields the same CO start locations.
+    let (f32_scores, f32_starts) = engine.locate_detailed(&result.trace);
+    let (q_scores, q_starts) = qengine.locate_detailed(&result.trace);
+    assert_eq!(q_scores.len(), f32_scores.len());
+    let mut max_div = 0.0f32;
+    for (a, b) in q_scores.iter().zip(f32_scores.iter()) {
+        max_div = max_div.max((a - b).abs());
+    }
+    assert!(max_div <= 1e-2, "quantised score divergence {max_div} exceeds 1e-2");
+    assert_eq!(q_starts, f32_starts, "quantised engine must locate the same CO starts");
+    assert!(!f32_starts.is_empty(), "scenario produced no locatable COs at all");
+
+    // v2 roundtrip: save → load reproduces the quantised scores bit-exactly.
+    let path = std::env::temp_dir().join(format!("e2e_qengine_{}.model", std::process::id()));
+    qengine.save(&path).expect("save quantised engine");
+    let restored = sca_locate::locator::LocatorEngine::load(&path).expect("load quantised engine");
+    std::fs::remove_file(&path).ok();
+    assert!(restored.is_quantized());
+    let (r_scores, r_starts) = restored.locate_detailed(&result.trace);
+    assert_eq!(r_starts, q_starts);
+    for (a, b) in r_scores.iter().zip(q_scores.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "v2 roundtrip must reproduce scores bit-exactly");
+    }
+
+    // locate_batch across 1/2/4 threads must be bit-identical to itself
+    // (per-window scores are independent of sharding and batching).
+    let traces: Vec<Trace> = (0..3)
+        .map(|i| sim.run_scenario(&Scenario::consecutive(CipherId::Aes128, 3 + i % 2)).trace)
+        .collect();
+    let base = restored.locate_batch(&traces);
+    for threads in [1usize, 2, 4] {
+        let engine_t = restored.clone().with_threads(threads);
+        assert_eq!(engine_t.locate_batch(&traces), base, "threads = {threads}");
+        for (trace, expected) in traces.iter().zip(base.iter()) {
+            let (scores_a, starts_a) = engine_t.locate_detailed(trace);
+            let (scores_b, _) = restored.locate_detailed(trace);
+            assert_eq!(&starts_a, expected);
+            for (a, b) in scores_a.iter().zip(scores_b.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}: scores must not drift");
+            }
+        }
+    }
+}
+
+#[test]
 fn ground_truth_alignment_lets_cpa_recover_key_bytes() {
     // Independently of the locator, the simulated leakage must be strong
     // enough for CPA once traces are aligned: align on the ground truth and
