@@ -44,14 +44,14 @@
 
 use std::path::Path;
 
-use sca_trace::Trace;
+use sca_trace::{Trace, TraceSource};
 use tinynn::{Tensor, Workspace};
 
 use crate::cnn::{CoLocatorCnn, WindowScorer};
 use crate::persist::{self, PersistError};
 use crate::pipeline::CoLocator;
 use crate::qcnn::QuantizedCoLocatorCnn;
-use crate::segmentation::Segmenter;
+use crate::segmentation::{Segmenter, StreamingSegmenter};
 use crate::sliding::SlidingWindowClassifier;
 
 /// The weight set an engine serves: the trained `f32` network or its
@@ -187,6 +187,39 @@ impl LocatorEngine {
         let swc = self.sliding.classify(&self.model, trace);
         let starts = self.segmenter.segment(&swc, self.sliding.stride());
         (swc, starts)
+    }
+
+    /// Locates the CO start samples of a trace served by a [`TraceSource`]
+    /// — typically an on-disk [`sca_trace::FileTraceSource`] holding far
+    /// more samples than fit in memory — scoring it in chunks of at most
+    /// `chunk_len` samples.
+    ///
+    /// The `swc` scores are **bit-identical** to [`Self::locate`] on the
+    /// fully loaded trace (see
+    /// [`SlidingWindowClassifier::classify_source`]), and the per-chunk
+    /// score spans are segmented incrementally through a
+    /// [`StreamingSegmenter`], so the located starts are exactly
+    /// [`Self::locate`]'s. Peak memory is O(`chunk_len`) for the samples;
+    /// with a [`crate::ThresholdStrategy::Fixed`] threshold the segmentation
+    /// state is O(median filter size) too, while the data-dependent
+    /// strategies additionally buffer the score signal
+    /// (O(trace ∕ stride) — see [`StreamingSegmenter`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sca_trace::TraceError::InvalidParameter`] if `chunk_len` is
+    /// zero, and propagates source I/O failures.
+    pub fn locate_streamed<T: TraceSource + ?Sized>(
+        &self,
+        source: &T,
+        chunk_len: usize,
+    ) -> sca_trace::Result<Vec<usize>> {
+        let mut segmenter =
+            StreamingSegmenter::new(*self.segmenter.config(), self.sliding.stride());
+        self.sliding.classify_source_with(&self.model, source, chunk_len, |span| {
+            segmenter.push(span);
+        })?;
+        Ok(segmenter.finish())
     }
 
     /// Locates the CO starts of every trace in `traces`, streaming all of
@@ -325,6 +358,38 @@ mod tests {
         let out = engine.locate_batch(&traces);
         assert_eq!(out.len(), 2);
         assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn locate_streamed_matches_locate_for_both_model_kinds() {
+        let engine = tiny_engine();
+        let quantized = engine.quantize();
+        for eng in [&engine, &quantized] {
+            for len in [40usize, 150, 333] {
+                let trace = wavy_trace(len, len / 3);
+                let expected = eng.locate(&trace);
+                for chunk_len in [24usize, 100, 1000] {
+                    assert_eq!(
+                        eng.locate_streamed(&trace, chunk_len).unwrap(),
+                        expected,
+                        "quantized={} len={len} chunk={chunk_len}",
+                        eng.is_quantized()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_streamed_from_disk_matches_in_memory() {
+        let engine = tiny_engine();
+        let trace = wavy_trace(400, 7);
+        let path = temp_path("streamed_disk");
+        sca_trace::io::write_samples_binary(std::fs::File::create(&path).unwrap(), trace.samples())
+            .unwrap();
+        let source = sca_trace::FileTraceSource::open_raw_f32(&path).unwrap();
+        assert_eq!(engine.locate_streamed(&source, 96).unwrap(), engine.locate(&trace));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -17,14 +17,18 @@
 //!   `N_inf`-sample window with stride `s` over an unknown trace and score
 //!   every window with the trained CNN (linear class-1 output).
 //! * [`segmentation`] — *Segmentation* (III-D): threshold → ±1 square wave →
-//!   median filter → rising edges → CO start samples.
+//!   median filter → rising edges → CO start samples; includes
+//!   [`segmentation::StreamingSegmenter`] for incremental segmentation over
+//!   per-chunk score spans.
 //! * [`alignment`] — cut and align the located COs for the downstream attack.
 //! * [`evaluation`] — hit-rate scoring against ground truth (IV-B).
 //! * [`pipeline`] — [`pipeline::CoLocator`], the end-to-end inference object,
 //!   and [`pipeline::LocatorBuilder`] to assemble it.
 //! * [`engine`] — [`engine::LocatorEngine`], the profile-once / score-many
 //!   serving front-end: `&self` scoring, batched multi-trace
-//!   [`engine::LocatorEngine::locate_batch`], model save/load, and
+//!   [`engine::LocatorEngine::locate_batch`], out-of-core
+//!   [`engine::LocatorEngine::locate_streamed`] over any
+//!   [`sca_trace::TraceSource`], model save/load, and
 //!   [`engine::LocatorEngine::quantize`] for the `i8` serving path.
 //! * [`qcnn`] — [`qcnn::QuantizedCoLocatorCnn`], the inference-only
 //!   quantised CNN (per-channel symmetric `i8` weights, `f32` activations).
@@ -58,6 +62,6 @@ pub use persist::PersistError;
 pub use pipeline::{CoLocator, LocatorBuilder};
 pub use profiles::{CipherProfile, ProfileKind};
 pub use qcnn::QuantizedCoLocatorCnn;
-pub use segmentation::{SegmentationConfig, Segmenter, ThresholdStrategy};
+pub use segmentation::{SegmentationConfig, Segmenter, StreamingSegmenter, ThresholdStrategy};
 pub use sliding::SlidingWindowClassifier;
 pub use training::{Trainer, TrainingConfig, TrainingReport};

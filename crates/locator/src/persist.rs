@@ -469,8 +469,11 @@ pub(crate) fn load_engine(
         .with_batch_size(batch_size)
         .with_standardize(standardize)
         .with_threads(threads);
+    // `median_filter_k` was range-checked above, but route through the
+    // fallible constructor anyway so a corrupt file can never panic here.
     let segmenter =
-        Segmenter::new(SegmentationConfig { threshold, median_filter_k, min_distance_windows });
+        Segmenter::try_new(SegmentationConfig { threshold, median_filter_k, min_distance_windows })
+            .map_err(|e| PersistError::Corrupt(e.to_string()))?;
     Ok((model, sliding, segmenter))
 }
 

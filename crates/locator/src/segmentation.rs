@@ -9,7 +9,9 @@
 //! 3. detect the rising edges of the filtered square wave;
 //! 4. multiply each edge index by the stride `s` to obtain trace samples.
 
-use sca_trace::dsp;
+use std::collections::VecDeque;
+
+use sca_trace::{dsp, TraceError};
 use serde::{Deserialize, Serialize};
 
 /// How the threshold of the `Th` stage is chosen.
@@ -43,6 +45,25 @@ impl Default for SegmentationConfig {
     }
 }
 
+impl SegmentationConfig {
+    /// Checks the invariants the segmentation stages rely on (the fields are
+    /// `pub`, so a config can be assembled in any state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] if `median_filter_k` is zero
+    /// or even.
+    pub fn validate(&self) -> sca_trace::Result<()> {
+        if self.median_filter_k == 0 || self.median_filter_k.is_multiple_of(2) {
+            return Err(TraceError::InvalidParameter(format!(
+                "median filter size must be odd and non-zero, got {}",
+                self.median_filter_k
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// The segmentation stage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Segmenter {
@@ -51,8 +72,28 @@ pub struct Segmenter {
 
 impl Segmenter {
     /// Creates a segmenter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (`median_filter_k` zero or
+    /// even). Use [`Segmenter::try_new`] to handle the error instead — the
+    /// config fields are `pub`, so nothing else enforces the invariant, and
+    /// an invalid value used to surface only deep inside
+    /// [`Segmenter::segment_detailed`] with a misleading message.
     pub fn new(config: SegmentationConfig) -> Self {
-        Self { config }
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid segmentation config: {e}"))
+    }
+
+    /// Creates a segmenter, returning a typed error for an invalid
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] if `median_filter_k` is zero
+    /// or even.
+    pub fn try_new(config: SegmentationConfig) -> sca_trace::Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
     }
 
     /// The segmentation configuration.
@@ -61,19 +102,38 @@ impl Segmenter {
     }
 
     /// Resolves the threshold value for a given score signal.
+    ///
+    /// NaN scores (which a degenerate window — e.g. all-zero samples fed to
+    /// a pathological model — can produce) are ignored by the data-dependent
+    /// strategies: a single NaN used to make the `MidRange`/`MeanPlusStd`
+    /// threshold NaN, every `score > threshold` comparison false and the
+    /// segmentation silently empty. A signal with *no* finite score resolves
+    /// to `0.0`, which still yields no starts (NaN compares false), but now
+    /// by construction rather than by accident.
     pub fn resolve_threshold(&self, swc: &[f32]) -> f32 {
         match self.config.threshold {
             ThresholdStrategy::Fixed(t) => t,
             ThresholdStrategy::MidRange => {
-                if swc.is_empty() {
+                // f32::min/f32::max already propagate the non-NaN operand,
+                // so the fold is NaN-safe as long as the init values are.
+                let min = swc.iter().copied().filter(|s| !s.is_nan()).fold(f32::INFINITY, f32::min);
+                let max =
+                    swc.iter().copied().filter(|s| !s.is_nan()).fold(f32::NEG_INFINITY, f32::max);
+                if min.is_infinite() || max.is_infinite() {
                     return 0.0;
                 }
-                let min = swc.iter().copied().fold(f32::INFINITY, f32::min);
-                let max = swc.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                 (min + max) / 2.0
             }
             ThresholdStrategy::MeanPlusStd(factor) => {
-                sca_trace::stats::mean(swc) + factor * sca_trace::stats::std(swc)
+                if swc.iter().any(|s| s.is_nan()) {
+                    let clean: Vec<f32> = swc.iter().copied().filter(|s| !s.is_nan()).collect();
+                    if clean.is_empty() {
+                        return 0.0;
+                    }
+                    sca_trace::stats::mean(&clean) + factor * sca_trace::stats::std(&clean)
+                } else {
+                    sca_trace::stats::mean(swc) + factor * sca_trace::stats::std(swc)
+                }
             }
         }
     }
@@ -83,8 +143,13 @@ impl Segmenter {
     pub fn segment_detailed(&self, swc: &[f32], stride: usize) -> SegmentationOutput {
         let threshold = self.resolve_threshold(swc);
         let square = dsp::threshold_square_wave(swc, threshold);
+        // `new`/`try_new` validate the config, but a `Segmenter` could in
+        // principle be materialised around them (e.g. by a real serde
+        // backend instead of the offline no-op shim) — so if the filter
+        // rejects the size anyway, panic with the actual error rather than
+        // asserting a validation that may never have run.
         let filtered = dsp::median_filter(&square, self.config.median_filter_k)
-            .expect("median filter size validated by configuration");
+            .unwrap_or_else(|e| panic!("invalid segmentation config: {e}"));
         let mut edges = dsp::rising_edges(&filtered);
         // A CO starting at the very first window has no preceding -1 sample;
         // treat a positive start of the wave as an edge at index 0.
@@ -114,6 +179,193 @@ impl Segmenter {
 impl Default for Segmenter {
     fn default() -> Self {
         Self::new(SegmentationConfig::default())
+    }
+}
+
+/// Incremental segmentation over per-chunk spans of the `swc` signal.
+///
+/// The streaming locate path scores a long trace chunk by chunk and must not
+/// retain the whole score signal. A `StreamingSegmenter` consumes score
+/// spans as they are produced ([`StreamingSegmenter::push`]) and emits the
+/// same CO starts as [`Segmenter::segment`] over the concatenated signal
+/// ([`StreamingSegmenter::finish`]) — the two are pinned equal by the parity
+/// tests.
+///
+/// Memory behaviour depends on the threshold strategy:
+///
+/// * [`ThresholdStrategy::Fixed`] runs **truly incrementally**: the state is
+///   one median-filter window of the ±1 square wave (`k` values) plus the
+///   edge bookkeeping — O(k), independent of the trace length.
+/// * `MidRange` / `MeanPlusStd` derive the threshold from the *whole*
+///   signal, which no single pass can know mid-stream; for those the
+///   segmenter buffers the scores (O(windows) = O(trace / stride), still far
+///   below the trace itself) and runs the batch path at `finish`.
+///
+/// # Example
+///
+/// ```rust
+/// use sca_locator::{SegmentationConfig, Segmenter, StreamingSegmenter, ThresholdStrategy};
+///
+/// let config = SegmentationConfig {
+///     threshold: ThresholdStrategy::Fixed(0.0),
+///     median_filter_k: 3,
+///     min_distance_windows: 2,
+/// };
+/// let swc: Vec<f32> = (0..64).map(|i| if (20..26).contains(&i) { 2.0 } else { -2.0 }).collect();
+/// let mut streaming = StreamingSegmenter::new(config, 8);
+/// for span in swc.chunks(7) {
+///     streaming.push(span);
+/// }
+/// assert_eq!(streaming.finish(), Segmenter::new(config).segment(&swc, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingSegmenter {
+    config: SegmentationConfig,
+    stride: usize,
+    mode: StreamingMode,
+}
+
+#[derive(Debug, Clone)]
+enum StreamingMode {
+    /// Fixed threshold: O(k) incremental state.
+    Incremental(IncrementalState),
+    /// Data-dependent threshold: the scores must be buffered.
+    Buffered(Vec<f32>),
+}
+
+/// O(k) state of the incremental (fixed-threshold) path: the square wave is
+/// materialised only inside one sliding median window.
+#[derive(Debug, Clone)]
+struct IncrementalState {
+    threshold: f32,
+    /// Ring of the most recent square-wave values, covering indices
+    /// `[base, seen)` of the conceptual square wave.
+    window: VecDeque<f32>,
+    base: usize,
+    /// Square-wave values consumed so far.
+    seen: usize,
+    /// Filtered values emitted so far (always `<= seen`).
+    emitted: usize,
+    /// Previous emitted filtered value (edge detection needs one of context).
+    prev_filtered: f32,
+    /// Last *kept* edge (post min-distance dedup), in window indices.
+    last_edge: Option<usize>,
+    /// Kept edges, in window indices.
+    edges: Vec<usize>,
+}
+
+impl IncrementalState {
+    fn new(threshold: f32) -> Self {
+        Self {
+            threshold,
+            window: VecDeque::new(),
+            base: 0,
+            seen: 0,
+            emitted: 0,
+            prev_filtered: -1.0,
+            last_edge: None,
+            edges: Vec::new(),
+        }
+    }
+}
+
+impl StreamingSegmenter {
+    /// Creates a streaming segmenter for score spans produced with the given
+    /// window `stride` (used to map window indices to sample indices, as in
+    /// [`Segmenter::segment`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, like [`Segmenter::new`].
+    pub fn new(config: SegmentationConfig, stride: usize) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid segmentation config: {e}"));
+        let mode = match config.threshold {
+            ThresholdStrategy::Fixed(t) => StreamingMode::Incremental(IncrementalState::new(t)),
+            _ => StreamingMode::Buffered(Vec::new()),
+        };
+        Self { config, stride, mode }
+    }
+
+    /// `true` if this segmenter runs in O(k) memory (fixed threshold) rather
+    /// than buffering the score signal.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self.mode, StreamingMode::Incremental(_))
+    }
+
+    /// Consumes the next span of sliding-window scores (chunks must arrive
+    /// in window order, without gaps or overlap).
+    pub fn push(&mut self, scores: &[f32]) {
+        match &mut self.mode {
+            StreamingMode::Buffered(buf) => buf.extend_from_slice(scores),
+            StreamingMode::Incremental(state) => {
+                let half = self.config.median_filter_k / 2;
+                let min_distance = self.config.min_distance_windows.max(1);
+                for &score in scores {
+                    // Th stage, one sample at a time (NaN compares false → -1,
+                    // exactly like `dsp::threshold_square_wave`).
+                    state.window.push_back(if score > state.threshold { 1.0 } else { -1.0 });
+                    state.seen += 1;
+                    // Emit every filtered value whose right context is
+                    // complete; the rest waits for more scores or `finish`.
+                    while state.emitted + half < state.seen {
+                        Self::emit_filtered(state, half, min_distance);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes the pending tail and returns the located CO start samples —
+    /// identical to [`Segmenter::segment`] over the concatenated spans.
+    pub fn finish(self) -> Vec<usize> {
+        match self.mode {
+            StreamingMode::Buffered(buf) => {
+                Segmenter { config: self.config }.segment(&buf, self.stride)
+            }
+            StreamingMode::Incremental(mut state) => {
+                let half = self.config.median_filter_k / 2;
+                let min_distance = self.config.min_distance_windows.max(1);
+                // The trailing `half` indices see a clamped (shrunken) median
+                // window, exactly like the batch filter's border handling.
+                while state.emitted < state.seen {
+                    Self::emit_filtered(&mut state, half, min_distance);
+                }
+                state.edges.into_iter().map(|e| e * self.stride).collect()
+            }
+        }
+    }
+
+    /// Computes the next filtered value (median of the available square-wave
+    /// window around `state.emitted`, clamped at both borders like
+    /// `dsp::median_filter`) and runs edge detection + min-distance dedup on
+    /// it.
+    fn emit_filtered(state: &mut IncrementalState, half: usize, min_distance: usize) {
+        let i = state.emitted;
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(state.seen);
+        // The ±1 median at sorted index `len / 2` is -1 exactly when more
+        // than `len / 2` values are negative.
+        let negatives =
+            state.window.iter().skip(lo - state.base).take(hi - lo).filter(|&&v| v < 0.0).count();
+        let filtered = if negatives > (hi - lo) / 2 { -1.0 } else { 1.0 };
+
+        // Rising-edge detection, including the batch path's index-0 rule (a
+        // wave starting positive is an edge at 0).
+        let is_edge =
+            if i == 0 { filtered > 0.0 } else { state.prev_filtered < 0.0 && filtered >= 0.0 };
+        if is_edge && state.last_edge.is_none_or(|last| i - last >= min_distance) {
+            state.edges.push(i);
+            state.last_edge = Some(i);
+        }
+        state.prev_filtered = filtered;
+        state.emitted += 1;
+
+        // Drop square-wave values no future median window can reach.
+        let keep_from = state.emitted.saturating_sub(half);
+        while state.base < keep_from {
+            state.window.pop_front();
+            state.base += 1;
+        }
     }
 }
 
@@ -206,6 +458,133 @@ mod tests {
     #[test]
     fn empty_signal_yields_no_starts() {
         assert!(Segmenter::default().segment(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn even_or_zero_median_filter_is_rejected_at_construction() {
+        // Regression: an even/zero `median_filter_k` used to slip through
+        // `Segmenter::new` (the pub-field config was never validated) and
+        // panic inside `segment_detailed` with the misleading message
+        // "median filter size validated by configuration".
+        for k in [0usize, 2, 4, 8] {
+            let config = SegmentationConfig { median_filter_k: k, ..Default::default() };
+            let err = Segmenter::try_new(config).unwrap_err();
+            assert!(
+                matches!(&err, TraceError::InvalidParameter(msg) if msg.contains("odd")),
+                "k = {k}: {err:?}"
+            );
+        }
+        assert!(Segmenter::try_new(SegmentationConfig::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid segmentation config")]
+    fn new_panics_early_with_accurate_message_for_even_k() {
+        Segmenter::new(SegmentationConfig { median_filter_k: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn nan_scores_do_not_poison_data_dependent_thresholds() {
+        // Regression: one NaN made the MidRange/MeanPlusStd threshold NaN,
+        // every comparison false, and the segmentation silently empty.
+        let mut swc = synthetic_swc(100, &[10, 40, 75], 6);
+        swc[3] = f32::NAN;
+        swc[55] = f32::NAN;
+        for threshold in [ThresholdStrategy::MidRange, ThresholdStrategy::MeanPlusStd(1.0)] {
+            let seg = Segmenter::new(SegmentationConfig { threshold, ..Default::default() });
+            let t = seg.resolve_threshold(&swc);
+            assert!(t.is_finite(), "{threshold:?} resolved to {t}");
+            let starts = seg.segment(&swc, 50);
+            assert_eq!(starts, vec![10 * 50, 40 * 50, 75 * 50], "{threshold:?}");
+        }
+    }
+
+    #[test]
+    fn all_nan_signal_resolves_to_zero_and_no_starts() {
+        let swc = vec![f32::NAN; 40];
+        for threshold in [ThresholdStrategy::MidRange, ThresholdStrategy::MeanPlusStd(2.0)] {
+            let seg = Segmenter::new(SegmentationConfig { threshold, ..Default::default() });
+            assert_eq!(seg.resolve_threshold(&swc), 0.0);
+            assert!(seg.segment(&swc, 4).is_empty());
+        }
+    }
+
+    #[test]
+    fn streaming_fixed_threshold_matches_batch_across_span_sizes() {
+        let config = SegmentationConfig {
+            threshold: ThresholdStrategy::Fixed(0.0),
+            median_filter_k: 5,
+            min_distance_windows: 3,
+        };
+        // Bumps at the borders, mid-signal, and closer than min_distance.
+        let mut swc = synthetic_swc(200, &[0, 30, 34, 120, 195], 4);
+        swc[60] = 3.0; // isolated glitch the median filter must remove
+        swc[31] = -2.0; // notch inside a bump
+        let batch = Segmenter::new(config).segment(&swc, 9);
+        for span in [1usize, 2, 3, 7, 50, 200, 500] {
+            let mut streaming = StreamingSegmenter::new(config, 9);
+            assert!(streaming.is_incremental());
+            for chunk in swc.chunks(span) {
+                streaming.push(chunk);
+            }
+            assert_eq!(streaming.finish(), batch, "span {span}");
+        }
+    }
+
+    #[test]
+    fn streaming_data_dependent_threshold_matches_batch() {
+        for threshold in [ThresholdStrategy::MidRange, ThresholdStrategy::MeanPlusStd(1.0)] {
+            let config = SegmentationConfig { threshold, ..Default::default() };
+            let swc = synthetic_swc(150, &[20, 80, 140], 6);
+            let batch = Segmenter::new(config).segment(&swc, 5);
+            let mut streaming = StreamingSegmenter::new(config, 5);
+            assert!(!streaming.is_incremental());
+            for chunk in swc.chunks(11) {
+                streaming.push(chunk);
+            }
+            assert_eq!(streaming.finish(), batch, "{threshold:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_empty_and_short_signals() {
+        let config =
+            SegmentationConfig { threshold: ThresholdStrategy::Fixed(0.0), ..Default::default() };
+        assert!(StreamingSegmenter::new(config, 4).finish().is_empty());
+        // One lone positive score: batch (shrunken median window) parity.
+        let swc = [3.0f32];
+        let batch = Segmenter::new(config).segment(&swc, 4);
+        let mut streaming = StreamingSegmenter::new(config, 4);
+        streaming.push(&swc);
+        assert_eq!(streaming.finish(), batch);
+    }
+
+    #[test]
+    fn streaming_randomized_signals_match_batch_exactly() {
+        // Deterministic LCG noise: ±1-dense signals stress every filter and
+        // edge path far more than clean bumps.
+        let config = SegmentationConfig {
+            threshold: ThresholdStrategy::Fixed(0.0),
+            median_filter_k: 3,
+            min_distance_windows: 2,
+        };
+        let mut state = 0x1234_5678_u64;
+        for len in [1usize, 2, 5, 17, 64, 257] {
+            let swc: Vec<f32> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((state >> 33) as f32 / (1u64 << 30) as f32) - 1.0
+                })
+                .collect();
+            let batch = Segmenter::new(config).segment(&swc, 7);
+            for span in [1usize, 3, 16] {
+                let mut streaming = StreamingSegmenter::new(config, 7);
+                for chunk in swc.chunks(span) {
+                    streaming.push(chunk);
+                }
+                assert_eq!(streaming.finish(), batch, "len {len} span {span}");
+            }
+        }
     }
 
     #[test]

@@ -15,8 +15,16 @@
 //! [`Workspace`] — the weights are never cloned. Per-window scores do not
 //! depend on batching, so the output is identical for any thread or batch
 //! configuration.
+//!
+//! For traces too long to hold in memory, [`SlidingWindowClassifier::classify_source`]
+//! scores any [`TraceSource`] (e.g. an on-disk [`sca_trace::FileTraceSource`])
+//! chunk by chunk — stride-aligned chunk boundaries with window-tail overlap
+//! — producing the **bit-identical** `swc` signal in O(chunk) memory. Note
+//! that, in memory or streamed, only complete windows are scored: trailing
+//! samples shorter than one window never contribute a score (see
+//! [`SlidingWindowClassifier::output_len`]).
 
-use sca_trace::{Trace, WindowSlicer};
+use sca_trace::{Trace, TraceError, TraceSource, WindowSlicer};
 use serde::{Deserialize, Serialize};
 use tinynn::{Tensor, Workspace};
 
@@ -91,6 +99,13 @@ impl SlidingWindowClassifier {
     }
 
     /// Number of score samples produced for a trace of `trace_len` samples.
+    ///
+    /// Only *complete* windows are scored: trailing samples shorter than one
+    /// window — up to `window_len + stride − 2` of them after the last
+    /// stride-aligned window that fits — are never covered by any score, and
+    /// a trace shorter than `window_len` yields an empty signal. This holds
+    /// identically for [`Self::classify`] and [`Self::classify_source`] (see
+    /// [`WindowSlicer::window_count`] for the underlying arithmetic).
     pub fn output_len(&self, trace_len: usize) -> usize {
         WindowSlicer::new(self.window_len, self.stride)
             .expect("parameters validated at construction")
@@ -110,28 +125,128 @@ impl SlidingWindowClassifier {
             .expect("parameters validated at construction");
         let starts: Vec<usize> = slicer.window_starts(trace.len()).collect();
         let mut scores = vec![0.0f32; starts.len()];
+        self.score_starts(cnn, trace.samples(), &starts, &mut scores);
+        scores
+    }
+
+    /// Runs the sliding-window classification over a [`TraceSource`] without
+    /// ever holding more than one chunk of the trace in memory, returning
+    /// the same `swc` signal as [`Self::classify`] **bit-identically**.
+    ///
+    /// The trace is scored in chunks of at most `chunk_len` samples. Chunk
+    /// boundaries are aligned to the stride grid and consecutive chunks
+    /// overlap by the tail a window needs (up to `window_len − 1` samples),
+    /// so every window sees exactly the samples it would see in memory; the
+    /// per-window scores then cannot differ (scoring is per-window
+    /// independent — the same invariant that makes the thread fan-out
+    /// exact). Peak memory is O(`chunk_len` + `window_len`), independent of
+    /// the trace length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] if `chunk_len` is zero, and
+    /// propagates source I/O failures.
+    pub fn classify_source<S: WindowScorer, T: TraceSource + ?Sized>(
+        &self,
+        cnn: &S,
+        source: &T,
+        chunk_len: usize,
+    ) -> sca_trace::Result<Vec<f32>> {
+        let mut scores = Vec::with_capacity(self.output_len(source.len()));
+        self.classify_source_with(cnn, source, chunk_len, |span| scores.extend_from_slice(span))?;
+        Ok(scores)
+    }
+
+    /// Chunked scoring driver behind [`Self::classify_source`]: streams the
+    /// `swc` signal to `sink` one chunk-span at a time (in window order,
+    /// gap- and overlap-free) instead of collecting it, so a caller can
+    /// segment incrementally without retaining the scores. Returns the total
+    /// number of scores produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] if `chunk_len` is zero, and
+    /// propagates source I/O failures.
+    pub fn classify_source_with<S, T, F>(
+        &self,
+        cnn: &S,
+        source: &T,
+        chunk_len: usize,
+        mut sink: F,
+    ) -> sca_trace::Result<usize>
+    where
+        S: WindowScorer,
+        T: TraceSource + ?Sized,
+        F: FnMut(&[f32]),
+    {
+        if chunk_len == 0 {
+            return Err(TraceError::InvalidParameter("chunk length must be > 0".into()));
+        }
+        let total_windows = self.output_len(source.len());
+        if total_windows == 0 {
+            return Ok(0);
+        }
+        // Windows per chunk: as many stride-aligned windows as fit in
+        // `chunk_len` samples, but at least one (a chunk shorter than a
+        // window would make no progress).
+        let slicer = WindowSlicer::new(self.window_len, self.stride)
+            .expect("parameters validated at construction");
+        let windows_per_chunk = slicer.window_count(chunk_len).max(1);
+
+        let mut buf: Vec<f32> = Vec::new();
+        let mut scores: Vec<f32> = Vec::new();
+        let mut starts: Vec<usize> = Vec::new();
+        let mut first = 0usize;
+        while first < total_windows {
+            let last = (first + windows_per_chunk).min(total_windows);
+            let sample_start = first * self.stride;
+            let sample_end = (last - 1) * self.stride + self.window_len;
+            buf.resize(sample_end - sample_start, 0.0);
+            source.fill(sample_start, &mut buf)?;
+            // Window starts relative to the chunk buffer: the stride grid
+            // re-based to the chunk's first sample.
+            starts.clear();
+            starts.extend((0..last - first).map(|i| i * self.stride));
+            scores.resize(last - first, 0.0);
+            self.score_starts(cnn, &buf, &starts, &mut scores);
+            sink(&scores);
+            first = last;
+        }
+        Ok(total_windows)
+    }
+
+    /// Scores the windows at `starts` (relative to `samples`) into `out`,
+    /// fanning independent shards out across threads. This is the one
+    /// scoring path shared by the in-memory and the chunked classifiers.
+    fn score_starts<S: WindowScorer>(
+        &self,
+        cnn: &S,
+        samples: &[f32],
+        starts: &[usize],
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(starts.len(), out.len());
         if starts.is_empty() {
-            return scores;
+            return;
         }
         let threads = self.effective_threads(starts.len());
         if threads <= 1 {
             let mut ws = Workspace::new();
-            self.classify_shard(cnn, &mut ws, &starts, trace, &mut scores);
+            self.classify_shard(cnn, &mut ws, starts, samples, out);
         } else {
             let per_shard = starts.len().div_ceil(threads);
             std::thread::scope(|scope| {
-                for (shard, out) in starts.chunks(per_shard).zip(scores.chunks_mut(per_shard)) {
+                for (shard, shard_out) in starts.chunks(per_shard).zip(out.chunks_mut(per_shard)) {
                     scope.spawn(move || {
                         // The shards are the parallelism; the CNN's own batch
                         // fan-out must stay sequential inside them.
                         let _serial = tinynn::parallel::serial_region();
                         let mut ws = Workspace::new();
-                        self.classify_shard(cnn, &mut ws, shard, trace, out);
+                        self.classify_shard(cnn, &mut ws, shard, samples, shard_out);
                     });
                 }
             });
         }
-        scores
     }
 
     /// The pre-optimisation scoring path (per-window `Vec` staging through
@@ -205,11 +320,10 @@ impl SlidingWindowClassifier {
         cnn: &S,
         ws: &mut Workspace,
         starts: &[usize],
-        trace: &Trace,
+        samples: &[f32],
         out: &mut [f32],
     ) {
         let n = self.window_len;
-        let samples = trace.samples();
         let mut batch = Tensor::zeros(&[self.batch_size, 1, n]);
         let mut scores_buf: Vec<f32> = Vec::with_capacity(self.batch_size);
         let mut offset = 0usize;
@@ -350,6 +464,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn chunked_source_scoring_is_bit_identical_to_in_memory() {
+        let cnn = tiny_cnn();
+        let trace = wavy_trace(500);
+        for (window, stride) in [(16usize, 8usize), (16, 4), (24, 16), (16, 16), (24, 5)] {
+            let swc = SlidingWindowClassifier::new(window, stride).with_batch_size(8);
+            let in_memory = swc.classify(&cnn, &trace);
+            // Chunks smaller than a window, equal to it, unaligned, and
+            // larger than the whole trace.
+            for chunk_len in [1usize, window - 1, window, 3 * window + 1, 100, 499, 500, 10_000] {
+                let streamed = swc.classify_source(&cnn, &trace, chunk_len).unwrap();
+                assert_eq!(streamed.len(), in_memory.len(), "chunk {chunk_len}");
+                for (i, (a, b)) in streamed.iter().zip(in_memory.iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "window={window} stride={stride} chunk={chunk_len} score {i}: \
+                         streamed {a} vs in-memory {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_source_rejects_zero_chunk_and_handles_short_traces() {
+        let cnn = tiny_cnn();
+        let swc = SlidingWindowClassifier::new(16, 4);
+        assert!(swc.classify_source(&cnn, &wavy_trace(100), 0).is_err());
+        // Shorter than one window: empty signal, no source reads needed.
+        assert!(swc.classify_source(&cnn, &wavy_trace(10), 64).unwrap().is_empty());
+        assert!(swc.classify_source(&cnn, &Trace::default(), 64).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chunked_spans_arrive_in_order_and_cover_everything() {
+        let cnn = tiny_cnn();
+        let trace = wavy_trace(300);
+        let swc = SlidingWindowClassifier::new(16, 8).with_batch_size(4);
+        let expected = swc.classify(&cnn, &trace);
+        let mut collected = Vec::new();
+        let mut spans = 0usize;
+        let produced = swc
+            .classify_source_with(&cnn, &trace, 64, |span| {
+                assert!(!span.is_empty());
+                collected.extend_from_slice(span);
+                spans += 1;
+            })
+            .unwrap();
+        assert_eq!(produced, expected.len());
+        assert_eq!(collected, expected);
+        assert!(spans > 1, "a 300-sample trace with 64-sample chunks must span multiple chunks");
     }
 
     #[test]

@@ -162,6 +162,50 @@ fn truncation_of_fixture_bytes_is_corrupt_at_every_boundary() {
 }
 
 #[test]
+fn inflated_length_headers_fail_fast_with_typed_errors() {
+    // Untrusted-input hardening: length/count fields doctored to absurd
+    // values must yield a typed `Corrupt` error quickly — never a
+    // `count * 4` allocation, an OOM abort, or a panic. Offsets below follow
+    // the documented v1 layout: magic 8 + version 4 + cnn config 24 +
+    // sliding config 33 + segmentation config 21 = 90, where the parameter
+    // count (u32) and the first parameter's rank (u32) + dims (u64 each)
+    // live.
+    let bytes = std::fs::read(fixture_path("engine_v1.scaloc")).unwrap();
+    let path = temp_path("inflated");
+
+    // Parameter count pinned to u32::MAX.
+    let mut doctored = bytes.clone();
+    doctored[90..94].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &doctored).unwrap();
+    match LocatorEngine::load(&path) {
+        Err(PersistError::Corrupt(msg)) => assert!(msg.contains("count"), "{msg}"),
+        other => panic!("inflated parameter count: expected Corrupt, got {other:?}"),
+    }
+
+    // First parameter dimension pinned to ~1.8e19 (u64::MAX / 2 + 1): the
+    // loader must reject it against the sanity bound / expected shape
+    // before any data read sized by it.
+    let mut doctored = bytes.clone();
+    doctored[98..106].copy_from_slice(&(u64::MAX / 2 + 1).to_le_bytes());
+    std::fs::write(&path, &doctored).unwrap();
+    match LocatorEngine::load(&path) {
+        Err(PersistError::Corrupt(_)) => {}
+        other => panic!("inflated dimension: expected Corrupt, got {other:?}"),
+    }
+
+    // v2: quantised block row count inflated the same way.
+    let v2 = std::fs::read(fixture_path("engine_v2.scaloc")).unwrap();
+    let mut doctored = v2.clone();
+    doctored[94..102].copy_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&path, &doctored).unwrap();
+    match LocatorEngine::load(&path) {
+        Err(PersistError::Corrupt(_)) => {}
+        other => panic!("inflated block rows: expected Corrupt, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn trailing_data_on_fixture_bytes_is_corrupt() {
     for fixture in ["engine_v1.scaloc", "engine_v2.scaloc"] {
         let mut bytes = std::fs::read(fixture_path(fixture)).unwrap();

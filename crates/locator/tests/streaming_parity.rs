@@ -1,0 +1,181 @@
+//! Streaming ↔ in-memory parity: the acceptance tests of the out-of-core
+//! scoring path.
+//!
+//! `classify_source` must produce the **bit-identical** `swc` signal to
+//! `classify`, and `locate_streamed` the identical CO starts to `locate`,
+//! for every combination of chunk size, stride, thread count, ragged final
+//! chunk, threshold strategy and trace-source backing (in-memory, raw-f32
+//! file, `SCATRC01` text file) — including traces shorter than one chunk or
+//! one window.
+
+use sca_locator::{
+    CnnConfig, CoLocatorCnn, LocatorEngine, SegmentationConfig, Segmenter, SlidingWindowClassifier,
+    StreamingSegmenter, ThresholdStrategy,
+};
+use sca_trace::{FileTraceSource, Trace, TraceSource};
+
+fn tiny_cnn(seed: u64) -> CoLocatorCnn {
+    CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed })
+}
+
+/// Deterministic pseudo-noise trace: dense sign changes stress the
+/// segmentation paths much harder than a smooth sine.
+fn noisy_trace(len: usize, seed: u64) -> Trace {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    Trace::from_samples(
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                (i as f32 * 0.07).sin() + 0.6 * noise
+            })
+            .collect(),
+    )
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sca_streaming_parity_{name}_{}", std::process::id()))
+}
+
+fn assert_bits_equal(streamed: &[f32], in_memory: &[f32], what: &str) {
+    assert_eq!(streamed.len(), in_memory.len(), "{what}: length mismatch");
+    for (i, (a, b)) in streamed.iter().zip(in_memory.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: score {i} diverged (streamed {a} vs in-memory {b})"
+        );
+    }
+}
+
+#[test]
+fn scores_are_bit_identical_across_chunk_stride_thread_grid() {
+    let cnn = tiny_cnn(21);
+    let trace = noisy_trace(700, 1);
+    for (window, stride) in [(16usize, 4usize), (16, 16), (24, 7), (32, 32)] {
+        for threads in [1usize, 2, 5] {
+            let swc = SlidingWindowClassifier::new(window, stride)
+                .with_batch_size(8)
+                .with_threads(threads);
+            let in_memory = swc.classify(&cnn, &trace);
+            // Chunk sizes below one window, window-aligned, prime-odd (ragged
+            // final chunk), and beyond the trace length.
+            for chunk_len in [window / 2, window, 2 * window, 157, 699, 700, 4096] {
+                let streamed = swc.classify_source(&cnn, &trace, chunk_len).unwrap();
+                assert_bits_equal(
+                    &streamed,
+                    &in_memory,
+                    &format!("window={window} stride={stride} threads={threads} chunk={chunk_len}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scores_are_bit_identical_from_both_file_formats() {
+    let cnn = tiny_cnn(8);
+    let trace = noisy_trace(600, 3);
+    let swc = SlidingWindowClassifier::new(24, 8).with_batch_size(16);
+    let in_memory = swc.classify(&cnn, &trace);
+
+    let raw_path = temp_path("raw");
+    sca_trace::io::write_samples_binary(std::fs::File::create(&raw_path).unwrap(), trace.samples())
+        .unwrap();
+    let raw = FileTraceSource::open_raw_f32(&raw_path).unwrap();
+    assert_eq!(raw.len(), trace.len());
+    assert_bits_equal(&swc.classify_source(&cnn, &raw, 128).unwrap(), &in_memory, "raw-f32");
+
+    let text_path = temp_path("text");
+    sca_trace::io::write_trace_text(&text_path, &trace).unwrap();
+    let text = FileTraceSource::open_text(&text_path).unwrap();
+    assert_eq!(text.len(), trace.len());
+    assert_bits_equal(&swc.classify_source(&cnn, &text, 128).unwrap(), &in_memory, "text");
+
+    std::fs::remove_file(&raw_path).ok();
+    std::fs::remove_file(&text_path).ok();
+}
+
+#[test]
+fn quantized_scorer_streams_bit_identically_too() {
+    // The one generic scoring path must serve the i8 model unchanged.
+    let engine = LocatorEngine::new(
+        tiny_cnn(33),
+        SlidingWindowClassifier::new(16, 8).with_batch_size(4),
+        Segmenter::default(),
+    )
+    .quantize();
+    let trace = noisy_trace(500, 9);
+    let (in_memory, starts) = engine.locate_detailed(&trace);
+    for chunk_len in [16usize, 100, 333] {
+        let streamed = engine.sliding().classify_source(engine.model(), &trace, chunk_len).unwrap();
+        assert_bits_equal(&streamed, &in_memory, &format!("quantized chunk={chunk_len}"));
+        assert_eq!(engine.locate_streamed(&trace, chunk_len).unwrap(), starts);
+    }
+}
+
+#[test]
+fn located_starts_match_for_every_threshold_strategy() {
+    let trace = noisy_trace(900, 5);
+    for threshold in [
+        ThresholdStrategy::Fixed(0.0),
+        ThresholdStrategy::MidRange,
+        ThresholdStrategy::MeanPlusStd(0.5),
+    ] {
+        let engine = LocatorEngine::new(
+            tiny_cnn(4),
+            SlidingWindowClassifier::new(16, 4).with_batch_size(8),
+            Segmenter::new(SegmentationConfig {
+                threshold,
+                median_filter_k: 3,
+                min_distance_windows: 2,
+            }),
+        );
+        let expected = engine.locate(&trace);
+        for chunk_len in [48usize, 250, 899, 2048] {
+            assert_eq!(
+                engine.locate_streamed(&trace, chunk_len).unwrap(),
+                expected,
+                "{threshold:?} chunk={chunk_len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn short_traces_and_edge_lengths_stream_exactly() {
+    let cnn = tiny_cnn(2);
+    let swc = SlidingWindowClassifier::new(16, 8);
+    // Shorter than one window, exactly one window, one window + partial
+    // stride, shorter than one chunk.
+    for len in [0usize, 1, 15, 16, 17, 23, 24, 31, 100] {
+        let trace = noisy_trace(len, 11);
+        let in_memory = swc.classify(&cnn, &trace);
+        for chunk_len in [8usize, 16, 64, 1024] {
+            let streamed = swc.classify_source(&cnn, &trace, chunk_len).unwrap();
+            assert_bits_equal(&streamed, &in_memory, &format!("len={len} chunk={chunk_len}"));
+        }
+    }
+}
+
+#[test]
+fn streaming_segmenter_consumes_real_score_spans_like_batch() {
+    // End-to-end with the real score signal (not synthetic bumps): push the
+    // actual per-chunk spans and compare with the batch segmentation.
+    let cnn = tiny_cnn(17);
+    let trace = noisy_trace(800, 13);
+    let sliding = SlidingWindowClassifier::new(16, 4).with_batch_size(8);
+    let config = SegmentationConfig {
+        threshold: ThresholdStrategy::Fixed(0.1),
+        median_filter_k: 5,
+        min_distance_windows: 3,
+    };
+    let swc = sliding.classify(&cnn, &trace);
+    let batch = Segmenter::new(config).segment(&swc, sliding.stride());
+    for chunk_len in [32usize, 128, 799] {
+        let mut streaming = StreamingSegmenter::new(config, sliding.stride());
+        assert!(streaming.is_incremental());
+        sliding.classify_source_with(&cnn, &trace, chunk_len, |span| streaming.push(span)).unwrap();
+        assert_eq!(streaming.finish(), batch, "chunk={chunk_len}");
+    }
+}

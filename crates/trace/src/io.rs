@@ -84,16 +84,50 @@ pub fn write_f32s_le<W: Write>(mut writer: W, values: &[f32]) -> std::io::Result
     Ok(())
 }
 
+/// Upper bound on any single transient read buffer and on the *initial*
+/// capacity reserved for a length-prefixed read. `count` values usually come
+/// from an untrusted file header, so the readers below never allocate
+/// `count`-sized buffers up front: they read in bounded chunks and let the
+/// output grow only as real data actually arrives. A header lying about its
+/// length therefore fails with `UnexpectedEof` after at most one chunk of
+/// work instead of a multi-gigabyte allocation (or, on 32-bit targets, a
+/// `count * 4` overflow).
+const READ_CHUNK_BYTES: usize = 64 * 1024;
+
+/// `InvalidData` error for a length header whose byte size overflows `usize`.
+fn count_overflow(what: &str, count: usize) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("{what} count {count} overflows the addressable byte range"),
+    )
+}
+
 /// Reads exactly `count` little-endian `f32` values.
+///
+/// `count` is treated as untrusted (it typically comes from a file header):
+/// the read proceeds in bounded chunks, so a corrupt or hostile header
+/// cannot trigger an up-front `count * 4` allocation and a `count` whose
+/// byte size overflows `usize` is rejected with `InvalidData`.
 ///
 /// # Errors
 ///
 /// Propagates the underlying reader error (`UnexpectedEof` if fewer than
-/// `count` values are available).
+/// `count` values are available); `InvalidData` on byte-size overflow.
 pub fn read_f32s_le<R: Read>(mut reader: R, count: usize) -> std::io::Result<Vec<f32>> {
-    let mut bytes = vec![0u8; count * 4];
-    reader.read_exact(&mut bytes)?;
-    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    if count.checked_mul(4).is_none() {
+        return Err(count_overflow("f32", count));
+    }
+    let mut out = Vec::with_capacity(count.min(READ_CHUNK_BYTES / 4));
+    let mut buf = [0u8; READ_CHUNK_BYTES];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK_BYTES / 4);
+        let bytes = &mut buf[..take * 4];
+        reader.read_exact(bytes)?;
+        out.extend(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+        remaining -= take;
+    }
+    Ok(out)
 }
 
 /// Writes an `i8` slice as raw bytes (two's complement, endianness-free).
@@ -119,14 +153,26 @@ pub fn write_i8s<W: Write>(mut writer: W, values: &[i8]) -> std::io::Result<()> 
 
 /// Reads exactly `count` `i8` values (raw two's-complement bytes).
 ///
+/// Like [`read_f32s_le`], `count` is untrusted: the read proceeds in bounded
+/// chunks and the output only grows as data actually arrives, so a corrupt
+/// length header fails fast instead of allocating `count` bytes up front.
+///
 /// # Errors
 ///
 /// Propagates the underlying reader error (`UnexpectedEof` if fewer than
 /// `count` bytes are available).
 pub fn read_i8s<R: Read>(mut reader: R, count: usize) -> std::io::Result<Vec<i8>> {
-    let mut bytes = vec![0u8; count];
-    reader.read_exact(&mut bytes)?;
-    Ok(bytes.into_iter().map(|b| b as i8).collect())
+    let mut out = Vec::with_capacity(count.min(READ_CHUNK_BYTES));
+    let mut buf = [0u8; READ_CHUNK_BYTES];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK_BYTES);
+        let bytes = &mut buf[..take];
+        reader.read_exact(bytes)?;
+        out.extend(bytes.iter().map(|&b| b as i8));
+        remaining -= take;
+    }
+    Ok(out)
 }
 
 /// Writes raw `f32` samples in little-endian binary to `writer`.
@@ -204,31 +250,15 @@ pub fn read_trace_text<P: AsRef<Path>>(path: P) -> Result<Trace> {
     let mut meta = TraceMeta::default();
     let mut n_samples = 0usize;
     for line in it.by_ref() {
-        let (key, value) = line.split_once(' ').unwrap_or((line.as_str(), ""));
-        match key {
-            "description" => meta.description = value.to_string(),
-            "sample_rate_hz" => {
-                let v: f64 = value.parse().map_err(|_| TraceError::Io("bad sample_rate".into()))?;
-                meta.sample_rate_hz = if v > 0.0 { Some(v) } else { None };
-            }
-            "device_clock_hz" => {
-                let v: f64 = value.parse().map_err(|_| TraceError::Io("bad clock".into()))?;
-                meta.device_clock_hz = if v > 0.0 { Some(v) } else { None };
-            }
-            "co_starts" => {
-                meta.co_starts = parse_usize_list(value)?;
-            }
-            "co_ends" => {
-                meta.co_ends = parse_usize_list(value)?;
-            }
-            "samples" => {
-                n_samples = value.parse().map_err(|_| TraceError::Io("bad sample count".into()))?;
-                break;
-            }
-            other => return Err(TraceError::Io(format!("unknown header field '{other}'"))),
+        if let Some(declared) = parse_trace_header_line(&line, &mut meta)? {
+            n_samples = declared;
+            break;
         }
     }
-    let mut samples = Vec::with_capacity(n_samples);
+    // `n_samples` is an untrusted header value: cap the up-front reservation
+    // so a lying header cannot force a huge allocation before any data is
+    // parsed (the vector still grows to the real sample count).
+    let mut samples = Vec::with_capacity(n_samples.min(READ_CHUNK_BYTES));
     for line in it {
         if line.is_empty() {
             continue;
@@ -244,7 +274,35 @@ pub fn read_trace_text<P: AsRef<Path>>(path: P) -> Result<Trace> {
     Ok(Trace::with_meta(samples, meta))
 }
 
-fn parse_usize_list(value: &str) -> Result<Vec<usize>> {
+/// Parses one `SCATRC01` header line (already stripped of its newline) into
+/// `meta`. Returns `Some(declared_sample_count)` for the terminating
+/// `samples` field, `None` for every other header field. Shared by the full
+/// reader ([`read_trace_text`]) and the out-of-core indexer
+/// (`FileTraceSource::open_text`) so the two cannot drift apart.
+pub(crate) fn parse_trace_header_line(line: &str, meta: &mut TraceMeta) -> Result<Option<usize>> {
+    let (key, value) = line.split_once(' ').unwrap_or((line, ""));
+    match key {
+        "description" => meta.description = value.to_string(),
+        "sample_rate_hz" => {
+            let v: f64 = value.parse().map_err(|_| TraceError::Io("bad sample_rate".into()))?;
+            meta.sample_rate_hz = if v > 0.0 { Some(v) } else { None };
+        }
+        "device_clock_hz" => {
+            let v: f64 = value.parse().map_err(|_| TraceError::Io("bad clock".into()))?;
+            meta.device_clock_hz = if v > 0.0 { Some(v) } else { None };
+        }
+        "co_starts" => meta.co_starts = parse_usize_list(value)?,
+        "co_ends" => meta.co_ends = parse_usize_list(value)?,
+        "samples" => {
+            let n = value.parse().map_err(|_| TraceError::Io("bad sample count".into()))?;
+            return Ok(Some(n));
+        }
+        other => return Err(TraceError::Io(format!("unknown header field '{other}'"))),
+    }
+    Ok(None)
+}
+
+pub(crate) fn parse_usize_list(value: &str) -> Result<Vec<usize>> {
     if value.is_empty() {
         return Ok(Vec::new());
     }
@@ -320,6 +378,51 @@ mod tests {
             read_f32s_le(&bytes[..], 1).unwrap_err().kind(),
             std::io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn lying_length_header_fails_fast_without_huge_allocation() {
+        // A header claiming billions of values over a 12-byte payload must
+        // surface as truncation after at most one bounded chunk — the old
+        // code allocated `count * 4` bytes before reading anything.
+        let bytes = [0u8; 12];
+        let err = read_f32s_le(&bytes[..], 1 << 40).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        let err = read_i8s(&bytes[..], 1 << 40).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn f32_count_byte_overflow_is_invalid_data() {
+        // `count * 4` would wrap on every platform: usize::MAX elements.
+        let err = read_f32s_le(&[][..], usize::MAX).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn chunked_reads_cross_chunk_boundaries_bit_exactly() {
+        // More values than one 64 KiB chunk holds, to exercise the loop.
+        let values: Vec<f32> = (0..40_000).map(|i| (i as f32).sin()).collect();
+        let mut buf = Vec::new();
+        write_f32s_le(&mut buf, &values).unwrap();
+        let back = read_f32s_le(&buf[..], values.len()).unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(values.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn text_reader_caps_preallocation_for_lying_sample_header() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sca_trace_io_lying_{}.trc", std::process::id()));
+        // Header declares an absurd sample count but carries two samples: the
+        // reader must fail on the count mismatch, not abort on allocation.
+        std::fs::write(&path, "SCATRC01\nsamples 99999999999999\n1.0\n2.0\n").unwrap();
+        let err = read_trace_text(&path).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`dataset`] — labelled window collections with deterministic shuffling
 //!   and train/validation/test splitting.
 //! * [`io`] — simple portable (de)serialisation of traces and datasets.
+//! * [`source`] — [`TraceSource`], the out-of-core random-access abstraction
+//!   over trace samples, and [`FileTraceSource`], its chunked on-disk reader
+//!   (raw-f32 and `SCATRC01` text) with O(requested range) memory.
 //!
 //! # Example
 //!
@@ -36,11 +39,13 @@
 pub mod dataset;
 pub mod dsp;
 pub mod io;
+pub mod source;
 pub mod stats;
 pub mod trace;
 pub mod window;
 
 pub use dataset::{Dataset, DatasetSplit, SplitRatios};
+pub use source::{FileTraceFormat, FileTraceSource, TraceSource};
 pub use trace::{Trace, TraceMeta};
 pub use window::{Window, WindowLabel, WindowSlicer};
 

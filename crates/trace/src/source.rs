@@ -1,0 +1,563 @@
+//! Out-of-core trace access: the [`TraceSource`] abstraction.
+//!
+//! The sliding-window pipeline only ever looks at one bounded sample range at
+//! a time (a chunk of overlapping windows), so nothing forces the whole trace
+//! to be resident in memory. [`TraceSource`] is the minimal random-access
+//! contract that both the in-memory [`Trace`] and the chunked on-disk reader
+//! [`FileTraceSource`] satisfy: a length and a bounds-checked
+//! [`TraceSource::fill`] that copies an arbitrary sample range into a
+//! caller-provided buffer.
+//!
+//! [`FileTraceSource`] serves the two existing trace file formats:
+//!
+//! * **raw-f32** — the little-endian binary sample dump of
+//!   [`crate::io::write_samples_binary`] (`numpy.fromfile(dtype="<f4")`
+//!   compatible). Random access is a direct seek: sample `i` lives at byte
+//!   `4 * i`.
+//! * **`SCATRC01` text** — the self-describing format of
+//!   [`crate::io::write_trace_text`]. Lines are variable-width, so the reader
+//!   builds a *sparse* byte-offset index (one entry every
+//!   [`TEXT_INDEX_BLOCK`] samples) during a single streaming pass at open
+//!   time; a `fill` seeks to the nearest indexed line and re-parses at most
+//!   one block prefix. The index costs 8 bytes per `TEXT_INDEX_BLOCK`
+//!   samples — ~8 KiB per million samples — so memory stays far below the
+//!   trace itself.
+//!
+//! The standard library exposes no safe memory-mapping API and this workspace
+//! builds offline with `#![forbid(unsafe_code)]`, so the on-disk reader uses
+//! positional buffered reads behind a mutex instead of an `mmap`; the memory
+//! profile is the same (O(requested range), not O(trace)) and the access
+//! pattern of the streaming classifier — forward chunks with a small overlap
+//! — is exactly what the OS page cache prefetches well.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::{Result, Trace, TraceError, TraceMeta};
+
+/// Text-format index granularity: one byte offset is recorded every this many
+/// samples. A `fill` re-parses at most `TEXT_INDEX_BLOCK - 1` lines before
+/// the requested start.
+pub const TEXT_INDEX_BLOCK: usize = 1024;
+
+/// Random access to the samples of a (possibly on-disk) trace.
+///
+/// The contract is deliberately tiny so that every scoring path of the
+/// locator can be generic over it: a sample count and a bounds-checked range
+/// copy. Implementations must return bit-identical samples for identical
+/// ranges — the streaming classifier's parity guarantee rests on it.
+pub trait TraceSource {
+    /// Total number of samples in the source.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the source holds no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the samples `[start, start + out.len())` into `out`.
+    ///
+    /// Takes `&self` so chunks can be fetched from shared references (file
+    /// sources serialise access internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::WindowOutOfBounds`] if the range does not fit in
+    /// the source and [`TraceError::Io`] if the backing storage fails.
+    fn fill(&self, start: usize, out: &mut [f32]) -> Result<()>;
+}
+
+impl TraceSource for Trace {
+    fn len(&self) -> usize {
+        Trace::len(self)
+    }
+
+    fn fill(&self, start: usize, out: &mut [f32]) -> Result<()> {
+        out.copy_from_slice(self.slice(start, out.len())?);
+        Ok(())
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &T {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn fill(&self, start: usize, out: &mut [f32]) -> Result<()> {
+        (**self).fill(start, out)
+    }
+}
+
+/// Which on-disk layout a [`FileTraceSource`] is reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileTraceFormat {
+    /// Raw little-endian `f32` samples, no header.
+    RawF32,
+    /// The self-describing `SCATRC01` text format.
+    Text,
+}
+
+#[derive(Debug)]
+enum FileKind {
+    RawF32,
+    /// Sparse index: byte offset of sample `i * TEXT_INDEX_BLOCK`'s line.
+    Text {
+        index: Vec<u64>,
+    },
+}
+
+/// A chunked on-disk trace reader with O(requested range) memory.
+///
+/// See the module docs for the supported formats and the indexing strategy.
+///
+/// # Example
+///
+/// ```rust
+/// use sca_trace::{FileTraceSource, TraceSource};
+///
+/// let path = std::env::temp_dir().join(format!("sca_source_doc_{}.bin", std::process::id()));
+/// let samples: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+/// let file = std::fs::File::create(&path).unwrap();
+/// sca_trace::io::write_samples_binary(file, &samples).unwrap();
+///
+/// let source = FileTraceSource::open_raw_f32(&path).unwrap();
+/// assert_eq!(source.len(), 1000);
+/// let mut chunk = vec![0.0f32; 4];
+/// source.fill(500, &mut chunk).unwrap();
+/// assert_eq!(chunk, [500.0, 501.0, 502.0, 503.0]);
+/// # std::fs::remove_file(&path).ok();
+/// ```
+#[derive(Debug)]
+pub struct FileTraceSource {
+    file: Mutex<File>,
+    path: PathBuf,
+    kind: FileKind,
+    len: usize,
+    meta: TraceMeta,
+}
+
+fn io_err(e: std::io::Error) -> TraceError {
+    TraceError::Io(e.to_string())
+}
+
+impl FileTraceSource {
+    /// Opens a raw little-endian `f32` sample file (as written by
+    /// [`crate::io::write_samples_binary`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the file cannot be opened or its byte
+    /// length is not a multiple of 4.
+    pub fn open_raw_f32<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path).map_err(io_err)?;
+        let bytes = file.metadata().map_err(io_err)?.len();
+        if bytes % 4 != 0 {
+            return Err(TraceError::Io(format!(
+                "raw f32 trace file byte length {bytes} is not a multiple of 4"
+            )));
+        }
+        let len = usize::try_from(bytes / 4)
+            .map_err(|_| TraceError::Io("trace file too large for this platform".into()))?;
+        Ok(Self {
+            file: Mutex::new(file),
+            path,
+            kind: FileKind::RawF32,
+            len,
+            meta: TraceMeta::default(),
+        })
+    }
+
+    /// Opens a `SCATRC01` text trace file (as written by
+    /// [`crate::io::write_trace_text`]), building the sparse sample index in
+    /// one streaming pass. The trace metadata from the header is retained
+    /// and available through [`Self::meta`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the file cannot be read, is malformed,
+    /// or holds fewer samples than its header declares.
+    pub fn open_text<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path).map_err(io_err)?;
+        let mut reader = CountingLines::new(BufReader::new(file));
+
+        let magic = reader
+            .next_line()
+            .map_err(io_err)?
+            .ok_or_else(|| TraceError::Io("empty trace file".into()))?;
+        if magic.trim_end() != "SCATRC01" {
+            return Err(TraceError::Io("bad magic header".into()));
+        }
+
+        let mut meta = TraceMeta::default();
+        let mut declared: Option<usize> = None;
+        while let Some(line) = reader.next_line().map_err(io_err)? {
+            if let Some(n) = crate::io::parse_trace_header_line(line.trim_end(), &mut meta)? {
+                declared = Some(n);
+                break;
+            }
+        }
+        let declared = declared.ok_or_else(|| TraceError::Io("missing samples header".into()))?;
+
+        // One streaming pass over the sample lines: validate every value,
+        // count them and record the byte offset of every block boundary. The
+        // index is the only thing kept — O(len / TEXT_INDEX_BLOCK) memory.
+        // `declared` is an untrusted header value: cap the up-front
+        // reservation so a lying header cannot force a huge allocation (the
+        // index still grows to the real block count).
+        let mut index = Vec::with_capacity((declared / TEXT_INDEX_BLOCK + 1).min(64 * 1024));
+        let mut count = 0usize;
+        loop {
+            let offset = reader.offset();
+            let Some(line) = reader.next_line().map_err(io_err)? else { break };
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            line.parse::<f32>().map_err(|_| TraceError::Io("bad sample value".into()))?;
+            if count.is_multiple_of(TEXT_INDEX_BLOCK) {
+                index.push(offset);
+            }
+            count += 1;
+        }
+        if count != declared {
+            return Err(TraceError::Io(format!("expected {declared} samples, found {count}")));
+        }
+
+        let file = reader.into_inner().into_inner();
+        Ok(Self { file: Mutex::new(file), path, kind: FileKind::Text { index }, len: count, meta })
+    }
+
+    /// Opens a trace file, sniffing the format from its first bytes: files
+    /// starting with the `SCATRC01` magic are parsed as text, everything
+    /// else as raw `f32` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on open/format failures of the sniffed
+    /// format.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let mut head = [0u8; 8];
+        let mut file = File::open(path.as_ref()).map_err(io_err)?;
+        let n = read_up_to(&mut file, &mut head).map_err(io_err)?;
+        drop(file);
+        if &head[..n] == b"SCATRC01" {
+            Self::open_text(path)
+        } else {
+            Self::open_raw_f32(path)
+        }
+    }
+
+    /// The detected on-disk format.
+    pub fn format(&self) -> FileTraceFormat {
+        match self.kind {
+            FileKind::RawF32 => FileTraceFormat::RawF32,
+            FileKind::Text { .. } => FileTraceFormat::Text,
+        }
+    }
+
+    /// The path this source reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Trace metadata: the text header's metadata, or an empty record for
+    /// raw sample files.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Reads the entire source into an in-memory [`Trace`] (O(trace) memory
+    /// — the convenience escape hatch, not the streaming path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the backing file fails.
+    pub fn read_all(&self) -> Result<Trace> {
+        let mut samples = vec![0.0f32; self.len];
+        self.fill(0, &mut samples)?;
+        Ok(Trace::with_meta(samples, self.meta.clone()))
+    }
+
+    fn fill_raw(&self, start: usize, out: &mut [f32]) -> Result<()> {
+        let mut file = self.file.lock().expect("trace source mutex poisoned");
+        file.seek(SeekFrom::Start(start as u64 * 4)).map_err(io_err)?;
+        // Bulk block reads, decoded a block at a time: this is the hot path
+        // of every streamed locate, so no per-sample read calls.
+        let mut bytes = [0u8; 64 * 1024];
+        for block in out.chunks_mut(bytes.len() / 4) {
+            let raw = &mut bytes[..block.len() * 4];
+            file.read_exact(raw).map_err(io_err)?;
+            for (slot, quad) in block.iter_mut().zip(raw.chunks_exact(4)) {
+                *slot = f32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]);
+            }
+        }
+        Ok(())
+    }
+
+    fn fill_text(&self, index: &[u64], start: usize, out: &mut [f32]) -> Result<()> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        let block = start / TEXT_INDEX_BLOCK;
+        let offset = index[block];
+        let mut file = self.file.lock().expect("trace source mutex poisoned");
+        file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+        let mut reader = BufReader::with_capacity(64 * 1024, &mut *file);
+        let mut skip = start - block * TEXT_INDEX_BLOCK;
+        let mut produced = 0usize;
+        let mut line = String::new();
+        while produced < out.len() {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(io_err)?;
+            if n == 0 {
+                return Err(TraceError::Io("trace file shrank since it was indexed".into()));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if skip > 0 {
+                skip -= 1;
+                continue;
+            }
+            out[produced] =
+                trimmed.parse().map_err(|_| TraceError::Io("bad sample value".into()))?;
+            produced += 1;
+        }
+        Ok(())
+    }
+}
+
+impl TraceSource for FileTraceSource {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn fill(&self, start: usize, out: &mut [f32]) -> Result<()> {
+        if start.checked_add(out.len()).is_none_or(|end| end > self.len) {
+            return Err(TraceError::WindowOutOfBounds {
+                start,
+                len: out.len(),
+                trace_len: self.len,
+            });
+        }
+        match &self.kind {
+            FileKind::RawF32 => self.fill_raw(start, out),
+            FileKind::Text { index } => self.fill_text(index, start, out),
+        }
+    }
+}
+
+/// Reads as many bytes as available into `buf` (up to its length), tolerating
+/// an early EOF; returns the byte count.
+fn read_up_to<R: Read>(reader: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(filled)
+}
+
+/// A line reader that tracks the byte offset of the *next* line, which
+/// `BufReader` alone does not expose without `Seek` round-trips.
+struct CountingLines<R> {
+    inner: R,
+    offset: u64,
+    line: String,
+}
+
+impl<R: BufRead> CountingLines<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, offset: 0, line: String::new() }
+    }
+
+    /// Byte offset of the next unread line.
+    fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn next_line(&mut self) -> std::io::Result<Option<&str>> {
+        self.line.clear();
+        let n = self.inner.read_line(&mut self.line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.offset += n as u64;
+        Ok(Some(&self.line))
+    }
+
+    fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sca_trace_source_{name}_{}", std::process::id()))
+    }
+
+    fn ramp(len: usize) -> Vec<f32> {
+        (0..len).map(|i| (i as f32) * 0.25 - 3.0).collect()
+    }
+
+    #[test]
+    fn trace_is_a_source() {
+        let trace = Trace::from_samples(ramp(32));
+        assert_eq!(TraceSource::len(&trace), 32);
+        let mut out = vec![0.0; 5];
+        trace.fill(10, &mut out).unwrap();
+        assert_eq!(out, trace.samples()[10..15]);
+        assert!(trace.fill(30, &mut out).is_err());
+    }
+
+    #[test]
+    fn source_is_usable_through_references() {
+        let trace = Trace::from_samples(ramp(8));
+        let by_ref: &dyn TraceSource = &trace;
+        assert_eq!(by_ref.len(), 8);
+        let mut out = vec![0.0; 3];
+        by_ref.fill(2, &mut out).unwrap();
+        assert_eq!(out, trace.samples()[2..5]);
+    }
+
+    #[test]
+    fn raw_f32_source_random_access_is_bit_exact() {
+        let samples = ramp(4096);
+        let path = temp_path("raw");
+        crate::io::write_samples_binary(File::create(&path).unwrap(), &samples).unwrap();
+        let source = FileTraceSource::open_raw_f32(&path).unwrap();
+        assert_eq!(source.len(), samples.len());
+        assert_eq!(source.format(), FileTraceFormat::RawF32);
+        for (start, len) in [(0usize, 1usize), (1, 17), (4000, 96), (4095, 1), (100, 0)] {
+            let mut out = vec![0.0f32; len];
+            source.fill(start, &mut out).unwrap();
+            for (a, b) in out.iter().zip(samples[start..start + len].iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!(source.fill(4096, &mut [0.0]).is_err());
+        assert!(source.fill(usize::MAX, &mut [0.0]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_f32_source_rejects_ragged_file() {
+        let path = temp_path("ragged");
+        std::fs::write(&path, [0u8; 7]).unwrap();
+        assert!(FileTraceSource::open_raw_f32(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_source_matches_full_reader_across_block_boundaries() {
+        // Longer than one index block so fills cross block boundaries.
+        let len = 2 * TEXT_INDEX_BLOCK + 321;
+        let mut meta = TraceMeta::with_description("text source test");
+        meta.co_starts = vec![5, 900];
+        meta.co_ends = vec![40, 1000];
+        let trace = Trace::with_meta(ramp(len), meta);
+        let path = temp_path("text");
+        crate::io::write_trace_text(&path, &trace).unwrap();
+
+        let source = FileTraceSource::open_text(&path).unwrap();
+        assert_eq!(source.len(), len);
+        assert_eq!(source.format(), FileTraceFormat::Text);
+        assert_eq!(source.meta().co_starts, trace.meta().co_starts);
+        assert_eq!(source.meta().description, "text source test");
+
+        for (start, out_len) in [
+            (0usize, 7usize),
+            (TEXT_INDEX_BLOCK - 3, 10), // crosses the first block edge
+            (TEXT_INDEX_BLOCK, TEXT_INDEX_BLOCK), // exactly one block
+            (len - 5, 5),
+            (1234, 0),
+        ] {
+            let mut out = vec![0.0f32; out_len];
+            source.fill(start, &mut out).unwrap();
+            for (a, b) in out.iter().zip(trace.samples()[start..start + out_len].iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "start {start} len {out_len}");
+            }
+        }
+        assert!(source.fill(len, &mut [0.0]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_source_rejects_lying_sample_count() {
+        let trace = Trace::from_samples(ramp(10));
+        let path = temp_path("lying");
+        crate::io::write_trace_text(&path, &trace).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("samples 10", "samples 11")).unwrap();
+        assert!(FileTraceSource::open_text(&path).is_err());
+        // An absurd declared count must fail on the count mismatch, not
+        // abort on an index preallocation sized by the hostile header.
+        std::fs::write(&path, text.replace("samples 10", &format!("samples {}", u64::MAX)))
+            .unwrap();
+        assert!(FileTraceSource::open_text(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_sniffs_both_formats() {
+        let trace = Trace::from_samples(ramp(64));
+        let text_path = temp_path("sniff_text");
+        crate::io::write_trace_text(&text_path, &trace).unwrap();
+        assert_eq!(FileTraceSource::open(&text_path).unwrap().format(), FileTraceFormat::Text);
+        let raw_path = temp_path("sniff_raw");
+        crate::io::write_samples_binary(File::create(&raw_path).unwrap(), trace.samples()).unwrap();
+        assert_eq!(FileTraceSource::open(&raw_path).unwrap().format(), FileTraceFormat::RawF32);
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&raw_path).ok();
+    }
+
+    #[test]
+    fn read_all_roundtrips_both_formats() {
+        let trace = Trace::from_samples(ramp(500));
+        let path = temp_path("readall");
+        crate::io::write_trace_text(&path, &trace).unwrap();
+        let back = FileTraceSource::open(&path).unwrap().read_all().unwrap();
+        assert_eq!(back.samples(), trace.samples());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(FileTraceSource::open_raw_f32("/nonexistent/missing.bin").is_err());
+        assert!(FileTraceSource::open_text("/nonexistent/missing.trc").is_err());
+    }
+
+    #[test]
+    fn concurrent_fills_from_shared_reference_agree() {
+        let samples = ramp(8192);
+        let path = temp_path("concurrent");
+        crate::io::write_samples_binary(File::create(&path).unwrap(), &samples).unwrap();
+        let source = FileTraceSource::open_raw_f32(&path).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let source = &source;
+                let samples = &samples;
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let start = (t * 1000 + i * 37) % 8000;
+                        let mut out = vec![0.0f32; 64];
+                        source.fill(start, &mut out).unwrap();
+                        assert_eq!(out, samples[start..start + 64]);
+                    }
+                });
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -153,6 +153,14 @@ impl WindowSlicer {
     }
 
     /// Number of complete windows produced for a trace of `trace_len` samples.
+    ///
+    /// Only *complete* windows count: the last window starts at the largest
+    /// stride multiple `m · s` with `m · s + N ≤ trace_len`, so up to
+    /// `N + s − 2` trailing samples are never covered by any window (and a
+    /// trace shorter than one window yields zero). This is the contract
+    /// behind the sliding-window classifier's `output_len` — trailing
+    /// samples shorter than one window are never scored, in memory or
+    /// streamed.
     pub fn window_count(&self, trace_len: usize) -> usize {
         if trace_len < self.window_len {
             0
