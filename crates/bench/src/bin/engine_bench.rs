@@ -79,23 +79,52 @@ fn main() {
         total_windows
     );
 
-    // Warm-up: fault in code paths and thread-local buffers.
+    // Warm-up: fault in code paths and thread-local buffers. (The batch
+    // route needs no separate warm-up: its workers spawn fresh scoped
+    // threads with fresh workspaces every call, and the median-pair
+    // selection below rejects a cold outlier rep.)
     let _ = engine.locate(&traces[0]);
 
-    // Looping the single-trace path (intra-trace shard parallelism only).
-    let t0 = Instant::now();
-    let looped: Vec<Vec<usize>> = traces.iter().map(|t| engine.locate(t)).collect();
-    let loop_elapsed = t0.elapsed();
+    // Interleaved measurement: looped and batched runs alternate
+    // (L, B, L, B, …) so a one-sided cache or frequency drift cannot bias
+    // the comparison in either direction. All rep times are kept: the
+    // median rep pair provides every reported number and the rep spread
+    // calibrates the noise floor of the speedup assertion below.
+    const REPS: usize = 3;
+    let mut looped: Vec<Vec<usize>> = Vec::new();
+    let mut batched: Vec<Vec<usize>> = Vec::new();
+    let mut loop_reps = [std::time::Duration::ZERO; REPS];
+    let mut batch_reps = [std::time::Duration::ZERO; REPS];
+    for rep in 0..REPS {
+        let t0 = Instant::now();
+        looped = traces.iter().map(|t| engine.locate(t)).collect();
+        loop_reps[rep] = t0.elapsed();
+        let t0 = Instant::now();
+        batched = engine.locate_batch(&traces);
+        batch_reps[rep] = t0.elapsed();
+    }
+    // One estimator for every reported number: the median rep *pair*. Each
+    // rep's batch run follows its looped run back-to-back, so slow
+    // machine-speed drift hits both sides of one pair almost equally and
+    // cancels in the ratio; taking the median pair then rejects a single
+    // disturbed rep. Using the same pair for the throughput fields keeps
+    // the JSON self-consistent — windows_per_sec_looped/batch divide to
+    // exactly the reported speedup (deriving them from per-path minima
+    // instead can contradict the speedup field on a noisy host).
+    let mut pair_order: Vec<usize> = (0..REPS).collect();
+    pair_order.sort_by(|&a, &b| {
+        let ra = loop_reps[a].as_secs_f64() / batch_reps[a].as_secs_f64();
+        let rb = loop_reps[b].as_secs_f64() / batch_reps[b].as_secs_f64();
+        ra.partial_cmp(&rb).expect("finite ratios")
+    });
+    let median_pair = pair_order[REPS / 2];
+    let loop_elapsed = loop_reps[median_pair];
+    let batch_elapsed = batch_reps[median_pair];
     let loop_tps = traces.len() as f64 / loop_elapsed.as_secs_f64();
     let loop_wps = total_windows as f64 / loop_elapsed.as_secs_f64();
     println!(
         "looped locate:  {loop_elapsed:>8.2?}  ({loop_tps:>6.2} traces/s, {loop_wps:>10.1} windows/s)"
     );
-
-    // The batched serving path (across-trace parallelism).
-    let t0 = Instant::now();
-    let batched = engine.locate_batch(&traces);
-    let batch_elapsed = t0.elapsed();
     let batch_tps = traces.len() as f64 / batch_elapsed.as_secs_f64();
     let batch_wps = total_windows as f64 / batch_elapsed.as_secs_f64();
     println!(
@@ -104,6 +133,31 @@ fn main() {
 
     // Acceptance: the two routes must agree exactly.
     assert_eq!(batched, looped, "locate_batch must reproduce per-trace locate exactly");
+
+    // Acceptance: batch scheduling must never be slower than looping the
+    // single-trace path — the dynamic trace-stealing scheduler either fans
+    // out across traces or *is* the looped path (narrow batches, 1 core),
+    // so any real gap is a regression. The assertion's noise floor is
+    // calibrated from the measurement itself: the worst rep-to-rep spread
+    // either path showed this run (capped at 10%). On a quiet machine the
+    // floor is tight; on a noisy shared runner it widens exactly as much as
+    // the run demonstrably wobbles, so timer noise between two reps of what
+    // can be byte-for-byte the same code cannot fail the build while a real
+    // scheduling regression still trips it.
+    let spread = |reps: &[std::time::Duration; REPS]| {
+        let min = reps.iter().min().expect("REPS > 0").as_secs_f64();
+        let max = reps.iter().max().expect("REPS > 0").as_secs_f64();
+        (max - min) / min
+    };
+    let noise = spread(&loop_reps).max(spread(&batch_reps)).min(0.10);
+    let speedup =
+        (loop_elapsed.as_secs_f64() / batch_elapsed.as_secs_f64() * 100.0).round() / 100.0;
+    assert!(
+        speedup >= 1.0 - noise,
+        "locate_batch regressed below looped locate: speedup {speedup:.2} < 1.0 \
+         (measured rep noise {:.1}%)",
+        noise * 100.0
+    );
 
     // Model persistence roundtrip: save, load, verify identical starts.
     let model_path =
@@ -123,11 +177,10 @@ fn main() {
     std::fs::remove_file(&model_path).ok();
     println!("model roundtrip: save {save_ms:.2} ms, load {load_ms:.2} ms, {model_bytes} bytes");
 
-    let speedup = batch_wps / loop_wps;
     println!("speedup locate_batch vs looped locate: {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"bench\": \"locator_engine_batch\",\n  \"traces\": {},\n  \"trace_len\": {},\n  \"total_samples\": {total_samples},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"traces_per_sec_looped\": {loop_tps:.3},\n  \"windows_per_sec_looped\": {loop_wps:.2},\n  \"traces_per_sec_batch\": {batch_tps:.3},\n  \"windows_per_sec_batch\": {batch_wps:.2},\n  \"speedup_batch_vs_looped\": {speedup:.3},\n  \"model_bytes\": {model_bytes},\n  \"model_save_ms\": {save_ms:.3},\n  \"model_load_ms\": {load_ms:.3}\n}}\n",
+        "{{\n  \"bench\": \"locator_engine_batch\",\n  \"traces\": {},\n  \"trace_len\": {},\n  \"total_samples\": {total_samples},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"traces_per_sec_looped\": {loop_tps:.3},\n  \"windows_per_sec_looped\": {loop_wps:.2},\n  \"traces_per_sec_batch\": {batch_tps:.3},\n  \"windows_per_sec_batch\": {batch_wps:.2},\n  \"speedup_batch_vs_looped\": {speedup:.2},\n  \"model_bytes\": {model_bytes},\n  \"model_save_ms\": {save_ms:.3},\n  \"model_load_ms\": {load_ms:.3}\n}}\n",
         traces.len(),
         args.trace_len,
     );

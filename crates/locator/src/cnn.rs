@@ -25,8 +25,8 @@
 
 use serde::{Deserialize, Serialize};
 use tinynn::{
-    BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, Param, Relu, ResidualBlock1d, Tensor,
-    Workspace,
+    forward_consuming, BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, Param, Relu,
+    ResidualBlock1d, Tensor, Workspace,
 };
 
 /// Hyper-parameters of the CNN.
@@ -139,15 +139,19 @@ impl CoLocatorCnn {
     /// Shares the weights (`&self`); every piece of per-call state lives in
     /// `ws`, so concurrent callers each pass their own workspace.
     pub fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
+        // Each dead intermediate returns to the workspace arena as soon as
+        // the next layer has consumed it (`forward_consuming`): after
+        // warm-up a full inference pass performs zero heap allocations (see
+        // `tinynn::Workspace`).
         let x = self.conv.forward(input, ws, training);
-        let x = self.bn.forward(&x, ws, training);
-        let x = self.relu.forward(&x, ws, training);
-        let x = self.res1.forward(&x, ws, training);
-        let x = self.res2.forward(&x, ws, training);
-        let x = self.pool.forward(&x, ws, training);
-        let x = self.fc1.forward(&x, ws, training);
-        let x = self.fc_relu.forward(&x, ws, training);
-        self.fc2.forward(&x, ws, training)
+        let x = forward_consuming(&self.bn, x, ws, training);
+        let x = forward_consuming(&self.relu, x, ws, training);
+        let x = forward_consuming(&self.res1, x, ws, training);
+        let x = forward_consuming(&self.res2, x, ws, training);
+        let x = forward_consuming(&self.pool, x, ws, training);
+        let x = forward_consuming(&self.fc1, x, ws, training);
+        let x = forward_consuming(&self.fc_relu, x, ws, training);
+        forward_consuming(&self.fc2, x, ws, training)
     }
 
     /// Backward pass for a batch previously run through [`Self::forward`]
@@ -246,6 +250,7 @@ impl CoLocatorCnn {
             }
             preds.push(best);
         }
+        ws.recycle(logits);
     }
 
     /// Scores a batch of windows with the *linear* (pre-softmax) class-1
@@ -267,6 +272,7 @@ impl CoLocatorCnn {
         for b in 0..logits.shape()[0] {
             scores.push(logits.at2(b, 1) - logits.at2(b, 0));
         }
+        ws.recycle(logits);
     }
 
     /// Inference forward pass with every convolution and fully connected
@@ -417,6 +423,27 @@ mod tests {
         let preds = cnn.predict(&x, &mut ws);
         assert_eq!(preds.len(), 5);
         assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn inference_forward_is_allocation_free_after_warmup() {
+        // The output-activation arena contract: once the workspace has seen
+        // the batch shape, repeated forwards must neither allocate (the
+        // arena-miss counter freezes) nor grow any retained scratch buffer.
+        let cnn = CoLocatorCnn::new(tiny_config());
+        let mut ws = Workspace::new();
+        let x = CoLocatorCnn::stack_windows(&vec![vec![0.25; 32]; 4]);
+        let mut scores = Vec::new();
+        for _ in 0..2 {
+            cnn.class1_scores_into(&x, &mut ws, &mut scores);
+        }
+        let misses = ws.arena_misses();
+        let retained = ws.retained_bytes();
+        for _ in 0..10 {
+            cnn.class1_scores_into(&x, &mut ws, &mut scores);
+        }
+        assert_eq!(ws.arena_misses(), misses, "steady-state forward must not allocate");
+        assert_eq!(ws.retained_bytes(), retained, "steady-state forward must not grow scratch");
     }
 
     #[test]

@@ -225,36 +225,60 @@ impl LocatorEngine {
     /// Locates the CO starts of every trace in `traces`, streaming all of
     /// them through the one shared weight set and one scoped thread pool.
     ///
-    /// Wide batches fan out **across traces** (one worker per trace chunk,
-    /// intra-trace scoring kept sequential); narrow batches fall back to
-    /// per-trace calls so the intra-trace shard parallelism of
-    /// [`SlidingWindowClassifier`] can use the idle cores. Per-window scores
-    /// depend on neither batching nor threading, so both routes return
-    /// results identical to looping [`Self::locate`] — the choice is purely
-    /// a throughput matter.
+    /// Wide batches fan out **across traces**: workers pull the next
+    /// unscored trace from a shared atomic counter (intra-trace scoring
+    /// kept sequential), so a trailing remainder of `n mod cores` traces
+    /// never idles most of the pool — the static chunking this replaces
+    /// could leave almost half the cores parked on uneven fleets, which is
+    /// what made the batch path measurably *slower* than looped locate.
+    /// "Wide" means the batch either fills the pool's waves exactly
+    /// (`cores` divides `n`) or is at least two waves deep, so the
+    /// under-filled final wave is a minority of the makespan; anything
+    /// narrower (and single-core hosts) falls back to per-trace calls so
+    /// the intra-trace shard parallelism of [`SlidingWindowClassifier`]
+    /// can use every core instead. Per-window scores depend on neither
+    /// batching nor threading, and each trace's result is written by
+    /// exactly one worker, so both routes return results identical to
+    /// looping [`Self::locate`] — the choice is purely a throughput matter.
     pub fn locate_batch(&self, traces: &[Trace]) -> Vec<Vec<usize>> {
         let n = traces.len();
         let cores = tinynn::parallel::max_threads();
-        // Narrow batch (or nothing to fan out): per-trace inner parallelism.
-        if n <= 1 || cores <= 1 || n < cores / 2 {
+        // Fall back to per-trace inner parallelism unless the across-trace
+        // pool stays well filled: e.g. 8 traces on 6 cores would run a
+        // 6-trace wave and then park 4 cores for a 2-trace tail (~33% of
+        // the makespan idle), losing to looped locate's intra-trace shards.
+        let wide = n >= cores && (n.is_multiple_of(cores) || n >= 2 * cores);
+        if n <= 1 || cores <= 1 || !wide {
             return traces.iter().map(|t| self.locate(t)).collect();
         }
-        let threads = cores.min(n);
-        let per = n.div_ceil(threads);
+        let workers = cores.min(n);
         // Inside a worker the whole pipeline must stay sequential: the
         // across-traces split is the parallelism.
         let serial_sliding = self.sliding.with_threads(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
         std::thread::scope(|scope| {
-            for (chunk, results) in traces.chunks(per).zip(out.chunks_mut(per)) {
-                let sliding = serial_sliding;
-                scope.spawn(move || {
-                    let _serial = tinynn::parallel::serial_region();
-                    for (trace, result) in chunk.iter().zip(results.iter_mut()) {
-                        let swc = sliding.classify(&self.model, trace);
-                        *result = self.segmenter.segment(&swc, sliding.stride());
-                    }
-                });
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let sliding = serial_sliding;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let _serial = tinynn::parallel::serial_region();
+                        let mut local: Vec<(usize, Vec<usize>)> = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(trace) = traces.get(idx) else { break };
+                            let swc = sliding.classify(&self.model, trace);
+                            local.push((idx, self.segmenter.segment(&swc, sliding.stride())));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (idx, starts) in handle.join().expect("batch worker panicked") {
+                    out[idx] = starts;
+                }
             }
         });
         out

@@ -24,7 +24,7 @@
 //! thread count never changes a score bit.
 
 use tinynn::{
-    GlobalAvgPool1d, Layer, Linear, Param, QuantizedConv1d, QuantizedGemm,
+    forward_consuming, GlobalAvgPool1d, Layer, Linear, Param, QuantizedConv1d, QuantizedGemm,
     QuantizedResidualBlock1d, Relu, Tensor, Workspace,
 };
 
@@ -77,14 +77,16 @@ impl QuantizedCoLocatorCnn {
 
     /// Inference forward pass: windows `[B, 1, N]` → class logits `[B, 2]`.
     pub fn forward(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
-        // The stem conv carries its batch-norm and ReLU folded.
+        // The stem conv carries its batch-norm and ReLU folded. Dead
+        // intermediates return to the workspace arena immediately
+        // (`forward_consuming`), so a warm pass allocates nothing.
         let x = self.conv.forward(input, ws, false);
-        let x = self.res1.forward(&x, ws, false);
-        let x = self.res2.forward(&x, ws, false);
-        let x = self.pool.forward(&x, ws, false);
-        let x = self.fc1.forward(&x, ws, false);
-        let x = self.fc_relu.forward(&x, ws, false);
-        self.fc2.forward(&x, ws, false)
+        let x = forward_consuming(&self.res1, x, ws, false);
+        let x = forward_consuming(&self.res2, x, ws, false);
+        let x = forward_consuming(&self.pool, x, ws, false);
+        let x = forward_consuming(&self.fc1, x, ws, false);
+        let x = forward_consuming(&self.fc_relu, x, ws, false);
+        forward_consuming(&self.fc2, x, ws, false)
     }
 
     /// Scores a batch of windows with the linear class-1 margin, writing
@@ -96,6 +98,7 @@ impl QuantizedCoLocatorCnn {
         for b in 0..logits.shape()[0] {
             scores.push(logits.at2(b, 1) - logits.at2(b, 0));
         }
+        ws.recycle(logits);
     }
 
     /// Scores a batch of windows, returning a fresh score vector.
@@ -212,6 +215,24 @@ mod tests {
         let head_mut: Vec<usize> = qcnn.head_params_mut().iter().map(|p| p.len()).collect();
         assert_eq!(head, head_mut);
         assert_eq!(head.len(), 4);
+    }
+
+    #[test]
+    fn quantised_forward_is_allocation_free_after_warmup() {
+        let qcnn = QuantizedCoLocatorCnn::from_cnn(&tiny_cnn());
+        let mut ws = Workspace::new();
+        let x = windows(4, 32);
+        let mut scores = Vec::new();
+        for _ in 0..2 {
+            qcnn.class1_scores_into(&x, &mut ws, &mut scores);
+        }
+        let misses = ws.arena_misses();
+        let retained = ws.retained_bytes();
+        for _ in 0..10 {
+            qcnn.class1_scores_into(&x, &mut ws, &mut scores);
+        }
+        assert_eq!(ws.arena_misses(), misses, "steady-state forward must not allocate");
+        assert_eq!(ws.retained_bytes(), retained, "steady-state forward must not grow scratch");
     }
 
     #[test]

@@ -19,14 +19,16 @@
 //! For traces too long to hold in memory, [`SlidingWindowClassifier::classify_source`]
 //! scores any [`TraceSource`] (e.g. an on-disk [`sca_trace::FileTraceSource`])
 //! chunk by chunk — stride-aligned chunk boundaries with window-tail overlap
-//! — producing the **bit-identical** `swc` signal in O(chunk) memory. Note
-//! that, in memory or streamed, only complete windows are scored: trailing
-//! samples shorter than one window never contribute a score (see
-//! [`SlidingWindowClassifier::output_len`]).
+//! — producing the **bit-identical** `swc` signal in O(chunk) memory. The
+//! chunks are double-buffered: a reader thread prefetches chunk `i + 1`
+//! while chunk `i` is scored, hiding the source's read latency behind the
+//! CNN work. Note that, in memory or streamed, only complete windows are
+//! scored: trailing samples shorter than one window never contribute a
+//! score (see [`SlidingWindowClassifier::output_len`]).
 
 use sca_trace::{Trace, TraceError, TraceSource, WindowSlicer};
 use serde::{Deserialize, Serialize};
-use tinynn::{Tensor, Workspace};
+use tinynn::Workspace;
 
 use crate::cnn::{CoLocatorCnn, WindowScorer};
 
@@ -139,8 +141,10 @@ impl SlidingWindowClassifier {
     /// so every window sees exactly the samples it would see in memory; the
     /// per-window scores then cannot differ (scoring is per-window
     /// independent — the same invariant that makes the thread fan-out
-    /// exact). Peak memory is O(`chunk_len` + `window_len`), independent of
-    /// the trace length.
+    /// exact). Chunks are double-buffered: a reader thread fetches chunk
+    /// `i + 1` while chunk `i` is scored, so peak memory is two chunk
+    /// buffers — O(`chunk_len` + `window_len`) each — independent of the
+    /// trace length.
     ///
     /// # Errors
     ///
@@ -192,24 +196,50 @@ impl SlidingWindowClassifier {
         let slicer = WindowSlicer::new(self.window_len, self.stride)
             .expect("parameters validated at construction");
         let windows_per_chunk = slicer.window_count(chunk_len).max(1);
-
-        let mut buf: Vec<f32> = Vec::new();
-        let mut scores: Vec<f32> = Vec::new();
-        let mut starts: Vec<usize> = Vec::new();
-        let mut first = 0usize;
-        while first < total_windows {
+        // Fills `buf` with the samples backing windows `[first, last)`.
+        let fill_chunk = |buf: &mut Vec<f32>, first: usize| -> sca_trace::Result<()> {
             let last = (first + windows_per_chunk).min(total_windows);
             let sample_start = first * self.stride;
             let sample_end = (last - 1) * self.stride + self.window_len;
             buf.resize(sample_end - sample_start, 0.0);
-            source.fill(sample_start, &mut buf)?;
+            source.fill(sample_start, buf)
+        };
+
+        // Double-buffered streaming: while chunk i is scored, a reader
+        // thread prefetches chunk i + 1 into the second buffer, hiding the
+        // source's read latency behind the CNN work. Scoring order, chunk
+        // geometry and every sample a window sees are exactly those of the
+        // sequential loop this replaces, so the `swc` signal stays
+        // bit-identical; a failed prefetch surfaces only after the
+        // in-flight chunk's scores reach the sink, so the delivered score
+        // prefix on error is the same as the sequential loop's.
+        let mut cur: Vec<f32> = Vec::new();
+        let mut next: Vec<f32> = Vec::new();
+        let mut scores: Vec<f32> = Vec::new();
+        let mut starts: Vec<usize> = Vec::new();
+        fill_chunk(&mut cur, 0)?;
+        let mut first = 0usize;
+        while first < total_windows {
+            let last = (first + windows_per_chunk).min(total_windows);
             // Window starts relative to the chunk buffer: the stride grid
             // re-based to the chunk's first sample.
             starts.clear();
             starts.extend((0..last - first).map(|i| i * self.stride));
             scores.resize(last - first, 0.0);
-            self.score_starts(cnn, &buf, &starts, &mut scores);
+            let prefetch = if last < total_windows {
+                let next_buf = &mut next;
+                std::thread::scope(|scope| {
+                    let reader = scope.spawn(move || fill_chunk(next_buf, last));
+                    self.score_starts(cnn, &cur, &starts, &mut scores);
+                    reader.join().expect("prefetch reader panicked")
+                })
+            } else {
+                self.score_starts(cnn, &cur, &starts, &mut scores);
+                Ok(())
+            };
             sink(&scores);
+            prefetch?;
+            std::mem::swap(&mut cur, &mut next);
             first = last;
         }
         Ok(total_windows)
@@ -324,29 +354,28 @@ impl SlidingWindowClassifier {
         out: &mut [f32],
     ) {
         let n = self.window_len;
-        let mut batch = Tensor::zeros(&[self.batch_size, 1, n]);
+        let mut batch = ws.uninit_tensor(&[self.batch_size.min(starts.len()), 1, n]);
         let mut scores_buf: Vec<f32> = Vec::with_capacity(self.batch_size);
         let mut offset = 0usize;
         for chunk in starts.chunks(self.batch_size) {
-            // The final chunk may be short; give it a matching smaller tensor
-            // (one extra allocation per shard at most).
-            let mut tail;
-            let tensor = if chunk.len() == self.batch_size {
-                &mut batch
-            } else {
-                tail = Tensor::zeros(&[chunk.len(), 1, n]);
-                &mut tail
-            };
-            for (row, &start) in tensor.data_mut().chunks_mut(n).zip(chunk.iter()) {
+            // The final chunk may be short; swap in a matching smaller
+            // tensor from the arena (every row below is fully overwritten,
+            // so stale arena contents never leak into a score).
+            if chunk.len() * n != batch.len() {
+                ws.recycle(batch);
+                batch = ws.uninit_tensor(&[chunk.len(), 1, n]);
+            }
+            for (row, &start) in batch.data_mut().chunks_mut(n).zip(chunk.iter()) {
                 row.copy_from_slice(&samples[start..start + n]);
                 if self.standardize {
                     sca_trace::dsp::standardize_in_place(row);
                 }
             }
-            cnn.score_windows_into(tensor, ws, &mut scores_buf);
+            cnn.score_windows_into(&batch, ws, &mut scores_buf);
             out[offset..offset + chunk.len()].copy_from_slice(&scores_buf);
             offset += chunk.len();
         }
+        ws.recycle(batch);
     }
 
     /// Maps an index in the `swc` signal back to a trace sample index

@@ -15,12 +15,17 @@
 //! During a *training* `forward` every layer pushes one cache entry onto the
 //! workspace stack; `backward` (which still takes `&mut self` to accumulate
 //! parameter gradients into the layer's [`Param`]s) pops the entries in
-//! reverse. Inference (`training == false`) records nothing — forward passes
-//! allocate nothing beyond their output.
+//! reverse. Inference (`training == false`) records nothing, and layer
+//! outputs are drawn from the workspace's output-activation arena
+//! ([`Workspace::uninit_tensor`]) with containers recycling dead
+//! intermediates — a warm inference pass performs **zero heap
+//! allocations**.
 //!
-//! The hot paths are built on the [`crate::matmul`] GEMM kernels:
-//! `Conv1d` lowers to im2col → GEMM (and col2im for the input gradient),
-//! `Linear` is a single GEMM per direction, and the normalisation/pooling
+//! The forward hot paths run the packed register-tiled GEMM kernels of
+//! [`crate::matmul`]: `Conv1d` packs its weight block into `MR`-row strips
+//! once per call and lowers each item to im2col → [`matmul::matmul_packed_lhs`]
+//! (col2im for the input gradient), `Linear` packs `Wᵀ` into `NR`-column
+//! panels for [`matmul::matmul_packed_rhs`], and the normalisation/pooling
 //! layers operate on contiguous channel slices. The original scalar
 //! implementations survive as `*_reference` methods so parity tests can pin
 //! the optimised kernels against them.
@@ -104,6 +109,21 @@ pub trait Layer: Send + Sync {
     }
 }
 
+/// One consuming step of a sequential inference/training chain: runs `layer`
+/// on `x` and recycles `x`'s storage into the workspace arena. Containers
+/// use this for every intermediate so the "recycle exactly after the
+/// consumer" invariant is structural rather than hand-maintained per layer.
+pub fn forward_consuming<L: Layer + ?Sized>(
+    layer: &L,
+    x: Tensor,
+    ws: &mut Workspace,
+    training: bool,
+) -> Tensor {
+    let y = layer.forward(&x, ws, training);
+    ws.recycle(x);
+    y
+}
+
 // ---------------------------------------------------------------------------
 // ReLU
 // ---------------------------------------------------------------------------
@@ -124,8 +144,11 @@ impl Layer for Relu {
         if training {
             ws.push(LayerCache::Mask(input.data().iter().map(|&v| v > 0.0).collect()));
         }
-        let data = input.data().iter().map(|&v| v.max(0.0)).collect();
-        Tensor::from_vec(data, input.shape())
+        let mut out = ws.uninit_tensor(input.shape());
+        for (dst, &v) in out.data_mut().iter_mut().zip(input.data().iter()) {
+            *dst = v.max(0.0);
+        }
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
@@ -238,14 +261,24 @@ impl Layer for Linear {
         assert_eq!(input.shape().len(), 2, "Linear expects a 2-D input");
         assert_eq!(input.shape()[1], self.in_features, "Linear input feature mismatch");
         let batch = input.shape()[0];
-        let mut out = Tensor::zeros(&[batch, self.out_features]);
+        let mut out = ws.uninit_tensor(&[batch, self.out_features]);
         for row in out.data_mut().chunks_mut(self.out_features) {
             row.copy_from_slice(self.bias.value.data());
         }
-        matmul::matmul_a_bt(
+        // Pack Wᵀ into NR-column panels once per call (weights may change
+        // between calls during training, so the pack is rebuilt — one pass
+        // over the weight block, amortised across the batch rows) and run
+        // the register-tiled kernel.
+        matmul::pack_rhs_t(
+            &mut ws.pack,
+            self.weight.value.data(),
+            self.out_features,
+            self.in_features,
+        );
+        matmul::matmul_packed_rhs(
             out.data_mut(),
             input.data(),
-            self.weight.value.data(),
+            &ws.pack,
             batch,
             self.in_features,
             self.out_features,
@@ -516,10 +549,14 @@ impl Layer for Conv1d {
         let (in_c, out_c, k) = (self.in_channels, self.out_channels, self.kernel_size);
         let ck = in_c * k;
         let pad = self.pad_left();
-        let mut out = Tensor::zeros(&[batch, out_c, len]);
+        let mut out = ws.uninit_tensor(&[batch, out_c, len]);
         let x = input.data();
-        let w = self.weight.value.data();
         let bias = self.bias.value.data();
+        // Pack the `[out_c, ck]` weight block into MR-row strips once per
+        // call; every batch item's GEMM then runs the register-tiled kernel
+        // against the same pack (one pass over the weights, amortised to
+        // noise across the batch).
+        matmul::pack_lhs(&mut ws.pack, self.weight.value.data(), out_c, ck);
         let flops = 2 * batch * out_c * ck * len;
         let threads = if batch == 1 {
             1
@@ -530,6 +567,7 @@ impl Layer for Conv1d {
             // Sequential over the batch: reuse the workspace im2col buffer
             // across items (and across layers of the whole pass). A single
             // window additionally parallelises inside the GEMM.
+            let pack = &ws.pack;
             let col = &mut ws.col;
             for (b, out_b) in out.data_mut().chunks_mut(out_c * len).enumerate() {
                 im2col(col, &x[b * in_c * len..(b + 1) * in_c * len], in_c, len, k, pad);
@@ -537,19 +575,20 @@ impl Layer for Conv1d {
                     out_row.fill(bias[oc]);
                 }
                 if batch == 1 {
-                    matmul::matmul_par(out_b, w, col, out_c, ck, len);
+                    matmul::matmul_packed_lhs_par(out_b, pack, col, out_c, ck, len);
                 } else {
-                    matmul::matmul(out_b, w, col, out_c, ck, len);
+                    matmul::matmul_packed_lhs(out_b, pack, col, out_c, ck, len);
                 }
             }
         } else {
+            let pack = &ws.pack;
             parallel::for_each_item_mut(out.data_mut(), out_c * len, threads, |b, out_b| {
                 COL_BUF.with_borrow_mut(|col| {
                     im2col(col, &x[b * in_c * len..(b + 1) * in_c * len], in_c, len, k, pad);
                     for (oc, out_row) in out_b.chunks_mut(len).enumerate() {
                         out_row.fill(bias[oc]);
                     }
-                    matmul::matmul(out_b, w, col, out_c, ck, len);
+                    matmul::matmul_packed_lhs(out_b, pack, col, out_c, ck, len);
                 });
             });
         }
@@ -711,7 +750,7 @@ impl Layer for BatchNorm1d {
             std_inv[c] = 1.0 / (var + self.eps).sqrt();
         }
 
-        let mut out = Tensor::zeros(input.shape());
+        let mut out = ws.uninit_tensor(input.shape());
         if training {
             let mut x_hat = Tensor::zeros(input.shape());
             {
@@ -835,7 +874,7 @@ impl Layer for GlobalAvgPool1d {
     fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         assert_eq!(input.shape().len(), 3, "GlobalAvgPool1d expects a 3-D input");
         let (batch, channels, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        let mut out = Tensor::zeros(&[batch, channels]);
+        let mut out = ws.uninit_tensor(&[batch, channels]);
         let inv_len = 1.0 / len as f32;
         for (dst, row) in out.data_mut().iter_mut().zip(input.data().chunks(len)) {
             *dst = row.iter().sum::<f32>() * inv_len;
@@ -912,7 +951,7 @@ impl Layer for MaxPool1d {
         let (batch, channels, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let out_len = self.output_len(len);
         assert!(out_len > 0, "MaxPool1d input shorter than the pooling window");
-        let mut out = Tensor::zeros(&[batch, channels, out_len]);
+        let mut out = ws.uninit_tensor(&[batch, channels, out_len]);
         let mut argmax =
             if training { vec![0usize; batch * channels * out_len] } else { Vec::new() };
         let x = input.data();
@@ -1044,21 +1083,25 @@ impl ResidualBlock1d {
 
 impl Layer for ResidualBlock1d {
     fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
-        let mut main = self.conv1.forward(input, ws, training);
-        main = self.bn1.forward(&main, ws, training);
-        main = self.relu1.forward(&main, ws, training);
-        main = self.conv2.forward(&main, ws, training);
-        main = self.bn2.forward(&main, ws, training);
-        let shortcut = match self.projection.as_ref() {
+        // Dead intermediates go back to the workspace arena as soon as the
+        // next layer has consumed them (`forward_consuming`), so a
+        // steady-state pass allocates nothing; the identity shortcut adds
+        // `input` directly instead of cloning it.
+        let x = self.conv1.forward(input, ws, training);
+        let x = forward_consuming(&self.bn1, x, ws, training);
+        let x = forward_consuming(&self.relu1, x, ws, training);
+        let x = forward_consuming(&self.conv2, x, ws, training);
+        let mut sum = forward_consuming(&self.bn2, x, ws, training);
+        match self.projection.as_ref() {
             Some((conv, bn)) => {
                 let s = conv.forward(input, ws, training);
-                bn.forward(&s, ws, training)
+                let s_bn = forward_consuming(bn, s, ws, training);
+                sum.add_assign(&s_bn);
+                ws.recycle(s_bn);
             }
-            None => input.clone(),
-        };
-        let mut sum = main;
-        sum.add_assign(&shortcut);
-        self.relu_out.forward(&sum, ws, training)
+            None => sum.add_assign(input),
+        }
+        forward_consuming(&self.relu_out, sum, ws, training)
     }
 
     fn backward(&mut self, grad_output: &Tensor, ws: &mut Workspace) -> Tensor {
@@ -1162,9 +1205,13 @@ impl std::fmt::Debug for Sequential {
 
 impl Layer for Sequential {
     fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
-        let mut x = input.clone();
-        for layer in self.layers.iter() {
-            x = layer.forward(&x, ws, training);
+        let mut layers = self.layers.iter();
+        let Some(first) = layers.next() else {
+            return input.clone();
+        };
+        let mut x = first.forward(input, ws, training);
+        for layer in layers {
+            x = forward_consuming(layer.as_ref(), x, ws, training);
         }
         x
     }

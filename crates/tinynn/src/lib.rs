@@ -65,8 +65,8 @@ pub mod workspace;
 
 pub use data::{Batch, DataLoader};
 pub use layers::{
-    BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, MaxPool1d, Relu, ResidualBlock1d,
-    Sequential,
+    forward_consuming, BatchNorm1d, Conv1d, GlobalAvgPool1d, Layer, Linear, MaxPool1d, Relu,
+    ResidualBlock1d, Sequential,
 };
 pub use loss::CrossEntropyLoss;
 pub use metrics::{accuracy, ConfusionMatrix};

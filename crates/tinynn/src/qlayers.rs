@@ -27,7 +27,7 @@
 //! true` and `backward` panic. They hold no gradient or optimiser state —
 //! quantise a trained `f32` network, never train a quantised one.
 
-use crate::layers::{BatchNorm1d, Conv1d, Layer, Linear, ResidualBlock1d};
+use crate::layers::{forward_consuming, BatchNorm1d, Conv1d, Layer, Linear, ResidualBlock1d};
 use crate::matmul;
 use crate::quant::{quantize_activations_into, QuantizedGemm};
 use crate::tensor::Tensor;
@@ -210,7 +210,7 @@ impl Layer for QuantizedConv1d {
         let (in_c, out_c, k) = (self.in_channels, self.out_channels, self.kernel_size);
         let ck = in_c * k;
         let pad = self.pad_left();
-        let mut out = Tensor::zeros(&[batch, out_c, len]);
+        let mut out = ws.uninit_tensor(&[batch, out_c, len]);
         let x = input.data();
         let bias = self.gemm.bias();
         for (b, out_b) in out.data_mut().chunks_mut(out_c * len).enumerate() {
@@ -307,24 +307,26 @@ impl Layer for QuantizedLinear {
         assert_eq!(input.shape().len(), 2, "QuantizedLinear expects a 2-D input");
         assert_eq!(input.shape()[1], self.in_features, "QuantizedLinear feature mismatch");
         let batch = input.shape()[0];
+        let mut out = ws.uninit_tensor(&[batch, self.out_features]);
         // Per-row activation scales: every batch row is quantised on its own
         // grid, so one outlier row cannot coarsen the others (and window
-        // scores stay independent of batch composition).
-        let mut row_scales = Vec::with_capacity(batch);
-        let mut row_codes: Vec<i16> = Vec::new();
+        // scores stay independent of batch composition). Staging lives in
+        // the workspace, so a warm pass allocates nothing.
         ws.qx.clear();
+        ws.qscales.clear();
         for row in input.data().chunks(self.in_features) {
-            row_scales.push(quantize_activations_into(row, &mut row_codes));
-            ws.qx.extend_from_slice(&row_codes);
+            let scale = quantize_activations_into(row, &mut ws.qrow);
+            ws.qscales.push(scale);
+            let qrow = &ws.qrow;
+            ws.qx.extend_from_slice(qrow);
         }
-        let mut out = Tensor::zeros(&[batch, self.out_features]);
         for row in out.data_mut().chunks_mut(self.out_features) {
             row.copy_from_slice(self.gemm.bias());
         }
         matmul::matmul_q8_a_bt(
             out.data_mut(),
             &ws.qx,
-            &row_scales,
+            &ws.qscales,
             self.gemm.data16(),
             self.gemm.scales(),
             batch,
@@ -401,11 +403,16 @@ impl Layer for QuantizedResidualBlock1d {
         if training {
             inference_only("QuantizedResidualBlock1d");
         }
-        // conv1 carries bn1 + relu1 folded; conv2 carries bn2.
+        // conv1 carries bn1 + relu1 folded; conv2 carries bn2. Dead
+        // intermediates return to the workspace arena immediately.
         let main = self.conv1.forward(input, ws, false);
-        let mut sum = self.conv2.forward(&main, ws, false);
+        let mut sum = forward_consuming(&self.conv2, main, ws, false);
         match self.projection.as_ref() {
-            Some(conv) => sum.add_assign(&conv.forward(input, ws, false)),
+            Some(conv) => {
+                let proj = conv.forward(input, ws, false);
+                sum.add_assign(&proj);
+                ws.recycle(proj);
+            }
             None => sum.add_assign(input),
         }
         // The final ReLU of the block, in place on the sum.

@@ -53,6 +53,28 @@ impl Tensor {
         Self { data, shape: vec![rows.len(), cols] }
     }
 
+    /// Consumes the tensor, returning its backing storage for reuse (the
+    /// workspace arena recycles both vectors, capacity intact).
+    pub(crate) fn into_parts(self) -> (Vec<f32>, Vec<usize>) {
+        (self.data, self.shape)
+    }
+
+    /// Rebuilds a tensor from recycled storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub(crate) fn from_parts(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { data, shape }
+    }
+
     /// Tensor shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape

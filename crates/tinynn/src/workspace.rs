@@ -11,10 +11,19 @@
 //!   backward traverses the network in exactly the reverse order of forward,
 //!   a LIFO stack needs no layer identity bookkeeping at all. Inference
 //!   (`training == false`) pushes nothing.
-//! * **scratch buffers** — the f32 im2col pair (`col`, `dcol`) and the
-//!   quantised-path pair (`qx` activation codes, `qcol` channels-last
-//!   windows) — reused across layers and calls, so steady-state inference
-//!   performs no allocation for the lowerings.
+//! * **scratch buffers** — the f32 im2col pair (`col`, `dcol`), the packed
+//!   weight-panel buffer (`pack`, rebuilt per layer call and reused by the
+//!   register-tiled GEMM kernels) and the quantised-path buffers (`qx`
+//!   activation codes, `qcol` channels-last windows, `qrow`/`qscales`
+//!   per-row staging) — reused across layers and calls, so steady-state
+//!   inference performs no allocation for the lowerings;
+//! * an **output-activation arena**: a small free list of recycled tensor
+//!   storage. Layers draw their outputs from [`Workspace::uninit_tensor`]
+//!   and sequential containers hand dead intermediates back through
+//!   [`Workspace::recycle`], so after warm-up a full inference forward pass
+//!   performs **zero heap allocations** — [`Workspace::arena_misses`]
+//!   counts the allocations the arena could not serve and must stop growing
+//!   once the pool is warm.
 //!
 //! A workspace is cheap to create (empty vectors) and grows to the high-water
 //! mark of the network it serves. One workspace serves one thread; parallel
@@ -23,8 +32,14 @@
 
 use crate::tensor::Tensor;
 
+/// Upper bound on the number of buffers the arena retains; beyond it the
+/// smallest buffer is evicted, so a workspace never hoards more storage
+/// than the widest pass it served needs.
+const ARENA_SLOTS: usize = 16;
+
 /// Per-call (and per-thread) scratch for forward/backward passes: the
-/// backward cache stack plus reusable im2col buffers.
+/// backward cache stack, reusable lowering/packing buffers and the
+/// output-activation arena.
 ///
 /// See the [module documentation](self) for the design rationale.
 #[derive(Debug, Default)]
@@ -34,18 +49,112 @@ pub struct Workspace {
     pub(crate) col: Vec<f32>,
     /// Column-gradient buffer of the convolution backward pass.
     pub(crate) dcol: Vec<f32>,
+    /// Packed weight panels of the register-tiled GEMM kernels
+    /// ([`crate::matmul::pack_lhs`] / [`crate::matmul::pack_rhs_t`]),
+    /// rebuilt per layer call (weights may change between calls during
+    /// training) into this one reused buffer.
+    pub(crate) pack: Vec<f32>,
     /// Quantised activation buffer of the quantised layers (`i16` codes of
     /// the current input), reused across layers and calls.
     pub(crate) qx: Vec<i16>,
     /// Channels-last zero-padded window buffer of
     /// [`crate::qlayers::QuantizedConv1d`] (built by its `transpose_pad_q`).
     pub(crate) qcol: Vec<i16>,
+    /// Single-row staging of the quantised linear layer (codes of one batch
+    /// row before they are appended to `qx`).
+    pub(crate) qrow: Vec<i16>,
+    /// Per-row activation scales of the quantised linear layer.
+    pub(crate) qscales: Vec<f32>,
+    /// Output-activation free list: recycled `(data, shape)` tensor storage.
+    arena: Vec<(Vec<f32>, Vec<usize>)>,
+    /// Number of [`Self::uninit_tensor`] calls the arena could not serve
+    /// from a recycled buffer of sufficient capacity.
+    arena_misses: usize,
 }
 
 impl Workspace {
     /// Creates an empty workspace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Hands out a tensor of the given shape whose element values are
+    /// **unspecified** (stale data from a recycled buffer, or zeros for a
+    /// fresh one) — the caller must overwrite every element. Served from
+    /// the output-activation arena when a recycled buffer of sufficient
+    /// capacity exists (best fit), so a warm workspace allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn uninit_tensor(&mut self, shape: &[usize]) -> Tensor {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        let len = shape.iter().product::<usize>();
+        let mut best: Option<(usize, usize)> = None;
+        for (idx, (data, _)) in self.arena.iter().enumerate() {
+            let cap = data.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((idx, cap));
+            }
+        }
+        let (mut data, mut shape_buf) = match best {
+            Some((idx, _)) => self.arena.swap_remove(idx),
+            None => {
+                self.arena_misses += 1;
+                (Vec::with_capacity(len), Vec::with_capacity(shape.len()))
+            }
+        };
+        data.resize(len, 0.0);
+        shape_buf.clear();
+        shape_buf.extend_from_slice(shape);
+        Tensor::from_parts(data, shape_buf)
+    }
+
+    /// Returns a dead tensor's storage to the output-activation arena so a
+    /// later [`Self::uninit_tensor`] can reuse it. When the arena is full,
+    /// the smallest retained buffer is evicted (or the incoming one dropped
+    /// if it is smaller still).
+    pub fn recycle(&mut self, tensor: Tensor) {
+        let (data, shape) = tensor.into_parts();
+        if data.capacity() == 0 {
+            return;
+        }
+        if self.arena.len() >= ARENA_SLOTS {
+            let (smallest, cap) = self
+                .arena
+                .iter()
+                .enumerate()
+                .map(|(i, (d, _))| (i, d.capacity()))
+                .min_by_key(|&(_, c)| c)
+                .expect("arena is non-empty");
+            if cap >= data.capacity() {
+                return;
+            }
+            self.arena.swap_remove(smallest);
+        }
+        self.arena.push((data, shape));
+    }
+
+    /// Number of [`Self::uninit_tensor`] calls that had to allocate because
+    /// the arena held no buffer of sufficient capacity. A warm steady-state
+    /// inference loop must not advance this counter — the property the
+    /// zero-allocation tests pin.
+    pub fn arena_misses(&self) -> usize {
+        self.arena_misses
+    }
+
+    /// Total bytes of scratch storage the workspace currently retains
+    /// (lowering/packing buffers plus the arena). Stable across steady-state
+    /// passes once warm.
+    pub fn retained_bytes(&self) -> usize {
+        let f32s = self.col.capacity() + self.dcol.capacity() + self.pack.capacity();
+        let i16s = self.qx.capacity() + self.qcol.capacity() + self.qrow.capacity();
+        let arena: usize = self
+            .arena
+            .iter()
+            .map(|(d, s)| d.capacity() * 4 + s.capacity() * std::mem::size_of::<usize>())
+            .sum();
+        f32s * 4 + self.qscales.capacity() * 4 + i16s * 2 + arena
     }
 
     /// Number of layer caches currently recorded (0 outside a training

@@ -48,7 +48,12 @@ pub const TEXT_INDEX_BLOCK: usize = 1024;
 /// locator can be generic over it: a sample count and a bounds-checked range
 /// copy. Implementations must return bit-identical samples for identical
 /// ranges — the streaming classifier's parity guarantee rests on it.
-pub trait TraceSource {
+///
+/// `Sync` is a supertrait: `fill` already takes `&self` (file sources
+/// serialise access internally), and the streaming classifier prefetches
+/// the next chunk from a reader thread while the current one is scored, so
+/// a source must tolerate shared cross-thread access.
+pub trait TraceSource: Sync {
     /// Total number of samples in the source.
     fn len(&self) -> usize;
 

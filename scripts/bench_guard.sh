@@ -1,0 +1,78 @@
+#!/usr/bin/env sh
+# Benchmark regression guard: compares every `windows_per_sec_*` metric of a
+# freshly produced benchmark JSON against the committed baseline and fails
+# when any of them regresses by more than the allowed percentage.
+#
+# Usage: bench_guard.sh <baseline.json> <fresh.json> [max_regression_pct]
+#
+# The default budget is 15%: windows/sec is a per-window cost measure and so
+# largely independent of the trace length, which lets the reduced-workload CI
+# runs compare against the full-workload committed baselines; the budget
+# absorbs runner-to-runner machine variance while still catching a real
+# kernel or scheduling regression. The comparison is of absolute throughput,
+# so the committed baselines must come from the same hardware class the
+# guard runs on — when the CI runner generation (or the authoring machine)
+# changes, re-commit the BENCH_*.json baselines from a known-good build
+# rather than widening the budget. Metrics present in only one of the two
+# files are reported but do not fail the guard (new benchmarks must be able
+# to add metrics without breaking CI on the first run).
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <baseline.json> <fresh.json> [max_regression_pct]" >&2
+    exit 2
+fi
+
+baseline=$1
+fresh=$2
+budget=${3:-15}
+
+for f in "$baseline" "$fresh"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_guard: missing file $f" >&2
+        exit 2
+    fi
+done
+
+# Extracts `"key": value` pairs for keys matching windows_per_sec_* from a
+# single-object JSON file (the flat format every BENCH_*.json here uses).
+metrics() {
+    tr -d ' ",' <"$1" | awk -F: '/^windows_per_sec_[A-Za-z0-9_]*:/ { print $1, $2 }'
+}
+
+status=0
+found=0
+tmp_base=$(mktemp)
+tmp_fresh=$(mktemp)
+trap 'rm -f "$tmp_base" "$tmp_fresh"' EXIT
+metrics "$baseline" >"$tmp_base"
+metrics "$fresh" >"$tmp_fresh"
+
+while read -r key base_value; do
+    fresh_value=$(awk -v k="$key" '$1 == k { print $2 }' "$tmp_fresh")
+    if [ -z "$fresh_value" ]; then
+        echo "bench_guard: $key present only in baseline (skipped)"
+        continue
+    fi
+    found=1
+    if awk -v b="$base_value" -v f="$fresh_value" -v p="$budget" \
+        'BEGIN { exit !(f < b * (1 - p / 100)) }'; then
+        echo "bench_guard: FAIL $key: $fresh_value < $base_value (allowed regression ${budget}%)"
+        status=1
+    else
+        echo "bench_guard: ok   $key: $fresh_value vs baseline $base_value"
+    fi
+done <"$tmp_base"
+
+while read -r key _; do
+    if ! awk -v k="$key" '$1 == k { found = 1 } END { exit !found }' "$tmp_base"; then
+        echo "bench_guard: $key present only in fresh run (skipped)"
+    fi
+done <"$tmp_fresh"
+
+if [ "$found" -eq 0 ]; then
+    echo "bench_guard: no windows_per_sec_* metrics found in $baseline" >&2
+    exit 2
+fi
+
+exit "$status"
