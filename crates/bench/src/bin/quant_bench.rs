@@ -8,7 +8,7 @@
 //!   throughput ratio;
 //! * per-window class-1 score divergence (max over every window of every
 //!   trace) — the accuracy envelope of the quantised path;
-//! * model-file sizes and save/load timings of format v1 vs v2.
+//! * model-file sizes and save/load timings of format v1 vs v3.
 //!
 //! The benchmark model is untrained (its noise scores hover at the
 //! segmentation threshold), so start agreement is *measured and reported*
@@ -75,7 +75,17 @@ fn main() {
         SlidingWindowClassifier::new(WINDOW_LEN, STRIDE).with_batch_size(64),
         Segmenter::default(),
     );
-    let qengine = engine.quantize();
+    // Calibrate the fixed-point chain on held-out traces from the same
+    // generator (seeds disjoint from the benchmark fleet): representative
+    // sample windows pin both the activation grids and the head alignment
+    // to the deployment distribution, exactly as a practitioner would.
+    let calib_windows: Vec<Vec<f32>> = (0..2u64)
+        .flat_map(|i| {
+            let t = synthetic_trace(64 * WINDOW_LEN, 10_000 + i);
+            t.samples().chunks_exact(WINDOW_LEN).map(<[f32]>::to_vec).collect::<Vec<_>>()
+        })
+        .collect();
+    let qengine = engine.quantize_with_samples(&calib_windows);
     let traces: Vec<Trace> =
         (0..args.traces).map(|i| synthetic_trace(args.trace_len, i as u64)).collect();
     let total_windows: usize = traces.iter().map(|t| engine.sliding().output_len(t.len())).sum();
@@ -126,39 +136,45 @@ fn main() {
     println!("max per-window class-1 score divergence: {max_divergence:.2e}");
     println!("start agreement (untrained model, noise input): {:.1}%", 100.0 * start_agreement);
 
-    // Model persistence: v1 vs v2 size and timing.
+    // Model persistence: v1 vs v3 size and timing.
     let pid = std::process::id();
     let v1_path = std::env::temp_dir().join(format!("quant_bench_{pid}.v1"));
-    let v2_path = std::env::temp_dir().join(format!("quant_bench_{pid}.v2"));
+    let v3_path = std::env::temp_dir().join(format!("quant_bench_{pid}.v3"));
     let t0 = Instant::now();
     engine.save(&v1_path).expect("save f32 engine");
     let v1_save_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t0 = Instant::now();
-    qengine.save(&v2_path).expect("save quantised engine");
-    let v2_save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    qengine.save(&v3_path).expect("save quantised engine");
+    let v3_save_ms = t0.elapsed().as_secs_f64() * 1e3;
     let v1_bytes = std::fs::metadata(&v1_path).map(|m| m.len()).unwrap_or(0);
-    let v2_bytes = std::fs::metadata(&v2_path).map(|m| m.len()).unwrap_or(0);
+    let v3_bytes = std::fs::metadata(&v3_path).map(|m| m.len()).unwrap_or(0);
     let t0 = Instant::now();
-    let restored = LocatorEngine::load(&v2_path).expect("load quantised engine");
-    let v2_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let restored = LocatorEngine::load(&v3_path).expect("load quantised engine");
+    let v3_load_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert!(restored.is_quantized());
     assert_eq!(
         restored.locate(&traces[0]),
         q_starts[0],
-        "restored v2 engine must reproduce the quantised starts"
+        "restored v3 engine must reproduce the quantised starts"
     );
     std::fs::remove_file(&v1_path).ok();
-    std::fs::remove_file(&v2_path).ok();
+    std::fs::remove_file(&v3_path).ok();
     println!(
-        "model files: v1 {v1_bytes} bytes, v2 {v2_bytes} bytes ({:.2}x smaller)",
-        v1_bytes as f64 / v2_bytes.max(1) as f64
+        "model files: v1 {v1_bytes} bytes, v3 {v3_bytes} bytes ({:.2}x smaller)",
+        v1_bytes as f64 / v3_bytes.max(1) as f64
     );
 
     let speedup = q_wps / f32_wps;
     println!("throughput i8 vs f32: {speedup:.2}x");
+    // The fixed-point chain exists to make i8 *faster* than f32; a ratio
+    // below parity is a regression worth failing the bench run over.
+    assert!(
+        speedup >= 1.0,
+        "quantised path regressed below f32 parity: {speedup:.3}x (f32 {f32_wps:.0} w/s, i8 {q_wps:.0} w/s)"
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"locator_engine_quantized\",\n  \"traces\": {},\n  \"trace_len\": {},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"windows_per_sec_f32\": {f32_wps:.2},\n  \"windows_per_sec_i8\": {q_wps:.2},\n  \"speedup_i8_vs_f32\": {speedup:.3},\n  \"max_score_divergence\": {max_divergence:.6e},\n  \"start_agreement\": {start_agreement:.4},\n  \"model_bytes_v1\": {v1_bytes},\n  \"model_bytes_v2\": {v2_bytes},\n  \"model_save_ms_v1\": {v1_save_ms:.3},\n  \"model_save_ms_v2\": {v2_save_ms:.3},\n  \"model_load_ms_v2\": {v2_load_ms:.3}\n}}\n",
+        "{{\n  \"bench\": \"locator_engine_quantized\",\n  \"traces\": {},\n  \"trace_len\": {},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"windows_per_sec_f32\": {f32_wps:.2},\n  \"windows_per_sec_i8\": {q_wps:.2},\n  \"speedup_i8_vs_f32\": {speedup:.3},\n  \"max_score_divergence\": {max_divergence:.6e},\n  \"start_agreement\": {start_agreement:.4},\n  \"model_bytes_v1\": {v1_bytes},\n  \"model_bytes_v3\": {v3_bytes},\n  \"model_save_ms_v1\": {v1_save_ms:.3},\n  \"model_save_ms_v3\": {v3_save_ms:.3},\n  \"model_load_ms_v3\": {v3_load_ms:.3}\n}}\n",
         traces.len(),
         args.trace_len,
     );

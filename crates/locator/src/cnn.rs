@@ -139,6 +139,18 @@ impl CoLocatorCnn {
     /// Shares the weights (`&self`); every piece of per-call state lives in
     /// `ws`, so concurrent callers each pass their own workspace.
     pub fn forward(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
+        let x = self.pooled_features(input, ws, training);
+        let x = forward_consuming(&self.fc1, x, ws, training);
+        let x = forward_consuming(&self.fc_relu, x, ws, training);
+        forward_consuming(&self.fc2, x, ws, training)
+    }
+
+    /// Runs the convolutional backbone and global average pool only:
+    /// windows `[B, 1, N]` → pooled features `[B, F2]`, the exact input the
+    /// fully connected head sees. The quantiser compares these against its
+    /// own pooled features to fold the quantised backbone's systematic
+    /// offset into the head bias.
+    pub fn pooled_features(&self, input: &Tensor, ws: &mut Workspace, training: bool) -> Tensor {
         // Each dead intermediate returns to the workspace arena as soon as
         // the next layer has consumed it (`forward_consuming`): after
         // warm-up a full inference pass performs zero heap allocations (see
@@ -148,10 +160,7 @@ impl CoLocatorCnn {
         let x = forward_consuming(&self.relu, x, ws, training);
         let x = forward_consuming(&self.res1, x, ws, training);
         let x = forward_consuming(&self.res2, x, ws, training);
-        let x = forward_consuming(&self.pool, x, ws, training);
-        let x = forward_consuming(&self.fc1, x, ws, training);
-        let x = forward_consuming(&self.fc_relu, x, ws, training);
-        forward_consuming(&self.fc2, x, ws, training)
+        forward_consuming(&self.pool, x, ws, training)
     }
 
     /// Backward pass for a batch previously run through [`Self::forward`]

@@ -68,7 +68,8 @@ use crate::sliding::SlidingWindowClassifier;
 pub enum EngineModel {
     /// Full-precision weights (model format v1).
     F32(CoLocatorCnn),
-    /// Per-channel symmetric `i8` weights (model format v2).
+    /// Per-channel symmetric `i8` weights with calibrated activation grids
+    /// (model format v3; v2 files load and self-calibrate).
     Quantized(QuantizedCoLocatorCnn),
 }
 
@@ -130,16 +131,60 @@ impl LocatorEngine {
 
     /// Derives an engine serving the quantised (`i8` weights, per-channel
     /// scales) version of this engine's model, with identical inference
-    /// parameters. `locate` / `locate_batch` of the result are drop-in
-    /// replacements whose scores track the `f32` engine within the
-    /// quantisation error bound (see the parity tests); quantising an
-    /// already quantised engine is a plain copy.
+    /// parameters. The activation grids of the fixed-point inference chain
+    /// are calibrated on the deterministic built-in probe set at this
+    /// engine's window length; [`Self::quantize_with_samples`] calibrates
+    /// on representative trace windows instead. `locate` / `locate_batch`
+    /// of the result are drop-in replacements whose scores track the `f32`
+    /// engine within the quantisation error bound (see the parity tests);
+    /// quantising an already quantised engine is a plain copy.
     pub fn quantize(&self) -> LocatorEngine {
         let model = match &self.model {
-            EngineModel::F32(cnn) => EngineModel::Quantized(QuantizedCoLocatorCnn::from_cnn(cnn)),
+            EngineModel::F32(cnn) => {
+                let mut qcnn = QuantizedCoLocatorCnn::from_cnn(cnn);
+                qcnn.calibrate(&QuantizedCoLocatorCnn::synthetic_calibration_windows(
+                    self.sliding.window_len(),
+                ));
+                EngineModel::Quantized(qcnn)
+            }
             EngineModel::Quantized(qcnn) => EngineModel::Quantized(qcnn.clone()),
         };
         LocatorEngine { model, sliding: self.sliding, segmenter: self.segmenter }
+    }
+
+    /// Like [`Self::quantize`], but calibrates the fixed-point chain on
+    /// caller-provided sample windows (raw, equal-length slices of real
+    /// traces — typically cut with this engine's window length). The
+    /// windows are standardized exactly as the sliding classifier would
+    /// standardize them before they drive the calibration pass, so the
+    /// grids match what inference will actually see.
+    ///
+    /// Beyond the activation grids, the samples also align the head: the
+    /// quantised backbone's systematic pooled-feature offset under the
+    /// sample distribution is folded into the `f32` head bias (see
+    /// `QuantizedCoLocatorCnn::align_head`), which roughly halves the
+    /// score divergence against the `f32` engine on matching traces. An
+    /// empty sample set falls back to the built-in probes; quantising an
+    /// already quantised engine recalibrates its grids on the samples but
+    /// cannot re-align the head (the `f32` reference is gone).
+    pub fn quantize_with_samples(&self, windows: &[Vec<f32>]) -> LocatorEngine {
+        let mut engine = self.quantize();
+        if windows.is_empty() {
+            return engine;
+        }
+        let mut prepared = windows.to_vec();
+        if self.sliding.standardize() {
+            for w in &mut prepared {
+                sca_trace::dsp::standardize_in_place(w);
+            }
+        }
+        let stacked = CoLocatorCnn::stack_windows(&prepared);
+        let EngineModel::Quantized(qcnn) = &mut engine.model else { unreachable!() };
+        qcnn.calibrate(&stacked);
+        if let EngineModel::F32(cnn) = &self.model {
+            qcnn.align_head(cnn, &stacked);
+        }
+        engine
     }
 
     /// The sliding-window classifier parameters.
@@ -286,8 +331,9 @@ impl LocatorEngine {
 
     /// Serialises the engine (weights + inference parameters) to `path` in
     /// the versioned binary format of [`crate::persist`]: format v1 for
-    /// `f32` engines, format v2 (i8 blocks + scale vectors) for quantised
-    /// engines. A [`Self::load`]-ed copy reproduces every score bit-exactly.
+    /// `f32` engines, format v3 (i8 blocks + scale vectors + calibrated
+    /// activation grids) for quantised engines. A [`Self::load`]-ed copy
+    /// reproduces every score bit-exactly.
     ///
     /// # Errors
     ///

@@ -12,7 +12,8 @@
 //!
 //! ```text
 //! magic      8 bytes  "SCALOCEN"
-//! version    u32      1 (f32 weights) · 2 (quantised i8 weights)
+//! version    u32      1 (f32 weights) · 2 (quantised i8 weights) ·
+//!                     3 (quantised + calibrated activation grids)
 //! cnn config            base_filters u64 · kernel_size u64 · seed u64
 //! sliding config        window_len u64 · stride u64 · batch_size u64 ·
 //!                       standardize u8 · threads u64
@@ -39,12 +40,23 @@
 //! head       u32 count, then per parameter: len u64 · data f32…
 //! ```
 //!
+//! **Version 3** (quantised, written by current builds) is the version 2
+//! payload followed by the calibrated activation grid scales of the
+//! fixed-point inference chain:
+//!
+//! ```text
+//! act scales u32 count (6) · data f32[6]
+//! ```
+//!
 //! Blocks, parameters and buffers are enumerated in the fixed architecture
 //! order of the network's accessors; the loader rebuilds the network from
 //! the stored configuration and verifies every shape, so a truncated,
 //! corrupted or incompatible file yields a typed [`PersistError`] instead of
 //! a panic or a silently wrong model. Version 1 files written by older
-//! builds load unchanged.
+//! builds load unchanged; version 2 files load and recalibrate their
+//! activation grids deterministically at the stored window length (the
+//! weights fully determine the grids, so a v2 → load → save cycle produces
+//! a canonical v3 file).
 
 use std::fmt;
 use std::fs::File;
@@ -69,8 +81,13 @@ pub const MAGIC: &[u8; 8] = b"SCALOCEN";
 /// Format version of full-precision (`f32`) models.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// Format version of quantised (`i8` weights + per-channel scales) models.
+/// Legacy format version of quantised models without stored activation
+/// grids (still loadable; the grids are recalibrated deterministically).
 pub const FORMAT_VERSION_QUANTIZED: u32 = 2;
+
+/// Format version of quantised (`i8` weights + per-channel scales +
+/// calibrated activation grids) models — what current builds write.
+pub const FORMAT_VERSION_QUANTIZED_V3: u32 = 3;
 
 /// Upper bound accepted for any stored dimension — rejects absurd sizes from
 /// corrupt headers before they turn into multi-gigabyte allocations.
@@ -113,7 +130,8 @@ impl fmt::Display for PersistError {
                 write!(
                     f,
                     "unsupported model format version {v} (this build reads \
-                     {FORMAT_VERSION} and {FORMAT_VERSION_QUANTIZED})"
+                     {FORMAT_VERSION}, {FORMAT_VERSION_QUANTIZED} and \
+                     {FORMAT_VERSION_QUANTIZED_V3})"
                 )
             }
             PersistError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
@@ -168,7 +186,7 @@ fn write_configs<W: Write>(
 }
 
 /// Serialises a trained engine (model weights + inference parameters) to
-/// `path`: format v1 for `f32` models, format v2 for quantised models.
+/// `path`: format v1 for `f32` models, format v3 for quantised models.
 ///
 /// # Errors
 ///
@@ -202,7 +220,7 @@ pub(crate) fn save_engine(
             }
         }
         EngineModel::Quantized(qcnn) => {
-            write_configs(&mut w, FORMAT_VERSION_QUANTIZED, qcnn.config(), sliding, segmenter)?;
+            write_configs(&mut w, FORMAT_VERSION_QUANTIZED_V3, qcnn.config(), sliding, segmenter)?;
             let gemms = qcnn.qgemms();
             write_u32_le(&mut w, gemms.len() as u32).map_err(io_err)?;
             for g in gemms {
@@ -218,6 +236,9 @@ pub(crate) fn save_engine(
                 write_u64_le(&mut w, p.len() as u64).map_err(io_err)?;
                 write_f32s_le(&mut w, p.value.data()).map_err(io_err)?;
             }
+            let scales = qcnn.activation_scales();
+            write_u32_le(&mut w, scales.len() as u32).map_err(io_err)?;
+            write_f32s_le(&mut w, &scales).map_err(io_err)?;
         }
     }
     w.flush().map_err(io_err)
@@ -277,10 +298,17 @@ fn load_f32_payload<R: Read>(r: &mut R, config: CnnConfig) -> Result<CoLocatorCn
     Ok(cnn)
 }
 
-/// Reads the v2 quantised payload into a freshly constructed architecture.
+/// Reads the v2/v3 quantised payload into a freshly constructed
+/// architecture. A v3 file carries its calibrated activation grids, which
+/// are validated and installed; a v2 file predates stored grids, so they
+/// are recalibrated on the deterministic built-in probe set at the stored
+/// window length — the weights fully determine the result, making the
+/// upgrade canonical.
 fn load_quantized_payload<R: Read>(
     r: &mut R,
     config: CnnConfig,
+    version: u32,
+    window_len: usize,
 ) -> Result<QuantizedCoLocatorCnn, PersistError> {
     // Build the architecture skeleton (the random init values are discarded;
     // only the tensor geometry matters) and overwrite every payload.
@@ -337,6 +365,25 @@ fn load_quantized_payload<R: Read>(
     for (param, value) in qcnn.head_params_mut().into_iter().zip(head_values) {
         param.value = value;
     }
+
+    // The fixed-point plans still reflect the discarded skeleton weights;
+    // installing the activation grids below rebuilds them from the loaded
+    // payload.
+    if version == FORMAT_VERSION_QUANTIZED_V3 {
+        let n_scales = read_u32_le(&mut *r).map_err(io_err)? as usize;
+        if n_scales != crate::qcnn::ACTIVATION_SCALE_COUNT {
+            return Err(PersistError::Corrupt(format!(
+                "activation scale count {n_scales} does not match the architecture ({})",
+                crate::qcnn::ACTIVATION_SCALE_COUNT
+            )));
+        }
+        let stored = read_f32s_le(&mut *r, n_scales).map_err(io_err)?;
+        let mut scales = [0.0f32; crate::qcnn::ACTIVATION_SCALE_COUNT];
+        scales.copy_from_slice(&stored);
+        qcnn.set_activation_scales(scales).map_err(PersistError::Corrupt)?;
+    } else {
+        qcnn.calibrate(&QuantizedCoLocatorCnn::synthetic_calibration_windows(window_len));
+    }
     Ok(qcnn)
 }
 
@@ -387,7 +434,7 @@ pub(crate) fn load_engine(
         return Err(PersistError::BadMagic);
     }
     let version = read_u32_le(&mut r).map_err(io_err)?;
-    if version != FORMAT_VERSION && version != FORMAT_VERSION_QUANTIZED {
+    if ![FORMAT_VERSION, FORMAT_VERSION_QUANTIZED, FORMAT_VERSION_QUANTIZED_V3].contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
     }
 
@@ -454,7 +501,7 @@ pub(crate) fn load_engine(
     let model = if version == FORMAT_VERSION {
         EngineModel::F32(load_f32_payload(&mut r, config)?)
     } else {
-        EngineModel::Quantized(load_quantized_payload(&mut r, config)?)
+        EngineModel::Quantized(load_quantized_payload(&mut r, config, version, window_len)?)
     };
 
     // Anything after the last buffer is not ours — reject it rather than

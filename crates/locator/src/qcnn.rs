@@ -1,5 +1,5 @@
 //! Quantised variant of the CO-locator CNN (`i8` weights, per-channel
-//! scales).
+//! scales, fixed-point activation chain).
 //!
 //! [`QuantizedCoLocatorCnn`] mirrors the block sequence of
 //! [`CoLocatorCnn`] (Figure 2) with every convolution replaced by its
@@ -13,6 +13,21 @@
 //! integer GEMMs plus the pooling/shortcut glue. The tiny fully connected
 //! head stays `f32` (see [`QuantizedCoLocatorCnn::from_cnn`] for why).
 //!
+//! ## Fixed-point activation chain
+//!
+//! Activations stay `i16` codes *between* layers. Each activation tensor
+//! lives on a static grid calibrated once, at quantisation time
+//! ([`Self::calibrate`]): the network is driven over a deterministic set of
+//! standardized probe windows, the per-tensor absolute maxima are recorded,
+//! and each grid's scale is `max · margin / 32767`. With the grids pinned,
+//! every layer's `i32` accumulators map to the next grid through a
+//! precomputed per-output-channel fixed-point multiplier
+//! ([`tinynn::Requantizer`]), so a forward pass performs **no `f32`
+//! arithmetic between the input quantisation and the global average pool**
+//! — no per-window scale scan, no dequantise/requantise roundtrip, and no
+//! transpose (the requantising GEMM writes position-major, which is the
+//! next layer's input layout).
+//!
 //! The network is produced by quantising a *trained* `f32` network
 //! ([`QuantizedCoLocatorCnn::from_cnn`]) and is inference-only: it holds no
 //! gradients and cannot be trained further.
@@ -20,15 +35,64 @@
 //! Like the `f32` network it implements [`WindowScorer`], so the
 //! sliding-window classifier, the shard fan-out and the engine's batched
 //! serving path all work on it unchanged. Scores are deterministic and
-//! independent of batch composition (activation scales are per window), so
-//! thread count never changes a score bit.
+//! independent of batch composition (every window is processed by per-item
+//! integer GEMMs on the same static grids), so thread count never changes a
+//! score bit.
 
+use tinynn::quant::quantize_with_scale;
 use tinynn::{
-    forward_consuming, GlobalAvgPool1d, Layer, Linear, Param, QuantizedConv1d, QuantizedGemm,
+    forward_consuming, Layer, Linear, Param, QuantActs, QuantizedConv1d, QuantizedGemm,
     QuantizedResidualBlock1d, Relu, Tensor, Workspace,
 };
 
 use crate::cnn::{CnnConfig, CoLocatorCnn, WindowScorer};
+
+/// Window length used for the built-in calibration pass when no caller
+/// window length is known (matches the benchmark window length).
+pub const DEFAULT_CALIBRATION_LEN: usize = 128;
+
+/// Headroom multiplier applied to the observed activation maxima when
+/// choosing a grid. `i16` codes give ~15 bits of magnitude, so a 1.25×
+/// margin costs a third of a bit of resolution while still absorbing
+/// post-calibration saturation from inputs modestly outside the probe
+/// envelope; anything further out clamps, which the score head tolerates.
+const CALIBRATION_MARGIN: f32 = 1.25;
+
+/// Number of calibrated activation grids: network input, stem output,
+/// res1 mid/out, res2 mid/out.
+pub const ACTIVATION_SCALE_COUNT: usize = 6;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Largest finite |v|; non-finite entries are ignored so a poisoned probe
+/// cannot poison the grid.
+fn finite_abs_max(values: &[f32]) -> f32 {
+    values.iter().fold(0.0f32, |m, &v| {
+        let a = v.abs();
+        if a.is_finite() {
+            m.max(a)
+        } else {
+            m
+        }
+    })
+}
+
+/// Observed activation maximum → grid scale. Degenerate maxima (a dead
+/// tensor, or all-non-finite input) fall back to the unit grid.
+fn grid_scale(max: f32) -> f32 {
+    if max > 0.0 && max.is_finite() {
+        max * CALIBRATION_MARGIN / 32767.0
+    } else {
+        1.0
+    }
+}
 
 /// The quantised CO-locator CNN.
 #[derive(Debug, Clone)]
@@ -37,17 +101,22 @@ pub struct QuantizedCoLocatorCnn {
     conv: QuantizedConv1d,
     res1: QuantizedResidualBlock1d,
     res2: QuantizedResidualBlock1d,
-    pool: GlobalAvgPool1d,
     fc1: Linear,
     fc_relu: Relu,
     fc2: Linear,
+    /// Calibrated activation grid scales: input, stem out, res1 mid,
+    /// res1 out, res2 mid, res2 out.
+    act_scales: [f32; ACTIVATION_SCALE_COUNT],
 }
 
 impl QuantizedCoLocatorCnn {
     /// Quantises a trained `f32` network: per-output-channel symmetric `i8`
     /// weights for every convolution (the conv GEMMs are where essentially
     /// all inference time goes), with every batch-norm folded into its
-    /// convolution and the inner ReLUs fused.
+    /// convolution and the inner ReLUs fused. Activation grids are
+    /// calibrated immediately on the deterministic built-in probe set
+    /// ([`Self::synthetic_calibration_windows`]); callers with
+    /// representative traces can recalibrate via [`Self::calibrate`].
     ///
     /// The tiny fully connected head stays `f32` on purpose: it is ~0.05%
     /// of the per-window compute, while the class-1 margin is *most*
@@ -57,16 +126,77 @@ impl QuantizedCoLocatorCnn {
     /// 1e-2 parity envelope.
     pub fn from_cnn(cnn: &CoLocatorCnn) -> Self {
         let (conv, bn, res1, res2, fc1, fc2) = cnn.parts();
-        Self {
+        let mut qcnn = Self {
             config: *cnn.config(),
             conv: QuantizedConv1d::from_conv_folded(conv, bn, true),
             res1: QuantizedResidualBlock1d::from_residual(res1),
             res2: QuantizedResidualBlock1d::from_residual(res2),
-            pool: GlobalAvgPool1d::new(),
             fc1: fc1.clone(),
             fc_relu: Relu::new(),
             fc2: fc2.clone(),
+            act_scales: [1.0; ACTIVATION_SCALE_COUNT],
+        };
+        qcnn.calibrate(&Self::synthetic_calibration_windows(DEFAULT_CALIBRATION_LEN));
+        qcnn
+    }
+
+    /// Folds the quantised backbone's *systematic* feature offset into the
+    /// `f32` head bias, estimated on representative sample windows.
+    ///
+    /// Weight rounding gives every pooled feature a small mean error under a
+    /// fixed input distribution (the rounded taps interact with the inputs'
+    /// autocorrelation), which surfaces as a near-constant shift of the
+    /// class-1 score — on the benchmark fleet the *mean* score divergence
+    /// nearly equals the *median*, i.e. the envelope is offset-dominated,
+    /// not noise-dominated. Measuring the per-feature mean gap on the sample
+    /// windows and absorbing `W₁ · mean(Δfeatures)` into the fc1 bias
+    /// cancels that component exactly — `fc1(x + δ) = fc1(x) + W₁ δ` — at
+    /// zero inference cost. The corrected bias is an ordinary head
+    /// parameter, so it persists through every model format unchanged.
+    ///
+    /// The offset depends on the input distribution (white-noise probes can
+    /// even carry the opposite sign of slowly-oscillating traces), so the
+    /// correction is only applied here, where the caller vouches that
+    /// `windows` mirror deployment inputs — never from the synthetic
+    /// built-in probes. Re-running with a new sample set replaces the
+    /// previous correction (the bias restarts from the reference head), and
+    /// non-finite feature pairs are skipped per feature, so alignment can
+    /// never write a non-finite bias.
+    pub(crate) fn align_head(&mut self, cnn: &CoLocatorCnn, windows: &Tensor) {
+        let reference_bias = cnn.parts().4.bias().data().to_vec();
+        self.fc1.params_mut()[1].value.data_mut().copy_from_slice(&reference_bias);
+        let mut ws = Workspace::new();
+        let want = cnn.pooled_features(windows, &mut ws, false);
+        let got = self.pooled_features(windows, &mut ws);
+        let f2 = self.res2.out_channels();
+        let batch = windows.shape()[0];
+        let mut delta = vec![0f64; f2];
+        let mut count = vec![0u32; f2];
+        for b in 0..batch {
+            let w_row = &want.data()[b * f2..(b + 1) * f2];
+            let g_row = &got.data()[b * f2..(b + 1) * f2];
+            for (c, (&w, &g)) in w_row.iter().zip(g_row).enumerate() {
+                if w.is_finite() && g.is_finite() {
+                    delta[c] += (w - g) as f64;
+                    count[c] += 1;
+                }
+            }
         }
+        for (d, &n) in delta.iter_mut().zip(&count) {
+            if n > 0 {
+                *d /= n as f64;
+            }
+        }
+        let (out_f, in_f) = (self.fc1.out_features(), self.fc1.in_features());
+        let weight: Vec<f64> = self.fc1.weight().data().iter().map(|&w| w as f64).collect();
+        let bias = &mut self.fc1.params_mut()[1].value;
+        for (o, b) in bias.data_mut().iter_mut().enumerate() {
+            let adj: f64 =
+                weight[o * in_f..(o + 1) * in_f].iter().zip(&delta).map(|(&w, &d)| w * d).sum();
+            debug_assert!(adj.is_finite());
+            *b += adj as f32;
+        }
+        debug_assert_eq!(out_f * in_f, weight.len());
     }
 
     /// The architecture configuration of the quantised network (identical to
@@ -75,18 +205,222 @@ impl QuantizedCoLocatorCnn {
         &self.config
     }
 
+    /// A deterministic, model-independent probe set for activation-grid
+    /// calibration: seeded pseudo-Gaussian noise plus the structured
+    /// extremes a standardized window can exhibit (an impulse — the largest
+    /// single sample any standardized window of this length can contain — a
+    /// step edge, slow and fast sines, and the Nyquist alternation). Every
+    /// window is standardized exactly like the sliding classifier
+    /// standardizes real trace windows.
+    pub fn synthetic_calibration_windows(len: usize) -> Tensor {
+        assert!(len > 0, "calibration windows must be non-empty");
+        let mut windows: Vec<Vec<f32>> = Vec::new();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..8 {
+            windows.push(
+                (0..len)
+                    .map(|_| {
+                        // Sum of four uniforms: cheap, deterministic,
+                        // approximately Gaussian.
+                        let mut s = 0.0f32;
+                        for _ in 0..4 {
+                            let u = (xorshift(&mut state) >> 11) as f32 / (1u64 << 53) as f32;
+                            s += 2.0 * u - 1.0;
+                        }
+                        s * 0.5
+                    })
+                    .collect(),
+            );
+        }
+        let mut impulse = vec![0.0f32; len];
+        impulse[len / 2] = 1.0;
+        windows.push(impulse);
+        windows.push((0..len).map(|i| if i < len / 2 { -1.0 } else { 1.0 }).collect());
+        windows.push((0..len).map(|i| (i as f32 * 0.05).sin()).collect());
+        windows.push((0..len).map(|i| (i as f32 * 0.91).sin()).collect());
+        windows.push((0..len).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect());
+        for w in &mut windows {
+            sca_trace::dsp::standardize_in_place(w);
+        }
+        CoLocatorCnn::stack_windows(&windows)
+    }
+
+    /// Probe windows matched to this model's stem filters: each stem kernel
+    /// row (dequantised), centered in a window and standardized. These are
+    /// the inputs that maximally excite each stem channel, so including
+    /// them keeps the stem grid honest even when the generic probes happen
+    /// to be near-orthogonal to a filter.
+    fn stem_probe_windows(&self, len: usize) -> Vec<Vec<f32>> {
+        let k = self.conv.kernel_size();
+        let rows = self.conv.gemm().rows();
+        let cols = self.conv.gemm().cols();
+        let deq = self.conv.gemm().dequantize();
+        let mut probes = Vec::with_capacity(rows);
+        for row in deq.chunks(cols) {
+            if row.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            let copy = k.min(len);
+            let start = (len - copy) / 2;
+            let mut w = vec![0.0f32; len];
+            w[start..start + copy].copy_from_slice(&row[..copy]);
+            sca_trace::dsp::standardize_in_place(&mut w);
+            probes.push(w);
+        }
+        probes
+    }
+
+    /// Calibrates the activation grids on `windows` (`[B, 1, N]`,
+    /// standardized like inference inputs) plus this model's stem-matched
+    /// probes, then rebuilds every layer's fixed-point plan.
+    ///
+    /// The maxima are recorded from the quantised network's own dynamic
+    /// (per-window-scale) forward path, which is deterministic in the
+    /// quantised weights — so quantising a model and loading the same
+    /// persisted model calibrate to bit-identical grids. Non-finite
+    /// activations are ignored by the max fold, so a poisoned window
+    /// saturates at inference instead of destroying the grid.
+    pub fn calibrate(&mut self, windows: &Tensor) {
+        assert_eq!(windows.shape().len(), 3, "calibration windows must be [B, 1, N]");
+        assert_eq!(windows.shape()[1], 1, "calibration windows must be single-channel");
+        let (count, len) = (windows.shape()[0], windows.shape()[2]);
+        assert!(count > 0 && len > 0, "calibration needs at least one non-empty window");
+        let mut all: Vec<Vec<f32>> = windows.data().chunks(len).map(|c| c.to_vec()).collect();
+        all.extend(self.stem_probe_windows(len));
+        let x = CoLocatorCnn::stack_windows(&all);
+        let mut ws = Workspace::new();
+        let s0 = grid_scale(finite_abs_max(x.data()));
+        let stem = self.conv.forward(&x, &mut ws, false);
+        let s1 = grid_scale(finite_abs_max(stem.data()));
+        let r1_mid = self.res1.conv1().forward(&stem, &mut ws, false);
+        let s2 = grid_scale(finite_abs_max(r1_mid.data()));
+        ws.recycle(r1_mid);
+        let r1 = forward_consuming(&self.res1, stem, &mut ws, false);
+        let s3 = grid_scale(finite_abs_max(r1.data()));
+        let r2_mid = self.res2.conv1().forward(&r1, &mut ws, false);
+        let s4 = grid_scale(finite_abs_max(r2_mid.data()));
+        ws.recycle(r2_mid);
+        let r2 = forward_consuming(&self.res2, r1, &mut ws, false);
+        let s5 = grid_scale(finite_abs_max(r2.data()));
+        ws.recycle(r2);
+        self.act_scales = [s0, s1, s2, s3, s4, s5];
+        self.rebuild_plans();
+    }
+
+    /// The calibrated activation grid scales (input, stem out, res1 mid,
+    /// res1 out, res2 mid, res2 out). Persisted by model format v3.
+    pub fn activation_scales(&self) -> [f32; ACTIVATION_SCALE_COUNT] {
+        self.act_scales
+    }
+
+    /// Installs previously calibrated activation grids (model loading) and
+    /// rebuilds the fixed-point plans. Every scale must be finite and
+    /// positive; a corrupt scale is rejected rather than installed.
+    pub fn set_activation_scales(
+        &mut self,
+        scales: [f32; ACTIVATION_SCALE_COUNT],
+    ) -> Result<(), String> {
+        for (i, s) in scales.iter().enumerate() {
+            if !s.is_finite() || *s <= 0.0 {
+                return Err(format!("activation scale {i} is not positive finite: {s}"));
+            }
+        }
+        self.act_scales = scales;
+        self.rebuild_plans();
+        Ok(())
+    }
+
+    /// Rebuilds every layer's fixed-point requantisation plan from the
+    /// current activation grids *and current weights* — must be re-run
+    /// after either changes (calibration, or a persisted payload install).
+    fn rebuild_plans(&mut self) {
+        let s = self.act_scales;
+        self.conv.set_fixed_point(s[0], s[1]);
+        self.res1.set_fixed_point(s[1], s[2], s[3]);
+        self.res2.set_fixed_point(s[3], s[4], s[5]);
+    }
+
     /// Inference forward pass: windows `[B, 1, N]` → class logits `[B, 2]`.
+    ///
+    /// The input is quantised once onto the calibrated input grid; the stem
+    /// and both residual blocks then run entirely on `i16` codes with fused
+    /// integer requantisation, the global average pool reduces the `i16`
+    /// codes in `i64` and dequantises the per-channel means, and the tiny
+    /// fully connected head runs in `f32`. All intermediate code buffers
+    /// come from the workspace's `i16` arena, so a warm pass allocates
+    /// nothing.
     pub fn forward(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
-        // The stem conv carries its batch-norm and ReLU folded. Dead
-        // intermediates return to the workspace arena immediately
-        // (`forward_consuming`), so a warm pass allocates nothing.
-        let x = self.conv.forward(input, ws, false);
-        let x = forward_consuming(&self.res1, x, ws, false);
-        let x = forward_consuming(&self.res2, x, ws, false);
-        let x = forward_consuming(&self.pool, x, ws, false);
-        let x = forward_consuming(&self.fc1, x, ws, false);
-        let x = forward_consuming(&self.fc_relu, x, ws, false);
-        forward_consuming(&self.fc2, x, ws, false)
+        let pooled = self.pooled_features(input, ws);
+        let h = forward_consuming(&self.fc1, pooled, ws, false);
+        let h = forward_consuming(&self.fc_relu, h, ws, false);
+        forward_consuming(&self.fc2, h, ws, false)
+    }
+
+    /// The fixed-point backbone and integer global average pool only:
+    /// windows `[B, 1, N]` → pooled `f32` features `[B, F2]` (the head
+    /// input).
+    fn pooled_features(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "expected windows [B, 1, N]");
+        assert_eq!(input.shape()[1], 1, "expected single-channel windows");
+        let (batch, len) = (input.shape()[0], input.shape()[2]);
+        let k = self.config.kernel_size;
+        let pad = (k - 1) / 2;
+        let rows = len + k - 1;
+        let f = self.conv.out_channels();
+        let f2 = self.res2.out_channels();
+
+        let mut x = QuantActs::with_buffer(
+            ws.take_i16(batch * rows),
+            batch,
+            1,
+            len,
+            pad,
+            rows,
+            self.act_scales[0],
+        );
+        x.zero_pads();
+        for b in 0..batch {
+            let src = &input.data()[b * len..(b + 1) * len];
+            let body = &mut x.codes[b * rows + pad..b * rows + pad + len];
+            quantize_with_scale(src, self.act_scales[0], body);
+        }
+
+        let mut a1 =
+            QuantActs::with_buffer(ws.take_i16(batch * rows * f), batch, f, len, pad, rows, 0.0);
+        self.conv.forward_fixed(&x, &mut a1);
+        ws.recycle_i16(x.codes);
+
+        let mut a2 =
+            QuantActs::with_buffer(ws.take_i16(batch * rows * f), batch, f, len, pad, rows, 0.0);
+        self.res1.forward_fixed(&a1, &mut a2, ws);
+        ws.recycle_i16(a1.codes);
+
+        let mut a3 =
+            QuantActs::with_buffer(ws.take_i16(batch * rows * f2), batch, f2, len, pad, rows, 0.0);
+        self.res2.forward_fixed(&a2, &mut a3, ws);
+        ws.recycle_i16(a2.codes);
+
+        // Integer global average pool: exact i64 channel sums of the i16
+        // codes, dequantised once per channel.
+        let mut pooled = ws.uninit_tensor(&[batch, f2]);
+        let inv_len = 1.0 / len as f32;
+        let out_scale = a3.scale;
+        let acc = ws.i64_scratch(f2);
+        for b in 0..batch {
+            acc.fill(0);
+            let body = &a3.codes[b * rows * f2 + pad * f2..][..len * f2];
+            for row in body.chunks_exact(f2) {
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a += v as i64;
+                }
+            }
+            let out_row = &mut pooled.data_mut()[b * f2..(b + 1) * f2];
+            for (o, &a) in out_row.iter_mut().zip(acc.iter()) {
+                *o = a as f32 * out_scale * inv_len;
+            }
+        }
+        ws.recycle_i16(a3.codes);
+        pooled
     }
 
     /// Scores a batch of windows with the linear class-1 margin, writing
@@ -119,7 +453,8 @@ impl QuantizedCoLocatorCnn {
     }
 
     /// Mutable access to the quantised operands (same order as
-    /// [`Self::qgemms`]).
+    /// [`Self::qgemms`]). After mutating weights, reinstall or recalibrate
+    /// the activation grids so the fixed-point plans match.
     pub fn qgemms_mut(&mut self) -> Vec<&mut QuantizedGemm> {
         let mut gemms = vec![self.conv.gemm_mut()];
         gemms.extend(self.res1.gemms_mut());
@@ -241,5 +576,65 @@ mod tests {
         let mut ws = Workspace::new();
         assert_eq!(qcnn.forward(&windows(1, 40), &mut ws).shape(), &[1, 2]);
         assert_eq!(qcnn.forward(&windows(1, 24), &mut ws).shape(), &[1, 2]);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let cnn = tiny_cnn();
+        let a = QuantizedCoLocatorCnn::from_cnn(&cnn);
+        let b = QuantizedCoLocatorCnn::from_cnn(&cnn);
+        let bits = |q: &QuantizedCoLocatorCnn| {
+            q.activation_scales().iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&a), bits(&b));
+        for s in a.activation_scales() {
+            assert!(s.is_finite() && s > 0.0, "calibrated scale must be positive finite: {s}");
+        }
+    }
+
+    #[test]
+    fn calibration_survives_non_finite_probe_windows() {
+        let mut qcnn = QuantizedCoLocatorCnn::from_cnn(&tiny_cnn());
+        let clean = qcnn.activation_scales();
+        let mut poisoned: Vec<Vec<f32>> = (0..3)
+            .map(|w| (0..32).map(|i| ((i * (w + 1)) as f32 * 0.21).cos()).collect())
+            .collect();
+        poisoned[0][5] = f32::NAN;
+        poisoned[1][9] = f32::INFINITY;
+        poisoned[2][0] = f32::NEG_INFINITY;
+        qcnn.calibrate(&CoLocatorCnn::stack_windows(&poisoned));
+        for (i, s) in qcnn.activation_scales().iter().enumerate() {
+            assert!(s.is_finite() && *s > 0.0, "scale {i} poisoned: {s}");
+        }
+        // Grids from poisoned probes must still score finite.
+        let mut ws = Workspace::new();
+        for s in qcnn.class1_scores(&windows(2, 32), &mut ws) {
+            assert!(s.is_finite());
+        }
+        // And a fresh calibration restores the clean grids exactly.
+        qcnn.calibrate(&QuantizedCoLocatorCnn::synthetic_calibration_windows(
+            DEFAULT_CALIBRATION_LEN,
+        ));
+        assert_eq!(
+            clean.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            qcnn.activation_scales().iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn set_activation_scales_rejects_corrupt_grids() {
+        let mut qcnn = QuantizedCoLocatorCnn::from_cnn(&tiny_cnn());
+        let good = qcnn.activation_scales();
+        for bad in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+            let mut scales = good;
+            scales[3] = bad;
+            assert!(qcnn.set_activation_scales(scales).is_err(), "accepted scale {bad}");
+        }
+        // Rejection must not clobber the installed grids.
+        assert_eq!(
+            good.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            qcnn.activation_scales().iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(qcnn.set_activation_scales(good).is_ok());
     }
 }

@@ -1,4 +1,4 @@
-//! Golden-file tests of the engine model format: byte-exact v1 and v2
+//! Golden-file tests of the engine model format: byte-exact v1, v2 and v3
 //! fixtures checked in under `tests/fixtures/`, loaded and verified against
 //! freshly constructed engines.
 //!
@@ -8,7 +8,12 @@
 //! must reproduce them bit-for-bit (format stability), and every typed error
 //! must surface from mutated copies of the real files.
 //!
-//! Regenerate the fixtures after an *intentional* format change with
+//! `engine_v2.scaloc` is a frozen legacy artefact: current builds write v3,
+//! so the v2 bytes can never be regenerated — they pin backward
+//! compatibility (a v2 load must recalibrate to exactly the grids of the
+//! equivalent v3 file, making the upgrade canonical).
+//!
+//! Regenerate the v1/v3 fixtures after an *intentional* format change with
 //! `cargo test -p sca-locator --test persist_golden -- --ignored`.
 
 use std::path::PathBuf;
@@ -55,7 +60,9 @@ fn regenerate_fixtures() {
     let engine = golden_engine();
     std::fs::create_dir_all(fixture_path("")).unwrap();
     engine.save(fixture_path("engine_v1.scaloc")).unwrap();
-    engine.quantize().save(fixture_path("engine_v2.scaloc")).unwrap();
+    // Current builds write v3; engine_v2.scaloc is a frozen legacy fixture
+    // and is deliberately NOT regenerated here.
+    engine.quantize().save(fixture_path("engine_v3.scaloc")).unwrap();
 }
 
 #[test]
@@ -89,18 +96,18 @@ fn v1_fixture_loads_and_matches_fresh_save_byte_exactly() {
 }
 
 #[test]
-fn v2_fixture_loads_and_matches_fresh_save_byte_exactly() {
+fn v3_fixture_loads_and_matches_fresh_save_byte_exactly() {
     let qengine = golden_engine().quantize();
-    let restored = LocatorEngine::load(fixture_path("engine_v2.scaloc")).expect("load v2 fixture");
+    let restored = LocatorEngine::load(fixture_path("engine_v3.scaloc")).expect("load v3 fixture");
     assert!(restored.is_quantized());
     assert!(restored.cnn().is_none(), "a quantised engine exposes no f32 CNN");
 
-    let fresh = temp_path("v2");
+    let fresh = temp_path("v3");
     qengine.save(&fresh).unwrap();
     assert_eq!(
         std::fs::read(&fresh).unwrap(),
-        std::fs::read(fixture_path("engine_v2.scaloc")).unwrap(),
-        "format v2 serialisation drifted from the golden fixture"
+        std::fs::read(fixture_path("engine_v3.scaloc")).unwrap(),
+        "format v3 serialisation drifted from the golden fixture"
     );
     std::fs::remove_file(&fresh).ok();
 
@@ -109,20 +116,92 @@ fn v2_fixture_loads_and_matches_fresh_save_byte_exactly() {
     let (scores_b, starts_b) = restored.locate_detailed(&trace);
     assert_eq!(starts_a, starts_b);
     for (a, b) in scores_a.iter().zip(scores_b.iter()) {
-        assert_eq!(a.to_bits(), b.to_bits(), "v2 fixture model must score bit-identically");
+        assert_eq!(a.to_bits(), b.to_bits(), "v3 fixture model must score bit-identically");
     }
 }
 
 #[test]
-fn v2_file_is_smaller_than_v1() {
+fn legacy_v2_fixture_loads_and_upgrades_canonically_to_v3() {
+    // Backward compatibility: a pre-grid v2 file must keep loading, and its
+    // deterministic recalibration must land on exactly the grids of the v3
+    // fixture — so load → save performs a canonical, bit-exact upgrade.
+    let restored = LocatorEngine::load(fixture_path("engine_v2.scaloc")).expect("load v2 fixture");
+    assert!(restored.is_quantized());
+
+    let upgraded = temp_path("v2_upgrade");
+    restored.save(&upgraded).unwrap();
+    assert_eq!(
+        std::fs::read(&upgraded).unwrap(),
+        std::fs::read(fixture_path("engine_v3.scaloc")).unwrap(),
+        "v2 load → save must produce exactly the canonical v3 bytes"
+    );
+    std::fs::remove_file(&upgraded).ok();
+
+    // And the legacy file scores bit-identically to the v3 model.
+    let v3 = LocatorEngine::load(fixture_path("engine_v3.scaloc")).unwrap();
+    let trace = golden_trace();
+    let (scores_a, starts_a) = restored.locate_detailed(&trace);
+    let (scores_b, starts_b) = v3.locate_detailed(&trace);
+    assert_eq!(starts_a, starts_b);
+    for (a, b) in scores_a.iter().zip(scores_b.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "v2 and v3 models must score bit-identically");
+    }
+}
+
+#[test]
+fn quantised_files_are_smaller_than_v1() {
     let v1 = std::fs::metadata(fixture_path("engine_v1.scaloc")).unwrap().len();
-    let v2 = std::fs::metadata(fixture_path("engine_v2.scaloc")).unwrap().len();
-    assert!(v2 < v1, "quantised model file ({v2} bytes) should undercut the f32 one ({v1} bytes)");
+    for fixture in ["engine_v2.scaloc", "engine_v3.scaloc"] {
+        let q = std::fs::metadata(fixture_path(fixture)).unwrap().len();
+        assert!(q < v1, "{fixture} ({q} bytes) should undercut the f32 file ({v1} bytes)");
+    }
+}
+
+#[test]
+fn corrupt_activation_scale_block_is_typed() {
+    // The v3 activation grid block is the file tail: u32 count (6) followed
+    // by 6 f32 scales — 28 bytes.
+    let bytes = std::fs::read(fixture_path("engine_v3.scaloc")).unwrap();
+    let count_at = bytes.len() - 28;
+    let path = temp_path("scales");
+
+    // Wrong scale count.
+    let mut doctored = bytes.clone();
+    doctored[count_at..count_at + 4].copy_from_slice(&7u32.to_le_bytes());
+    std::fs::write(&path, &doctored).unwrap();
+    match LocatorEngine::load(&path) {
+        Err(PersistError::Corrupt(msg)) => assert!(msg.contains("scale count"), "{msg}"),
+        other => panic!("wrong scale count: expected Corrupt, got {other:?}"),
+    }
+
+    // A zero, negative, NaN or infinite scale is rejected, not installed.
+    for bad in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+        let mut doctored = bytes.clone();
+        let at = count_at + 4 + 3 * 4; // scale #3
+        doctored[at..at + 4].copy_from_slice(&bad.to_le_bytes());
+        std::fs::write(&path, &doctored).unwrap();
+        match LocatorEngine::load(&path) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("positive finite"), "scale {bad}: {msg}")
+            }
+            other => panic!("scale {bad}: expected Corrupt, got {other:?}"),
+        }
+    }
+
+    // Truncation inside the scale block.
+    for cut in [count_at, count_at + 4, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        match LocatorEngine::load(&path) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn bad_magic_on_fixture_bytes_is_typed() {
-    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc"] {
+    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc", "engine_v3.scaloc"] {
         let mut bytes = std::fs::read(fixture_path(fixture)).unwrap();
         bytes[0] ^= 0xFF;
         let path = temp_path("magic");
@@ -135,16 +214,16 @@ fn bad_magic_on_fixture_bytes_is_typed() {
 #[test]
 fn unknown_version_on_fixture_bytes_is_typed() {
     let mut bytes = std::fs::read(fixture_path("engine_v1.scaloc")).unwrap();
-    bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
+    bytes[8..12].copy_from_slice(&4u32.to_le_bytes());
     let path = temp_path("version");
     std::fs::write(&path, &bytes).unwrap();
-    assert_eq!(LocatorEngine::load(&path).unwrap_err(), PersistError::UnsupportedVersion(3));
+    assert_eq!(LocatorEngine::load(&path).unwrap_err(), PersistError::UnsupportedVersion(4));
     std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn truncation_of_fixture_bytes_is_corrupt_at_every_boundary() {
-    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc"] {
+    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc", "engine_v3.scaloc"] {
         let bytes = std::fs::read(fixture_path(fixture)).unwrap();
         let path = temp_path("trunc");
         // Walk a spread of cut points through header, configs and payload.
@@ -207,7 +286,7 @@ fn inflated_length_headers_fail_fast_with_typed_errors() {
 
 #[test]
 fn trailing_data_on_fixture_bytes_is_corrupt() {
-    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc"] {
+    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc", "engine_v3.scaloc"] {
         let mut bytes = std::fs::read(fixture_path(fixture)).unwrap();
         bytes.extend_from_slice(b"junk");
         let path = temp_path("trail");

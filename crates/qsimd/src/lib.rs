@@ -1,0 +1,784 @@
+//! # qsimd
+//!
+//! Arch-specific SIMD micro-kernels for the quantised fixed-point inference
+//! chain. This is the **one** crate in the workspace allowed to contain
+//! `unsafe` code, and every unsafe block is either a bounds-asserted pointer
+//! load/store or a `core::arch` intrinsic whose target feature is statically
+//! enabled (the workspace builds with `-C target-cpu=x86-64-v3`, see
+//! `.cargo/config.toml`).
+//!
+//! ## Why explicit intrinsics
+//!
+//! The portable quantised GEMM in `tinynn::matmul` keeps its dot products as
+//! plain scalar reduction loops and relies on LLVM to recognise the i16
+//! multiply-add idiom. That works for *runtime-length* loops, but the
+//! constant-depth bodies are fully unrolled and handed to the SLP vectoriser,
+//! which lowers them to `vpmovsxwd` + `vpmulld` (8 MACs per slow 32-bit
+//! multiply) instead of `vpmaddwd` (16 MACs per cheap 16-bit multiply-add) —
+//! and even a perfect `vpmaddwd` inner-product kernel pays a horizontal
+//! reduction per output element, which dominates at the network's small
+//! fan-ins (K = 9…144). The documented negative result in `tinynn::matmul`
+//! (re-tiling the scalar loops breaks the autovectoriser's pattern) is about
+//! exactly that fragility; this crate sidesteps pattern-matching entirely.
+//!
+//! ## The packed kernel
+//!
+//! The AVX2 kernel uses the classic integer-GEMM layout of gemmlowp /
+//! QNNPACK: weights are packed as i16 *pairs* `[⌈K/2⌉, m, 2]` so one
+//! `vpmaddwd` against a broadcast pair of activation codes accumulates two
+//! depth steps for eight output channels at once — accumulators live in
+//! vector lanes indexed by *channel*, so there is **no horizontal reduction
+//! at all**, output stores are contiguous position-major `i16` rows, and the
+//! fixed-point requantisation epilogue (exact round-to-nearest-even, shared
+//! per-layer shift, per-channel multipliers) vectorises four `i64` products
+//! per instruction.
+//!
+//! Every kernel is bit-exact against the scalar reference: the integer sums
+//! are associative, and the epilogue reimplements
+//! `tinynn::quant::Requantizer::apply` operation for operation (verified by
+//! the parity tests here and the property suite in `tinynn`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+/// Depth bound under which an `i32` accumulator cannot overflow (mirrors
+/// `tinynn::matmul::QK`): every i8-range × i16 product is below `2²²` and at
+/// most 256 of them sum to below `2³¹`.
+pub const QK: usize = 256;
+
+/// Bias magnitude bound (`2³⁰`) under which `accumulator + bias` cannot wrap
+/// an `i32`: the depth bound keeps `|acc| ≤ 127·32767·256 < 2³⁰`, so the sum
+/// stays below `2³¹`. Callers clamp quantised biases to this bound at plan
+/// build time, which makes wrapping, saturating and exact addition identical
+/// — the property the SIMD epilogue's plain `vpaddd` relies on.
+pub const BIAS_BOUND: i32 = 1 << 30;
+
+/// Packs a row-major `[m, k]` i16 weight-code matrix into the pair-
+/// interleaved `[⌈k/2⌉, m, 2]` layout of the packed GEMM:
+/// `packed[kk2·2m + i·2 + p] = w[i·k + 2·kk2 + p]`, with the dangling
+/// element of an odd `k` paired with an explicit zero. The layout is
+/// arch-independent (it is built once at plan-build time), so non-AVX2
+/// builds construct it too and simply never read it.
+///
+/// # Panics
+///
+/// Panics if `w.len() != m * k`.
+pub fn pack_weight_pairs(packed: &mut Vec<i16>, w: &[i16], m: usize, k: usize) {
+    assert_eq!(w.len(), m * k, "weights must be m*k = {m}x{k}");
+    let k2 = k.div_ceil(2);
+    packed.clear();
+    packed.resize(k2 * m * 2, 0);
+    for kk2 in 0..k2 {
+        let row = &mut packed[kk2 * m * 2..(kk2 + 1) * m * 2];
+        for i in 0..m {
+            row[i * 2] = w[i * k + 2 * kk2];
+            row[i * 2 + 1] = if 2 * kk2 + 1 < k { w[i * k + 2 * kk2 + 1] } else { 0 };
+        }
+    }
+}
+
+/// Whether the accelerated kernels are compiled in (x86-64 with AVX2
+/// statically enabled). When `false`, [`gemm_requant_packed`] and
+/// [`requantize_codes`] always return `false` and callers use their scalar
+/// paths.
+pub const fn available() -> bool {
+    cfg!(all(target_arch = "x86_64", target_feature = "avx2"))
+}
+
+/// Fused integer convolution GEMM on the packed weight layout:
+/// `c[j·m + i] = clamp(rne((dot_i(j) + bias[i]) · mults[i] / 2^shift), lo, hi)`
+/// with `dot_i(j)` the exact i32 dot product of weight row `i` against the
+/// sliding activation window `b[j·stride .. j·stride + k]`.
+///
+/// Returns `false` (computing nothing) when the shape is outside the
+/// accelerated envelope — caller falls back to the scalar kernel. The
+/// envelope: AVX2 compiled in, `m % 8 == 0`, `1 ≤ k ≤ `[`QK`],
+/// `1 ≤ shift ≤ 62`, every `|bias[i]| ≤ `[`BIAS_BOUND`], and every
+/// `0 ≤ mults[i] ≤ 2^(shift−1)` (grid ratio ≤ ½): with accumulators bounded
+/// by `2³¹` the rounded result then provably fits an `i32`, which lets the
+/// epilogue clamp on `i32` lanes after narrowing. Calibrated inter-layer
+/// ratios are ≪ 1, so real layers always qualify.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+pub fn gemm_requant_packed(
+    c: &mut [i16],
+    packed: &[i16],
+    bias: &[i32],
+    mults: &[i32],
+    shift: u8,
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    stride: usize,
+    lo: i16,
+    hi: i16,
+) -> bool {
+    if !available()
+        || !m.is_multiple_of(8)
+        || m == 0
+        || k == 0
+        || k > QK
+        || shift == 0
+        || shift > 62
+    {
+        return false;
+    }
+    let mult_bound = 1i64 << (shift - 1);
+    if mults.iter().any(|&mv| mv < 0 || mv as i64 > mult_bound) {
+        return false;
+    }
+    if bias.iter().any(|&v| v.abs() > BIAS_BOUND) {
+        return false;
+    }
+    let k2 = k.div_ceil(2);
+    assert_eq!(packed.len(), k2 * m * 2, "packed weights must be {k2}x{m}x2");
+    assert_eq!(bias.len(), m, "one bias per output channel ({m})");
+    assert_eq!(mults.len(), m, "one multiplier per output channel ({m})");
+    assert_eq!(c.len(), n * m, "C must be n*m = {n}x{m} (position-major)");
+    if n == 0 {
+        return true;
+    }
+    assert!(
+        b.len() >= (n - 1) * stride + k,
+        "B must cover {n} windows of {k} codes at stride {stride}"
+    );
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        // SAFETY: AVX2 is statically enabled for this compilation (the cfg
+        // above), and every slice bound the kernel relies on was asserted.
+        unsafe {
+            avx2::gemm_requant_packed(c, packed, bias, mults, shift, b, m, k, n, stride, lo, hi)
+        };
+        true
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    {
+        false
+    }
+}
+
+/// Vectorised elementwise requantisation of existing `i16` codes onto
+/// another grid (the residual-shortcut rescale):
+/// `dst[i] = clamp(rne(src[i] · mult / 2^shift), lo, hi)`.
+///
+/// Returns `false` (computing nothing) when unaccelerated or outside the
+/// envelope (`1 ≤ shift ≤ 62` and, for `shift < 16`,
+/// `0 ≤ mult ≤ 2^(shift+15)`) — caller falls back to the scalar loop. The
+/// mult bound keeps `|code · mult / 2^shift| ≤ 2³⁰` for i16 codes, the
+/// epilogue's fits-in-i32 invariant; grid-to-grid rescales (ratios near 1,
+/// shift ≈ 30) always qualify.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn requantize_codes(
+    dst: &mut [i16],
+    src: &[i16],
+    mult: i32,
+    shift: u8,
+    lo: i16,
+    hi: i16,
+) -> bool {
+    assert_eq!(dst.len(), src.len(), "one destination code per source code");
+    if !available() || shift == 0 || shift > 62 || mult < 0 {
+        return false;
+    }
+    if shift < 16 && mult as i64 > 1i64 << (shift + 15) {
+        return false;
+    }
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        // SAFETY: AVX2 statically enabled; equal lengths asserted.
+        unsafe { avx2::requantize_codes(dst, src, mult, shift, lo, hi) };
+        true
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    {
+        false
+    }
+}
+
+/// Scalar reference of the fixed-point map (`round_ties_even(acc · mult /
+/// 2^shift)`, exact in integer arithmetic) — the same math as
+/// `tinynn::quant::Requantizer::apply`, duplicated here so this crate's
+/// parity tests are self-contained.
+pub fn rne_apply(acc: i32, mult: i32, shift: u8) -> i64 {
+    let prod = acc as i64 * mult as i64;
+    if shift == 0 {
+        return prod;
+    }
+    let floor = prod >> shift;
+    let rem = prod & ((1i64 << shift) - 1);
+    let half = 1i64 << (shift - 1);
+    floor + (((rem > half) as i64) | ((rem == half) as i64 & floor))
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// Four-position × eight-channel accumulator tile: per packed depth step
+    /// one 256-bit weight-column load feeds four `vpmaddwd`s against four
+    /// broadcast activation pairs, so accumulators stay in channel lanes and
+    /// no horizontal reduction ever happens.
+    const JU: usize = 4;
+
+    /// Per-layer requantisation constants, preloaded once per GEMM call.
+    /// Requires `1 ≤ shift ≤ 62` (the dispatch gates guarantee it).
+    struct Epilogue {
+        shift: __m128i,
+        fill: __m128i,
+        round: __m256i,
+        one: __m256i,
+        lo32: __m256i,
+        hi32: __m256i,
+    }
+
+    impl Epilogue {
+        #[target_feature(enable = "avx2")]
+        fn new(shift: u8, lo: i16, hi: i16) -> Self {
+            debug_assert!((1..=62).contains(&shift));
+            Self {
+                shift: _mm_cvtsi32_si128(shift as i32),
+                fill: _mm_cvtsi32_si128(64 - shift as i32),
+                round: _mm256_set1_epi64x((1i64 << (shift - 1)) - 1),
+                one: _mm256_set1_epi64x(1),
+                lo32: _mm256_set1_epi32(lo as i32),
+                hi32: _mm256_set1_epi32(hi as i32),
+            }
+        }
+
+        /// `round_ties_even(prod / 2^shift)` on four `i64` lanes, exactly
+        /// equal to [`crate::rne_apply`] — via the carry formulation
+        /// `(prod + (half − 1) + bit_shift(prod)) ≫ shift` (arithmetic):
+        /// adding `half − 1` rounds remainders *above* half up, and adding
+        /// the floor's parity bit (bit `shift` of `prod`) promotes exactly
+        /// the odd-floor ties. One add chain replaces the whole
+        /// remainder/compare/select cascade. The biased sum cannot overflow:
+        /// `|prod| < 2⁶²` and `half ≤ 2⁶¹`. The arithmetic shift itself is
+        /// a logical shift OR-filled with the sign (AVX2 has no 64-bit
+        /// arithmetic shift).
+        #[target_feature(enable = "avx2")]
+        fn rne4(&self, prod: __m256i) -> __m256i {
+            let parity = _mm256_and_si256(_mm256_srl_epi64(prod, self.shift), self.one);
+            let biased = _mm256_add_epi64(_mm256_add_epi64(prod, self.round), parity);
+            let sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), biased);
+            _mm256_or_si256(_mm256_srl_epi64(biased, self.shift), _mm256_sll_epi64(sign, self.fill))
+        }
+
+        /// Requantises one 8-channel accumulator vector (bias already added)
+        /// into eight clamped `i16` codes stored contiguously at `dst`.
+        ///
+        /// `mult_lo`/`mult_hi` are the channel multipliers self-unpacked to
+        /// dword pairs (`vpunpckldq/hdq(mv, mv)`), so their even dwords line
+        /// up with the accumulators unpacked the same way — `vpmuldq` reads
+        /// exactly those even dwords as signed i32 and produces the exact
+        /// i64 products, with no sign-extension step at all.
+        ///
+        /// The dispatch gates guarantee every rounded result fits in `i32`
+        /// (see the mult bounds on the public wrappers), so the clamp runs
+        /// on `i32` lanes *after* narrowing — two min/max instead of four
+        /// 64-bit compare+blend pairs.
+        ///
+        /// # Safety
+        ///
+        /// `dst` must be valid for a 16-byte unaligned write.
+        #[target_feature(enable = "avx2")]
+        unsafe fn store8(&self, acc: __m256i, mult_lo: __m256i, mult_hi: __m256i, dst: *mut i16) {
+            let a_lo = _mm256_unpacklo_epi32(acc, acc); // channels 0,1 | 4,5
+            let a_hi = _mm256_unpackhi_epi32(acc, acc); // channels 2,3 | 6,7
+            let r0 = self.rne4(_mm256_mul_epi32(a_lo, mult_lo));
+            let r1 = self.rne4(_mm256_mul_epi32(a_hi, mult_hi));
+            // Gather the (i32-valid) low dwords back into channel order:
+            // per 128-bit lane, dwords 0,2 of r0 then 0,2 of r1.
+            let v8 = _mm256_castps_si256(_mm256_shuffle_ps::<0b10_00_10_00>(
+                _mm256_castsi256_ps(r0),
+                _mm256_castsi256_ps(r1),
+            ));
+            let v8 = _mm256_min_epi32(_mm256_max_epi32(v8, self.lo32), self.hi32);
+            // Pack to i16 (saturation is a no-op post-clamp) and fix the
+            // 128-bit lane interleave.
+            let w = _mm256_packs_epi32(v8, v8);
+            let out = _mm256_permute4x64_epi64::<0b00_00_10_00>(w);
+            // SAFETY: caller guarantees a valid 16-byte destination.
+            unsafe { _mm_storeu_si128(dst as *mut __m128i, _mm256_castsi256_si128(out)) };
+        }
+    }
+
+    /// Broadcasts the activation pair `(b[off], b[off+1])` into every i32
+    /// lane (one `vpbroadcastd` load).
+    ///
+    /// # Safety
+    ///
+    /// `off + 2 <= b.len()`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn bcast_pair(b: &[i16], off: usize) -> __m256i {
+        debug_assert!(off + 2 <= b.len());
+        // SAFETY: caller guarantees 4 readable bytes at `off`.
+        let pair = unsafe { core::ptr::read_unaligned(b.as_ptr().add(off) as *const i32) };
+        _mm256_set1_epi32(pair)
+    }
+
+    /// Broadcasts the dangling last code of an odd depth as the pair
+    /// `(b[off], 0)` — composed in scalar registers, no out-of-window read.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn bcast_half(code: i16) -> __m256i {
+        _mm256_set1_epi32(code as u16 as u32 as i32)
+    }
+
+    /// The packed-layout requantising GEMM body. See the crate docs for the
+    /// tile shape.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have asserted: `packed.len() == ⌈k/2⌉·m·2`,
+    /// `bias.len() == mults.len() == m`, `c.len() == n·m`,
+    /// `b.len() >= (n-1)·stride + k`, `m % 8 == 0`, `k ≥ 1`, `shift ≤ 62`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_requant_packed(
+        c: &mut [i16],
+        packed: &[i16],
+        bias: &[i32],
+        mults: &[i32],
+        shift: u8,
+        b: &[i16],
+        m: usize,
+        k: usize,
+        n: usize,
+        stride: usize,
+        lo: i16,
+        hi: i16,
+    ) {
+        let epi = Epilogue::new(shift, lo, hi);
+        let k2_full = k / 2;
+        let odd = k % 2 == 1;
+        let row = 2 * m;
+        if m.is_multiple_of(16) {
+            // Two-block variant: each broadcast activation pair feeds
+            // sixteen channels' `vpmaddwd`s, halving the broadcast traffic
+            // per MAC relative to running the 8-channel loop twice.
+            for mb in (0..m).step_by(16) {
+                // SAFETY: mb + 16 <= m, so these 8-element reads are in
+                // bounds.
+                let (bias0, mv0, bias1, mv1) = unsafe {
+                    (
+                        _mm256_loadu_si256(bias.as_ptr().add(mb) as *const __m256i),
+                        _mm256_loadu_si256(mults.as_ptr().add(mb) as *const __m256i),
+                        _mm256_loadu_si256(bias.as_ptr().add(mb + 8) as *const __m256i),
+                        _mm256_loadu_si256(mults.as_ptr().add(mb + 8) as *const __m256i),
+                    )
+                };
+                let (ml0, mh0) = (_mm256_unpacklo_epi32(mv0, mv0), _mm256_unpackhi_epi32(mv0, mv0));
+                let (ml1, mh1) = (_mm256_unpacklo_epi32(mv1, mv1), _mm256_unpackhi_epi32(mv1, mv1));
+                let col0 = packed.as_ptr().wrapping_add(2 * mb);
+                let col1 = packed.as_ptr().wrapping_add(2 * mb + 16);
+                let mut j = 0;
+                while j + JU <= n {
+                    let mut acc0 = [_mm256_setzero_si256(); JU];
+                    let mut acc1 = [_mm256_setzero_si256(); JU];
+                    let offs = [j * stride, (j + 1) * stride, (j + 2) * stride, (j + 3) * stride];
+                    for kk2 in 0..k2_full {
+                        // SAFETY: kk2·row + 2·mb + 32 ≤ k2·m·2 = packed.len().
+                        let (a0, a1) = unsafe {
+                            (
+                                _mm256_loadu_si256(col0.add(kk2 * row) as *const __m256i),
+                                _mm256_loadu_si256(col1.add(kk2 * row) as *const __m256i),
+                            )
+                        };
+                        for t in 0..JU {
+                            // SAFETY: offs[t] + 2·kk2 + 2 ≤ offs[t] + k ≤ b.len().
+                            let bv = unsafe { bcast_pair(b, offs[t] + 2 * kk2) };
+                            acc0[t] = _mm256_add_epi32(acc0[t], _mm256_madd_epi16(a0, bv));
+                            acc1[t] = _mm256_add_epi32(acc1[t], _mm256_madd_epi16(a1, bv));
+                        }
+                    }
+                    if odd {
+                        // SAFETY: the last packed row exists (k ≥ 1).
+                        let (a0, a1) = unsafe {
+                            (
+                                _mm256_loadu_si256(col0.add(k2_full * row) as *const __m256i),
+                                _mm256_loadu_si256(col1.add(k2_full * row) as *const __m256i),
+                            )
+                        };
+                        for t in 0..JU {
+                            let bv = bcast_half(b[offs[t] + k - 1]);
+                            acc0[t] = _mm256_add_epi32(acc0[t], _mm256_madd_epi16(a0, bv));
+                            acc1[t] = _mm256_add_epi32(acc1[t], _mm256_madd_epi16(a1, bv));
+                        }
+                    }
+                    for t in 0..JU {
+                        // SAFETY: (j+t)·m + mb + 16 ≤ n·m = c.len().
+                        unsafe {
+                            let dst = c.as_mut_ptr().add((j + t) * m + mb);
+                            epi.store8(_mm256_add_epi32(acc0[t], bias0), ml0, mh0, dst);
+                            epi.store8(_mm256_add_epi32(acc1[t], bias1), ml1, mh1, dst.add(8));
+                        }
+                    }
+                    j += JU;
+                }
+                while j < n {
+                    let mut s0 = _mm256_setzero_si256();
+                    let mut s1 = _mm256_setzero_si256();
+                    let off = j * stride;
+                    for kk2 in 0..k2_full {
+                        // SAFETY: same bounds as the unrolled loop.
+                        let (a0, a1, bv) = unsafe {
+                            (
+                                _mm256_loadu_si256(col0.add(kk2 * row) as *const __m256i),
+                                _mm256_loadu_si256(col1.add(kk2 * row) as *const __m256i),
+                                bcast_pair(b, off + 2 * kk2),
+                            )
+                        };
+                        s0 = _mm256_add_epi32(s0, _mm256_madd_epi16(a0, bv));
+                        s1 = _mm256_add_epi32(s1, _mm256_madd_epi16(a1, bv));
+                    }
+                    if odd {
+                        // SAFETY: the last packed row exists.
+                        let (a0, a1) = unsafe {
+                            (
+                                _mm256_loadu_si256(col0.add(k2_full * row) as *const __m256i),
+                                _mm256_loadu_si256(col1.add(k2_full * row) as *const __m256i),
+                            )
+                        };
+                        let bv = bcast_half(b[off + k - 1]);
+                        s0 = _mm256_add_epi32(s0, _mm256_madd_epi16(a0, bv));
+                        s1 = _mm256_add_epi32(s1, _mm256_madd_epi16(a1, bv));
+                    }
+                    // SAFETY: j·m + mb + 16 ≤ c.len().
+                    unsafe {
+                        let dst = c.as_mut_ptr().add(j * m + mb);
+                        epi.store8(_mm256_add_epi32(s0, bias0), ml0, mh0, dst);
+                        epi.store8(_mm256_add_epi32(s1, bias1), ml1, mh1, dst.add(8));
+                    }
+                    j += 1;
+                }
+            }
+            return;
+        }
+        for mb in (0..m).step_by(8) {
+            // SAFETY: mb + 8 <= m, so these 8-element reads are in bounds.
+            let (bias_v, mv) = unsafe {
+                (
+                    _mm256_loadu_si256(bias.as_ptr().add(mb) as *const __m256i),
+                    _mm256_loadu_si256(mults.as_ptr().add(mb) as *const __m256i),
+                )
+            };
+            // Self-unpacked dword pairs whose even dwords line up with the
+            // accumulators unpacked the same way in `store8`.
+            let mult_lo = _mm256_unpacklo_epi32(mv, mv);
+            let mult_hi = _mm256_unpackhi_epi32(mv, mv);
+            let col0 = packed.as_ptr().wrapping_add(2 * mb);
+            let mut j = 0;
+            while j + JU <= n {
+                let mut acc = [_mm256_setzero_si256(); JU];
+                let offs = [j * stride, (j + 1) * stride, (j + 2) * stride, (j + 3) * stride];
+                for kk2 in 0..k2_full {
+                    // SAFETY: kk2·row + 2·mb + 16 ≤ k2·m·2 = packed.len().
+                    let a_col =
+                        unsafe { _mm256_loadu_si256(col0.add(kk2 * row) as *const __m256i) };
+                    for (t, a) in acc.iter_mut().enumerate() {
+                        // SAFETY: offs[t] + 2·kk2 + 2 ≤ offs[t] + k ≤ b.len().
+                        let bv = unsafe { bcast_pair(b, offs[t] + 2 * kk2) };
+                        *a = _mm256_add_epi32(*a, _mm256_madd_epi16(a_col, bv));
+                    }
+                }
+                if odd {
+                    // SAFETY: the last packed row exists (k ≥ 1).
+                    let a_col =
+                        unsafe { _mm256_loadu_si256(col0.add(k2_full * row) as *const __m256i) };
+                    for (t, a) in acc.iter_mut().enumerate() {
+                        let bv = bcast_half(b[offs[t] + k - 1]);
+                        *a = _mm256_add_epi32(*a, _mm256_madd_epi16(a_col, bv));
+                    }
+                }
+                for (t, a) in acc.iter().enumerate() {
+                    let with_bias = _mm256_add_epi32(*a, bias_v);
+                    // SAFETY: (j+t)·m + mb + 8 ≤ n·m = c.len().
+                    unsafe {
+                        epi.store8(
+                            with_bias,
+                            mult_lo,
+                            mult_hi,
+                            c.as_mut_ptr().add((j + t) * m + mb),
+                        )
+                    };
+                }
+                j += JU;
+            }
+            while j < n {
+                let mut a0 = _mm256_setzero_si256();
+                let off = j * stride;
+                for kk2 in 0..k2_full {
+                    // SAFETY: same bounds as the unrolled loop.
+                    let a_col =
+                        unsafe { _mm256_loadu_si256(col0.add(kk2 * row) as *const __m256i) };
+                    let bv = unsafe { bcast_pair(b, off + 2 * kk2) };
+                    a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(a_col, bv));
+                }
+                if odd {
+                    // SAFETY: the last packed row exists.
+                    let a_col =
+                        unsafe { _mm256_loadu_si256(col0.add(k2_full * row) as *const __m256i) };
+                    a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(a_col, bcast_half(b[off + k - 1])));
+                }
+                let with_bias = _mm256_add_epi32(a0, bias_v);
+                // SAFETY: j·m + mb + 8 ≤ c.len().
+                unsafe { epi.store8(with_bias, mult_lo, mult_hi, c.as_mut_ptr().add(j * m + mb)) };
+                j += 1;
+            }
+        }
+    }
+
+    /// Vectorised elementwise requantisation (uniform multiplier): widen
+    /// 8 codes to two i64×4 vectors, apply the fixed-point map, clamp, pack
+    /// and store. Tail handled scalar.
+    ///
+    /// # Safety
+    ///
+    /// `dst.len() == src.len()` must have been asserted by the caller.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn requantize_codes(
+        dst: &mut [i16],
+        src: &[i16],
+        mult: i32,
+        shift: u8,
+        lo: i16,
+        hi: i16,
+    ) {
+        let epi = Epilogue::new(shift, lo, hi);
+        // A broadcast i32 has the multiplier in every (even) dword, which is
+        // all `store8`'s `vpmuldq` reads.
+        let mult_v = _mm256_set1_epi32(mult);
+        let n8 = src.len() / 8 * 8;
+        for i0 in (0..n8).step_by(8) {
+            // SAFETY: i0 + 8 <= src.len() == dst.len().
+            let codes = unsafe { _mm_loadu_si128(src.as_ptr().add(i0) as *const __m128i) };
+            let wide = _mm256_cvtepi16_epi32(codes);
+            unsafe { epi.store8(wide, mult_v, mult_v, dst.as_mut_ptr().add(i0)) };
+        }
+        for i in n8..src.len() {
+            let r = crate::rne_apply(src[i] as i32, mult, shift);
+            dst[i] = r.clamp(lo as i64, hi as i64) as i16;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for test data.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn i16_in(&mut self, bound: i32) -> i16 {
+            ((self.next() % (2 * bound as u64 + 1)) as i32 - bound) as i16
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scalar_reference(
+        w: &[i16],
+        bias: &[i32],
+        mults: &[i32],
+        shift: u8,
+        b: &[i16],
+        m: usize,
+        k: usize,
+        n: usize,
+        stride: usize,
+        lo: i16,
+        hi: i16,
+    ) -> Vec<i16> {
+        let mut c = vec![0i16; n * m];
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = 0i32;
+                for t in 0..k {
+                    acc += w[i * k + t] as i32 * b[j * stride + t] as i32;
+                }
+                acc += bias[i];
+                let r = rne_apply(acc, mults[i], shift);
+                c[j * m + i] = r.clamp(lo as i64, hi as i64) as i16;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn packing_interleaves_pairs_and_zero_pads_odd_depths() {
+        let w: Vec<i16> = (0..2 * 5).map(|v| v as i16).collect(); // m=2, k=5
+        let mut packed = Vec::new();
+        pack_weight_pairs(&mut packed, &w, 2, 5);
+        // k2 = 3 rows of [m=2 × pair].
+        assert_eq!(
+            packed,
+            vec![
+                0, 1, 5, 6, // kk2 = 0: rows 0 and 1, codes 0..2
+                2, 3, 7, 8, // kk2 = 1: codes 2..4
+                4, 0, 9, 0, // kk2 = 2: dangling code 4 padded with 0
+            ]
+        );
+    }
+
+    #[test]
+    fn accelerated_gemm_matches_the_scalar_reference_exactly() {
+        if !available() {
+            return;
+        }
+        let mut rng = Rng(0xC0FFEE);
+        for &(m, k, n, stride) in &[
+            (8usize, 9usize, 37usize, 1usize), // stem-like odd depth
+            (8, 72, 31, 8),
+            (16, 72, 29, 8),
+            (16, 144, 33, 16),
+            (16, 8, 30, 8),
+            (8, 1, 17, 1),    // degenerate depth
+            (24, 256, 9, 24), // full-depth panel, 3 single blocks (24 % 16 ≠ 0)
+            (32, 64, 11, 32), // two double-block passes
+        ] {
+            let w: Vec<i16> = (0..m * k).map(|_| rng.i16_in(127)).collect();
+            let blen = (n - 1) * stride + k + 3;
+            let b: Vec<i16> = (0..blen).map(|_| rng.i16_in(32767)).collect();
+            let bias: Vec<i32> =
+                (0..m).map(|_| (rng.next() % (1 << 22)) as i32 - (1 << 21)).collect();
+            for shift in [1u8, 31, 40, 62] {
+                // Multipliers inside the dispatch bound (ratio ≤ ½),
+                // spanning tiny to maximal.
+                let bound = (1u64 << (shift - 1)).min(1 << 30);
+                let mults: Vec<i32> = (0..m).map(|_| (rng.next() % (bound + 1)) as i32).collect();
+                let (lo, hi) = if shift % 2 == 0 { (0i16, 32767i16) } else { (-32767, 32767) };
+                let mut packed = Vec::new();
+                pack_weight_pairs(&mut packed, &w, m, k);
+                let mut c = vec![0i16; n * m];
+                assert!(gemm_requant_packed(
+                    &mut c, &packed, &bias, &mults, shift, &b, m, k, n, stride, lo, hi
+                ));
+                let expect =
+                    scalar_reference(&w, &bias, &mults, shift, &b, m, k, n, stride, lo, hi);
+                assert_eq!(c, expect, "m={m} k={k} n={n} stride={stride} shift={shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_envelope_shapes_decline_instead_of_computing() {
+        let w = vec![0i16; 6 * 4];
+        let mut packed = Vec::new();
+        pack_weight_pairs(&mut packed, &w, 6, 4);
+        let mut c = vec![0i16; 6 * 3];
+        // m = 6 is not a multiple of 8 → scalar fallback.
+        assert!(!gemm_requant_packed(
+            &mut c,
+            &packed,
+            &[0; 6],
+            &[1 << 30; 6],
+            31,
+            &[0i16; 32],
+            6,
+            4,
+            3,
+            4,
+            0,
+            32767
+        ));
+        // Oversized bias violates the wrap-free addition invariant.
+        let w8 = vec![0i16; 8 * 4];
+        let mut packed8 = Vec::new();
+        pack_weight_pairs(&mut packed8, &w8, 8, 4);
+        let mut c8 = vec![0i16; 8 * 3];
+        assert!(!gemm_requant_packed(
+            &mut c8,
+            &packed8,
+            &[BIAS_BOUND + 1; 8],
+            &[1 << 30; 8],
+            31,
+            &[0i16; 32],
+            8,
+            4,
+            3,
+            4,
+            0,
+            32767
+        ));
+        // shift 0 and a multiplier beyond 2^(shift−1) (ratio > ½) break the
+        // fits-in-i32 invariant of the vector clamp → scalar fallback.
+        assert!(!gemm_requant_packed(
+            &mut c8,
+            &packed8,
+            &[0; 8],
+            &[1; 8],
+            0,
+            &[0i16; 32],
+            8,
+            4,
+            3,
+            4,
+            0,
+            32767
+        ));
+        assert!(!gemm_requant_packed(
+            &mut c8,
+            &packed8,
+            &[0; 8],
+            &[(1 << 30) + 1; 8],
+            31,
+            &[0i16; 32],
+            8,
+            4,
+            3,
+            4,
+            0,
+            32767
+        ));
+    }
+
+    #[test]
+    fn elementwise_requantise_matches_the_scalar_map() {
+        if !available() {
+            return;
+        }
+        let mut rng = Rng(0xBADC0DE);
+        let src: Vec<i16> = (0..1003).map(|_| rng.i16_in(32767)).collect();
+        for &(mult, shift) in
+            &[(1_500_000_000i32, 31u8), (1 << 30, 62), (123_456_789, 17), (7, 1), (65_536, 14)]
+        {
+            let mut dst = vec![0i16; src.len()];
+            assert!(requantize_codes(&mut dst, &src, mult, shift, -32767, 32767));
+            for (i, (&d, &s)) in dst.iter().zip(src.iter()).enumerate() {
+                let expect = rne_apply(s as i32, mult, shift).clamp(-32767, 32767) as i16;
+                assert_eq!(d, expect, "index {i} code {s} mult {mult} shift {shift}");
+            }
+        }
+        // shift 0 (no rounding step) and low-shift multipliers beyond
+        // 2^(shift+15) fall outside the fits-in-i32 envelope → declined.
+        let mut dst = vec![0i16; src.len()];
+        assert!(!requantize_codes(&mut dst, &src, 7, 0, -32767, 32767));
+        assert!(!requantize_codes(&mut dst, &src, (1 << 29) + 1, 14, -32767, 32767));
+    }
+
+    #[test]
+    fn rne_rounding_in_the_kernel_breaks_ties_to_even() {
+        if !available() {
+            return;
+        }
+        // acc · mult = prod; shift 2 → /4. prod 6 → 1.5 → 2 (even); prod
+        // 10 → 2.5 → 2 (even); prod −6 → −1.5 → −2 (even).
+        let src = [6i16, 10, -6, 7, -10];
+        let mut dst = [0i16; 5];
+        assert!(requantize_codes(&mut dst, &src, 1, 2, -32767, 32767));
+        assert_eq!(dst, [2, 2, -2, 2, -2]);
+    }
+}

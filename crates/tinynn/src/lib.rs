@@ -73,6 +73,6 @@ pub use metrics::{accuracy, ConfusionMatrix};
 pub use optim::{Adam, Sgd};
 pub use param::Param;
 pub use qlayers::{QuantizedConv1d, QuantizedLinear, QuantizedResidualBlock1d};
-pub use quant::QuantizedGemm;
+pub use quant::{QuantActs, QuantPlan, QuantizedGemm, Requantizer};
 pub use tensor::Tensor;
 pub use workspace::Workspace;

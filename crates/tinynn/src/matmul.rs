@@ -28,6 +28,7 @@
 //! parity-reference paths.
 
 use crate::parallel;
+use crate::quant::Requantizer;
 
 /// Work threshold (in FLOPs) below which [`matmul_par`] stays sequential —
 /// spawning OS threads costs more than the multiply below this size.
@@ -719,6 +720,175 @@ pub fn matmul_q8_sliding(
         );
     }
     q8_dispatch!(k, gemm_q8_const, gemm_q8_any, (c, a, a_scales, b, b_scale, m, n, stride));
+}
+
+/// The fused requantising convolution GEMM body, monomorphised per depth
+/// `K ≤ QK`. Identical dot-product structure to [`gemm_q8_const`] (the
+/// single-chain constant-depth reduction — see the negative result there;
+/// this body deliberately does **not** re-tile), but instead of rescaling
+/// into `f32` it adds the accumulator-unit bias and maps each `i32` sum
+/// straight onto the consumer's `i16` grid with the per-channel fixed-point
+/// requantiser, clamped to `[lo, hi]` (`lo = 0` is the fused ReLU).
+///
+/// The output is **position-major** `[n, m]` (`c[j·m + i]`): output position
+/// `j`'s channels are contiguous, which *is* the channels-last body layout
+/// the next layer's sliding windows read — chaining layers needs no
+/// transpose pass at all.
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+fn gemm_q8_requant_const<const K: usize>(
+    c: &mut [i16],
+    a: &[i16],
+    bias: &[i32],
+    mults: &[Requantizer],
+    b: &[i16],
+    m: usize,
+    n: usize,
+    stride: usize,
+    lo: i16,
+    hi: i16,
+) {
+    for j in 0..n {
+        let b_row = &b[j * stride..j * stride + K];
+        let c_row = &mut c[j * m..(j + 1) * m];
+        for (i, cv) in c_row.iter_mut().enumerate() {
+            let acc = q_dot_const::<K>(&a[i * K..(i + 1) * K], b_row).saturating_add(bias[i]);
+            *cv = mults[i].requantize_i16(acc, lo, hi);
+        }
+    }
+}
+
+/// The fused requantising convolution GEMM body for depths without a
+/// specialisation (deep depths accumulate in `i64` across [`QK`]-panels and
+/// saturate into `i32` before the requantiser).
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+fn gemm_q8_requant_any(
+    c: &mut [i16],
+    a: &[i16],
+    bias: &[i32],
+    mults: &[Requantizer],
+    b: &[i16],
+    m: usize,
+    n: usize,
+    stride: usize,
+    lo: i16,
+    hi: i16,
+    k: usize,
+) {
+    let deep = k > QK;
+    for j in 0..n {
+        let b_row = &b[j * stride..j * stride + k];
+        let c_row = &mut c[j * m..(j + 1) * m];
+        for (i, cv) in c_row.iter_mut().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let acc = if deep {
+                let wide = q_dot_deep(a_row, b_row) + bias[i] as i64;
+                wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+            } else {
+                q_dot_any(a_row, b_row).saturating_add(bias[i])
+            };
+            *cv = mults[i].requantize_i16(acc, lo, hi);
+        }
+    }
+}
+
+/// Fully fused integer convolution layer: the sliding-window GEMM of
+/// [`matmul_q8_sliding`] with bias add, per-channel fixed-point
+/// requantisation and output clamp folded into the accumulator store —
+/// `c[j·m + i] = clamp(requant_i(dot_i(j) + bias_q[i]), lo, hi)`.
+///
+/// This is the whole layer body of the fixed-point inference chain:
+/// activations enter as `i16` codes (the overlapping windows of `b`) and
+/// leave as `i16` codes on the consumer's grid, position-major, with no
+/// `f32` value and no scale scan anywhere in between. `lo = 0` fuses the
+/// following ReLU.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+pub fn matmul_q8_requant_sliding(
+    c: &mut [i16],
+    a: &[i16],
+    bias: &[i32],
+    mults: &[Requantizer],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    stride: usize,
+    lo: i16,
+    hi: i16,
+) {
+    assert_eq!(a.len(), m * k, "A must be m*k = {}x{}", m, k);
+    assert_eq!(bias.len(), m, "A needs one bias per row ({m})");
+    assert_eq!(mults.len(), m, "A needs one requantiser per row ({m})");
+    assert_eq!(c.len(), n * m, "C must be n*m = {}x{} (position-major)", n, m);
+    if n > 0 {
+        assert!(
+            b.len() >= (n - 1) * stride + k,
+            "B must cover {} windows of {} codes at stride {}",
+            n,
+            k,
+            stride
+        );
+    }
+    q8_dispatch!(
+        k,
+        gemm_q8_requant_const,
+        gemm_q8_requant_any,
+        (c, a, bias, mults, b, m, n, stride, lo, hi)
+    );
+}
+
+/// The SIMD fast path of [`matmul_q8_requant_sliding`]: the same fused layer
+/// body on the pair-packed weight layout ([`crate::quant::QuantizedGemm::packed16`])
+/// with a per-layer uniform shift, computed by `qsimd`'s `vpmaddwd` kernel —
+/// accumulators live in channel lanes, so the per-output horizontal
+/// reductions that cap the scalar kernels at small depths disappear
+/// entirely.
+///
+/// Returns `false` without touching `c` when the shape is outside the
+/// accelerated envelope (`m % 8 != 0`, `k > QK`, no AVX2, oversized bias) —
+/// the caller then runs [`matmul_q8_requant_sliding`], which computes the
+/// **same codes bit for bit**: the integer sums are associative and the
+/// vector epilogue transcribes [`Requantizer::apply`] exactly (a property
+/// test pins this).
+#[allow(clippy::too_many_arguments)] // GEMM shape: operands + dims
+pub fn matmul_q8_requant_sliding_packed(
+    c: &mut [i16],
+    packed: &[i16],
+    bias: &[i32],
+    mults: &[i32],
+    shift: u8,
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    stride: usize,
+    lo: i16,
+    hi: i16,
+) -> bool {
+    qsimd::gemm_requant_packed(c, packed, bias, mults, shift, b, m, k, n, stride, lo, hi)
+}
+
+/// Requantises existing `i16` codes onto another grid (`dst[i] =
+/// clamp(requant(src[i]), lo, hi)`) — the identity-shortcut rescale of the
+/// fixed-point residual block, where the block input's codes must move onto
+/// the block output's grid before the integer add.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn requantize_codes_into(dst: &mut [i16], src: &[i16], r: Requantizer, lo: i16, hi: i16) {
+    assert_eq!(dst.len(), src.len(), "one destination code per source code");
+    // The vector path computes the identical fixed-point map (qsimd's parity
+    // tests pin it against the scalar `apply` bit for bit).
+    if qsimd::requantize_codes(dst, src, r.mult(), r.shift(), lo, hi) {
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = r.requantize_i16(s as i32, lo, hi);
+    }
 }
 
 /// Quantised `C += diag(a_scales) · (A · Bᵀ) · diag(b_scales)` with

@@ -23,13 +23,30 @@
 //! * **ReLU fusing** — a following ReLU becomes an in-place clamp on the
 //!   layer output, saving one full tensor allocation and copy per layer.
 //!
+//! Every layer offers **two forward paths**:
+//!
+//! * the dynamic [`Layer`] path above (`f32` in, `f32` out, per-call
+//!   activation scales) — the calibration and parity-reference path;
+//! * the **fixed-point path** (`forward_fixed` / `forward_fixed_codes`):
+//!   once static activation scales are calibrated
+//!   ([`QuantizedConv1d::set_fixed_point`] builds a
+//!   [`crate::quant::QuantPlan`]), activations stay `i16` codes *between*
+//!   layers ([`crate::quant::QuantActs`]), each layer is one fused
+//!   requantising GEMM ([`matmul::matmul_q8_requant_sliding`]) writing
+//!   position-major codes directly into the next layer's channels-last
+//!   window layout, ReLU is the output clamp and the residual add is an
+//!   integer add of same-grid codes. No `f32` roundtrip, scale scan or
+//!   transpose exists between layers — this is the serving hot path.
+//!
 //! Quantised layers are **inference-only**: `forward` with `training ==
 //! true` and `backward` panic. They hold no gradient or optimiser state —
 //! quantise a trained `f32` network, never train a quantised one.
 
 use crate::layers::{forward_consuming, BatchNorm1d, Conv1d, Layer, Linear, ResidualBlock1d};
 use crate::matmul;
-use crate::quant::{quantize_activations_into, QuantizedGemm};
+use crate::quant::{
+    quantize_activations_into, QuantActs, QuantPlan, QuantizedGemm, Requantizer, ACT_QMAX,
+};
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
 
@@ -120,6 +137,10 @@ pub struct QuantizedConv1d {
     out_channels: usize,
     kernel_size: usize,
     fused_relu: bool,
+    /// Fixed-point execution plan (set by [`Self::set_fixed_point`] once the
+    /// activation scales are calibrated). `None` means only the dynamic
+    /// [`Layer`] path is available.
+    plan: Option<QuantPlan>,
 }
 
 impl QuantizedConv1d {
@@ -133,6 +154,7 @@ impl QuantizedConv1d {
             out_channels: out_c,
             kernel_size: k,
             fused_relu: false,
+            plan: None,
         }
     }
 
@@ -166,6 +188,7 @@ impl QuantizedConv1d {
             out_channels: out_c,
             kernel_size: k,
             fused_relu,
+            plan: None,
         }
     }
 
@@ -196,6 +219,95 @@ impl QuantizedConv1d {
 
     fn pad_left(&self) -> usize {
         (self.kernel_size - 1) / 2
+    }
+
+    /// Builds the fixed-point execution plan of this layer for calibrated
+    /// input/output activation grids, enabling [`Self::forward_fixed`]. The
+    /// layer's fused ReLU becomes the plan's output clamp.
+    pub fn set_fixed_point(&mut self, in_scale: f32, out_scale: f32) {
+        self.plan = Some(QuantPlan::new(&self.gemm, in_scale, out_scale, self.fused_relu));
+    }
+
+    /// The fixed-point plan, when one has been built.
+    pub fn plan(&self) -> Option<&QuantPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Fixed-point forward pass: `i16` activation codes in, `i16` codes out,
+    /// one fused requantising GEMM per batch item and **no `f32` value
+    /// anywhere** — no dynamic scale scan, no dequantise/requantise
+    /// roundtrip, no transpose (the GEMM writes position-major, which *is*
+    /// the channels-last body layout `out` hands the next layer).
+    ///
+    /// `out` must be pre-shaped by the caller (same batch and length,
+    /// `out_channels` channels, pad geometry covering every consumer); its
+    /// pads are zeroed and its scale is set to the plan's output scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no plan is set ([`Self::set_fixed_point`]), if a geometry
+    /// field disagrees, or if `x`'s grid is not the plan's input grid.
+    pub fn forward_fixed(&self, x: &QuantActs, out: &mut QuantActs) {
+        let plan = self.plan.as_ref().expect("set_fixed_point before forward_fixed");
+        assert_eq!(x.channels, self.in_channels, "input channel mismatch");
+        assert_eq!(out.channels, self.out_channels, "output channel mismatch");
+        assert_eq!(x.batch, out.batch, "batch mismatch");
+        assert_eq!(x.len, out.len, "length mismatch (stride-1 same conv)");
+        assert_eq!(
+            plan.in_scale.to_bits(),
+            x.scale.to_bits(),
+            "input codes are on a different grid than the plan was built for"
+        );
+        let p = self.pad_left();
+        assert!(x.pad_left >= p, "input pad {} cannot serve kernel pad {p}", x.pad_left);
+        let offset = x.pad_left - p;
+        assert!(
+            x.rows >= offset + x.len - 1 + self.kernel_size,
+            "input rows {} cannot cover {} windows of kernel {}",
+            x.rows,
+            x.len,
+            self.kernel_size
+        );
+        let (in_c, out_c, ck) = (self.in_channels, self.out_channels, self.gemm.cols());
+        out.scale = plan.out_scale;
+        out.zero_pads();
+        let span = (x.len - 1) * in_c + ck;
+        for b in 0..x.batch {
+            let src_start = b * x.rows * in_c + offset * in_c;
+            let src = &x.codes[src_start..src_start + span];
+            let dst_start = b * out.rows * out_c + out.pad_left * out_c;
+            let dst = &mut out.codes[dst_start..dst_start + x.len * out_c];
+            // SIMD fast path on the packed weights; scalar fallback computes
+            // the same codes bit for bit.
+            if !matmul::matmul_q8_requant_sliding_packed(
+                dst,
+                self.gemm.packed16(),
+                &plan.bias_q,
+                &plan.mults_i32,
+                plan.shift,
+                src,
+                out_c,
+                ck,
+                x.len,
+                in_c,
+                plan.lo,
+                plan.hi,
+            ) {
+                matmul::matmul_q8_requant_sliding(
+                    dst,
+                    self.gemm.data16(),
+                    &plan.bias_q,
+                    &plan.mults,
+                    src,
+                    out_c,
+                    ck,
+                    x.len,
+                    in_c,
+                    plan.lo,
+                    plan.hi,
+                );
+            }
+        }
     }
 }
 
@@ -259,6 +371,8 @@ pub struct QuantizedLinear {
     in_features: usize,
     out_features: usize,
     fused_relu: bool,
+    /// Fixed-point execution plan (set by [`Self::set_fixed_point`]).
+    plan: Option<QuantPlan>,
 }
 
 impl QuantizedLinear {
@@ -269,6 +383,7 @@ impl QuantizedLinear {
             in_features: linear.in_features(),
             out_features: linear.out_features(),
             fused_relu: false,
+            plan: None,
         }
     }
 
@@ -296,6 +411,58 @@ impl QuantizedLinear {
     /// `true` if a following ReLU is fused into this layer's output.
     pub fn fused_relu(&self) -> bool {
         self.fused_relu
+    }
+
+    /// Builds the fixed-point execution plan for calibrated input/output
+    /// activation grids, enabling [`Self::forward_fixed_codes`].
+    pub fn set_fixed_point(&mut self, in_scale: f32, out_scale: f32) {
+        self.plan = Some(QuantPlan::new(&self.gemm, in_scale, out_scale, self.fused_relu));
+    }
+
+    /// Fixed-point forward pass on raw codes: `x` holds `[batch,
+    /// in_features]` `i16` activation codes on the plan's input grid, `out`
+    /// receives `[batch, out_features]` codes on its output grid. The row
+    /// dot products, bias add, requantisation and (fused-ReLU) clamp are one
+    /// kernel call — a linear layer is the sliding GEMM with non-overlapping
+    /// windows (`stride == k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no plan is set or a slice length disagrees.
+    pub fn forward_fixed_codes(&self, x: &[i16], batch: usize, out: &mut [i16]) {
+        let plan = self.plan.as_ref().expect("set_fixed_point before forward_fixed_codes");
+        assert_eq!(x.len(), batch * self.in_features, "input must be batch x in_features");
+        assert_eq!(out.len(), batch * self.out_features, "output must be batch x out_features");
+        // SIMD fast path on the packed weights; scalar fallback computes the
+        // same codes bit for bit.
+        if !matmul::matmul_q8_requant_sliding_packed(
+            out,
+            self.gemm.packed16(),
+            &plan.bias_q,
+            &plan.mults_i32,
+            plan.shift,
+            x,
+            self.out_features,
+            self.in_features,
+            batch,
+            self.in_features,
+            plan.lo,
+            plan.hi,
+        ) {
+            matmul::matmul_q8_requant_sliding(
+                out,
+                self.gemm.data16(),
+                &plan.bias_q,
+                &plan.mults,
+                x,
+                self.out_features,
+                self.in_features,
+                batch,
+                self.in_features,
+                plan.lo,
+                plan.hi,
+            );
+        }
     }
 }
 
@@ -358,6 +525,10 @@ pub struct QuantizedResidualBlock1d {
     conv1: QuantizedConv1d,
     conv2: QuantizedConv1d,
     projection: Option<QuantizedConv1d>,
+    /// Identity-shortcut requantiser of the fixed-point path (block input
+    /// grid → block output grid); `None` until [`Self::set_fixed_point`]
+    /// runs, and always `None` when a projection carries the shortcut.
+    shortcut: Option<Requantizer>,
 }
 
 impl QuantizedResidualBlock1d {
@@ -369,7 +540,97 @@ impl QuantizedResidualBlock1d {
             conv1: QuantizedConv1d::from_conv_folded(conv1, bn1, true),
             conv2: QuantizedConv1d::from_conv_folded(conv2, bn2, false),
             projection: projection.map(|(c, b)| QuantizedConv1d::from_conv_folded(c, b, false)),
+            shortcut: None,
         }
+    }
+
+    /// The first (ReLU-fused) convolution — exposed so scale calibration can
+    /// observe the block's *mid* activations.
+    pub fn conv1(&self) -> &QuantizedConv1d {
+        &self.conv1
+    }
+
+    /// Builds the fixed-point plans of the whole block: `conv1` maps the
+    /// input grid onto the mid grid, `conv2` maps mid onto the output grid,
+    /// and the shortcut (projection conv, or a plain per-tensor requantiser
+    /// for the identity) maps the input grid onto the output grid, so the
+    /// residual add is an exact integer add of same-grid codes.
+    pub fn set_fixed_point(&mut self, in_scale: f32, mid_scale: f32, out_scale: f32) {
+        self.conv1.set_fixed_point(in_scale, mid_scale);
+        self.conv2.set_fixed_point(mid_scale, out_scale);
+        match self.projection.as_mut() {
+            Some(conv) => conv.set_fixed_point(in_scale, out_scale),
+            None => {
+                self.shortcut = Some(Requantizer::from_ratio(in_scale as f64 / out_scale as f64));
+            }
+        }
+    }
+
+    /// Fixed-point forward pass of the whole block: two fused requantising
+    /// GEMMs (conv1 with its ReLU clamp, conv2 onto the output grid), the
+    /// shortcut rescaled onto the same grid (projection GEMM or per-tensor
+    /// requantise), and the residual add + final ReLU as one integer
+    /// add/clamp pass over the body codes. Scratch comes from the
+    /// workspace's `i16` pool, so a warm pass allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::set_fixed_point`] has not run or a geometry field
+    /// disagrees (see [`QuantizedConv1d::forward_fixed`]).
+    pub fn forward_fixed(&self, x: &QuantActs, out: &mut QuantActs, ws: &mut Workspace) {
+        let out_c = self.out_channels();
+        let (batch, len) = (x.batch, x.len);
+        // Mid activations live on the same padded geometry as `out`, so
+        // conv2's windows read them in place.
+        let mut mid = QuantActs::with_buffer(
+            ws.take_i16(batch * out.rows * out_c),
+            batch,
+            out_c,
+            len,
+            out.pad_left,
+            out.rows,
+            0.0,
+        );
+        self.conv1.forward_fixed(x, &mut mid);
+        self.conv2.forward_fixed(&mid, out);
+        // The shortcut needs no padding: it only feeds the add.
+        let mut short = QuantActs::with_buffer(
+            ws.take_i16(batch * len * out_c),
+            batch,
+            out_c,
+            len,
+            0,
+            len,
+            x.scale,
+        );
+        match (self.projection.as_ref(), self.shortcut) {
+            (Some(conv), _) => conv.forward_fixed(x, &mut short),
+            (None, Some(r)) => {
+                // Identity shortcut: rescale the input codes onto the output
+                // grid (no clamp asymmetry — the add below applies the ReLU).
+                let qmax = ACT_QMAX as i16;
+                for b in 0..batch {
+                    let src_start = b * x.rows * x.channels + x.pad_left * x.channels;
+                    let src = &x.codes[src_start..src_start + len * x.channels];
+                    let dst = &mut short.codes[b * len * out_c..(b + 1) * len * out_c];
+                    matmul::requantize_codes_into(dst, src, r, -qmax, qmax);
+                }
+            }
+            (None, None) => panic!("set_fixed_point before forward_fixed"),
+        }
+        // Residual add + final ReLU: both operands are i16 codes on the
+        // output grid, so the sum is exact in i32 and the ReLU is the
+        // [0, 32767] clamp of the store. Pad rows stay zero (0 + 0).
+        for b in 0..batch {
+            let dst_start = b * out.rows * out_c + out.pad_left * out_c;
+            let dst = &mut out.codes[dst_start..dst_start + len * out_c];
+            let s = &short.codes[b * len * out_c..(b + 1) * len * out_c];
+            for (d, &sv) in dst.iter_mut().zip(s.iter()) {
+                *d = (*d as i32 + sv as i32).clamp(0, ACT_QMAX as i32) as i16;
+            }
+        }
+        ws.recycle_i16(mid.codes);
+        ws.recycle_i16(short.codes);
     }
 
     /// Output channel count.

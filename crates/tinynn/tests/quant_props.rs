@@ -5,8 +5,13 @@
 //! The offline build has no `proptest`, so cases are generated from a seeded
 //! xorshift generator — every run exercises the identical case set.
 
-use tinynn::matmul::{matmul_q8, matmul_q8_a_bt, matmul_q8_reference, matmul_reference};
-use tinynn::quant::{quantize_activations_into, QuantizedGemm, ACT_QMAX, WEIGHT_QMAX};
+use tinynn::matmul::{
+    matmul_q8, matmul_q8_a_bt, matmul_q8_reference, matmul_q8_requant_sliding,
+    matmul_q8_requant_sliding_packed, matmul_reference,
+};
+use tinynn::quant::{
+    quantize_activations_into, QuantPlan, QuantizedGemm, Requantizer, ACT_QMAX, WEIGHT_QMAX,
+};
 
 /// Deterministic xorshift64* stream.
 struct Rng(u64);
@@ -176,6 +181,190 @@ fn quantised_gemm_tracks_f32_gemm_within_quantisation_error() {
     }
 }
 
+/// Exact round-to-nearest-even reference for `acc · mult / 2^shift`,
+/// computed in `i128` so no intermediate can overflow or round.
+fn rne_shift_reference(acc: i32, mult: i32, shift: u8) -> i64 {
+    let prod = acc as i128 * mult as i128;
+    if shift == 0 {
+        return prod as i64;
+    }
+    let div = 1i128 << shift;
+    let floor = prod.div_euclid(div);
+    let rem = prod.rem_euclid(div);
+    let half = div / 2;
+    let rounded = if rem > half || (rem == half && floor & 1 == 1) { floor + 1 } else { floor };
+    rounded as i64
+}
+
+#[test]
+fn requantizer_apply_is_exact_rne_across_the_full_accumulator_range() {
+    let mut rng = Rng::new(7);
+    let edge_accs =
+        [i32::MIN, i32::MIN + 1, -1, 0, 1, i32::MAX - 1, i32::MAX, 0x4000_0000, -0x4000_0000];
+    for case in 0..200 {
+        // Ratios spanning ~18 orders of magnitude: tiny grids force the
+        // shift to its cap, huge ones force shift 0.
+        let mag = rng.uniform(9.0) as f64;
+        let ratio = (0.1 + rng.uniform(1.0).abs() as f64) * 10f64.powf(mag);
+        let r = Requantizer::from_ratio(ratio);
+        assert!(r.shift() <= 62, "case {case}: shift {} out of range", r.shift());
+        for &acc in &edge_accs {
+            assert_eq!(
+                r.apply(acc),
+                rne_shift_reference(acc, r.mult(), r.shift()),
+                "case {case} ratio {ratio} acc {acc}"
+            );
+        }
+        for _ in 0..20 {
+            let acc = rng.next_u64() as u32 as i32;
+            assert_eq!(
+                r.apply(acc),
+                rne_shift_reference(acc, r.mult(), r.shift()),
+                "case {case} ratio {ratio} acc {acc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn requantizer_tracks_the_real_ratio_and_f64_rounding() {
+    let mut rng = Rng::new(8);
+    for case in 0..100 {
+        let ratio = (1e-4 + rng.uniform(1.0).abs() as f64) * 10f64.powf(rng.uniform(4.0) as f64);
+        let r = Requantizer::from_ratio(ratio);
+        // The fixed-point representation is the nearest 31-bit approximation:
+        // relative error below 2^-30.
+        let represented = r.mult() as f64 / (1u64 << r.shift()) as f64;
+        assert!(
+            (represented - ratio).abs() <= ratio * 2.0f64.powi(-30),
+            "case {case}: ratio {ratio} represented as {represented}"
+        );
+        // And applying it matches f64 round-ties-even of the true product
+        // for accumulators small enough that the 2^-30 representation error
+        // cannot reach the rounding boundary.
+        for _ in 0..20 {
+            let acc = (rng.next_u64() % (1 << 21)) as i32 - (1 << 20);
+            let exact = (acc as f64 * represented).round_ties_even() as i64;
+            assert_eq!(r.apply(acc), exact, "case {case} ratio {ratio} acc {acc}");
+        }
+    }
+}
+
+#[test]
+fn requantizer_shift_edge_cases_are_exact() {
+    // Powers of two are exactly representable: mult = 2^30, shift chosen so
+    // the product is an exact integer multiply/divide.
+    for (ratio, acc, expect) in [
+        (1.0, 12345i32, 12345i64),
+        (0.5, 7, 4),   // 3.5 rounds to even 4
+        (0.5, 9, 4),   // 4.5 rounds to even 4
+        (0.5, -7, -4), // -3.5 rounds to even -4
+        (2.0, -21, -42),
+        (0.25, 10, 2), // 2.5 rounds to even 2
+    ] {
+        let r = Requantizer::from_ratio(ratio);
+        assert_eq!(r.apply(acc), expect, "ratio {ratio} acc {acc}");
+    }
+    // Degenerate and extreme ratios must stay inside the shift range and
+    // never panic: zero, subnormal-small, enormous.
+    assert_eq!(Requantizer::from_ratio(0.0).apply(i32::MAX), 0);
+    assert_eq!(Requantizer::from_ratio(-1.0).apply(55), 0);
+    assert_eq!(Requantizer::from_ratio(f64::NAN).apply(55), 0);
+    let tiny = Requantizer::from_ratio(1e-300);
+    assert_eq!(tiny.shift(), 62, "tiny ratios saturate the shift");
+    assert_eq!(tiny.apply(i32::MAX), 0, "a sub-resolution ratio rounds every acc to 0");
+    let huge = Requantizer::from_ratio(1e18);
+    assert_eq!(huge.shift(), 0, "huge ratios exhaust the shift");
+    assert_eq!(huge.mult(), i32::MAX, "and saturate the multiplier");
+    // Clamping composes with the exact rounding.
+    let unit = Requantizer::from_ratio(1.0);
+    assert_eq!(unit.requantize_i16(40_000, -32767, 32767), 32767);
+    assert_eq!(unit.requantize_i16(-40_000, -32767, 32767), -32767);
+    assert_eq!(unit.requantize_i16(-5, 0, 32767), 0, "fused ReLU clamp");
+}
+
+#[test]
+fn per_channel_plan_mults_track_the_scale_products() {
+    let mut rng = Rng::new(9);
+    for case in 0..30 {
+        let rows = rng.usize_in(1, 12);
+        let cols = rng.usize_in(1, 80);
+        let weights: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(3.0)).collect();
+        let bias: Vec<f32> = (0..rows).map(|_| rng.uniform(2.0)).collect();
+        let gemm = QuantizedGemm::from_f32(&weights, &bias, rows, cols);
+        let in_scale = 1e-4 + rng.uniform(1.0).abs() * 0.1;
+        let out_scale = 1e-4 + rng.uniform(1.0).abs() * 0.1;
+        let plan = QuantPlan::new(&gemm, in_scale, out_scale, false);
+        assert_eq!(plan.mults.len(), rows);
+        assert_eq!(plan.bias_q.len(), rows);
+        // Every channel shares the layer shift (the SIMD epilogue divides
+        // all lanes by one power of two), and `mults_i32` mirrors it.
+        for (r, mult) in plan.mults.iter().enumerate() {
+            assert_eq!(mult.shift(), plan.shift, "case {case} row {r} shift not uniform");
+            assert_eq!(mult.mult(), plan.mults_i32[r], "case {case} row {r} mults_i32 mirror");
+        }
+        for (r, (mult, &s_w)) in plan.mults.iter().zip(gemm.scales()).enumerate() {
+            let ratio = s_w as f64 * in_scale as f64 / out_scale as f64;
+            let represented = mult.mult() as f64 / (1u64 << mult.shift()) as f64;
+            // At the shared shift the multiplier is rne(ratio · 2^shift):
+            // absolute error ≤ 2^-(shift+1), plus the ~2^-30 relative
+            // rounding of the shift-defining (largest-ratio) channel.
+            let tol = 0.5 / (1u64 << plan.shift) as f64 + ratio * 2.0f64.powi(-30);
+            assert!(
+                (represented - ratio).abs() <= tol,
+                "case {case} row {r}: {represented} vs {ratio} (shift {})",
+                plan.shift
+            );
+            // Bias lands on the accumulator grid by round-ties-even, clamped
+            // to the wrap-free bound the SIMD kernel's plain add relies on.
+            let acc_scale = s_w as f64 * in_scale as f64;
+            let expect = (bias[r] as f64 / acc_scale)
+                .round_ties_even()
+                .clamp(-(qsimd::BIAS_BOUND as f64), qsimd::BIAS_BOUND as f64)
+                as i32;
+            assert_eq!(plan.bias_q[r], expect, "case {case} row {r} bias");
+        }
+    }
+}
+
+#[test]
+fn requantising_gemm_matches_the_scalar_reference_exactly() {
+    // The fused requantising kernel must agree bit-for-bit with the naive
+    // i64 dot → saturate → bias → RNE-rescale → clamp pipeline, on both the
+    // const-depth and the deep (k > 256) paths.
+    let mut rng = Rng::new(10);
+    for case in 0..16 {
+        let m = rng.usize_in(1, 10);
+        let k = if case % 3 == 0 { rng.usize_in(257, 600) } else { rng.usize_in(1, 256) };
+        let n = rng.usize_in(1, 20);
+        let a: Vec<i16> =
+            (0..m * k).map(|_| ((rng.next_u64() % 255) as i64 - 127) as i16).collect();
+        let b: Vec<i16> =
+            (0..n * k).map(|_| ((rng.next_u64() % 65535) as i64 - 32767) as i16).collect();
+        let bias: Vec<i32> = (0..m).map(|_| rng.next_u64() as u32 as i32 / 1024).collect();
+        let mults: Vec<Requantizer> = (0..m)
+            .map(|_| Requantizer::from_ratio(1e-5 + rng.uniform(1.0).abs() as f64 * 0.1))
+            .collect();
+        let (lo, hi) = if case % 2 == 0 { (0i16, 32767i16) } else { (-32767i16, 32767i16) };
+        // Position-major output: c[j * m + i].
+        let mut c = vec![0i16; n * m];
+        matmul_q8_requant_sliding(&mut c, &a, &bias, &mults, &b, m, k, n, k, lo, hi);
+        let exact = matmul_q8_reference(&a, &b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let acc = (exact[i * n + j] + bias[i] as i64)
+                    .clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                let expect = mults[i].requantize_i16(acc, lo, hi);
+                assert_eq!(
+                    c[j * m + i],
+                    expect,
+                    "case {case} ({i},{j}): kernel diverged from scalar reference"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn quantised_dot_kernel_matches_integer_math_exactly_up_to_scaling() {
     let mut rng = Rng::new(6);
@@ -205,5 +394,70 @@ fn quantised_dot_kernel_matches_integer_math_exactly_up_to_scaling() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn packed_simd_gemm_agrees_with_the_scalar_kernel_bit_for_bit() {
+    // The SIMD fast path and the scalar fallback must be interchangeable:
+    // same plan, same codes. Shapes cover the bench model's layers (m ∈ {8,
+    // 16}, odd and even depths) plus multi-block channel counts; when the
+    // build has no AVX2 the packed entry declines and the property is
+    // vacuously covered by the fallback itself.
+    let mut rng = Rng::new(12);
+    for case in 0..20 {
+        let m = 8 * rng.usize_in(1, 3);
+        let k = rng.usize_in(1, 160);
+        let n = rng.usize_in(1, 40);
+        let stride = rng.usize_in(1, k);
+        let weights: Vec<f32> = (0..m * k).map(|_| rng.uniform(2.0)).collect();
+        let bias: Vec<f32> = (0..m).map(|_| rng.uniform(1.0)).collect();
+        let gemm = QuantizedGemm::from_f32(&weights, &bias, m, k);
+        let in_scale = 1e-4 + rng.uniform(1.0).abs() * 1e-2;
+        // Keep every channel ratio s_w · in/out ≤ ½ (s_w ≤ 2/127 here), the
+        // SIMD dispatch envelope — like any calibrated layer's grids.
+        let out_scale = in_scale * (0.1 + rng.uniform(1.0).abs());
+        let plan = QuantPlan::new(&gemm, in_scale, out_scale, case % 2 == 0);
+        let blen = (n - 1) * stride + k;
+        let b: Vec<i16> =
+            (0..blen).map(|_| ((rng.next_u64() % 65535) as i64 - 32767) as i16).collect();
+        let mut c_simd = vec![0i16; n * m];
+        let taken = matmul_q8_requant_sliding_packed(
+            &mut c_simd,
+            gemm.packed16(),
+            &plan.bias_q,
+            &plan.mults_i32,
+            plan.shift,
+            &b,
+            m,
+            k,
+            n,
+            stride,
+            plan.lo,
+            plan.hi,
+        );
+        assert_eq!(
+            taken,
+            qsimd::available(),
+            "case {case}: the bench-model envelope must take the SIMD path whenever it exists"
+        );
+        if !taken {
+            continue;
+        }
+        let mut c_scalar = vec![0i16; n * m];
+        matmul_q8_requant_sliding(
+            &mut c_scalar,
+            gemm.data16(),
+            &plan.bias_q,
+            &plan.mults,
+            &b,
+            m,
+            k,
+            n,
+            stride,
+            plan.lo,
+            plan.hi,
+        );
+        assert_eq!(c_simd, c_scalar, "case {case}: m={m} k={k} n={n} stride={stride}");
     }
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Benchmark regression guard: compares every `windows_per_sec_*` metric of a
-# freshly produced benchmark JSON against the committed baseline and fails
-# when any of them regresses by more than the allowed percentage.
+# Benchmark regression guard: compares every `windows_per_sec_*` and
+# `speedup_*` metric of a freshly produced benchmark JSON against the
+# committed baseline and fails when any of them regresses by more than the
+# allowed percentage. The speedup metrics are machine-normalised ratios
+# (i8 vs f32 on the same run), so they guard the *relative* health of the
+# quantised path even across runner generations.
 #
 # Usage: bench_guard.sh <baseline.json> <fresh.json> [max_regression_pct]
 #
@@ -34,10 +37,12 @@ for f in "$baseline" "$fresh"; do
     fi
 done
 
-# Extracts `"key": value` pairs for keys matching windows_per_sec_* from a
-# single-object JSON file (the flat format every BENCH_*.json here uses).
+# Extracts `"key": value` pairs for keys matching windows_per_sec_* or
+# speedup_* from a single-object JSON file (the flat format every
+# BENCH_*.json here uses).
 metrics() {
-    tr -d ' ",' <"$1" | awk -F: '/^windows_per_sec_[A-Za-z0-9_]*:/ { print $1, $2 }'
+    tr -d ' ",' <"$1" \
+        | awk -F: '/^(windows_per_sec|speedup)_[A-Za-z0-9_]*:/ { print $1, $2 }'
 }
 
 status=0
@@ -71,7 +76,7 @@ while read -r key _; do
 done <"$tmp_fresh"
 
 if [ "$found" -eq 0 ]; then
-    echo "bench_guard: no windows_per_sec_* metrics found in $baseline" >&2
+    echo "bench_guard: no windows_per_sec_*/speedup_* metrics found in $baseline" >&2
     exit 2
 fi
 
