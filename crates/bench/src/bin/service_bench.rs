@@ -1,0 +1,267 @@
+//! Concurrent serving benchmark for the `locsvc` locate service.
+//!
+//! Eight (configurable) closed-loop clients hammer one `LocatorService`
+//! with in-memory locate requests; the coalescing scheduler packs windows
+//! from all of them into shared GEMM batches. The aggregate windows/s is
+//! compared against `locate_batch` over the identical trace fleet — the
+//! best non-serving throughput this tree has — and the run fails if the
+//! service cannot sustain at least 0.9× of it (minus the measured rep
+//! noise): request scheduling, demuxing and latency tracking must stay a
+//! thin veneer over the same kernels. Every served result is asserted
+//! bit-identical to the per-trace `locate`, and a deterministic burst
+//! against a one-slot queue checks that backpressure rejects with the typed
+//! `QueueFull` error. Latency quantiles (p50/p99) and the batch fill ratio
+//! come from the service's own metrics and land in `BENCH_service.json` so
+//! the serving path is guarded per commit alongside the kernel benches.
+//!
+//! Usage: `service_bench [--clients N] [--requests-per-client N]
+//! [--trace-len N] [--out PATH]`
+//! (defaults: 8 clients x 3 requests of 250,000 samples).
+
+use locsvc::{LocatorService, Rejected, RequestOptions, ServiceConfig};
+use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
+use sca_trace::Trace;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Window length of the scorer (matches the engine/stream benches).
+const WINDOW_LEN: usize = 128;
+/// Stride between windows.
+const STRIDE: usize = 32;
+
+struct Args {
+    clients: usize,
+    requests_per_client: usize,
+    trace_len: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        requests_per_client: 3,
+        trace_len: 250_000,
+        out: "BENCH_service.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match flag.as_str() {
+            "--clients" => args.clients = value("--clients").parse().expect("client count"),
+            "--requests-per-client" => {
+                args.requests_per_client =
+                    value("--requests-per-client").parse().expect("request count")
+            }
+            "--trace-len" => args.trace_len = value("--trace-len").parse().expect("trace len"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.clients > 0, "need at least one client");
+    assert!(args.requests_per_client > 0, "need at least one request per client");
+    args
+}
+
+/// Synthetic "SoC-like" trace, seeded per request (same generator as the
+/// engine bench so the workloads are comparable).
+fn synthetic_trace(len: usize, seed: u64) -> Trace {
+    let mut state = 0x0123_4567_89AB_CDEF_u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let samples = (0..len)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+            let t = i as f32;
+            (t * 0.013).sin() + 0.4 * (t * 0.11).sin() + 0.25 * noise
+        })
+        .collect();
+    Trace::from_samples(samples)
+}
+
+fn build_engine() -> LocatorEngine {
+    LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig::scaled()),
+        SlidingWindowClassifier::new(WINDOW_LEN, STRIDE).with_batch_size(64),
+        Segmenter::default(),
+    )
+}
+
+/// One serving rep: fresh service, N closed-loop client threads, wall-clock
+/// over all requests. Returns the elapsed time and the service metrics.
+fn run_service_rep(
+    traces: &[Trace],
+    clients: usize,
+    expected: &[Vec<usize>],
+) -> (std::time::Duration, locsvc::MetricsSnapshot) {
+    let service = Arc::new(LocatorService::start(
+        vec![build_engine()],
+        ServiceConfig { queue_capacity: traces.len() + clients, ..ServiceConfig::default() },
+    ));
+    let model = service.model_ids()[0];
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                // Closed loop: each client keeps exactly one request in
+                // flight, so `clients` requests contend at any moment.
+                for req in (client..traces.len()).step_by(clients) {
+                    let ticket = service
+                        .submit_trace(model, traces[req].clone(), RequestOptions::default())
+                        .expect("benchmark queue is sized for the full fleet");
+                    let got = ticket.wait().expect("request failed");
+                    assert_eq!(
+                        got.starts, expected[req],
+                        "request {req}: service result diverged from locate"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    let metrics = service.metrics();
+    service.shutdown();
+    (elapsed, metrics)
+}
+
+/// Deterministic backpressure check: the only worker is blocked on an empty
+/// pipe, so a burst against a capacity-2 queue must reject all but one
+/// follow-up with the typed error.
+fn queue_full_burst(trace_len: usize) -> u64 {
+    let (reader, mut writer) = std::io::pipe().expect("pipe");
+    let service = LocatorService::start(
+        vec![build_engine()],
+        ServiceConfig { workers: 1, queue_capacity: 2, ..ServiceConfig::default() },
+    );
+    let model = service.model_ids()[0];
+    let feed = synthetic_trace(WINDOW_LEN * 4, 99);
+    let blocked = service
+        .submit_reader(model, reader, feed.len(), RequestOptions::default())
+        .expect("first submission fits");
+    let queued = service
+        .submit_trace(model, synthetic_trace(trace_len, 1), RequestOptions::default())
+        .expect("second submission fits");
+    let burst = 8usize;
+    let mut rejected = 0u64;
+    for i in 0..burst {
+        match service.submit_trace(
+            model,
+            synthetic_trace(trace_len, i as u64 + 2),
+            RequestOptions::default(),
+        ) {
+            Err(Rejected::QueueFull { capacity: 2 }) => rejected += 1,
+            Err(other) => panic!("expected QueueFull, got {other:?}"),
+            Ok(_) => panic!("queue admitted past its capacity"),
+        }
+    }
+    assert_eq!(rejected, burst as u64, "every burst submission must bounce");
+    // Release the worker and drain.
+    let mut bytes = Vec::new();
+    for s in feed.samples() {
+        bytes.extend_from_slice(&s.to_le_bytes());
+    }
+    writer.write_all(&bytes).expect("feed pipe");
+    drop(writer);
+    blocked.wait().expect("blocked request completes");
+    queued.wait().expect("queued request completes");
+    assert_eq!(service.metrics().rejected_queue_full, rejected);
+    service.shutdown();
+    rejected
+}
+
+fn main() {
+    let args = parse_args();
+    let engine = build_engine();
+    let total_requests = args.clients * args.requests_per_client;
+    let traces: Vec<Trace> =
+        (0..total_requests).map(|i| synthetic_trace(args.trace_len, i as u64)).collect();
+    let total_windows: usize = traces.iter().map(|t| engine.sliding().output_len(t.len())).sum();
+    println!(
+        "serving fleet: {} clients x {} requests x {} samples = {total_windows} windows",
+        args.clients, args.requests_per_client, args.trace_len
+    );
+
+    // Ground truth (and warm-up): per-trace serial locate.
+    let expected: Vec<Vec<usize>> = traces.iter().map(|t| engine.locate(t)).collect();
+
+    // Interleaved measurement (B, S, B, S, …) so machine-speed drift hits
+    // both sides of each rep pair equally and cancels in the ratio.
+    const REPS: usize = 3;
+    let mut batch_reps = [std::time::Duration::ZERO; REPS];
+    let mut service_reps = [std::time::Duration::ZERO; REPS];
+    let mut metrics = None;
+    for rep in 0..REPS {
+        let t0 = Instant::now();
+        let batched = engine.locate_batch(&traces);
+        batch_reps[rep] = t0.elapsed();
+        assert_eq!(batched, expected, "locate_batch diverged from locate");
+        let (elapsed, m) = run_service_rep(&traces, args.clients, &expected);
+        service_reps[rep] = elapsed;
+        metrics = Some(m);
+    }
+    let metrics = metrics.expect("REPS > 0");
+
+    // Median rep pair (same estimator as the other benches): every reported
+    // number comes from one pair, so throughputs and the speedup agree.
+    let mut pair_order: Vec<usize> = (0..REPS).collect();
+    pair_order.sort_by(|&a, &b| {
+        let ra = batch_reps[a].as_secs_f64() / service_reps[a].as_secs_f64();
+        let rb = batch_reps[b].as_secs_f64() / service_reps[b].as_secs_f64();
+        ra.partial_cmp(&rb).expect("finite ratios")
+    });
+    let median_pair = pair_order[REPS / 2];
+    let batch_elapsed = batch_reps[median_pair];
+    let service_elapsed = service_reps[median_pair];
+    let batch_wps = total_windows as f64 / batch_elapsed.as_secs_f64();
+    let service_wps = total_windows as f64 / service_elapsed.as_secs_f64();
+    println!("locate_batch:  {batch_elapsed:>8.2?}  ({batch_wps:>10.1} windows/s)");
+    println!("service:       {service_elapsed:>8.2?}  ({service_wps:>10.1} windows/s)");
+
+    let p50_ms = metrics.p50_latency.as_secs_f64() * 1e3;
+    let p99_ms = metrics.p99_latency.as_secs_f64() * 1e3;
+    println!(
+        "latency: p50 {p50_ms:.1} ms, p99 {p99_ms:.1} ms | batch fill {:.2} ({} batches)",
+        metrics.batch_fill_ratio, metrics.batches
+    );
+    assert!(metrics.p50_latency <= metrics.p99_latency, "quantiles must be ordered");
+    assert!(
+        metrics.batch_fill_ratio > 0.0 && metrics.batch_fill_ratio <= 1.0,
+        "fill ratio out of range: {}",
+        metrics.batch_fill_ratio
+    );
+
+    // Acceptance: the service must sustain >= 0.9x of locate_batch on the
+    // same fleet. The noise floor is calibrated from the worst rep-to-rep
+    // spread this run showed (capped at 10%), like the engine bench.
+    let spread = |reps: &[std::time::Duration; REPS]| {
+        let min = reps.iter().min().expect("REPS > 0").as_secs_f64();
+        let max = reps.iter().max().expect("REPS > 0").as_secs_f64();
+        (max - min) / min
+    };
+    let noise = spread(&batch_reps).max(spread(&service_reps)).min(0.10);
+    let speedup =
+        (batch_elapsed.as_secs_f64() / service_elapsed.as_secs_f64() * 100.0).round() / 100.0;
+    println!("speedup service vs locate_batch: {speedup:.2}x");
+    assert!(
+        speedup >= 0.9 * (1.0 - noise),
+        "service throughput regressed below 0.9x locate_batch: {speedup:.2} \
+         (measured rep noise {:.1}%)",
+        noise * 100.0
+    );
+
+    let rejected_burst = queue_full_burst(args.trace_len.min(50_000));
+    println!("backpressure burst: {rejected_burst} typed QueueFull rejections");
+
+    let json = format!(
+        "{{\n  \"bench\": \"locator_service\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"trace_len\": {},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"windows_per_sec_batch_ref\": {batch_wps:.2},\n  \"windows_per_sec_service\": {service_wps:.2},\n  \"speedup_service_vs_batch\": {speedup:.2},\n  \"batch_fill_ratio\": {:.3},\n  \"scheduler_batches\": {},\n  \"p50_latency_ms\": {p50_ms:.3},\n  \"p99_latency_ms\": {p99_ms:.3},\n  \"queue_full_rejections\": {rejected_burst}\n}}\n",
+        args.clients,
+        args.requests_per_client,
+        args.trace_len,
+        metrics.batch_fill_ratio,
+        metrics.batches,
+    );
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write benchmark json");
+    println!("wrote {}", args.out);
+}

@@ -1,0 +1,86 @@
+//! A single shared `LocatorEngine` hammered from many threads must behave
+//! exactly like a serial one: `locate` and `locate_streamed`, for the f32
+//! and the quantized i8 model, are pure functions of the trace — no hidden
+//! mutable state, no cross-thread interference, bit-identical outputs.
+//! (This is the invariant the locate service's coalescing scheduler is
+//! built on.)
+
+use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
+use sca_trace::Trace;
+
+fn tiny_engine(seed: u64) -> LocatorEngine {
+    LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed }),
+        SlidingWindowClassifier::new(16, 4).with_batch_size(8),
+        Segmenter::default(),
+    )
+}
+
+fn noisy_trace(len: usize, seed: u64) -> Trace {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    Trace::from_samples(
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                (i as f32 * 0.07).sin() + 0.6 * noise
+            })
+            .collect(),
+    )
+}
+
+fn hammer(engine: &LocatorEngine, what: &str) {
+    const THREADS: usize = 8;
+    const TRACES: usize = 4;
+    const ROUNDS: usize = 3;
+    let traces: Vec<Trace> = (0..TRACES).map(|i| noisy_trace(420 + 40 * i, i as u64)).collect();
+    // Serial ground truth, computed before any concurrency exists.
+    let expected: Vec<(Vec<f32>, Vec<usize>, Vec<usize>)> = traces
+        .iter()
+        .map(|t| {
+            let (scores, starts) = engine.locate_detailed(t);
+            let streamed = engine.locate_streamed(t, 100).unwrap();
+            (scores, starts, streamed)
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let traces = &traces;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let i = (thread + round) % TRACES;
+                    let (scores, starts, streamed) = &expected[i];
+                    let (got_scores, got_starts) = engine.locate_detailed(&traces[i]);
+                    assert_eq!(
+                        &got_starts, starts,
+                        "{what}: thread {thread} round {round} trace {i}: starts diverged"
+                    );
+                    assert_eq!(got_scores.len(), scores.len());
+                    for (w, (a, b)) in got_scores.iter().zip(scores).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{what}: thread {thread} trace {i}: score {w} diverged"
+                        );
+                    }
+                    assert_eq!(
+                        &engine.locate_streamed(&traces[i], 100).unwrap(),
+                        streamed,
+                        "{what}: thread {thread} round {round} trace {i}: streamed starts diverged"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn shared_f32_engine_is_bit_identical_under_thread_hammering() {
+    hammer(&tiny_engine(11), "f32");
+}
+
+#[test]
+fn shared_quantized_engine_is_bit_identical_under_thread_hammering() {
+    hammer(&tiny_engine(11).quantize(), "i8");
+}

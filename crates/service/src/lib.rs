@@ -1,0 +1,912 @@
+//! # locsvc — the concurrent locate service
+//!
+//! [`sca_locator::LocatorEngine`] is `Send + Sync` and persistable, but every
+//! caller so far drives it synchronously: one thread, one trace, one result.
+//! A serving deployment sees something else entirely — many clients
+//! submitting traces of wildly different sizes at once, some in memory, some
+//! streamed from disk, some arriving over a socket that cannot seek. This
+//! crate is the request-queue front-end for that workload:
+//!
+//! * **Bounded admission.** [`LocatorService::submit_trace`] and friends
+//!   either enqueue the request or refuse it *immediately* with a typed
+//!   [`Rejected`] — [`Rejected::QueueFull`] is backpressure, not an
+//!   afterthought. Nothing inside the service buffers without bound.
+//! * **Cross-request window coalescing.** Worker threads do not score one
+//!   request at a time: they pull up to a tile's worth of windows from *as
+//!   many queued requests as it takes* (front of the queue first, same model
+//!   only) and pack them into one `[B, 1, N]` batch, so the packed
+//!   `MR=4×NR=16` GEMM micro-kernels of `tinynn` run full tiles even when
+//!   every individual request is tiny. Per-window scores are independent of
+//!   batch composition (the invariant every chunked/threaded parity test in
+//!   `sca-locator` pins), so the demuxed per-request results are
+//!   **bit-identical** to [`sca_locator::LocatorEngine::locate`] /
+//!   [`sca_locator::LocatorEngine::locate_streamed`].
+//! * **Per-request deadlines.** A request that outsits its deadline in the
+//!   queue is dropped at the next scheduling point and completes with
+//!   [`ServiceError::DeadlineExceeded`] instead of occupying the cores that
+//!   could still serve fresher work.
+//! * **Graceful drain.** [`LocatorService::shutdown`] (also run on drop)
+//!   stops admission, lets the workers finish every admitted request, then
+//!   joins them — no request already accepted is ever dropped.
+//! * **Non-seekable ingest.** [`LocatorService::submit_reader`] accepts a
+//!   plain [`std::io::Read`] — a pipe, a socket — through
+//!   [`sca_trace::SequentialTraceSource`], which carries the window-tail
+//!   overlap between chunks in memory so the forward-only stream still
+//!   yields the exact chunk geometry of the seekable path.
+//! * **Wire protocol.** [`net`] adds a thin length-prefixed frame protocol
+//!   over [`std::net::TcpListener`]: clients ship little-endian `f32`
+//!   samples, the service answers with located CO start samples. Frames are
+//!   parsed with the same bounded, typed-error discipline as the model and
+//!   trace file formats.
+//! * **Observability.** [`LocatorService::metrics`] snapshots queue depth,
+//!   batch fill ratio, rejection counters and p50/p99 latency
+//!   ([`MetricsSnapshot`]).
+//!
+//! ## Scheduling in one paragraph
+//!
+//! Every admitted request owns a *current chunk* (the whole trace for
+//! in-memory requests; one streaming chunk otherwise) and sits in a FIFO
+//! ready queue. A worker claims up to `tile_windows` consecutive windows,
+//! crossing request boundaries but never model boundaries; fully-claimed
+//! requests leave the queue while their scores are still in flight. Scores
+//! scatter back into a per-request span; the worker that completes a span
+//! either segments it (in-memory: [`sca_locator::Segmenter`] on the full
+//! signal, exactly `locate`) or pushes it into the request's
+//! [`sca_locator::StreamingSegmenter`] and re-enqueues the request for its
+//! next chunk (exactly `locate_streamed`). FIFO claiming keeps head-of-line
+//! latency low; coalescing keeps the kernels fed when the queue is a crowd
+//! of small requests.
+//!
+//! ## Example
+//!
+//! ```
+//! use locsvc::{LocatorService, RequestOptions, ServiceConfig};
+//! use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
+//! use sca_trace::Trace;
+//!
+//! let engine = LocatorEngine::new(
+//!     CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 1 }),
+//!     SlidingWindowClassifier::new(16, 4),
+//!     Segmenter::default(),
+//! );
+//! let expected: Vec<Vec<usize>> = (0..4)
+//!     .map(|i| Trace::from_samples((0..200).map(|x| ((x + i) as f32 * 0.1).sin()).collect()))
+//!     .map(|t| engine.locate(&t))
+//!     .collect();
+//!
+//! let service = LocatorService::start(vec![engine], ServiceConfig::default());
+//! let model = service.model_ids()[0];
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let trace =
+//!             Trace::from_samples((0..200).map(|x| ((x + i) as f32 * 0.1).sin()).collect());
+//!         service.submit_trace(model, trace, RequestOptions::default()).unwrap()
+//!     })
+//!     .collect();
+//! for (ticket, expected) in tickets.into_iter().zip(expected) {
+//!     assert_eq!(ticket.wait().unwrap().starts, expected);
+//! }
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod net;
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sca_locator::{LocatorEngine, StreamingSegmenter, WindowScorer};
+use sca_trace::{SequentialTraceSource, Trace, TraceError, TraceSource};
+use tinynn::Workspace;
+
+pub use metrics::MetricsSnapshot;
+
+// ---------------------------------------------------------------------------
+// Public request/response surface
+// ---------------------------------------------------------------------------
+
+/// Identifies one of the engines a service serves (see
+/// [`LocatorService::model_ids`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(usize);
+
+impl ModelId {
+    /// Builds a model id from a raw engine slot index (as carried on the
+    /// wire). Validated against the registered engines at submission.
+    pub fn from_index(index: usize) -> Self {
+        ModelId(index)
+    }
+
+    /// The engine slot index inside the service.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Per-request knobs; `Default` is a no-deadline, service-default request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// Complete with [`ServiceError::DeadlineExceeded`] instead of scoring
+    /// if this much time passes before the scheduler can serve the request.
+    pub deadline: Option<Duration>,
+    /// Chunk size (samples) for streamed requests; `None` uses
+    /// [`ServiceConfig::chunk_len`]. Ignored for in-memory traces.
+    pub chunk_len: Option<usize>,
+    /// Also return the raw sliding-window score signal in
+    /// [`LocateResult::scores`] (costs O(windows) memory per request).
+    pub collect_scores: bool,
+}
+
+/// Why a submission was refused at the door (admission control). The request
+/// was **not** enqueued; nothing was buffered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded queue is at capacity — backpressure; retry later.
+    QueueFull {
+        /// The configured in-flight request bound.
+        capacity: usize,
+    },
+    /// The service no longer accepts work (shutdown in progress).
+    ShuttingDown,
+    /// No engine is registered under the given model id.
+    UnknownModel {
+        /// The rejected model index.
+        model: usize,
+        /// Number of registered engines.
+        models: usize,
+    },
+    /// The declared trace length exceeds [`ServiceConfig::max_trace_len`].
+    TooLong {
+        /// Declared sample count.
+        len: usize,
+        /// The configured admission bound.
+        max: usize,
+    },
+    /// A request parameter is invalid (e.g. a zero chunk length).
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "request queue full ({capacity} in flight)")
+            }
+            Rejected::ShuttingDown => write!(f, "service is shutting down"),
+            Rejected::UnknownModel { model, models } => {
+                write!(f, "unknown model {model} (service has {models})")
+            }
+            Rejected::TooLong { len, max } => {
+                write!(f, "declared trace length {len} exceeds the admission bound {max}")
+            }
+            Rejected::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why an *admitted* request failed to produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request's deadline passed before (or while) it was scheduled.
+    DeadlineExceeded,
+    /// The request's trace source failed mid-stream (I/O error, truncated
+    /// stream, rewind on a pipe, …).
+    Source(TraceError),
+    /// The service stopped before the request completed (worker panic —
+    /// graceful shutdown drains instead).
+    Stopped,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded before scoring"),
+            ServiceError::Source(e) => write!(f, "trace source failed: {e}"),
+            ServiceError::Stopped => write!(f, "service stopped before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A completed locate request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocateResult {
+    /// Located CO start samples — bit-identical to
+    /// [`sca_locator::LocatorEngine::locate`] (in-memory) /
+    /// [`sca_locator::LocatorEngine::locate_streamed`] (streamed).
+    pub starts: Vec<usize>,
+    /// Number of sliding windows scored.
+    pub windows: usize,
+    /// The raw score signal, if [`RequestOptions::collect_scores`] was set.
+    pub scores: Option<Vec<f32>>,
+    /// Admission-to-completion latency.
+    pub latency: Duration,
+}
+
+/// A claim check for an admitted request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<LocateResult, ServiceError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes (result or typed failure).
+    pub fn wait(self) -> Result<LocateResult, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Stopped))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<LocateResult, ServiceError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Service sizing and limits; `Default` suits tests and single-host serving.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker thread count (`0` = one per available core).
+    pub workers: usize,
+    /// Maximum admitted-but-incomplete requests; submissions beyond it are
+    /// rejected with [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Windows per packed cross-request batch. The default matches the
+    /// sliding classifier's batch size; per-window scores do not depend on
+    /// it (only throughput does).
+    pub tile_windows: usize,
+    /// Default chunk length (samples) for streamed requests.
+    pub chunk_len: usize,
+    /// Admission bound on declared trace lengths (`usize::MAX` = unbounded).
+    pub max_trace_len: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 64,
+            tile_windows: 64,
+            chunk_len: 1 << 20,
+            max_trace_len: usize::MAX,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal scheduler state
+// ---------------------------------------------------------------------------
+//
+// Lock order (acquire left before right, release any time):
+//
+//     output  →  state  →  claim
+//
+// * `state` (the scheduler mutex + condvar) guards the ready queue and the
+//   in-flight count.
+// * each request's `claim` guards its claim cursor over the current chunk;
+//   claimed only with `state` held (or from the exclusive Load step).
+// * each request's `output` guards its score span, segmentation state and
+//   completion channel; never acquired while holding `state` or `claim`.
+//
+// A request's current chunk is immutable behind an `Arc` from the moment it
+// is published in the claim state until every score landed, so workers read
+// its samples without any lock.
+
+/// An immutable span of samples backing a contiguous run of windows. Window
+/// `w` of the chunk starts at sample `w * stride` of `samples` (the chunk is
+/// cut on the stride grid, exactly like the streaming classifier's chunks).
+struct Chunk {
+    window_count: usize,
+    samples: Vec<f32>,
+}
+
+struct ClaimState {
+    chunk: Option<Arc<Chunk>>,
+    /// Next unclaimed window offset within the chunk.
+    next: usize,
+}
+
+/// Where completed score spans go.
+enum Sink {
+    /// Single-chunk in-memory request: segment the full signal at the end
+    /// (the `locate` path).
+    Whole,
+    /// Multi-chunk streamed request: incremental segmentation, next chunk
+    /// loaded on demand (the `locate_streamed` path).
+    Streaming {
+        source: Box<dyn TraceSource + Send>,
+        segmenter: Option<StreamingSegmenter>,
+        windows_per_chunk: usize,
+        total_windows: usize,
+        /// First window of the next chunk to load.
+        next_first: usize,
+    },
+}
+
+struct OutputState {
+    /// Completion channel; `None` once the request completed (ok or error).
+    done: Option<SyncSender<Result<LocateResult, ServiceError>>>,
+    /// Set when the request was dropped (deadline/source failure); late
+    /// scatters from in-flight batches are discarded.
+    canceled: bool,
+    /// Score span of the current chunk (window offset → score).
+    span: Vec<f32>,
+    /// Unscored windows remaining in the current chunk.
+    remaining: usize,
+    /// Total windows scored across all chunks.
+    scored: usize,
+    /// Full score signal, when the request asked for it.
+    collected: Option<Vec<f32>>,
+    sink: Sink,
+}
+
+struct ActiveRequest {
+    model: usize,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    claim: Mutex<ClaimState>,
+    output: Mutex<OutputState>,
+}
+
+struct SchedState {
+    ready: VecDeque<Arc<ActiveRequest>>,
+    /// Admitted and not yet completed (the queue-capacity gauge).
+    pending: usize,
+    accepting: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    engines: Vec<LocatorEngine>,
+    cfg: ServiceConfig,
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    counters: metrics::Counters,
+}
+
+/// One window-run claimed from a request's current chunk.
+struct Claim {
+    req: Arc<ActiveRequest>,
+    chunk: Arc<Chunk>,
+    /// First claimed window offset within the chunk.
+    first: usize,
+    count: usize,
+}
+
+enum Step {
+    Exit,
+    Batch(Vec<Claim>),
+    Load(Arc<ActiveRequest>),
+    Expire(Arc<ActiveRequest>),
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// A running locate service: worker threads, a bounded request queue and one
+/// or more [`LocatorEngine`]s (see the [crate docs](crate) for the
+/// architecture).
+#[derive(Debug)]
+pub struct LocatorService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("engines", &self.engines.len()).finish_non_exhaustive()
+    }
+}
+
+impl LocatorService {
+    /// Starts a service owning `engines`, spawning the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty or a config limit is zero — these are
+    /// deployment constants, not request data.
+    pub fn start(engines: Vec<LocatorEngine>, cfg: ServiceConfig) -> Self {
+        assert!(!engines.is_empty(), "a service needs at least one engine");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be non-zero");
+        assert!(cfg.tile_windows > 0, "tile window count must be non-zero");
+        assert!(cfg.chunk_len > 0, "chunk length must be non-zero");
+        let shared = Arc::new(Shared {
+            engines,
+            cfg,
+            state: Mutex::new(SchedState {
+                ready: VecDeque::new(),
+                pending: 0,
+                accepting: true,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            counters: metrics::Counters::default(),
+        });
+        let workers = if cfg.workers == 0 { tinynn::parallel::max_threads() } else { cfg.workers };
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("locsvc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a service worker failed")
+            })
+            .collect();
+        Self { shared, workers: Mutex::new(handles) }
+    }
+
+    /// The model ids of the engines this service serves, in registration
+    /// order.
+    pub fn model_ids(&self) -> Vec<ModelId> {
+        (0..self.shared.engines.len()).map(ModelId).collect()
+    }
+
+    /// The engine behind a model id.
+    pub fn engine(&self, model: ModelId) -> Option<&LocatorEngine> {
+        self.shared.engines.get(model.0)
+    }
+
+    /// Submits an in-memory trace. The result's starts are bit-identical to
+    /// [`LocatorEngine::locate`] on the same trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Rejected`] — queue full, unknown model, over the
+    /// length bound, or shutting down — without buffering anything.
+    pub fn submit_trace(
+        &self,
+        model: ModelId,
+        trace: Trace,
+        opts: RequestOptions,
+    ) -> Result<Ticket, Rejected> {
+        let engine = self.checked_engine(model, trace.len())?;
+        let sliding = *engine.sliding();
+        let total = sliding.output_len(trace.len());
+        let chunk = Arc::new(Chunk { window_count: total, samples: trace.into_samples() });
+        self.enqueue(model, opts, total, Some(chunk), Sink::Whole)
+    }
+
+    /// Submits a request served by a [`TraceSource`] — typically an on-disk
+    /// [`sca_trace::FileTraceSource`] — scored chunk by chunk in
+    /// O(chunk) memory. The result's starts are bit-identical to
+    /// [`LocatorEngine::locate_streamed`] with the same chunk length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Rejected`] on admission failure; source I/O errors
+    /// after admission surface through the ticket as
+    /// [`ServiceError::Source`].
+    pub fn submit_source(
+        &self,
+        model: ModelId,
+        source: Box<dyn TraceSource + Send>,
+        opts: RequestOptions,
+    ) -> Result<Ticket, Rejected> {
+        let engine = self.checked_engine(model, source.len())?;
+        let sliding = *engine.sliding();
+        let chunk_len = opts.chunk_len.unwrap_or(self.shared.cfg.chunk_len);
+        if chunk_len == 0 {
+            return Err(
+                self.reject_other(Rejected::InvalidRequest("chunk length must be non-zero".into()))
+            );
+        }
+        let total = sliding.output_len(source.len());
+        let sink = Sink::Streaming {
+            source,
+            segmenter: Some(StreamingSegmenter::new(
+                *engine.segmenter().config(),
+                sliding.stride(),
+            )),
+            windows_per_chunk: sliding.output_len(chunk_len).max(1),
+            total_windows: total,
+            next_first: 0,
+        };
+        self.enqueue(model, opts, total, None, sink)
+    }
+
+    /// Submits a request ingesting `declared_len` little-endian `f32`
+    /// samples from a forward-only byte stream (pipe, socket) through a
+    /// [`SequentialTraceSource`]. Chunk geometry — and therefore every
+    /// score — matches [`Self::submit_source`] over a seekable source of the
+    /// same samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Rejected`] on admission failure (including a
+    /// declared length whose byte size overflows); stream truncation after
+    /// admission surfaces through the ticket as [`ServiceError::Source`].
+    pub fn submit_reader<R: Read + Send + 'static>(
+        &self,
+        model: ModelId,
+        reader: R,
+        declared_len: usize,
+        opts: RequestOptions,
+    ) -> Result<Ticket, Rejected> {
+        let source = SequentialTraceSource::new(reader, declared_len)
+            .map_err(|e| self.reject_other(Rejected::InvalidRequest(e.to_string())))?;
+        self.submit_source(model, Box::new(source), opts)
+    }
+
+    /// A point-in-time copy of the service counters and latency quantiles.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let (depth, in_flight) = {
+            let st = self.shared.state.lock().expect("scheduler mutex poisoned");
+            (st.ready.len(), st.pending)
+        };
+        self.shared.counters.snapshot(depth, in_flight, self.shared.cfg.tile_windows)
+    }
+
+    /// Stops admission, drains every admitted request, then joins the
+    /// workers. Idempotent; also run on drop. Submissions during or after
+    /// the drain are rejected with [`Rejected::ShuttingDown`].
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("scheduler mutex poisoned");
+            st.accepting = false;
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for handle in handles {
+            handle.join().expect("service worker panicked");
+        }
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn checked_engine(&self, model: ModelId, len: usize) -> Result<&LocatorEngine, Rejected> {
+        let Some(engine) = self.shared.engines.get(model.0) else {
+            return Err(self.reject_other(Rejected::UnknownModel {
+                model: model.0,
+                models: self.shared.engines.len(),
+            }));
+        };
+        if len > self.shared.cfg.max_trace_len {
+            return Err(
+                self.reject_other(Rejected::TooLong { len, max: self.shared.cfg.max_trace_len })
+            );
+        }
+        Ok(engine)
+    }
+
+    fn reject_other(&self, why: Rejected) -> Rejected {
+        self.shared.counters.rejected_other.fetch_add(1, Ordering::Relaxed);
+        why
+    }
+
+    /// Admission + enqueue, or the zero-window fast path.
+    fn enqueue(
+        &self,
+        model: ModelId,
+        opts: RequestOptions,
+        total_windows: usize,
+        chunk: Option<Arc<Chunk>>,
+        sink: Sink,
+    ) -> Result<Ticket, Rejected> {
+        let shared = &self.shared;
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        if total_windows == 0 {
+            // Too short for a single window: same answer `locate` gives,
+            // without occupying a queue slot.
+            {
+                let st = shared.state.lock().expect("scheduler mutex poisoned");
+                if !st.accepting {
+                    return Err(Rejected::ShuttingDown);
+                }
+            }
+            let engine = &shared.engines[model.0];
+            let starts = engine.segmenter().segment(&[], engine.sliding().stride());
+            shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            shared.counters.latency.record(Duration::ZERO);
+            let scores = opts.collect_scores.then(Vec::new);
+            let _ =
+                tx.send(Ok(LocateResult { starts, windows: 0, scores, latency: Duration::ZERO }));
+            return Ok(Ticket { rx });
+        }
+        let submitted = Instant::now();
+        let req = Arc::new(ActiveRequest {
+            model: model.0,
+            deadline: opts.deadline.map(|d| submitted + d),
+            submitted,
+            claim: Mutex::new(ClaimState {
+                next: 0,
+                chunk: match &chunk {
+                    Some(c) => Some(Arc::clone(c)),
+                    None => None,
+                },
+            }),
+            output: Mutex::new(OutputState {
+                done: Some(tx),
+                canceled: false,
+                span: match &chunk {
+                    Some(c) => vec![0.0; c.window_count],
+                    None => Vec::new(),
+                },
+                remaining: chunk.as_ref().map_or(0, |c| c.window_count),
+                scored: 0,
+                collected: opts.collect_scores.then(|| Vec::with_capacity(total_windows)),
+                sink,
+            }),
+        });
+        {
+            let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+            if !st.accepting {
+                return Err(Rejected::ShuttingDown);
+            }
+            if st.pending >= shared.cfg.queue_capacity {
+                shared.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejected::QueueFull { capacity: shared.cfg.queue_capacity });
+            }
+            st.pending += 1;
+            st.ready.push_back(req);
+            shared.work_ready.notify_all();
+        }
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { rx })
+    }
+}
+
+impl Drop for LocatorService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    // Scoring must stay sequential inside a worker: the workers themselves
+    // are the parallelism (same rule as `locate_batch`'s trace stealing).
+    let _serial = tinynn::parallel::serial_region();
+    let mut ws = Workspace::new();
+    let mut scores = Vec::new();
+    loop {
+        match next_step(shared) {
+            Step::Exit => break,
+            Step::Batch(batch) => score_batch(shared, &mut ws, &mut scores, &batch),
+            Step::Load(req) => load_chunk(shared, &req),
+            Step::Expire(req) => expire(shared, &req),
+        }
+    }
+}
+
+/// Blocks until there is something to do and returns it. Claiming crosses
+/// request boundaries (FIFO order) but not model boundaries, and stops at a
+/// request whose next chunk is not loaded yet — loading is its own step so
+/// no lock is held across I/O.
+fn next_step(shared: &Shared) -> Step {
+    let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+    loop {
+        let now = Instant::now();
+        let mut batch: Vec<Claim> = Vec::new();
+        let mut claimed = 0usize;
+        let mut model: Option<usize> = None;
+        while claimed < shared.cfg.tile_windows {
+            let Some(front) = st.ready.front() else { break };
+            if front.deadline.is_some_and(|d| d <= now) {
+                let req = st.ready.pop_front().expect("front just observed");
+                if batch.is_empty() {
+                    return Step::Expire(req);
+                }
+                // Score the batch in hand first; the expired request is
+                // re-examined (and expired) on the next pass.
+                st.ready.push_front(req);
+                break;
+            }
+            if model.is_some_and(|m| m != front.model) {
+                break;
+            }
+            let mut claim = front.claim.lock().expect("claim mutex poisoned");
+            match claim.chunk.clone() {
+                None => {
+                    drop(claim);
+                    let req = st.ready.pop_front().expect("front just observed");
+                    if batch.is_empty() {
+                        return Step::Load(req);
+                    }
+                    // Batch in hand: leave the load for the next pass.
+                    st.ready.push_front(req);
+                    break;
+                }
+                Some(chunk) => {
+                    let avail = chunk.window_count - claim.next;
+                    if avail == 0 {
+                        // Fully claimed; scores still in flight elsewhere.
+                        drop(claim);
+                        st.ready.pop_front();
+                        continue;
+                    }
+                    let take = avail.min(shared.cfg.tile_windows - claimed);
+                    let first = claim.next;
+                    claim.next += take;
+                    let drained = claim.next == chunk.window_count;
+                    drop(claim);
+                    model = Some(front.model);
+                    batch.push(Claim { req: Arc::clone(front), chunk, first, count: take });
+                    claimed += take;
+                    if drained {
+                        st.ready.pop_front();
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
+            return Step::Batch(batch);
+        }
+        if st.shutdown && st.pending == 0 {
+            return Step::Exit;
+        }
+        st = shared.work_ready.wait(st).expect("scheduler mutex poisoned");
+    }
+}
+
+/// Packs the claimed windows into one `[B, 1, N]` tensor, scores it through
+/// the shared weights, and scatters the scores back per request. Row
+/// staging is byte-for-byte the sliding classifier's (copy, standardize in
+/// place, score via `score_windows_into`), so the scores are bit-identical
+/// to the single-request paths regardless of how requests were packed.
+fn score_batch(shared: &Shared, ws: &mut Workspace, scores: &mut Vec<f32>, batch: &[Claim]) {
+    let engine = &shared.engines[batch[0].req.model];
+    let sliding = engine.sliding();
+    let (n, stride, standardize) = (sliding.window_len(), sliding.stride(), sliding.standardize());
+    let total: usize = batch.iter().map(|c| c.count).sum();
+    let mut input = ws.uninit_tensor(&[total, 1, n]);
+    let mut row = 0usize;
+    for c in batch {
+        let data = input.data_mut();
+        for w in c.first..c.first + c.count {
+            let dst = &mut data[row * n..(row + 1) * n];
+            dst.copy_from_slice(&c.chunk.samples[w * stride..w * stride + n]);
+            if standardize {
+                sca_trace::dsp::standardize_in_place(dst);
+            }
+            row += 1;
+        }
+    }
+    engine.model().score_windows_into(&input, ws, scores);
+    ws.recycle(input);
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared.counters.batched_windows.fetch_add(total as u64, Ordering::Relaxed);
+
+    let mut offset = 0usize;
+    for c in batch {
+        let span = &scores[offset..offset + c.count];
+        offset += c.count;
+        let mut out = c.req.output.lock().expect("output mutex poisoned");
+        if out.canceled {
+            continue;
+        }
+        out.span[c.first..c.first + c.count].copy_from_slice(span);
+        out.remaining -= c.count;
+        if out.remaining == 0 {
+            finish_chunk(shared, &c.req, &mut out);
+        }
+    }
+}
+
+/// Runs with the request's output lock held, after the last score of the
+/// current chunk landed: feed the span to segmentation and either complete
+/// the request or queue it for its next chunk.
+fn finish_chunk(shared: &Shared, req: &Arc<ActiveRequest>, out: &mut OutputState) {
+    let engine = &shared.engines[req.model];
+    out.scored += out.span.len();
+    if let Some(collected) = &mut out.collected {
+        collected.extend_from_slice(&out.span);
+    }
+    match &mut out.sink {
+        Sink::Whole => {
+            let starts = engine.segmenter().segment(&out.span, engine.sliding().stride());
+            complete(shared, req, out, Ok(starts));
+        }
+        Sink::Streaming { segmenter, total_windows, next_first, .. } => {
+            segmenter
+                .as_mut()
+                .expect("streaming segmenter taken before the last chunk")
+                .push(&out.span);
+            if *next_first >= *total_windows {
+                let starts = segmenter
+                    .take()
+                    .expect("streaming segmenter taken before the last chunk")
+                    .finish();
+                complete(shared, req, out, Ok(starts));
+            } else {
+                // Hand the request back to the queue; a worker will load
+                // its next chunk (the claim state already shows "no
+                // chunk": the drained one is cleared here).
+                req.claim.lock().expect("claim mutex poisoned").chunk = None;
+                let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+                st.ready.push_back(Arc::clone(req));
+                shared.work_ready.notify_all();
+            }
+        }
+    }
+}
+
+/// Loads the next chunk of a streamed request (the exclusive owner while the
+/// request is out of the queue), then puts it back at the *front* — it was
+/// at the head, and FIFO latency order should survive the I/O detour.
+fn load_chunk(shared: &Shared, req: &Arc<ActiveRequest>) {
+    let engine = &shared.engines[req.model];
+    let sliding = engine.sliding();
+    let (n, stride) = (sliding.window_len(), sliding.stride());
+    let mut out = req.output.lock().expect("output mutex poisoned");
+    if out.canceled || out.done.is_none() {
+        return;
+    }
+    let Sink::Streaming { source, windows_per_chunk, total_windows, next_first, .. } =
+        &mut out.sink
+    else {
+        unreachable!("only streamed requests ever need a chunk load")
+    };
+    let first = *next_first;
+    let last = (first + *windows_per_chunk).min(*total_windows);
+    let sample_start = first * stride;
+    let sample_end = (last - 1) * stride + n;
+    let mut samples = vec![0.0f32; sample_end - sample_start];
+    if let Err(e) = source.fill(sample_start, &mut samples) {
+        out.canceled = true;
+        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        complete(shared, req, &mut out, Err(ServiceError::Source(e)));
+        return;
+    }
+    *next_first = last;
+    let count = last - first;
+    out.span.clear();
+    out.span.resize(count, 0.0);
+    out.remaining = count;
+    let chunk = Arc::new(Chunk { window_count: count, samples });
+    {
+        let mut claim = req.claim.lock().expect("claim mutex poisoned");
+        claim.chunk = Some(chunk);
+        claim.next = 0;
+    }
+    drop(out);
+    let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+    st.ready.push_front(Arc::clone(req));
+    shared.work_ready.notify_all();
+}
+
+/// Completes a request whose deadline passed while it waited.
+fn expire(shared: &Shared, req: &Arc<ActiveRequest>) {
+    let mut out = req.output.lock().expect("output mutex poisoned");
+    if out.done.is_none() {
+        return; // completed in the meantime
+    }
+    out.canceled = true;
+    shared.counters.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    complete(shared, req, &mut out, Err(ServiceError::DeadlineExceeded));
+}
+
+/// Delivers the final result (with the output lock held) and releases the
+/// request's queue slot.
+fn complete(
+    shared: &Shared,
+    req: &Arc<ActiveRequest>,
+    out: &mut OutputState,
+    result: Result<Vec<usize>, ServiceError>,
+) {
+    let Some(tx) = out.done.take() else { return };
+    let latency = req.submitted.elapsed();
+    let result = result.map(|starts| {
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        shared.counters.latency.record(latency);
+        LocateResult { starts, windows: out.scored, scores: out.collected.take(), latency }
+    });
+    // The ticket may have been dropped; completion still releases the slot.
+    let _ = tx.send(result);
+    let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+    st.pending -= 1;
+    shared.work_ready.notify_all();
+}

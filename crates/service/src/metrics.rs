@@ -1,0 +1,169 @@
+//! Service observability: lock-free counters and a log-bucketed latency
+//! histogram, snapshotted on demand.
+//!
+//! Every counter is a relaxed atomic updated from the hot paths (admission,
+//! batch dispatch, completion); a [`MetricsSnapshot`] is a plain copy taken
+//! at one instant, so readers never contend with the scheduler. Latency
+//! quantiles come from a fixed power-of-two histogram (microsecond buckets):
+//! `p50`/`p99` are upper bounds of the bucket containing the quantile —
+//! at most 2× the true value, which is the resolution that matters for a
+//! "bounded p99" regression guard, at zero allocation and zero locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds, so the histogram spans 1 µs … ~17 min.
+const BUCKETS: usize = 30;
+
+/// A power-of-two-bucketed latency histogram with atomic buckets.
+#[derive(Debug, Default)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub(crate) fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX).max(1);
+        let bucket = (us.ilog2() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (0..=1), or zero when
+    /// nothing has been recorded.
+    fn quantile(&self, q: f64) -> Duration {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Cap the top bucket's bound by the true observed maximum.
+                let bound_us = 1u64 << (i + 1).min(63);
+                return Duration::from_micros(bound_us.min(self.max_us.load(Ordering::Relaxed)));
+            }
+        }
+        Duration::from_micros(self.max_us.load(Ordering::Relaxed))
+    }
+}
+
+/// The service's live counters (crate-internal; snapshot via
+/// [`MetricsSnapshot`]).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub rejected_deadline: AtomicU64,
+    pub rejected_other: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_windows: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        in_flight: usize,
+        tile: usize,
+    ) -> MetricsSnapshot {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_windows = self.batched_windows.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_other: self.rejected_other.load(Ordering::Relaxed),
+            batches,
+            batched_windows,
+            batch_fill_ratio: if batches == 0 {
+                0.0
+            } else {
+                batched_windows as f64 / (batches * tile as u64) as f64
+            },
+            queue_depth,
+            in_flight,
+            p50_latency: self.latency.quantile(0.50),
+            p99_latency: self.latency.quantile(0.99),
+            max_latency: Duration::from_micros(self.latency.max_us.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A consistent-enough copy of the service metrics at one instant.
+///
+/// Counts are monotone over the service lifetime; `queue_depth` and
+/// `in_flight` are gauges. `batch_fill_ratio` is the fraction of dispatched
+/// tile capacity actually carrying windows — 1.0 means every packed batch
+/// ran the GEMM micro-kernels with full tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted past backpressure (includes later failures).
+    pub submitted: u64,
+    /// Requests completed with located starts.
+    pub completed: u64,
+    /// Requests that failed after admission (source I/O errors).
+    pub failed: u64,
+    /// Submissions rejected with [`crate::Rejected::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Admitted requests dropped because their deadline passed in queue.
+    pub rejected_deadline: u64,
+    /// Submissions rejected for other typed reasons (unknown model, too
+    /// long, invalid parameters, shutdown).
+    pub rejected_other: u64,
+    /// Packed cross-request batches dispatched to the GEMM kernels.
+    pub batches: u64,
+    /// Total windows carried by those batches.
+    pub batched_windows: u64,
+    /// `batched_windows / (batches * tile)` — mean tile fill.
+    pub batch_fill_ratio: f64,
+    /// Requests currently queued for the scheduler (gauge).
+    pub queue_depth: usize,
+    /// Requests admitted and not yet completed (gauge; bounded by the
+    /// configured queue capacity).
+    pub in_flight: usize,
+    /// Median request latency (admission → completion; bucket upper bound).
+    pub p50_latency: Duration,
+    /// 99th-percentile request latency (bucket upper bound).
+    pub p99_latency: Duration,
+    /// Worst observed request latency.
+    pub max_latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_recorded_latencies() {
+        let h = LatencyHistogram::default();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 >= Duration::from_millis(50), "p50 {p50:?}");
+        assert!(p50 <= Duration::from_millis(128), "p50 {p50:?}");
+        assert!(p99 >= Duration::from_millis(99), "p99 {p99:?}");
+        assert!(p99 <= Duration::from_millis(100), "p99 {p99:?} capped by observed max");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+}

@@ -1,0 +1,658 @@
+//! A thin binary frame protocol over TCP for the locate service.
+//!
+//! One connection carries a sequence of request/response pairs, processed in
+//! order. All integers are little-endian; samples are IEEE-754 `f32` LE,
+//! matching the raw trace file format.
+//!
+//! **Request frame** (`SCLQ`):
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `b"SCLQ"` |
+//! | 4      | 1    | protocol version (`1`) |
+//! | 5      | 1    | model index |
+//! | 6      | 1    | flags — bit 0: streamed ingest (score while receiving) |
+//! | 7      | 1    | reserved (zero) |
+//! | 8      | 4    | deadline in ms (`0` = none) |
+//! | 12     | 8    | sample count |
+//! | 20     | 4·n  | samples, `f32` LE |
+//!
+//! **Response frame** (`SCLR`):
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `b"SCLR"` |
+//! | 4      | 1    | protocol version (`1`) |
+//! | 5      | 1    | [`Status`] |
+//! | 6      | 2    | reserved (zero) |
+//! | 8      | 8    | start count |
+//! | 16     | 8·k  | located CO start samples, `u64` LE |
+//!
+//! Like the model and trace file readers, the parser never allocates from an
+//! unvalidated length: sample and start counts are bounded *before* any
+//! buffer is sized, and violations surface as typed [`FrameError`]s.
+//!
+//! With the streamed-ingest flag set the payload is fed to the engine
+//! through a [`sca_trace::SequentialTraceSource`] *while it arrives* — the
+//! service never holds more than one chunk of the trace in memory, so a
+//! client can ship a multi-gigabyte capture over a socket. Without the flag
+//! the payload is buffered and scored as an in-memory trace (lowest latency
+//! for small traces).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::{LocatorService, ModelId, Rejected, RequestOptions, ServiceError};
+
+/// Request frame magic.
+pub const REQUEST_MAGIC: [u8; 4] = *b"SCLQ";
+/// Response frame magic.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"SCLR";
+/// Wire protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Request flag bit 0: stream the payload into the engine as it arrives.
+pub const FLAG_STREAMED: u8 = 1;
+
+const REQUEST_HEADER_LEN: usize = 20;
+const RESPONSE_HEADER_LEN: usize = 16;
+
+/// Why a frame could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame does not start with the expected magic.
+    BadMagic {
+        /// The four bytes actually read.
+        found: [u8; 4],
+    },
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u8),
+    /// A declared count exceeds the configured bound — refused before any
+    /// allocation.
+    Oversized {
+        /// The declared element count.
+        declared: u64,
+        /// The configured maximum.
+        max: u64,
+    },
+    /// The connection ended mid-frame.
+    Truncated,
+    /// Any other socket-level I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => write!(f, "bad frame magic {found:02x?}"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "declared count {declared} exceeds the frame bound {max}")
+            }
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::Io(msg) => write!(f, "socket error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e.to_string())
+        }
+    }
+}
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Request completed; the frame carries the located starts.
+    Ok = 0,
+    /// Rejected by backpressure ([`Rejected::QueueFull`]); retry later.
+    QueueFull = 1,
+    /// The request's deadline passed before it was scored.
+    DeadlineExceeded = 2,
+    /// The request was malformed (unknown model, over the length bound, …).
+    Invalid = 3,
+    /// The payload stream failed mid-request (e.g. truncated ingest).
+    SourceFailed = 4,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown = 5,
+}
+
+impl Status {
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::QueueFull),
+            2 => Some(Status::DeadlineExceeded),
+            3 => Some(Status::Invalid),
+            4 => Some(Status::SourceFailed),
+            5 => Some(Status::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Located CO start samples (empty unless [`Status::Ok`]).
+    pub starts: Vec<u64>,
+}
+
+/// The parsed fixed-size part of a request frame (payload read separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Engine slot the request targets.
+    pub model: u8,
+    /// Flag byte (see [`FLAG_STREAMED`]).
+    pub flags: u8,
+    /// Deadline in milliseconds (`0` = none).
+    pub deadline_ms: u32,
+    /// Declared payload sample count.
+    pub sample_count: u64,
+}
+
+impl RequestHeader {
+    /// Whether the payload should be streamed into the engine as it arrives.
+    pub fn streamed(&self) -> bool {
+        self.flags & FLAG_STREAMED != 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+/// Writes one request frame: header, then the samples as `f32` LE.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_request<W: Write>(
+    mut w: W,
+    model: u8,
+    flags: u8,
+    deadline_ms: u32,
+    samples: &[f32],
+) -> io::Result<()> {
+    let mut header = [0u8; REQUEST_HEADER_LEN];
+    header[..4].copy_from_slice(&REQUEST_MAGIC);
+    header[4] = PROTOCOL_VERSION;
+    header[5] = model;
+    header[6] = flags;
+    header[8..12].copy_from_slice(&deadline_ms.to_le_bytes());
+    header[12..20].copy_from_slice(&(samples.len() as u64).to_le_bytes());
+    w.write_all(&header)?;
+    let mut buf = Vec::with_capacity(4096.min(samples.len() * 4));
+    for block in samples.chunks(1024) {
+        buf.clear();
+        for s in block {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Reads and validates a request header. `max_samples` bounds the declared
+/// payload before anything is allocated.
+///
+/// # Errors
+///
+/// Returns a typed [`FrameError`] for bad magic, version or bound
+/// violations, truncation, or socket failures.
+pub fn read_request_header<R: Read>(
+    mut r: R,
+    max_samples: u64,
+) -> Result<RequestHeader, FrameError> {
+    let mut header = [0u8; REQUEST_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[..4] != REQUEST_MAGIC {
+        return Err(FrameError::BadMagic { found: [header[0], header[1], header[2], header[3]] });
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion(header[4]));
+    }
+    let deadline_ms = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice"));
+    let sample_count = u64::from_le_bytes(header[12..20].try_into().expect("8-byte slice"));
+    if sample_count > max_samples {
+        return Err(FrameError::Oversized { declared: sample_count, max: max_samples });
+    }
+    Ok(RequestHeader { model: header[5], flags: header[6], deadline_ms, sample_count })
+}
+
+/// Writes one response frame.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response<W: Write>(mut w: W, status: Status, starts: &[usize]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(RESPONSE_HEADER_LEN + starts.len() * 8);
+    frame.extend_from_slice(&RESPONSE_MAGIC);
+    frame.push(PROTOCOL_VERSION);
+    frame.push(status as u8);
+    frame.extend_from_slice(&[0u8; 2]);
+    frame.extend_from_slice(&(starts.len() as u64).to_le_bytes());
+    for s in starts {
+        frame.extend_from_slice(&(*s as u64).to_le_bytes());
+    }
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one response frame. `max_starts` bounds the declared start count
+/// before the result vector is allocated.
+///
+/// # Errors
+///
+/// Returns a typed [`FrameError`] for bad magic, version or bound
+/// violations, an unknown status byte, truncation, or socket failures.
+pub fn read_response<R: Read>(mut r: R, max_starts: u64) -> Result<Response, FrameError> {
+    let mut header = [0u8; RESPONSE_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[..4] != RESPONSE_MAGIC {
+        return Err(FrameError::BadMagic { found: [header[0], header[1], header[2], header[3]] });
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion(header[4]));
+    }
+    let status = Status::from_byte(header[5])
+        .ok_or_else(|| FrameError::Io(format!("unknown status byte {}", header[5])))?;
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    if count > max_starts {
+        return Err(FrameError::Oversized { declared: count, max: max_starts });
+    }
+    let mut starts = vec![0u64; count as usize];
+    let mut buf = [0u8; 8];
+    for s in &mut starts {
+        r.read_exact(&mut buf)?;
+        *s = u64::from_le_bytes(buf);
+    }
+    Ok(Response { status, starts })
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server-side limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Largest sample count a request frame may declare (bounds both the
+    /// in-memory buffer and the streamed drain).
+    pub max_frame_samples: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        // 2^28 samples = 1 GiB of payload; far above any test trace, far
+        // below an allocation-of-death.
+        Self { max_frame_samples: 1 << 28 }
+    }
+}
+
+/// A running TCP front-end; stop with [`ServerHandle::stop`] (also run on
+/// drop). The underlying [`LocatorService`] outlives the server and keeps
+/// serving in-process submissions.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    /// Live connection sockets, shut down on stop so handler threads
+    /// blocked in a frame read wake up and exit. Handlers remove their own
+    /// entry when their connection ends.
+    conns: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections, waits for in-flight connections to
+    /// finish their current request, and joins the server threads.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.stopping.store(true, Ordering::SeqCst);
+        // Kick handler threads out of their blocking frame reads: a peer
+        // idling between requests would otherwise block the join forever.
+        for stream in self.conns.lock().expect("connection list poisoned").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Serves the locate service on `listener`, one handler thread per
+/// connection.
+///
+/// # Errors
+///
+/// Fails if the listener's local address cannot be read or the accept
+/// thread cannot be spawned.
+pub fn serve(
+    service: Arc<LocatorService>,
+    listener: TcpListener,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let stopping = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>> =
+        Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let accept = {
+        let stopping = Arc::clone(&stopping);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new().name("locsvc-accept".into()).spawn(move || {
+            let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            let mut next_id = 0u64;
+            for stream in listener.incoming() {
+                if stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let id = next_id;
+                next_id += 1;
+                if let Ok(peer) = stream.try_clone() {
+                    conns.lock().expect("connection list poisoned").insert(id, peer);
+                }
+                let service = Arc::clone(&service);
+                let conns = Arc::clone(&conns);
+                if let Ok(handle) =
+                    std::thread::Builder::new().name("locsvc-conn".into()).spawn(move || {
+                        handle_connection(&service, &stream, cfg);
+                        conns.lock().expect("connection list poisoned").remove(&id);
+                    })
+                {
+                    // Reap finished handlers so the list stays bounded by
+                    // the number of *live* connections.
+                    handlers.retain(|h| !h.is_finished());
+                    handlers.push(handle);
+                }
+            }
+            for handle in handlers {
+                let _ = handle.join();
+            }
+        })?
+    };
+    Ok(ServerHandle { addr, stopping, conns, accept: Some(accept) })
+}
+
+/// Byte counter around a reader, shared with the connection handler so it
+/// knows how much of a streamed payload the service actually consumed.
+struct CountingReader<R> {
+    inner: R,
+    consumed: Arc<AtomicU64>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.consumed.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+fn handle_connection(service: &LocatorService, stream: &TcpStream, cfg: ServerConfig) {
+    loop {
+        // No buffering on the request side: for streamed ingest the service
+        // reads the payload straight off this socket, so the handler must
+        // never read ahead of the header.
+        let header = match read_request_header(stream, cfg.max_frame_samples) {
+            Ok(h) => h,
+            // Clean close between frames, a malformed frame, or a dead
+            // socket: without a parsable header there is no way to answer
+            // in-protocol, so just drop the connection.
+            Err(_) => return,
+        };
+        let options = RequestOptions {
+            deadline: (header.deadline_ms > 0)
+                .then(|| Duration::from_millis(u64::from(header.deadline_ms))),
+            ..RequestOptions::default()
+        };
+        let ok = if header.streamed() {
+            serve_streamed(service, stream, &header, options)
+        } else {
+            serve_buffered(service, stream, &header, options)
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+/// In-memory path: buffer the payload, submit, answer. Returns `false` when
+/// the connection should close.
+fn serve_buffered(
+    service: &LocatorService,
+    stream: &TcpStream,
+    header: &RequestHeader,
+    options: RequestOptions,
+) -> bool {
+    let mut samples = vec![0.0f32; header.sample_count as usize];
+    if sca_trace::io::read_f32s_le_into(stream, &mut samples).is_err() {
+        return false; // truncated payload: peer is gone or out of sync
+    }
+    let model = ModelId::from_index(header.model as usize);
+    let trace = sca_trace::Trace::from_samples(samples);
+    match service.submit_trace(model, trace, options) {
+        Ok(ticket) => respond_with_ticket(stream, ticket),
+        Err(rejected) => write_response(stream, rejection_status(&rejected), &[]).is_ok(),
+    }
+}
+
+/// Streamed path: hand the socket to the service through a
+/// [`sca_trace::SequentialTraceSource`], wait, drain the unread payload
+/// tail (samples past the last full window), answer.
+fn serve_streamed(
+    service: &LocatorService,
+    stream: &TcpStream,
+    header: &RequestHeader,
+    options: RequestOptions,
+) -> bool {
+    let payload_bytes = header.sample_count * 4;
+    let model = ModelId::from_index(header.model as usize);
+    let Ok(ingest) = stream.try_clone() else { return false };
+    let consumed = Arc::new(AtomicU64::new(0));
+    let reader =
+        CountingReader { inner: ingest.take(payload_bytes), consumed: Arc::clone(&consumed) };
+    match service.submit_reader(model, reader, header.sample_count as usize, options) {
+        Ok(ticket) => {
+            let result = ticket.wait();
+            // After a source failure the stream position is unknowable (the
+            // ingest hit EOF or an error mid-payload): don't try to drain,
+            // answer with the typed status, then close the connection.
+            if let Err(ServiceError::Source(_)) = &result {
+                let _ = write_response(stream, Status::SourceFailed, &[]);
+                return false;
+            }
+            // The engine never reads the trailing samples that don't fill a
+            // window; consume them so the next frame starts where the peer
+            // thinks it does.
+            let leftover = payload_bytes - consumed.load(Ordering::Relaxed).min(payload_bytes);
+            if drain(stream, leftover).is_err() {
+                return false;
+            }
+            respond_with_result(stream, result)
+        }
+        Err(rejected) => {
+            // The peer sends the payload regardless; drain it to stay in
+            // sync on the frame boundary.
+            drain(stream, payload_bytes).is_ok()
+                && write_response(stream, rejection_status(&rejected), &[]).is_ok()
+        }
+    }
+}
+
+fn respond_with_ticket(stream: &TcpStream, ticket: crate::Ticket) -> bool {
+    respond_with_result(stream, ticket.wait())
+}
+
+fn respond_with_result(
+    stream: &TcpStream,
+    result: Result<crate::LocateResult, ServiceError>,
+) -> bool {
+    match result {
+        Ok(located) => write_response(stream, Status::Ok, &located.starts).is_ok(),
+        Err(e) => write_response(stream, failure_status(&e), &[]).is_ok(),
+    }
+}
+
+fn rejection_status(rejected: &Rejected) -> Status {
+    match rejected {
+        Rejected::QueueFull { .. } => Status::QueueFull,
+        Rejected::ShuttingDown => Status::ShuttingDown,
+        Rejected::UnknownModel { .. } | Rejected::TooLong { .. } | Rejected::InvalidRequest(_) => {
+            Status::Invalid
+        }
+    }
+}
+
+fn failure_status(e: &ServiceError) -> Status {
+    match e {
+        ServiceError::DeadlineExceeded => Status::DeadlineExceeded,
+        ServiceError::Source(_) => Status::SourceFailed,
+        ServiceError::Stopped => Status::ShuttingDown,
+    }
+}
+
+fn drain(stream: &TcpStream, bytes: u64) -> io::Result<()> {
+    let copied = io::copy(&mut stream.take(bytes), &mut io::sink())?;
+    if copied < bytes {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A minimal blocking client for the frame protocol.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Bound on the start count a response may declare.
+    pub max_starts: u64,
+}
+
+impl Client {
+    /// Connects to a serving [`LocatorService`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Ok(Self { stream: TcpStream::connect(addr)?, max_starts: 1 << 24 })
+    }
+
+    /// Sends one locate request (buffered or streamed per `flags`) and
+    /// blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FrameError`] on socket failure or a malformed
+    /// response.
+    pub fn locate(
+        &mut self,
+        model: u8,
+        flags: u8,
+        deadline_ms: u32,
+        samples: &[f32],
+    ) -> Result<Response, FrameError> {
+        write_request(&self.stream, model, flags, deadline_ms, samples)?;
+        read_response(&self.stream, self.max_starts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_header_roundtrip() {
+        let mut frame = Vec::new();
+        write_request(&mut frame, 3, FLAG_STREAMED, 250, &[1.0, -2.5, 0.0]).unwrap();
+        let mut cursor = Cursor::new(frame);
+        let header = read_request_header(&mut cursor, 1 << 20).unwrap();
+        assert_eq!(
+            header,
+            RequestHeader { model: 3, flags: FLAG_STREAMED, deadline_ms: 250, sample_count: 3 }
+        );
+        assert!(header.streamed());
+        let mut payload = [0.0f32; 3];
+        sca_trace::io::read_f32s_le_into(&mut cursor, &mut payload).unwrap();
+        assert_eq!(payload, [1.0, -2.5, 0.0]);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut frame = Vec::new();
+        write_response(&mut frame, Status::Ok, &[7, 4096, 0]).unwrap();
+        let got = read_response(Cursor::new(frame), 1 << 20).unwrap();
+        assert_eq!(got, Response { status: Status::Ok, starts: vec![7, 4096, 0] });
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let err = read_request_header(Cursor::new(vec![0u8; REQUEST_HEADER_LEN]), 10).unwrap_err();
+        assert_eq!(err, FrameError::BadMagic { found: [0, 0, 0, 0] });
+    }
+
+    #[test]
+    fn oversized_declared_count_is_refused_before_allocation() {
+        let mut frame = Vec::new();
+        write_request(&mut frame, 0, 0, 0, &[0.0; 64]).unwrap();
+        let err = read_request_header(Cursor::new(frame), 63).unwrap_err();
+        assert_eq!(err, FrameError::Oversized { declared: 64, max: 63 });
+
+        let mut resp = Vec::new();
+        write_response(&mut resp, Status::Ok, &[1, 2, 3, 4]).unwrap();
+        let err = read_response(Cursor::new(resp), 3).unwrap_err();
+        assert_eq!(err, FrameError::Oversized { declared: 4, max: 3 });
+    }
+
+    #[test]
+    fn truncated_frames_are_typed() {
+        let mut frame = Vec::new();
+        write_response(&mut frame, Status::Ok, &[1, 2, 3]).unwrap();
+        for cut in [1, RESPONSE_HEADER_LEN - 1, RESPONSE_HEADER_LEN + 7] {
+            let err = read_response(Cursor::new(&frame[..cut]), 10).unwrap_err();
+            assert_eq!(err, FrameError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_typed() {
+        let mut frame = Vec::new();
+        write_request(&mut frame, 0, 0, 0, &[]).unwrap();
+        frame[4] = 9;
+        let err = read_request_header(Cursor::new(frame), 10).unwrap_err();
+        assert_eq!(err, FrameError::UnsupportedVersion(9));
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end tests of the TCP frame protocol: buffered and streamed
+//! ingest parity with the engine, request pipelining on one connection,
+//! concurrent clients, and the hostile-input edges (truncated payloads,
+//! bad magic, oversized declarations) — all answered or refused in-protocol
+//! without wedging the server.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use locsvc::net::{self, Client, FrameError, ServerConfig, Status, FLAG_STREAMED};
+use locsvc::{LocatorService, ServiceConfig};
+use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
+use sca_trace::Trace;
+
+fn tiny_engine(seed: u64) -> LocatorEngine {
+    LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed }),
+        SlidingWindowClassifier::new(16, 4).with_batch_size(8),
+        Segmenter::default(),
+    )
+}
+
+fn noisy_trace(len: usize, seed: u64) -> Trace {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    Trace::from_samples(
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                (i as f32 * 0.07).sin() + 0.6 * noise
+            })
+            .collect(),
+    )
+}
+
+fn start_server(cfg: ServerConfig) -> (Arc<LocatorService>, net::ServerHandle) {
+    let service = Arc::new(LocatorService::start(
+        vec![tiny_engine(13), tiny_engine(13).quantize()],
+        ServiceConfig { workers: 2, ..ServiceConfig::default() },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = net::serve(Arc::clone(&service), listener, cfg).unwrap();
+    (service, handle)
+}
+
+fn expected_starts(service: &LocatorService, model: usize, trace: &Trace) -> Vec<u64> {
+    service
+        .engine(service.model_ids()[model])
+        .unwrap()
+        .locate(trace)
+        .into_iter()
+        .map(|s| s as u64)
+        .collect()
+}
+
+#[test]
+fn one_connection_pipelines_buffered_and_streamed_requests() {
+    let (service, server) = start_server(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    for (round, &(model, len, streamed)) in
+        [(0usize, 500usize, false), (1, 333, true), (0, 700, true), (1, 61, false)]
+            .iter()
+            .enumerate()
+    {
+        let trace = noisy_trace(len, round as u64);
+        let flags = if streamed { FLAG_STREAMED } else { 0 };
+        let response = client.locate(model as u8, flags, 0, trace.samples()).unwrap();
+        assert_eq!(response.status, Status::Ok, "round {round}");
+        assert_eq!(
+            response.starts,
+            expected_starts(&service, model, &trace),
+            "round {round} (model {model}, streamed {streamed})"
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_get_their_own_bit_identical_answers() {
+    let (service, server) = start_server(ServerConfig::default());
+    let addr = server.addr();
+    let expected: Vec<Vec<u64>> =
+        (0..4u64).map(|i| expected_starts(&service, 0, &noisy_trace(400, i))).collect();
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..2usize {
+                    let i = (t + round) % 4;
+                    let flags = if (t + round) % 2 == 0 { 0 } else { FLAG_STREAMED };
+                    let response =
+                        client.locate(0, flags, 0, noisy_trace(400, i as u64).samples()).unwrap();
+                    assert_eq!(response.status, Status::Ok);
+                    assert_eq!(&response.starts, &expected[i], "client {t} round {round}");
+                }
+            });
+        }
+    });
+    server.stop();
+}
+
+#[test]
+fn unknown_model_is_answered_in_protocol() {
+    let (_service, server) = start_server(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    for flags in [0, FLAG_STREAMED] {
+        let response = client.locate(9, flags, 0, noisy_trace(100, 1).samples()).unwrap();
+        assert_eq!(response.status, Status::Invalid);
+        assert!(response.starts.is_empty());
+    }
+    server.stop();
+}
+
+#[test]
+fn truncated_streamed_payload_gets_source_failed_then_close() {
+    let (_service, server) = start_server(ServerConfig::default());
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    // Declare 128 samples but deliver only 32, then half-close: the service
+    // hits EOF mid-trace and must answer with the typed failure status.
+    let mut frame = Vec::new();
+    net::write_request(&mut frame, 0, FLAG_STREAMED, 0, noisy_trace(128, 1).samples()).unwrap();
+    let cut = 20 + 32 * 4;
+    (&stream).write_all(&frame[..cut]).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let response = net::read_response(&stream, 1 << 20).unwrap();
+    assert_eq!(response.status, Status::SourceFailed);
+    assert!(response.starts.is_empty());
+    // The server closes the connection after a mid-stream failure.
+    assert_eq!(net::read_response(&stream, 1 << 20).unwrap_err(), FrameError::Truncated);
+    server.stop();
+}
+
+#[test]
+fn bad_magic_closes_the_connection_without_wedging_the_server() {
+    let (service, server) = start_server(ServerConfig::default());
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    (&stream).write_all(b"GARBAGE.............").unwrap();
+    assert_eq!(net::read_response(&stream, 16).unwrap_err(), FrameError::Truncated);
+    // A well-formed client still gets served afterwards.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let trace = noisy_trace(300, 2);
+    let response = client.locate(0, 0, 0, trace.samples()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    assert_eq!(response.starts, expected_starts(&service, 0, &trace));
+    server.stop();
+}
+
+#[test]
+fn oversized_declared_sample_count_is_refused_before_allocation() {
+    let (_service, server) = start_server(ServerConfig { max_frame_samples: 256 });
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    // Header declares 2^40 samples (4 TiB): the server must drop the
+    // connection at the header, long before any buffer is sized.
+    let mut header = Vec::new();
+    net::write_request(&mut header, 0, 0, 0, &[]).unwrap();
+    header[12..20].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    (&stream).write_all(&header).unwrap();
+    assert_eq!(net::read_response(&stream, 16).unwrap_err(), FrameError::Truncated);
+    server.stop();
+}
+
+#[test]
+fn stop_is_idempotent_and_frees_the_port_for_the_service_to_keep_running() {
+    let (service, server) = start_server(ServerConfig::default());
+    server.stop();
+    // The in-process service survives its TCP front-end.
+    let model = service.model_ids()[0];
+    let trace = noisy_trace(200, 1);
+    let expected = service.engine(model).unwrap().locate(&trace);
+    let got = service
+        .submit_trace(model, trace, locsvc::RequestOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(got.starts, expected);
+    service.shutdown();
+}

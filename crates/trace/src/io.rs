@@ -130,6 +130,29 @@ pub fn read_f32s_le<R: Read>(mut reader: R, count: usize) -> std::io::Result<Vec
     Ok(out)
 }
 
+/// Reads exactly `out.len()` little-endian `f32` values into a
+/// caller-provided slice, in bounded chunks (no transient buffer ever exceeds
+/// [`READ_CHUNK_BYTES`]). The slice-filling counterpart of [`read_f32s_le`]
+/// for callers that own the destination — e.g. the carry-buffer sequential
+/// trace source, which decodes a socket or pipe straight into its chunk
+/// buffer.
+///
+/// # Errors
+///
+/// Propagates the underlying reader error (`UnexpectedEof` if the stream
+/// ends before `out` is full).
+pub fn read_f32s_le_into<R: Read>(mut reader: R, out: &mut [f32]) -> std::io::Result<()> {
+    let mut buf = [0u8; READ_CHUNK_BYTES];
+    for block in out.chunks_mut(READ_CHUNK_BYTES / 4) {
+        let bytes = &mut buf[..block.len() * 4];
+        reader.read_exact(bytes)?;
+        for (slot, quad) in block.iter_mut().zip(bytes.chunks_exact(4)) {
+            *slot = f32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]);
+        }
+    }
+    Ok(())
+}
+
 /// Writes an `i8` slice as raw bytes (two's complement, endianness-free).
 ///
 /// The counterpart of [`read_i8s`]; used for the quantised weight blocks of

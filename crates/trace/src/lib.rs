@@ -39,12 +39,14 @@
 pub mod dataset;
 pub mod dsp;
 pub mod io;
+pub mod sequential;
 pub mod source;
 pub mod stats;
 pub mod trace;
 pub mod window;
 
 pub use dataset::{Dataset, DatasetSplit, SplitRatios};
+pub use sequential::SequentialTraceSource;
 pub use source::{FileTraceFormat, FileTraceSource, TraceSource};
 pub use trace::{Trace, TraceMeta};
 pub use window::{Window, WindowLabel, WindowSlicer};

@@ -1,0 +1,295 @@
+//! Forward-only trace ingest for non-seekable inputs: [`SequentialTraceSource`].
+//!
+//! [`crate::FileTraceSource`] needs random access (seek or positional
+//! reads), which pipes, sockets and other live capture feeds cannot provide.
+//! [`SequentialTraceSource`] adapts any [`std::io::Read`] of little-endian
+//! `f32` samples with a *declared* length into a [`TraceSource`] whose
+//! [`TraceSource::fill`] accepts any **monotone** access pattern — each
+//! request may start at or after the previous request's start — which is
+//! exactly the pattern of the chunked sliding-window classifier: forward
+//! chunks whose heads overlap the previous chunk's tail by up to one window.
+//!
+//! The adapter keeps a *carry buffer* holding every sample from the current
+//! request's start up to the read frontier, so the overlapping head of the
+//! next chunk is served from memory while only the new tail is pulled from
+//! the reader. Memory is O(largest single fill) — for the streaming locate
+//! path that is one chunk — independent of the trace length. Requests that
+//! jump forward past the frontier discard the skipped samples; requests that
+//! reach back before the current carry fail with a typed
+//! [`TraceError::Io`] ("cannot rewind") instead of silently corrupting the
+//! stream.
+//!
+//! Decoding reuses the bounded-chunk primitives of [`crate::io`]
+//! ([`crate::io::read_f32s_le_into`]): the declared length is untrusted
+//! wire/header data, so no allocation is ever sized by it up front, a
+//! `len * 4` byte overflow is rejected at construction, and a stream that
+//! ends early surfaces a typed truncation error naming the missing range.
+
+use std::io::Read;
+use std::sync::Mutex;
+
+use crate::source::TraceSource;
+use crate::{Result, TraceError};
+
+/// A [`TraceSource`] over a non-seekable byte stream of little-endian `f32`
+/// samples with a declared sample count.
+///
+/// See the [module docs](self) for the access contract. `Sync` (required by
+/// [`TraceSource`]) is provided by an internal mutex; the intended use is
+/// still one logical consumer making monotone requests — concurrent fillers
+/// would interleave their positions and trip the rewind check.
+///
+/// # Example
+///
+/// ```
+/// use sca_trace::{SequentialTraceSource, TraceSource};
+///
+/// // Any `io::Read` works; a byte slice stands in for a pipe or socket.
+/// let bytes: Vec<u8> = [1.0f32, 2.0, 3.0, 4.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+/// let source = SequentialTraceSource::new(&bytes[..], 4).unwrap();
+/// let mut chunk = [0.0f32; 2];
+/// source.fill(0, &mut chunk).unwrap();
+/// assert_eq!(chunk, [1.0, 2.0]);
+/// // Overlapping forward read: the head comes from the carry buffer.
+/// source.fill(1, &mut chunk).unwrap();
+/// assert_eq!(chunk, [2.0, 3.0]);
+/// // Rewinding is impossible on a pipe — typed error, not corruption.
+/// assert!(source.fill(0, &mut chunk).is_err());
+/// ```
+pub struct SequentialTraceSource<R> {
+    len: usize,
+    inner: Mutex<Inner<R>>,
+}
+
+struct Inner<R> {
+    reader: R,
+    /// Absolute sample index of the next sample the reader will produce.
+    frontier: usize,
+    /// Absolute sample index of `carry[0]`.
+    carry_start: usize,
+    /// Retained samples `[carry_start, frontier)`.
+    carry: Vec<f32>,
+}
+
+impl<R: Read> SequentialTraceSource<R> {
+    /// Wraps `reader`, declaring that it carries exactly `len` little-endian
+    /// `f32` samples. The reader is only consumed as far as fills demand;
+    /// trailing bytes beyond `len * 4` are never touched (so a framed wire
+    /// stream stays aligned for whatever follows the sample payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if `len * 4` overflows the addressable
+    /// byte range — the declared length is untrusted wire data.
+    pub fn new(reader: R, len: usize) -> Result<Self> {
+        if len.checked_mul(4).is_none() {
+            return Err(TraceError::Io(format!(
+                "declared sample count {len} overflows the addressable byte range"
+            )));
+        }
+        Ok(Self {
+            len,
+            inner: Mutex::new(Inner { reader, frontier: 0, carry_start: 0, carry: Vec::new() }),
+        })
+    }
+
+    /// Number of samples already pulled from the underlying reader.
+    pub fn consumed(&self) -> usize {
+        self.inner.lock().expect("sequential source mutex poisoned").frontier
+    }
+
+    /// Consumes the adapter and returns the underlying reader, positioned
+    /// after the last sample any fill required.
+    pub fn into_inner(self) -> R {
+        self.inner.into_inner().expect("sequential source mutex poisoned").reader
+    }
+}
+
+impl<R> std::fmt::Debug for SequentialTraceSource<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (frontier, carried) = match self.inner.lock() {
+            Ok(inner) => (inner.frontier, inner.carry.len()),
+            Err(_) => (0, 0),
+        };
+        f.debug_struct("SequentialTraceSource")
+            .field("len", &self.len)
+            .field("frontier", &frontier)
+            .field("carried", &carried)
+            .finish()
+    }
+}
+
+impl<R: Read + Send> TraceSource for SequentialTraceSource<R> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn fill(&self, start: usize, out: &mut [f32]) -> Result<()> {
+        let end = match start.checked_add(out.len()) {
+            Some(end) if end <= self.len => end,
+            _ => {
+                return Err(TraceError::WindowOutOfBounds {
+                    start,
+                    len: out.len(),
+                    trace_len: self.len,
+                })
+            }
+        };
+        let mut inner = self.inner.lock().expect("sequential source mutex poisoned");
+        if start < inner.carry_start {
+            return Err(TraceError::Io(format!(
+                "non-seekable trace source cannot rewind to sample {start} \
+                 (already advanced past {})",
+                inner.carry_start
+            )));
+        }
+        if start >= inner.frontier {
+            // Jump forward: the skipped samples [frontier, start) are read
+            // and discarded in bounded chunks (a pipe cannot seek either).
+            let mut skip = start - inner.frontier;
+            let mut void = [0.0f32; 4096];
+            while skip > 0 {
+                let take = skip.min(void.len());
+                let frontier = inner.frontier;
+                crate::io::read_f32s_le_into(&mut inner.reader, &mut void[..take])
+                    .map_err(|e| truncation(e, frontier, self.len))?;
+                inner.frontier += take;
+                skip -= take;
+            }
+            inner.carry.clear();
+            inner.carry_start = start;
+        } else {
+            // Drop the part of the carry below the new start; monotone
+            // requests never need it again.
+            let drop = start - inner.carry_start;
+            inner.carry.drain(..drop);
+            inner.carry_start = start;
+        }
+        // Extend the carry up to `end` with fresh samples from the reader.
+        if end > inner.frontier {
+            let have = inner.carry.len();
+            let need = end - inner.frontier;
+            inner.carry.resize(have + need, 0.0);
+            let frontier = inner.frontier;
+            let Inner { reader, carry, .. } = &mut *inner;
+            crate::io::read_f32s_le_into(reader, &mut carry[have..])
+                .map_err(|e| truncation(e, frontier, self.len))?;
+            inner.frontier = end;
+        }
+        out.copy_from_slice(&inner.carry[..out.len()]);
+        Ok(())
+    }
+}
+
+/// Maps a decode failure to a typed trace error; an early EOF names the
+/// sample range the stream failed to deliver.
+fn truncation(e: std::io::Error, frontier: usize, declared: usize) -> TraceError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        TraceError::Io(format!(
+            "sequential trace stream truncated: ended within samples \
+             [{frontier}, {declared}) it declared"
+        ))
+    } else {
+        TraceError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    fn encode(samples: &[f32]) -> Vec<u8> {
+        samples.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn ramp(len: usize) -> Vec<f32> {
+        (0..len).map(|i| (i as f32) * 0.5 - 7.0).collect()
+    }
+
+    #[test]
+    fn monotone_overlapping_fills_match_in_memory() {
+        let samples = ramp(4096);
+        let bytes = encode(&samples);
+        let source = SequentialTraceSource::new(&bytes[..], samples.len()).unwrap();
+        // Forward chunks with overlapping heads — the classifier's pattern.
+        for (start, len) in [(0usize, 300usize), (256, 300), (512, 300), (700, 64), (700, 64)] {
+            let mut out = vec![0.0f32; len];
+            source.fill(start, &mut out).unwrap();
+            for (a, b) in out.iter().zip(samples[start..start + len].iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "start {start} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_jump_discards_skipped_samples() {
+        let samples = ramp(1000);
+        let bytes = encode(&samples);
+        let source = SequentialTraceSource::new(&bytes[..], samples.len()).unwrap();
+        let mut out = vec![0.0f32; 10];
+        source.fill(900, &mut out).unwrap();
+        assert_eq!(out, samples[900..910]);
+        assert_eq!(source.consumed(), 910);
+    }
+
+    #[test]
+    fn rewind_is_a_typed_error() {
+        let bytes = encode(&ramp(100));
+        let source = SequentialTraceSource::new(&bytes[..], 100).unwrap();
+        let mut out = vec![0.0f32; 10];
+        source.fill(50, &mut out).unwrap();
+        let err = source.fill(40, &mut out).unwrap_err();
+        assert!(matches!(err, TraceError::Io(ref m) if m.contains("cannot rewind")), "{err:?}");
+        // A re-read of the *current* start is still fine (carry serves it).
+        source.fill(50, &mut out).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_and_overflow_are_rejected() {
+        let bytes = encode(&ramp(8));
+        let source = SequentialTraceSource::new(&bytes[..], 8).unwrap();
+        let mut out = vec![0.0f32; 4];
+        assert!(matches!(
+            source.fill(6, &mut out).unwrap_err(),
+            TraceError::WindowOutOfBounds { .. }
+        ));
+        assert!(source.fill(usize::MAX, &mut out).is_err());
+        assert!(SequentialTraceSource::new(&bytes[..], usize::MAX).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_names_the_missing_range() {
+        // Declares 100 samples, delivers 60.
+        let bytes = encode(&ramp(60));
+        let source = SequentialTraceSource::new(&bytes[..], 100).unwrap();
+        let mut out = vec![0.0f32; 80];
+        let err = source.fill(0, &mut out).unwrap_err();
+        assert!(matches!(err, TraceError::Io(ref m) if m.contains("truncated")), "{err:?}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_unread() {
+        let samples = ramp(16);
+        let mut bytes = encode(&samples);
+        bytes.extend_from_slice(b"NEXTFRAME");
+        let mut cursor = std::io::Cursor::new(bytes);
+        let source = SequentialTraceSource::new(&mut cursor, 16).unwrap();
+        let mut out = vec![0.0f32; 16];
+        source.fill(0, &mut out).unwrap();
+        let reader = source.into_inner();
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(reader, &mut rest).unwrap();
+        assert_eq!(rest, b"NEXTFRAME");
+    }
+
+    #[test]
+    fn read_all_through_trace_source_round_trips() {
+        let samples = ramp(2048);
+        let bytes = encode(&samples);
+        let source = SequentialTraceSource::new(&bytes[..], samples.len()).unwrap();
+        let mut all = vec![0.0f32; samples.len()];
+        source.fill(0, &mut all).unwrap();
+        assert_eq!(Trace::from_samples(all).samples(), &samples[..]);
+    }
+}

@@ -25,15 +25,19 @@
 //!
 //! The standard library exposes no safe memory-mapping API and this workspace
 //! builds offline with `#![forbid(unsafe_code)]`, so the on-disk reader uses
-//! positional buffered reads behind a mutex instead of an `mmap`; the memory
-//! profile is the same (O(requested range), not O(trace)) and the access
-//! pattern of the streaming classifier — forward chunks with a small overlap
-//! — is exactly what the OS page cache prefetches well.
+//! positional reads instead of an `mmap`; the memory profile is the same
+//! (O(requested range), not O(trace)) and the access pattern of the
+//! streaming classifier — forward chunks with a small overlap — is exactly
+//! what the OS page cache prefetches well. On Unix the positional reads are
+//! the safe [`std::os::unix::fs::FileExt`] `pread`-family calls, which take
+//! `&File` and carry their own offset, so **concurrent fills never contend
+//! on a lock** — one open file can feed every client of a serving process at
+//! once. Platforms without positional reads fall back to a `Mutex<File>`
+//! seek-then-read (the pre-service behaviour).
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, Read, Seek, SeekFrom};
+use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 use crate::{Result, Trace, TraceError, TraceMeta};
 
@@ -136,7 +140,7 @@ enum FileKind {
 /// ```
 #[derive(Debug)]
 pub struct FileTraceSource {
-    file: Mutex<File>,
+    file: SharedFile,
     path: PathBuf,
     kind: FileKind,
     len: usize,
@@ -145,6 +149,88 @@ pub struct FileTraceSource {
 
 fn io_err(e: std::io::Error) -> TraceError {
     TraceError::Io(e.to_string())
+}
+
+/// A file shared by concurrent readers through positional reads.
+///
+/// On Unix this is a bare [`File`]: [`std::os::unix::fs::FileExt`]'s
+/// `read_at`/`read_exact_at` take `&File` and an explicit offset, so fills
+/// from many threads proceed in parallel without any serialisation (the
+/// kernel's `pread` never touches the shared cursor). Elsewhere positional
+/// reads are emulated by seek-then-read behind a mutex, restoring the old
+/// one-fill-at-a-time behaviour.
+#[derive(Debug)]
+struct SharedFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<File>,
+}
+
+impl SharedFile {
+    fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            Self { file }
+        }
+        #[cfg(not(unix))]
+        {
+            Self { file: std::sync::Mutex::new(file) }
+        }
+    }
+
+    /// Reads up to `buf.len()` bytes at absolute `offset`; returns the byte
+    /// count (0 at EOF). Does not disturb any other reader's position.
+    #[cfg(unix)]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+        std::os::unix::fs::FileExt::read_at(&self.file, buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+        use std::io::{Seek, SeekFrom};
+        let mut file = self.file.lock().expect("trace source mutex poisoned");
+        file.seek(SeekFrom::Start(offset))?;
+        file.read(buf)
+    }
+
+    /// Fills `buf` exactly from absolute `offset` (`UnexpectedEof` if the
+    /// file ends first).
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            let mut filled = 0usize;
+            while filled < buf.len() {
+                let n = self.read_at(&mut buf[filled..], offset + filled as u64)?;
+                if n == 0 {
+                    return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof));
+                }
+                filled += n;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A forward [`Read`] view of a [`SharedFile`] starting at a byte offset,
+/// built on positional reads so it carries its own cursor — many can be live
+/// at once. Wrapping one in a [`BufReader`] gives the text path its buffered
+/// line reads without ever locking the file on Unix.
+struct SharedFileCursor<'a> {
+    file: &'a SharedFile,
+    pos: u64,
+}
+
+impl Read for SharedFileCursor<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.file.read_at(buf, self.pos)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
 }
 
 impl FileTraceSource {
@@ -167,7 +253,7 @@ impl FileTraceSource {
         let len = usize::try_from(bytes / 4)
             .map_err(|_| TraceError::Io("trace file too large for this platform".into()))?;
         Ok(Self {
-            file: Mutex::new(file),
+            file: SharedFile::new(file),
             path,
             kind: FileKind::RawF32,
             len,
@@ -233,7 +319,13 @@ impl FileTraceSource {
         }
 
         let file = reader.into_inner().into_inner();
-        Ok(Self { file: Mutex::new(file), path, kind: FileKind::Text { index }, len: count, meta })
+        Ok(Self {
+            file: SharedFile::new(file),
+            path,
+            kind: FileKind::Text { index },
+            len: count,
+            meta,
+        })
     }
 
     /// Opens a trace file, sniffing the format from its first bytes: files
@@ -288,14 +380,16 @@ impl FileTraceSource {
     }
 
     fn fill_raw(&self, start: usize, out: &mut [f32]) -> Result<()> {
-        let mut file = self.file.lock().expect("trace source mutex poisoned");
-        file.seek(SeekFrom::Start(start as u64 * 4)).map_err(io_err)?;
-        // Bulk block reads, decoded a block at a time: this is the hot path
-        // of every streamed locate, so no per-sample read calls.
+        // Bulk positional block reads, decoded a block at a time: this is
+        // the hot path of every streamed locate, so no per-sample read
+        // calls — and on Unix no lock either, so concurrent clients of one
+        // file never serialise behind each other.
         let mut bytes = [0u8; 64 * 1024];
+        let mut offset = start as u64 * 4;
         for block in out.chunks_mut(bytes.len() / 4) {
             let raw = &mut bytes[..block.len() * 4];
-            file.read_exact(raw).map_err(io_err)?;
+            self.file.read_exact_at(raw, offset).map_err(io_err)?;
+            offset += raw.len() as u64;
             for (slot, quad) in block.iter_mut().zip(raw.chunks_exact(4)) {
                 *slot = f32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]);
             }
@@ -309,9 +403,8 @@ impl FileTraceSource {
         }
         let block = start / TEXT_INDEX_BLOCK;
         let offset = index[block];
-        let mut file = self.file.lock().expect("trace source mutex poisoned");
-        file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
-        let mut reader = BufReader::with_capacity(64 * 1024, &mut *file);
+        let mut reader =
+            BufReader::with_capacity(64 * 1024, SharedFileCursor { file: &self.file, pos: offset });
         let mut skip = start - block * TEXT_INDEX_BLOCK;
         let mut produced = 0usize;
         let mut line = String::new();

@@ -1,0 +1,160 @@
+//! Serving demo: one `LocatorService`, many concurrent clients, three
+//! ingest paths.
+//!
+//! A service is started over a single engine, then hit simultaneously by
+//!
+//! 1. four in-process client threads submitting in-memory traces,
+//! 2. a TCP client speaking the `SCLQ`/`SCLR` frame protocol (one buffered
+//!    and one streamed-ingest request on the same connection), and
+//! 3. an acquisition pipeline feeding samples through an OS pipe — the
+//!    service scores the trace *while it is being produced*, via
+//!    [`sca_locate::trace::SequentialTraceSource`], never holding more
+//!    than one chunk in memory.
+//!
+//! Every result is checked bit-identical to the direct `locate` /
+//! `locate_streamed` call, and the service's own metrics (batch fill,
+//! latency quantiles, queue gauges) are printed at the end.
+//!
+//! Run with: `cargo run --example service_demo --release`
+
+use sca_locate::locator::{
+    CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier,
+};
+use sca_locate::service::net::{self, Client, ServerConfig, Status, FLAG_STREAMED};
+use sca_locate::service::{LocatorService, RequestOptions, ServiceConfig};
+use sca_locate::trace::Trace;
+use std::io::Write;
+use std::sync::Arc;
+
+const TRACE_LEN: usize = 120_000;
+const PIPE_TRACE_LEN: usize = 300_000;
+const CHUNK_LEN: usize = 32_768;
+
+fn synthetic_trace(len: usize, seed: u64) -> Trace {
+    let mut state = 0x0123_4567_89AB_CDEF_u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Trace::from_samples(
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                let t = i as f32;
+                (t * 0.011).sin() + 0.5 * (t * 0.19).sin() + 0.25 * noise
+            })
+            .collect(),
+    )
+}
+
+fn build_engine() -> LocatorEngine {
+    // An untrained CNN keeps the demo fast; the serving plumbing is
+    // identical to a fitted engine's.
+    LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig { base_filters: 2, kernel_size: 3, seed: 9 }),
+        SlidingWindowClassifier::new(128, 32).with_batch_size(64),
+        Segmenter::default(),
+    )
+}
+
+fn main() {
+    let service = Arc::new(LocatorService::start(
+        vec![build_engine()],
+        ServiceConfig { queue_capacity: 32, ..ServiceConfig::default() },
+    ));
+    let model = service.model_ids()[0];
+    let reference = build_engine();
+
+    // --- 1. in-process clients ---------------------------------------------
+    let in_process = std::thread::spawn({
+        let service = Arc::clone(&service);
+        move || {
+            std::thread::scope(|scope| {
+                for client in 0..4u64 {
+                    let service = &service;
+                    scope.spawn(move || {
+                        for round in 0..2u64 {
+                            let seed = client * 10 + round;
+                            let trace = synthetic_trace(TRACE_LEN, seed);
+                            let ticket = service
+                                .submit_trace(model, trace, RequestOptions::default())
+                                .expect("queue sized for the demo");
+                            let result = ticket.wait().expect("request completes");
+                            println!(
+                                "[thread {client}] round {round}: {} COs in {:?}",
+                                result.starts.len(),
+                                result.latency
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    });
+
+    // --- 2. a TCP client over the frame protocol ---------------------------
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server =
+        net::serve(Arc::clone(&service), listener, ServerConfig::default()).expect("serve");
+    let tcp = std::thread::spawn({
+        let addr = server.addr();
+        move || {
+            let mut client = Client::connect(addr).expect("connect");
+            for (flags, label) in [(0, "buffered"), (FLAG_STREAMED, "streamed")] {
+                let trace = synthetic_trace(TRACE_LEN, 77);
+                let response = client.locate(0, flags, 0, trace.samples()).expect("tcp roundtrip");
+                assert_eq!(response.status, Status::Ok);
+                println!("[tcp] {label}: {} COs over the wire", response.starts.len());
+            }
+        }
+    });
+
+    // --- 3. pipe-fed acquisition: score while the producer writes ----------
+    let (reader, mut writer) = std::io::pipe().expect("pipe");
+    let producer = std::thread::spawn(move || {
+        // Emits the capture in small pieces, like an oscilloscope DMA.
+        let trace = synthetic_trace(PIPE_TRACE_LEN, 5);
+        let mut bytes = Vec::with_capacity(CHUNK_LEN * 4);
+        for piece in trace.samples().chunks(CHUNK_LEN) {
+            bytes.clear();
+            for s in piece {
+                bytes.extend_from_slice(&s.to_le_bytes());
+            }
+            writer.write_all(&bytes).expect("feed pipe");
+        }
+    });
+    let opts = RequestOptions { chunk_len: Some(CHUNK_LEN), ..RequestOptions::default() };
+    let pipe_ticket =
+        service.submit_reader(model, reader, PIPE_TRACE_LEN, opts).expect("submit pipe ingest");
+
+    let pipe_result = pipe_ticket.wait().expect("pipe request completes");
+    producer.join().expect("producer thread");
+    let expected = reference
+        .locate_streamed(&synthetic_trace(PIPE_TRACE_LEN, 5), CHUNK_LEN)
+        .expect("reference streamed locate");
+    assert_eq!(pipe_result.starts, expected, "pipe ingest must match locate_streamed");
+    println!(
+        "[pipe] {} samples scored during acquisition -> {} COs (bit-identical to locate_streamed)",
+        PIPE_TRACE_LEN,
+        pipe_result.starts.len()
+    );
+
+    in_process.join().expect("in-process clients");
+    tcp.join().expect("tcp client");
+    server.stop();
+
+    // Verify one in-memory submission against the direct engine call.
+    let trace = synthetic_trace(TRACE_LEN, 0);
+    let direct = reference.locate(&trace);
+    let served = service
+        .submit_trace(model, trace, RequestOptions::default())
+        .expect("submit")
+        .wait()
+        .expect("request completes");
+    assert_eq!(served.starts, direct, "served result must match the direct engine call");
+
+    let m = service.metrics();
+    println!(
+        "metrics: {} completed, {} batches (fill {:.2}), p50 {:?}, p99 {:?}",
+        m.completed, m.batches, m.batch_fill_ratio, m.p50_latency, m.p99_latency
+    );
+    Arc::try_unwrap(service).expect("all clients joined").shutdown();
+    println!("drained and shut down cleanly");
+}

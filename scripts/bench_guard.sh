@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
-# Benchmark regression guard: compares every `windows_per_sec_*` and
-# `speedup_*` metric of a freshly produced benchmark JSON against the
-# committed baseline and fails when any of them regresses by more than the
-# allowed percentage. The speedup metrics are machine-normalised ratios
-# (i8 vs f32 on the same run), so they guard the *relative* health of the
-# quantised path even across runner generations.
+# Benchmark regression guard: compares every `windows_per_sec_*`,
+# `speedup_*` and `*_latency_ms` metric of a freshly produced benchmark
+# JSON against the committed baseline and fails when any of them regresses
+# by more than the allowed percentage. Throughput and speedup metrics are
+# higher-is-better; `*_latency_ms` metrics are lower-is-better (a fresh
+# value *above* baseline by more than the budget fails). The speedup
+# metrics are machine-normalised ratios (i8 vs f32, service vs batch, on
+# the same run), so they guard the *relative* health of those paths even
+# across runner generations.
 #
 # Usage: bench_guard.sh <baseline.json> <fresh.json> [max_regression_pct]
 #
@@ -37,12 +40,21 @@ for f in "$baseline" "$fresh"; do
     fi
 done
 
-# Extracts `"key": value` pairs for keys matching windows_per_sec_* or
-# speedup_* from a single-object JSON file (the flat format every
-# BENCH_*.json here uses).
+# Extracts `"key": value` pairs for keys matching windows_per_sec_*,
+# speedup_* or *_latency_ms from a single-object JSON file (the flat format
+# every BENCH_*.json here uses).
 metrics() {
     tr -d ' ",' <"$1" \
-        | awk -F: '/^(windows_per_sec|speedup)_[A-Za-z0-9_]*:/ { print $1, $2 }'
+        | awk -F: '/^((windows_per_sec|speedup)_[A-Za-z0-9_]*|[A-Za-z0-9_]*_latency_ms):/ { print $1, $2 }'
+}
+
+# Lower-is-better metrics (latencies) regress upward; everything else
+# regresses downward.
+is_lower_better() {
+    case "$1" in
+        *_latency_ms) return 0 ;;
+        *) return 1 ;;
+    esac
 }
 
 status=0
@@ -60,7 +72,15 @@ while read -r key base_value; do
         continue
     fi
     found=1
-    if awk -v b="$base_value" -v f="$fresh_value" -v p="$budget" \
+    if is_lower_better "$key"; then
+        if awk -v b="$base_value" -v f="$fresh_value" -v p="$budget" \
+            'BEGIN { exit !(f > b * (1 + p / 100)) }'; then
+            echo "bench_guard: FAIL $key: $fresh_value > $base_value (allowed latency regression ${budget}%)"
+            status=1
+        else
+            echo "bench_guard: ok   $key: $fresh_value vs baseline $base_value (lower is better)"
+        fi
+    elif awk -v b="$base_value" -v f="$fresh_value" -v p="$budget" \
         'BEGIN { exit !(f < b * (1 - p / 100)) }'; then
         echo "bench_guard: FAIL $key: $fresh_value < $base_value (allowed regression ${budget}%)"
         status=1
@@ -76,7 +96,7 @@ while read -r key _; do
 done <"$tmp_fresh"
 
 if [ "$found" -eq 0 ]; then
-    echo "bench_guard: no windows_per_sec_*/speedup_* metrics found in $baseline" >&2
+    echo "bench_guard: no windows_per_sec_*/speedup_*/*_latency_ms metrics found in $baseline" >&2
     exit 2
 fi
 

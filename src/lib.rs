@@ -16,7 +16,10 @@
 //!   CNN, sliding-window classification, segmentation, alignment;
 //! * [`attack`] — the CPA attack used to validate the alignment quality;
 //! * [`baselines`] — the matched-filter and SAD template-matching locators the
-//!   paper compares against.
+//!   paper compares against;
+//! * [`service`] — the concurrent locate service: cross-request window
+//!   batching, bounded queues, non-seekable ingest and the TCP frame
+//!   protocol.
 //!
 //! ## Quick start
 //!
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use locsvc as service;
 pub use sca_attack as attack;
 pub use sca_baselines as baselines;
 pub use sca_ciphers as ciphers;
