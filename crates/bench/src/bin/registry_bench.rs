@@ -1,0 +1,194 @@
+//! Model-registry benchmark: cold-load latency, hot-swap latency, and
+//! steady-state multi-model serving throughput.
+//!
+//! Three measurements over SCALOCEN files saved from a scaled engine:
+//!
+//! 1. **Cold load** — `ModelRegistry::resolve` on a registered-but-evicted
+//!    model, i.e. the full disk→deserialise→pack path a request pays when
+//!    it faults a model in. Evicted and re-resolved per rep; the median
+//!    latency lands in the JSON.
+//! 2. **Hot swap** — `ModelRegistry::swap` installing a new generation
+//!    (load included) while the old one stays resident. This is the
+//!    operator-facing path, so its latency is guarded per commit.
+//! 3. **Steady state** — closed-loop clients hammering a service over two
+//!    registered models round-robin; aggregate windows/s with every result
+//!    asserted bit-identical to the direct `locate`. This catches any
+//!    registry-lookup overhead the scheduler would pay per admission.
+//!
+//! Usage: `registry_bench [--reps N] [--clients N] [--trace-len N]
+//! [--out PATH]` (defaults: 5 reps, 4 clients, 120,000 samples).
+
+use locsvc::{LocatorService, ModelRegistry, RequestOptions, ServiceConfig};
+use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
+use sca_trace::Trace;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WINDOW_LEN: usize = 128;
+const STRIDE: usize = 32;
+
+struct Args {
+    reps: usize,
+    clients: usize,
+    trace_len: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { reps: 5, clients: 4, trace_len: 120_000, out: "BENCH_registry.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match flag.as_str() {
+            "--reps" => args.reps = value("--reps").parse().expect("rep count"),
+            "--clients" => args.clients = value("--clients").parse().expect("client count"),
+            "--trace-len" => args.trace_len = value("--trace-len").parse().expect("trace len"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.reps > 0 && args.clients > 0);
+    args
+}
+
+fn synthetic_trace(len: usize, seed: u64) -> Trace {
+    let mut state = 0x0123_4567_89AB_CDEF_u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Trace::from_samples(
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                let t = i as f32;
+                (t * 0.013).sin() + 0.4 * (t * 0.11).sin() + 0.25 * noise
+            })
+            .collect(),
+    )
+}
+
+fn build_engine(seed: u64) -> LocatorEngine {
+    LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig { seed, ..CnnConfig::scaled() }),
+        SlidingWindowClassifier::new(WINDOW_LEN, STRIDE).with_batch_size(64),
+        Segmenter::default(),
+    )
+}
+
+fn temp_model(seed: u64) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("registry_bench_{seed}_{}", std::process::id()));
+    build_engine(seed).save(&path).expect("save model file");
+    path
+}
+
+fn median_ms(samples: &mut [Duration]) -> f64 {
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args = parse_args();
+    let path_a = temp_model(11);
+    let path_b = temp_model(22);
+    let model_bytes = build_engine(11).memory_footprint();
+    println!(
+        "model footprint: {:.2} MiB on load (weights + workspace)",
+        model_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // --- 1. cold-load latency: evict, then resolve faults the file in ------
+    let registry = ModelRegistry::default();
+    registry.register("a", &path_a).unwrap();
+    let mut cold = vec![Duration::ZERO; args.reps];
+    for rep in cold.iter_mut() {
+        let t0 = Instant::now();
+        let handle = registry.resolve("a").expect("cold load");
+        *rep = t0.elapsed();
+        assert_eq!(handle.generation(), 1);
+        registry.evict("a").expect("file-backed models evict");
+    }
+    let cold_load_ms = median_ms(&mut cold);
+    println!("cold load:  {cold_load_ms:>8.2} ms (median of {})", args.reps);
+
+    // --- 2. hot-swap latency: new generation installed atomically ----------
+    let resident = registry.resolve("a").unwrap();
+    let mut swap = vec![Duration::ZERO; args.reps];
+    for (k, rep) in swap.iter_mut().enumerate() {
+        let path = if k % 2 == 0 { &path_b } else { &path_a };
+        let t0 = Instant::now();
+        registry.swap("a", path).expect("swap");
+        *rep = t0.elapsed();
+    }
+    let swap_ms = median_ms(&mut swap);
+    // The pre-swap handle still pins generation 1's weights.
+    assert_eq!(resident.generation(), 1);
+    let stats = registry.stats();
+    assert_eq!(stats.swaps, args.reps as u64);
+    println!("hot swap:   {swap_ms:>8.2} ms (median of {})", args.reps);
+
+    // --- 3. steady-state two-model serving ---------------------------------
+    let registry = Arc::new(ModelRegistry::default());
+    registry.register("a", &path_a).unwrap();
+    registry.register("b", &path_b).unwrap();
+    let requests = args.clients * 4;
+    let traces: Vec<Trace> =
+        (0..requests).map(|i| synthetic_trace(args.trace_len, i as u64)).collect();
+    let names = ["a", "b"];
+    let engines = [build_engine(11), build_engine(22)];
+    let expected: Vec<Vec<usize>> =
+        traces.iter().enumerate().map(|(i, t)| engines[i % 2].locate(t)).collect();
+    let total_windows: usize =
+        traces.iter().map(|t| engines[0].sliding().output_len(t.len())).sum();
+
+    let mut steady = vec![Duration::ZERO; args.reps];
+    for rep in steady.iter_mut() {
+        let service = Arc::new(LocatorService::with_registry(
+            Arc::clone(&registry),
+            ServiceConfig { queue_capacity: requests + args.clients, ..ServiceConfig::default() },
+        ));
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for client in 0..args.clients {
+                let service = Arc::clone(&service);
+                let (traces, expected) = (&traces, &expected);
+                scope.spawn(move || {
+                    for req in (client..traces.len()).step_by(args.clients) {
+                        let got = service
+                            .submit_trace(
+                                names[req % 2],
+                                traces[req].clone(),
+                                RequestOptions::default(),
+                            )
+                            .expect("queue sized for the fleet")
+                            .wait()
+                            .expect("request completes");
+                        assert_eq!(got.starts, expected[req], "request {req} diverged");
+                    }
+                });
+            }
+        });
+        *rep = t0.elapsed();
+        service.shutdown();
+    }
+    let steady_elapsed = {
+        steady.sort();
+        steady[steady.len() / 2]
+    };
+    let steady_wps = total_windows as f64 / steady_elapsed.as_secs_f64();
+    println!(
+        "steady state (2 models, {} clients): {steady_elapsed:>8.2?} ({steady_wps:>10.1} windows/s)",
+        args.clients
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"model_registry\",\n  \"reps\": {},\n  \"clients\": {},\n  \"trace_len\": {},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"model_bytes\": {model_bytes},\n  \"total_windows\": {total_windows},\n  \"cold_load_latency_ms\": {cold_load_ms:.3},\n  \"swap_latency_ms\": {swap_ms:.3},\n  \"windows_per_sec_multimodel\": {steady_wps:.2}\n}}\n",
+        args.reps, args.clients, args.trace_len,
+    );
+    let mut file = std::fs::File::create(&args.out).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write benchmark json");
+    println!("wrote {}", args.out);
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}

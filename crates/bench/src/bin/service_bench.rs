@@ -98,7 +98,7 @@ fn run_service_rep(
         vec![build_engine()],
         ServiceConfig { queue_capacity: traces.len() + clients, ..ServiceConfig::default() },
     ));
-    let model = service.model_ids()[0];
+    let model = "model-0";
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..clients {
@@ -134,7 +134,7 @@ fn queue_full_burst(trace_len: usize) -> u64 {
         vec![build_engine()],
         ServiceConfig { workers: 1, queue_capacity: 2, ..ServiceConfig::default() },
     );
-    let model = service.model_ids()[0];
+    let model = "model-0";
     let feed = synthetic_trace(WINDOW_LEN * 4, 99);
     let blocked = service
         .submit_reader(model, reader, feed.len(), RequestOptions::default())

@@ -43,6 +43,7 @@
 //! ```
 
 use std::path::Path;
+use std::sync::Arc;
 
 use sca_trace::{Trace, TraceSource};
 use tinynn::{Tensor, Workspace};
@@ -73,6 +74,34 @@ pub enum EngineModel {
     Quantized(QuantizedCoLocatorCnn),
 }
 
+impl EngineModel {
+    /// Heap bytes the weight set keeps resident at serving time.
+    ///
+    /// For `f32` models this is the parameter and buffer storage; for
+    /// quantised models it counts the `i8` blocks *and* their derived
+    /// `i16`/pair-packed kernel operands plus the `f32` head (see
+    /// [`QuantizedCoLocatorCnn::resident_weight_bytes`]). This is the
+    /// per-model term a serving registry budgets against.
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            EngineModel::F32(cnn) => {
+                let params = cnn.param_count() * 4;
+                let buffers: usize = cnn.buffers().iter().map(|b| b.len() * 4).sum();
+                params + buffers
+            }
+            EngineModel::Quantized(qcnn) => qcnn.resident_weight_bytes(),
+        }
+    }
+
+    /// The architecture configuration behind either variant.
+    pub fn config(&self) -> &crate::cnn::CnnConfig {
+        match self {
+            EngineModel::F32(cnn) => cnn.config(),
+            EngineModel::Quantized(qcnn) => qcnn.config(),
+        }
+    }
+}
+
 impl WindowScorer for EngineModel {
     fn score_windows_into(&self, input: &Tensor, ws: &mut Workspace, scores: &mut Vec<f32>) {
         match self {
@@ -91,9 +120,13 @@ impl WindowScorer for EngineModel {
 /// worker threads. [`LocatorEngine::quantize`] derives a drop-in engine
 /// with `i8` weights that serves the same API from a quarter of the weight
 /// memory.
+/// The weight set is held behind an [`Arc`], so cloning an engine (or the
+/// [`Self::quantize`] of an already quantised engine) shares the weights
+/// instead of deep-copying them — a registry can hand out engine clones per
+/// request generation at the cost of a reference count.
 #[derive(Debug, Clone)]
 pub struct LocatorEngine {
-    model: EngineModel,
+    model: Arc<EngineModel>,
     sliding: SlidingWindowClassifier,
     segmenter: Segmenter,
 }
@@ -102,7 +135,7 @@ impl LocatorEngine {
     /// Assembles an engine from an already trained CNN and explicit inference
     /// parameters.
     pub fn new(cnn: CoLocatorCnn, sliding: SlidingWindowClassifier, segmenter: Segmenter) -> Self {
-        Self { model: EngineModel::F32(cnn), sliding, segmenter }
+        Self { model: Arc::new(EngineModel::F32(cnn)), sliding, segmenter }
     }
 
     /// Converts a trained [`CoLocator`] into an engine.
@@ -116,9 +149,31 @@ impl LocatorEngine {
         &self.model
     }
 
+    /// The reference-counted weight set itself — what a registry or service
+    /// pins per in-flight request so a hot swap can never free weights still
+    /// being scored against.
+    pub fn shared_model(&self) -> Arc<EngineModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// Estimated resident bytes of serving this engine: the weight set
+    /// ([`EngineModel::weight_bytes`]) plus a per-thread workspace estimate
+    /// for one scoring batch (`batch_size` windows staged as `[B, 1, N]`
+    /// input, the im2col expansion of the first convolution — the widest
+    /// intermediate — and the activation arena). The estimate is
+    /// deterministic in the engine's configuration, so an eviction budget
+    /// compares like with like across save/load cycles.
+    pub fn memory_footprint(&self) -> usize {
+        let weights = self.model.weight_bytes();
+        let kernel = self.model.config().kernel_size;
+        // [B, 1, N] staging + im2col [kernel, B·N] + ~2 activation copies.
+        let workspace = self.sliding.batch_size() * self.sliding.window_len() * (kernel + 3) * 4;
+        weights + workspace
+    }
+
     /// The trained `f32` CNN, or `None` for a quantised engine.
     pub fn cnn(&self) -> Option<&CoLocatorCnn> {
-        match &self.model {
+        match &*self.model {
             EngineModel::F32(cnn) => Some(cnn),
             EngineModel::Quantized(_) => None,
         }
@@ -126,7 +181,7 @@ impl LocatorEngine {
 
     /// `true` if this engine serves quantised (`i8`) weights.
     pub fn is_quantized(&self) -> bool {
-        matches!(self.model, EngineModel::Quantized(_))
+        matches!(&*self.model, EngineModel::Quantized(_))
     }
 
     /// Derives an engine serving the quantised (`i8` weights, per-channel
@@ -137,17 +192,18 @@ impl LocatorEngine {
     /// on representative trace windows instead. `locate` / `locate_batch`
     /// of the result are drop-in replacements whose scores track the `f32`
     /// engine within the quantisation error bound (see the parity tests);
-    /// quantising an already quantised engine is a plain copy.
+    /// quantising an already quantised engine shares the weights (a
+    /// reference-count bump, not a deep copy).
     pub fn quantize(&self) -> LocatorEngine {
-        let model = match &self.model {
+        let model = match &*self.model {
             EngineModel::F32(cnn) => {
                 let mut qcnn = QuantizedCoLocatorCnn::from_cnn(cnn);
                 qcnn.calibrate(&QuantizedCoLocatorCnn::synthetic_calibration_windows(
                     self.sliding.window_len(),
                 ));
-                EngineModel::Quantized(qcnn)
+                Arc::new(EngineModel::Quantized(qcnn))
             }
-            EngineModel::Quantized(qcnn) => EngineModel::Quantized(qcnn.clone()),
+            EngineModel::Quantized(_) => Arc::clone(&self.model),
         };
         LocatorEngine { model, sliding: self.sliding, segmenter: self.segmenter }
     }
@@ -179,9 +235,12 @@ impl LocatorEngine {
             }
         }
         let stacked = CoLocatorCnn::stack_windows(&prepared);
-        let EngineModel::Quantized(qcnn) = &mut engine.model else { unreachable!() };
+        // `make_mut` is free for the fresh f32→i8 conversion (refcount 1)
+        // and deep-copies only when recalibrating an engine whose weights
+        // are still shared with `self`.
+        let EngineModel::Quantized(qcnn) = Arc::make_mut(&mut engine.model) else { unreachable!() };
         qcnn.calibrate(&stacked);
-        if let EngineModel::F32(cnn) = &self.model {
+        if let EngineModel::F32(cnn) = &*self.model {
             qcnn.align_head(cnn, &stacked);
         }
         engine
@@ -212,7 +271,8 @@ impl LocatorEngine {
     /// Panics for a quantised engine: a [`CoLocator`] wraps the trainable
     /// `f32` network, which a quantised model no longer carries.
     pub fn into_locator(self) -> CoLocator {
-        match self.model {
+        let model = Arc::try_unwrap(self.model).unwrap_or_else(|shared| (*shared).clone());
+        match model {
             EngineModel::F32(cnn) => CoLocator::from_parts(cnn, self.sliding, self.segmenter),
             EngineModel::Quantized(_) => {
                 panic!("a quantised engine cannot become a CoLocator (no f32 weights)")
@@ -223,13 +283,13 @@ impl LocatorEngine {
     /// Locates the CO start samples in one trace (identical to
     /// [`CoLocator::locate`]).
     pub fn locate(&self, trace: &Trace) -> Vec<usize> {
-        let swc = self.sliding.classify(&self.model, trace);
+        let swc = self.sliding.classify(self.model.as_ref(), trace);
         self.segmenter.segment(&swc, self.sliding.stride())
     }
 
     /// Like [`Self::locate`] but also returns the raw sliding-window scores.
     pub fn locate_detailed(&self, trace: &Trace) -> (Vec<f32>, Vec<usize>) {
-        let swc = self.sliding.classify(&self.model, trace);
+        let swc = self.sliding.classify(self.model.as_ref(), trace);
         let starts = self.segmenter.segment(&swc, self.sliding.stride());
         (swc, starts)
     }
@@ -261,7 +321,7 @@ impl LocatorEngine {
     ) -> sca_trace::Result<Vec<usize>> {
         let mut segmenter =
             StreamingSegmenter::new(*self.segmenter.config(), self.sliding.stride());
-        self.sliding.classify_source_with(&self.model, source, chunk_len, |span| {
+        self.sliding.classify_source_with(self.model.as_ref(), source, chunk_len, |span| {
             segmenter.push(span);
         })?;
         Ok(segmenter.finish())
@@ -313,7 +373,7 @@ impl LocatorEngine {
                         loop {
                             let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(trace) = traces.get(idx) else { break };
-                            let swc = sliding.classify(&self.model, trace);
+                            let swc = sliding.classify(self.model.as_ref(), trace);
                             local.push((idx, self.segmenter.segment(&swc, sliding.stride())));
                         }
                         local
@@ -351,7 +411,7 @@ impl LocatorEngine {
     /// (bad magic), incompatible versions and corrupt/truncated payloads.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
         let (model, sliding, segmenter) = persist::load_engine(path.as_ref())?;
-        Ok(Self { model, sliding, segmenter })
+        Ok(Self { model: Arc::new(model), sliding, segmenter })
     }
 }
 

@@ -57,6 +57,17 @@
 //! activation grids deterministically at the stored window length (the
 //! weights fully determine the grids, so a v2 → load → save cycle produces
 //! a canonical v3 file).
+//!
+//! ## Memory accounting
+//!
+//! A loaded engine reports its resident size through
+//! [`LocatorEngine::memory_footprint`](crate::LocatorEngine::memory_footprint):
+//! the exact in-RAM weight bytes (`f32` parameters and buffers for v1;
+//! `i8` blocks plus 16-bit repacks, scale and bias vectors for v2/v3 —
+//! typically larger than the file, which stores each operand once) plus a
+//! deterministic estimate of the per-batch scoring workspace. The service
+//! registry uses this figure for its eviction budget, so models loaded from
+//! the same file always account identically.
 
 use std::fmt;
 use std::fs::File;

@@ -484,6 +484,16 @@ impl QuantizedCoLocatorCnn {
     pub fn quantized_weight_bytes(&self) -> usize {
         self.qgemms().iter().map(|g| g.quantized_bytes()).sum()
     }
+
+    /// Total heap bytes the model keeps resident at serving time: every
+    /// quantised operand's [`QuantizedGemm::resident_bytes`] (which counts
+    /// the derived `i16` and pair-packed copies, not just the `i8` block)
+    /// plus the `f32` head parameters.
+    pub fn resident_weight_bytes(&self) -> usize {
+        let gemms: usize = self.qgemms().iter().map(|g| g.resident_bytes()).sum();
+        let head: usize = self.head_params().iter().map(|p| p.len() * 4).sum();
+        gemms + head
+    }
 }
 
 impl WindowScorer for QuantizedCoLocatorCnn {

@@ -4,27 +4,40 @@
 //! caller so far drives it synchronously: one thread, one trace, one result.
 //! A serving deployment sees something else entirely — many clients
 //! submitting traces of wildly different sizes at once, some in memory, some
-//! streamed from disk, some arriving over a socket that cannot seek. This
-//! crate is the request-queue front-end for that workload:
+//! streamed from disk, some arriving over a socket that cannot seek, against
+//! a *matrix* of scenario models that come and go while requests are in
+//! flight. This crate is the request-queue front-end for that workload:
 //!
 //! * **Bounded admission.** [`LocatorService::submit_trace`] and friends
 //!   either enqueue the request or refuse it *immediately* with a typed
 //!   [`Rejected`] — [`Rejected::QueueFull`] is backpressure, not an
 //!   afterthought. Nothing inside the service buffers without bound.
+//! * **Name-keyed models, hot swap, eviction.** Requests address models by
+//!   scenario *name* through a [`ModelRegistry`]: lazily loaded from
+//!   `SCALOCEN` files on first request, reference-counted so admitted work
+//!   pins the generation it resolved, LRU-evicted under a byte budget, and
+//!   [`ModelRegistry::swap`]-able at runtime — new admissions route to the
+//!   new weights while in-flight requests complete **bit-identically** on
+//!   the old ones. See the [`registry`] module docs.
 //! * **Cross-request window coalescing.** Worker threads do not score one
 //!   request at a time: they pull up to a tile's worth of windows from *as
-//!   many queued requests as it takes* (front of the queue first, same model
-//!   only) and pack them into one `[B, 1, N]` batch, so the packed
-//!   `MR=4×NR=16` GEMM micro-kernels of `tinynn` run full tiles even when
-//!   every individual request is tiny. Per-window scores are independent of
-//!   batch composition (the invariant every chunked/threaded parity test in
-//!   `sca-locator` pins), so the demuxed per-request results are
-//!   **bit-identical** to [`sca_locator::LocatorEngine::locate`] /
+//!   many queued requests as it takes* (front of the queue first, same
+//!   resident weights only) and pack them into one `[B, 1, N]` batch, so
+//!   the packed `MR=4×NR=16` GEMM micro-kernels of `tinynn` run full tiles
+//!   even when every individual request is tiny. Per-window scores are
+//!   independent of batch composition (the invariant every chunked/threaded
+//!   parity test in `sca-locator` pins), so the demuxed per-request results
+//!   are **bit-identical** to [`sca_locator::LocatorEngine::locate`] /
 //!   [`sca_locator::LocatorEngine::locate_streamed`].
 //! * **Per-request deadlines.** A request that outsits its deadline in the
 //!   queue is dropped at the next scheduling point and completes with
 //!   [`ServiceError::DeadlineExceeded`] instead of occupying the cores that
 //!   could still serve fresher work.
+//! * **Fault isolation.** A panic while scoring fails *that batch's*
+//!   requests with a typed [`ServiceError::WorkerFailed`] and is counted in
+//!   [`MetricsSnapshot::worker_panics`]; every scheduler lock recovers from
+//!   poisoning, the remaining workers keep serving, and
+//!   [`LocatorService::shutdown`] reports rather than propagates.
 //! * **Graceful drain.** [`LocatorService::shutdown`] (also run on drop)
 //!   stops admission, lets the workers finish every admitted request, then
 //!   joins them — no request already accepted is ever dropped.
@@ -34,12 +47,14 @@
 //!   overlap between chunks in memory so the forward-only stream still
 //!   yields the exact chunk geometry of the seekable path.
 //! * **Wire protocol.** [`net`] adds a thin length-prefixed frame protocol
-//!   over [`std::net::TcpListener`]: clients ship little-endian `f32`
-//!   samples, the service answers with located CO start samples. Frames are
-//!   parsed with the same bounded, typed-error discipline as the model and
-//!   trace file formats.
+//!   over [`std::net::TcpListener`]: clients ship a model *name* and
+//!   little-endian `f32` samples, the service answers with located CO start
+//!   samples; admin frames drive swap/evict remotely. Frames are parsed
+//!   with the same bounded, typed-error discipline as the model and trace
+//!   file formats.
 //! * **Observability.** [`LocatorService::metrics`] snapshots queue depth,
-//!   batch fill ratio, rejection counters and p50/p99 latency
+//!   batch fill ratio, rejection counters, interpolated p50/p99 latency and
+//!   the registry's load/evict/swap counters and resident-bytes gauge
 //!   ([`MetricsSnapshot`]).
 //!
 //! ## Scheduling in one paragraph
@@ -47,15 +62,16 @@
 //! Every admitted request owns a *current chunk* (the whole trace for
 //! in-memory requests; one streaming chunk otherwise) and sits in a FIFO
 //! ready queue. A worker claims up to `tile_windows` consecutive windows,
-//! crossing request boundaries but never model boundaries; fully-claimed
-//! requests leave the queue while their scores are still in flight. Scores
-//! scatter back into a per-request span; the worker that completes a span
-//! either segments it (in-memory: [`sca_locator::Segmenter`] on the full
-//! signal, exactly `locate`) or pushes it into the request's
-//! [`sca_locator::StreamingSegmenter`] and re-enqueues the request for its
-//! next chunk (exactly `locate_streamed`). FIFO claiming keeps head-of-line
-//! latency low; coalescing keeps the kernels fed when the queue is a crowd
-//! of small requests.
+//! crossing request boundaries but never weight boundaries (requests batch
+//! together exactly when they pin the *same resident engine* — same name
+//! **and** same generation); fully-claimed requests leave the queue while
+//! their scores are still in flight. Scores scatter back into a per-request
+//! span; the worker that completes a span either segments it (in-memory:
+//! [`sca_locator::Segmenter`] on the full signal, exactly `locate`) or
+//! pushes it into the request's [`sca_locator::StreamingSegmenter`] and
+//! re-enqueues the request for its next chunk (exactly `locate_streamed`).
+//! FIFO claiming keeps head-of-line latency low; coalescing keeps the
+//! kernels fed when the queue is a crowd of small requests.
 //!
 //! ## Example
 //!
@@ -75,12 +91,11 @@
 //!     .collect();
 //!
 //! let service = LocatorService::start(vec![engine], ServiceConfig::default());
-//! let model = service.model_ids()[0];
 //! let tickets: Vec<_> = (0..4)
 //!     .map(|i| {
 //!         let trace =
 //!             Trace::from_samples((0..200).map(|x| ((x + i) as f32 * 0.1).sin()).collect());
-//!         service.submit_trace(model, trace, RequestOptions::default()).unwrap()
+//!         service.submit_trace("model-0", trace, RequestOptions::default()).unwrap()
 //!     })
 //!     .collect();
 //! for (ticket, expected) in tickets.into_iter().zip(expected) {
@@ -94,12 +109,14 @@
 
 pub mod metrics;
 pub mod net;
+pub mod registry;
 
 use std::collections::VecDeque;
 use std::io::Read;
-use std::sync::atomic::Ordering;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use sca_locator::{LocatorEngine, StreamingSegmenter, WindowScorer};
@@ -107,28 +124,11 @@ use sca_trace::{SequentialTraceSource, Trace, TraceError, TraceSource};
 use tinynn::Workspace;
 
 pub use metrics::MetricsSnapshot;
+pub use registry::{ModelHandle, ModelRegistry, RegistryConfig, RegistryError, RegistryStats};
 
 // ---------------------------------------------------------------------------
 // Public request/response surface
 // ---------------------------------------------------------------------------
-
-/// Identifies one of the engines a service serves (see
-/// [`LocatorService::model_ids`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ModelId(usize);
-
-impl ModelId {
-    /// Builds a model id from a raw engine slot index (as carried on the
-    /// wire). Validated against the registered engines at submission.
-    pub fn from_index(index: usize) -> Self {
-        ModelId(index)
-    }
-
-    /// The engine slot index inside the service.
-    pub fn index(self) -> usize {
-        self.0
-    }
-}
 
 /// Per-request knobs; `Default` is a no-deadline, service-default request.
 #[derive(Debug, Clone, Copy, Default)]
@@ -155,12 +155,19 @@ pub enum Rejected {
     },
     /// The service no longer accepts work (shutdown in progress).
     ShuttingDown,
-    /// No engine is registered under the given model id.
+    /// No model is registered under the given name.
     UnknownModel {
-        /// The rejected model index.
-        model: usize,
-        /// Number of registered engines.
-        models: usize,
+        /// The unresolved model name.
+        name: String,
+    },
+    /// The model is registered but could not be made resident (its backing
+    /// file failed to load). The registration stays; a later submission
+    /// retries the load.
+    ModelUnavailable {
+        /// The model whose load failed.
+        name: String,
+        /// The load failure, rendered.
+        reason: String,
     },
     /// The declared trace length exceeds [`ServiceConfig::max_trace_len`].
     TooLong {
@@ -180,8 +187,9 @@ impl std::fmt::Display for Rejected {
                 write!(f, "request queue full ({capacity} in flight)")
             }
             Rejected::ShuttingDown => write!(f, "service is shutting down"),
-            Rejected::UnknownModel { model, models } => {
-                write!(f, "unknown model {model} (service has {models})")
+            Rejected::UnknownModel { name } => write!(f, "unknown model {name:?}"),
+            Rejected::ModelUnavailable { name, reason } => {
+                write!(f, "model {name:?} unavailable: {reason}")
             }
             Rejected::TooLong { len, max } => {
                 write!(f, "declared trace length {len} exceeds the admission bound {max}")
@@ -201,6 +209,10 @@ pub enum ServiceError {
     /// The request's trace source failed mid-stream (I/O error, truncated
     /// stream, rewind on a pipe, …).
     Source(TraceError),
+    /// A worker panicked while scoring a batch containing this request.
+    /// The panic was contained: other requests and the remaining workers
+    /// are unaffected (see [`MetricsSnapshot::worker_panics`]).
+    WorkerFailed,
     /// The service stopped before the request completed (worker panic —
     /// graceful shutdown drains instead).
     Stopped,
@@ -211,6 +223,9 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::DeadlineExceeded => write!(f, "deadline exceeded before scoring"),
             ServiceError::Source(e) => write!(f, "trace source failed: {e}"),
+            ServiceError::WorkerFailed => {
+                write!(f, "a worker panicked while scoring this request's batch")
+            }
             ServiceError::Stopped => write!(f, "service stopped before completion"),
         }
     }
@@ -229,6 +244,11 @@ pub struct LocateResult {
     pub windows: usize,
     /// The raw score signal, if [`RequestOptions::collect_scores`] was set.
     pub scores: Option<Vec<f32>>,
+    /// The model generation this request was admitted against (see
+    /// [`ModelHandle::generation`]); a request admitted before a
+    /// [`ModelRegistry::swap`] completes on the old generation and reports
+    /// it here.
+    pub generation: u64,
     /// Admission-to-completion latency.
     pub latency: Duration,
 }
@@ -267,6 +287,11 @@ pub struct ServiceConfig {
     pub chunk_len: usize,
     /// Admission bound on declared trace lengths (`usize::MAX` = unbounded).
     pub max_trace_len: usize,
+    /// Test-only fault injection: each of the next N scoring batches
+    /// panics inside the worker (exercising the containment path). Leave
+    /// at `0` in production.
+    #[doc(hidden)]
+    pub fault_score_panics: u32,
 }
 
 impl Default for ServiceConfig {
@@ -277,6 +302,7 @@ impl Default for ServiceConfig {
             tile_windows: 64,
             chunk_len: 1 << 20,
             max_trace_len: usize::MAX,
+            fault_score_panics: 0,
         }
     }
 }
@@ -296,9 +322,22 @@ impl Default for ServiceConfig {
 // * each request's `output` guards its score span, segmentation state and
 //   completion channel; never acquired while holding `state` or `claim`.
 //
+// Every lock is taken through `lock_poisoned`: a panicking worker must not
+// take the service down with it, and each critical section restores the
+// scheduler invariants before unwinding can observe them (requests touched
+// by the panicking batch are failed explicitly by `fail_batch`).
+//
 // A request's current chunk is immutable behind an `Arc` from the moment it
 // is published in the claim state until every score landed, so workers read
 // its samples without any lock.
+
+/// Poison-tolerant lock: recover the guard from a peer's panic instead of
+/// cascading it. Scheduler invariants hold at every unlock point, so the
+/// recovered state is consistent; the panicking worker's own requests are
+/// failed separately with [`ServiceError::WorkerFailed`].
+pub(crate) fn lock_poisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// An immutable span of samples backing a contiguous run of windows. Window
 /// `w` of the chunk starts at sample `w * stride` of `samples` (the chunk is
@@ -334,8 +373,8 @@ enum Sink {
 struct OutputState {
     /// Completion channel; `None` once the request completed (ok or error).
     done: Option<SyncSender<Result<LocateResult, ServiceError>>>,
-    /// Set when the request was dropped (deadline/source failure); late
-    /// scatters from in-flight batches are discarded.
+    /// Set when the request was dropped (deadline/source failure/worker
+    /// panic); late scatters from in-flight batches are discarded.
     canceled: bool,
     /// Score span of the current chunk (window offset → score).
     span: Vec<f32>,
@@ -349,7 +388,10 @@ struct OutputState {
 }
 
 struct ActiveRequest {
-    model: usize,
+    /// The model resolved at admission: name, generation and the pinned
+    /// engine `Arc`. Swaps and evictions after admission cannot affect this
+    /// request — it completes on exactly these weights.
+    handle: ModelHandle,
     deadline: Option<Instant>,
     submitted: Instant,
     claim: Mutex<ClaimState>,
@@ -365,11 +407,14 @@ struct SchedState {
 }
 
 struct Shared {
-    engines: Vec<LocatorEngine>,
+    registry: Arc<ModelRegistry>,
     cfg: ServiceConfig,
     state: Mutex<SchedState>,
     work_ready: Condvar,
     counters: metrics::Counters,
+    /// Remaining injected scoring faults (test-only; see
+    /// [`ServiceConfig::fault_score_panics`]).
+    fault_score_panics: AtomicU32,
 }
 
 /// One window-run claimed from a request's current chunk.
@@ -392,9 +437,9 @@ enum Step {
 // The service
 // ---------------------------------------------------------------------------
 
-/// A running locate service: worker threads, a bounded request queue and one
-/// or more [`LocatorEngine`]s (see the [crate docs](crate) for the
-/// architecture).
+/// A running locate service: worker threads, a bounded request queue and a
+/// [`ModelRegistry`] of engines addressed by name (see the
+/// [crate docs](crate) for the architecture).
 #[derive(Debug)]
 pub struct LocatorService {
     shared: Arc<Shared>,
@@ -403,12 +448,13 @@ pub struct LocatorService {
 
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared").field("engines", &self.engines.len()).finish_non_exhaustive()
+        f.debug_struct("Shared").field("registry", &self.registry).finish_non_exhaustive()
     }
 }
 
 impl LocatorService {
-    /// Starts a service owning `engines`, spawning the worker pool.
+    /// Starts a service over in-process engines, installed pinned in a
+    /// fresh unbounded registry as `"model-0"`, `"model-1"`, … in order.
     ///
     /// # Panics
     ///
@@ -416,11 +462,27 @@ impl LocatorService {
     /// deployment constants, not request data.
     pub fn start(engines: Vec<LocatorEngine>, cfg: ServiceConfig) -> Self {
         assert!(!engines.is_empty(), "a service needs at least one engine");
+        let registry = Arc::new(ModelRegistry::default());
+        for (i, engine) in engines.into_iter().enumerate() {
+            registry.install(format!("model-{i}"), engine).expect("fresh registry names clash");
+        }
+        Self::with_registry(registry, cfg)
+    }
+
+    /// Starts a service over a caller-built [`ModelRegistry`] — the
+    /// multi-scenario deployment path: register/install models (before or
+    /// after start), swap and evict them live through
+    /// [`Self::registry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a config limit is zero.
+    pub fn with_registry(registry: Arc<ModelRegistry>, cfg: ServiceConfig) -> Self {
         assert!(cfg.queue_capacity > 0, "queue capacity must be non-zero");
         assert!(cfg.tile_windows > 0, "tile window count must be non-zero");
         assert!(cfg.chunk_len > 0, "chunk length must be non-zero");
         let shared = Arc::new(Shared {
-            engines,
+            registry,
             cfg,
             state: Mutex::new(SchedState {
                 ready: VecDeque::new(),
@@ -430,6 +492,7 @@ impl LocatorService {
             }),
             work_ready: Condvar::new(),
             counters: metrics::Counters::default(),
+            fault_score_panics: AtomicU32::new(cfg.fault_score_panics),
         });
         let workers = if cfg.workers == 0 { tinynn::parallel::max_threads() } else { cfg.workers };
         let handles = (0..workers)
@@ -444,35 +507,45 @@ impl LocatorService {
         Self { shared, workers: Mutex::new(handles) }
     }
 
-    /// The model ids of the engines this service serves, in registration
-    /// order.
-    pub fn model_ids(&self) -> Vec<ModelId> {
-        (0..self.shared.engines.len()).map(ModelId).collect()
+    /// The model registry: register, swap and evict models on a running
+    /// service. New admissions observe changes immediately; requests
+    /// already admitted complete on the generation they resolved.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
     }
 
-    /// The engine behind a model id.
-    pub fn engine(&self, model: ModelId) -> Option<&LocatorEngine> {
-        self.shared.engines.get(model.0)
+    /// The registered model names, in registration order.
+    pub fn model_names(&self) -> Vec<Arc<str>> {
+        self.shared.registry.names()
     }
 
-    /// Submits an in-memory trace. The result's starts are bit-identical to
-    /// [`LocatorEngine::locate`] on the same trace.
+    /// Resolves a model name to its current engine (loading it if cold) —
+    /// the reference for parity checks. `None` if the name is unknown or
+    /// its file fails to load.
+    pub fn engine(&self, name: &str) -> Option<Arc<LocatorEngine>> {
+        self.shared.registry.resolve(name).ok().map(|h| Arc::clone(h.engine()))
+    }
+
+    /// Submits an in-memory trace against the named model. The result's
+    /// starts are bit-identical to [`LocatorEngine::locate`] on the same
+    /// trace with the engine generation the request was admitted against.
     ///
     /// # Errors
     ///
-    /// Returns a typed [`Rejected`] — queue full, unknown model, over the
-    /// length bound, or shutting down — without buffering anything.
+    /// Returns a typed [`Rejected`] — queue full, unknown model, model file
+    /// unloadable, over the length bound, or shutting down — without
+    /// buffering anything.
     pub fn submit_trace(
         &self,
-        model: ModelId,
+        model: &str,
         trace: Trace,
         opts: RequestOptions,
     ) -> Result<Ticket, Rejected> {
-        let engine = self.checked_engine(model, trace.len())?;
-        let sliding = *engine.sliding();
+        let handle = self.checked_handle(model, trace.len())?;
+        let sliding = *handle.engine().sliding();
         let total = sliding.output_len(trace.len());
         let chunk = Arc::new(Chunk { window_count: total, samples: trace.into_samples() });
-        self.enqueue(model, opts, total, Some(chunk), Sink::Whole)
+        self.enqueue(handle, opts, total, Some(chunk), Sink::Whole)
     }
 
     /// Submits a request served by a [`TraceSource`] — typically an on-disk
@@ -487,12 +560,12 @@ impl LocatorService {
     /// [`ServiceError::Source`].
     pub fn submit_source(
         &self,
-        model: ModelId,
+        model: &str,
         source: Box<dyn TraceSource + Send>,
         opts: RequestOptions,
     ) -> Result<Ticket, Rejected> {
-        let engine = self.checked_engine(model, source.len())?;
-        let sliding = *engine.sliding();
+        let handle = self.checked_handle(model, source.len())?;
+        let sliding = *handle.engine().sliding();
         let chunk_len = opts.chunk_len.unwrap_or(self.shared.cfg.chunk_len);
         if chunk_len == 0 {
             return Err(
@@ -503,14 +576,14 @@ impl LocatorService {
         let sink = Sink::Streaming {
             source,
             segmenter: Some(StreamingSegmenter::new(
-                *engine.segmenter().config(),
+                *handle.engine().segmenter().config(),
                 sliding.stride(),
             )),
             windows_per_chunk: sliding.output_len(chunk_len).max(1),
             total_windows: total,
             next_first: 0,
         };
-        self.enqueue(model, opts, total, None, sink)
+        self.enqueue(handle, opts, total, None, sink)
     }
 
     /// Submits a request ingesting `declared_len` little-endian `f32`
@@ -526,7 +599,7 @@ impl LocatorService {
     /// admission surfaces through the ticket as [`ServiceError::Source`].
     pub fn submit_reader<R: Read + Send + 'static>(
         &self,
-        model: ModelId,
+        model: &str,
         reader: R,
         declared_len: usize,
         opts: RequestOptions,
@@ -536,46 +609,66 @@ impl LocatorService {
         self.submit_source(model, Box::new(source), opts)
     }
 
-    /// A point-in-time copy of the service counters and latency quantiles.
+    /// A point-in-time copy of the service counters, latency quantiles and
+    /// registry gauges.
     pub fn metrics(&self) -> MetricsSnapshot {
         let (depth, in_flight) = {
-            let st = self.shared.state.lock().expect("scheduler mutex poisoned");
+            let st = lock_poisoned(&self.shared.state);
             (st.ready.len(), st.pending)
         };
-        self.shared.counters.snapshot(depth, in_flight, self.shared.cfg.tile_windows)
+        self.shared.counters.snapshot(
+            depth,
+            in_flight,
+            self.shared.cfg.tile_windows,
+            self.shared.registry.stats(),
+        )
     }
 
     /// Stops admission, drains every admitted request, then joins the
     /// workers. Idempotent; also run on drop. Submissions during or after
-    /// the drain are rejected with [`Rejected::ShuttingDown`].
+    /// the drain are rejected with [`Rejected::ShuttingDown`]. A worker
+    /// that died of an uncontained panic is *reported* (counted in
+    /// [`MetricsSnapshot::worker_panics`]) — never propagated to the
+    /// caller.
     pub fn shutdown(&self) {
         {
-            let mut st = self.shared.state.lock().expect("scheduler mutex poisoned");
+            let mut st = lock_poisoned(&self.shared.state);
             st.accepting = false;
             st.shutdown = true;
             self.shared.work_ready.notify_all();
         }
-        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        let handles = std::mem::take(&mut *lock_poisoned(&self.workers));
         for handle in handles {
-            handle.join().expect("service worker panicked");
+            if handle.join().is_err() {
+                self.shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     // -- internals ----------------------------------------------------------
 
-    fn checked_engine(&self, model: ModelId, len: usize) -> Result<&LocatorEngine, Rejected> {
-        let Some(engine) = self.shared.engines.get(model.0) else {
-            return Err(self.reject_other(Rejected::UnknownModel {
-                model: model.0,
-                models: self.shared.engines.len(),
-            }));
+    /// Resolves the model at admission time, pinning the current generation
+    /// for the whole request, and checks the length bound.
+    fn checked_handle(&self, model: &str, len: usize) -> Result<ModelHandle, Rejected> {
+        let handle = match self.shared.registry.resolve(model) {
+            Ok(handle) => handle,
+            Err(RegistryError::UnknownModel { name }) => {
+                return Err(self.reject_other(Rejected::UnknownModel { name }));
+            }
+            Err(RegistryError::Load { name, error }) => {
+                return Err(self
+                    .reject_other(Rejected::ModelUnavailable { name, reason: error.to_string() }));
+            }
+            Err(other) => {
+                return Err(self.reject_other(Rejected::InvalidRequest(other.to_string())));
+            }
         };
         if len > self.shared.cfg.max_trace_len {
             return Err(
                 self.reject_other(Rejected::TooLong { len, max: self.shared.cfg.max_trace_len })
             );
         }
-        Ok(engine)
+        Ok(handle)
     }
 
     fn reject_other(&self, why: Rejected) -> Rejected {
@@ -586,7 +679,7 @@ impl LocatorService {
     /// Admission + enqueue, or the zero-window fast path.
     fn enqueue(
         &self,
-        model: ModelId,
+        handle: ModelHandle,
         opts: RequestOptions,
         total_windows: usize,
         chunk: Option<Arc<Chunk>>,
@@ -598,24 +691,29 @@ impl LocatorService {
             // Too short for a single window: same answer `locate` gives,
             // without occupying a queue slot.
             {
-                let st = shared.state.lock().expect("scheduler mutex poisoned");
+                let st = lock_poisoned(&shared.state);
                 if !st.accepting {
                     return Err(Rejected::ShuttingDown);
                 }
             }
-            let engine = &shared.engines[model.0];
+            let engine = handle.engine();
             let starts = engine.segmenter().segment(&[], engine.sliding().stride());
             shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             shared.counters.latency.record(Duration::ZERO);
             let scores = opts.collect_scores.then(Vec::new);
-            let _ =
-                tx.send(Ok(LocateResult { starts, windows: 0, scores, latency: Duration::ZERO }));
+            let _ = tx.send(Ok(LocateResult {
+                starts,
+                windows: 0,
+                scores,
+                generation: handle.generation(),
+                latency: Duration::ZERO,
+            }));
             return Ok(Ticket { rx });
         }
         let submitted = Instant::now();
         let req = Arc::new(ActiveRequest {
-            model: model.0,
+            handle,
             deadline: opts.deadline.map(|d| submitted + d),
             submitted,
             claim: Mutex::new(ClaimState {
@@ -639,7 +737,7 @@ impl LocatorService {
             }),
         });
         {
-            let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+            let mut st = lock_poisoned(&shared.state);
             if !st.accepting {
                 return Err(Rejected::ShuttingDown);
             }
@@ -675,24 +773,72 @@ fn worker_loop(shared: &Shared) {
     loop {
         match next_step(shared) {
             Step::Exit => break,
-            Step::Batch(batch) => score_batch(shared, &mut ws, &mut scores, &batch),
-            Step::Load(req) => load_chunk(shared, &req),
+            Step::Batch(batch) => {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    score_batch(shared, &mut ws, &mut scores, &batch);
+                }));
+                if outcome.is_err() {
+                    // The workspace and score buffer may hold torn state;
+                    // replace them and fail exactly this batch's requests.
+                    ws = Workspace::new();
+                    scores = Vec::new();
+                    fail_batch(shared, &batch);
+                }
+            }
+            Step::Load(req) => {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    load_chunk(shared, &req);
+                }));
+                if outcome.is_err() {
+                    fail_request(shared, &req);
+                }
+            }
             Step::Expire(req) => expire(shared, &req),
         }
     }
 }
 
+/// Fails every request of a batch whose scoring panicked, with the typed
+/// [`ServiceError::WorkerFailed`]; requests the batch already completed (or
+/// that completed elsewhere) are left alone.
+fn fail_batch(shared: &Shared, batch: &[Claim]) {
+    shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+    for c in batch {
+        let mut out = lock_poisoned(&c.req.output);
+        if out.done.is_none() {
+            continue;
+        }
+        out.canceled = true;
+        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        complete(shared, &c.req, &mut out, Err(ServiceError::WorkerFailed));
+    }
+}
+
+/// Fails one request whose chunk load panicked.
+fn fail_request(shared: &Shared, req: &Arc<ActiveRequest>) {
+    shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+    let mut out = lock_poisoned(&req.output);
+    if out.done.is_none() {
+        return;
+    }
+    out.canceled = true;
+    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+    complete(shared, req, &mut out, Err(ServiceError::WorkerFailed));
+}
+
 /// Blocks until there is something to do and returns it. Claiming crosses
-/// request boundaries (FIFO order) but not model boundaries, and stops at a
-/// request whose next chunk is not loaded yet — loading is its own step so
-/// no lock is held across I/O.
+/// request boundaries (FIFO order) but not weight boundaries — two requests
+/// batch together exactly when they pin the same resident engine
+/// (`Arc::ptr_eq`), i.e. same model name *and* same generation — and stops
+/// at a request whose next chunk is not loaded yet — loading is its own
+/// step so no lock is held across I/O.
 fn next_step(shared: &Shared) -> Step {
-    let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+    let mut st = lock_poisoned(&shared.state);
     loop {
         let now = Instant::now();
         let mut batch: Vec<Claim> = Vec::new();
         let mut claimed = 0usize;
-        let mut model: Option<usize> = None;
+        let mut engine: Option<Arc<LocatorEngine>> = None;
         while claimed < shared.cfg.tile_windows {
             let Some(front) = st.ready.front() else { break };
             if front.deadline.is_some_and(|d| d <= now) {
@@ -705,10 +851,10 @@ fn next_step(shared: &Shared) -> Step {
                 st.ready.push_front(req);
                 break;
             }
-            if model.is_some_and(|m| m != front.model) {
+            if engine.as_ref().is_some_and(|e| !Arc::ptr_eq(e, front.handle.engine())) {
                 break;
             }
-            let mut claim = front.claim.lock().expect("claim mutex poisoned");
+            let mut claim = lock_poisoned(&front.claim);
             match claim.chunk.clone() {
                 None => {
                     drop(claim);
@@ -733,7 +879,7 @@ fn next_step(shared: &Shared) -> Step {
                     claim.next += take;
                     let drained = claim.next == chunk.window_count;
                     drop(claim);
-                    model = Some(front.model);
+                    engine = Some(Arc::clone(front.handle.engine()));
                     batch.push(Claim { req: Arc::clone(front), chunk, first, count: take });
                     claimed += take;
                     if drained {
@@ -748,7 +894,7 @@ fn next_step(shared: &Shared) -> Step {
         if st.shutdown && st.pending == 0 {
             return Step::Exit;
         }
-        st = shared.work_ready.wait(st).expect("scheduler mutex poisoned");
+        st = shared.work_ready.wait(st).unwrap_or_else(|poisoned| poisoned.into_inner());
     }
 }
 
@@ -758,7 +904,14 @@ fn next_step(shared: &Shared) -> Step {
 /// place, score via `score_windows_into`), so the scores are bit-identical
 /// to the single-request paths regardless of how requests were packed.
 fn score_batch(shared: &Shared, ws: &mut Workspace, scores: &mut Vec<f32>, batch: &[Claim]) {
-    let engine = &shared.engines[batch[0].req.model];
+    if shared
+        .fault_score_panics
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+    {
+        panic!("injected scoring fault (ServiceConfig::fault_score_panics)");
+    }
+    let engine = batch[0].req.handle.engine();
     let sliding = engine.sliding();
     let (n, stride, standardize) = (sliding.window_len(), sliding.stride(), sliding.standardize());
     let total: usize = batch.iter().map(|c| c.count).sum();
@@ -784,7 +937,7 @@ fn score_batch(shared: &Shared, ws: &mut Workspace, scores: &mut Vec<f32>, batch
     for c in batch {
         let span = &scores[offset..offset + c.count];
         offset += c.count;
-        let mut out = c.req.output.lock().expect("output mutex poisoned");
+        let mut out = lock_poisoned(&c.req.output);
         if out.canceled {
             continue;
         }
@@ -800,7 +953,7 @@ fn score_batch(shared: &Shared, ws: &mut Workspace, scores: &mut Vec<f32>, batch
 /// current chunk landed: feed the span to segmentation and either complete
 /// the request or queue it for its next chunk.
 fn finish_chunk(shared: &Shared, req: &Arc<ActiveRequest>, out: &mut OutputState) {
-    let engine = &shared.engines[req.model];
+    let engine = req.handle.engine();
     out.scored += out.span.len();
     if let Some(collected) = &mut out.collected {
         collected.extend_from_slice(&out.span);
@@ -825,8 +978,8 @@ fn finish_chunk(shared: &Shared, req: &Arc<ActiveRequest>, out: &mut OutputState
                 // Hand the request back to the queue; a worker will load
                 // its next chunk (the claim state already shows "no
                 // chunk": the drained one is cleared here).
-                req.claim.lock().expect("claim mutex poisoned").chunk = None;
-                let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+                lock_poisoned(&req.claim).chunk = None;
+                let mut st = lock_poisoned(&shared.state);
                 st.ready.push_back(Arc::clone(req));
                 shared.work_ready.notify_all();
             }
@@ -838,10 +991,10 @@ fn finish_chunk(shared: &Shared, req: &Arc<ActiveRequest>, out: &mut OutputState
 /// request is out of the queue), then puts it back at the *front* — it was
 /// at the head, and FIFO latency order should survive the I/O detour.
 fn load_chunk(shared: &Shared, req: &Arc<ActiveRequest>) {
-    let engine = &shared.engines[req.model];
+    let engine = req.handle.engine();
     let sliding = engine.sliding();
     let (n, stride) = (sliding.window_len(), sliding.stride());
-    let mut out = req.output.lock().expect("output mutex poisoned");
+    let mut out = lock_poisoned(&req.output);
     if out.canceled || out.done.is_none() {
         return;
     }
@@ -868,19 +1021,19 @@ fn load_chunk(shared: &Shared, req: &Arc<ActiveRequest>) {
     out.remaining = count;
     let chunk = Arc::new(Chunk { window_count: count, samples });
     {
-        let mut claim = req.claim.lock().expect("claim mutex poisoned");
+        let mut claim = lock_poisoned(&req.claim);
         claim.chunk = Some(chunk);
         claim.next = 0;
     }
     drop(out);
-    let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+    let mut st = lock_poisoned(&shared.state);
     st.ready.push_front(Arc::clone(req));
     shared.work_ready.notify_all();
 }
 
 /// Completes a request whose deadline passed while it waited.
 fn expire(shared: &Shared, req: &Arc<ActiveRequest>) {
-    let mut out = req.output.lock().expect("output mutex poisoned");
+    let mut out = lock_poisoned(&req.output);
     if out.done.is_none() {
         return; // completed in the meantime
     }
@@ -902,11 +1055,17 @@ fn complete(
     let result = result.map(|starts| {
         shared.counters.completed.fetch_add(1, Ordering::Relaxed);
         shared.counters.latency.record(latency);
-        LocateResult { starts, windows: out.scored, scores: out.collected.take(), latency }
+        LocateResult {
+            starts,
+            windows: out.scored,
+            scores: out.collected.take(),
+            generation: req.handle.generation(),
+            latency,
+        }
     });
     // The ticket may have been dropped; completion still releases the slot.
     let _ = tx.send(result);
-    let mut st = shared.state.lock().expect("scheduler mutex poisoned");
+    let mut st = lock_poisoned(&shared.state);
     st.pending -= 1;
     shared.work_ready.notify_all();
 }

@@ -4,13 +4,18 @@
 //! Every counter is a relaxed atomic updated from the hot paths (admission,
 //! batch dispatch, completion); a [`MetricsSnapshot`] is a plain copy taken
 //! at one instant, so readers never contend with the scheduler. Latency
-//! quantiles come from a fixed power-of-two histogram (microsecond buckets):
-//! `p50`/`p99` are upper bounds of the bucket containing the quantile —
-//! at most 2× the true value, which is the resolution that matters for a
-//! "bounded p99" regression guard, at zero allocation and zero locking.
+//! quantiles come from a fixed power-of-two histogram (microsecond buckets)
+//! with **intra-bucket linear interpolation**: the quantile's rank position
+//! inside its bucket picks a proportional point between the bucket bounds,
+//! so reported p50/p99 move smoothly instead of jumping 2× when a quantile
+//! crosses a bucket boundary — at zero allocation and zero locking. The
+//! registry gauges (resident bytes, load/evict/swap counts) ride along from
+//! [`crate::RegistryStats`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use crate::registry::RegistryStats;
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` microseconds, so the histogram spans 1 µs … ~17 min.
@@ -33,8 +38,16 @@ impl LatencyHistogram {
         self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
-    /// Upper bound of the bucket holding quantile `q` (0..=1), or zero when
-    /// nothing has been recorded.
+    /// Quantile `q` (0..=1) with intra-bucket linear interpolation, or zero
+    /// when nothing has been recorded.
+    ///
+    /// The quantile's rank is located in its power-of-two bucket, then
+    /// placed proportionally between the bucket's lower and upper bound by
+    /// its rank position among the bucket's samples (and capped by the true
+    /// observed maximum). The error is bounded by the bucket width as
+    /// before, but the estimate no longer jumps to the upper bound the
+    /// moment a quantile crosses into a new bucket — which is what made the
+    /// latency regression guard flap on noise.
     fn quantile(&self, q: f64) -> Duration {
         let total = self.count.load(Ordering::Relaxed);
         if total == 0 {
@@ -43,12 +56,17 @@ impl LatencyHistogram {
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Cap the top bucket's bound by the true observed maximum.
-                let bound_us = 1u64 << (i + 1).min(63);
-                return Duration::from_micros(bound_us.min(self.max_us.load(Ordering::Relaxed)));
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if seen + in_bucket >= rank {
+                let lower = 1u64 << i;
+                let upper = 1u64 << (i + 1).min(63);
+                // Rank position within this bucket's samples, in (0, 1].
+                let frac = (rank - seen) as f64 / in_bucket as f64;
+                let us = lower as f64 + frac * (upper - lower) as f64;
+                let max = self.max_us.load(Ordering::Relaxed);
+                return Duration::from_micros((us as u64).min(max));
             }
+            seen += in_bucket;
         }
         Duration::from_micros(self.max_us.load(Ordering::Relaxed))
     }
@@ -66,6 +84,7 @@ pub(crate) struct Counters {
     pub rejected_other: AtomicU64,
     pub batches: AtomicU64,
     pub batched_windows: AtomicU64,
+    pub worker_panics: AtomicU64,
     pub latency: LatencyHistogram,
 }
 
@@ -75,6 +94,7 @@ impl Counters {
         queue_depth: usize,
         in_flight: usize,
         tile: usize,
+        registry: RegistryStats,
     ) -> MetricsSnapshot {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_windows = self.batched_windows.load(Ordering::Relaxed);
@@ -94,6 +114,14 @@ impl Counters {
             },
             queue_depth,
             in_flight,
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            models: registry.models,
+            resident_models: registry.resident_models,
+            resident_bytes: registry.resident_bytes,
+            model_byte_budget: registry.byte_budget,
+            model_loads: registry.loads,
+            model_evictions: registry.evictions,
+            model_swaps: registry.swaps,
             p50_latency: self.latency.quantile(0.50),
             p99_latency: self.latency.quantile(0.99),
             max_latency: Duration::from_micros(self.latency.max_us.load(Ordering::Relaxed)),
@@ -103,17 +131,19 @@ impl Counters {
 
 /// A consistent-enough copy of the service metrics at one instant.
 ///
-/// Counts are monotone over the service lifetime; `queue_depth` and
-/// `in_flight` are gauges. `batch_fill_ratio` is the fraction of dispatched
-/// tile capacity actually carrying windows — 1.0 means every packed batch
-/// ran the GEMM micro-kernels with full tiles.
+/// Counts are monotone over the service lifetime; `queue_depth`,
+/// `in_flight`, `resident_models` and `resident_bytes` are gauges.
+/// `batch_fill_ratio` is the fraction of dispatched tile capacity actually
+/// carrying windows — 1.0 means every packed batch ran the GEMM
+/// micro-kernels with full tiles.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Requests admitted past backpressure (includes later failures).
     pub submitted: u64,
     /// Requests completed with located starts.
     pub completed: u64,
-    /// Requests that failed after admission (source I/O errors).
+    /// Requests that failed after admission (source I/O errors, worker
+    /// panics).
     pub failed: u64,
     /// Submissions rejected with [`crate::Rejected::QueueFull`].
     pub rejected_queue_full: u64,
@@ -133,9 +163,31 @@ pub struct MetricsSnapshot {
     /// Requests admitted and not yet completed (gauge; bounded by the
     /// configured queue capacity).
     pub in_flight: usize,
-    /// Median request latency (admission → completion; bucket upper bound).
+    /// Worker panics contained by the scheduler (each failed its batch's
+    /// requests with [`crate::ServiceError::WorkerFailed`] and left the
+    /// remaining workers serving).
+    pub worker_panics: u64,
+    /// Models registered in the service's [`crate::ModelRegistry`]
+    /// (resident or not).
+    pub models: usize,
+    /// Models currently holding weights in memory (gauge).
+    pub resident_models: usize,
+    /// Total bytes of resident models, weights + workspace estimate per
+    /// [`sca_locator::LocatorEngine::memory_footprint`] (gauge).
+    pub resident_bytes: u64,
+    /// The registry's configured byte budget (`u64::MAX` = unbounded).
+    pub model_byte_budget: u64,
+    /// Model files loaded (cold loads + reloads after eviction + swaps).
+    pub model_loads: u64,
+    /// Models evicted (LRU under the byte budget, or explicitly).
+    pub model_evictions: u64,
+    /// Generations installed by [`crate::ModelRegistry::swap`].
+    pub model_swaps: u64,
+    /// Median request latency (admission → completion; interpolated within
+    /// its histogram bucket).
     pub p50_latency: Duration,
-    /// 99th-percentile request latency (bucket upper bound).
+    /// 99th-percentile request latency (interpolated within its histogram
+    /// bucket).
     pub p99_latency: Duration,
     /// Worst observed request latency.
     pub max_latency: Duration,
@@ -151,13 +203,33 @@ mod tests {
         for ms in 1..=100u64 {
             h.record(Duration::from_millis(ms));
         }
+        // Interpolation keeps the estimates near the true order statistics
+        // instead of the pow-2 bucket upper bounds (p50 would have read
+        // 65.5 ms before): true p50 = 50 ms, the interpolated estimate sits
+        // within the rank resolution of the 32–65 ms bucket.
         let p50 = h.quantile(0.5);
         let p99 = h.quantile(0.99);
-        assert!(p50 >= Duration::from_millis(50), "p50 {p50:?}");
-        assert!(p50 <= Duration::from_millis(128), "p50 {p50:?}");
-        assert!(p99 >= Duration::from_millis(99), "p99 {p99:?}");
+        assert!(p50 >= Duration::from_millis(45), "p50 {p50:?}");
+        assert!(p50 <= Duration::from_millis(56), "p50 {p50:?}");
+        assert!(p99 >= Duration::from_millis(95), "p99 {p99:?}");
         assert!(p99 <= Duration::from_millis(100), "p99 {p99:?} capped by observed max");
         assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // All samples land in one bucket [1024, 2048) µs; different
+        // quantiles must spread across it rather than all reporting the
+        // 2048 µs upper bound.
+        let h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(1500));
+        }
+        let p10 = h.quantile(0.10);
+        let p90 = h.quantile(0.90);
+        assert!(p10 >= Duration::from_micros(1024), "p10 {p10:?}");
+        assert!(p10 < p90, "p10 {p10:?} must interpolate below p90 {p90:?}");
+        assert!(p90 <= Duration::from_micros(1500), "p90 {p90:?} capped by observed max");
     }
 
     #[test]

@@ -4,25 +4,51 @@
 //! order. All integers are little-endian; samples are IEEE-754 `f32` LE,
 //! matching the raw trace file format.
 //!
+//! Version 2 addresses models by registry **name** instead of a raw slot
+//! index: an index is only meaningful for a frozen engine list, and the
+//! registry's swap/evict operations made registration order a moving target
+//! — a v1 client could silently hit the *wrong* model. Names resolve
+//! through the service's [`ModelRegistry`](crate::ModelRegistry) at
+//! admission, and stale or unknown names come back as the typed
+//! [`Status::UnknownModel`] / [`Status::ModelUnavailable`] instead of a
+//! misrouted answer.
+//!
 //! **Request frame** (`SCLQ`):
 //!
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 4    | magic `b"SCLQ"` |
-//! | 4      | 1    | protocol version (`1`) |
-//! | 5      | 1    | model index |
+//! | 4      | 1    | protocol version (`2`) |
+//! | 5      | 1    | model name length in bytes (`1..=255`) |
 //! | 6      | 1    | flags — bit 0: streamed ingest (score while receiving) |
 //! | 7      | 1    | reserved (zero) |
 //! | 8      | 4    | deadline in ms (`0` = none) |
 //! | 12     | 8    | sample count |
-//! | 20     | 4·n  | samples, `f32` LE |
+//! | 20     | m    | model name, UTF-8 |
+//! | 20+m   | 4·n  | samples, `f32` LE |
+//!
+//! **Admin frame** (`SCLA`) — registry control; answered with a response
+//! frame (a successful swap reports the new generation as `starts[0]`).
+//! Refused with [`Status::AdminDenied`] unless [`ServerConfig::allow_admin`]
+//! is set:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `b"SCLA"` |
+//! | 4      | 1    | protocol version (`2`) |
+//! | 5      | 1    | op — `1` swap, `2` evict |
+//! | 6      | 1    | model name length in bytes (`1..=255`) |
+//! | 7      | 1    | reserved (zero) |
+//! | 8      | 2    | model file path length in bytes (`0` for evict) |
+//! | 10     | m    | model name, UTF-8 |
+//! | 10+m   | p    | model file path, UTF-8 |
 //!
 //! **Response frame** (`SCLR`):
 //!
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 4    | magic `b"SCLR"` |
-//! | 4      | 1    | protocol version (`1`) |
+//! | 4      | 1    | protocol version (`2`) |
 //! | 5      | 1    | [`Status`] |
 //! | 6      | 2    | reserved (zero) |
 //! | 8      | 8    | start count |
@@ -30,7 +56,8 @@
 //!
 //! Like the model and trace file readers, the parser never allocates from an
 //! unvalidated length: sample and start counts are bounded *before* any
-//! buffer is sized, and violations surface as typed [`FrameError`]s.
+//! buffer is sized (names are bounded by their one-byte length, admin paths
+//! by two), and violations surface as typed [`FrameError`]s.
 //!
 //! With the streamed-ingest flag set the payload is fed to the engine
 //! through a [`sca_trace::SequentialTraceSource`] *while it arrives* — the
@@ -45,18 +72,22 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::{LocatorService, ModelId, Rejected, RequestOptions, ServiceError};
+use crate::{LocatorService, RegistryError, Rejected, RequestOptions, ServiceError};
 
 /// Request frame magic.
 pub const REQUEST_MAGIC: [u8; 4] = *b"SCLQ";
+/// Admin frame magic (registry swap/evict).
+pub const ADMIN_MAGIC: [u8; 4] = *b"SCLA";
 /// Response frame magic.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"SCLR";
-/// Wire protocol version.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Wire protocol version. Version 2 replaced the v1 raw model index with a
+/// length-prefixed registry name and added admin frames.
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Request flag bit 0: stream the payload into the engine as it arrives.
 pub const FLAG_STREAMED: u8 = 1;
 
 const REQUEST_HEADER_LEN: usize = 20;
+const ADMIN_HEADER_LEN: usize = 10;
 const RESPONSE_HEADER_LEN: usize = 16;
 
 /// Why a frame could not be parsed.
@@ -77,6 +108,8 @@ pub enum FrameError {
         /// The configured maximum.
         max: u64,
     },
+    /// The model name (or admin path) is empty or not valid UTF-8.
+    InvalidName(String),
     /// The connection ended mid-frame.
     Truncated,
     /// Any other socket-level I/O failure.
@@ -91,6 +124,7 @@ impl std::fmt::Display for FrameError {
             FrameError::Oversized { declared, max } => {
                 write!(f, "declared count {declared} exceeds the frame bound {max}")
             }
+            FrameError::InvalidName(msg) => write!(f, "invalid name field: {msg}"),
             FrameError::Truncated => write!(f, "connection closed mid-frame"),
             FrameError::Io(msg) => write!(f, "socket error: {msg}"),
         }
@@ -113,18 +147,31 @@ impl From<io::Error> for FrameError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum Status {
-    /// Request completed; the frame carries the located starts.
+    /// Request completed; the frame carries the located starts (for a swap,
+    /// the new generation).
     Ok = 0,
     /// Rejected by backpressure ([`Rejected::QueueFull`]); retry later.
     QueueFull = 1,
     /// The request's deadline passed before it was scored.
     DeadlineExceeded = 2,
-    /// The request was malformed (unknown model, over the length bound, …).
+    /// The request was malformed (over the length bound, bad parameter, …).
     Invalid = 3,
     /// The payload stream failed mid-request (e.g. truncated ingest).
     SourceFailed = 4,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown = 5,
+    /// No model is registered under the requested name (stale after a
+    /// deregistration, or never registered).
+    UnknownModel = 6,
+    /// The model is registered but its backing file failed to load; the
+    /// registration stays and a later request retries.
+    ModelUnavailable = 7,
+    /// A worker panicked while scoring this request's batch; the service
+    /// kept serving and the request may be retried.
+    WorkerFailed = 8,
+    /// An admin frame was refused because [`ServerConfig::allow_admin`] is
+    /// off.
+    AdminDenied = 9,
 }
 
 impl Status {
@@ -136,6 +183,10 @@ impl Status {
             3 => Some(Status::Invalid),
             4 => Some(Status::SourceFailed),
             5 => Some(Status::ShuttingDown),
+            6 => Some(Status::UnknownModel),
+            7 => Some(Status::ModelUnavailable),
+            8 => Some(Status::WorkerFailed),
+            9 => Some(Status::AdminDenied),
             _ => None,
         }
     }
@@ -146,15 +197,17 @@ impl Status {
 pub struct Response {
     /// Outcome of the request.
     pub status: Status,
-    /// Located CO start samples (empty unless [`Status::Ok`]).
+    /// Located CO start samples (empty unless [`Status::Ok`]; for an admin
+    /// swap, one element holding the new generation).
     pub starts: Vec<u64>,
 }
 
-/// The parsed fixed-size part of a request frame (payload read separately).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The parsed fixed-size part of a request frame plus the model name
+/// (payload read separately).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestHeader {
-    /// Engine slot the request targets.
-    pub model: u8,
+    /// Registry name of the model the request targets.
+    pub model: String,
     /// Flag byte (see [`FLAG_STREAMED`]).
     pub flags: u8,
     /// Deadline in milliseconds (`0` = none).
@@ -170,30 +223,70 @@ impl RequestHeader {
     }
 }
 
+/// A registry operation carried by an admin frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum AdminOp {
+    /// Install the model file at `path` as the name's next generation
+    /// ([`crate::ModelRegistry::swap`]).
+    Swap = 1,
+    /// Drop the name's resident weights
+    /// ([`crate::ModelRegistry::evict`]).
+    Evict = 2,
+}
+
+/// A parsed admin frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminRequest {
+    /// The operation.
+    pub op: AdminOp,
+    /// Registry name the operation targets.
+    pub name: String,
+    /// Server-local model file path (empty for [`AdminOp::Evict`]).
+    pub path: String,
+}
+
 // ---------------------------------------------------------------------------
 // Codec
 // ---------------------------------------------------------------------------
 
-/// Writes one request frame: header, then the samples as `f32` LE.
+fn validated_name(bytes: Vec<u8>, what: &str) -> Result<String, FrameError> {
+    if bytes.is_empty() {
+        return Err(FrameError::InvalidName(format!("empty {what}")));
+    }
+    String::from_utf8(bytes)
+        .map_err(|_| FrameError::InvalidName(format!("{what} is not valid UTF-8")))
+}
+
+/// Writes one request frame: header, model name, then the samples as
+/// `f32` LE.
 ///
 /// # Errors
 ///
-/// Propagates socket write failures.
+/// Fails with [`io::ErrorKind::InvalidInput`] for an empty or over-long
+/// (> 255 bytes) model name; otherwise propagates socket write failures.
 pub fn write_request<W: Write>(
     mut w: W,
-    model: u8,
+    model: &str,
     flags: u8,
     deadline_ms: u32,
     samples: &[f32],
 ) -> io::Result<()> {
+    if model.is_empty() || model.len() > u8::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("model name must be 1..=255 bytes, got {}", model.len()),
+        ));
+    }
     let mut header = [0u8; REQUEST_HEADER_LEN];
     header[..4].copy_from_slice(&REQUEST_MAGIC);
     header[4] = PROTOCOL_VERSION;
-    header[5] = model;
+    header[5] = model.len() as u8;
     header[6] = flags;
     header[8..12].copy_from_slice(&deadline_ms.to_le_bytes());
     header[12..20].copy_from_slice(&(samples.len() as u64).to_le_bytes());
     w.write_all(&header)?;
+    w.write_all(model.as_bytes())?;
     let mut buf = Vec::with_capacity(4096.min(samples.len() * 4));
     for block in samples.chunks(1024) {
         buf.clear();
@@ -205,31 +298,122 @@ pub fn write_request<W: Write>(
     w.flush()
 }
 
-/// Reads and validates a request header. `max_samples` bounds the declared
-/// payload before anything is allocated.
+/// Parses a request header whose magic was already consumed.
+fn read_request_tail<R: Read>(mut r: R, max_samples: u64) -> Result<RequestHeader, FrameError> {
+    let mut header = [0u8; REQUEST_HEADER_LEN - 4];
+    r.read_exact(&mut header)?;
+    if header[0] != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion(header[0]));
+    }
+    let name_len = header[1] as usize;
+    let flags = header[2];
+    let deadline_ms = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+    let sample_count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    if sample_count > max_samples {
+        return Err(FrameError::Oversized { declared: sample_count, max: max_samples });
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let model = validated_name(name, "model name")?;
+    Ok(RequestHeader { model, flags, deadline_ms, sample_count })
+}
+
+/// Reads and validates a request header (including the model name).
+/// `max_samples` bounds the declared payload before anything is allocated.
 ///
 /// # Errors
 ///
 /// Returns a typed [`FrameError`] for bad magic, version or bound
-/// violations, truncation, or socket failures.
+/// violations, a bad name, truncation, or socket failures.
 pub fn read_request_header<R: Read>(
     mut r: R,
     max_samples: u64,
 ) -> Result<RequestHeader, FrameError> {
-    let mut header = [0u8; REQUEST_HEADER_LEN];
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != REQUEST_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    read_request_tail(r, max_samples)
+}
+
+/// Writes one admin frame.
+///
+/// # Errors
+///
+/// Fails with [`io::ErrorKind::InvalidInput`] for an empty or over-long
+/// (> 255 bytes) name or an over-long (> 65535 bytes) path; otherwise
+/// propagates socket write failures.
+pub fn write_admin_request<W: Write>(
+    mut w: W,
+    op: AdminOp,
+    name: &str,
+    path: &str,
+) -> io::Result<()> {
+    if name.is_empty() || name.len() > u8::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("model name must be 1..=255 bytes, got {}", name.len()),
+        ));
+    }
+    if path.len() > u16::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("model path must be at most 65535 bytes, got {}", path.len()),
+        ));
+    }
+    let mut header = [0u8; ADMIN_HEADER_LEN];
+    header[..4].copy_from_slice(&ADMIN_MAGIC);
+    header[4] = PROTOCOL_VERSION;
+    header[5] = op as u8;
+    header[6] = name.len() as u8;
+    header[8..10].copy_from_slice(&(path.len() as u16).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(name.as_bytes())?;
+    w.write_all(path.as_bytes())?;
+    w.flush()
+}
+
+/// Parses an admin frame whose magic was already consumed.
+fn read_admin_tail<R: Read>(mut r: R) -> Result<AdminRequest, FrameError> {
+    let mut header = [0u8; ADMIN_HEADER_LEN - 4];
     r.read_exact(&mut header)?;
-    if header[..4] != REQUEST_MAGIC {
-        return Err(FrameError::BadMagic { found: [header[0], header[1], header[2], header[3]] });
+    if header[0] != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion(header[0]));
     }
-    if header[4] != PROTOCOL_VERSION {
-        return Err(FrameError::UnsupportedVersion(header[4]));
+    let op = match header[1] {
+        1 => AdminOp::Swap,
+        2 => AdminOp::Evict,
+        other => return Err(FrameError::Io(format!("unknown admin op {other}"))),
+    };
+    let name_len = header[2] as usize;
+    let path_len = u16::from_le_bytes(header[4..6].try_into().expect("2-byte slice")) as usize;
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = validated_name(name, "model name")?;
+    let mut path = vec![0u8; path_len];
+    r.read_exact(&mut path)?;
+    let path = String::from_utf8(path)
+        .map_err(|_| FrameError::InvalidName("model path is not valid UTF-8".into()))?;
+    if op == AdminOp::Swap && path.is_empty() {
+        return Err(FrameError::InvalidName("swap requires a model file path".into()));
     }
-    let deadline_ms = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice"));
-    let sample_count = u64::from_le_bytes(header[12..20].try_into().expect("8-byte slice"));
-    if sample_count > max_samples {
-        return Err(FrameError::Oversized { declared: sample_count, max: max_samples });
+    Ok(AdminRequest { op, name, path })
+}
+
+/// Reads and validates an admin frame.
+///
+/// # Errors
+///
+/// Returns a typed [`FrameError`] for bad magic, version violations, bad
+/// names, truncation, or socket failures.
+pub fn read_admin_request<R: Read>(mut r: R) -> Result<AdminRequest, FrameError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != ADMIN_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
     }
-    Ok(RequestHeader { model: header[5], flags: header[6], deadline_ms, sample_count })
+    read_admin_tail(r)
 }
 
 /// Writes one response frame.
@@ -292,13 +476,17 @@ pub struct ServerConfig {
     /// Largest sample count a request frame may declare (bounds both the
     /// in-memory buffer and the streamed drain).
     pub max_frame_samples: u64,
+    /// Accept admin frames (registry swap/evict) on this listener. Off by
+    /// default: admin frames name server-local files, so only enable it on
+    /// listeners reachable solely by operators.
+    pub allow_admin: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         // 2^28 samples = 1 GiB of payload; far above any test trace, far
         // below an allocation-of-death.
-        Self { max_frame_samples: 1 << 28 }
+        Self { max_frame_samples: 1 << 28, allow_admin: false }
     }
 }
 
@@ -333,7 +521,7 @@ impl ServerHandle {
         self.stopping.store(true, Ordering::SeqCst);
         // Kick handler threads out of their blocking frame reads: a peer
         // idling between requests would otherwise block the join forever.
-        for stream in self.conns.lock().expect("connection list poisoned").values() {
+        for stream in crate::lock_poisoned(&self.conns).values() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         // Unblock the accept loop with a throwaway connection.
@@ -378,14 +566,14 @@ pub fn serve(
                 let id = next_id;
                 next_id += 1;
                 if let Ok(peer) = stream.try_clone() {
-                    conns.lock().expect("connection list poisoned").insert(id, peer);
+                    crate::lock_poisoned(&conns).insert(id, peer);
                 }
                 let service = Arc::clone(&service);
                 let conns = Arc::clone(&conns);
                 if let Ok(handle) =
                     std::thread::Builder::new().name("locsvc-conn".into()).spawn(move || {
                         handle_connection(&service, &stream, cfg);
-                        conns.lock().expect("connection list poisoned").remove(&id);
+                        crate::lock_poisoned(&conns).remove(&id);
                     })
                 {
                     // Reap finished handlers so the list stays bounded by
@@ -421,26 +609,80 @@ fn handle_connection(service: &LocatorService, stream: &TcpStream, cfg: ServerCo
     loop {
         // No buffering on the request side: for streamed ingest the service
         // reads the payload straight off this socket, so the handler must
-        // never read ahead of the header.
-        let header = match read_request_header(stream, cfg.max_frame_samples) {
-            Ok(h) => h,
-            // Clean close between frames, a malformed frame, or a dead
-            // socket: without a parsable header there is no way to answer
-            // in-protocol, so just drop the connection.
-            Err(_) => return,
-        };
-        let options = RequestOptions {
-            deadline: (header.deadline_ms > 0)
-                .then(|| Duration::from_millis(u64::from(header.deadline_ms))),
-            ..RequestOptions::default()
-        };
-        let ok = if header.streamed() {
-            serve_streamed(service, stream, &header, options)
-        } else {
-            serve_buffered(service, stream, &header, options)
+        // never read ahead of the frame. The magic dispatches between
+        // locate and admin frames.
+        let mut magic = [0u8; 4];
+        if stream.take(4).read_exact(&mut magic).is_err() {
+            return; // clean close between frames, or a dead socket
+        }
+        let ok = match magic {
+            REQUEST_MAGIC => match read_request_tail(stream, cfg.max_frame_samples) {
+                Ok(header) => serve_locate(service, stream, &header),
+                // Malformed frame: no way to know where the payload ends,
+                // so drop the connection.
+                Err(_) => return,
+            },
+            ADMIN_MAGIC => match read_admin_tail(stream) {
+                Ok(admin) => serve_admin(service, stream, &admin, cfg),
+                Err(_) => return,
+            },
+            found => {
+                // Out of sync; answer once so the peer sees a typed refusal.
+                let _ = found;
+                let _ = write_response(stream, Status::Invalid, &[]);
+                return;
+            }
         };
         if !ok {
             return;
+        }
+    }
+}
+
+fn serve_locate(service: &LocatorService, stream: &TcpStream, header: &RequestHeader) -> bool {
+    let options = RequestOptions {
+        deadline: (header.deadline_ms > 0)
+            .then(|| Duration::from_millis(u64::from(header.deadline_ms))),
+        ..RequestOptions::default()
+    };
+    if header.streamed() {
+        serve_streamed(service, stream, header, options)
+    } else {
+        serve_buffered(service, stream, header, options)
+    }
+}
+
+/// Executes an admin frame against the service's registry. A successful
+/// swap answers `Ok` with the new generation as `starts[0]`.
+fn serve_admin(
+    service: &LocatorService,
+    stream: &TcpStream,
+    admin: &AdminRequest,
+    cfg: ServerConfig,
+) -> bool {
+    if !cfg.allow_admin {
+        return write_response(stream, Status::AdminDenied, &[]).is_ok();
+    }
+    let registry = service.registry();
+    let (status, starts): (Status, Vec<usize>) = match admin.op {
+        AdminOp::Swap => match registry.swap(&admin.name, &admin.path) {
+            Ok(generation) => (Status::Ok, vec![generation as usize]),
+            Err(e) => (registry_status(&e), Vec::new()),
+        },
+        AdminOp::Evict => match registry.evict(&admin.name) {
+            Ok(()) => (Status::Ok, Vec::new()),
+            Err(e) => (registry_status(&e), Vec::new()),
+        },
+    };
+    write_response(stream, status, &starts).is_ok()
+}
+
+fn registry_status(e: &RegistryError) -> Status {
+    match e {
+        RegistryError::UnknownModel { .. } => Status::UnknownModel,
+        RegistryError::Load { .. } => Status::ModelUnavailable,
+        RegistryError::AlreadyRegistered { .. } | RegistryError::NotEvictable { .. } => {
+            Status::Invalid
         }
     }
 }
@@ -457,9 +699,8 @@ fn serve_buffered(
     if sca_trace::io::read_f32s_le_into(stream, &mut samples).is_err() {
         return false; // truncated payload: peer is gone or out of sync
     }
-    let model = ModelId::from_index(header.model as usize);
     let trace = sca_trace::Trace::from_samples(samples);
-    match service.submit_trace(model, trace, options) {
+    match service.submit_trace(&header.model, trace, options) {
         Ok(ticket) => respond_with_ticket(stream, ticket),
         Err(rejected) => write_response(stream, rejection_status(&rejected), &[]).is_ok(),
     }
@@ -475,12 +716,11 @@ fn serve_streamed(
     options: RequestOptions,
 ) -> bool {
     let payload_bytes = header.sample_count * 4;
-    let model = ModelId::from_index(header.model as usize);
     let Ok(ingest) = stream.try_clone() else { return false };
     let consumed = Arc::new(AtomicU64::new(0));
     let reader =
         CountingReader { inner: ingest.take(payload_bytes), consumed: Arc::clone(&consumed) };
-    match service.submit_reader(model, reader, header.sample_count as usize, options) {
+    match service.submit_reader(&header.model, reader, header.sample_count as usize, options) {
         Ok(ticket) => {
             let result = ticket.wait();
             // After a source failure the stream position is unknowable (the
@@ -526,9 +766,9 @@ fn rejection_status(rejected: &Rejected) -> Status {
     match rejected {
         Rejected::QueueFull { .. } => Status::QueueFull,
         Rejected::ShuttingDown => Status::ShuttingDown,
-        Rejected::UnknownModel { .. } | Rejected::TooLong { .. } | Rejected::InvalidRequest(_) => {
-            Status::Invalid
-        }
+        Rejected::UnknownModel { .. } => Status::UnknownModel,
+        Rejected::ModelUnavailable { .. } => Status::ModelUnavailable,
+        Rejected::TooLong { .. } | Rejected::InvalidRequest(_) => Status::Invalid,
     }
 }
 
@@ -536,6 +776,7 @@ fn failure_status(e: &ServiceError) -> Status {
     match e {
         ServiceError::DeadlineExceeded => Status::DeadlineExceeded,
         ServiceError::Source(_) => Status::SourceFailed,
+        ServiceError::WorkerFailed => Status::WorkerFailed,
         ServiceError::Stopped => Status::ShuttingDown,
     }
 }
@@ -570,8 +811,8 @@ impl Client {
         Ok(Self { stream: TcpStream::connect(addr)?, max_starts: 1 << 24 })
     }
 
-    /// Sends one locate request (buffered or streamed per `flags`) and
-    /// blocks for the response.
+    /// Sends one locate request against the named model (buffered or
+    /// streamed per `flags`) and blocks for the response.
     ///
     /// # Errors
     ///
@@ -579,12 +820,38 @@ impl Client {
     /// response.
     pub fn locate(
         &mut self,
-        model: u8,
+        model: &str,
         flags: u8,
         deadline_ms: u32,
         samples: &[f32],
     ) -> Result<Response, FrameError> {
         write_request(&self.stream, model, flags, deadline_ms, samples)?;
+        read_response(&self.stream, self.max_starts)
+    }
+
+    /// Asks the server to hot-swap `model` to the model file at the
+    /// server-local `path` and blocks for the response; on [`Status::Ok`]
+    /// the new generation is `starts[0]`. Requires
+    /// [`ServerConfig::allow_admin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FrameError`] on socket failure or a malformed
+    /// response.
+    pub fn swap(&mut self, model: &str, path: &str) -> Result<Response, FrameError> {
+        write_admin_request(&self.stream, AdminOp::Swap, model, path)?;
+        read_response(&self.stream, self.max_starts)
+    }
+
+    /// Asks the server to evict `model`'s resident weights and blocks for
+    /// the response. Requires [`ServerConfig::allow_admin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FrameError`] on socket failure or a malformed
+    /// response.
+    pub fn evict(&mut self, model: &str) -> Result<Response, FrameError> {
+        write_admin_request(&self.stream, AdminOp::Evict, model, "")?;
         read_response(&self.stream, self.max_starts)
     }
 }
@@ -597,17 +864,66 @@ mod tests {
     #[test]
     fn request_header_roundtrip() {
         let mut frame = Vec::new();
-        write_request(&mut frame, 3, FLAG_STREAMED, 250, &[1.0, -2.5, 0.0]).unwrap();
+        write_request(&mut frame, "xmega-aes", FLAG_STREAMED, 250, &[1.0, -2.5, 0.0]).unwrap();
         let mut cursor = Cursor::new(frame);
         let header = read_request_header(&mut cursor, 1 << 20).unwrap();
         assert_eq!(
             header,
-            RequestHeader { model: 3, flags: FLAG_STREAMED, deadline_ms: 250, sample_count: 3 }
+            RequestHeader {
+                model: "xmega-aes".into(),
+                flags: FLAG_STREAMED,
+                deadline_ms: 250,
+                sample_count: 3
+            }
         );
         assert!(header.streamed());
         let mut payload = [0.0f32; 3];
         sca_trace::io::read_f32s_le_into(&mut cursor, &mut payload).unwrap();
         assert_eq!(payload, [1.0, -2.5, 0.0]);
+    }
+
+    #[test]
+    fn admin_frame_roundtrip() {
+        let mut frame = Vec::new();
+        write_admin_request(&mut frame, AdminOp::Swap, "xmega-aes", "/models/v2.sclm").unwrap();
+        let got = read_admin_request(Cursor::new(frame)).unwrap();
+        assert_eq!(
+            got,
+            AdminRequest {
+                op: AdminOp::Swap,
+                name: "xmega-aes".into(),
+                path: "/models/v2.sclm".into()
+            }
+        );
+
+        let mut frame = Vec::new();
+        write_admin_request(&mut frame, AdminOp::Evict, "xmega-aes", "").unwrap();
+        let got = read_admin_request(Cursor::new(frame)).unwrap();
+        assert_eq!(
+            got,
+            AdminRequest { op: AdminOp::Evict, name: "xmega-aes".into(), path: String::new() }
+        );
+    }
+
+    #[test]
+    fn invalid_names_are_typed() {
+        // An empty model name is refused at write time…
+        let err = write_request(&mut Vec::new(), "", 0, 0, &[]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // …and a hand-rolled frame with a zero name length at read time.
+        let mut frame = Vec::new();
+        write_request(&mut frame, "x", 0, 0, &[]).unwrap();
+        frame[5] = 0; // name length
+        frame.truncate(REQUEST_HEADER_LEN);
+        let err = read_request_header(Cursor::new(frame), 10).unwrap_err();
+        assert!(matches!(err, FrameError::InvalidName(_)), "{err:?}");
+        // Swap without a path is refused too.
+        let mut frame = Vec::new();
+        write_admin_request(&mut frame, AdminOp::Swap, "x", "p").unwrap();
+        frame[8..10].copy_from_slice(&0u16.to_le_bytes()); // path length
+        frame.truncate(ADMIN_HEADER_LEN + 1);
+        let err = read_admin_request(Cursor::new(frame)).unwrap_err();
+        assert!(matches!(err, FrameError::InvalidName(_)), "{err:?}");
     }
 
     #[test]
@@ -627,7 +943,7 @@ mod tests {
     #[test]
     fn oversized_declared_count_is_refused_before_allocation() {
         let mut frame = Vec::new();
-        write_request(&mut frame, 0, 0, 0, &[0.0; 64]).unwrap();
+        write_request(&mut frame, "m", 0, 0, &[0.0; 64]).unwrap();
         let err = read_request_header(Cursor::new(frame), 63).unwrap_err();
         assert_eq!(err, FrameError::Oversized { declared: 64, max: 63 });
 
@@ -650,7 +966,7 @@ mod tests {
     #[test]
     fn unsupported_version_is_typed() {
         let mut frame = Vec::new();
-        write_request(&mut frame, 0, 0, 0, &[]).unwrap();
+        write_request(&mut frame, "m", 0, 0, &[]).unwrap();
         frame[4] = 9;
         let err = read_request_header(Cursor::new(frame), 10).unwrap_err();
         assert_eq!(err, FrameError::UnsupportedVersion(9));

@@ -1,0 +1,484 @@
+//! Name-keyed model registry with lazy loading, LRU eviction and
+//! non-disruptive hot swap.
+//!
+//! The paper's deployment is a scenario *matrix* — per device, per cipher,
+//! sync vs desynchronised — so one engine process serves many models that
+//! come and go while requests are in flight. The registry is the piece that
+//! makes that safe:
+//!
+//! * **Names, not indices.** Models are keyed by scenario name (`"xmega-aes"`,
+//!   `"stm32-present-desync"`), the identity carried on the wire. Slot order
+//!   never leaks into the API, so swapping or evicting one model can never
+//!   silently re-address another.
+//! * **Lazy loading.** [`ModelRegistry::register`] records a model file path
+//!   without touching the disk; the first [`ModelRegistry::resolve`] loads it
+//!   through [`sca_locator::LocatorEngine::load`] (any `SCALOCEN` version).
+//!   The registry lock is **not** held across file I/O — concurrent resolves
+//!   of other models proceed, and two racing loads of the same model keep
+//!   the winner's engine.
+//! * **Generation pinning.** A [`ModelHandle`] carries an
+//!   [`Arc<LocatorEngine>`] plus the generation it resolved. Requests hold
+//!   their handle until they complete, so [`ModelRegistry::swap`] can install
+//!   a new generation atomically while admitted requests finish
+//!   **bit-identically** on the weights they were admitted against; nothing
+//!   is ever torn out from under a running batch.
+//! * **Byte-budgeted residency.** Every resident model is accounted at
+//!   [`sca_locator::LocatorEngine::memory_footprint`] (exact weight bytes
+//!   plus a deterministic workspace estimate). When a load pushes the total
+//!   over [`RegistryConfig::byte_budget`], least-recently-used file-backed
+//!   models are evicted until it fits; pinned models (installed in-process
+//!   via [`ModelRegistry::install`], no backing file) are never evicted.
+//!   Eviction drops the registry's reference only — in-flight handles keep
+//!   the weights alive until their requests drain — and does **not** bump
+//!   the generation: a reload serves bit-identical scores.
+//!
+//! Counters (loads, evictions, swaps) and the resident-bytes gauge are
+//! lock-free reads, surfaced through the service's
+//! [`MetricsSnapshot`](crate::MetricsSnapshot).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use sca_locator::{LocatorEngine, PersistError};
+
+/// Registry sizing; `Default` is an unbounded residency budget.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryConfig {
+    /// Total resident-model byte budget (weights + workspace estimate per
+    /// [`LocatorEngine::memory_footprint`]). `usize::MAX` disables
+    /// eviction. The budget is enforced against *evictable* (file-backed)
+    /// models: the most recently touched model always stays resident even
+    /// if it alone exceeds the budget, and pinned models do not count
+    /// against evictability (they can push the total over budget but are
+    /// never evicted to make room).
+    pub byte_budget: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self { byte_budget: usize::MAX }
+    }
+}
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No model is registered under the name.
+    UnknownModel {
+        /// The unresolved name.
+        name: String,
+    },
+    /// Loading the model file failed (missing, foreign, corrupt — see
+    /// [`PersistError`]).
+    Load {
+        /// The model whose load failed.
+        name: String,
+        /// The underlying persistence error.
+        error: PersistError,
+    },
+    /// [`ModelRegistry::register`]/[`install`](ModelRegistry::install) with
+    /// a name that is already taken (use [`ModelRegistry::swap`] to replace
+    /// a model's weights).
+    AlreadyRegistered {
+        /// The contested name.
+        name: String,
+    },
+    /// The operation needs a file-backed model but the name is pinned
+    /// (installed in-process, nowhere to reload from).
+    NotEvictable {
+        /// The pinned model.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownModel { name } => write!(f, "unknown model {name:?}"),
+            RegistryError::Load { name, error } => {
+                write!(f, "loading model {name:?} failed: {error}")
+            }
+            RegistryError::AlreadyRegistered { name } => {
+                write!(f, "model {name:?} is already registered")
+            }
+            RegistryError::NotEvictable { name } => {
+                write!(f, "model {name:?} is pinned in-process (no backing file)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Load { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved model: the engine pinned at the generation it resolved.
+///
+/// Handles are cheap to clone (`Arc` bumps). A request holds its handle for
+/// its whole lifetime, so swaps and evictions never affect work already
+/// admitted — the weights stay alive until the last handle drops.
+#[derive(Debug, Clone)]
+pub struct ModelHandle {
+    name: Arc<str>,
+    generation: u64,
+    engine: Arc<LocatorEngine>,
+}
+
+impl ModelHandle {
+    /// The registered scenario name.
+    pub fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// The generation this handle pinned (bumped by swaps, not reloads).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The pinned engine.
+    pub fn engine(&self) -> &Arc<LocatorEngine> {
+        &self.engine
+    }
+
+    /// Whether two handles pin the exact same resident weights (the
+    /// scheduler's batch-compatibility test).
+    pub fn same_weights(&self, other: &ModelHandle) -> bool {
+        Arc::ptr_eq(&self.engine, &other.engine)
+    }
+}
+
+/// A point-in-time copy of the registry gauges and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Registered models (resident or not).
+    pub models: usize,
+    /// Models currently holding weights in memory.
+    pub resident_models: usize,
+    /// Total bytes of resident models ([`LocatorEngine::memory_footprint`]).
+    pub resident_bytes: u64,
+    /// The configured byte budget (`u64::MAX` = unbounded).
+    pub byte_budget: u64,
+    /// Model files loaded (cold loads + reloads + swap loads).
+    pub loads: u64,
+    /// Models evicted to fit the byte budget (or explicitly).
+    pub evictions: u64,
+    /// Generations installed by [`ModelRegistry::swap`].
+    pub swaps: u64,
+}
+
+struct Resident {
+    engine: Arc<LocatorEngine>,
+    bytes: usize,
+}
+
+struct Slot {
+    name: Arc<str>,
+    /// Backing file; `None` pins the model (installed in-process).
+    path: Option<PathBuf>,
+    /// Starts at 1; bumped only by [`ModelRegistry::swap`].
+    generation: u64,
+    resident: Option<Resident>,
+    /// Tick of the last resolve (LRU order).
+    last_used: u64,
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    tick: u64,
+}
+
+/// The name-keyed model registry (see the [module docs](self)).
+pub struct ModelRegistry {
+    inner: Mutex<Inner>,
+    byte_budget: usize,
+    resident_bytes: AtomicU64,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("byte_budget", &self.byte_budget)
+            .field("resident_bytes", &self.resident_bytes.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new(RegistryConfig::default())
+    }
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry under `cfg.byte_budget`.
+    pub fn new(cfg: RegistryConfig) -> Self {
+        Self {
+            inner: Mutex::new(Inner { slots: Vec::new(), tick: 0 }),
+            byte_budget: cfg.byte_budget,
+            resident_bytes: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a file-backed model under `name` without loading it — the
+    /// first [`Self::resolve`] does. Any `SCALOCEN` version the engine can
+    /// load (v1 f32, v2/v3 quantised) is eligible.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::AlreadyRegistered`] if the name is taken.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+    ) -> Result<(), RegistryError> {
+        let name = name.into();
+        let mut inner = self.lock();
+        if inner.slots.iter().any(|s| &*s.name == name.as_str()) {
+            return Err(RegistryError::AlreadyRegistered { name });
+        }
+        inner.slots.push(Slot {
+            name: name.into(),
+            path: Some(path.into()),
+            generation: 1,
+            resident: None,
+            last_used: 0,
+        });
+        Ok(())
+    }
+
+    /// Installs an in-process engine under `name`, **pinned**: with no
+    /// backing file it is never evicted and cannot be lazily reloaded.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::AlreadyRegistered`] if the name is taken.
+    pub fn install(
+        &self,
+        name: impl Into<String>,
+        engine: LocatorEngine,
+    ) -> Result<(), RegistryError> {
+        let name = name.into();
+        let bytes = engine.memory_footprint();
+        let mut inner = self.lock();
+        if inner.slots.iter().any(|s| &*s.name == name.as_str()) {
+            return Err(RegistryError::AlreadyRegistered { name });
+        }
+        inner.slots.push(Slot {
+            name: name.into(),
+            path: None,
+            generation: 1,
+            resident: Some(Resident { engine: Arc::new(engine), bytes }),
+            last_used: 0,
+        });
+        self.resident_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Resolves `name` to a handle pinning the current generation, loading
+    /// the model file on a cold hit and evicting LRU models to the byte
+    /// budget afterwards. The registry lock is released across the file
+    /// load, so resolves of other (resident) models are never blocked by a
+    /// cold load.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for an unregistered name,
+    /// [`RegistryError::Load`] when reading the model file fails (the slot
+    /// stays registered — a later resolve retries).
+    pub fn resolve(&self, name: &str) -> Result<ModelHandle, RegistryError> {
+        let (slot_name, path, generation) = {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let Some(slot) = inner.slots.iter_mut().find(|s| &*s.name == name) else {
+                return Err(RegistryError::UnknownModel { name: name.into() });
+            };
+            slot.last_used = tick;
+            if let Some(resident) = &slot.resident {
+                return Ok(ModelHandle {
+                    name: Arc::clone(&slot.name),
+                    generation: slot.generation,
+                    engine: Arc::clone(&resident.engine),
+                });
+            }
+            let path = slot.path.clone().expect("a non-resident slot is always file-backed");
+            (Arc::clone(&slot.name), path, slot.generation)
+        };
+
+        // Cold: load outside the lock.
+        let engine = self.load_file(&slot_name, &path)?;
+        let bytes = engine.memory_footprint();
+
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(slot) = inner.slots.iter_mut().find(|s| Arc::ptr_eq(&s.name, &slot_name)) else {
+            // Deregistered while loading; serve the orphan load anyway.
+            return Ok(ModelHandle { name: slot_name, generation, engine: Arc::new(engine) });
+        };
+        slot.last_used = tick;
+        if let Some(resident) = &slot.resident {
+            // A racing resolve (or swap) installed weights first — theirs
+            // win, ours are dropped; every caller shares one Arc per
+            // (name, generation) so batches coalesce.
+            return Ok(ModelHandle {
+                name: Arc::clone(&slot.name),
+                generation: slot.generation,
+                engine: Arc::clone(&resident.engine),
+            });
+        }
+        let generation = slot.generation;
+        let engine = Arc::new(engine);
+        slot.resident = Some(Resident { engine: Arc::clone(&engine), bytes });
+        self.resident_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let handle = ModelHandle { name: Arc::clone(&slot.name), generation, engine };
+        self.evict_to_budget(&mut inner, &handle.name);
+        Ok(handle)
+    }
+
+    /// Loads `path` and atomically installs it as `name`'s next generation:
+    /// resolves ordered after the swap see the new weights, requests already
+    /// holding a handle complete bit-identically on the old ones (kept
+    /// alive by their `Arc`s until they drain). Works on pinned models too
+    /// — the slot becomes file-backed. Returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for an unregistered name;
+    /// [`RegistryError::Load`] if reading the file fails — the old
+    /// generation keeps serving untouched.
+    pub fn swap(&self, name: &str, path: impl Into<PathBuf>) -> Result<u64, RegistryError> {
+        let path = path.into();
+        {
+            // Fail fast (and avoid a wasted load) for unknown names.
+            let inner = self.lock();
+            if !inner.slots.iter().any(|s| &*s.name == name) {
+                return Err(RegistryError::UnknownModel { name: name.into() });
+            }
+        }
+        let engine = self.load_file(name, &path)?;
+        let bytes = engine.memory_footprint();
+
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(slot) = inner.slots.iter_mut().find(|s| &*s.name == name) else {
+            return Err(RegistryError::UnknownModel { name: name.into() });
+        };
+        if let Some(old) = slot.resident.take() {
+            self.resident_bytes.fetch_sub(old.bytes as u64, Ordering::Relaxed);
+        }
+        slot.generation += 1;
+        slot.path = Some(path);
+        slot.last_used = tick;
+        slot.resident = Some(Resident { engine: Arc::new(engine), bytes });
+        self.resident_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let generation = slot.generation;
+        let name = Arc::clone(&slot.name);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.evict_to_budget(&mut inner, &name);
+        Ok(generation)
+    }
+
+    /// Drops `name`'s resident weights (a later resolve reloads them from
+    /// the backing file, same generation, bit-identical scores). In-flight
+    /// handles keep the weights alive until they drain. A no-op if the
+    /// model is registered but not resident.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for an unregistered name,
+    /// [`RegistryError::NotEvictable`] for a pinned model (nowhere to
+    /// reload from).
+    pub fn evict(&self, name: &str) -> Result<(), RegistryError> {
+        let mut inner = self.lock();
+        let Some(slot) = inner.slots.iter_mut().find(|s| &*s.name == name) else {
+            return Err(RegistryError::UnknownModel { name: name.into() });
+        };
+        if slot.path.is_none() {
+            return Err(RegistryError::NotEvictable { name: name.into() });
+        }
+        if let Some(old) = slot.resident.take() {
+            self.resident_bytes.fetch_sub(old.bytes as u64, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// The registered model names, in registration order.
+    pub fn names(&self) -> Vec<Arc<str>> {
+        self.lock().slots.iter().map(|s| Arc::clone(&s.name)).collect()
+    }
+
+    /// Whether `name` is registered (resident or not).
+    pub fn contains(&self, name: &str) -> bool {
+        self.lock().slots.iter().any(|s| &*s.name == name)
+    }
+
+    /// A point-in-time copy of the registry gauges and counters.
+    pub fn stats(&self) -> RegistryStats {
+        let (models, resident_models) = {
+            let inner = self.lock();
+            (inner.slots.len(), inner.slots.iter().filter(|s| s.resident.is_some()).count())
+        };
+        RegistryStats {
+            models,
+            resident_models,
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            byte_budget: if self.byte_budget == usize::MAX {
+                u64::MAX
+            } else {
+                self.byte_budget as u64
+            },
+            loads: self.loads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+        }
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// Poison-tolerant lock: the registry's invariants hold at every await
+    /// point inside the lock, so a panicking peer leaves consistent state.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn load_file(&self, name: &str, path: &Path) -> Result<LocatorEngine, RegistryError> {
+        let engine = LocatorEngine::load(path)
+            .map_err(|error| RegistryError::Load { name: name.into(), error })?;
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        Ok(engine)
+    }
+
+    /// Evicts least-recently-used file-backed residents until the total is
+    /// within budget. `keep` (the slot just touched) is never evicted, so a
+    /// single model larger than the whole budget still serves.
+    fn evict_to_budget(&self, inner: &mut Inner, keep: &Arc<str>) {
+        while self.resident_bytes.load(Ordering::Relaxed) > self.byte_budget as u64 {
+            let Some(victim) = inner
+                .slots
+                .iter_mut()
+                .filter(|s| s.resident.is_some() && s.path.is_some() && !Arc::ptr_eq(&s.name, keep))
+                .min_by_key(|s| s.last_used)
+            else {
+                return; // nothing evictable left; allow over-budget
+            };
+            let old = victim.resident.take().expect("victim filtered on residency");
+            self.resident_bytes.fetch_sub(old.bytes as u64, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

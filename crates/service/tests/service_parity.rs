@@ -9,9 +9,7 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
 
-use locsvc::{
-    LocatorService, ModelId, Rejected, RequestOptions, ServiceConfig, ServiceError, Ticket,
-};
+use locsvc::{LocatorService, Rejected, RequestOptions, ServiceConfig, ServiceError, Ticket};
 use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
 use sca_trace::{FileTraceSource, Trace};
 
@@ -56,7 +54,7 @@ fn coalesced_batches_are_bit_identical_to_serial_locate_for_f32_and_i8() {
         vec![f32_engine, i8_engine],
         ServiceConfig { workers: 4, tile_windows: 24, ..ServiceConfig::default() },
     );
-    let models = service.model_ids();
+    let models = ["model-0", "model-1"];
     // Mixed sizes: tiny (sub-tile), medium, larger-than-tile requests,
     // interleaved across the two models.
     let lens = [70usize, 333, 900, 150, 61, 512, 257, 800];
@@ -71,7 +69,7 @@ fn coalesced_batches_are_bit_identical_to_serial_locate_for_f32_and_i8() {
     let tickets: Vec<Ticket> = expected
         .iter()
         .map(|(model, trace, _, _)| {
-            service.submit_trace(*model, trace.clone(), collect_scores()).unwrap()
+            service.submit_trace(model, trace.clone(), collect_scores()).unwrap()
         })
         .collect();
     for (ticket, (_, _, scores, starts)) in tickets.into_iter().zip(&expected) {
@@ -99,7 +97,7 @@ fn streamed_submissions_match_locate_streamed_across_chunk_sizes() {
         vec![tiny_engine(33)],
         ServiceConfig { workers: 2, tile_windows: 16, ..ServiceConfig::default() },
     );
-    let model = service.model_ids()[0];
+    let model = "model-0";
     let trace = noisy_trace(700, 7);
     // Window-aligned, prime-odd (ragged final chunk) and beyond-the-trace
     // chunk sizes, like the locator's own streaming grid.
@@ -110,11 +108,8 @@ fn streamed_submissions_match_locate_streamed_across_chunk_sizes() {
         let got = ticket.wait().unwrap();
         assert_eq!(got.starts, expected, "chunk={chunk_len}");
         // The full score signal must also match the in-memory signal.
-        let in_memory = service
-            .engine(model)
-            .unwrap()
-            .sliding()
-            .classify(service.engine(model).unwrap().model(), &trace);
+        let engine = service.engine(model).unwrap();
+        let in_memory = engine.sliding().classify(engine.model(), &trace);
         let got_scores = got.scores.expect("scores were requested");
         for (i, (a, b)) in got_scores.iter().zip(&in_memory).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "chunk={chunk_len}: score {i} diverged");
@@ -130,7 +125,7 @@ fn reader_ingest_matches_file_source_across_chunk_sizes() {
     // `FileTraceSource` (seekable path), and `locate_streamed` directly —
     // must agree bit-for-bit for every chunk size.
     let service = LocatorService::start(vec![tiny_engine(5)], ServiceConfig::default());
-    let model = service.model_ids()[0];
+    let model = "model-0";
     let trace = noisy_trace(600, 3);
     let path = temp_path("raw");
     sca_trace::io::write_samples_binary(std::fs::File::create(&path).unwrap(), trace.samples())
@@ -163,7 +158,7 @@ fn many_threads_hammering_the_service_stay_bit_identical() {
         vec![tiny_engine(9), tiny_engine(9).quantize()],
         ServiceConfig { workers: 3, tile_windows: 32, ..ServiceConfig::default() },
     ));
-    let models = service.model_ids();
+    let models = ["model-0", "model-1"];
     let expected: Vec<Vec<Vec<usize>>> = models
         .iter()
         .map(|&m| (0..4).map(|i| service.engine(m).unwrap().locate(&noisy_trace(400, i))).collect())
@@ -203,7 +198,7 @@ fn queue_full_is_a_typed_rejection_and_clears_after_drain() {
         vec![tiny_engine(2)],
         ServiceConfig { workers: 1, queue_capacity: 2, ..ServiceConfig::default() },
     );
-    let model = service.model_ids()[0];
+    let model = "model-0";
     // Request 1 blocks the only worker on an empty pipe; request 2 fills the
     // queue; request 3 must bounce with the typed backpressure error.
     let blocked = service.submit_reader(model, reader, 64, RequestOptions::default()).unwrap();
@@ -241,7 +236,7 @@ fn expired_deadline_completes_with_typed_error_without_scoring() {
         vec![tiny_engine(4)],
         ServiceConfig { workers: 1, ..ServiceConfig::default() },
     );
-    let model = service.model_ids()[0];
+    let model = "model-0";
     let blocked = service.submit_reader(model, reader, 64, RequestOptions::default()).unwrap();
     let doomed = service
         .submit_trace(
@@ -271,7 +266,7 @@ fn expired_deadline_completes_with_typed_error_without_scoring() {
 #[test]
 fn truncated_reader_surfaces_as_typed_source_error() {
     let service = LocatorService::start(vec![tiny_engine(6)], ServiceConfig::default());
-    let model = service.model_ids()[0];
+    let model = "model-0";
     // Declares 64 samples, delivers 10: the worker must fail the request
     // with the trace layer's typed truncation error, not hang or panic.
     let short = std::io::Cursor::new(vec![0u8; 40]);
@@ -298,12 +293,12 @@ fn admission_rejections_are_typed() {
         vec![tiny_engine(1)],
         ServiceConfig { max_trace_len: 100, ..ServiceConfig::default() },
     );
-    let model = service.model_ids()[0];
+    let model = "model-0";
     assert_eq!(
         service
-            .submit_trace(ModelId::from_index(7), noisy_trace(50, 1), RequestOptions::default())
+            .submit_trace("no-such-model", noisy_trace(50, 1), RequestOptions::default())
             .unwrap_err(),
-        Rejected::UnknownModel { model: 7, models: 1 }
+        Rejected::UnknownModel { name: "no-such-model".into() }
     );
     assert_eq!(
         service.submit_trace(model, noisy_trace(101, 1), RequestOptions::default()).unwrap_err(),
@@ -321,7 +316,7 @@ fn admission_rejections_are_typed() {
 #[test]
 fn sub_window_traces_complete_with_empty_results() {
     let service = LocatorService::start(vec![tiny_engine(3)], ServiceConfig::default());
-    let model = service.model_ids()[0];
+    let model = "model-0";
     for len in [0usize, 1, 15] {
         let got = service
             .submit_trace(model, noisy_trace(len, 1), collect_scores())
@@ -341,7 +336,7 @@ fn shutdown_drains_admitted_work_then_rejects_new_submissions() {
         vec![tiny_engine(8)],
         ServiceConfig { workers: 2, ..ServiceConfig::default() },
     );
-    let model = service.model_ids()[0];
+    let model = "model-0";
     let expected: Vec<_> =
         (0..6u64).map(|i| service.engine(model).unwrap().locate(&noisy_trace(350, i))).collect();
     let tickets: Vec<_> = (0..6u64)

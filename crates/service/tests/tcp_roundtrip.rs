@@ -44,28 +44,30 @@ fn start_server(cfg: ServerConfig) -> (Arc<LocatorService>, net::ServerHandle) {
     (service, handle)
 }
 
-fn expected_starts(service: &LocatorService, model: usize, trace: &Trace) -> Vec<u64> {
-    service
-        .engine(service.model_ids()[model])
-        .unwrap()
-        .locate(trace)
-        .into_iter()
-        .map(|s| s as u64)
-        .collect()
+fn expected_starts(service: &LocatorService, model: &str, trace: &Trace) -> Vec<u64> {
+    service.engine(model).unwrap().locate(trace).into_iter().map(|s| s as u64).collect()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("locsvc_tcp_{name}_{}", std::process::id()))
 }
 
 #[test]
 fn one_connection_pipelines_buffered_and_streamed_requests() {
     let (service, server) = start_server(ServerConfig::default());
     let mut client = Client::connect(server.addr()).unwrap();
-    for (round, &(model, len, streamed)) in
-        [(0usize, 500usize, false), (1, 333, true), (0, 700, true), (1, 61, false)]
-            .iter()
-            .enumerate()
+    for (round, &(model, len, streamed)) in [
+        ("model-0", 500usize, false),
+        ("model-1", 333, true),
+        ("model-0", 700, true),
+        ("model-1", 61, false),
+    ]
+    .iter()
+    .enumerate()
     {
         let trace = noisy_trace(len, round as u64);
         let flags = if streamed { FLAG_STREAMED } else { 0 };
-        let response = client.locate(model as u8, flags, 0, trace.samples()).unwrap();
+        let response = client.locate(model, flags, 0, trace.samples()).unwrap();
         assert_eq!(response.status, Status::Ok, "round {round}");
         assert_eq!(
             response.starts,
@@ -81,7 +83,7 @@ fn concurrent_clients_get_their_own_bit_identical_answers() {
     let (service, server) = start_server(ServerConfig::default());
     let addr = server.addr();
     let expected: Vec<Vec<u64>> =
-        (0..4u64).map(|i| expected_starts(&service, 0, &noisy_trace(400, i))).collect();
+        (0..4u64).map(|i| expected_starts(&service, "model-0", &noisy_trace(400, i))).collect();
     std::thread::scope(|scope| {
         for t in 0..4usize {
             let expected = &expected;
@@ -90,8 +92,9 @@ fn concurrent_clients_get_their_own_bit_identical_answers() {
                 for round in 0..2usize {
                     let i = (t + round) % 4;
                     let flags = if (t + round) % 2 == 0 { 0 } else { FLAG_STREAMED };
-                    let response =
-                        client.locate(0, flags, 0, noisy_trace(400, i as u64).samples()).unwrap();
+                    let response = client
+                        .locate("model-0", flags, 0, noisy_trace(400, i as u64).samples())
+                        .unwrap();
                     assert_eq!(response.status, Status::Ok);
                     assert_eq!(&response.starts, &expected[i], "client {t} round {round}");
                 }
@@ -106,8 +109,8 @@ fn unknown_model_is_answered_in_protocol() {
     let (_service, server) = start_server(ServerConfig::default());
     let mut client = Client::connect(server.addr()).unwrap();
     for flags in [0, FLAG_STREAMED] {
-        let response = client.locate(9, flags, 0, noisy_trace(100, 1).samples()).unwrap();
-        assert_eq!(response.status, Status::Invalid);
+        let response = client.locate("model-9", flags, 0, noisy_trace(100, 1).samples()).unwrap();
+        assert_eq!(response.status, Status::UnknownModel);
         assert!(response.starts.is_empty());
     }
     server.stop();
@@ -120,8 +123,9 @@ fn truncated_streamed_payload_gets_source_failed_then_close() {
     // Declare 128 samples but deliver only 32, then half-close: the service
     // hits EOF mid-trace and must answer with the typed failure status.
     let mut frame = Vec::new();
-    net::write_request(&mut frame, 0, FLAG_STREAMED, 0, noisy_trace(128, 1).samples()).unwrap();
-    let cut = 20 + 32 * 4;
+    net::write_request(&mut frame, "model-0", FLAG_STREAMED, 0, noisy_trace(128, 1).samples())
+        .unwrap();
+    let cut = 20 + "model-0".len() + 32 * 4;
     (&stream).write_all(&frame[..cut]).unwrap();
     stream.shutdown(std::net::Shutdown::Write).unwrap();
     let response = net::read_response(&stream, 1 << 20).unwrap();
@@ -137,27 +141,36 @@ fn bad_magic_closes_the_connection_without_wedging_the_server() {
     let (service, server) = start_server(ServerConfig::default());
     let stream = TcpStream::connect(server.addr()).unwrap();
     (&stream).write_all(b"GARBAGE.............").unwrap();
-    assert_eq!(net::read_response(&stream, 16).unwrap_err(), FrameError::Truncated);
+    // The server answers the out-of-sync frame with one typed refusal, then
+    // closes.
+    let refusal = net::read_response(&stream, 16).unwrap();
+    assert_eq!(refusal.status, Status::Invalid);
+    // The teardown surfaces as clean EOF or a reset depending on how much
+    // of the garbage the server had consumed; either way it is an error.
+    let err = net::read_response(&stream, 16).unwrap_err();
+    assert!(matches!(err, FrameError::Truncated | FrameError::Io(_)), "{err:?}");
     // A well-formed client still gets served afterwards.
     let mut client = Client::connect(server.addr()).unwrap();
     let trace = noisy_trace(300, 2);
-    let response = client.locate(0, 0, 0, trace.samples()).unwrap();
+    let response = client.locate("model-0", 0, 0, trace.samples()).unwrap();
     assert_eq!(response.status, Status::Ok);
-    assert_eq!(response.starts, expected_starts(&service, 0, &trace));
+    assert_eq!(response.starts, expected_starts(&service, "model-0", &trace));
     server.stop();
 }
 
 #[test]
 fn oversized_declared_sample_count_is_refused_before_allocation() {
-    let (_service, server) = start_server(ServerConfig { max_frame_samples: 256 });
+    let (_service, server) =
+        start_server(ServerConfig { max_frame_samples: 256, ..ServerConfig::default() });
     let stream = TcpStream::connect(server.addr()).unwrap();
     // Header declares 2^40 samples (4 TiB): the server must drop the
     // connection at the header, long before any buffer is sized.
     let mut header = Vec::new();
-    net::write_request(&mut header, 0, 0, 0, &[]).unwrap();
+    net::write_request(&mut header, "model-0", 0, 0, &[]).unwrap();
     header[12..20].copy_from_slice(&(1u64 << 40).to_le_bytes());
     (&stream).write_all(&header).unwrap();
-    assert_eq!(net::read_response(&stream, 16).unwrap_err(), FrameError::Truncated);
+    let err = net::read_response(&stream, 16).unwrap_err();
+    assert!(matches!(err, FrameError::Truncated | FrameError::Io(_)), "{err:?}");
     server.stop();
 }
 
@@ -166,7 +179,7 @@ fn stop_is_idempotent_and_frees_the_port_for_the_service_to_keep_running() {
     let (service, server) = start_server(ServerConfig::default());
     server.stop();
     // The in-process service survives its TCP front-end.
-    let model = service.model_ids()[0];
+    let model = "model-0";
     let trace = noisy_trace(200, 1);
     let expected = service.engine(model).unwrap().locate(&trace);
     let got = service
@@ -176,4 +189,79 @@ fn stop_is_idempotent_and_frees_the_port_for_the_service_to_keep_running() {
         .unwrap();
     assert_eq!(got.starts, expected);
     service.shutdown();
+}
+
+#[test]
+fn admin_frames_are_denied_unless_enabled() {
+    let (_service, server) = start_server(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let response = client.swap("model-0", "/tmp/never-read").unwrap();
+    assert_eq!(response.status, Status::AdminDenied);
+    let response = client.evict("model-0").unwrap();
+    assert_eq!(response.status, Status::AdminDenied);
+    server.stop();
+}
+
+#[test]
+fn admin_frames_swap_and_evict_models_over_the_wire() {
+    let gen1 = temp_path("swap_gen1");
+    let gen2 = temp_path("swap_gen2");
+    tiny_engine(41).save(&gen1).unwrap();
+    tiny_engine(42).save(&gen2).unwrap();
+
+    let service = Arc::new(LocatorService::start(
+        vec![tiny_engine(13)],
+        ServiceConfig { workers: 2, ..ServiceConfig::default() },
+    ));
+    service.registry().register("wire-model", &gen1).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = net::serve(
+        Arc::clone(&service),
+        listener,
+        ServerConfig { allow_admin: true, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let trace = noisy_trace(400, 9);
+
+    // Generation 1 serves first (lazily loaded by the locate itself).
+    let response = client.locate("wire-model", 0, 0, trace.samples()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    let expected_gen1: Vec<u64> =
+        tiny_engine(41).locate(&trace).into_iter().map(|s| s as u64).collect();
+    assert_eq!(response.starts, expected_gen1);
+
+    // Swap installs generation 2 and reports it; answers flip over.
+    let response = client.swap("wire-model", gen2.to_str().unwrap()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    assert_eq!(response.starts, vec![2]);
+    let response = client.locate("wire-model", 0, 0, trace.samples()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    let expected_gen2: Vec<u64> =
+        tiny_engine(42).locate(&trace).into_iter().map(|s| s as u64).collect();
+    assert_eq!(response.starts, expected_gen2);
+
+    // Evict drops the weights; the next locate transparently reloads the
+    // same generation and answers bit-identically.
+    let response = client.evict("wire-model").unwrap();
+    assert_eq!(response.status, Status::Ok);
+    let response = client.locate("wire-model", 0, 0, trace.samples()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    assert_eq!(response.starts, expected_gen2);
+
+    // Typed admin failures: unknown names, pinned models, unreadable files.
+    let response = client.swap("missing", gen2.to_str().unwrap()).unwrap();
+    assert_eq!(response.status, Status::UnknownModel);
+    let response = client.evict("model-0").unwrap();
+    assert_eq!(response.status, Status::Invalid, "pinned models are not evictable");
+    let response = client.swap("wire-model", "/no/such/model/file").unwrap();
+    assert_eq!(response.status, Status::ModelUnavailable);
+    // A failed swap leaves the old generation serving.
+    let response = client.locate("wire-model", 0, 0, trace.samples()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    assert_eq!(response.starts, expected_gen2);
+
+    server.stop();
+    std::fs::remove_file(&gen1).ok();
+    std::fs::remove_file(&gen2).ok();
 }

@@ -164,6 +164,18 @@ impl QuantizedGemm {
         self.data.len()
     }
 
+    /// Total heap bytes this operand keeps resident at serving time: the
+    /// `i8` block, its derived `i16` widened and pair-packed copies, and the
+    /// per-row scale/bias vectors. This is the number a model registry
+    /// should budget against, not [`Self::quantized_bytes`] (the on-disk
+    /// size).
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len()
+            + self.data16.len() * 2
+            + self.packed16.len() * 2
+            + (self.scales.len() + self.bias.len()) * 4
+    }
+
     /// Replaces the quantised payload (used by the model loader).
     ///
     /// # Errors

@@ -1,0 +1,163 @@
+//! Multi-model serving demo: one engine process, N scenarios, operated
+//! live.
+//!
+//! Two scenario models are saved as SCALOCEN files and *registered* —
+//! not loaded — with a [`sca_locate::service::ModelRegistry`] under a byte
+//! budget that fits roughly one of them. The demo then walks the three
+//! registry behaviours an operator relies on:
+//!
+//! 1. **Lazy cold loads + LRU eviction** — the first request for each
+//!    scenario faults its file in; the byte budget forces the
+//!    least-recently-used model out, and a later request transparently
+//!    reloads it, bit-identical.
+//! 2. **Generation pinning across hot swap** — a request fed through an OS
+//!    pipe is admitted against generation 1, *then* the model is swapped.
+//!    When the pipe finally delivers its samples the request still scores
+//!    against the weights it was admitted with, while new submissions route
+//!    to generation 2.
+//! 3. **Admin frames over TCP** — a `SCLA`-speaking client (enabled with
+//!    [`ServerConfig::allow_admin`]) swaps and evicts models over the wire.
+//!
+//! Run with: `cargo run --example hot_swap --release`
+
+use sca_locate::locator::{
+    CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier,
+};
+use sca_locate::service::net::{self, Client, ServerConfig, Status};
+use sca_locate::service::{
+    LocatorService, ModelRegistry, RegistryConfig, RequestOptions, ServiceConfig,
+};
+use sca_locate::trace::Trace;
+use std::io::Write;
+use std::sync::Arc;
+
+const TRACE_LEN: usize = 60_000;
+
+fn synthetic_trace(seed: u64) -> Trace {
+    let mut state = 0x0123_4567_89AB_CDEF_u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Trace::from_samples(
+        (0..TRACE_LEN)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                let t = i as f32;
+                (t * 0.011).sin() + 0.5 * (t * 0.19).sin() + 0.25 * noise
+            })
+            .collect(),
+    )
+}
+
+fn build_engine(seed: u64) -> LocatorEngine {
+    // Untrained weights keep the demo fast; the registry plumbing is
+    // identical to fitted engines'.
+    LocatorEngine::new(
+        CoLocatorCnn::new(CnnConfig { base_filters: 4, kernel_size: 5, seed }),
+        SlidingWindowClassifier::new(128, 32).with_batch_size(64),
+        Segmenter::default(),
+    )
+}
+
+fn main() {
+    let dir = std::env::temp_dir();
+    let aes_v1 = dir.join(format!("hot_swap_aes_v1_{}", std::process::id()));
+    let aes_v2 = dir.join(format!("hot_swap_aes_v2_{}", std::process::id()));
+    let clefia = dir.join(format!("hot_swap_clefia_{}", std::process::id()));
+    build_engine(1).save(&aes_v1).expect("save aes v1");
+    build_engine(2).save(&aes_v2).expect("save aes v2");
+    build_engine(3).save(&clefia).expect("save clefia");
+
+    // A budget of ~1.5 models forces the LRU dance between the scenarios.
+    let budget = build_engine(1).memory_footprint() * 3 / 2;
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig { byte_budget: budget }));
+    registry.register("aes", &aes_v1).expect("register aes");
+    registry.register("clefia", &clefia).expect("register clefia");
+    let service =
+        Arc::new(LocatorService::with_registry(Arc::clone(&registry), ServiceConfig::default()));
+
+    // --- 1. lazy loads under the byte budget -------------------------------
+    println!("byte budget: {budget} B, loads before first request: {}", registry.stats().loads);
+    let trace = synthetic_trace(7);
+    let aes_starts = {
+        let ticket = service.submit_trace("aes", trace.clone(), RequestOptions::default());
+        ticket.expect("submit aes").wait().expect("aes completes").starts
+    };
+    let clefia_starts = {
+        let ticket = service.submit_trace("clefia", trace.clone(), RequestOptions::default());
+        ticket.expect("submit clefia").wait().expect("clefia completes").starts
+    };
+    let s = registry.stats();
+    println!(
+        "after both scenarios: {} loads, {} evictions, {} resident ({} B <= budget)",
+        s.loads, s.evictions, s.resident_models, s.resident_bytes
+    );
+    assert!(s.resident_bytes <= budget as u64, "eviction must keep the budget");
+    // Re-requesting the evicted scenario reloads it transparently.
+    let again = service
+        .submit_trace("aes", trace.clone(), RequestOptions::default())
+        .expect("submit aes again")
+        .wait()
+        .expect("aes reload completes");
+    assert_eq!(again.starts, aes_starts, "reload after eviction is bit-identical");
+    assert_eq!(clefia_starts, build_engine(3).locate(&trace), "served == direct locate");
+    println!("evicted scenario reloaded bit-identically ({} loads total)", registry.stats().loads);
+
+    // --- 2. a pipe-fed request pins its generation across a swap -----------
+    let (reader, mut writer) = std::io::pipe().expect("pipe");
+    let pinned = service
+        .submit_reader("aes", reader, trace.len(), RequestOptions::default())
+        .expect("admitted against generation 1");
+    let new_generation = registry.swap("aes", &aes_v2).expect("hot swap");
+    println!("swapped aes to generation {new_generation} with a request in flight");
+    let mut bytes = Vec::with_capacity(trace.len() * 4);
+    for sample in trace.samples() {
+        bytes.extend_from_slice(&sample.to_le_bytes());
+    }
+    writer.write_all(&bytes).expect("feed pipe");
+    drop(writer);
+    let old = pinned.wait().expect("pinned request completes");
+    assert_eq!(old.generation, 1, "admitted before the swap");
+    assert_eq!(old.starts, aes_starts, "still scored by the generation it was admitted with");
+    let new = service
+        .submit_trace("aes", trace.clone(), RequestOptions::default())
+        .expect("submit against generation 2")
+        .wait()
+        .expect("new generation serves");
+    assert_eq!(new.generation, 2);
+    assert_eq!(new.starts, build_engine(2).locate(&trace), "new admissions use the new weights");
+    println!("in-flight request held generation 1; fresh requests score with generation 2");
+
+    // --- 3. swap and evict over the wire -----------------------------------
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = net::serve(
+        Arc::clone(&service),
+        listener,
+        ServerConfig { allow_admin: true, ..ServerConfig::default() },
+    )
+    .expect("serve");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let swapped = client.swap("aes", aes_v1.to_str().expect("utf-8 path")).expect("admin swap");
+    assert_eq!(swapped.status, Status::Ok);
+    println!("admin frame swapped aes to generation {}", swapped.starts[0]);
+    assert_eq!(client.evict("clefia").expect("admin evict").status, Status::Ok);
+    let response = client.locate("aes", 0, 0, trace.samples()).expect("locate over the wire");
+    assert_eq!(response.status, Status::Ok);
+    let wire_starts: Vec<usize> = response.starts.iter().map(|&s| s as usize).collect();
+    assert_eq!(wire_starts, aes_starts, "generation 3 == the v1 weights again");
+    server.stop();
+
+    let m = service.metrics();
+    println!(
+        "metrics: {} models ({} resident, {} B), {} loads, {} evictions, {} swaps",
+        m.models,
+        m.resident_models,
+        m.resident_bytes,
+        m.model_loads,
+        m.model_evictions,
+        m.model_swaps
+    );
+    Arc::try_unwrap(service).expect("all clients joined").shutdown();
+    for path in [&aes_v1, &aes_v2, &clefia] {
+        std::fs::remove_file(path).ok();
+    }
+    println!("shut down cleanly");
+}

@@ -59,7 +59,7 @@ fn main() {
         vec![build_engine()],
         ServiceConfig { queue_capacity: 32, ..ServiceConfig::default() },
     ));
-    let model = service.model_ids()[0];
+    let model = "model-0";
     let reference = build_engine();
 
     // --- 1. in-process clients ---------------------------------------------
@@ -99,7 +99,8 @@ fn main() {
             let mut client = Client::connect(addr).expect("connect");
             for (flags, label) in [(0, "buffered"), (FLAG_STREAMED, "streamed")] {
                 let trace = synthetic_trace(TRACE_LEN, 77);
-                let response = client.locate(0, flags, 0, trace.samples()).expect("tcp roundtrip");
+                let response =
+                    client.locate(model, flags, 0, trace.samples()).expect("tcp roundtrip");
                 assert_eq!(response.status, Status::Ok);
                 println!("[tcp] {label}: {} COs over the wire", response.starts.len());
             }
