@@ -141,7 +141,7 @@ fn main() {
     println!("speedup optimized vs naive: {speedup:.1}x");
 
     let json = format!(
-        "{{\n  \"bench\": \"locator_sliding_window\",\n  \"trace_len\": {},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"naive_windows_measured\": {},\n  \"windows_per_sec_naive\": {naive_wps:.2},\n  \"windows_per_sec_staged\": {staged_wps:.2},\n  \"windows_per_sec_optimized\": {opt_wps:.2},\n  \"speedup_optimized_vs_naive\": {speedup:.2},\n  \"forward_batch1_latency_us\": {fwd_us:.2}\n}}\n",
+        "{{\n  \"bench\": \"locator_sliding_window\",\n  \"trace_len\": {},\n  \"window_len\": {WINDOW_LEN},\n  \"stride\": {STRIDE},\n  \"total_windows\": {total_windows},\n  \"naive_windows_measured\": {},\n  \"windows_per_sec_naive\": {naive_wps:.2},\n  \"windows_per_sec_staged\": {staged_wps:.2},\n  \"windows_per_sec_optimized\": {opt_wps:.2},\n  \"speedup_optimized_vs_naive\": {speedup:.2},\n  \"forward_batch1_us\": {fwd_us:.2}\n}}\n",
         trace.len(),
         naive_scores.len(),
     );

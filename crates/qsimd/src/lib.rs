@@ -81,8 +81,14 @@ pub fn pack_weight_pairs(packed: &mut Vec<i16>, w: &[i16], m: usize, k: usize) {
 /// statically enabled). When `false`, [`gemm_requant_packed`] and
 /// [`requantize_codes`] always return `false` and callers use their scalar
 /// paths.
+///
+/// Under Miri this is `false` even when AVX2 is statically enabled: the
+/// interpreter cannot execute the vendor intrinsics, so the dispatchers
+/// decline and `cargo miri test` exercises exactly the packing and
+/// scalar-fallback paths (the SIMD parity tests skip themselves through
+/// this same gate).
 pub const fn available() -> bool {
-    cfg!(all(target_arch = "x86_64", target_feature = "avx2"))
+    cfg!(all(target_arch = "x86_64", target_feature = "avx2", not(miri)))
 }
 
 /// Fused integer convolution GEMM on the packed weight layout:
@@ -519,6 +525,7 @@ mod avx2 {
                     // SAFETY: same bounds as the unrolled loop.
                     let a_col =
                         unsafe { _mm256_loadu_si256(col0.add(kk2 * row) as *const __m256i) };
+                    // SAFETY: off + 2·kk2 + 1 < b.len() for every full pair.
                     let bv = unsafe { bcast_pair(b, off + 2 * kk2) };
                     a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(a_col, bv));
                 }
@@ -561,6 +568,7 @@ mod avx2 {
             // SAFETY: i0 + 8 <= src.len() == dst.len().
             let codes = unsafe { _mm_loadu_si128(src.as_ptr().add(i0) as *const __m128i) };
             let wide = _mm256_cvtepi16_epi32(codes);
+            // SAFETY: i0 + 8 <= dst.len(), so store8's 8 lanes stay in bounds.
             unsafe { epi.store8(wide, mult_v, mult_v, dst.as_mut_ptr().add(i0)) };
         }
         for i in n8..src.len() {

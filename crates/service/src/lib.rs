@@ -109,6 +109,7 @@
 
 pub mod metrics;
 pub mod net;
+pub mod ordered_lock;
 pub mod registry;
 
 use std::collections::VecDeque;
@@ -122,6 +123,8 @@ use std::time::{Duration, Instant};
 use sca_locator::{LocatorEngine, StreamingSegmenter, WindowScorer};
 use sca_trace::{SequentialTraceSource, Trace, TraceError, TraceSource};
 use tinynn::Workspace;
+
+use crate::ordered_lock::{rank, OrderedMutex};
 
 pub use metrics::MetricsSnapshot;
 pub use registry::{ModelHandle, ModelRegistry, RegistryConfig, RegistryError, RegistryStats};
@@ -313,7 +316,13 @@ impl Default for ServiceConfig {
 //
 // Lock order (acquire left before right, release any time):
 //
-//     output  →  state  →  claim
+//     output (rank 0)  →  state (rank 1)  →  claim (rank 2)
+//
+// The order is *enforced*, not just documented: the three lock kinds are
+// `ordered_lock::OrderedMutex`es carrying the `ordered_lock::rank`
+// constants, and debug builds panic at the acquisition site of any
+// inversion (see that module's docs; `cargo test -p locsvc` exercises the
+// checker, release builds compile the bookkeeping away).
 //
 // * `state` (the scheduler mutex + condvar) guards the ready queue and the
 //   in-flight count.
@@ -322,10 +331,12 @@ impl Default for ServiceConfig {
 // * each request's `output` guards its score span, segmentation state and
 //   completion channel; never acquired while holding `state` or `claim`.
 //
-// Every lock is taken through `lock_poisoned`: a panicking worker must not
-// take the service down with it, and each critical section restores the
-// scheduler invariants before unwinding can observe them (requests touched
-// by the panicking batch are failed explicitly by `fail_batch`).
+// Every lock recovers from poisoning (`OrderedMutex::lock`, and
+// `lock_poisoned` for the unranked worker-handle list): a panicking worker
+// must not take the service down with it, and each critical section
+// restores the scheduler invariants before unwinding can observe them
+// (requests touched by the panicking batch are failed explicitly by
+// `fail_batch`).
 //
 // A request's current chunk is immutable behind an `Arc` from the moment it
 // is published in the claim state until every score landed, so workers read
@@ -394,8 +405,8 @@ struct ActiveRequest {
     handle: ModelHandle,
     deadline: Option<Instant>,
     submitted: Instant,
-    claim: Mutex<ClaimState>,
-    output: Mutex<OutputState>,
+    claim: OrderedMutex<ClaimState, { rank::CLAIM }>,
+    output: OrderedMutex<OutputState, { rank::OUTPUT }>,
 }
 
 struct SchedState {
@@ -409,7 +420,7 @@ struct SchedState {
 struct Shared {
     registry: Arc<ModelRegistry>,
     cfg: ServiceConfig,
-    state: Mutex<SchedState>,
+    state: OrderedMutex<SchedState, { rank::STATE }>,
     work_ready: Condvar,
     counters: metrics::Counters,
     /// Remaining injected scoring faults (test-only; see
@@ -484,7 +495,7 @@ impl LocatorService {
         let shared = Arc::new(Shared {
             registry,
             cfg,
-            state: Mutex::new(SchedState {
+            state: OrderedMutex::new(SchedState {
                 ready: VecDeque::new(),
                 pending: 0,
                 accepting: true,
@@ -613,7 +624,7 @@ impl LocatorService {
     /// registry gauges.
     pub fn metrics(&self) -> MetricsSnapshot {
         let (depth, in_flight) = {
-            let st = lock_poisoned(&self.shared.state);
+            let st = self.shared.state.lock();
             (st.ready.len(), st.pending)
         };
         self.shared.counters.snapshot(
@@ -632,7 +643,7 @@ impl LocatorService {
     /// caller.
     pub fn shutdown(&self) {
         {
-            let mut st = lock_poisoned(&self.shared.state);
+            let mut st = self.shared.state.lock();
             st.accepting = false;
             st.shutdown = true;
             self.shared.work_ready.notify_all();
@@ -691,7 +702,7 @@ impl LocatorService {
             // Too short for a single window: same answer `locate` gives,
             // without occupying a queue slot.
             {
-                let st = lock_poisoned(&shared.state);
+                let st = shared.state.lock();
                 if !st.accepting {
                     return Err(Rejected::ShuttingDown);
                 }
@@ -716,14 +727,14 @@ impl LocatorService {
             handle,
             deadline: opts.deadline.map(|d| submitted + d),
             submitted,
-            claim: Mutex::new(ClaimState {
+            claim: OrderedMutex::new(ClaimState {
                 next: 0,
                 chunk: match &chunk {
                     Some(c) => Some(Arc::clone(c)),
                     None => None,
                 },
             }),
-            output: Mutex::new(OutputState {
+            output: OrderedMutex::new(OutputState {
                 done: Some(tx),
                 canceled: false,
                 span: match &chunk {
@@ -737,7 +748,7 @@ impl LocatorService {
             }),
         });
         {
-            let mut st = lock_poisoned(&shared.state);
+            let mut st = shared.state.lock();
             if !st.accepting {
                 return Err(Rejected::ShuttingDown);
             }
@@ -804,7 +815,7 @@ fn worker_loop(shared: &Shared) {
 fn fail_batch(shared: &Shared, batch: &[Claim]) {
     shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
     for c in batch {
-        let mut out = lock_poisoned(&c.req.output);
+        let mut out = c.req.output.lock();
         if out.done.is_none() {
             continue;
         }
@@ -817,7 +828,7 @@ fn fail_batch(shared: &Shared, batch: &[Claim]) {
 /// Fails one request whose chunk load panicked.
 fn fail_request(shared: &Shared, req: &Arc<ActiveRequest>) {
     shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-    let mut out = lock_poisoned(&req.output);
+    let mut out = req.output.lock();
     if out.done.is_none() {
         return;
     }
@@ -833,7 +844,7 @@ fn fail_request(shared: &Shared, req: &Arc<ActiveRequest>) {
 /// at a request whose next chunk is not loaded yet — loading is its own
 /// step so no lock is held across I/O.
 fn next_step(shared: &Shared) -> Step {
-    let mut st = lock_poisoned(&shared.state);
+    let mut st = shared.state.lock();
     loop {
         let now = Instant::now();
         let mut batch: Vec<Claim> = Vec::new();
@@ -854,7 +865,7 @@ fn next_step(shared: &Shared) -> Step {
             if engine.as_ref().is_some_and(|e| !Arc::ptr_eq(e, front.handle.engine())) {
                 break;
             }
-            let mut claim = lock_poisoned(&front.claim);
+            let mut claim = front.claim.lock();
             match claim.chunk.clone() {
                 None => {
                     drop(claim);
@@ -894,7 +905,7 @@ fn next_step(shared: &Shared) -> Step {
         if st.shutdown && st.pending == 0 {
             return Step::Exit;
         }
-        st = shared.work_ready.wait(st).unwrap_or_else(|poisoned| poisoned.into_inner());
+        st = st.wait_on(&shared.work_ready);
     }
 }
 
@@ -937,7 +948,7 @@ fn score_batch(shared: &Shared, ws: &mut Workspace, scores: &mut Vec<f32>, batch
     for c in batch {
         let span = &scores[offset..offset + c.count];
         offset += c.count;
-        let mut out = lock_poisoned(&c.req.output);
+        let mut out = c.req.output.lock();
         if out.canceled {
             continue;
         }
@@ -978,8 +989,8 @@ fn finish_chunk(shared: &Shared, req: &Arc<ActiveRequest>, out: &mut OutputState
                 // Hand the request back to the queue; a worker will load
                 // its next chunk (the claim state already shows "no
                 // chunk": the drained one is cleared here).
-                lock_poisoned(&req.claim).chunk = None;
-                let mut st = lock_poisoned(&shared.state);
+                req.claim.lock().chunk = None;
+                let mut st = shared.state.lock();
                 st.ready.push_back(Arc::clone(req));
                 shared.work_ready.notify_all();
             }
@@ -994,7 +1005,7 @@ fn load_chunk(shared: &Shared, req: &Arc<ActiveRequest>) {
     let engine = req.handle.engine();
     let sliding = engine.sliding();
     let (n, stride) = (sliding.window_len(), sliding.stride());
-    let mut out = lock_poisoned(&req.output);
+    let mut out = req.output.lock();
     if out.canceled || out.done.is_none() {
         return;
     }
@@ -1021,19 +1032,19 @@ fn load_chunk(shared: &Shared, req: &Arc<ActiveRequest>) {
     out.remaining = count;
     let chunk = Arc::new(Chunk { window_count: count, samples });
     {
-        let mut claim = lock_poisoned(&req.claim);
+        let mut claim = req.claim.lock();
         claim.chunk = Some(chunk);
         claim.next = 0;
     }
     drop(out);
-    let mut st = lock_poisoned(&shared.state);
+    let mut st = shared.state.lock();
     st.ready.push_front(Arc::clone(req));
     shared.work_ready.notify_all();
 }
 
 /// Completes a request whose deadline passed while it waited.
 fn expire(shared: &Shared, req: &Arc<ActiveRequest>) {
-    let mut out = lock_poisoned(&req.output);
+    let mut out = req.output.lock();
     if out.done.is_none() {
         return; // completed in the meantime
     }
@@ -1065,7 +1076,7 @@ fn complete(
     });
     // The ticket may have been dropped; completion still releases the slot.
     let _ = tx.send(result);
-    let mut st = lock_poisoned(&shared.state);
+    let mut st = shared.state.lock();
     st.pending -= 1;
     shared.work_ready.notify_all();
 }

@@ -293,3 +293,54 @@ fn worker_panic_fails_its_batch_and_the_service_keeps_serving() {
     assert_eq!(m.completed, 3);
     service.shutdown();
 }
+
+/// Panic-containment accounting depth: every injected scoring fault is
+/// counted in `worker_panics` exactly once — one panic per batch, no
+/// double-counting from the shutdown join path — and a drained shutdown
+/// with faults still pending completes (no hang) with each affected ticket
+/// reporting the typed [`ServiceError::WorkerFailed`].
+#[test]
+fn injected_panic_count_is_exact_and_shutdown_drains_through_faults() {
+    const INJECTED: u32 = 4;
+    // 80 samples / window 16 / stride 4 = 17 windows; with tile_windows at
+    // exactly 17 every request is its own batch, so injections map 1:1 to
+    // failed requests and the count assertions are exact.
+    let trace = noisy_trace(80, 9);
+    let service = LocatorService::start(
+        vec![tiny_engine(31)],
+        ServiceConfig {
+            workers: 2,
+            tile_windows: 17,
+            fault_score_panics: INJECTED,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // First half of the injections: served requests fail one by one.
+    for round in 0..2 {
+        let err = service
+            .submit_trace("model-0", trace.clone(), RequestOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::WorkerFailed), "round {round}: got {err:?}");
+    }
+    assert_eq!(service.metrics().worker_panics, 2, "one count per injected panic");
+
+    // Second half: requests still queued when shutdown starts. The drain
+    // must run them (panicking), complete, and deliver the typed error.
+    let pending: Vec<_> = (0..2)
+        .map(|_| service.submit_trace("model-0", trace.clone(), RequestOptions::default()).unwrap())
+        .collect();
+    service.shutdown();
+    for (i, ticket) in pending.into_iter().enumerate() {
+        let err = ticket.wait().unwrap_err();
+        assert!(matches!(err, ServiceError::WorkerFailed), "pending {i}: got {err:?}");
+    }
+
+    let m = service.metrics();
+    assert_eq!(m.worker_panics, INJECTED as u64, "exactly the injected count, nothing more");
+    assert_eq!(m.failed, INJECTED as u64);
+    assert_eq!(m.submitted, INJECTED as u64);
+    assert_eq!(m.completed, 0);
+}

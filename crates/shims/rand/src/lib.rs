@@ -17,6 +17,7 @@
 //! [xoshiro256++]: https://prng.di.unimi.it/
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// A seedable random number generator.
 pub trait SeedableRng: Sized {

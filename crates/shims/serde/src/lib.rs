@@ -10,6 +10,7 @@
 //! crates.io restores full serde behaviour without touching any other code.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Marker stand-in for `serde::Serialize`.
 pub trait Serialize {}

@@ -7,6 +7,9 @@
 //! bounds anywhere), so these derives can expand to nothing: they only need
 //! to exist so the attribute resolves.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive: accepts any item, emits no code.

@@ -45,13 +45,31 @@ impl Drop for SerialRegionGuard {
     }
 }
 
+/// Parses a `TINYNN_THREADS` value: a positive thread count, or a reason
+/// the override cannot be honoured.
+fn parse_thread_override(value: &str) -> Result<usize, &'static str> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err("zero threads is impossible; use 1 to force sequential"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("not an unsigned integer"),
+    }
+}
+
 /// Maximum threads the library will ever use.
 pub fn max_threads() -> usize {
     static MAX: OnceLock<usize> = OnceLock::new();
     *MAX.get_or_init(|| {
         if let Ok(v) = std::env::var("TINYNN_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.max(1);
+            match parse_thread_override(&v) {
+                Ok(n) => return n,
+                Err(why) => {
+                    // An operator who set the variable expects it to act;
+                    // ignoring it silently would hide a deployment typo.
+                    eprintln!(
+                        "tinynn: ignoring TINYNN_THREADS={v:?} ({why}); \
+                         falling back to available parallelism"
+                    );
+                }
             }
         }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -174,5 +192,20 @@ mod tests {
     fn misaligned_output_panics() {
         let mut out = vec![0.0f32; 10];
         for_each_item_mut(&mut out, 3, 1, |_, _| {});
+    }
+
+    #[test]
+    fn thread_override_parse_paths() {
+        // Valid counts pass through, whitespace-tolerantly.
+        assert_eq!(parse_thread_override("1"), Ok(1));
+        assert_eq!(parse_thread_override(" 8\n"), Ok(8));
+        // Zero and malformed values are rejected (and `max_threads` then
+        // warns and falls back to available parallelism rather than
+        // silently pinning to one thread).
+        assert!(parse_thread_override("0").is_err());
+        assert!(parse_thread_override("").is_err());
+        assert!(parse_thread_override("four").is_err());
+        assert!(parse_thread_override("-2").is_err());
+        assert!(parse_thread_override("3.5").is_err());
     }
 }

@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Fixture crate: `unsafe` leakage and debug escapes outside the SIMD crate.
+
+/// Doubles through a raw pointer — forbidden outside qsimd.
+pub fn double(x: &mut i32) {
+    unsafe {
+        *(x as *mut i32) *= 2;
+    }
+}
+
+/// Not written yet.
+pub fn later() {
+    todo!("later")
+}
+
+/// Peeks at a value. The string mentions "dbg!(x)" harmlessly.
+pub fn peek(v: i32) -> i32 {
+    dbg!(v)
+}
+
+/// Gives up instead of returning an error.
+pub fn bail() {
+    std::process::exit(3);
+}

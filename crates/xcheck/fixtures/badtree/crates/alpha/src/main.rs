@@ -1,0 +1,7 @@
+//! Fixture binary root: `process::exit` is fine here — only library code
+//! is barred from choosing an exit code.
+
+fn main() {
+    let s = "todo!( in a string literal is not a violation either";
+    std::process::exit(s.len() as i32 % 2);
+}

@@ -1,0 +1,6 @@
+//! Fixture crate whose root is missing both mandatory attributes.
+
+/// Adds one.
+pub fn incr(x: u32) -> u32 {
+    x + 1
+}

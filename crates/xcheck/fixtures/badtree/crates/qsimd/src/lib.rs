@@ -1,0 +1,15 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+//! Fixture SIMD crate: one justified `unsafe`, one bare.
+
+/// Reads the first element.
+pub fn first(xs: &[i32]) -> i32 {
+    // SAFETY: fixture invariant — callers pass a non-empty slice.
+    unsafe { *xs.as_ptr() }
+}
+
+/// Reads the second element without stating why that is in bounds.
+pub fn second(xs: &[i32]) -> i32 {
+    unsafe { *xs.as_ptr().add(1) }
+}

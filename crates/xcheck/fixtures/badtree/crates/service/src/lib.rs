@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Fixture service crate: panicking lock discipline.
+
+use std::sync::Mutex;
+
+/// Reads the counter, panicking on poison (the violation).
+pub fn read(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+/// Reads it with a message — same problem, split across lines the way
+/// rustfmt would.
+pub fn read_expect(m: &Mutex<u32>) -> u32 {
+    *m.lock()
+        .expect("counter poisoned")
+}

@@ -1,0 +1,94 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p xcheck -- lint [--root <dir>] [--format json|text]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: xcheck lint [--root <dir>] [--format json|text]\n\
+     \n\
+     Lints the workspace at <dir> (default: this repository) against the\n\
+     repo invariants: unsafe confinement, SAFETY comments, crate-root\n\
+     attributes, service lock discipline, debug escapes and bench-baseline\n\
+     metric hygiene. Exit codes: 0 clean, 1 violations, 2 lint failure."
+}
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    match it.next().map(String::as_str) {
+        Some("lint") => {}
+        Some(other) => return Err(format!("unknown subcommand `{other}`")),
+        None => return Err("missing subcommand".into()),
+    }
+    // The manifest dir of this crate is <root>/crates/xcheck; default to the
+    // workspace that contains it so `cargo run -p xcheck -- lint` needs no
+    // arguments from anywhere inside the repo.
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut json = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a directory".to_string())?);
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return Err("--format needs `json` or `text`".into()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args { root, json })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("xcheck: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.canonicalize() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("xcheck: cannot resolve root {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match xcheck::rules::run_all(&root) {
+        Ok(diags) => {
+            if args.json {
+                print!("{}", xcheck::diagnostics_to_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                if diags.is_empty() {
+                    eprintln!("xcheck: clean ({} ok)", root.display());
+                } else {
+                    eprintln!("xcheck: {} violation(s)", diags.len());
+                }
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("xcheck: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

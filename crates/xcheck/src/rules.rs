@@ -1,0 +1,557 @@
+//! The repo invariants, as individually testable lint rules.
+//!
+//! Every rule takes the scanned workspace and returns `file:line`
+//! [`Diagnostic`]s. The rules encode guarantees the rest of the workspace
+//! documents in prose:
+//!
+//! | rule id           | invariant                                                          |
+//! |-------------------|--------------------------------------------------------------------|
+//! | `unsafe-confined` | the `unsafe` keyword appears only in `crates/qsimd`                |
+//! | `safety-comment`  | every `unsafe` in qsimd has a `// SAFETY:` / `# Safety` comment    |
+//! | `crate-attrs`     | crate roots forbid unsafe (qsimd: deny unsafe-op) + warn missing docs |
+//! | `service-lock`    | no `.lock().unwrap()` / `.lock().expect(` in `crates/service`      |
+//! | `no-debug-escapes`| no `todo!`/`dbg!`/`unimplemented!`/`process::exit` in library code |
+//! | `bench-metrics`   | `BENCH_*.json` parse and metric keys match the guard's patterns    |
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::json;
+use crate::scan::{self, Scanned};
+
+/// One rule violation, anchored to a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule id (stable, kebab-case).
+    pub rule: &'static str,
+    /// File path relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// A workspace member crate, discovered from the root manifest.
+#[derive(Debug)]
+pub struct Member {
+    /// Member path relative to the workspace root (`"."` for the root
+    /// package itself).
+    pub rel: PathBuf,
+    /// The scanned Rust files under the member's target directories,
+    /// with paths relative to the workspace root.
+    pub files: Vec<(PathBuf, Scanned)>,
+}
+
+impl Member {
+    /// The member directory's final path component (`qsimd`, `service`, …);
+    /// the root package is `"."`.
+    fn dir_name(&self) -> &str {
+        self.rel.file_name().and_then(|n| n.to_str()).unwrap_or(".")
+    }
+}
+
+/// The scanned workspace every rule runs against.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Member crates, root package included.
+    pub members: Vec<Member>,
+}
+
+/// A scan/IO failure (not a lint violation).
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Source subdirectories of a member that hold compiled Rust code.
+const TARGET_DIRS: &[&str] = &["src", "tests", "examples", "benches"];
+
+/// Discovers the workspace members from `<root>/Cargo.toml` and scans every
+/// Rust file under their target directories.
+pub fn load_workspace(root: &Path) -> Result<Workspace, LintError> {
+    let manifest_path = root.join("Cargo.toml");
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| LintError(format!("cannot read {}: {e}", manifest_path.display())))?;
+    let mut rels = parse_members(&manifest);
+    if manifest.contains("[package]") {
+        rels.push(PathBuf::from("."));
+    }
+    if rels.is_empty() {
+        return Err(LintError(format!(
+            "no workspace members and no [package] in {}",
+            manifest_path.display()
+        )));
+    }
+    let mut members = Vec::new();
+    for rel in rels {
+        let mut files = Vec::new();
+        for dir in TARGET_DIRS {
+            let abs = root.join(&rel).join(dir);
+            if abs.is_dir() {
+                collect_rust_files(&abs, &mut files)
+                    .map_err(|e| LintError(format!("walking {}: {e}", abs.display())))?;
+            }
+        }
+        files.sort();
+        let mut scanned = Vec::new();
+        for file in files {
+            let source = std::fs::read_to_string(&file)
+                .map_err(|e| LintError(format!("cannot read {}: {e}", file.display())))?;
+            let rel_file = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            scanned.push((rel_file, scan::scan(&source)));
+        }
+        members.push(Member { rel, files: scanned });
+    }
+    Ok(Workspace { root: root.to_path_buf(), members })
+}
+
+/// Extracts the quoted entries of the `members = [ … ]` array from a
+/// workspace manifest (comment-tolerant, order-preserving, deduplicated).
+fn parse_members(manifest: &str) -> Vec<PathBuf> {
+    let mut rels: Vec<PathBuf> = Vec::new();
+    let mut in_members = false;
+    for raw in manifest.lines() {
+        let line = raw.split('#').next().unwrap_or("");
+        if !in_members {
+            if let Some(rest) = line.split_once("members").map(|(_, r)| r) {
+                if rest.trim_start().starts_with('=') {
+                    in_members = true;
+                }
+            }
+        }
+        if in_members {
+            let mut rest = line;
+            while let Some(open) = rest.find('"') {
+                let Some(close) = rest[open + 1..].find('"') else { break };
+                let entry = &rest[open + 1..open + 1 + close];
+                if !entry.is_empty() && !rels.iter().any(|r| r == Path::new(entry)) {
+                    rels.push(PathBuf::from(entry));
+                }
+                rest = &rest[open + 1 + close + 1..];
+            }
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    rels
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the workspace at `root`, returning the combined,
+/// location-sorted diagnostics (empty = clean tree).
+pub fn run_all(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let ws = load_workspace(root)?;
+    let mut diags = Vec::new();
+    diags.extend(unsafe_confined(&ws));
+    diags.extend(safety_comment(&ws));
+    diags.extend(crate_attrs(&ws));
+    diags.extend(service_lock(&ws));
+    diags.extend(no_debug_escapes(&ws));
+    diags.extend(bench_metrics(&ws.root));
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(diags)
+}
+
+/// The one crate allowed to contain `unsafe` (by directory name, so the
+/// fixture workspaces can mirror the layout).
+const UNSAFE_CRATE: &str = "qsimd";
+
+/// `unsafe-confined`: the `unsafe` keyword may appear only inside the
+/// designated SIMD crate. Everything else carries `#![forbid(unsafe_code)]`
+/// (checked separately by `crate-attrs`) — this rule catches the keyword
+/// even in files the compiler attribute does not reach (tests, examples)
+/// and reports the exact line.
+pub fn unsafe_confined(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for member in &ws.members {
+        if member.dir_name() == UNSAFE_CRATE {
+            continue;
+        }
+        for (file, scanned) in &member.files {
+            for (idx, line) in scanned.lines.iter().enumerate() {
+                if scan::find_token(&line.code, "unsafe").is_some() {
+                    diags.push(Diagnostic {
+                        rule: "unsafe-confined",
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "`unsafe` outside crates/{UNSAFE_CRATE} — the workspace confines \
+                             unsafe code to the SIMD kernel crate"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// How many lines above an `unsafe` token the justification search walks
+/// before giving up (doc-comment `# Safety` sections sit above attributes
+/// and multi-line signatures).
+const SAFETY_SEARCH_CAP: usize = 40;
+
+/// `safety-comment`: every `unsafe` keyword in the SIMD crate must be
+/// justified by a comment stating the invariant it relies on — either a
+/// `// SAFETY:` comment immediately above the statement (attribute lines
+/// and the statement's own wrapped lines may intervene) or a `# Safety`
+/// doc section on an `unsafe fn`. The search stops at the first line that
+/// ends an *earlier* statement (contains `;`, `{` or `}`), so a comment
+/// cannot justify more than the one statement below it.
+pub fn safety_comment(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for member in &ws.members {
+        if member.dir_name() != UNSAFE_CRATE {
+            continue;
+        }
+        for (file, scanned) in &member.files {
+            for (idx, line) in scanned.lines.iter().enumerate() {
+                if scan::find_token(&line.code, "unsafe").is_none() {
+                    continue;
+                }
+                if !has_safety_justification(scanned, idx) {
+                    diags.push(Diagnostic {
+                        rule: "safety-comment",
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
+                                  section) stating the invariant it relies on"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+fn is_safety_text(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+fn has_safety_justification(scanned: &Scanned, idx: usize) -> bool {
+    // A trailing comment on the unsafe line itself counts.
+    if is_safety_text(&scanned.lines[idx].comment) {
+        return true;
+    }
+    let mut walked = 0usize;
+    for j in (0..idx).rev() {
+        let line = &scanned.lines[j];
+        walked += 1;
+        if walked > SAFETY_SEARCH_CAP {
+            return false;
+        }
+        if is_safety_text(&line.comment) {
+            return true;
+        }
+        if line.is_code_blank() || line.is_attribute() {
+            continue;
+        }
+        // A code line may only intervene while it is part of the same
+        // (wrapped) statement; any statement/block terminator means the
+        // search crossed into earlier code without finding a justification.
+        if line.code.contains(';') || line.code.contains('{') || line.code.contains('}') {
+            return false;
+        }
+    }
+    false
+}
+
+/// `crate-attrs`: every member's crate root must carry
+/// `#![forbid(unsafe_code)]` (the SIMD crate instead documents its
+/// exemption with `#![deny(unsafe_op_in_unsafe_fn)]`) and
+/// `#![warn(missing_docs)]` (or the stricter `deny`).
+pub fn crate_attrs(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for member in &ws.members {
+        let root_rel = if member.rel == Path::new(".") {
+            PathBuf::from("src/lib.rs")
+        } else {
+            member.rel.join("src/lib.rs")
+        };
+        let Some((file, scanned)) = member.files.iter().find(|(f, _)| *f == root_rel) else {
+            continue; // pure-binary member; nothing to forbid at a crate root
+        };
+        let has = |needle: &str| {
+            scanned.lines.iter().any(|l| {
+                let squashed: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+                squashed.contains(needle)
+            })
+        };
+        let unsafe_attr_ok = if member.dir_name() == UNSAFE_CRATE {
+            has("#![deny(unsafe_op_in_unsafe_fn)]")
+        } else {
+            has("#![forbid(unsafe_code)]")
+        };
+        if !unsafe_attr_ok {
+            let wanted = if member.dir_name() == UNSAFE_CRATE {
+                "#![deny(unsafe_op_in_unsafe_fn)]"
+            } else {
+                "#![forbid(unsafe_code)]"
+            };
+            diags.push(Diagnostic {
+                rule: "crate-attrs",
+                file: file.clone(),
+                line: 1,
+                message: format!("crate root is missing `{wanted}`"),
+            });
+        }
+        if !has("#![warn(missing_docs)]") && !has("#![deny(missing_docs)]") {
+            diags.push(Diagnostic {
+                rule: "crate-attrs",
+                file: file.clone(),
+                line: 1,
+                message: "crate root is missing `#![warn(missing_docs)]`".into(),
+            });
+        }
+    }
+    diags
+}
+
+/// `service-lock`: panicking on a poisoned mutex in the serving crate would
+/// turn one contained worker panic into a service-wide cascade, so
+/// `crates/service` must route every lock through its poison-tolerant
+/// helpers — `.lock().unwrap()` / `.lock().expect(…)` are banned outright
+/// (the helpers recover with `unwrap_or_else(PoisonError::into_inner)`).
+pub fn service_lock(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for member in &ws.members {
+        if member.dir_name() != "service" {
+            continue;
+        }
+        for (file, scanned) in &member.files {
+            if !file.starts_with(member.rel.join("src")) {
+                continue; // tests may assert on locks however they like
+            }
+            let flat = scanned.flat_code();
+            for pattern in [".lock().unwrap()", ".lock().expect("] {
+                for line in flat.find_all(pattern, false) {
+                    diags.push(Diagnostic {
+                        rule: "service-lock",
+                        file: file.clone(),
+                        line,
+                        message: format!(
+                            "`{pattern}` panics on a poisoned mutex; use the crate's \
+                             poison-tolerant lock helpers (`lock_poisoned` / `OrderedMutex`)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// `no-debug-escapes`: library code (every member's `src/`, excluding
+/// `src/bin/` and `src/main.rs` binary roots) must not contain
+/// `todo!`/`dbg!`/`unimplemented!` or `std::process::exit` — libraries
+/// return typed errors; only binaries may choose an exit code.
+pub fn no_debug_escapes(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for member in &ws.members {
+        let src_root = if member.rel == Path::new(".") {
+            PathBuf::from("src")
+        } else {
+            member.rel.join("src")
+        };
+        let bin_root = src_root.join("bin");
+        for (file, scanned) in &member.files {
+            if !file.starts_with(&src_root)
+                || file.starts_with(&bin_root)
+                || file.file_name().is_some_and(|n| n == "main.rs")
+            {
+                continue;
+            }
+            let flat = scanned.flat_code();
+            for (pattern, what) in [
+                ("todo!(", "`todo!` placeholder"),
+                ("dbg!(", "`dbg!` debug print"),
+                ("unimplemented!(", "`unimplemented!` placeholder"),
+                ("process::exit(", "`std::process::exit` (libraries return errors)"),
+            ] {
+                for line in flat.find_all(pattern, true) {
+                    diags.push(Diagnostic {
+                        rule: "no-debug-escapes",
+                        file: file.clone(),
+                        line,
+                        message: format!("{what} in library code"),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// `bench-metrics`: the committed `BENCH_*.json` baselines must parse as
+/// flat JSON objects, and metric-looking keys must match the exact patterns
+/// `scripts/bench_guard.sh` guards — a latency published as `*_latency_us`
+/// or a malformed `windows_per_sec`/`speedup` key would silently escape the
+/// regression guard while *looking* guarded.
+pub fn bench_metrics(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut baselines: Vec<PathBuf> = match std::fs::read_dir(root) {
+        Ok(dir) => dir
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            return vec![Diagnostic {
+                rule: "bench-metrics",
+                file: PathBuf::from("."),
+                line: 1,
+                message: format!("cannot list workspace root: {e}"),
+            }];
+        }
+    };
+    baselines.sort();
+    for path in baselines {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                diags.push(Diagnostic {
+                    rule: "bench-metrics",
+                    file: rel,
+                    line: 1,
+                    message: format!("cannot read baseline: {e}"),
+                });
+                continue;
+            }
+        };
+        let fields = match json::parse_flat_object(&text) {
+            Ok(fields) => fields,
+            Err(e) => {
+                diags.push(Diagnostic {
+                    rule: "bench-metrics",
+                    file: rel,
+                    line: e.line,
+                    message: format!("baseline is not a flat JSON object: {}", e.message),
+                });
+                continue;
+            }
+        };
+        for field in &fields {
+            if let Some(message) = check_metric_key(field) {
+                diags.push(Diagnostic {
+                    rule: "bench-metrics",
+                    file: rel.clone(),
+                    line: field.line,
+                    message,
+                });
+            }
+        }
+    }
+    diags
+}
+
+fn is_metric_word(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// `Some(problem)` when a baseline key is a near-miss of the guard's
+/// metric patterns, or a guarded metric whose value is not a number.
+fn check_metric_key(field: &json::Field) -> Option<String> {
+    let key = field.key.as_str();
+    let guarded = (key.starts_with("windows_per_sec_") && is_metric_word(key))
+        || (key.starts_with("speedup_") && is_metric_word(key))
+        || (key.ends_with("_latency_ms") && is_metric_word(key));
+    if guarded {
+        if !matches!(field.value, json::Value::Number(_)) {
+            return Some(format!("guarded metric {key:?} must have a numeric value"));
+        }
+        return None;
+    }
+    if key.contains("latency") {
+        return Some(format!(
+            "{key:?} looks like a latency metric but does not match `*_latency_ms`; \
+             express it in ms so scripts/bench_guard.sh guards it"
+        ));
+    }
+    if key.starts_with("windows_per_sec") || key == "speedup" || key.starts_with("speedup_") {
+        return Some(format!(
+            "{key:?} is a near-miss of the guarded `windows_per_sec_*`/`speedup_*` patterns; \
+             rename it to match (or away) so scripts/bench_guard.sh sees it"
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_parsing_reads_quoted_entries_and_stops_at_bracket() {
+        let manifest = r#"
+[workspace]
+members = [
+    "crates/a", # trailing comment
+    "crates/b", "crates/c",
+]
+exclude = ["crates/zzz"]
+"#;
+        let members = parse_members(manifest);
+        assert_eq!(
+            members,
+            vec![PathBuf::from("crates/a"), PathBuf::from("crates/b"), PathBuf::from("crates/c")]
+        );
+    }
+
+    #[test]
+    fn member_parsing_dedups_default_members_style_lists() {
+        let manifest = "members = [\"a\", \"a\", \"b\"]";
+        assert_eq!(parse_members(manifest), vec![PathBuf::from("a"), PathBuf::from("b")]);
+    }
+
+    #[test]
+    fn metric_key_near_misses_are_flagged() {
+        let field =
+            |key: &str, value: json::Value| json::Field { key: key.to_string(), value, line: 1 };
+        let num = || json::Value::Number(1.0);
+        assert!(check_metric_key(&field("p50_latency_ms", num())).is_none());
+        assert!(check_metric_key(&field("windows_per_sec_i8", num())).is_none());
+        assert!(check_metric_key(&field("speedup_i8_vs_f32", num())).is_none());
+        assert!(check_metric_key(&field("traces_per_sec_looped", num())).is_none());
+        assert!(check_metric_key(&field("model_save_ms", num())).is_none());
+        assert!(check_metric_key(&field("forward_batch1_latency_us", num())).is_some());
+        assert!(check_metric_key(&field("windows_per_sec", num())).is_some());
+        assert!(check_metric_key(&field("speedup", num())).is_some());
+        assert!(
+            check_metric_key(&field("p50_latency_ms", json::Value::String("x".into()))).is_some()
+        );
+    }
+}
