@@ -390,10 +390,9 @@ impl LocatorEngine {
     }
 
     /// Serialises the engine (weights + inference parameters) to `path` in
-    /// the versioned binary format of [`crate::persist`]: format v1 for
-    /// `f32` engines, format v3 (i8 blocks + scale vectors + calibrated
-    /// activation grids) for quantised engines. A [`Self::load`]-ed copy
-    /// reproduces every score bit-exactly.
+    /// the versioned binary format of [`crate::persist`]: the checksummed
+    /// format v4, carrying the `f32` or quantised payload as the engine is.
+    /// A [`Self::load`]-ed copy reproduces every score bit-exactly.
     ///
     /// # Errors
     ///
@@ -402,15 +401,30 @@ impl LocatorEngine {
         persist::save_engine(path.as_ref(), &self.model, &self.sliding, &self.segmenter)
     }
 
-    /// Loads an engine previously written by [`Self::save`] — either format
-    /// version; the loaded engine is quantised exactly when the file was.
+    /// Loads an engine previously written by [`Self::save`] — any format
+    /// version, current or legacy; the loaded engine is quantised exactly
+    /// when the file was.
     ///
     /// # Errors
     ///
     /// Returns a typed [`PersistError`] for missing files, foreign files
-    /// (bad magic), incompatible versions and corrupt/truncated payloads.
+    /// (bad magic), incompatible versions and corrupt/truncated payloads
+    /// (including v4 checksum mismatches).
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
         let (model, sliding, segmenter) = persist::load_engine(path.as_ref())?;
+        Ok(Self { model: Arc::new(model), sliding, segmenter })
+    }
+
+    /// Loads an engine from any [`std::io::Read`] source — the same formats
+    /// and error contract as [`Self::load`], without touching the
+    /// filesystem. This is how integrity tooling (and the service's fault
+    /// harness) validates model bytes it already holds in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`PersistError`]; see [`Self::load`].
+    pub fn load_from<R: std::io::Read>(reader: R) -> Result<Self, PersistError> {
+        let (model, sliding, segmenter) = persist::load_engine_from(reader)?;
         Ok(Self { model: Arc::new(model), sliding, segmenter })
     }
 }

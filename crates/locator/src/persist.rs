@@ -8,12 +8,13 @@
 //!
 //! ## Layout
 //!
-//! Both versions share one header and configuration block:
+//! All versions share one header and configuration block:
 //!
 //! ```text
 //! magic      8 bytes  "SCALOCEN"
 //! version    u32      1 (f32 weights) · 2 (quantised i8 weights) ·
-//!                     3 (quantised + calibrated activation grids)
+//!                     3 (quantised + calibrated activation grids) ·
+//!                     4 (checksummed; either weight kind)
 //! cnn config            base_filters u64 · kernel_size u64 · seed u64
 //! sliding config        window_len u64 · stride u64 · batch_size u64 ·
 //!                       standardize u8 · threads u64
@@ -22,7 +23,32 @@
 //!                       min_distance_windows u64
 //! ```
 //!
-//! **Version 1** (full precision) continues with:
+//! **Version 4** (checksummed, written by current builds) wraps both weight
+//! kinds in per-section CRC32 (IEEE 802.3, the zlib/PNG polynomial)
+//! checksums so a corrupt file is rejected with a typed
+//! [`PersistError::Corrupt`] instead of being served as garbage weights:
+//!
+//! ```text
+//! magic      8 bytes  "SCALOCEN"
+//! version    u32      4
+//! kind       u8       0 (f32 payload) · 1 (quantised payload)
+//! configs             the shared configuration block above
+//! config_crc u32      CRC32 over kind + configs
+//! payload             the version 1 payload (kind 0) or the version 3
+//!                     payload (kind 1), byte-identical layouts
+//! payload_crc u32     CRC32 over payload
+//! ```
+//!
+//! The two checksums split the failure domains: a flipped bit in the
+//! configuration block is caught **before** the architecture is
+//! instantiated, and a flipped bit in a weight that still parses
+//! structurally (most do — weights are raw bits) is caught before the
+//! engine is returned. Versions 1–3 predate the checksums; they still load
+//! (shape/range validation only), and a save always writes version 4, so a
+//! legacy → load → save cycle upgrades canonically.
+//!
+//! **Version 1** (full precision) continues after the configuration block
+//! with:
 //!
 //! ```text
 //! weights    u32 count, then per parameter: ndim u32 · dims u64… · data f32…
@@ -52,11 +78,11 @@
 //! order of the network's accessors; the loader rebuilds the network from
 //! the stored configuration and verifies every shape, so a truncated,
 //! corrupted or incompatible file yields a typed [`PersistError`] instead of
-//! a panic or a silently wrong model. Version 1 files written by older
-//! builds load unchanged; version 2 files load and recalibrate their
+//! a panic or a silently wrong model. Version 1 and 3 files written by
+//! older builds load unchanged; version 2 files load and recalibrate their
 //! activation grids deterministically at the stored window length (the
-//! weights fully determine the grids, so a v2 → load → save cycle produces
-//! a canonical v3 file).
+//! weights fully determine the grids, so the upgrade to the current format
+//! is canonical for every legacy version).
 //!
 //! ## Memory accounting
 //!
@@ -96,9 +122,19 @@ pub const FORMAT_VERSION: u32 = 1;
 /// grids (still loadable; the grids are recalibrated deterministically).
 pub const FORMAT_VERSION_QUANTIZED: u32 = 2;
 
-/// Format version of quantised (`i8` weights + per-channel scales +
-/// calibrated activation grids) models — what current builds write.
+/// Legacy format version of quantised (`i8` weights + per-channel scales +
+/// calibrated activation grids) models without checksums (still loadable).
 pub const FORMAT_VERSION_QUANTIZED_V3: u32 = 3;
+
+/// Format version of checksummed models (either weight kind, per-section
+/// CRC32) — what current builds write.
+pub const FORMAT_VERSION_CHECKSUMMED_V4: u32 = 4;
+
+/// v4 kind byte: the payload is the version 1 `f32` layout.
+const KIND_F32: u8 = 0;
+
+/// v4 kind byte: the payload is the version 3 quantised layout.
+const KIND_QUANTIZED: u8 = 1;
 
 /// Upper bound accepted for any stored dimension — rejects absurd sizes from
 /// corrupt headers before they turn into multi-gigabyte allocations.
@@ -141,8 +177,9 @@ impl fmt::Display for PersistError {
                 write!(
                     f,
                     "unsupported model format version {v} (this build reads \
-                     {FORMAT_VERSION}, {FORMAT_VERSION_QUANTIZED} and \
-                     {FORMAT_VERSION_QUANTIZED_V3})"
+                     {FORMAT_VERSION}, {FORMAT_VERSION_QUANTIZED}, \
+                     {FORMAT_VERSION_QUANTIZED_V3} and \
+                     {FORMAT_VERSION_CHECKSUMMED_V4})"
                 )
             }
             PersistError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
@@ -162,18 +199,128 @@ fn io_err(e: std::io::Error) -> PersistError {
     }
 }
 
-/// Writes the shared header + configuration block (everything between the
-/// magic and the version-specific weight payload).
-fn write_configs<W: Write>(
+/// CRC32 lookup table (IEEE 802.3 reflected polynomial `0xEDB88320` — the
+/// zlib/PNG checksum), built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Advances a raw (pre-finalisation) CRC32 state over `bytes`. The state is
+/// seeded with `!0` and finalised by complementing.
+fn crc32_advance(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// A [`Write`] adaptor accumulating the CRC32 of everything written through
+/// it. [`Crc32Writer::emit_sum`] appends the finalised checksum **without**
+/// feeding it back into the running state, then re-arms for the next
+/// section.
+struct Crc32Writer<W: Write> {
+    inner: W,
+    state: u32,
+}
+
+impl<W: Write> Crc32Writer<W> {
+    fn new(inner: W) -> Self {
+        Self { inner, state: !0 }
+    }
+
+    /// Writes the little-endian finalised checksum of the section written so
+    /// far directly to the underlying writer and resets for the next
+    /// section.
+    fn emit_sum(&mut self) -> std::io::Result<()> {
+        let sum = !self.state;
+        self.inner.write_all(&sum.to_le_bytes())?;
+        self.state = !0;
+        Ok(())
+    }
+
+    fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for Crc32Writer<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.state = crc32_advance(self.state, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The reading mirror of [`Crc32Writer`]: accumulates the CRC32 of
+/// everything read through it; [`Crc32Reader::check_sum`] reads the stored
+/// checksum from the underlying reader (not through the accumulator),
+/// compares, and re-arms for the next section.
+struct Crc32Reader<R: Read> {
+    inner: R,
+    state: u32,
+}
+
+impl<R: Read> Crc32Reader<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, state: !0 }
+    }
+
+    /// Reads the stored section checksum and verifies it against the bytes
+    /// consumed since the last section boundary.
+    fn check_sum(&mut self, section: &str) -> Result<(), PersistError> {
+        let computed = !self.state;
+        let mut stored = [0u8; 4];
+        self.inner.read_exact(&mut stored).map_err(io_err)?;
+        let stored = u32::from_le_bytes(stored);
+        if stored != computed {
+            return Err(PersistError::Corrupt(format!(
+                "{section} checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            )));
+        }
+        self.state = !0;
+        Ok(())
+    }
+
+    fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for Crc32Reader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.state = crc32_advance(self.state, &buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Writes the shared configuration block (everything between the version —
+/// or, in v4, the kind byte — and the weight payload).
+fn write_config_block<W: Write>(
     w: &mut W,
-    version: u32,
     config: &CnnConfig,
     sliding: &SlidingWindowClassifier,
     segmenter: &Segmenter,
 ) -> Result<(), PersistError> {
-    w.write_all(MAGIC).map_err(io_err)?;
-    write_u32_le(&mut *w, version).map_err(io_err)?;
-
     write_u64_le(&mut *w, config.base_filters as u64).map_err(io_err)?;
     write_u64_le(&mut *w, config.kernel_size as u64).map_err(io_err)?;
     write_u64_le(&mut *w, config.seed).map_err(io_err)?;
@@ -196,8 +343,57 @@ fn write_configs<W: Write>(
     write_u64_le(&mut *w, seg.min_distance_windows as u64).map_err(io_err)
 }
 
+/// Writes the version 1 `f32` weight payload (v4 kind 0 uses the identical
+/// layout).
+fn write_f32_payload<W: Write>(w: &mut W, cnn: &CoLocatorCnn) -> Result<(), PersistError> {
+    let params = cnn.params();
+    write_u32_le(&mut *w, params.len() as u32).map_err(io_err)?;
+    for p in params {
+        let shape = p.value.shape();
+        write_u32_le(&mut *w, shape.len() as u32).map_err(io_err)?;
+        for &dim in shape {
+            write_u64_le(&mut *w, dim as u64).map_err(io_err)?;
+        }
+        write_f32s_le(&mut *w, p.value.data()).map_err(io_err)?;
+    }
+    let buffers = cnn.buffers();
+    write_u32_le(&mut *w, buffers.len() as u32).map_err(io_err)?;
+    for b in buffers {
+        write_u64_le(&mut *w, b.len() as u64).map_err(io_err)?;
+        write_f32s_le(&mut *w, b).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Writes the version 3 quantised weight payload (v4 kind 1 uses the
+/// identical layout).
+fn write_quantized_payload<W: Write>(
+    w: &mut W,
+    qcnn: &QuantizedCoLocatorCnn,
+) -> Result<(), PersistError> {
+    let gemms = qcnn.qgemms();
+    write_u32_le(&mut *w, gemms.len() as u32).map_err(io_err)?;
+    for g in gemms {
+        write_u64_le(&mut *w, g.rows() as u64).map_err(io_err)?;
+        write_u64_le(&mut *w, g.cols() as u64).map_err(io_err)?;
+        write_f32s_le(&mut *w, g.scales()).map_err(io_err)?;
+        write_f32s_le(&mut *w, g.bias()).map_err(io_err)?;
+        write_i8s(&mut *w, g.data()).map_err(io_err)?;
+    }
+    let head = qcnn.head_params();
+    write_u32_le(&mut *w, head.len() as u32).map_err(io_err)?;
+    for p in head {
+        write_u64_le(&mut *w, p.len() as u64).map_err(io_err)?;
+        write_f32s_le(&mut *w, p.value.data()).map_err(io_err)?;
+    }
+    let scales = qcnn.activation_scales();
+    write_u32_le(&mut *w, scales.len() as u32).map_err(io_err)?;
+    write_f32s_le(&mut *w, &scales).map_err(io_err)
+}
+
 /// Serialises a trained engine (model weights + inference parameters) to
-/// `path`: format v1 for `f32` models, format v3 for quantised models.
+/// `path` in the checksummed v4 format (kind 0 for `f32` models, kind 1
+/// for quantised models).
 ///
 /// # Errors
 ///
@@ -210,49 +406,25 @@ pub(crate) fn save_engine(
 ) -> Result<(), PersistError> {
     let file = File::create(path).map_err(io_err)?;
     let mut w = BufWriter::new(file);
+    w.write_all(MAGIC).map_err(io_err)?;
+    write_u32_le(&mut w, FORMAT_VERSION_CHECKSUMMED_V4).map_err(io_err)?;
+    let mut w = Crc32Writer::new(w);
     match model {
         EngineModel::F32(cnn) => {
-            write_configs(&mut w, FORMAT_VERSION, cnn.config(), sliding, segmenter)?;
-            let params = cnn.params();
-            write_u32_le(&mut w, params.len() as u32).map_err(io_err)?;
-            for p in params {
-                let shape = p.value.shape();
-                write_u32_le(&mut w, shape.len() as u32).map_err(io_err)?;
-                for &dim in shape {
-                    write_u64_le(&mut w, dim as u64).map_err(io_err)?;
-                }
-                write_f32s_le(&mut w, p.value.data()).map_err(io_err)?;
-            }
-            let buffers = cnn.buffers();
-            write_u32_le(&mut w, buffers.len() as u32).map_err(io_err)?;
-            for b in buffers {
-                write_u64_le(&mut w, b.len() as u64).map_err(io_err)?;
-                write_f32s_le(&mut w, b).map_err(io_err)?;
-            }
+            w.write_all(&[KIND_F32]).map_err(io_err)?;
+            write_config_block(&mut w, cnn.config(), sliding, segmenter)?;
+            w.emit_sum().map_err(io_err)?;
+            write_f32_payload(&mut w, cnn)?;
         }
         EngineModel::Quantized(qcnn) => {
-            write_configs(&mut w, FORMAT_VERSION_QUANTIZED_V3, qcnn.config(), sliding, segmenter)?;
-            let gemms = qcnn.qgemms();
-            write_u32_le(&mut w, gemms.len() as u32).map_err(io_err)?;
-            for g in gemms {
-                write_u64_le(&mut w, g.rows() as u64).map_err(io_err)?;
-                write_u64_le(&mut w, g.cols() as u64).map_err(io_err)?;
-                write_f32s_le(&mut w, g.scales()).map_err(io_err)?;
-                write_f32s_le(&mut w, g.bias()).map_err(io_err)?;
-                write_i8s(&mut w, g.data()).map_err(io_err)?;
-            }
-            let head = qcnn.head_params();
-            write_u32_le(&mut w, head.len() as u32).map_err(io_err)?;
-            for p in head {
-                write_u64_le(&mut w, p.len() as u64).map_err(io_err)?;
-                write_f32s_le(&mut w, p.value.data()).map_err(io_err)?;
-            }
-            let scales = qcnn.activation_scales();
-            write_u32_le(&mut w, scales.len() as u32).map_err(io_err)?;
-            write_f32s_le(&mut w, &scales).map_err(io_err)?;
+            w.write_all(&[KIND_QUANTIZED]).map_err(io_err)?;
+            write_config_block(&mut w, qcnn.config(), sliding, segmenter)?;
+            w.emit_sum().map_err(io_err)?;
+            write_quantized_payload(&mut w, qcnn)?;
         }
     }
-    w.flush().map_err(io_err)
+    w.emit_sum().map_err(io_err)?;
+    w.into_inner().flush().map_err(io_err)
 }
 
 /// Reads a `u64` and validates it as a sane `usize` dimension.
@@ -423,32 +595,43 @@ fn load_buffers<R: Read>(
     Ok(values)
 }
 
-/// Deserialises an engine model file written by [`save_engine`] — either
-/// format version.
-///
-/// # Errors
-///
-/// * [`PersistError::BadMagic`] — not an engine model file;
-/// * [`PersistError::UnsupportedVersion`] — written by an incompatible build;
-/// * [`PersistError::Corrupt`] — truncated file, shape mismatch, invalid
-///   configuration values or trailing bytes;
-/// * [`PersistError::Io`] — underlying filesystem failure.
-pub(crate) fn load_engine(
-    path: &Path,
-) -> Result<(EngineModel, SlidingWindowClassifier, Segmenter), PersistError> {
-    let file = File::open(path).map_err(io_err)?;
-    let mut r = BufReader::new(file);
+/// The decoded shared configuration block (everything between the version —
+/// or, in v4, the kind byte — and the weight payload).
+struct ParsedConfig {
+    config: CnnConfig,
+    window_len: usize,
+    stride: usize,
+    batch_size: usize,
+    standardize: bool,
+    threads: usize,
+    threshold: ThresholdStrategy,
+    median_filter_k: usize,
+    min_distance_windows: usize,
+}
 
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).map_err(io_err)?;
-    if &magic != MAGIC {
-        return Err(PersistError::BadMagic);
+impl ParsedConfig {
+    /// Builds the inference parts the configuration describes (the weight
+    /// payload is loaded separately).
+    fn into_parts(self) -> Result<(SlidingWindowClassifier, Segmenter), PersistError> {
+        let sliding = SlidingWindowClassifier::new(self.window_len, self.stride)
+            .with_batch_size(self.batch_size)
+            .with_standardize(self.standardize)
+            .with_threads(self.threads);
+        // `median_filter_k` was range-checked during parsing, but route
+        // through the fallible constructor anyway so a corrupt file can
+        // never panic here.
+        let segmenter = Segmenter::try_new(SegmentationConfig {
+            threshold: self.threshold,
+            median_filter_k: self.median_filter_k,
+            min_distance_windows: self.min_distance_windows,
+        })
+        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+        Ok((sliding, segmenter))
     }
-    let version = read_u32_le(&mut r).map_err(io_err)?;
-    if ![FORMAT_VERSION, FORMAT_VERSION_QUANTIZED, FORMAT_VERSION_QUANTIZED_V3].contains(&version) {
-        return Err(PersistError::UnsupportedVersion(version));
-    }
+}
 
+/// Reads and range-validates the shared configuration block.
+fn read_config_block<R: Read>(mut r: &mut R) -> Result<ParsedConfig, PersistError> {
     let base_filters = read_dim(&mut r, "base_filters")?;
     let kernel_size = read_dim(&mut r, "kernel_size")?;
     let seed = read_u64_le(&mut r).map_err(io_err)?;
@@ -508,31 +691,116 @@ pub(crate) fn load_engine(
         )));
     }
 
-    let config = CnnConfig { base_filters, kernel_size, seed };
-    let model = if version == FORMAT_VERSION {
-        EngineModel::F32(load_f32_payload(&mut r, config)?)
-    } else {
-        EngineModel::Quantized(load_quantized_payload(&mut r, config, version, window_len)?)
-    };
+    Ok(ParsedConfig {
+        config: CnnConfig { base_filters, kernel_size, seed },
+        window_len,
+        stride,
+        batch_size,
+        standardize,
+        threads,
+        threshold,
+        median_filter_k,
+        min_distance_windows,
+    })
+}
 
-    // Anything after the last buffer is not ours — reject it rather than
-    // silently ignoring a concatenated or doctored file.
+/// Rejects any unread byte left in `r` — anything after the model is not
+/// ours, so a concatenated or doctored file fails typed rather than being
+/// silently ignored.
+fn reject_trailing<R: Read>(r: &mut R) -> Result<(), PersistError> {
     let mut trailing = [0u8; 1];
     match r.read(&mut trailing).map_err(io_err)? {
-        0 => {}
-        _ => return Err(PersistError::Corrupt("trailing data after model".into())),
+        0 => Ok(()),
+        _ => Err(PersistError::Corrupt("trailing data after model".into())),
     }
+}
 
-    let sliding = SlidingWindowClassifier::new(window_len, stride)
-        .with_batch_size(batch_size)
-        .with_standardize(standardize)
-        .with_threads(threads);
-    // `median_filter_k` was range-checked above, but route through the
-    // fallible constructor anyway so a corrupt file can never panic here.
-    let segmenter =
-        Segmenter::try_new(SegmentationConfig { threshold, median_filter_k, min_distance_windows })
-            .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+/// Loads a legacy (v1–v3, pre-checksum) body: shared configuration block
+/// followed directly by the version-implied payload.
+fn load_legacy_body<R: Read>(
+    r: &mut R,
+    version: u32,
+) -> Result<(EngineModel, SlidingWindowClassifier, Segmenter), PersistError> {
+    let parsed = read_config_block(r)?;
+    let model = if version == FORMAT_VERSION {
+        EngineModel::F32(load_f32_payload(r, parsed.config)?)
+    } else {
+        EngineModel::Quantized(load_quantized_payload(
+            r,
+            parsed.config,
+            version,
+            parsed.window_len,
+        )?)
+    };
+    reject_trailing(r)?;
+    let (sliding, segmenter) = parsed.into_parts()?;
     Ok((model, sliding, segmenter))
+}
+
+/// Loads a v4 body: kind byte + configuration block under `config_crc`,
+/// then the kind-implied payload under `payload_crc`. The configuration
+/// checksum is verified **before** the architecture is instantiated, the
+/// payload checksum before the model is returned.
+fn load_v4_body<R: Read>(
+    r: R,
+) -> Result<(EngineModel, SlidingWindowClassifier, Segmenter), PersistError> {
+    let mut r = Crc32Reader::new(r);
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind).map_err(io_err)?;
+    let parsed = read_config_block(&mut r)?;
+    r.check_sum("configuration")?;
+    let model = match kind[0] {
+        KIND_F32 => EngineModel::F32(load_f32_payload(&mut r, parsed.config)?),
+        KIND_QUANTIZED => EngineModel::Quantized(load_quantized_payload(
+            &mut r,
+            parsed.config,
+            FORMAT_VERSION_QUANTIZED_V3,
+            parsed.window_len,
+        )?),
+        other => return Err(PersistError::Corrupt(format!("invalid model kind byte {other}"))),
+    };
+    r.check_sum("payload")?;
+    let mut r = r.into_inner();
+    reject_trailing(&mut r)?;
+    let (sliding, segmenter) = parsed.into_parts()?;
+    Ok((model, sliding, segmenter))
+}
+
+/// Deserialises an engine model from any [`Read`] source — any format
+/// version [`save_engine`] (current or legacy builds) ever wrote.
+///
+/// # Errors
+///
+/// * [`PersistError::BadMagic`] — not an engine model file;
+/// * [`PersistError::UnsupportedVersion`] — written by an incompatible build;
+/// * [`PersistError::Corrupt`] — truncated file, shape mismatch, checksum
+///   mismatch, invalid configuration values or trailing bytes;
+/// * [`PersistError::Io`] — underlying read failure.
+pub(crate) fn load_engine_from<R: Read>(
+    mut r: R,
+) -> Result<(EngineModel, SlidingWindowClassifier, Segmenter), PersistError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32_le(&mut r).map_err(io_err)?;
+    match version {
+        FORMAT_VERSION | FORMAT_VERSION_QUANTIZED | FORMAT_VERSION_QUANTIZED_V3 => {
+            load_legacy_body(&mut r, version)
+        }
+        FORMAT_VERSION_CHECKSUMMED_V4 => load_v4_body(r),
+        other => Err(PersistError::UnsupportedVersion(other)),
+    }
+}
+
+/// Deserialises an engine model file written by [`save_engine`] — any
+/// format version (see [`load_engine_from`] for the error contract).
+pub(crate) fn load_engine(
+    path: &Path,
+) -> Result<(EngineModel, SlidingWindowClassifier, Segmenter), PersistError> {
+    let file = File::open(path).map_err(io_err)?;
+    load_engine_from(BufReader::new(file))
 }
 
 #[cfg(test)]
@@ -718,6 +986,100 @@ mod tests {
             Err(PersistError::Corrupt(_)) => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_writes_the_checksummed_v4_header() {
+        for (what, (model, sliding, segmenter), kind) in
+            [("f32", tiny_parts(), KIND_F32), ("quantized", tiny_quantized_parts(), KIND_QUANTIZED)]
+        {
+            let path = temp_path(&format!("v4header_{what}"));
+            save_engine(&path, &model, &sliding, &segmenter).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(&bytes[..8], MAGIC);
+            assert_eq!(
+                u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+                FORMAT_VERSION_CHECKSUMMED_V4
+            );
+            assert_eq!(bytes[12], kind, "{what} kind byte");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v4_flipped_weight_byte_fails_the_payload_checksum() {
+        // A flipped bit in raw weight data parses structurally (weights are
+        // raw bits) — only the payload CRC can catch it. Flip a byte just
+        // before the trailing payload_crc: for both kinds that lands in raw
+        // `f32` data (buffers / activation scales).
+        for (what, (model, sliding, segmenter)) in
+            [("f32", tiny_parts()), ("quantized", tiny_quantized_parts())]
+        {
+            let path = temp_path(&format!("v4weightflip_{what}"));
+            save_engine(&path, &model, &sliding, &segmenter).unwrap();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let idx = bytes.len() - 6;
+            bytes[idx] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+            match load_engine(&path) {
+                Err(PersistError::Corrupt(msg)) => {
+                    assert!(msg.contains("payload checksum"), "{what}: {msg}")
+                }
+                other => panic!("{what}: expected Corrupt, got {other:?}"),
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v4_flipped_config_byte_fails_the_configuration_checksum() {
+        let (model, sliding, segmenter) = tiny_parts();
+        let path = temp_path("v4configflip");
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The stored init seed (magic 8 + version 4 + kind 1 + base_filters 8
+        // + kernel_size 8 = offset 29) passes every range check with any
+        // value — only the configuration CRC can reject the flip, and it
+        // must do so before the architecture is instantiated.
+        bytes[30] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_engine(&path) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("configuration checksum"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v4_invalid_kind_byte_is_corrupt() {
+        // The kind byte is covered by the configuration checksum, so a
+        // doctored kind fails that check (it cannot silently re-route the
+        // payload parser).
+        let (model, sliding, segmenter) = tiny_parts();
+        let path = temp_path("v4kind");
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[12] = 7;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_engine(&path) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_from_reads_in_memory_bytes() {
+        let (model, sliding, segmenter) = tiny_parts();
+        let path = temp_path("loadfrom");
+        save_engine(&path, &model, &sliding, &segmenter).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let (model2, sliding2, _) = load_engine_from(&bytes[..]).unwrap();
+        assert_eq!(sliding2, sliding);
+        assert!(matches!(model2, EngineModel::F32(_)));
         std::fs::remove_file(&path).ok();
     }
 

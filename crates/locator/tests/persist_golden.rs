@@ -1,19 +1,23 @@
-//! Golden-file tests of the engine model format: byte-exact v1, v2 and v3
-//! fixtures checked in under `tests/fixtures/`, loaded and verified against
-//! freshly constructed engines.
+//! Golden-file tests of the engine model format: byte-exact v1–v4 fixtures
+//! checked in under `tests/fixtures/`, loaded and verified against freshly
+//! constructed engines.
 //!
 //! The in-crate unit tests cover the error paths against in-memory buffers;
 //! these tests pin the *on-disk* artefacts: the exact bytes a past build
 //! wrote must keep loading, a fresh save of the same deterministic model
-//! must reproduce them bit-for-bit (format stability), and every typed error
-//! must surface from mutated copies of the real files.
+//! must reproduce the current-format fixture bit-for-bit (format
+//! stability), and every typed error must surface from mutated copies of
+//! the real files.
 //!
-//! `engine_v2.scaloc` is a frozen legacy artefact: current builds write v3,
-//! so the v2 bytes can never be regenerated — they pin backward
-//! compatibility (a v2 load must recalibrate to exactly the grids of the
-//! equivalent v3 file, making the upgrade canonical).
+//! `engine_v1.scaloc`, `engine_v2.scaloc` and `engine_v3.scaloc` are
+//! **frozen legacy artefacts**: current builds write the checksummed v4, so
+//! the legacy bytes can never be regenerated — they pin backward
+//! compatibility. Loading any of them and saving must land byte-exactly on
+//! the corresponding v4 fixture (`engine_v4_f32.scaloc` for v1,
+//! `engine_v4_quant.scaloc` for v2/v3 — the v2 recalibration is
+//! deterministic), making every legacy upgrade canonical.
 //!
-//! Regenerate the v1/v3 fixtures after an *intentional* format change with
+//! Regenerate the v4 fixtures after an *intentional* format change with
 //! `cargo test -p sca-locator --test persist_golden -- --ignored`.
 
 use std::path::PathBuf;
@@ -38,6 +42,16 @@ fn golden_engine() -> LocatorEngine {
     )
 }
 
+/// Every committed fixture: the three frozen legacy formats plus the two
+/// current-format (checksummed v4) artefacts.
+const ALL_FIXTURES: [&str; 5] = [
+    "engine_v1.scaloc",
+    "engine_v2.scaloc",
+    "engine_v3.scaloc",
+    "engine_v4_f32.scaloc",
+    "engine_v4_quant.scaloc",
+];
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
 }
@@ -59,99 +73,89 @@ fn golden_trace() -> Trace {
 fn regenerate_fixtures() {
     let engine = golden_engine();
     std::fs::create_dir_all(fixture_path("")).unwrap();
-    engine.save(fixture_path("engine_v1.scaloc")).unwrap();
-    // Current builds write v3; engine_v2.scaloc is a frozen legacy fixture
-    // and is deliberately NOT regenerated here.
-    engine.quantize().save(fixture_path("engine_v3.scaloc")).unwrap();
+    // Current builds write v4; engine_v1/v2/v3.scaloc are frozen legacy
+    // fixtures and are deliberately NOT regenerated here.
+    engine.save(fixture_path("engine_v4_f32.scaloc")).unwrap();
+    engine.quantize().save(fixture_path("engine_v4_quant.scaloc")).unwrap();
 }
 
 #[test]
-fn v1_fixture_loads_and_matches_fresh_save_byte_exactly() {
+fn v4_fixtures_load_and_match_fresh_save_byte_exactly() {
     let engine = golden_engine();
-    let restored = LocatorEngine::load(fixture_path("engine_v1.scaloc")).expect("load v1 fixture");
-    assert!(!restored.is_quantized());
-    assert_eq!(restored.cnn().unwrap().config(), engine.cnn().unwrap().config());
-    assert_eq!(restored.sliding(), engine.sliding());
-    assert_eq!(restored.segmenter().config(), engine.segmenter().config());
+    for (fixture, fresh_engine, quantized) in [
+        ("engine_v4_f32.scaloc", golden_engine(), false),
+        ("engine_v4_quant.scaloc", golden_engine().quantize(), true),
+    ] {
+        let restored = LocatorEngine::load(fixture_path(fixture)).expect(fixture);
+        assert_eq!(restored.is_quantized(), quantized, "{fixture}");
+        assert_eq!(restored.sliding(), engine.sliding());
+        assert_eq!(restored.segmenter().config(), engine.segmenter().config());
 
-    // The deterministic engine must keep serialising to the committed bytes:
-    // any accidental layout change shows up as a byte diff here.
-    let fresh = temp_path("v1");
-    engine.save(&fresh).unwrap();
-    assert_eq!(
-        std::fs::read(&fresh).unwrap(),
-        std::fs::read(fixture_path("engine_v1.scaloc")).unwrap(),
-        "format v1 serialisation drifted from the golden fixture"
-    );
-    std::fs::remove_file(&fresh).ok();
+        // The deterministic engine must keep serialising to the committed
+        // bytes: any accidental layout change shows up as a byte diff here.
+        let fresh = temp_path("v4");
+        fresh_engine.save(&fresh).unwrap();
+        assert_eq!(
+            std::fs::read(&fresh).unwrap(),
+            std::fs::read(fixture_path(fixture)).unwrap(),
+            "format v4 serialisation drifted from the golden fixture {fixture}"
+        );
+        std::fs::remove_file(&fresh).ok();
 
-    // And the loaded model scores bit-identically to the in-memory one.
-    let trace = golden_trace();
-    let (scores_a, starts_a) = engine.locate_detailed(&trace);
-    let (scores_b, starts_b) = restored.locate_detailed(&trace);
-    assert_eq!(starts_a, starts_b);
-    for (a, b) in scores_a.iter().zip(scores_b.iter()) {
-        assert_eq!(a.to_bits(), b.to_bits(), "fixture model must score bit-identically");
+        // And the loaded model scores bit-identically to the in-memory one.
+        let trace = golden_trace();
+        let (scores_a, starts_a) = fresh_engine.locate_detailed(&trace);
+        let (scores_b, starts_b) = restored.locate_detailed(&trace);
+        assert_eq!(starts_a, starts_b);
+        for (a, b) in scores_a.iter().zip(scores_b.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{fixture} model must score bit-identically");
+        }
     }
 }
 
 #[test]
-fn v3_fixture_loads_and_matches_fresh_save_byte_exactly() {
-    let qengine = golden_engine().quantize();
-    let restored = LocatorEngine::load(fixture_path("engine_v3.scaloc")).expect("load v3 fixture");
-    assert!(restored.is_quantized());
-    assert!(restored.cnn().is_none(), "a quantised engine exposes no f32 CNN");
+fn legacy_fixtures_load_and_upgrade_canonically_to_v4() {
+    // Backward compatibility: every frozen pre-checksum file must keep
+    // loading, and saving it must land byte-exactly on the corresponding v4
+    // fixture — the v2 activation-grid recalibration is deterministic, so
+    // even that upgrade is canonical.
+    for (fixture, v4_fixture, quantized) in [
+        ("engine_v1.scaloc", "engine_v4_f32.scaloc", false),
+        ("engine_v2.scaloc", "engine_v4_quant.scaloc", true),
+        ("engine_v3.scaloc", "engine_v4_quant.scaloc", true),
+    ] {
+        let restored = LocatorEngine::load(fixture_path(fixture)).expect(fixture);
+        assert_eq!(restored.is_quantized(), quantized, "{fixture}");
 
-    let fresh = temp_path("v3");
-    qengine.save(&fresh).unwrap();
-    assert_eq!(
-        std::fs::read(&fresh).unwrap(),
-        std::fs::read(fixture_path("engine_v3.scaloc")).unwrap(),
-        "format v3 serialisation drifted from the golden fixture"
-    );
-    std::fs::remove_file(&fresh).ok();
+        let upgraded = temp_path("legacy_upgrade");
+        restored.save(&upgraded).unwrap();
+        assert_eq!(
+            std::fs::read(&upgraded).unwrap(),
+            std::fs::read(fixture_path(v4_fixture)).unwrap(),
+            "{fixture} load → save must produce exactly the canonical {v4_fixture} bytes"
+        );
+        std::fs::remove_file(&upgraded).ok();
 
-    let trace = golden_trace();
-    let (scores_a, starts_a) = qengine.locate_detailed(&trace);
-    let (scores_b, starts_b) = restored.locate_detailed(&trace);
-    assert_eq!(starts_a, starts_b);
-    for (a, b) in scores_a.iter().zip(scores_b.iter()) {
-        assert_eq!(a.to_bits(), b.to_bits(), "v3 fixture model must score bit-identically");
-    }
-}
-
-#[test]
-fn legacy_v2_fixture_loads_and_upgrades_canonically_to_v3() {
-    // Backward compatibility: a pre-grid v2 file must keep loading, and its
-    // deterministic recalibration must land on exactly the grids of the v3
-    // fixture — so load → save performs a canonical, bit-exact upgrade.
-    let restored = LocatorEngine::load(fixture_path("engine_v2.scaloc")).expect("load v2 fixture");
-    assert!(restored.is_quantized());
-
-    let upgraded = temp_path("v2_upgrade");
-    restored.save(&upgraded).unwrap();
-    assert_eq!(
-        std::fs::read(&upgraded).unwrap(),
-        std::fs::read(fixture_path("engine_v3.scaloc")).unwrap(),
-        "v2 load → save must produce exactly the canonical v3 bytes"
-    );
-    std::fs::remove_file(&upgraded).ok();
-
-    // And the legacy file scores bit-identically to the v3 model.
-    let v3 = LocatorEngine::load(fixture_path("engine_v3.scaloc")).unwrap();
-    let trace = golden_trace();
-    let (scores_a, starts_a) = restored.locate_detailed(&trace);
-    let (scores_b, starts_b) = v3.locate_detailed(&trace);
-    assert_eq!(starts_a, starts_b);
-    for (a, b) in scores_a.iter().zip(scores_b.iter()) {
-        assert_eq!(a.to_bits(), b.to_bits(), "v2 and v3 models must score bit-identically");
+        // And the legacy file scores bit-identically to the v4 model.
+        let v4 = LocatorEngine::load(fixture_path(v4_fixture)).unwrap();
+        let trace = golden_trace();
+        let (scores_a, starts_a) = restored.locate_detailed(&trace);
+        let (scores_b, starts_b) = v4.locate_detailed(&trace);
+        assert_eq!(starts_a, starts_b);
+        for (a, b) in scores_a.iter().zip(scores_b.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{fixture} and {v4_fixture} models must score bit-identically"
+            );
+        }
     }
 }
 
 #[test]
 fn quantised_files_are_smaller_than_v1() {
     let v1 = std::fs::metadata(fixture_path("engine_v1.scaloc")).unwrap().len();
-    for fixture in ["engine_v2.scaloc", "engine_v3.scaloc"] {
+    for fixture in ["engine_v2.scaloc", "engine_v3.scaloc", "engine_v4_quant.scaloc"] {
         let q = std::fs::metadata(fixture_path(fixture)).unwrap().len();
         assert!(q < v1, "{fixture} ({q} bytes) should undercut the f32 file ({v1} bytes)");
     }
@@ -200,8 +204,28 @@ fn corrupt_activation_scale_block_is_typed() {
 }
 
 #[test]
+fn corrupt_v4_weight_byte_is_rejected_by_checksum() {
+    // The integrity property the service's registry depends on: flip one
+    // byte in the middle of a v4 file (raw weight data, structurally
+    // valid) and the load must fail with a typed `Corrupt` — the model is
+    // never served.
+    for fixture in ["engine_v4_f32.scaloc", "engine_v4_quant.scaloc"] {
+        let mut bytes = std::fs::read(fixture_path(fixture)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let path = temp_path("v4flip");
+        std::fs::write(&path, &bytes).unwrap();
+        match LocatorEngine::load(&path) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("{fixture}: expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
 fn bad_magic_on_fixture_bytes_is_typed() {
-    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc", "engine_v3.scaloc"] {
+    for fixture in ALL_FIXTURES {
         let mut bytes = std::fs::read(fixture_path(fixture)).unwrap();
         bytes[0] ^= 0xFF;
         let path = temp_path("magic");
@@ -214,16 +238,16 @@ fn bad_magic_on_fixture_bytes_is_typed() {
 #[test]
 fn unknown_version_on_fixture_bytes_is_typed() {
     let mut bytes = std::fs::read(fixture_path("engine_v1.scaloc")).unwrap();
-    bytes[8..12].copy_from_slice(&4u32.to_le_bytes());
+    bytes[8..12].copy_from_slice(&5u32.to_le_bytes());
     let path = temp_path("version");
     std::fs::write(&path, &bytes).unwrap();
-    assert_eq!(LocatorEngine::load(&path).unwrap_err(), PersistError::UnsupportedVersion(4));
+    assert_eq!(LocatorEngine::load(&path).unwrap_err(), PersistError::UnsupportedVersion(5));
     std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn truncation_of_fixture_bytes_is_corrupt_at_every_boundary() {
-    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc", "engine_v3.scaloc"] {
+    for fixture in ALL_FIXTURES {
         let bytes = std::fs::read(fixture_path(fixture)).unwrap();
         let path = temp_path("trunc");
         // Walk a spread of cut points through header, configs and payload.
@@ -286,7 +310,7 @@ fn inflated_length_headers_fail_fast_with_typed_errors() {
 
 #[test]
 fn trailing_data_on_fixture_bytes_is_corrupt() {
-    for fixture in ["engine_v1.scaloc", "engine_v2.scaloc", "engine_v3.scaloc"] {
+    for fixture in ALL_FIXTURES {
         let mut bytes = std::fs::read(fixture_path(fixture)).unwrap();
         bytes.extend_from_slice(b"junk");
         let path = temp_path("trail");

@@ -1,0 +1,425 @@
+//! Deterministic, seed-driven fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] is a schedule of faults keyed by *operation index* at a
+//! small set of well-defined injection sites ([`FaultSite`]): trace-source
+//! reads, model-file loads in the registry, socket reads/writes in the TCP
+//! layer, and worker scoring. Each time the stack passes an injection site it
+//! asks the plan whether this operation is scheduled to fault; the plan
+//! answers with a [`FaultKind`] (or nothing) and keeps per-site counters of
+//! operations seen and faults fired, so a chaos harness can reconcile every
+//! injected fault against the service's typed errors and metrics.
+//!
+//! Two properties make the harness usable:
+//!
+//! - **Empty plans are free.** [`FaultPlan::default`] holds no allocation and
+//!   every check is a single `Option::is_none` test, so production configs
+//!   pay nothing. The `fault-plan-confined` xcheck rule additionally enforces
+//!   that non-test library code never *constructs* a non-empty plan.
+//! - **Schedules are deterministic.** [`FaultPlan::seeded`] derives the fault
+//!   schedule from a seed via splitmix64; the same seed always schedules the
+//!   same (site, operation-index, kind) triples. What varies across runs is
+//!   only *which request* a given operation index lands on — which is exactly
+//!   the interleaving a chaos suite wants randomized-but-reproducible.
+//!
+//! Cloning a plan is cheap and **shares** the schedule and counters: the
+//! service, registry and server can all carry clones of one plan and the
+//! harness reconciles fired counts in one place.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sca_trace::{TraceError, TraceSource};
+
+/// What an injected fault does at the site where it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with a typed I/O error.
+    IoError,
+    /// A read returns fewer bytes than asked for (sockets report EOF; trace
+    /// sources report a typed truncation error).
+    ShortRead,
+    /// The operation stalls for the given number of milliseconds, then
+    /// proceeds normally — exercises timeouts and deadline expiry.
+    Stall(u64),
+    /// The bytes produced by the operation are deliberately flipped —
+    /// exercises checksum validation (model files) and frame resync
+    /// (sockets).
+    CorruptBytes,
+    /// The scoring worker panics mid-batch — exercises panic containment.
+    ScorePanic,
+}
+
+/// Where in the stack a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A [`TraceSource::fill`] call feeding the scheduler.
+    TraceRead,
+    /// A model-file load (or reload) inside the [`crate::ModelRegistry`].
+    ModelLoad,
+    /// A socket read in the TCP server.
+    NetRead,
+    /// A socket write in the TCP server.
+    NetWrite,
+    /// A worker scoring one batch.
+    Score,
+}
+
+/// Number of distinct [`FaultSite`]s; sizes the per-site state arrays.
+const SITES: usize = 5;
+
+impl FaultSite {
+    const ALL: [FaultSite; SITES] = [
+        FaultSite::TraceRead,
+        FaultSite::ModelLoad,
+        FaultSite::NetRead,
+        FaultSite::NetWrite,
+        FaultSite::Score,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::TraceRead => 0,
+            FaultSite::ModelLoad => 1,
+            FaultSite::NetRead => 2,
+            FaultSite::NetWrite => 3,
+            FaultSite::Score => 4,
+        }
+    }
+
+    /// The kinds that make sense at this site when deriving a schedule from
+    /// a seed. `CorruptBytes` is deliberately excluded from `NetRead`/
+    /// `NetWrite` seeded schedules: corrupting request payload bytes would
+    /// make the server compute — correctly — over wrong samples, which a
+    /// client cannot distinguish from an unfaulted response, breaking the
+    /// chaos suite's bit-parity invariant. Targeted tests can still schedule
+    /// it explicitly through [`FaultPlanBuilder`].
+    fn seedable_kinds(self, stall_ms: u64) -> &'static [FaultKind] {
+        // `Stall(0)` entries are placeholders: `seeded` patches in the real
+        // stall duration when it draws one of them.
+        match self {
+            FaultSite::TraceRead => {
+                if stall_ms == 0 {
+                    &[FaultKind::IoError, FaultKind::ShortRead]
+                } else {
+                    &[FaultKind::IoError, FaultKind::ShortRead, FaultKind::Stall(0)]
+                }
+            }
+            FaultSite::ModelLoad => {
+                if stall_ms == 0 {
+                    &[FaultKind::IoError, FaultKind::CorruptBytes]
+                } else {
+                    &[FaultKind::IoError, FaultKind::CorruptBytes, FaultKind::Stall(0)]
+                }
+            }
+            FaultSite::NetRead => {
+                if stall_ms == 0 {
+                    &[FaultKind::IoError, FaultKind::ShortRead]
+                } else {
+                    &[FaultKind::IoError, FaultKind::ShortRead, FaultKind::Stall(0)]
+                }
+            }
+            FaultSite::NetWrite => {
+                if stall_ms == 0 {
+                    &[FaultKind::IoError]
+                } else {
+                    &[FaultKind::IoError, FaultKind::Stall(0)]
+                }
+            }
+            FaultSite::Score => {
+                if stall_ms == 0 {
+                    &[FaultKind::ScorePanic]
+                } else {
+                    &[FaultKind::ScorePanic, FaultKind::Stall(0)]
+                }
+            }
+        }
+    }
+}
+
+/// Per-site schedule plus live counters.
+#[derive(Debug)]
+struct SiteState {
+    /// Operation index → fault to inject on that operation.
+    schedule: BTreeMap<u64, FaultKind>,
+    /// Operations that have passed this site (faulted or not).
+    ops: AtomicU64,
+    /// Faults actually fired at this site.
+    fired: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    sites: [SiteState; SITES],
+}
+
+/// A deterministic schedule of injectable faults, shared by clone.
+///
+/// The default plan is empty and injects nothing; see the
+/// [module docs](self) for the full model.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<PlanInner>>,
+}
+
+impl FaultPlan {
+    /// Start building an explicit plan with per-(site, op, kind) entries.
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder { schedules: Default::default() }
+    }
+
+    /// Derive a randomized-but-reproducible plan from `seed`: for every
+    /// site, `faults_per_site` operations are picked uniformly from the
+    /// first `op_horizon` operations and assigned a kind applicable to that
+    /// site. `stall_ms > 0` makes `Stall` eligible with that duration;
+    /// `stall_ms == 0` schedules only fail-fast kinds.
+    pub fn seeded(seed: u64, faults_per_site: u32, op_horizon: u64, stall_ms: u64) -> Self {
+        assert!(op_horizon > 0, "op_horizon must be positive");
+        let mut rng = splitmix64(seed ^ 0x5ca1_0c8a_fa17_1a11);
+        let mut builder = FaultPlan::builder();
+        for site in FaultSite::ALL {
+            let kinds = site.seedable_kinds(stall_ms);
+            let mut scheduled = 0;
+            // Reject duplicate op indices; the horizon is far larger than
+            // faults_per_site in practice, so this terminates quickly.
+            let mut guard = 0u32;
+            while scheduled < faults_per_site && guard < faults_per_site.saturating_mul(64) {
+                guard += 1;
+                rng = splitmix64(rng);
+                let op = rng % op_horizon;
+                rng = splitmix64(rng);
+                let mut kind = kinds[(rng % kinds.len() as u64) as usize];
+                if let FaultKind::Stall(_) = kind {
+                    kind = FaultKind::Stall(stall_ms);
+                }
+                if builder.schedules[site.index()].insert(op, kind).is_none() {
+                    scheduled += 1;
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// `true` when the plan schedules nothing and every check is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Count one operation at `site` and return the fault scheduled for it,
+    /// if any. On the empty plan this neither counts nor allocates.
+    pub(crate) fn check(&self, site: FaultSite) -> Option<FaultKind> {
+        let state = &self.inner.as_ref()?.sites[site.index()];
+        let op = state.ops.fetch_add(1, Ordering::Relaxed);
+        let kind = state.schedule.get(&op).copied();
+        if kind.is_some() {
+            state.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        kind
+    }
+
+    /// Number of faults fired so far at `site`.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.sites[site.index()].fired.load(Ordering::Relaxed))
+    }
+
+    /// Number of operations observed so far at `site` (faulted or not).
+    pub fn ops(&self, site: FaultSite) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.sites[site.index()].ops.load(Ordering::Relaxed))
+    }
+
+    /// Number of faults scheduled (not necessarily yet fired) at `site`.
+    pub fn scheduled(&self, site: FaultSite) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.sites[site.index()].schedule.len() as u64)
+    }
+
+    /// The scheduled kinds at `site` together with their operation indices,
+    /// in operation order — lets a harness predict which faults a
+    /// deterministic operation sequence will hit.
+    pub fn schedule(&self, site: FaultSite) -> Vec<(u64, FaultKind)> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            inner.sites[site.index()].schedule.iter().map(|(op, kind)| (*op, *kind)).collect()
+        })
+    }
+}
+
+/// Builder for explicit [`FaultPlan`]s (test code only — see the
+/// `fault-plan-confined` xcheck rule).
+#[derive(Debug, Default)]
+pub struct FaultPlanBuilder {
+    schedules: [BTreeMap<u64, FaultKind>; SITES],
+}
+
+impl FaultPlanBuilder {
+    /// Schedule `kind` to fire on the `op`-th operation (0-based) at `site`.
+    /// Scheduling the same (site, op) twice keeps the later kind.
+    pub fn fault(mut self, site: FaultSite, op: u64, kind: FaultKind) -> Self {
+        self.schedules[site.index()].insert(op, kind);
+        self
+    }
+
+    /// Finish the plan. A builder with no entries yields the empty plan.
+    pub fn build(self) -> FaultPlan {
+        if self.schedules.iter().all(BTreeMap::is_empty) {
+            return FaultPlan::default();
+        }
+        let mut schedules = self.schedules.into_iter();
+        let sites = std::array::from_fn(|_| SiteState {
+            schedule: schedules.next().expect("one schedule per site"),
+            ops: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        });
+        FaultPlan { inner: Some(Arc::new(PlanInner { sites })) }
+    }
+}
+
+/// splitmix64 step — the repo's standard dependency-free mixer (also used
+/// by the net client's deterministic backoff jitter).
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A [`TraceSource`] wrapper that injects [`FaultSite::TraceRead`] faults in
+/// front of the wrapped source's `fill`.
+pub(crate) struct FaultedSource {
+    inner: Box<dyn TraceSource + Send>,
+    plan: FaultPlan,
+}
+
+impl FaultedSource {
+    pub(crate) fn new(inner: Box<dyn TraceSource + Send>, plan: FaultPlan) -> Self {
+        Self { inner, plan }
+    }
+}
+
+impl TraceSource for FaultedSource {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn fill(&self, start: usize, out: &mut [f32]) -> Result<(), TraceError> {
+        match self.plan.check(FaultSite::TraceRead) {
+            Some(FaultKind::IoError) => {
+                return Err(TraceError::Io("injected trace-read I/O fault".into()));
+            }
+            Some(FaultKind::ShortRead) => {
+                return Err(TraceError::Io(format!(
+                    "injected short read: trace source ended before sample {}",
+                    start + out.len()
+                )));
+            }
+            Some(FaultKind::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultKind::CorruptBytes | FaultKind::ScorePanic) | None => {}
+        }
+        self.inner.fill(start, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_checks_are_no_ops_and_count_nothing() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        for site in FaultSite::ALL {
+            assert_eq!(plan.check(site), None);
+            assert_eq!(plan.ops(site), 0, "empty plan must not count operations");
+            assert_eq!(plan.fired(site), 0);
+            assert_eq!(plan.scheduled(site), 0);
+        }
+        // An entry-less builder collapses back to the empty plan.
+        assert!(FaultPlan::builder().build().is_empty());
+    }
+
+    #[test]
+    fn explicit_schedule_fires_on_the_exact_operation_index() {
+        let plan = FaultPlan::builder()
+            .fault(FaultSite::Score, 2, FaultKind::ScorePanic)
+            .fault(FaultSite::TraceRead, 0, FaultKind::IoError)
+            .build();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.check(FaultSite::Score), None);
+        assert_eq!(plan.check(FaultSite::Score), None);
+        assert_eq!(plan.check(FaultSite::Score), Some(FaultKind::ScorePanic));
+        assert_eq!(plan.check(FaultSite::Score), None);
+        assert_eq!(plan.ops(FaultSite::Score), 4);
+        assert_eq!(plan.fired(FaultSite::Score), 1);
+        // Sites are independent.
+        assert_eq!(plan.check(FaultSite::TraceRead), Some(FaultKind::IoError));
+        assert_eq!(plan.fired(FaultSite::TraceRead), 1);
+    }
+
+    #[test]
+    fn clones_share_schedule_and_counters() {
+        let plan = FaultPlan::builder().fault(FaultSite::NetRead, 1, FaultKind::ShortRead).build();
+        let clone = plan.clone();
+        assert_eq!(clone.check(FaultSite::NetRead), None);
+        assert_eq!(plan.check(FaultSite::NetRead), Some(FaultKind::ShortRead));
+        assert_eq!(clone.fired(FaultSite::NetRead), 1, "clones must share fired counters");
+        assert_eq!(plan.ops(FaultSite::NetRead), 2);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_respect_site_kinds() {
+        let a = FaultPlan::seeded(42, 5, 100, 7);
+        let b = FaultPlan::seeded(42, 5, 100, 7);
+        let c = FaultPlan::seeded(43, 5, 100, 7);
+        let mut differs = false;
+        for site in FaultSite::ALL {
+            assert_eq!(a.schedule(site), b.schedule(site), "same seed, same schedule");
+            assert_eq!(a.scheduled(site), 5);
+            differs |= a.schedule(site) != c.schedule(site);
+            for (op, kind) in a.schedule(site) {
+                assert!(op < 100, "op {op} outside horizon");
+                match site {
+                    FaultSite::Score => {
+                        assert!(matches!(kind, FaultKind::ScorePanic | FaultKind::Stall(7)))
+                    }
+                    FaultSite::ModelLoad => assert!(matches!(
+                        kind,
+                        FaultKind::IoError | FaultKind::CorruptBytes | FaultKind::Stall(7)
+                    )),
+                    FaultSite::NetWrite => {
+                        assert!(matches!(kind, FaultKind::IoError | FaultKind::Stall(7)))
+                    }
+                    FaultSite::TraceRead | FaultSite::NetRead => assert!(matches!(
+                        kind,
+                        FaultKind::IoError | FaultKind::ShortRead | FaultKind::Stall(7)
+                    )),
+                }
+            }
+        }
+        assert!(differs, "different seeds should differ somewhere");
+        // stall_ms == 0 keeps seeded schedules fail-fast.
+        let fast = FaultPlan::seeded(7, 8, 64, 0);
+        for site in FaultSite::ALL {
+            for (_, kind) in fast.schedule(site) {
+                assert!(!matches!(kind, FaultKind::Stall(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_source_injects_then_passes_through() {
+        let trace = sca_trace::Trace::from_samples((0..16).map(|i| i as f32).collect());
+        let plan = FaultPlan::builder()
+            .fault(FaultSite::TraceRead, 0, FaultKind::IoError)
+            .fault(FaultSite::TraceRead, 1, FaultKind::ShortRead)
+            .build();
+        let source = FaultedSource::new(Box::new(trace), plan.clone());
+        let mut buf = [0.0f32; 4];
+        assert!(matches!(source.fill(0, &mut buf), Err(TraceError::Io(_))));
+        assert!(matches!(source.fill(0, &mut buf), Err(TraceError::Io(_))));
+        source.fill(4, &mut buf).expect("third fill unfaulted");
+        assert_eq!(buf, [4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(plan.fired(FaultSite::TraceRead), 2);
+        assert_eq!(plan.ops(FaultSite::TraceRead), 3);
+    }
+}

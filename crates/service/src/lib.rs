@@ -29,10 +29,13 @@
 //!   parity test in `sca-locator` pins), so the demuxed per-request results
 //!   are **bit-identical** to [`sca_locator::LocatorEngine::locate`] /
 //!   [`sca_locator::LocatorEngine::locate_streamed`].
-//! * **Per-request deadlines.** A request that outsits its deadline in the
-//!   queue is dropped at the next scheduling point and completes with
-//!   [`ServiceError::DeadlineExceeded`] instead of occupying the cores that
-//!   could still serve fresher work.
+//! * **Per-request deadlines + load shedding.** A request that outsits its
+//!   deadline in the queue is dropped at the next scheduling point and
+//!   completes with [`ServiceError::DeadlineExceeded`] instead of occupying
+//!   the cores that could still serve fresher work — and a request whose
+//!   deadline is *already* doomed at admission (queue depth × observed
+//!   per-batch latency exceeds it) is shed at the door with
+//!   [`Rejected::Overloaded`] before any work is wasted on it.
 //! * **Fault isolation.** A panic while scoring fails *that batch's*
 //!   requests with a typed [`ServiceError::WorkerFailed`] and is counted in
 //!   [`MetricsSnapshot::worker_panics`]; every scheduler lock recovers from
@@ -55,7 +58,14 @@
 //! * **Observability.** [`LocatorService::metrics`] snapshots queue depth,
 //!   batch fill ratio, rejection counters, interpolated p50/p99 latency and
 //!   the registry's load/evict/swap counters and resident-bytes gauge
-//!   ([`MetricsSnapshot`]).
+//!   ([`MetricsSnapshot`]), plus the failure-domain counters (I/O errors,
+//!   retries, connection timeouts, sheds, quarantines, corrupt loads).
+//! * **Deterministic fault injection.** The [`faults`] module provides a
+//!   seed-driven [`FaultPlan`] threaded through [`ServiceConfig::faults`] /
+//!   [`net::ServerConfig::faults`] / [`RegistryConfig::faults`] that injects
+//!   typed failures at trace reads, model loads, socket I/O and scoring —
+//!   the chaos harness (`tests/chaos.rs`) drives it through live traffic and
+//!   reconciles every fired fault against typed errors and metrics.
 //!
 //! ## Scheduling in one paragraph
 //!
@@ -107,6 +117,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod metrics;
 pub mod net;
 pub mod ordered_lock;
@@ -115,7 +126,7 @@ pub mod registry;
 use std::collections::VecDeque;
 use std::io::Read;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -126,6 +137,7 @@ use tinynn::Workspace;
 
 use crate::ordered_lock::{rank, OrderedMutex};
 
+pub use faults::{FaultKind, FaultPlan, FaultPlanBuilder, FaultSite};
 pub use metrics::MetricsSnapshot;
 pub use registry::{ModelHandle, ModelRegistry, RegistryConfig, RegistryError, RegistryStats};
 
@@ -181,6 +193,19 @@ pub enum Rejected {
     },
     /// A request parameter is invalid (e.g. a zero chunk length).
     InvalidRequest(String),
+    /// Deadline-aware load shedding: at admission time, the backlog already
+    /// ahead of this request (queue depth × the observed per-batch scoring
+    /// latency) exceeds the request's deadline, so it would expire in the
+    /// queue — shed it now rather than after wasted work. Only requests
+    /// carrying a [`RequestOptions::deadline`] are ever shed.
+    Overloaded {
+        /// Admitted-but-incomplete requests ahead at admission time.
+        queue_depth: usize,
+        /// Estimated time to drain the backlog plus this request.
+        estimate: Duration,
+        /// The deadline the estimate already exceeds.
+        deadline: Duration,
+    },
 }
 
 impl std::fmt::Display for Rejected {
@@ -198,6 +223,11 @@ impl std::fmt::Display for Rejected {
                 write!(f, "declared trace length {len} exceeds the admission bound {max}")
             }
             Rejected::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            Rejected::Overloaded { queue_depth, estimate, deadline } => write!(
+                f,
+                "shed: estimated backlog drain {estimate:?} ({queue_depth} in flight) \
+                 exceeds the {deadline:?} deadline"
+            ),
         }
     }
 }
@@ -272,10 +302,27 @@ impl Ticket {
     pub fn try_wait(&self) -> Option<Result<LocateResult, ServiceError>> {
         self.rx.try_recv().ok()
     }
+
+    /// Blocks up to `timeout` for the result. `None` means the request is
+    /// still in flight when the timeout elapses — the ticket stays
+    /// redeemable, so callers can bound each wait on a possibly-wedged
+    /// service instead of blocking forever, and retry or abandon at their
+    /// own pace. A service that stopped without completing the request
+    /// yields `Some(Err(ServiceError::Stopped))`, exactly like
+    /// [`Ticket::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<LocateResult, ServiceError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(ServiceError::Stopped))
+            }
+        }
+    }
 }
 
 /// Service sizing and limits; `Default` suits tests and single-host serving.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker thread count (`0` = one per available core).
     pub workers: usize,
@@ -290,11 +337,11 @@ pub struct ServiceConfig {
     pub chunk_len: usize,
     /// Admission bound on declared trace lengths (`usize::MAX` = unbounded).
     pub max_trace_len: usize,
-    /// Test-only fault injection: each of the next N scoring batches
-    /// panics inside the worker (exercising the containment path). Leave
-    /// at `0` in production.
-    #[doc(hidden)]
-    pub fault_score_panics: u32,
+    /// Deterministic fault injection for chaos testing (see [`faults`]).
+    /// The default empty plan injects nothing and costs nothing; the
+    /// `fault-plan-confined` xcheck rule bans non-test library code from
+    /// ever building a non-empty plan.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -305,7 +352,7 @@ impl Default for ServiceConfig {
             tile_windows: 64,
             chunk_len: 1 << 20,
             max_trace_len: usize::MAX,
-            fault_score_panics: 0,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -423,9 +470,6 @@ struct Shared {
     state: OrderedMutex<SchedState, { rank::STATE }>,
     work_ready: Condvar,
     counters: metrics::Counters,
-    /// Remaining injected scoring faults (test-only; see
-    /// [`ServiceConfig::fault_score_panics`]).
-    fault_score_panics: AtomicU32,
 }
 
 /// One window-run claimed from a request's current chunk.
@@ -492,6 +536,7 @@ impl LocatorService {
         assert!(cfg.queue_capacity > 0, "queue capacity must be non-zero");
         assert!(cfg.tile_windows > 0, "tile window count must be non-zero");
         assert!(cfg.chunk_len > 0, "chunk length must be non-zero");
+        let workers = if cfg.workers == 0 { tinynn::parallel::max_threads() } else { cfg.workers };
         let shared = Arc::new(Shared {
             registry,
             cfg,
@@ -503,9 +548,7 @@ impl LocatorService {
             }),
             work_ready: Condvar::new(),
             counters: metrics::Counters::default(),
-            fault_score_panics: AtomicU32::new(cfg.fault_score_panics),
         });
-        let workers = if cfg.workers == 0 { tinynn::parallel::max_threads() } else { cfg.workers };
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -575,6 +618,13 @@ impl LocatorService {
         source: Box<dyn TraceSource + Send>,
         opts: RequestOptions,
     ) -> Result<Ticket, Rejected> {
+        // With a fault plan active, every streamed fill passes the
+        // `TraceRead` injection site; the empty plan skips the wrapper.
+        let source: Box<dyn TraceSource + Send> = if self.shared.cfg.faults.is_empty() {
+            source
+        } else {
+            Box::new(faults::FaultedSource::new(source, self.shared.cfg.faults.clone()))
+        };
         let handle = self.checked_handle(model, source.len())?;
         let sliding = *handle.engine().sliding();
         let chunk_len = opts.chunk_len.unwrap_or(self.shared.cfg.chunk_len);
@@ -670,6 +720,14 @@ impl LocatorService {
                 return Err(self
                     .reject_other(Rejected::ModelUnavailable { name, reason: error.to_string() }));
             }
+            Err(RegistryError::Quarantined { name, retry_in }) => {
+                return Err(self.reject_other(Rejected::ModelUnavailable {
+                    name,
+                    reason: format!(
+                        "quarantined after repeated load failures (next attempt in {retry_in:?})"
+                    ),
+                }));
+            }
             Err(other) => {
                 return Err(self.reject_other(Rejected::InvalidRequest(other.to_string())));
             }
@@ -685,6 +743,12 @@ impl LocatorService {
     fn reject_other(&self, why: Rejected) -> Rejected {
         self.shared.counters.rejected_other.fetch_add(1, Ordering::Relaxed);
         why
+    }
+
+    /// Records one TCP connection reaped by a per-connection read/write
+    /// timeout (called by [`net`]'s connection wrapper).
+    pub(crate) fn note_conn_timeout(&self) {
+        self.shared.counters.conn_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Admission + enqueue, or the zero-window fast path.
@@ -755,6 +819,27 @@ impl LocatorService {
             if st.pending >= shared.cfg.queue_capacity {
                 shared.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 return Err(Rejected::QueueFull { capacity: shared.cfg.queue_capacity });
+            }
+            // Deadline-aware load shedding: if the backlog already ahead of
+            // this request is estimated (queue depth × observed per-batch
+            // scoring latency, an EWMA kept by `score_batch`) to outlast the
+            // deadline, the request would only expire in the queue — reject
+            // it at the door instead of after wasted work. A cold EWMA (no
+            // batch observed yet) never sheds.
+            if let Some(deadline) = opts.deadline {
+                let batch_nanos = shared.counters.ewma_batch_nanos.load(Ordering::Relaxed);
+                if batch_nanos > 0 {
+                    let estimate =
+                        Duration::from_nanos(batch_nanos.saturating_mul(st.pending as u64 + 1));
+                    if estimate > deadline {
+                        shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
+                        return Err(Rejected::Overloaded {
+                            queue_depth: st.pending,
+                            estimate,
+                            deadline,
+                        });
+                    }
+                }
             }
             st.pending += 1;
             st.ready.push_back(req);
@@ -915,12 +1000,13 @@ fn next_step(shared: &Shared) -> Step {
 /// place, score via `score_windows_into`), so the scores are bit-identical
 /// to the single-request paths regardless of how requests were packed.
 fn score_batch(shared: &Shared, ws: &mut Workspace, scores: &mut Vec<f32>, batch: &[Claim]) {
-    if shared
-        .fault_score_panics
-        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
-        .is_ok()
-    {
-        panic!("injected scoring fault (ServiceConfig::fault_score_panics)");
+    let started = Instant::now();
+    match shared.cfg.faults.check(faults::FaultSite::Score) {
+        Some(faults::FaultKind::ScorePanic) => {
+            panic!("injected scoring fault (FaultPlan, site Score)");
+        }
+        Some(faults::FaultKind::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(_) | None => {}
     }
     let engine = batch[0].req.handle.engine();
     let sliding = engine.sliding();
@@ -943,6 +1029,16 @@ fn score_batch(shared: &Shared, ws: &mut Workspace, scores: &mut Vec<f32>, batch
     ws.recycle(input);
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
     shared.counters.batched_windows.fetch_add(total as u64, Ordering::Relaxed);
+    // Per-batch latency EWMA (α = 1/8) feeding admission-time load shedding.
+    // The read-modify-write is deliberately unsynchronized across workers:
+    // a lost update skews an *estimate*, and the shed check only needs the
+    // right order of magnitude. Stalls (injected or real) inflate it, which
+    // is exactly what an overload estimator should see. `max(1)` keeps a
+    // warm estimator distinguishable from the cold `0`.
+    let nanos = (started.elapsed().as_nanos() as u64).max(1);
+    let prev = shared.counters.ewma_batch_nanos.load(Ordering::Relaxed);
+    let next = if prev == 0 { nanos } else { prev - prev / 8 + nanos / 8 };
+    shared.counters.ewma_batch_nanos.store(next.max(1), Ordering::Relaxed);
 
     let mut offset = 0usize;
     for c in batch {
@@ -1022,6 +1118,9 @@ fn load_chunk(shared: &Shared, req: &Arc<ActiveRequest>) {
     if let Err(e) = source.fill(sample_start, &mut samples) {
         out.canceled = true;
         shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        if matches!(e, TraceError::Io(_)) {
+            shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
         complete(shared, req, &mut out, Err(ServiceError::Source(e)));
         return;
     }

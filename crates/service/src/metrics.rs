@@ -85,6 +85,17 @@ pub(crate) struct Counters {
     pub batches: AtomicU64,
     pub batched_windows: AtomicU64,
     pub worker_panics: AtomicU64,
+    /// Trace-source I/O failures after admission (the registry keeps its
+    /// own model-load I/O count; the snapshot sums both).
+    pub io_errors: AtomicU64,
+    /// Requests shed at admission by the deadline-aware overload check.
+    pub sheds: AtomicU64,
+    /// TCP connections reaped by a per-connection read/write timeout.
+    pub conn_timeouts: AtomicU64,
+    /// EWMA of per-batch scoring latency in nanoseconds (α = 1/8); `0`
+    /// means no batch has been observed yet. Not a counter — the load
+    /// shedder's latency estimate.
+    pub ewma_batch_nanos: AtomicU64,
     pub latency: LatencyHistogram,
 }
 
@@ -115,6 +126,12 @@ impl Counters {
             queue_depth,
             in_flight,
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed) + registry.io_errors,
+            retries: registry.retries,
+            conn_timeouts: self.conn_timeouts.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            quarantines: registry.quarantines,
+            corrupt_loads: registry.corrupt_loads,
             models: registry.models,
             resident_models: registry.resident_models,
             resident_bytes: registry.resident_bytes,
@@ -167,6 +184,24 @@ pub struct MetricsSnapshot {
     /// requests with [`crate::ServiceError::WorkerFailed`] and left the
     /// remaining workers serving).
     pub worker_panics: u64,
+    /// I/O failures observed by the stack: trace-source failures after
+    /// admission plus model-load I/O failures in the registry.
+    pub io_errors: u64,
+    /// Model-load attempts that retried after a previous failure (after a
+    /// quarantine cooldown, or falling back to the last good file).
+    pub retries: u64,
+    /// TCP connections closed by the per-connection read/write timeout
+    /// (stalled, half-open or vanished clients reaped by [`crate::net`]).
+    pub conn_timeouts: u64,
+    /// Submissions shed at admission with [`crate::Rejected::Overloaded`]
+    /// because the backlog already exceeded their deadline.
+    pub sheds: u64,
+    /// Times a model entered load-failure quarantine (cooldown during which
+    /// submissions are rejected instead of hammering its broken file).
+    pub quarantines: u64,
+    /// Model loads rejected by format validation (bad magic, unsupported
+    /// version, or a failed checksum/structure check — never served).
+    pub corrupt_loads: u64,
     /// Models registered in the service's [`crate::ModelRegistry`]
     /// (resident or not).
     pub models: usize,

@@ -65,13 +65,34 @@
 //! client can ship a multi-gigabyte capture over a socket. Without the flag
 //! the payload is buffered and scored as an in-memory trace (lowest latency
 //! for small traces).
+//!
+//! # Failure domains
+//!
+//! Every accepted connection runs behind per-connection read/write socket
+//! timeouts ([`ServerConfig::read_timeout`] / [`ServerConfig::write_timeout`],
+//! 30 s by default) so a half-open or wedged peer can never pin a handler
+//! thread forever; each reaped connection bumps the `conn_timeouts` metric.
+//! When the service sheds load at admission (queue depth × observed batch
+//! latency exceeding the request deadline) the peer sees the typed
+//! [`Status::Overloaded`]. On the client side, [`Client::locate`] treats
+//! transport failures (socket errors, truncated responses) as retryable —
+//! it reconnects and retries with capped exponential backoff plus
+//! deterministic jitter, giving up with the typed
+//! [`ClientError::Exhausted`] after [`ClientConfig::max_attempts`] tries —
+//! while admin calls never retry (a swap is not idempotent).
+//!
+//! For chaos testing, a non-empty [`FaultPlan`] in [`ServerConfig::faults`]
+//! injects scheduled socket read/write faults at this layer (see
+//! [`crate::faults`]).
 
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::faults::{splitmix64, FaultKind, FaultPlan, FaultSite};
 use crate::{LocatorService, RegistryError, Rejected, RequestOptions, ServiceError};
 
 /// Request frame magic.
@@ -172,6 +193,10 @@ pub enum Status {
     /// An admin frame was refused because [`ServerConfig::allow_admin`] is
     /// off.
     AdminDenied = 9,
+    /// Shed at admission: the service's backlog already exceeded the
+    /// request's deadline ([`Rejected::Overloaded`]); retry with backoff or
+    /// a larger deadline.
+    Overloaded = 10,
 }
 
 impl Status {
@@ -187,6 +212,7 @@ impl Status {
             7 => Some(Status::ModelUnavailable),
             8 => Some(Status::WorkerFailed),
             9 => Some(Status::AdminDenied),
+            10 => Some(Status::Overloaded),
             _ => None,
         }
     }
@@ -470,8 +496,8 @@ pub fn read_response<R: Read>(mut r: R, max_starts: u64) -> Result<Response, Fra
 // Server
 // ---------------------------------------------------------------------------
 
-/// Server-side limits.
-#[derive(Debug, Clone, Copy)]
+/// Server-side limits and failure-domain knobs.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Largest sample count a request frame may declare (bounds both the
     /// in-memory buffer and the streamed drain).
@@ -480,13 +506,30 @@ pub struct ServerConfig {
     /// default: admin frames name server-local files, so only enable it on
     /// listeners reachable solely by operators.
     pub allow_admin: bool,
+    /// Per-connection socket read timeout. A client that stalls mid-frame
+    /// (or goes half-open) for longer than this is reaped — its handler
+    /// thread exits and the `conn_timeouts` metric is bumped — instead of
+    /// holding a connection thread forever. `None` disables the timeout.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout (a peer that stops draining its
+    /// receive buffer is reaped the same way). `None` disables the timeout.
+    pub write_timeout: Option<Duration>,
+    /// Deterministic fault injection at the socket read/write sites (see
+    /// [`crate::faults`]); the default empty plan injects nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        // 2^28 samples = 1 GiB of payload; far above any test trace, far
-        // below an allocation-of-death.
-        Self { max_frame_samples: 1 << 28, allow_admin: false }
+        Self {
+            // 2^28 samples = 1 GiB of payload; far above any test trace, far
+            // below an allocation-of-death.
+            max_frame_samples: 1 << 28,
+            allow_admin: false,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            faults: FaultPlan::default(),
+        }
     }
 }
 
@@ -563,6 +606,11 @@ pub fn serve(
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // A stalled or half-open peer is reaped by the socket
+                // timeouts instead of pinning this connection's thread
+                // forever.
+                let _ = stream.set_read_timeout(cfg.read_timeout);
+                let _ = stream.set_write_timeout(cfg.write_timeout);
                 let id = next_id;
                 next_id += 1;
                 if let Ok(peer) = stream.try_clone() {
@@ -570,9 +618,15 @@ pub fn serve(
                 }
                 let service = Arc::clone(&service);
                 let conns = Arc::clone(&conns);
+                let cfg = cfg.clone();
                 if let Ok(handle) =
                     std::thread::Builder::new().name("locsvc-conn".into()).spawn(move || {
-                        handle_connection(&service, &stream, cfg);
+                        let conn = ConnStream {
+                            inner: stream,
+                            faults: cfg.faults.clone(),
+                            service: Arc::clone(&service),
+                        };
+                        handle_connection(&service, &conn, &cfg);
                         crate::lock_poisoned(&conns).remove(&id);
                     })
                 {
@@ -590,6 +644,104 @@ pub fn serve(
     Ok(ServerHandle { addr, stopping, conns, accept: Some(accept) })
 }
 
+/// The server side of one connection: the socket wrapped with the
+/// [`FaultSite::NetRead`]/[`FaultSite::NetWrite`] injection points and
+/// timeout accounting (a read/write that trips the socket timeout bumps the
+/// `conn_timeouts` metric as the connection is reaped). All handlers do
+/// their socket I/O through this wrapper — with an empty plan it forwards
+/// straight to the socket.
+struct ConnStream {
+    inner: TcpStream,
+    faults: FaultPlan,
+    service: Arc<LocatorService>,
+}
+
+impl ConnStream {
+    fn try_clone(&self) -> io::Result<ConnStream> {
+        Ok(ConnStream {
+            inner: self.inner.try_clone()?,
+            faults: self.faults.clone(),
+            service: Arc::clone(&self.service),
+        })
+    }
+
+    /// Tags a socket-level failure: a timeout kind means this connection is
+    /// about to be reaped by the read/write deadline.
+    fn note_if_timeout(&self, e: &io::Error) {
+        if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+            self.service.note_conn_timeout();
+        }
+    }
+}
+
+impl Read for &ConnStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.faults.check(FaultSite::NetRead) {
+            Some(FaultKind::IoError) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected socket read fault",
+                ));
+            }
+            // A short read models a peer vanishing mid-frame: EOF now.
+            Some(FaultKind::ShortRead) => return Ok(0),
+            Some(FaultKind::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(_) | None => {}
+        }
+        match (&self.inner).read(buf) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                self.note_if_timeout(&e);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Write for &ConnStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.faults.check(FaultSite::NetWrite) {
+            Some(FaultKind::IoError) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected socket write fault",
+                ));
+            }
+            // `write_all` turns the zero-length write into `WriteZero`.
+            Some(FaultKind::ShortRead) => return Ok(0),
+            Some(FaultKind::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(_) | None => {}
+        }
+        match (&self.inner).write(buf) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                self.note_if_timeout(&e);
+                Err(e)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&self.inner).flush()
+    }
+}
+
+impl Read for ConnStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&*self).read(buf)
+    }
+}
+
+impl Write for ConnStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&*self).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&*self).flush()
+    }
+}
+
 /// Byte counter around a reader, shared with the connection handler so it
 /// knows how much of a streamed payload the service actually consumed.
 struct CountingReader<R> {
@@ -605,7 +757,7 @@ impl<R: Read> Read for CountingReader<R> {
     }
 }
 
-fn handle_connection(service: &LocatorService, stream: &TcpStream, cfg: ServerConfig) {
+fn handle_connection(service: &LocatorService, stream: &ConnStream, cfg: &ServerConfig) {
     loop {
         // No buffering on the request side: for streamed ingest the service
         // reads the payload straight off this socket, so the handler must
@@ -639,7 +791,7 @@ fn handle_connection(service: &LocatorService, stream: &TcpStream, cfg: ServerCo
     }
 }
 
-fn serve_locate(service: &LocatorService, stream: &TcpStream, header: &RequestHeader) -> bool {
+fn serve_locate(service: &LocatorService, stream: &ConnStream, header: &RequestHeader) -> bool {
     let options = RequestOptions {
         deadline: (header.deadline_ms > 0)
             .then(|| Duration::from_millis(u64::from(header.deadline_ms))),
@@ -656,9 +808,9 @@ fn serve_locate(service: &LocatorService, stream: &TcpStream, header: &RequestHe
 /// swap answers `Ok` with the new generation as `starts[0]`.
 fn serve_admin(
     service: &LocatorService,
-    stream: &TcpStream,
+    stream: &ConnStream,
     admin: &AdminRequest,
-    cfg: ServerConfig,
+    cfg: &ServerConfig,
 ) -> bool {
     if !cfg.allow_admin {
         return write_response(stream, Status::AdminDenied, &[]).is_ok();
@@ -680,7 +832,7 @@ fn serve_admin(
 fn registry_status(e: &RegistryError) -> Status {
     match e {
         RegistryError::UnknownModel { .. } => Status::UnknownModel,
-        RegistryError::Load { .. } => Status::ModelUnavailable,
+        RegistryError::Load { .. } | RegistryError::Quarantined { .. } => Status::ModelUnavailable,
         RegistryError::AlreadyRegistered { .. } | RegistryError::NotEvictable { .. } => {
             Status::Invalid
         }
@@ -691,7 +843,7 @@ fn registry_status(e: &RegistryError) -> Status {
 /// the connection should close.
 fn serve_buffered(
     service: &LocatorService,
-    stream: &TcpStream,
+    stream: &ConnStream,
     header: &RequestHeader,
     options: RequestOptions,
 ) -> bool {
@@ -711,7 +863,7 @@ fn serve_buffered(
 /// tail (samples past the last full window), answer.
 fn serve_streamed(
     service: &LocatorService,
-    stream: &TcpStream,
+    stream: &ConnStream,
     header: &RequestHeader,
     options: RequestOptions,
 ) -> bool {
@@ -748,12 +900,12 @@ fn serve_streamed(
     }
 }
 
-fn respond_with_ticket(stream: &TcpStream, ticket: crate::Ticket) -> bool {
+fn respond_with_ticket(stream: &ConnStream, ticket: crate::Ticket) -> bool {
     respond_with_result(stream, ticket.wait())
 }
 
 fn respond_with_result(
-    stream: &TcpStream,
+    stream: &ConnStream,
     result: Result<crate::LocateResult, ServiceError>,
 ) -> bool {
     match result {
@@ -768,6 +920,7 @@ fn rejection_status(rejected: &Rejected) -> Status {
         Rejected::ShuttingDown => Status::ShuttingDown,
         Rejected::UnknownModel { .. } => Status::UnknownModel,
         Rejected::ModelUnavailable { .. } => Status::ModelUnavailable,
+        Rejected::Overloaded { .. } => Status::Overloaded,
         Rejected::TooLong { .. } | Rejected::InvalidRequest(_) => Status::Invalid,
     }
 }
@@ -781,7 +934,7 @@ fn failure_status(e: &ServiceError) -> Status {
     }
 }
 
-fn drain(stream: &TcpStream, bytes: u64) -> io::Result<()> {
+fn drain(stream: &ConnStream, bytes: u64) -> io::Result<()> {
     let copied = io::copy(&mut stream.take(bytes), &mut io::sink())?;
     if copied < bytes {
         return Err(io::ErrorKind::UnexpectedEof.into());
@@ -793,66 +946,207 @@ fn drain(stream: &TcpStream, bytes: u64) -> io::Result<()> {
 // Client
 // ---------------------------------------------------------------------------
 
-/// A minimal blocking client for the frame protocol.
-#[derive(Debug)]
-pub struct Client {
-    stream: TcpStream,
+/// Retry policy for [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Total attempts per `locate` call (first try included). `1` disables
+    /// retrying entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the per-retry backoff before jitter.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic backoff jitter (each retry sleeps a
+    /// pseudo-random fraction in `[1/2, 1]` of the capped backoff).
+    pub backoff_seed: u64,
     /// Bound on the start count a response may declare.
     pub max_starts: u64,
 }
 
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+            backoff_seed: 0,
+            max_starts: 1 << 24,
+        }
+    }
+}
+
+/// Terminal failure from a retrying [`Client`] call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every transport attempt failed; `last` is the error from the final
+    /// attempt.
+    Exhausted {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The failure from the last attempt.
+        last: FrameError,
+    },
+    /// The server answered with a frame the client refuses to accept
+    /// (bad magic, oversized counts, unsupported version…). Never retried:
+    /// the transport worked, the conversation is broken.
+    Protocol(FrameError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts (last error: {last})")
+            }
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Exhausted { last, .. } | Self::Protocol(last) => Some(last),
+        }
+    }
+}
+
+impl ClientError {
+    fn from_frame(e: FrameError, attempts: u32, exhausted: bool) -> Self {
+        if exhausted {
+            Self::Exhausted { attempts, last: e }
+        } else {
+            Self::Protocol(e)
+        }
+    }
+}
+
+/// A blocking client for the frame protocol with bounded reconnect.
+///
+/// `locate` is idempotent on the server, so transport failures (socket
+/// errors, truncated responses — e.g. a connection reaped by the server's
+/// read timeout) are retried up to [`ClientConfig::max_attempts`] times
+/// with a fresh connection and exponential backoff plus deterministic
+/// jitter. Admin calls (`swap`, `evict`) are *not* idempotent and always
+/// run exactly one attempt.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    stream: Option<TcpStream>,
+    rng: u64,
+}
+
 impl Client {
-    /// Connects to a serving [`LocatorService`].
+    /// Connects to a serving [`LocatorService`] with the default retry
+    /// policy.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        Ok(Self { stream: TcpStream::connect(addr)?, max_starts: 1 << 24 })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// Sends one locate request against the named model (buffered or
-    /// streamed per `flags`) and blocks for the response.
+    /// Connects with an explicit retry policy.
     ///
     /// # Errors
     ///
-    /// Returns a typed [`FrameError`] on socket failure or a malformed
-    /// response.
+    /// Propagates connection failures.
+    pub fn connect_with(addr: SocketAddr, cfg: ClientConfig) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let rng = cfg.backoff_seed;
+        Ok(Self { addr, cfg, stream: Some(stream), rng })
+    }
+
+    fn ensure_connected(&mut self) -> Result<&TcpStream, FrameError> {
+        if self.stream.is_none() {
+            self.stream =
+                Some(TcpStream::connect(self.addr).map_err(|e| FrameError::Io(e.to_string()))?);
+        }
+        Ok(self.stream.as_ref().expect("stream was just connected"))
+    }
+
+    /// Sleeps the capped exponential backoff for 0-based retry `retry`,
+    /// jittered to a deterministic fraction in `[1/2, 1]`.
+    fn backoff(&mut self, retry: u32) {
+        let base = self.cfg.base_backoff.saturating_mul(1u32 << retry.min(16));
+        let capped = base.min(self.cfg.max_backoff).as_nanos() as u64;
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let jitter = splitmix64(self.rng);
+        // Map to [1/2, 1]: half the range is fixed, half is scaled by rng.
+        let nanos = capped / 2 + (((capped / 2) as u128 * (jitter as u128)) >> 64) as u64;
+        std::thread::sleep(Duration::from_nanos(nanos));
+    }
+
+    /// Sends one locate request against the named model (buffered or
+    /// streamed per `flags`) and blocks for the response, transparently
+    /// reconnecting and retrying on transport failures.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] after `max_attempts` transport failures,
+    /// [`ClientError::Protocol`] on a malformed response (never retried).
     pub fn locate(
         &mut self,
         model: &str,
         flags: u8,
         deadline_ms: u32,
         samples: &[f32],
-    ) -> Result<Response, FrameError> {
-        write_request(&self.stream, model, flags, deadline_ms, samples)?;
-        read_response(&self.stream, self.max_starts)
+    ) -> Result<Response, ClientError> {
+        let max_starts = self.cfg.max_starts;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = self.ensure_connected().and_then(|stream| {
+                write_request(stream, model, flags, deadline_ms, samples)?;
+                read_response(stream, max_starts)
+            });
+            match result {
+                Ok(response) => return Ok(response),
+                Err(e @ (FrameError::Io(_) | FrameError::Truncated)) => {
+                    // The connection is in an unknown state; retry on a
+                    // fresh one.
+                    self.stream = None;
+                    if attempt >= self.cfg.max_attempts {
+                        return Err(ClientError::from_frame(e, attempt, true));
+                    }
+                    self.backoff(attempt - 1);
+                }
+                Err(e) => return Err(ClientError::from_frame(e, attempt, false)),
+            }
+        }
     }
 
     /// Asks the server to hot-swap `model` to the model file at the
     /// server-local `path` and blocks for the response; on [`Status::Ok`]
     /// the new generation is `starts[0]`. Requires
-    /// [`ServerConfig::allow_admin`].
+    /// [`ServerConfig::allow_admin`]. Never retried (a lost response
+    /// doesn't reveal whether the swap landed).
     ///
     /// # Errors
     ///
     /// Returns a typed [`FrameError`] on socket failure or a malformed
     /// response.
     pub fn swap(&mut self, model: &str, path: &str) -> Result<Response, FrameError> {
-        write_admin_request(&self.stream, AdminOp::Swap, model, path)?;
-        read_response(&self.stream, self.max_starts)
+        let max_starts = self.cfg.max_starts;
+        let stream = self.ensure_connected()?;
+        write_admin_request(stream, AdminOp::Swap, model, path)?;
+        read_response(stream, max_starts)
     }
 
     /// Asks the server to evict `model`'s resident weights and blocks for
-    /// the response. Requires [`ServerConfig::allow_admin`].
+    /// the response. Requires [`ServerConfig::allow_admin`]. Never retried.
     ///
     /// # Errors
     ///
     /// Returns a typed [`FrameError`] on socket failure or a malformed
     /// response.
     pub fn evict(&mut self, model: &str) -> Result<Response, FrameError> {
-        write_admin_request(&self.stream, AdminOp::Evict, model, "")?;
-        read_response(&self.stream, self.max_starts)
+        let max_starts = self.cfg.max_starts;
+        let stream = self.ensure_connected()?;
+        write_admin_request(stream, AdminOp::Evict, model, "")?;
+        read_response(stream, max_starts)
     }
 }
 

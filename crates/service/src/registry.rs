@@ -31,19 +31,32 @@
 //!   Eviction drops the registry's reference only — in-flight handles keep
 //!   the weights alive until their requests drain — and does **not** bump
 //!   the generation: a reload serves bit-identical scores.
+//! * **Load-failure quarantine.** A model whose (re)load fails
+//!   [`RegistryConfig::quarantine_after`] consecutive times enters a
+//!   cooldown during which resolves fail fast with
+//!   [`RegistryError::Quarantined`] instead of hammering a broken file on
+//!   every request; the cooldown's expiry re-arms one real retry. A failed
+//!   reload after an eviction additionally falls back to re-faulting the
+//!   last known-good file (the pre-swap path), installing it as a fresh
+//!   generation rather than going dark.
 //!
-//! Counters (loads, evictions, swaps) and the resident-bytes gauge are
-//! lock-free reads, surfaced through the service's
+//! Counters (loads, evictions, swaps, and the failure-domain counts:
+//! I/O errors, corrupt loads, retries, quarantines) and the resident-bytes
+//! gauge are lock-free reads, surfaced through the service's
 //! [`MetricsSnapshot`](crate::MetricsSnapshot).
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use sca_locator::{LocatorEngine, PersistError};
 
-/// Registry sizing; `Default` is an unbounded residency budget.
-#[derive(Debug, Clone, Copy)]
+use crate::faults::{FaultKind, FaultPlan, FaultSite};
+
+/// Registry sizing; `Default` is an unbounded residency budget with a
+/// 3-strike, 5-second load-failure quarantine.
+#[derive(Debug, Clone)]
 pub struct RegistryConfig {
     /// Total resident-model byte budget (weights + workspace estimate per
     /// [`LocatorEngine::memory_footprint`]). `usize::MAX` disables
@@ -53,11 +66,25 @@ pub struct RegistryConfig {
     /// against evictability (they can push the total over budget but are
     /// never evicted to make room).
     pub byte_budget: usize,
+    /// Consecutive load failures before a model is quarantined (`0`
+    /// disables quarantine entirely).
+    pub quarantine_after: u32,
+    /// How long a quarantined model rejects resolves with
+    /// [`RegistryError::Quarantined`] before the next real load attempt.
+    pub quarantine_cooldown: Duration,
+    /// Deterministic fault injection at the model-load site (see
+    /// [`crate::faults`]); the default empty plan injects nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for RegistryConfig {
     fn default() -> Self {
-        Self { byte_budget: usize::MAX }
+        Self {
+            byte_budget: usize::MAX,
+            quarantine_after: 3,
+            quarantine_cooldown: Duration::from_secs(5),
+            faults: FaultPlan::default(),
+        }
     }
 }
 
@@ -90,6 +117,15 @@ pub enum RegistryError {
         /// The pinned model.
         name: String,
     },
+    /// The model's file failed to load [`RegistryConfig::quarantine_after`]
+    /// consecutive times; resolves fail fast until the cooldown expires
+    /// instead of re-reading a broken file on every request.
+    Quarantined {
+        /// The quarantined model.
+        name: String,
+        /// Time left until the next real load attempt.
+        retry_in: Duration,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -104,6 +140,13 @@ impl std::fmt::Display for RegistryError {
             }
             RegistryError::NotEvictable { name } => {
                 write!(f, "model {name:?} is pinned in-process (no backing file)")
+            }
+            RegistryError::Quarantined { name, retry_in } => {
+                write!(
+                    f,
+                    "model {name:?} is quarantined after repeated load failures \
+                     (next attempt in {retry_in:?})"
+                )
             }
         }
     }
@@ -170,6 +213,16 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Generations installed by [`ModelRegistry::swap`].
     pub swaps: u64,
+    /// Model loads that failed on file I/O.
+    pub io_errors: u64,
+    /// Model loads rejected by format validation (bad magic, unsupported
+    /// version, failed checksum/structure check) — never served.
+    pub corrupt_loads: u64,
+    /// Load attempts made after a previous failure: post-cooldown retries
+    /// and fallbacks to the last good file.
+    pub retries: u64,
+    /// Times a model entered quarantine.
+    pub quarantines: u64,
 }
 
 struct Resident {
@@ -181,11 +234,20 @@ struct Slot {
     name: Arc<str>,
     /// Backing file; `None` pins the model (installed in-process).
     path: Option<PathBuf>,
-    /// Starts at 1; bumped only by [`ModelRegistry::swap`].
+    /// Starts at 1; bumped by [`ModelRegistry::swap`] and by a fallback
+    /// install (different weights must mean a different generation).
     generation: u64,
     resident: Option<Resident>,
     /// Tick of the last resolve (LRU order).
     last_used: u64,
+    /// Consecutive load failures since the last successful load.
+    failures: u32,
+    /// Set while the model is quarantined; cleared by the next successful
+    /// load (a stale past instant no longer blocks).
+    quarantined_until: Option<Instant>,
+    /// The pre-swap backing file — the last path other than `path` known to
+    /// load. A failed reload falls back to it rather than going dark.
+    fallback: Option<PathBuf>,
 }
 
 struct Inner {
@@ -197,10 +259,17 @@ struct Inner {
 pub struct ModelRegistry {
     inner: Mutex<Inner>,
     byte_budget: usize,
+    quarantine_after: u32,
+    quarantine_cooldown: Duration,
+    faults: FaultPlan,
     resident_bytes: AtomicU64,
     loads: AtomicU64,
     evictions: AtomicU64,
     swaps: AtomicU64,
+    io_errors: AtomicU64,
+    corrupt_loads: AtomicU64,
+    retries: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -224,10 +293,17 @@ impl ModelRegistry {
         Self {
             inner: Mutex::new(Inner { slots: Vec::new(), tick: 0 }),
             byte_budget: cfg.byte_budget,
+            quarantine_after: cfg.quarantine_after,
+            quarantine_cooldown: cfg.quarantine_cooldown,
+            faults: cfg.faults,
             resident_bytes: AtomicU64::new(0),
             loads: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            corrupt_loads: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
         }
     }
 
@@ -254,6 +330,9 @@ impl ModelRegistry {
             generation: 1,
             resident: None,
             last_used: 0,
+            failures: 0,
+            quarantined_until: None,
+            fallback: None,
         });
         Ok(())
     }
@@ -281,6 +360,9 @@ impl ModelRegistry {
             generation: 1,
             resident: Some(Resident { engine: Arc::new(engine), bytes }),
             last_used: 0,
+            failures: 0,
+            quarantined_until: None,
+            fallback: None,
         });
         self.resident_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         Ok(())
@@ -296,9 +378,11 @@ impl ModelRegistry {
     ///
     /// [`RegistryError::UnknownModel`] for an unregistered name,
     /// [`RegistryError::Load`] when reading the model file fails (the slot
-    /// stays registered — a later resolve retries).
+    /// stays registered — a later resolve retries),
+    /// [`RegistryError::Quarantined`] while the model is cooling down after
+    /// repeated load failures.
     pub fn resolve(&self, name: &str) -> Result<ModelHandle, RegistryError> {
-        let (slot_name, path, generation) = {
+        let (slot_name, path, generation, retrying, fallback) = {
             let mut inner = self.lock();
             inner.tick += 1;
             let tick = inner.tick;
@@ -313,13 +397,43 @@ impl ModelRegistry {
                     engine: Arc::clone(&resident.engine),
                 });
             }
+            // Cold load needed: a quarantined model fails fast until its
+            // cooldown expires, at which point exactly one resolve gets to
+            // retry the real load.
+            if let Some(until) = slot.quarantined_until {
+                let now = Instant::now();
+                if now < until {
+                    return Err(RegistryError::Quarantined {
+                        name: name.into(),
+                        retry_in: until - now,
+                    });
+                }
+            }
             let path = slot.path.clone().expect("a non-resident slot is always file-backed");
-            (Arc::clone(&slot.name), path, slot.generation)
+            let retrying = slot.failures > 0 || slot.quarantined_until.is_some();
+            (Arc::clone(&slot.name), path, slot.generation, retrying, slot.fallback.clone())
         };
 
         // Cold: load outside the lock.
-        let engine = self.load_file(&slot_name, &path)?;
-        let bytes = engine.memory_footprint();
+        if retrying {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let engine = match self.load_file(&slot_name, &path) {
+            Ok(engine) => engine,
+            Err(error) => {
+                self.note_load_failure(&slot_name);
+                // Failed reload (e.g. after an eviction, against a file
+                // that went bad post-swap): fall back to re-faulting the
+                // last known-good file instead of going dark.
+                if let Some(fb) = fallback.filter(|fb| fb != &path) {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(engine) = self.load_file(&slot_name, &fb) {
+                        return Ok(self.install_loaded(&slot_name, engine, Some(fb)));
+                    }
+                }
+                return Err(error);
+            }
+        };
 
         let mut inner = self.lock();
         inner.tick += 1;
@@ -339,6 +453,9 @@ impl ModelRegistry {
                 engine: Arc::clone(&resident.engine),
             });
         }
+        slot.failures = 0;
+        slot.quarantined_until = None;
+        let bytes = engine.memory_footprint();
         let generation = slot.generation;
         let engine = Arc::new(engine);
         slot.resident = Some(Resident { engine: Arc::clone(&engine), bytes });
@@ -380,9 +497,18 @@ impl ModelRegistry {
         if let Some(old) = slot.resident.take() {
             self.resident_bytes.fetch_sub(old.bytes as u64, Ordering::Relaxed);
         }
+        // The outgoing file is the proven-good fallback should the new one
+        // fail a reload after an eviction.
+        if let Some(old_path) = slot.path.take() {
+            if old_path != path {
+                slot.fallback = Some(old_path);
+            }
+        }
         slot.generation += 1;
         slot.path = Some(path);
         slot.last_used = tick;
+        slot.failures = 0;
+        slot.quarantined_until = None;
         slot.resident = Some(Resident { engine: Arc::new(engine), bytes });
         self.resident_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         let generation = slot.generation;
@@ -445,6 +571,10 @@ impl ModelRegistry {
             loads: self.loads.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            corrupt_loads: self.corrupt_loads.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
         }
     }
 
@@ -457,10 +587,121 @@ impl ModelRegistry {
     }
 
     fn load_file(&self, name: &str, path: &Path) -> Result<LocatorEngine, RegistryError> {
-        let engine = LocatorEngine::load(path)
-            .map_err(|error| RegistryError::Load { name: name.into(), error })?;
-        self.loads.fetch_add(1, Ordering::Relaxed);
-        Ok(engine)
+        match self.faults.check(FaultSite::ModelLoad) {
+            Some(FaultKind::IoError) => {
+                let error = PersistError::Io("injected model-load I/O fault".into());
+                self.classify_load_error(&error);
+                return Err(RegistryError::Load { name: name.into(), error });
+            }
+            Some(FaultKind::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultKind::CorruptBytes) => {
+                // Read the real file, flip one byte mid-payload, and parse
+                // from memory: against a checksummed v4 file this must
+                // surface as a typed `Corrupt`, never as garbage weights.
+                let result = std::fs::read(path)
+                    .map_err(|e| PersistError::Io(e.to_string()))
+                    .and_then(|mut bytes| {
+                        if !bytes.is_empty() {
+                            let mid = bytes.len() / 2;
+                            bytes[mid] ^= 0x01;
+                        }
+                        LocatorEngine::load_from(&bytes[..])
+                    });
+                return match result {
+                    Ok(engine) => {
+                        // Only possible for legacy pre-checksum formats —
+                        // precisely the gap v4 closes.
+                        self.loads.fetch_add(1, Ordering::Relaxed);
+                        Ok(engine)
+                    }
+                    Err(error) => {
+                        self.classify_load_error(&error);
+                        Err(RegistryError::Load { name: name.into(), error })
+                    }
+                };
+            }
+            Some(_) | None => {}
+        }
+        match LocatorEngine::load(path) {
+            Ok(engine) => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                Ok(engine)
+            }
+            Err(error) => {
+                self.classify_load_error(&error);
+                Err(RegistryError::Load { name: name.into(), error })
+            }
+        }
+    }
+
+    fn classify_load_error(&self, error: &PersistError) {
+        match error {
+            PersistError::Io(_) => self.io_errors.fetch_add(1, Ordering::Relaxed),
+            PersistError::BadMagic
+            | PersistError::UnsupportedVersion(_)
+            | PersistError::Corrupt(_) => self.corrupt_loads.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Records one load failure against `name`; the
+    /// [`RegistryConfig::quarantine_after`]-th consecutive failure starts
+    /// the cooldown.
+    fn note_load_failure(&self, name: &Arc<str>) {
+        if self.quarantine_after == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        let Some(slot) = inner.slots.iter_mut().find(|s| Arc::ptr_eq(&s.name, name)) else {
+            return;
+        };
+        slot.failures += 1;
+        if slot.failures >= self.quarantine_after {
+            slot.failures = 0;
+            slot.quarantined_until = Some(Instant::now() + self.quarantine_cooldown);
+            self.quarantines.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Installs a fallback-loaded engine as `name`'s next generation (the
+    /// weights differ from the failed target, so the generation must move)
+    /// and repoints the slot at `new_path`.
+    fn install_loaded(
+        &self,
+        name: &Arc<str>,
+        engine: LocatorEngine,
+        new_path: Option<PathBuf>,
+    ) -> ModelHandle {
+        let bytes = engine.memory_footprint();
+        let engine = Arc::new(engine);
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(slot) = inner.slots.iter_mut().find(|s| Arc::ptr_eq(&s.name, name)) else {
+            // Deregistered while loading; serve the orphan load anyway.
+            return ModelHandle { name: Arc::clone(name), generation: 0, engine };
+        };
+        slot.last_used = tick;
+        if let Some(resident) = &slot.resident {
+            // A racing resolve beat the fallback; theirs win.
+            return ModelHandle {
+                name: Arc::clone(&slot.name),
+                generation: slot.generation,
+                engine: Arc::clone(&resident.engine),
+            };
+        }
+        if let Some(new_path) = new_path {
+            slot.path = Some(new_path);
+        }
+        slot.fallback = None;
+        slot.failures = 0;
+        slot.quarantined_until = None;
+        slot.generation += 1;
+        slot.resident = Some(Resident { engine: Arc::clone(&engine), bytes });
+        self.resident_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let handle =
+            ModelHandle { name: Arc::clone(&slot.name), generation: slot.generation, engine };
+        self.evict_to_budget(&mut inner, &handle.name);
+        handle
     }
 
     /// Evicts least-recently-used file-backed residents until the total is

@@ -9,8 +9,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use locsvc::{
-    LocatorService, ModelRegistry, RegistryConfig, RegistryError, Rejected, RequestOptions,
-    ServiceConfig, ServiceError,
+    FaultKind, FaultPlan, FaultSite, LocatorService, ModelRegistry, RegistryConfig, RegistryError,
+    Rejected, RequestOptions, ServiceConfig, ServiceError,
 };
 use sca_locator::{CnnConfig, CoLocatorCnn, LocatorEngine, Segmenter, SlidingWindowClassifier};
 use sca_trace::Trace;
@@ -159,7 +159,10 @@ fn eviction_keeps_resident_bytes_under_budget_and_reloads_bit_identically() {
         .collect();
     let one_model = tiny_engine(50).memory_footprint() as u64;
     let budget = one_model + one_model / 2;
-    let registry = Arc::new(ModelRegistry::new(RegistryConfig { byte_budget: budget as usize }));
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        byte_budget: budget as usize,
+        ..RegistryConfig::default()
+    }));
     for (i, path) in paths.iter().enumerate() {
         registry.register(format!("m{i}"), path).unwrap();
     }
@@ -261,9 +264,10 @@ fn registry_loads_lazily_and_types_its_errors() {
 /// and shutdown stays clean.
 #[test]
 fn worker_panic_fails_its_batch_and_the_service_keeps_serving() {
+    let faults = FaultPlan::builder().fault(FaultSite::Score, 0, FaultKind::ScorePanic).build();
     let service = LocatorService::start(
         vec![tiny_engine(31)],
-        ServiceConfig { workers: 2, fault_score_panics: 1, ..ServiceConfig::default() },
+        ServiceConfig { workers: 2, faults, ..ServiceConfig::default() },
     );
     let trace = noisy_trace(350, 4);
     let expected = service.engine("model-0").unwrap().locate(&trace);
@@ -306,12 +310,16 @@ fn injected_panic_count_is_exact_and_shutdown_drains_through_faults() {
     // exactly 17 every request is its own batch, so injections map 1:1 to
     // failed requests and the count assertions are exact.
     let trace = noisy_trace(80, 9);
+    let mut builder = FaultPlan::builder();
+    for op in 0..u64::from(INJECTED) {
+        builder = builder.fault(FaultSite::Score, op, FaultKind::ScorePanic);
+    }
     let service = LocatorService::start(
         vec![tiny_engine(31)],
         ServiceConfig {
             workers: 2,
             tile_windows: 17,
-            fault_score_panics: INJECTED,
+            faults: builder.build(),
             ..ServiceConfig::default()
         },
     );

@@ -95,13 +95,17 @@ impl<R: Read> SequentialTraceSource<R> {
 
     /// Number of samples already pulled from the underlying reader.
     pub fn consumed(&self) -> usize {
-        self.inner.lock().expect("sequential source mutex poisoned").frontier
+        // Poison-tolerant: a panicking consumer (e.g. an injected scoring
+        // fault in a service worker) must not wedge other observers — the
+        // guarded state is position bookkeeping that stays consistent
+        // between fills.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).frontier
     }
 
     /// Consumes the adapter and returns the underlying reader, positioned
     /// after the last sample any fill required.
     pub fn into_inner(self) -> R {
-        self.inner.into_inner().expect("sequential source mutex poisoned").reader
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner()).reader
     }
 }
 
@@ -135,7 +139,7 @@ impl<R: Read + Send> TraceSource for SequentialTraceSource<R> {
                 })
             }
         };
-        let mut inner = self.inner.lock().expect("sequential source mutex poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if start < inner.carry_start {
             return Err(TraceError::Io(format!(
                 "non-seekable trace source cannot rewind to sample {start} \

@@ -16,3 +16,13 @@ pub fn read_expect(m: &Mutex<u32>) -> u32 {
     *m.lock()
         .expect("counter poisoned")
 }
+
+/// Builds non-empty fault plans in library code (two violations); the
+/// mentions of `FaultPlan::seeded(…)` in this doc comment, and in the
+/// string and comment below, must not count.
+pub fn chaos_in_library() {
+    let _seeded = FaultPlan::seeded(1, 2, 3, 0);
+    let _built = FaultPlan::builder()
+        .build();
+    let _doc_only = "FaultPlan::seeded(9, 9, 9, 9)"; // FaultPlan::builder()
+}

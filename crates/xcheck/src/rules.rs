@@ -11,6 +11,7 @@
 //! | `crate-attrs`     | crate roots forbid unsafe (qsimd: deny unsafe-op) + warn missing docs |
 //! | `service-lock`    | no `.lock().unwrap()` / `.lock().expect(` in `crates/service`      |
 //! | `no-debug-escapes`| no `todo!`/`dbg!`/`unimplemented!`/`process::exit` in library code |
+//! | `fault-plan-confined` | library code never constructs a non-empty `FaultPlan`          |
 //! | `bench-metrics`   | `BENCH_*.json` parse and metric keys match the guard's patterns    |
 
 use std::fmt;
@@ -175,6 +176,7 @@ pub fn run_all(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
     diags.extend(crate_attrs(&ws));
     diags.extend(service_lock(&ws));
     diags.extend(no_debug_escapes(&ws));
+    diags.extend(fault_plan_confined(&ws));
     diags.extend(bench_metrics(&ws.root));
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(diags)
@@ -403,6 +405,47 @@ pub fn no_debug_escapes(ws: &Workspace) -> Vec<Diagnostic> {
                         file: file.clone(),
                         line,
                         message: format!("{what} in library code"),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// `fault-plan-confined`: a non-empty `FaultPlan` switches on fault
+/// injection, which only chaos tests may do — library code (every member's
+/// `src/`) must never construct one. The constructors
+/// (`FaultPlan::seeded(` / `FaultPlan::builder(`) are confined to the
+/// faults module itself (`src/faults.rs`, whose in-module tests exercise
+/// them); threading a plan *through* configs is fine, the empty
+/// `FaultPlan::default()` is fine, and tests/examples/benches may build
+/// whatever schedules they need.
+pub fn fault_plan_confined(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for member in &ws.members {
+        let src_root = if member.rel == Path::new(".") {
+            PathBuf::from("src")
+        } else {
+            member.rel.join("src")
+        };
+        let faults_module = src_root.join("faults.rs");
+        for (file, scanned) in &member.files {
+            if !file.starts_with(&src_root) || *file == faults_module {
+                continue;
+            }
+            let flat = scanned.flat_code();
+            for pattern in ["FaultPlan::seeded(", "FaultPlan::builder("] {
+                for line in flat.find_all(pattern, true) {
+                    diags.push(Diagnostic {
+                        rule: "fault-plan-confined",
+                        file: file.clone(),
+                        line,
+                        message: format!(
+                            "`{pattern}…)` builds a non-empty fault plan in library code; \
+                             fault injection belongs to chaos tests (the empty \
+                             `FaultPlan::default()` is fine)"
+                        ),
                     });
                 }
             }

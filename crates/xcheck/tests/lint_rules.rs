@@ -84,6 +84,20 @@ fn debug_escapes_flagged_in_lib_but_not_main_or_strings() {
 }
 
 #[test]
+fn fault_plan_confined_flags_constructors_but_not_docs_or_strings() {
+    let diags = badtree_diags();
+    let hits = diags_of_rule(&diags, "fault-plan-confined");
+    assert_eq!(
+        locations(&hits),
+        vec![
+            ("crates/service/src/lib.rs".to_string(), 24),
+            ("crates/service/src/lib.rs".to_string(), 25)
+        ]
+    );
+    assert!(hits[0].message.contains("chaos tests"));
+}
+
+#[test]
 fn bench_metrics_flags_near_misses_and_broken_baselines() {
     let diags = badtree_diags();
     let hits = diags_of_rule(&diags, "bench-metrics");

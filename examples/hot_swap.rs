@@ -68,7 +68,10 @@ fn main() {
 
     // A budget of ~1.5 models forces the LRU dance between the scenarios.
     let budget = build_engine(1).memory_footprint() * 3 / 2;
-    let registry = Arc::new(ModelRegistry::new(RegistryConfig { byte_budget: budget }));
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        byte_budget: budget,
+        ..RegistryConfig::default()
+    }));
     registry.register("aes", &aes_v1).expect("register aes");
     registry.register("clefia", &clefia).expect("register clefia");
     let service =
